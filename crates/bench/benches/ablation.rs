@@ -1,0 +1,102 @@
+//! E12 — ablations over the design choices DESIGN.md calls out:
+//!
+//! * fixpoint granularity: `W_P` iteration vs the coarser `V_P` iteration
+//!   vs the alternating fixpoint (all compute the same model);
+//! * grounding: relevant vs full Herbrand instantiation;
+//! * loop check: tree engine with/without ground-loop pruning on an
+//!   acyclic workload (the check costs a little and buys termination on
+//!   cyclic ones).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsls_bench::ground;
+use gsls_core::{GlobalOpts, GlobalTree, SlpOpts};
+use gsls_ground::{Grounder, GrounderOpts, GroundingMode};
+use gsls_lang::{parse_goal, TermStore};
+use gsls_wfs::{vp_iteration, well_founded_model, wp_iteration};
+use gsls_workloads::{odd_even_chain, win_chain};
+
+fn bench_fixpoint_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/fixpoint");
+    for &n in &[64usize, 256, 1024] {
+        let mut store = TermStore::new();
+        let program = win_chain(&mut store, n);
+        let gp = ground(&mut store, &program);
+        group.bench_with_input(BenchmarkId::new("alternating", n), &n, |b, _| {
+            b.iter(|| well_founded_model(&gp).count_true());
+        });
+        group.bench_with_input(BenchmarkId::new("vp_iteration", n), &n, |b, _| {
+            b.iter(|| vp_iteration(&gp).iterations);
+        });
+        // W_P takes many more (cheaper) iterations; keep sizes modest so
+        // the ablation run stays quick.
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("wp_iteration", n), &n, |b, _| {
+                b.iter(|| wp_iteration(&gp).iterations);
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_grounding_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/grounding");
+    for &n in &[32usize, 128] {
+        for (name, mode) in [
+            ("relevant", GroundingMode::Relevant),
+            ("full", GroundingMode::Full),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut store = TermStore::new();
+                    let program = win_chain(&mut store, n);
+                    let gp = Grounder::ground_with(
+                        &mut store,
+                        &program,
+                        GrounderOpts {
+                            mode,
+                            ..GrounderOpts::default()
+                        },
+                    )
+                    .unwrap();
+                    gp.clause_count()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_loop_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/loop_check");
+    for &n in &[16usize, 64] {
+        for (name, check) in [("on", true), ("off", false)] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                let mut store = TermStore::new();
+                let program = odd_even_chain(&mut store, n);
+                let goal = parse_goal(&mut store, "?- a0.").unwrap();
+                let opts = GlobalOpts {
+                    slp: SlpOpts {
+                        ground_loop_check: check,
+                        ..SlpOpts::default()
+                    },
+                    ..GlobalOpts::default()
+                };
+                b.iter(|| {
+                    let tree = GlobalTree::build(&mut store, &program, &goal, opts);
+                    tree.status()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_fixpoint_granularity, bench_grounding_mode, bench_loop_check
+}
+criterion_main!(benches);

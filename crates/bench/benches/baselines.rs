@@ -1,0 +1,84 @@
+//! E8/E10 — the baseline procedures against global SLS-resolution on
+//! stratified workloads (where all of them are defined and agree), plus
+//! the incompleteness shape: SLDNF's cost explodes with negation depth
+//! while the memoized engine stays linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsls_bench::{atom_named, ground};
+use gsls_core::TabledEngine;
+use gsls_lang::{parse_goal, TermStore};
+use gsls_resolution::{sldnf_solve, sls_solve, SldnfOpts};
+use gsls_workloads::{negated_reachability, odd_even_chain};
+
+fn bench_negation_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/negation_chain");
+    for &n in &[8usize, 16, 32, 64] {
+        let mut store = TermStore::new();
+        let program = odd_even_chain(&mut store, n);
+        let gp = ground(&mut store, &program);
+        let root = atom_named(&store, &gp, "a0");
+        group.bench_with_input(BenchmarkId::new("tabled", n), &n, |b, _| {
+            b.iter(|| {
+                let mut e = TabledEngine::new(gp.clone());
+                e.truth(root)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sldnf", n), &n, |b, _| {
+            let mut store = TermStore::new();
+            let program = odd_even_chain(&mut store, n);
+            let goal = parse_goal(&mut store, "?- a0.").unwrap();
+            b.iter(|| {
+                sldnf_solve(&mut store, &program, &goal, SldnfOpts::default()).outcome
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sls", n), &n, |b, _| {
+            let mut store = TermStore::new();
+            let program = odd_even_chain(&mut store, n);
+            let goal = parse_goal(&mut store, "?- a0.").unwrap();
+            b.iter(|| {
+                sls_solve(&mut store, &program, &goal, Default::default())
+                    .unwrap()
+                    .succeeded()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stratified_db(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/negated_reachability");
+    for &n in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("tabled", n), &n, |b, _| {
+            let mut store = TermStore::new();
+            let program = negated_reachability(&mut store, n);
+            let gp = ground(&mut store, &program);
+            let q = atom_named(&store, &gp, &format!("unreach(v{}, v0)", n - 1));
+            b.iter(|| {
+                let mut e = TabledEngine::new(gp.clone());
+                e.truth(q)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sls", n), &n, |b, _| {
+            let mut store = TermStore::new();
+            let program = negated_reachability(&mut store, n);
+            let goal =
+                parse_goal(&mut store, &format!("?- unreach(v{}, v0).", n - 1)).unwrap();
+            b.iter(|| {
+                sls_solve(&mut store, &program, &goal, Default::default())
+                    .unwrap()
+                    .succeeded()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_negation_chain, bench_stratified_db
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E9 — Sec. 7 effectiveness: the memoized top-down engine vs the
+//! bottom-up alternating fixpoint [32], across board shapes and sizes.
+//!
+//! Shape claims regenerated:
+//! * both are polynomial (near-linear here) in program size;
+//! * goal-directedness wins when the relevant subprogram is a small part
+//!   of the board (`two_boards`: query touches one component only);
+//! * on fully connected boards the bottom-up pass wins by constant
+//!   factor (no table/reachability overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsls_bench::{atom_named, ground, SWEEP};
+use gsls_core::TabledEngine;
+use gsls_lang::TermStore;
+use gsls_wfs::well_founded_model;
+use gsls_workloads::{win_chain, win_cycle, win_random, win_tree};
+
+fn bench_shapes(c: &mut Criterion) {
+    type Gen = fn(&mut TermStore, usize) -> gsls_lang::Program;
+    let shapes: &[(&str, Gen)] = &[
+        ("chain", |s, n| win_chain(s, n)),
+        ("cycle", |s, n| win_cycle(s, n)),
+        ("tree", |s, n| {
+            let depth = (n as f64).log2() as u32;
+            win_tree(s, depth)
+        }),
+        ("random", |s, n| win_random(s, n, 3, 11)),
+    ];
+    for (shape, gen) in shapes {
+        let mut group = c.benchmark_group(format!("engine_scaling/{shape}"));
+        for &n in SWEEP {
+            // Pre-ground once; both engines consume the ground program.
+            let mut store = TermStore::new();
+            let program = gen(&mut store, n);
+            let gp = ground(&mut store, &program);
+            let root = atom_named(&store, &gp, "win(n0)");
+            group.bench_with_input(
+                BenchmarkId::new("tabled_query", n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut engine = TabledEngine::new(gp.clone());
+                        engine.truth(root)
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("bottom_up_full_model", n),
+                &n,
+                |b, _| b.iter(|| well_founded_model(&gp).count_true()),
+            );
+        }
+        group.finish();
+    }
+}
+
+/// Goal-directedness: `k` disconnected boards, query one — tabled cost
+/// stays flat while bottom-up pays for every board.
+fn bench_goal_directedness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling/two_boards");
+    for &k in &[2usize, 8, 32] {
+        let mut store = TermStore::new();
+        let mut src = String::new();
+        for b in 0..k {
+            for i in 0..64usize {
+                src.push_str(&format!("m{b}(x{b}_{i}, x{b}_{}).\n", i + 1));
+            }
+            src.push_str(&format!("w{b}(X) :- m{b}(X, Y), ~w{b}(Y).\n"));
+        }
+        let program = gsls_lang::parse_program(&mut store, &src).unwrap();
+        let gp = ground(&mut store, &program);
+        let root = atom_named(&store, &gp, "w0(x0_0)");
+        group.bench_with_input(BenchmarkId::new("tabled_one_board", k), &k, |b, _| {
+            b.iter(|| {
+                let mut engine = TabledEngine::new(gp.clone());
+                engine.truth(root)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bottom_up_all_boards", k), &k, |b, _| {
+            b.iter(|| well_founded_model(&gp).count_true());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_shapes, bench_goal_directedness
+}
+criterion_main!(benches);

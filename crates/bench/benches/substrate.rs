@@ -1,0 +1,97 @@
+//! Substrate microbenchmarks: unification, parsing, grounding, and the
+//! SCC machinery — the components every engine is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsls_ground::depgraph::sccs;
+use gsls_lang::{parse_program, unify, Subst, TermStore};
+use gsls_workloads::win_random;
+
+fn bench_unify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/unify");
+    for &depth in &[8usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("numeral", depth), &depth, |b, _| {
+            let mut store = TermStore::new();
+            let ground_num = store.numeral("s", "0", depth);
+            // s(s(…s(X)…)) with depth-1 s's
+            let x = store.fresh_var(Some("X"));
+            let s = store.intern_symbol("s");
+            let mut pat = x;
+            for _ in 0..depth - 1 {
+                pat = store.app(s, &[pat]);
+            }
+            b.iter(|| {
+                let mut sub = Subst::new();
+                assert!(unify(&store, &mut sub, pat, ground_num));
+                sub.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/parse");
+    for &n in &[100usize, 1000] {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("edge(v{i}, v{}). ", i + 1));
+        }
+        src.push_str("t(X, Y) :- edge(X, Y). t(X, Z) :- edge(X, Y), t(Y, Z).");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut store = TermStore::new();
+                parse_program(&mut store, &src).unwrap().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/grounding");
+    for &n in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("win_random", n), &n, |b, _| {
+            b.iter(|| {
+                let mut store = TermStore::new();
+                let program = win_random(&mut store, n, 3, 5);
+                gsls_ground::Grounder::ground(&mut store, &program)
+                    .unwrap()
+                    .clause_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sccs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/tarjan");
+    for &n in &[1_000usize, 100_000] {
+        // A long chain plus back edges every 10 nodes: many small SCCs.
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let mut out = Vec::new();
+                if i + 1 < n {
+                    out.push((i + 1) as u32);
+                }
+                if i % 10 == 9 {
+                    out.push((i - 9) as u32);
+                }
+                out
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sccs(&adj).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_unify, bench_parse, bench_grounding, bench_sccs
+}
+criterion_main!(benches);

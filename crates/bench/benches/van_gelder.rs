@@ -1,0 +1,92 @@
+//! E1 — Example 3.1 / Figures 1–4: regenerates the level series
+//! `level(← w(sⁿ(0))) = 2n` and times the global-tree construction as n
+//! grows, plus the depth-bounded bottom-up model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsls_core::{GlobalOpts, GlobalTree, Status};
+use gsls_ground::{Grounder, GrounderOpts, HerbrandOpts};
+use gsls_lang::{parse_goal, TermStore};
+use gsls_wfs::well_founded_model;
+use gsls_workloads::van_gelder_program;
+
+fn numeral(n: usize) -> String {
+    let mut t = "0".to_owned();
+    for _ in 0..n {
+        t = format!("s({t})");
+    }
+    t
+}
+
+/// Prints the Figure-4 data series: n, status, level.
+fn print_series() {
+    let mut store = TermStore::new();
+    let program = van_gelder_program(&mut store);
+    println!("# E1: level(← w(s^n(0))) — paper says 2n; ← w(0) needs ω+2");
+    println!("# {:>3} {:>12} {:>8}", "n", "status", "level");
+    for n in 1..=8usize {
+        let goal = parse_goal(&mut store, &format!("?- w({}).", numeral(n))).unwrap();
+        let tree = GlobalTree::build(&mut store, &program, &goal, GlobalOpts::default());
+        let level = tree
+            .root()
+            .level_succ
+            .clone()
+            .map_or("-".into(), |l| l.to_string());
+        println!("# {n:>3} {:>12} {level:>8}", format!("{:?}", tree.status()));
+        assert_eq!(tree.status(), Status::Successful);
+    }
+}
+
+fn bench_tree_levels(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("van_gelder/global_tree_w_n");
+    for &n in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut store = TermStore::new();
+            let program = van_gelder_program(&mut store);
+            let goal = parse_goal(&mut store, &format!("?- w({}).", numeral(n))).unwrap();
+            b.iter(|| {
+                let tree =
+                    GlobalTree::build(&mut store, &program, &goal, GlobalOpts::default());
+                assert_eq!(tree.status(), Status::Successful);
+                tree.root().level_succ.clone()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("van_gelder/bounded_wfm_depth");
+    for &depth in &[4u32, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let mut store = TermStore::new();
+                let program = van_gelder_program(&mut store);
+                let gp = Grounder::ground_with(
+                    &mut store,
+                    &program,
+                    GrounderOpts {
+                        universe: HerbrandOpts {
+                            max_depth: depth,
+                            max_terms: 100_000,
+                        },
+                        ..GrounderOpts::default()
+                    },
+                )
+                .unwrap();
+                well_founded_model(&gp).count_true()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900));
+    targets = bench_tree_levels, bench_bounded_model
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench prints the paper-style data series it regenerates (levels,
+//! atom counts, who-wins summaries) before timing, so `cargo bench`
+//! output doubles as the experiment log recorded in EXPERIMENTS.md.
+
+use gsls_ground::{GroundAtomId, GroundProgram, Grounder};
+use gsls_lang::{Program, TermStore};
+
+/// Grounds a program with default options, panicking on budget failure
+/// (bench workloads are sized to fit).
+pub fn ground(store: &mut TermStore, program: &Program) -> GroundProgram {
+    Grounder::ground(store, program).expect("bench workload grounds")
+}
+
+/// Finds a ground atom by its rendered text.
+pub fn atom_named(store: &TermStore, gp: &GroundProgram, name: &str) -> GroundAtomId {
+    gp.atom_ids()
+        .find(|&a| gp.display_atom(store, a) == name)
+        .unwrap_or_else(|| panic!("atom {name} not found"))
+}
+
+/// Standard sweep sizes for the scaling benches.
+pub const SWEEP: &[usize] = &[16, 64, 256, 1024];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::parse_program;
+
+    #[test]
+    fn helpers_work() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(a).").unwrap();
+        let gp = ground(&mut s, &p);
+        let a = atom_named(&s, &gp, "p(a)");
+        assert_eq!(gp.display_atom(&s, a), "p(a)");
+    }
+}

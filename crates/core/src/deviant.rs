@@ -1,0 +1,290 @@
+//! Deviant computation rules: why preferential selection is required.
+//!
+//! Examples 3.2 and 3.3 of the paper show that global SLS-resolution
+//! loses completeness when the computation rule is not positivistic or
+//! not negatively parallel. This module implements a goal evaluator
+//! parameterised by [`RuleKind`] so both phenomena can be demonstrated
+//! (and measured in experiment E2/E3):
+//!
+//! * [`RuleKind::LeftmostLiteral`] (not positivistic) makes `← s`
+//!   **indeterminate** on Example 3.2 although its well-founded truth is
+//!   *true* — the rule walks into a recursion through negation that the
+//!   preferential rule never enters;
+//! * [`RuleKind::SequentialNegative`] (not negatively parallel) makes
+//!   `← q` **indeterminate** on Example 3.3 although `¬q` is in the
+//!   well-founded model — it gets stuck on the first (undefined) negative
+//!   subgoal and never looks at the second (failing) one.
+//!
+//! The evaluator treats a repeated *positive* ground selection as a
+//! pruned infinite branch (failed — the ideal-tree convention) and a
+//! repeated *negative* expansion as recursion through negation
+//! (indeterminate).
+//!
+//! Goal literal order follows resolution order: the remaining literals of
+//! the parent goal, then the instantiated body of the applied clause.
+
+use crate::rule::{RuleKind, Selection};
+use gsls_lang::{rename::variant, unify_atoms, Atom, FxHashSet, Goal, Program, Subst, TermStore};
+
+/// Verdict of a deviant-rule evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The goal has a successful derivation.
+    Successful,
+    /// Every derivation fails.
+    Failed,
+    /// The evaluation recursed through negation (or exhausted budgets)
+    /// without determining a status.
+    Indeterminate,
+    /// A nonground negative literal had to be selected.
+    Floundered,
+}
+
+/// Budgets for the deviant evaluator.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviantOpts {
+    /// Maximum resolution depth per goal chain.
+    pub max_depth: u32,
+    /// Maximum total goal expansions.
+    pub max_nodes: usize,
+}
+
+impl Default for DeviantOpts {
+    fn default() -> Self {
+        DeviantOpts {
+            max_depth: 128,
+            max_nodes: 100_000,
+        }
+    }
+}
+
+/// Evaluates `goal` under the given computation rule.
+pub fn evaluate(
+    store: &mut TermStore,
+    program: &Program,
+    goal: &Goal,
+    rule: RuleKind,
+    opts: DeviantOpts,
+) -> Verdict {
+    let mut ev = Evaluator {
+        store,
+        program,
+        rule,
+        opts,
+        nodes: 0,
+        neg_stack: FxHashSet::default(),
+    };
+    let anc = vec![Vec::new(); goal.len()];
+    ev.goal(goal, &anc, &Subst::new(), 0)
+}
+
+struct Evaluator<'a> {
+    store: &'a mut TermStore,
+    program: &'a Program,
+    rule: RuleKind,
+    opts: DeviantOpts,
+    nodes: usize,
+    /// Ground atoms whose negation is currently being expanded.
+    neg_stack: FxHashSet<Atom>,
+}
+
+impl Evaluator<'_> {
+    /// Evaluates a goal; `anc[i]` is the call ancestry of literal `i`
+    /// (the ground atoms whose expansion introduced it) — a ground
+    /// selection occurring in its own ancestry spans an infinite branch
+    /// and is failed (the ideal-tree convention); conjunctive duplicates
+    /// are not loops.
+    fn goal(&mut self, goal: &Goal, anc: &[Vec<Atom>], subst: &Subst, depth: u32) -> Verdict {
+        if depth >= self.opts.max_depth || self.nodes >= self.opts.max_nodes {
+            return Verdict::Indeterminate;
+        }
+        self.nodes += 1;
+        let resolved = subst.resolve_goal(self.store, goal);
+        debug_assert_eq!(resolved.len(), anc.len());
+        match self.rule.select(self.store, &resolved) {
+            Selection::Empty => Verdict::Successful,
+            Selection::Flounder => Verdict::Floundered,
+            Selection::Positive(idx) => {
+                let selected = resolved.literals()[idx].clone();
+                let ground = selected.atom.is_ground(self.store);
+                if ground && anc[idx].contains(&selected.atom) {
+                    return Verdict::Failed;
+                }
+                let mut body_anc = anc[idx].clone();
+                if ground {
+                    body_anc.push(selected.atom.clone());
+                }
+                let pred = selected.atom.pred_id();
+                let clause_idxs: Vec<usize> = self.program.clauses_for(pred).to_vec();
+                let mut any_indeterminate = false;
+                let mut any_floundered = false;
+                let mut verdict = Verdict::Failed;
+                for ci in clause_idxs {
+                    let clause = variant(self.store, self.program.clause(ci));
+                    let mut local = Subst::new();
+                    if unify_atoms(self.store, &mut local, &selected.atom, &clause.head) {
+                        let child = resolved.resolve_at(idx, &clause.body);
+                        let mut child_anc: Vec<Vec<Atom>> = Vec::with_capacity(child.len());
+                        for (k, a) in anc.iter().enumerate() {
+                            if k != idx {
+                                child_anc.push(a.clone());
+                            }
+                        }
+                        for _ in 0..clause.body.len() {
+                            child_anc.push(body_anc.clone());
+                        }
+                        match self.goal(&child, &child_anc, &local, depth + 1) {
+                            Verdict::Successful => {
+                                verdict = Verdict::Successful;
+                                break;
+                            }
+                            Verdict::Indeterminate => any_indeterminate = true,
+                            Verdict::Floundered => any_floundered = true,
+                            Verdict::Failed => {}
+                        }
+                    }
+                }
+                match verdict {
+                    Verdict::Successful => Verdict::Successful,
+                    _ if any_indeterminate => Verdict::Indeterminate,
+                    _ if any_floundered => Verdict::Floundered,
+                    _ => Verdict::Failed,
+                }
+            }
+            Selection::Negatives(idxs) => {
+                // Expand the selected ground negative literals (all of
+                // them for the parallel rule, one for the others).
+                let mut any_indeterminate = false;
+                for &i in &idxs {
+                    let atom = resolved.literals()[i].atom.clone();
+                    match self.negation(&atom) {
+                        Verdict::Successful => return Verdict::Failed,
+                        Verdict::Failed => {}
+                        Verdict::Floundered => return Verdict::Floundered,
+                        Verdict::Indeterminate => any_indeterminate = true,
+                    }
+                }
+                if any_indeterminate {
+                    return Verdict::Indeterminate;
+                }
+                // All selected complements failed: drop them and continue.
+                let mut remaining: Vec<gsls_lang::Literal> = Vec::new();
+                let mut remaining_anc: Vec<Vec<Atom>> = Vec::new();
+                for (i, l) in resolved.literals().iter().enumerate() {
+                    if !idxs.contains(&i) {
+                        remaining.push(l.clone());
+                        remaining_anc.push(anc[i].clone());
+                    }
+                }
+                self.goal(&Goal::new(remaining), &remaining_anc, &Subst::new(), 0)
+            }
+        }
+    }
+
+    /// Evaluates the complement goal `← atom` of a negative subgoal.
+    fn negation(&mut self, atom: &Atom) -> Verdict {
+        if self.neg_stack.contains(atom) {
+            // Recursion through negation: the ideal procedure would
+            // recurse through infinitely many negation nodes.
+            return Verdict::Indeterminate;
+        }
+        self.neg_stack.insert(atom.clone());
+        let sub = Goal::new(vec![gsls_lang::Literal::pos(atom.clone())]);
+        let v = self.goal(&sub, &[Vec::new()], &Subst::new(), 0);
+        self.neg_stack.remove(atom);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::{parse_goal, parse_program};
+
+    fn run(src: &str, goal: &str, rule: RuleKind) -> Verdict {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let g = parse_goal(&mut s, goal).unwrap();
+        evaluate(&mut s, &p, &g, rule, DeviantOpts::default())
+    }
+
+    const EX32: &str = "p :- q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.";
+    const EX33: &str = "p :- ~p. q :- ~p, ~s. s.";
+
+    #[test]
+    fn example_3_2_preferential_succeeds() {
+        assert_eq!(run(EX32, "?- s.", RuleKind::Preferential), Verdict::Successful);
+    }
+
+    #[test]
+    fn example_3_2_leftmost_indeterminate() {
+        // The non-positivistic rule walks into recursion through negation
+        // and cannot determine ← s.
+        assert_eq!(
+            run(EX32, "?- s.", RuleKind::LeftmostLiteral),
+            Verdict::Indeterminate
+        );
+    }
+
+    #[test]
+    fn example_3_3_preferential_fails_q() {
+        assert_eq!(run(EX33, "?- q.", RuleKind::Preferential), Verdict::Failed);
+    }
+
+    #[test]
+    fn example_3_3_sequential_indeterminate() {
+        // The sequential rule sticks on ¬p (undefined) and never reaches
+        // the failing ¬s.
+        assert_eq!(
+            run(EX33, "?- q.", RuleKind::SequentialNegative),
+            Verdict::Indeterminate
+        );
+    }
+
+    #[test]
+    fn all_rules_agree_on_definite_success() {
+        for rule in [
+            RuleKind::Preferential,
+            RuleKind::SequentialNegative,
+            RuleKind::LeftmostLiteral,
+        ] {
+            assert_eq!(run("p :- q. q.", "?- p.", rule), Verdict::Successful);
+        }
+    }
+
+    #[test]
+    fn all_rules_agree_on_simple_negation() {
+        for rule in [
+            RuleKind::Preferential,
+            RuleKind::SequentialNegative,
+            RuleKind::LeftmostLiteral,
+        ] {
+            assert_eq!(run("p :- ~q.", "?- p.", rule), Verdict::Successful, "{rule:?}");
+            assert_eq!(run("p :- ~q. q.", "?- p.", rule), Verdict::Failed, "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn floundering_verdict() {
+        assert_eq!(
+            run("p(X) :- ~q(X). q(a).", "?- p(Y).", RuleKind::Preferential),
+            Verdict::Floundered
+        );
+    }
+
+    #[test]
+    fn positive_loop_failed() {
+        assert_eq!(
+            run("p :- p.", "?- p.", RuleKind::Preferential),
+            Verdict::Failed
+        );
+    }
+
+    #[test]
+    fn odd_negative_loop_indeterminate() {
+        assert_eq!(
+            run("p :- ~p.", "?- p.", RuleKind::Preferential),
+            Verdict::Indeterminate
+        );
+    }
+}

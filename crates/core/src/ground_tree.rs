@@ -1,0 +1,282 @@
+//! Ground SLP-trees and ground global trees (Section 4, Def. 4.1).
+//!
+//! Ground trees are the proof device of the paper: all goals are ground
+//! and branches use *instantiated rules*, so a tree node for an atom `p`
+//! branches over the ground clauses for `p` directly. Since the Herbrand
+//! instantiation can put infinitely many rules on one atom, ground
+//! SLP-trees may have infinite branching — here the instantiation is the
+//! (finite, possibly depth-bounded) [`GroundProgram`], which is exactly
+//! the object Theorem 4.5 relates to the `V_P` stages.
+//!
+//! The implementation mirrors [`crate::global`] but over ground clauses:
+//! goals are sets of ground atom ids, active leaves fall out of the
+//! Lemma 4.1 decomposition (a leaf of a conjunction is a union of leaves
+//! of the conjuncts), and statuses/levels come from the same fixpoints.
+//! Its role in the test suite is to witness Theorem 4.5 *structurally*
+//! (ground-tree levels == stages == nonground-tree levels).
+
+use crate::ordinal::Ordinal;
+use gsls_ground::{GroundAtomId, GroundProgram};
+use gsls_wfs::BitSet;
+
+/// Status of a ground goal (no floundering is possible: everything is
+/// ground — the paper makes the same observation in Sec. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroundStatus {
+    /// Ground successful.
+    Successful,
+    /// Ground failed.
+    Failed,
+    /// Ground indeterminate.
+    Indeterminate,
+}
+
+/// Statuses and levels for every atom of a ground program, computed by
+/// the ground-tree rules of Section 4.
+#[derive(Debug, Clone)]
+pub struct GroundTreeAnalysis {
+    status: Vec<GroundStatus>,
+    level: Vec<Option<Ordinal>>,
+}
+
+impl GroundTreeAnalysis {
+    /// Runs the analysis over the whole ground program.
+    ///
+    /// The computation is the tree semantics read as simultaneous
+    /// equations over atoms (legitimate because a tree node's status
+    /// depends only on its descendants, and identical subgoals have
+    /// identical subtrees):
+    ///
+    /// * `p` successful at level `β+1` iff some ground rule for `p` has
+    ///   all positive body atoms successful, all negated atoms failed,
+    ///   and `β` the lub of (succ-levels − 1 of positive atoms, fail
+    ///   levels of negated atoms) — the Lemma 4.1 leaf decomposition
+    ///   folded into rule form;
+    /// * `p` failed at level `α+1` iff every rule for `p` is *blocked*
+    ///   (some positive atom failed or some negated atom successful, or
+    ///   the rule spirals through an unfounded positive loop), with `α`
+    ///   the lub over rules of the min blocking level.
+    ///
+    /// Positive-loop unfoundedness is what the ascending (stage-like)
+    /// iteration below detects exactly as `U_P` does; the equivalence
+    /// with the `V_P` stages (Theorem 4.5) is asserted by tests.
+    pub fn analyse(gp: &GroundProgram) -> Self {
+        let n = gp.atom_count();
+        let mut status = vec![GroundStatus::Indeterminate; n];
+        let mut level: Vec<Option<Ordinal>> = vec![None; n];
+        // Ascending stage iteration mirroring V_P, but phrased purely in
+        // tree terms: at stage k, an atom becomes successful/failed if
+        // the tree rules determine it from stages < k… except positive
+        // chains inside one SLP-tree don't consume a stage, so success
+        // propagates through positive rule bodies within a stage, and
+        // failure uses an unfounded-set pass within a stage.
+        let mut stage = 0u64;
+        loop {
+            stage += 1;
+            // Snapshot of the previous stages: both passes of a stage
+            // read I_α (Lemma 4.4), never this stage's own additions —
+            // except that positive chaining within T̄^ω may use successes
+            // found in the same stage.
+            let snap = status.clone();
+            let mut changed = false;
+            // Success pass: T̄^ω(neg(I_α)) — negated atoms must be failed
+            // in the snapshot; positive atoms may chain within the pass.
+            loop {
+                let mut inner_changed = false;
+                for c in gp.clauses() {
+                    if status[c.head.index()] != GroundStatus::Indeterminate {
+                        continue;
+                    }
+                    let pos_ok = c
+                        .pos
+                        .iter()
+                        .all(|&b| status[b.index()] == GroundStatus::Successful);
+                    let neg_ok = c
+                        .neg
+                        .iter()
+                        .all(|&b| snap[b.index()] == GroundStatus::Failed);
+                    if pos_ok && neg_ok {
+                        status[c.head.index()] = GroundStatus::Successful;
+                        level[c.head.index()] = Some(Ordinal::finite(stage));
+                        inner_changed = true;
+                        changed = true;
+                    }
+                }
+                if !inner_changed {
+                    break;
+                }
+            }
+            // Failure pass: U_P(pos(I_α)) — a rule is blocked only when a
+            // negated atom is successful in the snapshot (the unfounded-set
+            // witness condition (1) over a positive-only interpretation);
+            // the supported closure realises condition (2).
+            let mut supported = BitSet::new(n);
+            for (a, st) in snap.iter().enumerate() {
+                if *st == GroundStatus::Successful {
+                    supported.insert(a);
+                }
+            }
+            loop {
+                let mut inner_changed = false;
+                for c in gp.clauses() {
+                    if supported.contains(c.head.index()) {
+                        continue;
+                    }
+                    let blocked = c
+                        .neg
+                        .iter()
+                        .any(|&b| snap[b.index()] == GroundStatus::Successful);
+                    if blocked {
+                        continue;
+                    }
+                    if c.pos.iter().all(|&b| supported.contains(b.index())) {
+                        supported.insert(c.head.index());
+                        inner_changed = true;
+                    }
+                }
+                if !inner_changed {
+                    break;
+                }
+            }
+            for a in 0..n {
+                if status[a] == GroundStatus::Indeterminate && !supported.contains(a) {
+                    status[a] = GroundStatus::Failed;
+                    level[a] = Some(Ordinal::finite(stage));
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        GroundTreeAnalysis { status, level }
+    }
+
+    /// The ground status of `← atom`.
+    pub fn status(&self, atom: GroundAtomId) -> GroundStatus {
+        self.status[atom.index()]
+    }
+
+    /// The level of `← atom` (None when indeterminate).
+    pub fn level(&self, atom: GroundAtomId) -> Option<&Ordinal> {
+        self.level[atom.index()].as_ref()
+    }
+
+    /// Theorem 4.7 lifted to conjunctive ground queries: the conjunction
+    /// `p₁,…,pₙ,¬q₁,…,¬qₘ` is ground successful iff every `pᵢ` is
+    /// successful and every `qⱼ` failed; ground failed iff some `pᵢ`
+    /// failed or some `qⱼ` successful.
+    pub fn query(&self, pos: &[GroundAtomId], neg: &[GroundAtomId]) -> GroundStatus {
+        let all_ok = pos.iter().all(|&a| self.status(a) == GroundStatus::Successful)
+            && neg.iter().all(|&a| self.status(a) == GroundStatus::Failed);
+        if all_ok {
+            return GroundStatus::Successful;
+        }
+        let any_block = pos.iter().any(|&a| self.status(a) == GroundStatus::Failed)
+            || neg
+                .iter()
+                .any(|&a| self.status(a) == GroundStatus::Successful);
+        if any_block {
+            GroundStatus::Failed
+        } else {
+            GroundStatus::Indeterminate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_ground::Grounder;
+    use gsls_lang::{parse_program, TermStore};
+    use gsls_wfs::{vp_iteration, Truth};
+
+    fn analyse(src: &str) -> (TermStore, GroundProgram, GroundTreeAnalysis) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        let a = GroundTreeAnalysis::analyse(&gp);
+        (s, gp, a)
+    }
+
+    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
+        gp.atom_ids()
+            .find(|&a| gp.display_atom(store, a) == text)
+            .unwrap_or_else(|| panic!("atom {text} not found"))
+    }
+
+    #[test]
+    fn matches_vp_stages_exactly() {
+        // Theorem 4.5: ground status/level ≡ V_P membership/stage.
+        for src in [
+            "p.",
+            "p :- ~q.",
+            "a1 :- ~a2. a2 :- ~a3. a3.",
+            "q. p :- ~q. r :- ~p.",
+            "p :- q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.",
+            "p :- ~p. q :- ~p, ~s. s.",
+            "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+            "p :- q. q. r :- p, ~s.",
+        ] {
+            let (store, gp, a) = analyse(src);
+            let staged = vp_iteration(&gp);
+            for atom in gp.atom_ids() {
+                let name = gp.display_atom(&store, atom);
+                match staged.model.truth(atom) {
+                    Truth::True => {
+                        assert_eq!(a.status(atom), GroundStatus::Successful, "{name}: {src}");
+                        assert_eq!(
+                            a.level(atom),
+                            Some(&Ordinal::finite(u64::from(
+                                staged.stage_of_true(atom).unwrap()
+                            ))),
+                            "{name}: {src}"
+                        );
+                    }
+                    Truth::False => {
+                        assert_eq!(a.status(atom), GroundStatus::Failed, "{name}: {src}");
+                        assert_eq!(
+                            a.level(atom),
+                            Some(&Ordinal::finite(u64::from(
+                                staged.stage_of_false(atom).unwrap()
+                            ))),
+                            "{name}: {src}"
+                        );
+                    }
+                    Truth::Undefined => {
+                        assert_eq!(a.status(atom), GroundStatus::Indeterminate, "{name}: {src}");
+                        assert_eq!(a.level(atom), None, "{name}: {src}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjunctive_query_theorem_4_7() {
+        let (s, gp, a) = analyse("p. q :- ~r.");
+        let p = id(&s, &gp, "p");
+        let q = id(&s, &gp, "q");
+        let r = id(&s, &gp, "r");
+        assert_eq!(a.query(&[p, q], &[r]), GroundStatus::Successful);
+        assert_eq!(a.query(&[p, r], &[]), GroundStatus::Failed);
+        assert_eq!(a.query(&[], &[p]), GroundStatus::Failed);
+    }
+
+    #[test]
+    fn indeterminate_conjunction() {
+        let (s, gp, a) = analyse("p :- ~q. q :- ~p. t.");
+        let p = id(&s, &gp, "p");
+        let t = id(&s, &gp, "t");
+        assert_eq!(a.query(&[t, p], &[]), GroundStatus::Indeterminate);
+    }
+
+    #[test]
+    fn no_floundering_possible() {
+        // Every atom gets one of the three ground statuses.
+        let (_, gp, a) = analyse("p(X) :- ~q(X). q(a). d(a). d(b).");
+        for atom in gp.atom_ids() {
+            let _ = a.status(atom); // total function, no panic
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Computation rules (Def. 3.1 of the paper).
+//!
+//! * **safe** — never selects a nonground negative literal;
+//! * **positivistic** — selects positive literals ahead of negative ones;
+//! * **negatively parallel** — from an all-negative query selects *all*
+//!   ground negative literals at once;
+//! * **preferential** — positivistic and negatively parallel (implies
+//!   safe). Global SLS-resolution requires a preferential rule for
+//!   completeness (Examples 3.2 and 3.3 show how the two deviant rules
+//!   below lose it).
+
+use gsls_lang::{Goal, Literal, TermStore};
+
+/// What a computation rule selects from a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// A single positive literal at this index.
+    Positive(usize),
+    /// These ground negative literals, to be expanded together
+    /// (negatively parallel: all of them; sequential deviant: one).
+    Negatives(Vec<usize>),
+    /// Only nonground negative literals remain: the goal flounders.
+    Flounder,
+    /// The query is empty (success).
+    Empty,
+}
+
+/// The computation rules implemented by the engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuleKind {
+    /// The paper's rule: positivistic + negatively parallel (safe).
+    #[default]
+    Preferential,
+    /// Deviant rule of Example 3.3: positivistic but expands only the
+    /// *leftmost* ground negative literal of an all-negative query.
+    SequentialNegative,
+    /// Deviant rule of Example 3.2: plain leftmost-literal selection,
+    /// negative literals included (not positivistic; still safe — it
+    /// skips nonground negative literals).
+    LeftmostLiteral,
+}
+
+impl RuleKind {
+    /// Whether the rule is positivistic.
+    pub fn is_positivistic(self) -> bool {
+        !matches!(self, RuleKind::LeftmostLiteral)
+    }
+
+    /// Whether the rule is negatively parallel.
+    pub fn is_negatively_parallel(self) -> bool {
+        matches!(self, RuleKind::Preferential)
+    }
+
+    /// Whether the rule is preferential (hence suitable for completeness).
+    pub fn is_preferential(self) -> bool {
+        matches!(self, RuleKind::Preferential)
+    }
+
+    /// Applies the rule to `goal`.
+    pub fn select(self, store: &TermStore, goal: &Goal) -> Selection {
+        if goal.is_empty() {
+            return Selection::Empty;
+        }
+        match self {
+            RuleKind::Preferential => {
+                if let Some(i) = goal.literals().iter().position(Literal::is_pos) {
+                    return Selection::Positive(i);
+                }
+                let ground: Vec<usize> = goal
+                    .literals()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.is_ground(store))
+                    .map(|(i, _)| i)
+                    .collect();
+                if ground.is_empty() {
+                    Selection::Flounder
+                } else {
+                    Selection::Negatives(ground)
+                }
+            }
+            RuleKind::SequentialNegative => {
+                if let Some(i) = goal.literals().iter().position(Literal::is_pos) {
+                    return Selection::Positive(i);
+                }
+                match goal
+                    .literals()
+                    .iter()
+                    .position(|l| l.is_ground(store))
+                {
+                    Some(i) => Selection::Negatives(vec![i]),
+                    None => Selection::Flounder,
+                }
+            }
+            RuleKind::LeftmostLiteral => {
+                // Leftmost selectable literal: positive, or ground
+                // negative; ahead of everything to its right.
+                for (i, l) in goal.literals().iter().enumerate() {
+                    if l.is_pos() {
+                        return Selection::Positive(i);
+                    }
+                    if l.is_ground(store) {
+                        return Selection::Negatives(vec![i]);
+                    }
+                    // A nonground negative literal is skipped (safety),
+                    // letting later literals bind it first.
+                }
+                Selection::Flounder
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::parse_goal;
+
+    fn goal(src: &str) -> (TermStore, Goal) {
+        let mut s = TermStore::new();
+        let g = parse_goal(&mut s, src).unwrap();
+        (s, g)
+    }
+
+    #[test]
+    fn preferential_prefers_positive() {
+        let (s, g) = goal("~p(a), q(b), ~r(a)");
+        assert_eq!(
+            RuleKind::Preferential.select(&s, &g),
+            Selection::Positive(1)
+        );
+    }
+
+    #[test]
+    fn preferential_takes_all_ground_negatives() {
+        let (s, g) = goal("~p(a), ~q(b)");
+        assert_eq!(
+            RuleKind::Preferential.select(&s, &g),
+            Selection::Negatives(vec![0, 1])
+        );
+    }
+
+    #[test]
+    fn preferential_flounders_on_nonground_only() {
+        let (s, g) = goal("~p(X)");
+        assert_eq!(RuleKind::Preferential.select(&s, &g), Selection::Flounder);
+    }
+
+    #[test]
+    fn preferential_partial_ground_selection() {
+        let (s, g) = goal("~p(X), ~q(a)");
+        assert_eq!(
+            RuleKind::Preferential.select(&s, &g),
+            Selection::Negatives(vec![1])
+        );
+    }
+
+    #[test]
+    fn sequential_takes_one() {
+        let (s, g) = goal("~p(a), ~q(b)");
+        assert_eq!(
+            RuleKind::SequentialNegative.select(&s, &g),
+            Selection::Negatives(vec![0])
+        );
+    }
+
+    #[test]
+    fn leftmost_not_positivistic() {
+        let (s, g) = goal("~p(a), q(b)");
+        assert_eq!(
+            RuleKind::LeftmostLiteral.select(&s, &g),
+            Selection::Negatives(vec![0])
+        );
+        assert!(!RuleKind::LeftmostLiteral.is_positivistic());
+    }
+
+    #[test]
+    fn leftmost_skips_nonground_negatives() {
+        let (s, g) = goal("~p(X), q(X)");
+        assert_eq!(
+            RuleKind::LeftmostLiteral.select(&s, &g),
+            Selection::Positive(1)
+        );
+    }
+
+    #[test]
+    fn empty_goal_selected_as_empty() {
+        let (s, g) = goal("?- .");
+        for rule in [
+            RuleKind::Preferential,
+            RuleKind::SequentialNegative,
+            RuleKind::LeftmostLiteral,
+        ] {
+            assert_eq!(rule.select(&s, &g), Selection::Empty);
+        }
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(RuleKind::Preferential.is_preferential());
+        assert!(RuleKind::SequentialNegative.is_positivistic());
+        assert!(!RuleKind::SequentialNegative.is_negatively_parallel());
+        assert!(!RuleKind::LeftmostLiteral.is_preferential());
+    }
+}

@@ -1,0 +1,397 @@
+//! SLP-trees — *Linear resolution with Positivistic selection* (Def. 3.2).
+//!
+//! The SLP-tree for a goal `← Q` expands only **positive** literals; a
+//! node whose goal is empty or contains only negative literals is an
+//! **active leaf**, a node whose selected positive literal matches no
+//! clause head is a **dead leaf**. Each active leaf carries its *computed
+//! most general unifier* — the composition of the mgus along its branch —
+//! whose restriction to the goal's variables is the candidate answer
+//! substitution (Def. 3.4).
+//!
+//! SLP-trees of recursive programs are infinite; construction is bounded
+//! by depth/node budgets and truncation is recorded explicitly so status
+//! computation can refuse to call a truncated tree "failed".
+
+use gsls_lang::{rename::variant, unify_atoms, Goal, Literal, Program, Subst, TermStore};
+
+/// Budgets for SLP-tree construction.
+#[derive(Debug, Clone, Copy)]
+pub struct SlpOpts {
+    /// Maximum branch depth (resolution steps).
+    pub max_depth: u32,
+    /// Maximum number of tree nodes.
+    pub max_nodes: usize,
+    /// Prune a branch when its selected **ground** literal repeats an
+    /// ancestor's selected ground literal. Such a branch is infinite in
+    /// the ideal SLP-tree, and the paper's ideal procedure treats
+    /// infinite branches as failed (Sec. 7, noneffectiveness source 1);
+    /// the pruning realises that treatment effectively. It preserves both
+    /// statuses and levels: every leaf below the repeat is a superset of
+    /// a leaf reachable without it (loop removal), supersets fail
+    /// whenever their subsets fail, and the min/lub level combinators are
+    /// monotone in the direction that makes the kept leaves decisive.
+    pub ground_loop_check: bool,
+}
+
+impl Default for SlpOpts {
+    fn default() -> Self {
+        SlpOpts {
+            max_depth: 64,
+            max_nodes: 10_000,
+            ground_loop_check: true,
+        }
+    }
+}
+
+/// Classification of an SLP-tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlpNodeKind {
+    /// Has a selected positive literal and (possibly zero…) children —
+    /// zero children makes it a *dead leaf*.
+    Internal,
+    /// Empty goal or only negative literals (Def. 3.2).
+    ActiveLeaf,
+    /// No clause head unifies with the selected literal.
+    DeadLeaf,
+    /// A repeated ground selected literal: the branch is infinite in the
+    /// ideal tree and therefore failed; pruned here (sound, see
+    /// [`SlpOpts::ground_loop_check`]).
+    LoopLeaf,
+    /// Construction stopped here because of a budget; subtree unknown.
+    Truncated,
+}
+
+/// One node of an SLP-tree.
+#[derive(Debug, Clone)]
+pub struct SlpNode {
+    /// The goal at this node.
+    pub goal: Goal,
+    /// Parent index (`None` for the root).
+    pub parent: Option<u32>,
+    /// Child node indices.
+    pub children: Vec<u32>,
+    /// Composition of mgus from the root to this node.
+    pub mgu: Subst,
+    /// Node classification.
+    pub kind: SlpNodeKind,
+    /// Depth (root = 0).
+    pub depth: u32,
+    /// Per-literal call ancestry: `anc[i]` lists the ground atoms whose
+    /// expansion introduced literal `i` (innermost last). The loop check
+    /// fires only when a ground selected atom occurs in *its own*
+    /// ancestry — a conjunctive duplicate of an already-selected atom is
+    /// not a loop (`p ← q, ¬r, q` legitimately selects `q` twice).
+    pub anc: Vec<Vec<gsls_lang::Atom>>,
+}
+
+/// An SLP-tree for a goal.
+#[derive(Debug, Clone)]
+pub struct SlpTree {
+    nodes: Vec<SlpNode>,
+    /// Whether any branch was cut by a budget.
+    truncated: bool,
+}
+
+impl SlpTree {
+    /// Builds the SLP-tree for `goal` with leftmost-positive selection.
+    ///
+    /// (The set of active leaves is independent of which positivistic
+    /// rule is used — the switching-lemma remark after Lemma 4.1 — so a
+    /// fixed leftmost-positive choice loses no generality.)
+    pub fn build(store: &mut TermStore, program: &Program, goal: &Goal, opts: SlpOpts) -> SlpTree {
+        let mut tree = SlpTree {
+            nodes: Vec::new(),
+            truncated: false,
+        };
+        tree.nodes.push(SlpNode {
+            goal: goal.clone(),
+            parent: None,
+            children: Vec::new(),
+            mgu: Subst::new(),
+            kind: SlpNodeKind::Internal,
+            depth: 0,
+            anc: vec![Vec::new(); goal.len()],
+        });
+        let mut queue: Vec<u32> = vec![0];
+        while let Some(idx) = queue.pop() {
+            let (goal, depth, mgu) = {
+                let n = &tree.nodes[idx as usize];
+                (n.goal.clone(), n.depth, n.mgu.clone())
+            };
+            // Classify.
+            let pos_idx = goal.literals().iter().position(Literal::is_pos);
+            let Some(sel) = pos_idx else {
+                tree.nodes[idx as usize].kind = SlpNodeKind::ActiveLeaf;
+                continue;
+            };
+            if depth >= opts.max_depth || tree.nodes.len() >= opts.max_nodes {
+                tree.nodes[idx as usize].kind = SlpNodeKind::Truncated;
+                tree.truncated = true;
+                continue;
+            }
+            let selected = goal.literals()[sel].clone();
+            let sel_anc = tree.nodes[idx as usize].anc[sel].clone();
+            let sel_ground = selected.atom.is_ground(store);
+            if opts.ground_loop_check && sel_ground && sel_anc.contains(&selected.atom) {
+                // The selected atom occurs in its own call ancestry: the
+                // branch spirals through the same ground call forever.
+                tree.nodes[idx as usize].kind = SlpNodeKind::LoopLeaf;
+                continue;
+            }
+            let pred = selected.atom.pred_id();
+            let clause_idxs: Vec<usize> = program.clauses_for(pred).to_vec();
+            let mut any_child = false;
+            for ci in clause_idxs {
+                let clause = variant(store, program.clause(ci));
+                let mut local = mgu.clone();
+                let goal_atom = local.resolve_atom(store, &selected.atom);
+                if unify_atoms(store, &mut local, &goal_atom, &clause.head) {
+                    let child_goal = goal.resolve_at(sel, &clause.body);
+                    let child_goal = local.resolve_goal(store, &child_goal);
+                    // resolve_at keeps the remaining literals in place and
+                    // appends the clause body; mirror that for ancestry.
+                    let mut child_anc: Vec<Vec<gsls_lang::Atom>> =
+                        Vec::with_capacity(child_goal.len());
+                    for (k, a) in tree.nodes[idx as usize].anc.iter().enumerate() {
+                        if k != sel {
+                            child_anc.push(a.clone());
+                        }
+                    }
+                    let mut body_anc = sel_anc.clone();
+                    if sel_ground {
+                        body_anc.push(selected.atom.clone());
+                    }
+                    for _ in 0..clause.body.len() {
+                        child_anc.push(body_anc.clone());
+                    }
+                    debug_assert_eq!(child_anc.len(), child_goal.len());
+                    let child = SlpNode {
+                        goal: child_goal,
+                        parent: Some(idx),
+                        children: Vec::new(),
+                        mgu: local,
+                        kind: SlpNodeKind::Internal,
+                        depth: depth + 1,
+                        anc: child_anc,
+                    };
+                    let cid = tree.nodes.len() as u32;
+                    tree.nodes.push(child);
+                    tree.nodes[idx as usize].children.push(cid);
+                    queue.push(cid);
+                    any_child = true;
+                }
+            }
+            if !any_child {
+                tree.nodes[idx as usize].kind = SlpNodeKind::DeadLeaf;
+            }
+        }
+        tree
+    }
+
+    /// All nodes (index 0 is the root).
+    pub fn nodes(&self) -> &[SlpNode] {
+        &self.nodes
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &SlpNode {
+        &self.nodes[0]
+    }
+
+    /// Whether any branch hit a budget.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Indices of the active leaves, in construction order.
+    pub fn active_leaves(&self) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].kind == SlpNodeKind::ActiveLeaf)
+            .collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is a single node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::{parse_goal, parse_program};
+
+    fn build(src: &str, goal: &str) -> (TermStore, SlpTree) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let g = parse_goal(&mut s, goal).unwrap();
+        let t = SlpTree::build(&mut s, &p, &g, SlpOpts::default());
+        (s, t)
+    }
+
+    #[test]
+    fn empty_goal_is_active_leaf() {
+        let (_, t) = build("p(a).", "?- .");
+        assert_eq!(t.root().kind, SlpNodeKind::ActiveLeaf);
+        assert_eq!(t.active_leaves(), vec![0]);
+    }
+
+    #[test]
+    fn fact_resolution_gives_empty_active_leaf() {
+        let (_, t) = build("p(a).", "?- p(a).");
+        assert_eq!(t.len(), 2);
+        let leaves = t.active_leaves();
+        assert_eq!(leaves.len(), 1);
+        assert!(t.nodes()[leaves[0] as usize].goal.is_empty());
+    }
+
+    #[test]
+    fn dead_leaf_when_no_clause() {
+        let (_, t) = build("p(a).", "?- q(a).");
+        assert_eq!(t.root().kind, SlpNodeKind::DeadLeaf);
+        assert!(t.active_leaves().is_empty());
+    }
+
+    #[test]
+    fn negative_literals_stay_in_leaves() {
+        // win(X) :- move(X,Y), ~win(Y): expanding win(a) must stop at the
+        // all-negative goal {~win(b)}.
+        let (s, t) = build(
+            "move(a, b). win(X) :- move(X, Y), ~win(Y).",
+            "?- win(a).",
+        );
+        let leaves = t.active_leaves();
+        assert_eq!(leaves.len(), 1);
+        let leaf = &t.nodes()[leaves[0] as usize];
+        assert_eq!(leaf.goal.len(), 1);
+        assert!(leaf.goal.literals()[0].is_neg());
+        assert_eq!(
+            leaf.goal.literals()[0].atom.display(&s),
+            "win(b)"
+        );
+    }
+
+    #[test]
+    fn computed_mgu_binds_goal_variables() {
+        let (s, t) = build("move(a, b). move(a, c).", "?- move(a, X).");
+        let leaves = t.active_leaves();
+        assert_eq!(leaves.len(), 2);
+        let mut bindings: Vec<String> = leaves
+            .iter()
+            .map(|&l| {
+                let n = &t.nodes()[l as usize];
+                let mut s2 = s.clone();
+                let gvars = t.root().goal.vars(&s);
+                n.mgu.restricted_to(&mut s2, &gvars).display(&s2)
+            })
+            .collect();
+        bindings.sort();
+        assert_eq!(bindings, vec!["{X = b}", "{X = c}"]);
+    }
+
+    #[test]
+    fn branching_mirrors_clause_count() {
+        let (_, t) = build("p(a). p(b). p(c).", "?- p(X).");
+        assert_eq!(t.root().children.len(), 3);
+        assert_eq!(t.active_leaves().len(), 3);
+    }
+
+    #[test]
+    fn ground_positive_loop_pruned() {
+        // p :- p: the infinite branch is detected and pruned as a
+        // LoopLeaf — the ideal tree's "infinite branch = failed".
+        let (_, t) = build("p :- p.", "?- p.");
+        assert!(!t.is_truncated());
+        assert!(t.active_leaves().is_empty());
+        assert!(t.nodes().iter().any(|n| n.kind == SlpNodeKind::LoopLeaf));
+    }
+
+    #[test]
+    fn three_step_positive_loop_pruned() {
+        // Example 3.2's positive cycle p → q → r → p.
+        let (_, t) = build("p :- q, ~a. q :- r, ~b. r :- p, ~c.", "?- p.");
+        assert!(!t.is_truncated());
+        assert!(t.active_leaves().is_empty(), "every branch loops");
+    }
+
+    #[test]
+    fn loop_check_disabled_truncates() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p :- p.").unwrap();
+        let g = parse_goal(&mut s, "?- p.").unwrap();
+        let t = SlpTree::build(
+            &mut s,
+            &p,
+            &g,
+            SlpOpts {
+                max_depth: 10,
+                max_nodes: 100,
+                ground_loop_check: false,
+            },
+        );
+        assert!(t.is_truncated());
+        assert!(t.nodes().iter().any(|n| n.kind == SlpNodeKind::Truncated));
+    }
+
+    #[test]
+    fn loop_check_keeps_reachable_leaves() {
+        // p :- p, ~q / p :- ~r: pruning the loop keeps the {~r} leaf.
+        let (_, t) = build("p :- p, ~q. p :- ~r.", "?- p.");
+        let leaves = t.active_leaves();
+        assert_eq!(leaves.len(), 1);
+        assert!(!t.is_truncated());
+    }
+
+    #[test]
+    fn conjunction_left_to_right() {
+        let (s, t) = build(
+            "e(a, b). e(b, c). q(X, Z) :- e(X, Y), e(Y, Z).",
+            "?- q(a, Z).",
+        );
+        let leaves = t.active_leaves();
+        assert_eq!(leaves.len(), 1);
+        let n = &t.nodes()[leaves[0] as usize];
+        assert!(n.goal.is_empty());
+        let mut s2 = s.clone();
+        let gvars = t.root().goal.vars(&s);
+        assert_eq!(n.mgu.restricted_to(&mut s2, &gvars).display(&s2), "{Z = c}");
+    }
+
+    #[test]
+    fn mixed_goal_expands_positive_first() {
+        // Goal with a negative literal first: SLP selection must still
+        // pick the positive one (positivistic).
+        let (_, t) = build("q(a).", "?- ~p(a), q(a).");
+        let leaves = t.active_leaves();
+        assert_eq!(leaves.len(), 1);
+        let n = &t.nodes()[leaves[0] as usize];
+        assert_eq!(n.goal.len(), 1);
+        assert!(n.goal.literals()[0].is_neg());
+    }
+
+    #[test]
+    fn depth_budget_respected() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "nat(0). nat(s(X)) :- nat(X).").unwrap();
+        let g = parse_goal(&mut s, "?- nat(N).").unwrap();
+        let t = SlpTree::build(
+            &mut s,
+            &p,
+            &g,
+            SlpOpts {
+                max_depth: 5,
+                max_nodes: 1000,
+                ground_loop_check: true,
+            },
+        );
+        assert!(t.is_truncated());
+        // Active leaves at depth ≤ 5 are still found (one per numeral).
+        assert!(t.active_leaves().len() >= 5);
+        assert!(t.nodes().iter().all(|n| n.depth <= 6));
+    }
+}

@@ -1,0 +1,481 @@
+//! The solver facade: one entry point over all engines.
+//!
+//! A [`Solver`] owns the program and chooses the engine:
+//!
+//! * [`Engine::Tabled`] — the effective memoized engine (Sec. 7), exact
+//!   for function-free programs; ground queries and nonground
+//!   single-literal queries;
+//! * [`Engine::GlobalTree`] — explicit global-tree construction: needed
+//!   when you want the tree itself (traces, levels, floundering
+//!   diagnosis) or when the program has function symbols (budgeted);
+//! * the SLDNF and SLS baselines live in `gsls-resolution` and are
+//!   compared in the experiment harness, not proxied here.
+
+use crate::global::{GlobalOpts, GlobalTree, Status};
+use crate::tabled::TabledEngine;
+use gsls_ground::{Grounder, GrounderOpts};
+use gsls_lang::{match_term, Atom, Goal, Literal, Program, Subst, TermStore};
+use gsls_wfs::Truth;
+use std::fmt;
+
+/// Engine selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Memoized effective engine (function-free programs).
+    #[default]
+    Tabled,
+    /// Explicit (budgeted) global-tree construction.
+    GlobalTree,
+}
+
+/// A three-valued query verdict with optional answer substitutions.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The verdict for the query as a whole. For nonground queries,
+    /// `True` means *some* instance is true; `False` means *every*
+    /// instance is false.
+    pub truth: Truth,
+    /// Substitutions whose instances are true (for queries with
+    /// variables; ground queries get at most the empty substitution).
+    pub answers: Vec<Subst>,
+    /// Substitutions whose instances are undefined.
+    pub undefined: Vec<Subst>,
+    /// Whether the evaluation floundered (global-tree engine only).
+    pub floundered: bool,
+}
+
+/// Solver errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The tabled engine requires function-free programs.
+    NotFunctionFree,
+    /// Grounding exceeded its budget.
+    Grounding(String),
+    /// Query shape not supported by the selected engine.
+    Unsupported(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::NotFunctionFree => {
+                write!(f, "tabled engine requires a function-free program")
+            }
+            SolverError::Grounding(e) => write!(f, "grounding failed: {e}"),
+            SolverError::Unsupported(e) => write!(f, "unsupported query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// The solver facade.
+pub struct Solver {
+    program: Program,
+    tabled: Option<TabledEngine>,
+    global_opts: GlobalOpts,
+    grounder_opts: GrounderOpts,
+}
+
+impl Solver {
+    /// Creates a solver for `program`.
+    pub fn new(program: Program) -> Self {
+        Solver {
+            program,
+            tabled: None,
+            global_opts: GlobalOpts::default(),
+            grounder_opts: GrounderOpts::default(),
+        }
+    }
+
+    /// Overrides the global-tree budgets.
+    pub fn with_global_opts(mut self, opts: GlobalOpts) -> Self {
+        self.global_opts = opts;
+        self
+    }
+
+    /// Overrides the grounding options.
+    pub fn with_grounder_opts(mut self, opts: GrounderOpts) -> Self {
+        self.grounder_opts = opts;
+        self
+    }
+
+    /// The program under evaluation.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn ensure_tabled(&mut self, store: &mut TermStore) -> Result<&mut TabledEngine, SolverError> {
+        if !self.program.is_function_free(store) {
+            return Err(SolverError::NotFunctionFree);
+        }
+        if self.tabled.is_none() {
+            let gp = Grounder::ground_with(store, &self.program, self.grounder_opts)
+                .map_err(|e| SolverError::Grounding(e.to_string()))?;
+            self.tabled = Some(TabledEngine::new(gp));
+        }
+        Ok(self.tabled.as_mut().expect("just initialised"))
+    }
+
+    /// Truth of a single ground literal under the selected engine.
+    pub fn literal_truth(
+        &mut self,
+        store: &mut TermStore,
+        lit: &Literal,
+        engine: Engine,
+    ) -> Result<Truth, SolverError> {
+        let goal = Goal::new(vec![lit.clone()]);
+        let r = self.query(store, &goal, engine)?;
+        Ok(r.truth)
+    }
+
+    /// Evaluates a query.
+    ///
+    /// Supported shapes: any ground query; nonground queries whose
+    /// positive literals can enumerate bindings (tabled engine: via the
+    /// interned atom table; global-tree engine: via SLP search).
+    pub fn query(
+        &mut self,
+        store: &mut TermStore,
+        goal: &Goal,
+        engine: Engine,
+    ) -> Result<QueryResult, SolverError> {
+        match engine {
+            Engine::Tabled => self.query_tabled(store, goal),
+            Engine::GlobalTree => Ok(self.query_global(store, goal)),
+        }
+    }
+
+    fn query_tabled(
+        &mut self,
+        store: &mut TermStore,
+        goal: &Goal,
+    ) -> Result<QueryResult, SolverError> {
+        if goal.is_ground(store) {
+            let eng = self.ensure_tabled(store)?;
+            let mut truth = Truth::True;
+            for lit in goal.literals() {
+                let atom_truth = match eng.ground_program().lookup_atom(&lit.atom) {
+                    Some(id) => eng.truth(id),
+                    None => Truth::False, // never derivable
+                };
+                let lit_truth = match (lit.is_pos(), atom_truth) {
+                    (true, t) => t,
+                    (false, Truth::True) => Truth::False,
+                    (false, Truth::False) => Truth::True,
+                    (false, Truth::Undefined) => Truth::Undefined,
+                };
+                truth = min_truth(truth, lit_truth);
+            }
+            let (answers, undefined) = match truth {
+                Truth::True => (vec![Subst::new()], Vec::new()),
+                Truth::Undefined => (Vec::new(), vec![Subst::new()]),
+                Truth::False => (Vec::new(), Vec::new()),
+            };
+            return Ok(QueryResult {
+                truth,
+                answers,
+                undefined,
+                floundered: false,
+            });
+        }
+        // Nonground: enumerate instances of the first positive literal
+        // from the interned atom table, recurse on each instance.
+        let Some(pos_idx) = goal.literals().iter().position(Literal::is_pos) else {
+            // All-negative nonground query: the tree procedure flounders
+            // here, but over a function-free program the Herbrand
+            // universe is the finite constant set, so the query can be
+            // answered by domain enumeration — the finite-domain
+            // counterpart of the constructive-negation escape hatch the
+            // paper's Section 6 points to [4, 20].
+            return self.query_all_negative(store, goal);
+        };
+        let pattern = goal.literals()[pos_idx].atom.clone();
+        let goal_vars = goal.vars(store);
+        let candidates: Vec<Atom> = {
+            let eng = self.ensure_tabled(store)?;
+            let gp = eng.ground_program();
+            gp.atom_ids()
+                .map(|a| gp.atom(a).clone())
+                .filter(|a| a.pred_id() == pattern.pred_id())
+                .collect()
+        };
+        let mut answers = Vec::new();
+        let mut undefined = Vec::new();
+        let mut any_undef_overall = false;
+        for cand in candidates {
+            let mut sub = Subst::new();
+            let matches = pattern
+                .args
+                .iter()
+                .zip(cand.args.iter())
+                .all(|(&p, &t)| match_term(store, &mut sub, p, t));
+            if !matches {
+                continue;
+            }
+            let inst = sub.resolve_goal(store, goal);
+            let r = self.query_tabled(store, &inst)?;
+            let binding = sub.restricted_to(store, &goal_vars);
+            match r.truth {
+                Truth::True => answers.push(binding),
+                Truth::Undefined => {
+                    undefined.push(binding);
+                    any_undef_overall = true;
+                }
+                Truth::False => {}
+            }
+        }
+        let truth = if !answers.is_empty() {
+            Truth::True
+        } else if any_undef_overall {
+            Truth::Undefined
+        } else {
+            Truth::False
+        };
+        Ok(QueryResult {
+            truth,
+            answers,
+            undefined,
+            floundered: false,
+        })
+    }
+
+    /// Answers a nonground all-negative query by enumerating the finite
+    /// Herbrand universe (constants) for its variables.
+    fn query_all_negative(
+        &mut self,
+        store: &mut TermStore,
+        goal: &Goal,
+    ) -> Result<QueryResult, SolverError> {
+        const MAX_INSTANCES: usize = 100_000;
+        let universe: Vec<gsls_lang::TermId> =
+            gsls_ground::herbrand::constants_with_default(store, &self.program)
+                .into_iter()
+                .map(|c| store.app(c, &[]))
+                .collect();
+        let vars = goal.vars(store);
+        let total = universe.len().checked_pow(vars.len() as u32);
+        if total.is_none_or(|t| t > MAX_INSTANCES) {
+            return Err(SolverError::Unsupported(format!(
+                "all-negative query over {} variables × {} constants exceeds the \
+                 enumeration budget",
+                vars.len(),
+                universe.len()
+            )));
+        }
+        let mut answers = Vec::new();
+        let mut undefined = Vec::new();
+        let mut indices = vec![0usize; vars.len()];
+        loop {
+            let mut sub = Subst::new();
+            for (v, &i) in vars.iter().zip(&indices) {
+                sub.bind(*v, universe[i]);
+            }
+            let inst = sub.resolve_goal(store, goal);
+            let r = self.query_tabled(store, &inst)?;
+            let binding = sub.restricted_to(store, &vars);
+            match r.truth {
+                Truth::True => answers.push(binding),
+                Truth::Undefined => undefined.push(binding),
+                Truth::False => {}
+            }
+            // Odometer increment.
+            let mut k = 0;
+            loop {
+                if k == indices.len() {
+                    let truth = if !answers.is_empty() {
+                        Truth::True
+                    } else if !undefined.is_empty() {
+                        Truth::Undefined
+                    } else {
+                        Truth::False
+                    };
+                    return Ok(QueryResult {
+                        truth,
+                        answers,
+                        undefined,
+                        floundered: false,
+                    });
+                }
+                indices[k] += 1;
+                if indices[k] < universe.len() {
+                    break;
+                }
+                indices[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    fn query_global(&self, store: &mut TermStore, goal: &Goal) -> QueryResult {
+        let tree = GlobalTree::build(store, &self.program, goal, self.global_opts);
+        let answers = tree
+            .answers(store)
+            .into_iter()
+            .map(|a| a.subst)
+            .collect::<Vec<_>>();
+        let (truth, floundered) = match tree.status() {
+            Status::Successful => (Truth::True, tree.root().flags.floundered),
+            Status::Failed => (Truth::False, false),
+            Status::Floundered => (Truth::Undefined, true),
+            Status::Indeterminate => (Truth::Undefined, false),
+        };
+        QueryResult {
+            truth,
+            answers,
+            undefined: Vec::new(),
+            floundered,
+        }
+    }
+
+    /// Builds (and returns) the global tree for a goal — for traces and
+    /// level inspection.
+    pub fn global_tree(&self, store: &mut TermStore, goal: &Goal) -> GlobalTree {
+        GlobalTree::build(store, &self.program, goal, self.global_opts)
+    }
+}
+
+fn min_truth(a: Truth, b: Truth) -> Truth {
+    fn rank(t: Truth) -> u8 {
+        match t {
+            Truth::False => 0,
+            Truth::Undefined => 1,
+            Truth::True => 2,
+        }
+    }
+    if rank(a) <= rank(b) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::{parse_goal, parse_program};
+
+    fn solver(src: &str) -> (TermStore, Solver) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        (s, Solver::new(p))
+    }
+
+    const WINGAME: &str =
+        "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).";
+
+    #[test]
+    fn ground_query_both_engines_agree() {
+        for engine in [Engine::Tabled, Engine::GlobalTree] {
+            let (mut s, mut solver) = solver(WINGAME);
+            let g = parse_goal(&mut s, "?- win(b).").unwrap();
+            let r = solver.query(&mut s, &g, engine).unwrap();
+            assert_eq!(r.truth, Truth::True, "{engine:?}");
+            let g2 = parse_goal(&mut s, "?- win(a).").unwrap();
+            let r2 = solver.query(&mut s, &g2, engine).unwrap();
+            assert_eq!(r2.truth, Truth::False, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn nonground_enumeration_tabled() {
+        let (mut s, mut solver) = solver(WINGAME);
+        let g = parse_goal(&mut s, "?- win(X).").unwrap();
+        let r = solver.query(&mut s, &g, Engine::Tabled).unwrap();
+        assert_eq!(r.truth, Truth::True);
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.answers[0].display(&s), "{X = b}");
+        assert!(r.undefined.is_empty());
+    }
+
+    #[test]
+    fn undefined_instances_reported() {
+        let src = "move(a, b). move(b, a). win(X) :- move(X, Y), ~win(Y).";
+        let (mut s, mut solver) = solver(src);
+        let g = parse_goal(&mut s, "?- win(X).").unwrap();
+        let r = solver.query(&mut s, &g, Engine::Tabled).unwrap();
+        assert_eq!(r.truth, Truth::Undefined);
+        assert_eq!(r.undefined.len(), 2);
+    }
+
+    #[test]
+    fn conjunctive_ground_query() {
+        let (mut s, mut solver) = solver("p. q :- ~r.");
+        let g = parse_goal(&mut s, "?- p, q.").unwrap();
+        let r = solver.query(&mut s, &g, Engine::Tabled).unwrap();
+        assert_eq!(r.truth, Truth::True);
+        let g2 = parse_goal(&mut s, "?- p, ~q.").unwrap();
+        let r2 = solver.query(&mut s, &g2, Engine::Tabled).unwrap();
+        assert_eq!(r2.truth, Truth::False);
+    }
+
+    #[test]
+    fn join_with_negative_literal() {
+        let (mut s, mut solver) = solver(
+            "d(a). d(b). d(c). bad(b). good(X) :- d(X), ~bad(X).",
+        );
+        let g = parse_goal(&mut s, "?- d(X), ~bad(X).").unwrap();
+        let r = solver.query(&mut s, &g, Engine::Tabled).unwrap();
+        assert_eq!(r.answers.len(), 2);
+    }
+
+    #[test]
+    fn function_symbols_rejected_by_tabled() {
+        let (mut s, mut solver) = solver("nat(0). nat(s(X)) :- nat(X).");
+        let g = parse_goal(&mut s, "?- nat(0).").unwrap();
+        assert_eq!(
+            solver.query(&mut s, &g, Engine::Tabled).unwrap_err(),
+            SolverError::NotFunctionFree
+        );
+        // The global-tree engine handles it.
+        let r = solver.query(&mut s, &g, Engine::GlobalTree).unwrap();
+        assert_eq!(r.truth, Truth::True);
+    }
+
+    #[test]
+    fn all_negative_nonground_enumerated() {
+        // The tree procedure flounders on ?- ~q(X); the tabled engine
+        // answers by finite-domain enumeration: q(a) true, q(b) false.
+        let (mut s, mut solver) = solver("q(a). d(b).");
+        let g = parse_goal(&mut s, "?- ~q(X).").unwrap();
+        let r = solver.query(&mut s, &g, Engine::Tabled).unwrap();
+        assert_eq!(r.truth, Truth::True);
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.answers[0].display(&s), "{X = b}");
+    }
+
+    #[test]
+    fn all_negative_two_variables() {
+        let (mut s, mut solver) = solver("e(a, b). d(a). d(b).");
+        let g = parse_goal(&mut s, "?- ~e(X, Y).").unwrap();
+        let r = solver.query(&mut s, &g, Engine::Tabled).unwrap();
+        // 4 pairs, only (a,b) is an edge.
+        assert_eq!(r.answers.len(), 3);
+    }
+
+    #[test]
+    fn global_engine_reports_floundering() {
+        let (mut s, solver) = solver("p(X) :- ~q(f(X)). q(a).");
+        let g = parse_goal(&mut s, "?- p(X).").unwrap();
+        let r = solver.query_global(&mut s, &g);
+        assert!(r.floundered);
+    }
+
+    #[test]
+    fn literal_truth_shorthand() {
+        let (mut s, mut solver) = solver("p.");
+        let g = parse_goal(&mut s, "?- ~p.").unwrap();
+        let t = solver
+            .literal_truth(&mut s, &g.literals()[0], Engine::Tabled)
+            .unwrap();
+        assert_eq!(t, Truth::False);
+    }
+
+    #[test]
+    fn unknown_atom_is_false() {
+        let (mut s, mut solver) = solver("p.");
+        let g = parse_goal(&mut s, "?- zzz.").unwrap();
+        let r = solver.query(&mut s, &g, Engine::Tabled).unwrap();
+        assert_eq!(r.truth, Truth::False);
+    }
+}

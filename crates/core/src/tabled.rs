@@ -1,0 +1,381 @@
+//! The memoized (tabled) engine — Sec. 7's effective procedure for
+//! function-free programs.
+//!
+//! Ideal global SLS-resolution is not effective: SLP-trees may be
+//! infinite and indeterminate goals recurse forever through negation. The
+//! paper prescribes memoing [10, 26] to prune positive loops plus pruning
+//! of negative loops. This engine realises that prescription:
+//!
+//! 1. the program is grounded once (relevant grounding, function-free ⇒
+//!    finite);
+//! 2. a query atom pulls in only the **relevant subprogram** — the atoms
+//!    reachable through rule bodies (this is the goal-directedness that a
+//!    top-down procedure buys over the bottom-up baseline);
+//! 3. the reachable region is split into SCCs of the atom dependency
+//!    graph; each SCC is solved by a **local alternating fixpoint**
+//!    relative to the already-tabled truth of lower SCCs — positive loops
+//!    within an SCC fail (unfounded), negative loops leave atoms
+//!    undefined;
+//! 4. verdicts are memoized in a table shared across queries.
+//!
+//! Truth values agree with the well-founded model (soundness and
+//! completeness, Theorems 5.4/6.2, are exercised by `tests/` property
+//! tests against the bottom-up oracle); `Undefined` is the effective
+//! stand-in for "ideal global SLS-resolution is indeterminate".
+
+use gsls_ground::{depgraph, GroundAtomId, GroundProgram};
+use gsls_lang::FxHashMap;
+use gsls_wfs::{BitSet, Truth};
+
+/// Statistics for one query evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TabledStats {
+    /// Atoms newly evaluated for this query.
+    pub evaluated_atoms: usize,
+    /// SCCs processed.
+    pub sccs: usize,
+    /// Largest SCC size.
+    pub max_scc: usize,
+}
+
+/// The memoized engine over a ground program.
+#[derive(Debug, Clone)]
+pub struct TabledEngine {
+    gp: GroundProgram,
+    /// Memo table: verdicts for already-evaluated atoms.
+    table: Vec<Option<Truth>>,
+    /// For each atom, the clauses in whose body it occurs — reverse
+    /// dependency index, built lazily on first use.
+    stats_total: TabledStats,
+}
+
+impl TabledEngine {
+    /// Creates an engine for `gp`.
+    pub fn new(gp: GroundProgram) -> Self {
+        let n = gp.atom_count();
+        TabledEngine {
+            gp,
+            table: vec![None; n],
+            stats_total: TabledStats::default(),
+        }
+    }
+
+    /// The underlying ground program.
+    pub fn ground_program(&self) -> &GroundProgram {
+        &self.gp
+    }
+
+    /// Cumulative statistics across all queries so far.
+    pub fn stats(&self) -> TabledStats {
+        self.stats_total
+    }
+
+    /// Number of atoms with a memoized verdict.
+    pub fn tabled_count(&self) -> usize {
+        self.table.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// The truth of `atom` in the well-founded model, evaluating (and
+    /// memoizing) the relevant subprogram on demand.
+    pub fn truth(&mut self, atom: GroundAtomId) -> Truth {
+        if let Some(t) = self.table[atom.index()] {
+            return t;
+        }
+        self.evaluate_from(atom);
+        self.table[atom.index()].expect("evaluation must decide the root atom")
+    }
+
+    /// The truth of `atom` if already tabled.
+    pub fn cached(&self, atom: GroundAtomId) -> Option<Truth> {
+        self.table[atom.index()]
+    }
+
+    /// Evaluates all atoms reachable from `root` that are not yet tabled.
+    fn evaluate_from(&mut self, root: GroundAtomId) {
+        // 1. Reachable, untabled atoms (DFS over body edges).
+        let mut reach: Vec<GroundAtomId> = Vec::new();
+        let mut seen = vec![false; self.gp.atom_count()];
+        let mut stack = vec![root];
+        while let Some(a) = stack.pop() {
+            if seen[a.index()] || self.table[a.index()].is_some() {
+                continue;
+            }
+            seen[a.index()] = true;
+            reach.push(a);
+            for &ci in self.gp.clauses_for(a) {
+                let c = self.gp.clause(ci);
+                for &b in c.pos.iter().chain(c.neg.iter()) {
+                    if !seen[b.index()] && self.table[b.index()].is_none() {
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+        // 2. Local index and SCCs over the reachable region.
+        let mut local_of: FxHashMap<u32, u32> = FxHashMap::default();
+        for (li, a) in reach.iter().enumerate() {
+            local_of.insert(a.0, li as u32);
+        }
+        let adj: Vec<Vec<u32>> = reach
+            .iter()
+            .map(|&a| {
+                let mut out = Vec::new();
+                for &ci in self.gp.clauses_for(a) {
+                    let c = self.gp.clause(ci);
+                    for &b in c.pos.iter().chain(c.neg.iter()) {
+                        if let Some(&lb) = local_of.get(&b.0) {
+                            if !out.contains(&lb) {
+                                out.push(lb);
+                            }
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        let comps = depgraph::sccs(&adj); // reverse topological: deps first
+        self.stats_total.sccs += comps.len();
+        self.stats_total.evaluated_atoms += reach.len();
+        // 3. Solve each SCC bottom-up.
+        for comp in comps {
+            self.stats_total.max_scc = self.stats_total.max_scc.max(comp.len());
+            let atoms: Vec<GroundAtomId> = comp.iter().map(|&l| reach[l as usize]).collect();
+            self.solve_scc(&atoms);
+        }
+    }
+
+    /// Solves one SCC by a local alternating fixpoint, reading external
+    /// atoms from the memo table (they are guaranteed decided).
+    fn solve_scc(&mut self, atoms: &[GroundAtomId]) {
+        let mut member: FxHashMap<u32, usize> = FxHashMap::default();
+        for (i, a) in atoms.iter().enumerate() {
+            member.insert(a.0, i);
+        }
+        let k = atoms.len();
+        // Gather clauses for heads in the SCC and pre-resolve external
+        // literals. A clause is kept as (head_local, internal_pos,
+        // internal_neg) plus flags for definite/possible external
+        // satisfaction.
+        struct LocalClause {
+            head: usize,
+            pos: Vec<usize>,
+            neg: Vec<usize>,
+            /// Every external literal definitely true (for the
+            /// under-approximation pass).
+            ext_definite: bool,
+            /// No external literal definitely false (for the
+            /// over-approximation pass).
+            ext_possible: bool,
+        }
+        let mut clauses: Vec<LocalClause> = Vec::new();
+        for &a in atoms {
+            for &ci in self.gp.clauses_for(a) {
+                let c = self.gp.clause(ci);
+                let mut lc = LocalClause {
+                    head: member[&a.0],
+                    pos: Vec::new(),
+                    neg: Vec::new(),
+                    ext_definite: true,
+                    ext_possible: true,
+                };
+                for &b in c.pos.iter() {
+                    if let Some(&lb) = member.get(&b.0) {
+                        lc.pos.push(lb);
+                    } else {
+                        match self.table[b.index()].expect("external atom tabled") {
+                            Truth::True => {}
+                            Truth::Undefined => lc.ext_definite = false,
+                            Truth::False => {
+                                lc.ext_definite = false;
+                                lc.ext_possible = false;
+                            }
+                        }
+                    }
+                }
+                for &b in c.neg.iter() {
+                    if let Some(&lb) = member.get(&b.0) {
+                        lc.neg.push(lb);
+                    } else {
+                        match self.table[b.index()].expect("external atom tabled") {
+                            Truth::False => {}
+                            Truth::Undefined => lc.ext_definite = false,
+                            Truth::True => {
+                                lc.ext_definite = false;
+                                lc.ext_possible = false;
+                            }
+                        }
+                    }
+                }
+                if lc.ext_possible {
+                    clauses.push(lc);
+                }
+            }
+        }
+        // Local alternating fixpoint. `reduct_lfp(s, under)` = lfp of the
+        // reduct where internal ¬q holds iff q ∉ s; `under` selects the
+        // definite (T) or possible (U) reading of external literals.
+        let reduct_lfp = |s: &BitSet, under: bool| -> BitSet {
+            let mut truth = BitSet::new(k);
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for c in &clauses {
+                    if truth.contains(c.head) {
+                        continue;
+                    }
+                    if under && !c.ext_definite {
+                        continue;
+                    }
+                    let pos_ok = c.pos.iter().all(|&b| truth.contains(b));
+                    let neg_ok = c.neg.iter().all(|&b| !s.contains(b));
+                    if pos_ok && neg_ok {
+                        truth.insert(c.head);
+                        changed = true;
+                    }
+                }
+            }
+            truth
+        };
+        let mut t = BitSet::new(k);
+        let mut u = reduct_lfp(&t, false);
+        loop {
+            let t_next = reduct_lfp(&u, true);
+            let u_next = reduct_lfp(&t_next, false);
+            let stable = t_next == t && u_next == u;
+            t = t_next;
+            u = u_next;
+            if stable {
+                break;
+            }
+        }
+        for (i, &a) in atoms.iter().enumerate() {
+            let verdict = if t.contains(i) {
+                Truth::True
+            } else if !u.contains(i) {
+                Truth::False
+            } else {
+                Truth::Undefined
+            };
+            self.table[a.index()] = Some(verdict);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_ground::Grounder;
+    use gsls_lang::{parse_program, TermStore};
+    use gsls_wfs::well_founded_model;
+
+    fn engine(src: &str) -> (TermStore, TabledEngine) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        (s, TabledEngine::new(gp))
+    }
+
+    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
+        gp.atom_ids()
+            .find(|&a| gp.display_atom(store, a) == text)
+            .unwrap_or_else(|| panic!("atom {text} not found"))
+    }
+
+    #[test]
+    fn simple_verdicts() {
+        let (s, mut e) = engine("q. p :- ~q. r :- ~p.");
+        let gp = e.ground_program().clone();
+        assert_eq!(e.truth(id(&s, &gp, "q")), Truth::True);
+        assert_eq!(e.truth(id(&s, &gp, "p")), Truth::False);
+        assert_eq!(e.truth(id(&s, &gp, "r")), Truth::True);
+    }
+
+    #[test]
+    fn negative_cycle_undefined() {
+        let (s, mut e) = engine("p :- ~q. q :- ~p.");
+        let gp = e.ground_program().clone();
+        assert_eq!(e.truth(id(&s, &gp, "p")), Truth::Undefined);
+        assert_eq!(e.truth(id(&s, &gp, "q")), Truth::Undefined);
+    }
+
+    #[test]
+    fn matches_bottom_up_on_whole_program() {
+        for src in [
+            "q. p :- ~q. r :- ~p.",
+            "p :- ~q. q :- ~p. r :- ~s. s.",
+            "p :- q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.",
+            "p :- ~p. q :- ~p, ~s. s.",
+            "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+            "e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        ] {
+            let (_, mut e) = engine(src);
+            let gp = e.ground_program().clone();
+            let wfm = well_founded_model(&gp);
+            for a in gp.atom_ids() {
+                assert_eq!(e.truth(a), wfm.truth(a), "atom {a:?} in {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn goal_directed_evaluates_less() {
+        // Two disconnected components: querying one must not evaluate the
+        // other.
+        let src = "
+            move1(a, b). win1(X) :- move1(X, Y), ~win1(Y).
+            move2(u, v). move2(v, u). win2(X) :- move2(X, Y), ~win2(Y).
+        ";
+        let (s, mut e) = engine(src);
+        let gp = e.ground_program().clone();
+        let _ = e.truth(id(&s, &gp, "win1(a)"));
+        let evaluated = e.stats().evaluated_atoms;
+        assert!(
+            evaluated < gp.atom_count(),
+            "evaluated {evaluated} of {} atoms",
+            gp.atom_count()
+        );
+        assert!(e.cached(id(&s, &gp, "win2(u)")).is_none());
+    }
+
+    #[test]
+    fn memo_shared_across_queries() {
+        let (s, mut e) = engine("q. p :- ~q. r :- ~p.");
+        let gp = e.ground_program().clone();
+        let _ = e.truth(id(&s, &gp, "r"));
+        let before = e.stats().evaluated_atoms;
+        let _ = e.truth(id(&s, &gp, "p"));
+        assert_eq!(e.stats().evaluated_atoms, before, "second query free");
+    }
+
+    #[test]
+    fn undefined_external_feeds_scc() {
+        // r depends on the undefined p/q cycle: r undefined; s depends
+        // negatively on a false atom: true.
+        let (s, mut e) = engine("p :- ~q. q :- ~p. r :- p. s :- ~z.");
+        let gp = e.ground_program().clone();
+        assert_eq!(e.truth(id(&s, &gp, "r")), Truth::Undefined);
+        assert_eq!(e.truth(id(&s, &gp, "s")), Truth::True);
+    }
+
+    #[test]
+    fn win_chain_alternates() {
+        let src = "move(n1, n2). move(n2, n3). move(n3, n4).
+                   win(X) :- move(X, Y), ~win(Y).";
+        let (s, mut e) = engine(src);
+        let gp = e.ground_program().clone();
+        assert_eq!(e.truth(id(&s, &gp, "win(n4)")), Truth::False);
+        assert_eq!(e.truth(id(&s, &gp, "win(n3)")), Truth::True);
+        assert_eq!(e.truth(id(&s, &gp, "win(n2)")), Truth::False);
+        assert_eq!(e.truth(id(&s, &gp, "win(n1)")), Truth::True);
+    }
+
+    #[test]
+    fn scc_stats_reported() {
+        let (s, mut e) = engine("p :- ~q. q :- ~p. r :- p.");
+        let gp = e.ground_program().clone();
+        let _ = e.truth(id(&s, &gp, "r"));
+        let st = e.stats();
+        assert!(st.sccs >= 2, "p/q cycle plus r: {st:?}");
+        assert_eq!(st.max_scc, 2);
+    }
+}

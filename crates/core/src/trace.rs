@@ -1,0 +1,187 @@
+//! ASCII rendering of SLP-trees and global trees.
+//!
+//! Regenerates the paper's Figures 1–4 (Example 3.1) as text: SLP-trees
+//! with goals at nodes (the `←` is omitted, as in the paper, "for
+//! clarity"), and global trees with `[ ]` tree nodes and `(not …)`
+//! negation nodes annotated with status and level.
+
+use crate::global::{GlobalTree, NegChild, Status, StatusFlags};
+use crate::slp::{SlpNodeKind, SlpTree};
+use gsls_lang::pretty::bare_goal;
+use gsls_lang::{FxHashSet, TermStore};
+
+/// Renders an SLP-tree, one node per line, children indented.
+pub fn render_slp(store: &TermStore, tree: &SlpTree) -> String {
+    let mut out = String::new();
+    render_slp_node(store, tree, 0, 0, &mut out);
+    out
+}
+
+fn render_slp_node(store: &TermStore, tree: &SlpTree, idx: u32, indent: usize, out: &mut String) {
+    let node = &tree.nodes()[idx as usize];
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push_str(&bare_goal(store, &node.goal));
+    match node.kind {
+        SlpNodeKind::ActiveLeaf => out.push_str("   (active)"),
+        SlpNodeKind::DeadLeaf => out.push_str("   (dead)"),
+        SlpNodeKind::LoopLeaf => out.push_str("   (loop: failed)"),
+        SlpNodeKind::Truncated => out.push_str("   (…budget)"),
+        SlpNodeKind::Internal => {}
+    }
+    out.push('\n');
+    for &c in &node.children {
+        render_slp_node(store, tree, c, indent + 1, out);
+    }
+}
+
+fn status_tag(flags: StatusFlags, level: Option<&crate::ordinal::Ordinal>) -> String {
+    let mut tag = match flags.primary() {
+        Status::Successful => "successful".to_owned(),
+        Status::Failed => "failed".to_owned(),
+        Status::Floundered => "floundered".to_owned(),
+        Status::Indeterminate => "indeterminate".to_owned(),
+    };
+    if flags.successful && flags.floundered {
+        tag = "successful+floundered".to_owned();
+    }
+    if let Some(l) = level {
+        tag.push_str(&format!(", level {l}"));
+    }
+    tag
+}
+
+/// Renders a global tree: tree nodes as `[goal]`, negation nodes as
+/// `(not l1, l2, …)`, shared subtrees referenced once (`@ see above`).
+pub fn render_global(store: &TermStore, tree: &GlobalTree) -> String {
+    let mut out = String::new();
+    let mut visited = FxHashSet::default();
+    render_tree_node(store, tree, 0, 0, &mut visited, &mut out);
+    out
+}
+
+fn render_tree_node(
+    store: &TermStore,
+    tree: &GlobalTree,
+    idx: u32,
+    indent: usize,
+    visited: &mut FxHashSet<u32>,
+    out: &mut String,
+) {
+    let node = &tree.tree_nodes()[idx as usize];
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    let level = if node.flags.successful {
+        node.level_succ.as_ref()
+    } else {
+        node.level_fail.as_ref()
+    };
+    out.push_str(&format!(
+        "[{}]   ({})\n",
+        bare_goal(store, &node.goal),
+        status_tag(node.flags, level)
+    ));
+    if !visited.insert(idx) {
+        for _ in 0..=indent {
+            out.push_str("  ");
+        }
+        out.push_str("@ shared subtree, see above\n");
+        return;
+    }
+    let leaves = node.slp.active_leaves();
+    for (j, neg) in node.negnodes.iter().enumerate() {
+        for _ in 0..=indent {
+            out.push_str("  ");
+        }
+        let leaf_goal = &node.slp.nodes()[leaves[j] as usize].goal;
+        out.push_str(&format!(
+            "(not: {})   ({})\n",
+            bare_goal(store, leaf_goal),
+            status_tag(neg.flags, neg.level.as_ref())
+        ));
+        for child in &neg.children {
+            match child {
+                NegChild::Tree(t) => {
+                    render_tree_node(store, tree, *t, indent + 2, visited, out)
+                }
+                NegChild::NonGround(atom) => {
+                    for _ in 0..indent + 2 {
+                        out.push_str("  ");
+                    }
+                    out.push_str(&format!("<nonground {}>   (floundered)\n", atom.display(store)));
+                }
+                NegChild::Unexpanded(atom) => {
+                    for _ in 0..indent + 2 {
+                        out.push_str("  ");
+                    }
+                    out.push_str(&format!("<unexpanded {}>   (…budget)\n", atom.display(store)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::GlobalOpts;
+    use crate::slp::SlpOpts;
+    use gsls_lang::{parse_goal, parse_program};
+
+    #[test]
+    fn slp_rendering_shows_leaf_kinds() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "win(X) :- move(X, Y), ~win(Y). move(a, b).").unwrap();
+        let g = parse_goal(&mut s, "?- win(a).").unwrap();
+        let t = SlpTree::build(&mut s, &p, &g, SlpOpts::default());
+        let text = render_slp(&s, &t);
+        assert!(text.contains("win(a)"));
+        assert!(text.contains("(active)"));
+        assert!(text.contains("~win(b)"));
+    }
+
+    #[test]
+    fn global_rendering_shows_statuses_and_levels() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p :- ~q.").unwrap();
+        let g = parse_goal(&mut s, "?- p.").unwrap();
+        let t = GlobalTree::build(&mut s, &p, &g, GlobalOpts::default());
+        let text = render_global(&s, &t);
+        assert!(text.contains("successful, level 2"), "{text}");
+        assert!(text.contains("failed, level 1"), "{text}");
+        assert!(text.contains("(not: ~q)"), "{text}");
+    }
+
+    #[test]
+    fn shared_subtrees_marked() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p :- ~q, ~q2. p2 :- ~q. q :- ~z. q2 :- ~q.").unwrap();
+        let g = parse_goal(&mut s, "?- p, p2.").unwrap();
+        let t = GlobalTree::build(&mut s, &p, &g, GlobalOpts::default());
+        let text = render_global(&s, &t);
+        assert!(text.contains("@ shared subtree"), "{text}");
+    }
+
+    #[test]
+    fn floundered_nodes_rendered() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(X) :- ~q(f(X)). q(a).").unwrap();
+        let g = parse_goal(&mut s, "?- p(X).").unwrap();
+        let t = GlobalTree::build(&mut s, &p, &g, GlobalOpts::default());
+        let text = render_global(&s, &t);
+        assert!(text.contains("<nonground"), "{text}");
+        assert!(text.contains("floundered"), "{text}");
+    }
+
+    #[test]
+    fn empty_goal_renders_box() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p.").unwrap();
+        let g = parse_goal(&mut s, "?- p.").unwrap();
+        let t = GlobalTree::build(&mut s, &p, &g, GlobalOpts::default());
+        let text = render_global(&s, &t);
+        assert!(text.contains('□'), "{text}");
+    }
+}

@@ -1,0 +1,580 @@
+//! Herbrand instantiation: compiling programs to dense ground form.
+//!
+//! A [`GroundProgram`] stores interned ground atoms as `u32` ids and
+//! clauses as `(head, positive body, negative body)` id triples — the
+//! cache-friendly representation every fixpoint engine in the workspace
+//! operates on.
+//!
+//! [`Grounder::ground`] performs **relevant grounding**: instead of the
+//! full Herbrand instantiation (Def. 1.5), which is wasteful or infinite,
+//! it computes the least fixpoint of the positive-closure operator
+//! (negative literals ignored) and emits only rule instances whose
+//! positive bodies are potentially derivable. Rule instances pruned this
+//! way can never fire in any fixpoint of `W_P`, so the well-founded model
+//! restricted to derivable atoms is unchanged, and atoms never interned
+//! are false in the well-founded model. Variables not bound by the
+//! positive body are enumerated over the (depth-bounded) Herbrand
+//! universe.
+
+use crate::herbrand::{herbrand_universe, HerbrandOpts};
+use gsls_lang::{
+    match_term, Atom, FxHashMap, FxHashSet, Pred, Program, Subst, TermId, TermStore, Var,
+};
+use std::fmt;
+
+/// Identity of an interned ground atom within a [`GroundProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroundAtomId(pub u32);
+
+impl GroundAtomId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A ground clause `head ← pos₁,…,posₘ, ¬neg₁,…,¬negₖ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroundClause {
+    /// Head atom.
+    pub head: GroundAtomId,
+    /// Positive body atoms.
+    pub pos: Box<[GroundAtomId]>,
+    /// Atoms appearing negated in the body.
+    pub neg: Box<[GroundAtomId]>,
+}
+
+impl GroundClause {
+    /// Whether this is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.pos.is_empty() && self.neg.is_empty()
+    }
+
+    /// Total body length.
+    pub fn body_len(&self) -> usize {
+        self.pos.len() + self.neg.len()
+    }
+}
+
+/// A program compiled to ground form.
+#[derive(Debug, Default, Clone)]
+pub struct GroundProgram {
+    atoms: Vec<Atom>,
+    atom_ids: FxHashMap<Atom, GroundAtomId>,
+    clauses: Vec<GroundClause>,
+    by_head: Vec<Vec<u32>>,
+}
+
+impl GroundProgram {
+    /// Creates an empty ground program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a ground atom, returning its id.
+    pub fn intern_atom(&mut self, atom: Atom) -> GroundAtomId {
+        if let Some(&id) = self.atom_ids.get(&atom) {
+            return id;
+        }
+        let id = GroundAtomId(u32::try_from(self.atoms.len()).expect("ground atom overflow"));
+        self.atom_ids.insert(atom.clone(), atom_id_guard(id));
+        self.atoms.push(atom);
+        self.by_head.push(Vec::new());
+        id
+    }
+
+    /// Looks up a ground atom without interning.
+    pub fn lookup_atom(&self, atom: &Atom) -> Option<GroundAtomId> {
+        self.atom_ids.get(atom).copied()
+    }
+
+    /// The atom for `id`.
+    pub fn atom(&self, id: GroundAtomId) -> &Atom {
+        &self.atoms[id.index()]
+    }
+
+    /// Number of interned atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Iterates over all atom ids.
+    pub fn atom_ids(&self) -> impl Iterator<Item = GroundAtomId> {
+        (0..self.atoms.len() as u32).map(GroundAtomId)
+    }
+
+    /// Adds a clause (deduplication is the grounder's responsibility).
+    pub fn push_clause(&mut self, clause: GroundClause) {
+        let idx = self.clauses.len() as u32;
+        self.by_head[clause.head.index()].push(idx);
+        self.clauses.push(clause);
+    }
+
+    /// All clauses.
+    pub fn clauses(&self) -> &[GroundClause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Indices of clauses with head `id`.
+    pub fn clauses_for(&self, id: GroundAtomId) -> &[u32] {
+        &self.by_head[id.index()]
+    }
+
+    /// The clause at `idx`.
+    pub fn clause(&self, idx: u32) -> &GroundClause {
+        &self.clauses[idx as usize]
+    }
+
+    /// Renders an atom.
+    pub fn display_atom(&self, store: &TermStore, id: GroundAtomId) -> String {
+        self.atom(id).display(store)
+    }
+
+    /// Renders the whole ground program.
+    pub fn display(&self, store: &TermStore) -> String {
+        let mut s = String::new();
+        for c in &self.clauses {
+            s.push_str(&self.display_atom(store, c.head));
+            if !c.is_fact() {
+                s.push_str(" :- ");
+                let mut first = true;
+                for &p in c.pos.iter() {
+                    if !first {
+                        s.push_str(", ");
+                    }
+                    first = false;
+                    s.push_str(&self.display_atom(store, p));
+                }
+                for &n in c.neg.iter() {
+                    if !first {
+                        s.push_str(", ");
+                    }
+                    first = false;
+                    s.push('~');
+                    s.push_str(&self.display_atom(store, n));
+                }
+            }
+            s.push_str(".\n");
+        }
+        s
+    }
+}
+
+#[inline]
+fn atom_id_guard(id: GroundAtomId) -> GroundAtomId {
+    id
+}
+
+/// How clause instances are enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroundingMode {
+    /// Relevant grounding: positive bodies are joined against the
+    /// positive-closure fixpoint, pruning rule instances that can never
+    /// fire. Smaller output, same well-founded model on derivable atoms.
+    #[default]
+    Relevant,
+    /// Full Herbrand instantiation (Def. 1.5) over the (depth-bounded)
+    /// universe: every substitution of universe terms for clause
+    /// variables. Needed when the syntactic shape of *all* instances
+    /// matters (ground global trees, local-stratification analyses).
+    Full,
+}
+
+/// Options controlling grounding.
+#[derive(Debug, Clone, Copy)]
+pub struct GrounderOpts {
+    /// Universe enumeration bounds (relevant only with function symbols).
+    pub universe: HerbrandOpts,
+    /// Hard cap on emitted ground clauses.
+    pub max_clauses: usize,
+    /// Instance enumeration strategy.
+    pub mode: GroundingMode,
+}
+
+impl Default for GrounderOpts {
+    fn default() -> Self {
+        GrounderOpts {
+            universe: HerbrandOpts::default(),
+            max_clauses: 2_000_000,
+            mode: GroundingMode::Relevant,
+        }
+    }
+}
+
+/// Grounding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundingError {
+    /// The `max_clauses` budget was exceeded.
+    ClauseBudget(usize),
+}
+
+impl fmt::Display for GroundingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundingError::ClauseBudget(n) => {
+                write!(f, "grounding exceeded the clause budget of {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroundingError {}
+
+/// The Herbrand instantiation engine.
+pub struct Grounder<'a> {
+    store: &'a mut TermStore,
+    universe: Vec<TermId>,
+    opts: GrounderOpts,
+    /// Maximum term depth allowed in emitted atoms: heads like `e(s(X),0)`
+    /// can otherwise escape the bounded universe and diverge.
+    max_depth: u32,
+    gp: GroundProgram,
+    /// Per-predicate candidates for positive-body matching.
+    index: FxHashMap<Pred, Vec<Atom>>,
+    derivable: FxHashSet<Atom>,
+    seen_clauses: FxHashSet<GroundClause>,
+}
+
+impl<'a> Grounder<'a> {
+    /// Grounds `program` with default options.
+    pub fn ground(
+        store: &'a mut TermStore,
+        program: &Program,
+    ) -> Result<GroundProgram, GroundingError> {
+        Self::ground_with(store, program, GrounderOpts::default())
+    }
+
+    /// Grounds `program` with explicit options.
+    pub fn ground_with(
+        store: &'a mut TermStore,
+        program: &Program,
+        opts: GrounderOpts,
+    ) -> Result<GroundProgram, GroundingError> {
+        let universe = herbrand_universe(store, program, opts.universe);
+        // With function symbols the universe is depth-truncated; emitted
+        // atoms must respect the same bound or grounding diverges. For
+        // function-free programs terms never grow, so no bound is needed.
+        let max_depth = if program.is_function_free(store) {
+            u32::MAX
+        } else {
+            opts.universe.max_depth
+        };
+        let mut g = Grounder {
+            store,
+            universe,
+            opts,
+            max_depth,
+            gp: GroundProgram::new(),
+            index: FxHashMap::default(),
+            derivable: FxHashSet::default(),
+            seen_clauses: FxHashSet::default(),
+        };
+        g.run(program)?;
+        Ok(g.gp)
+    }
+
+    fn run(&mut self, program: &Program) -> Result<(), GroundingError> {
+        loop {
+            let mut new_atoms: Vec<Atom> = Vec::new();
+            for clause in program.clauses() {
+                self.instantiate_clause(clause, &mut new_atoms)?;
+            }
+            if new_atoms.is_empty() {
+                return Ok(());
+            }
+            for atom in new_atoms {
+                self.index
+                    .entry(atom.pred_id())
+                    .or_default()
+                    .push(atom.clone());
+                self.derivable.insert(atom);
+            }
+        }
+    }
+
+    fn instantiate_clause(
+        &mut self,
+        clause: &gsls_lang::Clause,
+        new_atoms: &mut Vec<Atom>,
+    ) -> Result<(), GroundingError> {
+        let mut subst = Subst::new();
+        match self.opts.mode {
+            GroundingMode::Relevant => {
+                let pos: Vec<&Atom> = clause.pos_body().map(|l| &l.atom).collect();
+                self.join(clause, &pos, 0, &mut subst, new_atoms)
+            }
+            GroundingMode::Full => {
+                let free = clause.vars(self.store);
+                self.enumerate_free(clause, &free, 0, &mut subst, new_atoms)
+            }
+        }
+    }
+
+    /// Matches positive body literals `pos[i..]` against derivable atoms,
+    /// then enumerates residual variables and emits the instance.
+    fn join(
+        &mut self,
+        clause: &gsls_lang::Clause,
+        pos: &[&Atom],
+        i: usize,
+        subst: &mut Subst,
+        new_atoms: &mut Vec<Atom>,
+    ) -> Result<(), GroundingError> {
+        if i == pos.len() {
+            // Enumerate variables not bound by the positive body.
+            let free: Vec<Var> = clause
+                .vars(self.store)
+                .into_iter()
+                .filter(|&v| {
+                    let vt = self.store.var_term(v);
+                    let walked = subst.walk(self.store, vt);
+                    self.store.as_var(walked).is_some()
+                })
+                .collect();
+            return self.enumerate_free(clause, &free, 0, subst, new_atoms);
+        }
+        let pattern = pos[i];
+        let Some(candidates) = self.index.get(&pattern.pred_id()) else {
+            return Ok(());
+        };
+        // Snapshot of candidate atoms (naive-evaluation pass semantics:
+        // atoms found this pass only participate from the next pass).
+        let candidates: Vec<Atom> = candidates.clone();
+        for cand in candidates {
+            let mut local = subst.clone();
+            let ok = pattern
+                .args
+                .iter()
+                .zip(cand.args.iter())
+                .all(|(&pat, &tgt)| match_term(self.store, &mut local, pat, tgt));
+            if ok {
+                self.join(clause, pos, i + 1, &mut local, new_atoms)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn enumerate_free(
+        &mut self,
+        clause: &gsls_lang::Clause,
+        free: &[Var],
+        j: usize,
+        subst: &mut Subst,
+        new_atoms: &mut Vec<Atom>,
+    ) -> Result<(), GroundingError> {
+        if j == free.len() {
+            return self.emit(clause, subst, new_atoms);
+        }
+        let universe = self.universe.clone();
+        for t in universe {
+            let mut local = subst.clone();
+            local.bind(free[j], t);
+            self.enumerate_free(clause, free, j + 1, &mut local, new_atoms)?;
+        }
+        Ok(())
+    }
+
+    fn emit(
+        &mut self,
+        clause: &gsls_lang::Clause,
+        subst: &Subst,
+        new_atoms: &mut Vec<Atom>,
+    ) -> Result<(), GroundingError> {
+        let head = subst.resolve_atom(self.store, &clause.head);
+        debug_assert!(head.is_ground(self.store));
+        if self.exceeds_depth(&head) {
+            // The instance mentions terms outside the bounded universe;
+            // it belongs to a deeper prefix of the (infinite) Herbrand
+            // instantiation than this grounding approximates.
+            return Ok(());
+        }
+        let mut pos_ids = Vec::new();
+        let mut neg_ids = Vec::new();
+        let mut bodies: Vec<(bool, Atom)> = Vec::with_capacity(clause.body.len());
+        for lit in &clause.body {
+            let atom = subst.resolve_atom(self.store, &lit.atom);
+            debug_assert!(atom.is_ground(self.store), "unbound variable at emit");
+            if self.exceeds_depth(&atom) {
+                return Ok(());
+            }
+            bodies.push((lit.is_pos(), atom));
+        }
+        let head_id = self.gp.intern_atom(head.clone());
+        for (is_pos, atom) in bodies {
+            let id = self.gp.intern_atom(atom);
+            if is_pos {
+                pos_ids.push(id);
+            } else {
+                neg_ids.push(id);
+            }
+        }
+        let gc = GroundClause {
+            head: head_id,
+            pos: pos_ids.into(),
+            neg: neg_ids.into(),
+        };
+        if self.seen_clauses.insert(gc.clone()) {
+            if self.gp.clause_count() >= self.opts.max_clauses {
+                return Err(GroundingError::ClauseBudget(self.opts.max_clauses));
+            }
+            self.gp.push_clause(gc);
+            if !self.derivable.contains(&head) && !new_atoms.contains(&head) {
+                new_atoms.push(head);
+            }
+        }
+        Ok(())
+    }
+
+    fn exceeds_depth(&self, atom: &Atom) -> bool {
+        self.max_depth != u32::MAX
+            && atom
+                .args
+                .iter()
+                .any(|&t| self.store.depth(t) > self.max_depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::parse_program;
+
+    fn ground(src: &str) -> (TermStore, GroundProgram) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        (s, gp)
+    }
+
+    #[test]
+    fn facts_ground_to_themselves() {
+        let (s, gp) = ground("p(a). q(b).");
+        assert_eq!(gp.clause_count(), 2);
+        assert_eq!(gp.atom_count(), 2);
+        assert!(gp.clauses().iter().all(GroundClause::is_fact));
+        let text = gp.display(&s);
+        assert!(text.contains("p(a)."));
+    }
+
+    #[test]
+    fn positive_join_restricts_instances() {
+        // p(X) :- e(X). Only e(a) derivable, so only p(a) emitted even
+        // though the universe has two constants.
+        let (s, gp) = ground("e(a). other(b). p(X) :- e(X).");
+        let text = gp.display(&s);
+        assert!(text.contains("p(a) :- e(a)."));
+        assert!(!text.contains("p(b)"));
+    }
+
+    #[test]
+    fn unbound_vars_enumerated_over_universe() {
+        let (s, gp) = ground("q(a). q(b). p(X) :- ~q(X).");
+        let text = gp.display(&s);
+        assert!(text.contains("p(a) :- ~q(a)."));
+        assert!(text.contains("p(b) :- ~q(b)."));
+    }
+
+    #[test]
+    fn negative_atoms_interned_even_if_underivable() {
+        let (s, gp) = ground("p :- ~q.");
+        // q has no rules but must still get an id so engines can see the
+        // body literal.
+        let q = gp
+            .atom_ids()
+            .find(|&id| gp.display_atom(&s, id) == "q")
+            .expect("q interned");
+        assert!(gp.clauses_for(q).is_empty());
+    }
+
+    #[test]
+    fn recursive_rules_reach_fixpoint() {
+        let (s, gp) = ground("e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).");
+        let text = gp.display(&s);
+        assert!(text.contains("t(a, c) :- e(a, b), t(b, c)."));
+        // t(a,b), t(b,c), t(a,c) derivable — no spurious t(c, _).
+        assert!(!text.contains("t(c,"));
+    }
+
+    #[test]
+    fn function_symbols_ground_to_depth() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "e(s(X), 0) :- e(X, 0). e(s(s(s(0))), 0).").unwrap();
+        let gp = Grounder::ground_with(
+            &mut s,
+            &p,
+            GrounderOpts {
+                universe: HerbrandOpts {
+                    max_depth: 6,
+                    max_terms: 1000,
+                },
+                max_clauses: 10_000,
+                mode: GroundingMode::Relevant,
+            },
+        )
+        .unwrap();
+        let text = gp.display(&s);
+        assert!(text.contains("e(s(s(s(s(0)))), 0) :- e(s(s(s(0))), 0)."));
+    }
+
+    #[test]
+    fn win_move_game_grounding() {
+        let (s, gp) = ground("move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).");
+        let text = gp.display(&s);
+        assert!(text.contains("win(a) :- move(a, b), ~win(b)."));
+        assert!(text.contains("win(b) :- move(b, a), ~win(a)."));
+        assert!(text.contains("win(b) :- move(b, c), ~win(c)."));
+        // win(c) has no move: no rule instance with head win(c).
+        assert!(!text.contains("win(c) :-"));
+    }
+
+    #[test]
+    fn duplicate_instances_deduped() {
+        let (_, gp) = ground("p(a). p(a). q :- p(a), p(a).");
+        // The two p(a) facts collapse to one; the q rule appears once.
+        assert_eq!(gp.clause_count(), 2);
+    }
+
+    #[test]
+    fn clause_budget_enforced() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "d(a). d(b). d(c). p(X, Y, Z) :- ~q(X, Y, Z).").unwrap();
+        let err = Grounder::ground_with(
+            &mut s,
+            &p,
+            GrounderOpts {
+                universe: HerbrandOpts::default(),
+                max_clauses: 5,
+                mode: GroundingMode::Relevant,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, GroundingError::ClauseBudget(5));
+    }
+
+    #[test]
+    fn zero_arity_program() {
+        let (s, gp) = ground("p :- ~q. q :- ~p. r :- p.");
+        assert_eq!(gp.clause_count(), 3);
+        assert_eq!(gp.atom_count(), 3);
+        let text = gp.display(&s);
+        assert!(text.contains("r :- p."));
+    }
+
+    #[test]
+    fn lookup_vs_intern() {
+        let (mut s, mut gp) = ground("p(a).");
+        let p = s.intern_symbol("p");
+        let b = s.constant("b");
+        let pb = Atom::new(p, vec![b]);
+        assert!(gp.lookup_atom(&pb).is_none());
+        let id = gp.intern_atom(pb.clone());
+        assert_eq!(gp.lookup_atom(&pb), Some(id));
+        assert_eq!(gp.atom(id), &pb);
+    }
+}

@@ -1,0 +1,364 @@
+//! Herbrand universes, the augmented program, and the `term/1` transform.
+//!
+//! * **Herbrand universe** (Def. 1.2): all variable-free terms formed from
+//!   the constants and function symbols of the program; if the program has
+//!   no constants, a single extra constant is invented.
+//! * **Augmented program** P′ (Def. 6.1): `P ∪ {p̂(f̂(ĉ))}` for fresh
+//!   symbols `p̂`, `f̂`, `ĉ` — guarantees infinitely many ground terms not
+//!   mentioned in P, resolving the *universal query problem* (Example 6.1).
+//! * **`term/1` transform** (Sec. 6): adds `term(c)` facts and
+//!   `term(f(X̄)) ← term(X₁),…,term(Xₙ)` rules, then guards every clause
+//!   variable with a `term(X)` subgoal so no query can flounder, without
+//!   changing the well-founded model of the original predicates.
+
+use gsls_lang::{Atom, Clause, Literal, Program, Symbol, TermId, TermStore};
+
+/// Options for Herbrand-universe enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct HerbrandOpts {
+    /// Maximum term depth to enumerate (constants have depth 1).
+    pub max_depth: u32,
+    /// Hard cap on the number of terms produced.
+    pub max_terms: usize,
+}
+
+impl Default for HerbrandOpts {
+    fn default() -> Self {
+        HerbrandOpts {
+            max_depth: 4,
+            max_terms: 100_000,
+        }
+    }
+}
+
+/// Name of the constant invented when a program has none.
+pub const INVENTED_CONSTANT: &str = "herbrand_c0";
+
+/// The constants of `program`, inventing one if necessary (Def. 1.2).
+pub fn constants_with_default(store: &mut TermStore, program: &Program) -> Vec<Symbol> {
+    let consts = program.constants(store);
+    if consts.is_empty() {
+        vec![store.intern_symbol(INVENTED_CONSTANT)]
+    } else {
+        consts
+    }
+}
+
+/// Enumerates the Herbrand universe of `program` breadth-first by depth,
+/// up to `opts.max_depth` / `opts.max_terms`.
+///
+/// For function-free programs this is exactly the (finite) set of
+/// constants. With function symbols the universe is infinite and this is
+/// the depth-bounded prefix used by the depth-bounded experiments (see
+/// DESIGN.md, substitution #1).
+pub fn herbrand_universe(
+    store: &mut TermStore,
+    program: &Program,
+    opts: HerbrandOpts,
+) -> Vec<TermId> {
+    let consts = constants_with_default(store, program);
+    let funcs = program.function_symbols(store);
+    let mut universe: Vec<TermId> = consts
+        .iter()
+        .map(|&c| store.app(c, &[]))
+        .collect();
+    if funcs.is_empty() {
+        universe.truncate(opts.max_terms);
+        return universe;
+    }
+    // Layered construction: terms of depth d+1 apply a function to terms
+    // of depth ≤ d with at least one argument of depth exactly d.
+    let mut frontier = universe.clone();
+    for _depth in 1..opts.max_depth {
+        let mut next = Vec::new();
+        for &(f, arity) in &funcs {
+            // Enumerate argument tuples where at least one argument comes
+            // from the frontier (so each term is produced exactly once).
+            let mut tuple: Vec<TermId> = Vec::with_capacity(arity as usize);
+            enumerate_tuples(
+                store,
+                f,
+                arity as usize,
+                &universe,
+                &frontier,
+                &mut tuple,
+                false,
+                &mut next,
+                opts.max_terms.saturating_sub(universe.len()),
+            );
+        }
+        if next.is_empty() {
+            break;
+        }
+        universe.extend(next.iter().copied());
+        if universe.len() >= opts.max_terms {
+            universe.truncate(opts.max_terms);
+            break;
+        }
+        frontier = next;
+    }
+    universe
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_tuples(
+    store: &mut TermStore,
+    f: Symbol,
+    remaining: usize,
+    universe: &[TermId],
+    frontier: &[TermId],
+    tuple: &mut Vec<TermId>,
+    used_frontier: bool,
+    out: &mut Vec<TermId>,
+    budget: usize,
+) {
+    if out.len() >= budget {
+        return;
+    }
+    if remaining == 0 {
+        if used_frontier {
+            out.push(store.app(f, tuple));
+        }
+        return;
+    }
+    // A frontier term can be distinguished by membership; frontier ⊆
+    // universe, so iterate over the whole universe and track whether any
+    // chosen argument is from the frontier layer.
+    for &t in universe {
+        let is_frontier = frontier.contains(&t);
+        tuple.push(t);
+        enumerate_tuples(
+            store,
+            f,
+            remaining - 1,
+            universe,
+            frontier,
+            tuple,
+            used_frontier || is_frontier,
+            out,
+            budget,
+        );
+        tuple.pop();
+        if out.len() >= budget {
+            return;
+        }
+    }
+}
+
+/// Fresh-symbol names used by [`augment_program`].
+pub const AUGMENT_PRED: &str = "p_hat";
+/// Function symbol of the augmentation fact.
+pub const AUGMENT_FUNC: &str = "f_hat";
+/// Constant of the augmentation fact.
+pub const AUGMENT_CONST: &str = "c_hat";
+
+/// Builds the augmented program P′ = P ∪ {p̂(f̂(ĉ))} of Def. 6.1.
+///
+/// The fresh symbols do not occur in P (they are reserved names; the
+/// parser cannot produce them because of the `_hat` suffix convention, and
+/// we assert they are fresh).
+pub fn augment_program(store: &mut TermStore, program: &Program) -> Program {
+    let p_hat = store.intern_symbol(AUGMENT_PRED);
+    let f_hat = store.intern_symbol(AUGMENT_FUNC);
+    let c_hat = store.constant(AUGMENT_CONST);
+    debug_assert!(
+        !program
+            .predicates()
+            .iter()
+            .any(|p| p.sym == p_hat),
+        "augmentation predicate already used by the program"
+    );
+    let arg = store.app(f_hat, &[c_hat]);
+    let mut out = Program::from_clauses(program.clauses().iter().cloned());
+    out.push(Clause::fact(Atom::new(p_hat, vec![arg])));
+    out
+}
+
+/// Predicate name introduced by [`term_transform`].
+pub const TERM_PRED: &str = "term";
+
+/// Applies the `term/1` transform of Sec. 6 to `program` and returns the
+/// transformed program.
+///
+/// * For each constant `c`: adds `term(c).`
+/// * For each n-ary function `f`: adds
+///   `term(f(X₁,…,Xₙ)) :- term(X₁), …, term(Xₙ).`
+/// * For each original clause and each variable `X` of the clause: appends
+///   `term(X)` to the body.
+///
+/// Applying the same guard to a query (`guard_goal`) guarantees the query
+/// cannot flounder, without changing the well-founded model on original
+/// predicates.
+pub fn term_transform(store: &mut TermStore, program: &Program) -> Program {
+    let term = store.intern_symbol(TERM_PRED);
+    let consts = constants_with_default(store, program);
+    let funcs = program.function_symbols(store);
+    let mut out = Program::new();
+    // Guarded originals.
+    for c in program.clauses() {
+        let mut body = c.body.clone();
+        for v in c.vars(store) {
+            let vt = store.var_term(v);
+            body.push(Literal::pos(Atom::new(term, vec![vt])));
+        }
+        out.push(Clause::new(c.head.clone(), body));
+    }
+    // term(c).
+    for cst in consts {
+        let t = store.app(cst, &[]);
+        out.push(Clause::fact(Atom::new(term, vec![t])));
+    }
+    // term(f(X1..Xn)) :- term(X1), ..., term(Xn).
+    for (f, arity) in funcs {
+        let vars: Vec<TermId> = (0..arity)
+            .map(|i| store.fresh_var(Some(&format!("X{i}"))))
+            .collect();
+        let head_arg = store.app(f, &vars);
+        let body = vars
+            .iter()
+            .map(|&v| Literal::pos(Atom::new(term, vec![v])))
+            .collect();
+        out.push(Clause::new(Atom::new(term, vec![head_arg]), body));
+    }
+    out
+}
+
+/// Guards every variable of `goal` with a `term(X)` subgoal, matching
+/// [`term_transform`]. The result never flounders against the transformed
+/// program.
+pub fn guard_goal(store: &mut TermStore, goal: &gsls_lang::Goal) -> gsls_lang::Goal {
+    let term = store.intern_symbol(TERM_PRED);
+    let mut lits = goal.literals().to_vec();
+    for v in goal.vars(store) {
+        let vt = store.var_term(v);
+        lits.push(Literal::pos(Atom::new(term, vec![vt])));
+    }
+    gsls_lang::Goal::new(lits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::parse_program;
+
+    #[test]
+    fn function_free_universe_is_constants() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(a). q(b, c).").unwrap();
+        let u = herbrand_universe(&mut s, &p, HerbrandOpts::default());
+        let names: Vec<String> = u.iter().map(|&t| s.display_term(t)).collect();
+        assert_eq!(u.len(), 3);
+        assert!(names.contains(&"a".to_owned()));
+        assert!(names.contains(&"c".to_owned()));
+    }
+
+    #[test]
+    fn empty_constant_set_invents_one() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(X) :- q(X).").unwrap();
+        let u = herbrand_universe(&mut s, &p, HerbrandOpts::default());
+        assert_eq!(u.len(), 1);
+        assert_eq!(s.display_term(u[0]), INVENTED_CONSTANT);
+    }
+
+    #[test]
+    fn unary_function_universe_by_depth() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "e(s(0), 0).").unwrap();
+        let u = herbrand_universe(
+            &mut s,
+            &p,
+            HerbrandOpts {
+                max_depth: 4,
+                max_terms: 1000,
+            },
+        );
+        // 0, s(0), s(s(0)), s(s(s(0)))
+        assert_eq!(u.len(), 4);
+        assert_eq!(s.display_term(u[3]), "s(s(s(0)))");
+        for &t in &u {
+            assert!(s.depth(t) <= 4);
+        }
+    }
+
+    #[test]
+    fn binary_function_universe_no_duplicates() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(f(a, b)).").unwrap();
+        let u = herbrand_universe(
+            &mut s,
+            &p,
+            HerbrandOpts {
+                max_depth: 3,
+                max_terms: 10_000,
+            },
+        );
+        let mut sorted = u.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), u.len(), "no duplicate terms");
+        // depth 1: a, b. depth 2: f over {a,b}² = 4. depth 3: f over 6²-4 = 32.
+        assert_eq!(u.len(), 2 + 4 + 32);
+    }
+
+    #[test]
+    fn max_terms_respected() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(f(a, b)).").unwrap();
+        let u = herbrand_universe(
+            &mut s,
+            &p,
+            HerbrandOpts {
+                max_depth: 10,
+                max_terms: 17,
+            },
+        );
+        assert!(u.len() <= 17);
+    }
+
+    #[test]
+    fn augmentation_adds_one_fact() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(a).").unwrap();
+        let p2 = augment_program(&mut s, &p);
+        assert_eq!(p2.len(), 2);
+        let last = p2.clause(1);
+        assert!(last.is_fact());
+        assert_eq!(last.display(&s), "p_hat(f_hat(c_hat)).");
+        // The augmented universe is infinite: f̂ is a proper function symbol.
+        assert!(!p2.is_function_free(&s));
+    }
+
+    #[test]
+    fn term_transform_guards_clauses() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(X) :- ~q(f(X)). q(a).").unwrap();
+        assert!(!p.is_allowed(&s));
+        let t = term_transform(&mut s, &p);
+        // p-clause now has term(X) in body, making it allowed.
+        assert!(t.is_allowed(&s), "{}", t.display(&s));
+        let text = t.display(&s);
+        assert!(text.contains("term(a)."));
+        assert!(text.contains("term(f(X0)) :- term(X0)."));
+        assert!(text.contains("p(X) :- ~q(f(X)), term(X)."));
+    }
+
+    #[test]
+    fn term_transform_ground_program_unchanged_modulo_terms() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p :- ~q. q :- ~p.").unwrap();
+        let t = term_transform(&mut s, &p);
+        // No variables anywhere: only term(c) facts added for the invented
+        // constant.
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn guard_goal_adds_term_literals() {
+        let mut s = TermStore::new();
+        let g = gsls_lang::parse_goal(&mut s, "?- p(X).").unwrap();
+        let g2 = guard_goal(&mut s, &g);
+        assert_eq!(g2.len(), 2);
+        assert_eq!(g2.literals()[1].atom.pred, s.intern_symbol(TERM_PRED));
+    }
+}

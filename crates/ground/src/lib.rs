@@ -1,0 +1,26 @@
+//! # gsls-ground — Herbrand machinery and program analyses
+//!
+//! This crate provides everything between the object language and the
+//! fixpoint/resolution engines:
+//!
+//! * [`herbrand`] — Herbrand universe enumeration (Def. 1.2), the
+//!   **augmented program** P′ of Def. 6.1 (universal query problem), and
+//!   the `term/1` anti-floundering transform of Sec. 6;
+//! * [`grounder`] — Herbrand instantiation (Def. 1.5): compiles a program
+//!   to a dense [`GroundProgram`] over interned ground-atom ids, using a
+//!   relevant-grounding fixpoint so only rules whose positive bodies are
+//!   potentially derivable are emitted;
+//! * [`depgraph`] — predicate/atom dependency graphs, Tarjan SCCs,
+//!   stratification, local stratification and acyclicity tests for the
+//!   program classes discussed in Sec. 7 of the paper.
+
+pub mod depgraph;
+pub mod grounder;
+pub mod herbrand;
+
+pub use depgraph::{AtomDepGraph, DepGraph, ProgramClass};
+pub use grounder::{
+    GroundAtomId, GroundClause, GroundProgram, Grounder, GrounderOpts, GroundingError,
+    GroundingMode,
+};
+pub use herbrand::{augment_program, herbrand_universe, term_transform, HerbrandOpts};

@@ -1,0 +1,272 @@
+//! Atoms, signed literals, and predicate identities.
+
+use crate::symbol::Symbol;
+use crate::term::{TermId, TermStore, Var};
+use std::fmt;
+
+/// A predicate identity: symbol together with its arity.
+///
+/// Programs may reuse a name at several arities; engines key their indexes
+/// on `Pred`, never on the bare symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred {
+    /// The predicate symbol.
+    pub sym: Symbol,
+    /// Number of arguments.
+    pub arity: u32,
+}
+
+impl Pred {
+    /// Creates a predicate identity.
+    pub fn new(sym: Symbol, arity: u32) -> Self {
+        Pred { sym, arity }
+    }
+}
+
+/// An atom `p(t₁,…,tₙ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Predicate symbol.
+    pub pred: Symbol,
+    /// Argument terms.
+    pub args: Box<[TermId]>,
+}
+
+impl Atom {
+    /// Creates an atom from a predicate symbol and arguments.
+    pub fn new(pred: Symbol, args: impl Into<Box<[TermId]>>) -> Self {
+        Atom {
+            pred,
+            args: args.into(),
+        }
+    }
+
+    /// Number of arguments.
+    pub fn arity(&self) -> u32 {
+        self.args.len() as u32
+    }
+
+    /// The predicate identity of this atom.
+    pub fn pred_id(&self) -> Pred {
+        Pred::new(self.pred, self.arity())
+    }
+
+    /// Whether every argument is ground.
+    pub fn is_ground(&self, store: &TermStore) -> bool {
+        self.args.iter().all(|&t| store.is_ground(t))
+    }
+
+    /// Appends the distinct variables of this atom to `out`.
+    pub fn collect_vars(&self, store: &TermStore, out: &mut Vec<Var>) {
+        for &t in self.args.iter() {
+            store.collect_vars(t, out);
+        }
+    }
+
+    /// The distinct variables of this atom in first-occurrence order.
+    pub fn vars(&self, store: &TermStore) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(store, &mut out);
+        out
+    }
+
+    /// Renders the atom.
+    pub fn display(&self, store: &TermStore) -> String {
+        let mut s = String::new();
+        self.fmt(store, &mut s);
+        s
+    }
+
+    pub(crate) fn fmt(&self, store: &TermStore, out: &mut String) {
+        out.push_str(store.symbol_name(self.pred));
+        if !self.args.is_empty() {
+            out.push('(');
+            for (i, &a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                store.fmt_term(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// Polarity of a literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// A positive literal `p(t̄)`.
+    Pos,
+    /// A negative literal `¬p(t̄)`.
+    Neg,
+}
+
+impl Sign {
+    /// The opposite polarity.
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Pos => Sign::Neg,
+            Sign::Neg => Sign::Pos,
+        }
+    }
+
+    /// Whether this is [`Sign::Pos`].
+    pub fn is_pos(self) -> bool {
+        matches!(self, Sign::Pos)
+    }
+
+    /// Whether this is [`Sign::Neg`].
+    pub fn is_neg(self) -> bool {
+        matches!(self, Sign::Neg)
+    }
+}
+
+/// A positive or negative literal (Def. 1.1 / 1.6 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Polarity.
+    pub sign: Sign,
+    /// The underlying atom.
+    pub atom: Atom,
+}
+
+impl Literal {
+    /// A positive literal over `atom`.
+    pub fn pos(atom: Atom) -> Self {
+        Literal {
+            sign: Sign::Pos,
+            atom,
+        }
+    }
+
+    /// A negative literal over `atom`.
+    pub fn neg(atom: Atom) -> Self {
+        Literal {
+            sign: Sign::Neg,
+            atom,
+        }
+    }
+
+    /// The complement literal (Def. 1.6: `¬·L`).
+    pub fn complement(&self) -> Literal {
+        Literal {
+            sign: self.sign.flip(),
+            atom: self.atom.clone(),
+        }
+    }
+
+    /// Whether the literal is positive.
+    pub fn is_pos(&self) -> bool {
+        self.sign.is_pos()
+    }
+
+    /// Whether the literal is negative.
+    pub fn is_neg(&self) -> bool {
+        self.sign.is_neg()
+    }
+
+    /// Whether the underlying atom is ground.
+    pub fn is_ground(&self, store: &TermStore) -> bool {
+        self.atom.is_ground(store)
+    }
+
+    /// Appends the distinct variables of this literal to `out`.
+    pub fn collect_vars(&self, store: &TermStore, out: &mut Vec<Var>) {
+        self.atom.collect_vars(store, out);
+    }
+
+    /// Renders the literal with `~` marking negation.
+    pub fn display(&self, store: &TermStore) -> String {
+        let mut s = String::new();
+        self.fmt(store, &mut s);
+        s
+    }
+
+    pub(crate) fn fmt(&self, store: &TermStore, out: &mut String) {
+        if self.is_neg() {
+            out.push('~');
+        }
+        self.atom.fmt(store, out);
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sign::Pos => write!(f, "+"),
+            Sign::Neg => write!(f, "-"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::TermStore;
+
+    fn setup() -> (TermStore, Atom, Atom) {
+        let mut s = TermStore::new();
+        let a = s.constant("a");
+        let x = s.fresh_var(Some("X"));
+        let p = s.intern_symbol("p");
+        let ground = Atom::new(p, vec![a]);
+        let open = Atom::new(p, vec![x, a]);
+        (s, ground, open)
+    }
+
+    #[test]
+    fn groundness() {
+        let (s, ground, open) = setup();
+        assert!(ground.is_ground(&s));
+        assert!(!open.is_ground(&s));
+    }
+
+    #[test]
+    fn pred_identity_includes_arity() {
+        let (_, ground, open) = setup();
+        assert_eq!(ground.pred, open.pred);
+        assert_ne!(ground.pred_id(), open.pred_id());
+    }
+
+    #[test]
+    fn complement_flips_sign_only() {
+        let (_, ground, _) = setup();
+        let l = Literal::pos(ground.clone());
+        let c = l.complement();
+        assert!(c.is_neg());
+        assert_eq!(c.atom, ground);
+        assert_eq!(c.complement(), l);
+    }
+
+    #[test]
+    fn display_forms() {
+        let (s, ground, open) = setup();
+        assert_eq!(ground.display(&s), "p(a)");
+        assert_eq!(open.display(&s), "p(X, a)");
+        assert_eq!(Literal::neg(ground).display(&s), "~p(a)");
+    }
+
+    #[test]
+    fn zero_arity_atom_display() {
+        let mut s = TermStore::new();
+        let q = s.intern_symbol("q");
+        let atom = Atom::new(q, Vec::new());
+        assert_eq!(atom.display(&s), "q");
+        assert_eq!(atom.arity(), 0);
+    }
+
+    #[test]
+    fn vars_in_order() {
+        let (s, _, open) = setup();
+        let vars = open.vars(&s);
+        assert_eq!(vars.len(), 1);
+        assert_eq!(s.var_name(vars[0]), "X");
+    }
+
+    #[test]
+    fn sign_flip() {
+        assert_eq!(Sign::Pos.flip(), Sign::Neg);
+        assert_eq!(Sign::Neg.flip(), Sign::Pos);
+        assert!(Sign::Pos.is_pos() && !Sign::Pos.is_neg());
+    }
+}

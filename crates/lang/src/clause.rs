@@ -1,0 +1,198 @@
+//! Normal program clauses (Def. 1.1 of the paper).
+
+use crate::atom::{Atom, Literal};
+use crate::term::{TermStore, Var};
+
+/// A normal program clause `A ← L₁, …, Lₙ`.
+///
+/// `A` is the **head** and `L₁,…,Lₙ` the **body**; all variables are
+/// implicitly universally quantified at the front of the clause, and the
+/// commas denote conjunction. A clause with an empty body is a fact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Clause {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Clause {
+    /// Creates a clause.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Clause { head, body }
+    }
+
+    /// Creates a fact (empty body).
+    pub fn fact(head: Atom) -> Self {
+        Clause {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    /// Whether the clause is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Whether the clause is definite (no negative body literals).
+    pub fn is_definite(&self) -> bool {
+        self.body.iter().all(Literal::is_pos)
+    }
+
+    /// Whether head and all body literals are ground.
+    pub fn is_ground(&self, store: &TermStore) -> bool {
+        self.head.is_ground(store) && self.body.iter().all(|l| l.is_ground(store))
+    }
+
+    /// The distinct variables of the clause in first-occurrence order
+    /// (head first, then body left to right).
+    pub fn vars(&self, store: &TermStore) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.head.collect_vars(store, &mut out);
+        for l in &self.body {
+            l.collect_vars(store, &mut out);
+        }
+        out
+    }
+
+    /// Whether the clause is **allowed** (a.k.a. range-restricted for
+    /// normal clauses, [Lloyd 87]): every variable of the clause occurs in
+    /// at least one *positive* body literal.
+    ///
+    /// Allowed programs with allowed queries never flounder (Sec. 6 of the
+    /// paper).
+    pub fn is_allowed(&self, store: &TermStore) -> bool {
+        let mut pos_vars = Vec::new();
+        for l in self.body.iter().filter(|l| l.is_pos()) {
+            l.collect_vars(store, &mut pos_vars);
+        }
+        self.vars(store).iter().all(|v| pos_vars.contains(v))
+    }
+
+    /// Positive body literals.
+    pub fn pos_body(&self) -> impl Iterator<Item = &Literal> {
+        self.body.iter().filter(|l| l.is_pos())
+    }
+
+    /// Negative body literals.
+    pub fn neg_body(&self) -> impl Iterator<Item = &Literal> {
+        self.body.iter().filter(|l| l.is_neg())
+    }
+
+    /// Renders the clause in parser syntax (`h :- b1, ~b2.`).
+    pub fn display(&self, store: &TermStore) -> String {
+        let mut s = String::new();
+        self.head.fmt(store, &mut s);
+        if !self.body.is_empty() {
+            s.push_str(" :- ");
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                l.fmt(store, &mut s);
+            }
+        }
+        s.push('.');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::TermStore;
+
+    fn atom(store: &mut TermStore, p: &str, args: &[crate::term::TermId]) -> Atom {
+        let sym = store.intern_symbol(p);
+        Atom::new(sym, args.to_vec())
+    }
+
+    #[test]
+    fn fact_properties() {
+        let mut s = TermStore::new();
+        let a = s.constant("a");
+        let c = Clause::fact(atom(&mut s, "p", &[a]));
+        assert!(c.is_fact());
+        assert!(c.is_definite());
+        assert!(c.is_ground(&s));
+        assert!(c.is_allowed(&s));
+        assert_eq!(c.display(&s), "p(a).");
+    }
+
+    #[test]
+    fn definite_vs_normal() {
+        let mut s = TermStore::new();
+        let a = s.constant("a");
+        let p = atom(&mut s, "p", &[a]);
+        let q = atom(&mut s, "q", &[a]);
+        let definite = Clause::new(p.clone(), vec![Literal::pos(q.clone())]);
+        let normal = Clause::new(p, vec![Literal::neg(q)]);
+        assert!(definite.is_definite());
+        assert!(!normal.is_definite());
+    }
+
+    #[test]
+    fn allowedness() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var(Some("X"));
+        let p = atom(&mut s, "p", &[x]);
+        let q = atom(&mut s, "q", &[x]);
+        // p(X) :- ~q(X). — X occurs only in a negative literal: not allowed.
+        let bad = Clause::new(p.clone(), vec![Literal::neg(q.clone())]);
+        assert!(!bad.is_allowed(&s));
+        // p(X) :- q(X), ~q(X). — X occurs in a positive literal: allowed.
+        let good = Clause::new(p, vec![Literal::pos(q.clone()), Literal::neg(q)]);
+        assert!(good.is_allowed(&s));
+    }
+
+    #[test]
+    fn head_only_var_not_allowed() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var(Some("X"));
+        let p = atom(&mut s, "p", &[x]);
+        let bad = Clause::fact(p);
+        assert!(!bad.is_allowed(&s), "p(X). is not allowed");
+    }
+
+    #[test]
+    fn vars_head_first() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var(Some("X"));
+        let y = s.fresh_var(Some("Y"));
+        let p = atom(&mut s, "p", &[x]);
+        let q = atom(&mut s, "q", &[y, x]);
+        let c = Clause::new(p, vec![Literal::pos(q)]);
+        let vars = c.vars(&s);
+        assert_eq!(vars.len(), 2);
+        assert_eq!(s.var_name(vars[0]), "X");
+        assert_eq!(s.var_name(vars[1]), "Y");
+    }
+
+    #[test]
+    fn display_with_body() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var(Some("X"));
+        let y = s.fresh_var(Some("Y"));
+        let w = atom(&mut s, "win", &[x]);
+        let m = atom(&mut s, "move", &[x, y]);
+        let w2 = atom(&mut s, "win", &[y]);
+        let c = Clause::new(w, vec![Literal::pos(m), Literal::neg(w2)]);
+        assert_eq!(c.display(&s), "win(X) :- move(X, Y), ~win(Y).");
+    }
+
+    #[test]
+    fn pos_neg_body_split() {
+        let mut s = TermStore::new();
+        let a = s.constant("a");
+        let p = atom(&mut s, "p", &[a]);
+        let q = atom(&mut s, "q", &[a]);
+        let r = atom(&mut s, "r", &[a]);
+        let c = Clause::new(
+            p,
+            vec![Literal::pos(q.clone()), Literal::neg(r), Literal::pos(q)],
+        );
+        assert_eq!(c.pos_body().count(), 2);
+        assert_eq!(c.neg_body().count(), 1);
+    }
+}

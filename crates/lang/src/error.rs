@@ -1,0 +1,45 @@
+//! Error types.
+
+use std::fmt;
+
+/// A syntax error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: u32, col: u32, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position() {
+        let e = ParseError::new(3, 7, "unexpected token");
+        let s = e.to_string();
+        assert!(s.contains("3:7"));
+        assert!(s.contains("unexpected token"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Tokenizer for the Prolog-style surface syntax.
+//!
+//! The grammar (see [`crate::parser`]) uses:
+//!
+//! * lowercase identifiers / digit strings — constants, function and
+//!   predicate symbols (`win`, `s`, `0`, `42`);
+//! * uppercase or `_`-initial identifiers — variables (`X`, `_Y3`);
+//! * punctuation `(` `)` `,` `.` `:-` `?-`;
+//! * negation `~` or `\+`;
+//! * `%` line comments and `/* ... */` block comments.
+
+use crate::error::ParseError;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Lowercase identifier or number: symbol name.
+    Ident(String),
+    /// Uppercase/underscore-initial identifier: variable name.
+    Variable(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    If,
+    /// `?-`
+    Query,
+    /// `~` or `\+`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+/// A token paired with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Tokenizes `input` completely (including a trailing [`Token::Eof`]).
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned {
+                token: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::new(tl, tc, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(Token::LParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(Token::RParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(Token::Comma, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                push!(Token::Dot, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '~' => {
+                push!(Token::Not, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '\\' if i + 1 < bytes.len() && bytes[i + 1] == b'+' => {
+                push!(Token::Not, tl, tc);
+                i += 2;
+                col += 2;
+            }
+            ':' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                push!(Token::If, tl, tc);
+                i += 2;
+                col += 2;
+            }
+            '?' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                push!(Token::Query, tl, tc);
+                i += 2;
+                col += 2;
+            }
+            c if c.is_ascii_lowercase() || c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                col += (i - start) as u32;
+                push!(Token::Ident(text.to_owned()), tl, tc);
+            }
+            c if c.is_ascii_uppercase() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                col += (i - start) as u32;
+                push!(Token::Variable(text.to_owned()), tl, tc);
+            }
+            other => {
+                return Err(ParseError::new(
+                    tl,
+                    tc,
+                    format!("unexpected character {other:?}"),
+                ));
+            }
+        }
+    }
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn simple_fact() {
+        assert_eq!(
+            toks("p(a)."),
+            vec![
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::Ident("a".into()),
+                Token::RParen,
+                Token::Dot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_negation() {
+        assert_eq!(
+            toks("~p(X), \\+ q(_Y)"),
+            vec![
+                Token::Not,
+                Token::Ident("p".into()),
+                Token::LParen,
+                Token::Variable("X".into()),
+                Token::RParen,
+                Token::Comma,
+                Token::Not,
+                Token::Ident("q".into()),
+                Token::LParen,
+                Token::Variable("_Y".into()),
+                Token::RParen,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rule_and_query_arrows() {
+        assert_eq!(
+            toks("p :- q. ?- p."),
+            vec![
+                Token::Ident("p".into()),
+                Token::If,
+                Token::Ident("q".into()),
+                Token::Dot,
+                Token::Query,
+                Token::Ident("p".into()),
+                Token::Dot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("p. % comment\nq. /* block\ncomment */ r."),
+            vec![
+                Token::Ident("p".into()),
+                Token::Dot,
+                Token::Ident("q".into()),
+                Token::Dot,
+                Token::Ident("r".into()),
+                Token::Dot,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_are_idents() {
+        assert_eq!(
+            toks("s(0)"),
+            vec![
+                Token::Ident("s".into()),
+                Token::LParen,
+                Token::Ident("0".into()),
+                Token::RParen,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = tokenize("p.\n q.").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[2].line, ts[2].col), (2, 2)); // q on line 2 col 2
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let e = tokenize("p @ q").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+        assert_eq!(e.col, 3);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        let e = tokenize("/* oops").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn empty_input_gives_eof() {
+        assert_eq!(toks(""), vec![Token::Eof]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Recursive-descent parser for programs, goals and terms.
+//!
+//! Grammar (whitespace/comments free between tokens):
+//!
+//! ```text
+//! program  ::= clause*
+//! clause   ::= atom ( ":-" literals )? "."
+//! goal     ::= "?-" literals? "."         (the "?-" is optional)
+//! literals ::= literal ("," literal)*
+//! literal  ::= ("~" | "\+")? atom
+//! atom     ::= ident ( "(" term ("," term)* ")" )?
+//! term     ::= variable | ident ( "(" term ("," term)* ")" )?
+//! ```
+//!
+//! Variable scope is one clause or one goal: every textual occurrence of
+//! `X` within a clause denotes the same [`crate::term::Var`], and distinct
+//! clauses get distinct variables (no renaming-apart needed at parse time
+//! for correctness, but engines still rename per use).
+
+use crate::atom::{Atom, Literal};
+use crate::clause::Clause;
+use crate::error::ParseError;
+use crate::fxhash::FxHashMap;
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::program::{Goal, Program};
+use crate::term::{TermId, TermStore};
+
+struct Parser<'a> {
+    store: &'a mut TermStore,
+    tokens: Vec<Spanned>,
+    pos: usize,
+    /// Variable scope for the clause currently being parsed.
+    scope: FxHashMap<String, TermId>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(store: &'a mut TermStore, input: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            store,
+            tokens: tokenize(input)?,
+            pos: 0,
+            scope: FxHashMap::default(),
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let s = &self.tokens[self.pos];
+        (s.line, s.col)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError::new(line, col, msg)
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn term(&mut self) -> Result<TermId, ParseError> {
+        match self.bump() {
+            Token::Variable(name) => {
+                if name == "_" {
+                    // `_` is the anonymous variable: every occurrence fresh.
+                    return Ok(self.store.fresh_var(None));
+                }
+                if let Some(&t) = self.scope.get(&name) {
+                    return Ok(t);
+                }
+                let t = self.store.fresh_var(Some(&name));
+                self.scope.insert(name, t);
+                Ok(t)
+            }
+            Token::Ident(name) => {
+                let sym = self.store.intern_symbol(&name);
+                if *self.peek() == Token::LParen {
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while *self.peek() == Token::Comma {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    self.expect(&Token::RParen, ")")?;
+                    Ok(self.store.app(sym, &args))
+                } else {
+                    Ok(self.store.app(sym, &[]))
+                }
+            }
+            other => Err(self.error(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        match self.bump() {
+            Token::Ident(name) => {
+                let sym = self.store.intern_symbol(&name);
+                if *self.peek() == Token::LParen {
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while *self.peek() == Token::Comma {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    self.expect(&Token::RParen, ")")?;
+                    Ok(Atom::new(sym, args))
+                } else {
+                    Ok(Atom::new(sym, Vec::new()))
+                }
+            }
+            other => Err(self.error(format!("expected predicate, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        if *self.peek() == Token::Not {
+            self.bump();
+            Ok(Literal::neg(self.atom()?))
+        } else {
+            Ok(Literal::pos(self.atom()?))
+        }
+    }
+
+    fn literals(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut out = vec![self.literal()?];
+        while *self.peek() == Token::Comma {
+            self.bump();
+            out.push(self.literal()?);
+        }
+        Ok(out)
+    }
+
+    fn clause(&mut self) -> Result<Clause, ParseError> {
+        self.scope.clear();
+        let head = self.atom()?;
+        let body = if *self.peek() == Token::If {
+            self.bump();
+            self.literals()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&Token::Dot, "'.'")?;
+        Ok(Clause::new(head, body))
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::new();
+        while *self.peek() != Token::Eof {
+            prog.push(self.clause()?);
+        }
+        Ok(prog)
+    }
+
+    fn goal(&mut self) -> Result<Goal, ParseError> {
+        self.scope.clear();
+        if *self.peek() == Token::Query {
+            self.bump();
+        }
+        if *self.peek() == Token::Dot {
+            self.bump();
+            return Ok(Goal::empty());
+        }
+        let lits = self.literals()?;
+        if *self.peek() == Token::Dot {
+            self.bump();
+        }
+        if *self.peek() != Token::Eof {
+            return Err(self.error("trailing input after goal"));
+        }
+        Ok(Goal::new(lits))
+    }
+}
+
+/// Parses a whole program.
+pub fn parse_program(store: &mut TermStore, input: &str) -> Result<Program, ParseError> {
+    Parser::new(store, input)?.program()
+}
+
+/// Parses a goal: `?- l1, …, ln.` (the `?-` and final `.` are optional).
+pub fn parse_goal(store: &mut TermStore, input: &str) -> Result<Goal, ParseError> {
+    Parser::new(store, input)?.goal()
+}
+
+/// Alias for [`parse_goal`], matching the paper's use of *query*.
+pub fn parse_query(store: &mut TermStore, input: &str) -> Result<Goal, ParseError> {
+    parse_goal(store, input)
+}
+
+/// Parses a single term (variables scoped to this call).
+pub fn parse_term(store: &mut TermStore, input: &str) -> Result<TermId, ParseError> {
+    let mut p = Parser::new(store, input)?;
+    let t = p.term()?;
+    if *p.peek() != Token::Eof {
+        return Err(p.error("trailing input after term"));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_facts_and_rules() {
+        let mut s = TermStore::new();
+        let p = parse_program(
+            &mut s,
+            "win(X) :- move(X, Y), ~win(Y).\nmove(a, b). move(b, a).",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.clause(0).body.len(), 2);
+        assert!(p.clause(0).body[1].is_neg());
+        assert!(p.clause(1).is_fact());
+    }
+
+    #[test]
+    fn variable_scoped_per_clause() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(X) :- q(X). r(X).").unwrap();
+        let x1 = p.clause(0).head.args[0];
+        let x_body = p.clause(0).body[0].atom.args[0];
+        let x2 = p.clause(1).head.args[0];
+        assert_eq!(x1, x_body, "same clause shares X");
+        assert_ne!(x1, x2, "different clauses have different X");
+    }
+
+    #[test]
+    fn anonymous_variable_always_fresh() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(_, _).").unwrap();
+        let args = &p.clause(0).head.args;
+        assert_ne!(args[0], args[1]);
+    }
+
+    #[test]
+    fn nested_terms() {
+        let mut s = TermStore::new();
+        let t = parse_term(&mut s, "e(s(s(0)), s(0))").unwrap();
+        assert_eq!(s.display_term(t), "e(s(s(0)), s(0))");
+        assert!(s.is_ground(t));
+        assert_eq!(s.depth(t), 4);
+    }
+
+    #[test]
+    fn goal_forms() {
+        let mut s = TermStore::new();
+        let g1 = parse_goal(&mut s, "?- win(a).").unwrap();
+        assert_eq!(g1.len(), 1);
+        let g2 = parse_goal(&mut s, "win(a), ~win(b)").unwrap();
+        assert_eq!(g2.len(), 2);
+        assert!(g2.literals()[1].is_neg());
+        let g3 = parse_goal(&mut s, "?- .").unwrap();
+        assert!(g3.is_empty());
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p :- ~q, ~r. q :- r, ~p.").unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.clause(0).head.arity(), 0);
+    }
+
+    #[test]
+    fn both_negation_syntaxes() {
+        let mut s = TermStore::new();
+        let g = parse_goal(&mut s, "~p(a), \\+ q(b)").unwrap();
+        assert!(g.literals().iter().all(Literal::is_neg));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let mut s = TermStore::new();
+        let src = "win(X) :- move(X, Y), ~win(Y).";
+        let p = parse_program(&mut s, src).unwrap();
+        let printed = p.clause(0).display(&s);
+        assert_eq!(printed, src);
+        // Reparse the printed form: same shape.
+        let p2 = parse_program(&mut s, &printed).unwrap();
+        assert_eq!(p2.clause(0).body.len(), 2);
+    }
+
+    #[test]
+    fn error_on_missing_dot() {
+        let mut s = TermStore::new();
+        let e = parse_program(&mut s, "p(a)").unwrap_err();
+        assert!(e.message.contains("expected '.'"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_on_bad_literal() {
+        let mut s = TermStore::new();
+        let e = parse_program(&mut s, "p :- X.").unwrap_err();
+        assert!(e.message.contains("expected predicate"));
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let mut s = TermStore::new();
+        let e = parse_program(&mut s, "p(a).\nq(").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn van_gelder_program_parses() {
+        let mut s = TermStore::new();
+        let src = "
+            e(s(0), s(s(0))).
+            e(s(s(0)), s(s(s(0)))).
+            e(s(s(s(0))), 0).
+            e(s(X), 0) :- e(X, 0).
+            w(X) :- ~u(X).
+            u(X) :- e(Y, X), ~w(Y).
+        ";
+        let p = parse_program(&mut s, src).unwrap();
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_function_free(&s));
+    }
+
+    #[test]
+    fn trailing_garbage_after_goal() {
+        let mut s = TermStore::new();
+        assert!(parse_goal(&mut s, "p(a). q(b).").is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Pretty-printing helpers.
+//!
+//! The display methods on [`crate::TermStore`], [`crate::Atom`],
+//! [`crate::Clause`], [`crate::Goal`] and [`crate::Subst`] produce text in
+//! the parser's grammar, so `display → parse` round-trips. This module adds
+//! multi-line helpers used by traces and the examples.
+
+use crate::program::{Goal, Program};
+use crate::term::TermStore;
+
+/// Renders a program with clauses grouped by head predicate, each group
+/// preceded by a `% name/arity` comment — the layout used in EXPERIMENTS.md
+/// listings.
+pub fn program_grouped(store: &TermStore, program: &Program) -> String {
+    let mut out = String::new();
+    for pred in program.predicates() {
+        let idxs = program.clauses_for(pred);
+        if idxs.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "% {}/{}\n",
+            store.symbol_name(pred.sym),
+            pred.arity
+        ));
+        for &i in idxs {
+            out.push_str(&program.clause(i).display(store));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a goal without the `?-` prefix (used inside tree traces where
+/// the paper omits the `←` symbol "for clarity").
+pub fn bare_goal(store: &TermStore, goal: &Goal) -> String {
+    if goal.is_empty() {
+        return "□".to_owned(); // the empty goal
+    }
+    let mut s = String::new();
+    for (i, l) in goal.literals().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        l.fmt(store, &mut s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_goal, parse_program};
+
+    #[test]
+    fn grouped_by_predicate() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(a). q(b). p(c).").unwrap();
+        let text = program_grouped(&s, &p);
+        let p_pos = text.find("% p/1").unwrap();
+        let q_pos = text.find("% q/1").unwrap();
+        assert!(p_pos < q_pos);
+        // Both p clauses listed under the p header.
+        let p_section = &text[p_pos..q_pos];
+        assert!(p_section.contains("p(a)."));
+        assert!(p_section.contains("p(c)."));
+    }
+
+    #[test]
+    fn bare_goal_forms() {
+        let mut s = TermStore::new();
+        let g = parse_goal(&mut s, "?- move(a, B), ~win(B).").unwrap();
+        assert_eq!(bare_goal(&s, &g), "move(a, B), ~win(B)");
+        let empty = parse_goal(&mut s, "?- .").unwrap();
+        assert_eq!(bare_goal(&s, &empty), "□");
+    }
+}

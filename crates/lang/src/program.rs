@@ -1,0 +1,347 @@
+//! Programs and goals.
+
+use crate::atom::{Literal, Pred};
+use crate::clause::Clause;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::symbol::Symbol;
+use crate::term::{Term, TermId, TermStore, Var};
+
+/// A normal logic program: a finite set of clauses with a predicate index.
+#[derive(Debug, Default, Clone)]
+pub struct Program {
+    clauses: Vec<Clause>,
+    by_pred: FxHashMap<Pred, Vec<usize>>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a program from clauses.
+    pub fn from_clauses(clauses: impl IntoIterator<Item = Clause>) -> Self {
+        let mut p = Program::new();
+        for c in clauses {
+            p.push(c);
+        }
+        p
+    }
+
+    /// Adds a clause.
+    pub fn push(&mut self, clause: Clause) {
+        let idx = self.clauses.len();
+        self.by_pred
+            .entry(clause.head.pred_id())
+            .or_default()
+            .push(idx);
+        self.clauses.push(clause);
+    }
+
+    /// All clauses, in insertion order.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the program has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Indices of the clauses whose head predicate is `pred`.
+    pub fn clauses_for(&self, pred: Pred) -> &[usize] {
+        self.by_pred.get(&pred).map_or(&[], Vec::as_slice)
+    }
+
+    /// The clause at `idx`.
+    pub fn clause(&self, idx: usize) -> &Clause {
+        &self.clauses[idx]
+    }
+
+    /// All predicates appearing in heads or bodies.
+    pub fn predicates(&self) -> Vec<Pred> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        let mut add = |p: Pred, out: &mut Vec<Pred>| {
+            if seen.insert(p) {
+                out.push(p);
+            }
+        };
+        for c in &self.clauses {
+            add(c.head.pred_id(), &mut out);
+            for l in &c.body {
+                add(l.atom.pred_id(), &mut out);
+            }
+        }
+        out
+    }
+
+    /// Whether the program is definite (Horn).
+    pub fn is_definite(&self) -> bool {
+        self.clauses.iter().all(Clause::is_definite)
+    }
+
+    /// Whether every clause is allowed (see [`Clause::is_allowed`]).
+    pub fn is_allowed(&self, store: &TermStore) -> bool {
+        self.clauses.iter().all(|c| c.is_allowed(store))
+    }
+
+    /// The constants of the program. Per Def. 1.2, if the program has no
+    /// constants a fresh one must be invented by the caller (see
+    /// `gsls-ground::herbrand`).
+    pub fn constants(&self, store: &TermStore) -> Vec<Symbol> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        self.walk_function_symbols(store, |sym, arity| {
+            if arity == 0 && seen.insert(sym) {
+                out.push(sym);
+            }
+        });
+        out
+    }
+
+    /// The proper (arity ≥ 1) function symbols of the program, with arities.
+    pub fn function_symbols(&self, store: &TermStore) -> Vec<(Symbol, u32)> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        self.walk_function_symbols(store, |sym, arity| {
+            if arity > 0 && seen.insert((sym, arity)) {
+                out.push((sym, arity));
+            }
+        });
+        out
+    }
+
+    /// Whether the program mentions no proper function symbols
+    /// (the *function-free* / datalog class of Sec. 7).
+    pub fn is_function_free(&self, store: &TermStore) -> bool {
+        self.function_symbols(store).is_empty()
+    }
+
+    fn walk_function_symbols(&self, store: &TermStore, mut f: impl FnMut(Symbol, u32)) {
+        fn walk(store: &TermStore, t: TermId, f: &mut impl FnMut(Symbol, u32)) {
+            if let Term::App(sym, args) = store.term(t) {
+                f(*sym, args.len() as u32);
+                for &a in args.iter() {
+                    walk(store, a, f);
+                }
+            }
+        }
+        for c in &self.clauses {
+            for &t in c.head.args.iter() {
+                walk(store, t, &mut f);
+            }
+            for l in &c.body {
+                for &t in l.atom.args.iter() {
+                    walk(store, t, &mut f);
+                }
+            }
+        }
+    }
+
+    /// Renders the program in parser syntax, one clause per line.
+    pub fn display(&self, store: &TermStore) -> String {
+        let mut s = String::new();
+        for c in &self.clauses {
+            s.push_str(&c.display(store));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// A goal `← Q` where `Q` is a conjunction of literals (Def. 1.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Goal {
+    literals: Vec<Literal>,
+}
+
+impl Goal {
+    /// Creates a goal from literals.
+    pub fn new(literals: Vec<Literal>) -> Self {
+        Goal { literals }
+    }
+
+    /// The empty goal (success).
+    pub fn empty() -> Self {
+        Goal::default()
+    }
+
+    /// The conjuncts of the goal.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Whether the goal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Whether every literal is ground.
+    pub fn is_ground(&self, store: &TermStore) -> bool {
+        self.literals.iter().all(|l| l.is_ground(store))
+    }
+
+    /// Whether the goal contains a positive literal.
+    pub fn has_positive(&self) -> bool {
+        self.literals.iter().any(Literal::is_pos)
+    }
+
+    /// Distinct variables in first-occurrence order.
+    pub fn vars(&self, store: &TermStore) -> Vec<Var> {
+        let mut out = Vec::new();
+        for l in &self.literals {
+            l.collect_vars(store, &mut out);
+        }
+        out
+    }
+
+    /// Builds a new goal that removes the literal at `idx` and appends
+    /// `extra` (resolution step helper). Order of literals in a goal is
+    /// immaterial in the paper; we keep remaining literals in place and
+    /// push the new body at the end.
+    pub fn resolve_at(&self, idx: usize, extra: &[Literal]) -> Goal {
+        let mut literals = Vec::with_capacity(self.literals.len() - 1 + extra.len());
+        for (i, l) in self.literals.iter().enumerate() {
+            if i != idx {
+                literals.push(l.clone());
+            }
+        }
+        literals.extend(extra.iter().cloned());
+        Goal { literals }
+    }
+
+    /// Renders the goal as `?- l1, l2.` (or `?- .` when empty).
+    pub fn display(&self, store: &TermStore) -> String {
+        let mut s = String::from("?- ");
+        for (i, l) in self.literals.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            l.fmt(store, &mut s);
+        }
+        s.push('.');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    fn sample(store: &mut TermStore) -> Program {
+        let a = store.constant("a");
+        let b = store.constant("b");
+        let x = store.fresh_var(Some("X"));
+        let y = store.fresh_var(Some("Y"));
+        let win = store.intern_symbol("win");
+        let mv = store.intern_symbol("move");
+        Program::from_clauses(vec![
+            Clause::new(
+                Atom::new(win, vec![x]),
+                vec![
+                    Literal::pos(Atom::new(mv, vec![x, y])),
+                    Literal::neg(Atom::new(win, vec![y])),
+                ],
+            ),
+            Clause::fact(Atom::new(mv, vec![a, b])),
+            Clause::fact(Atom::new(mv, vec![b, a])),
+        ])
+    }
+
+    #[test]
+    fn index_by_predicate() {
+        let mut s = TermStore::new();
+        let p = sample(&mut s);
+        let win = Pred::new(s.intern_symbol("win"), 1);
+        let mv = Pred::new(s.intern_symbol("move"), 2);
+        assert_eq!(p.clauses_for(win), &[0]);
+        assert_eq!(p.clauses_for(mv), &[1, 2]);
+        let nothere = Pred::new(s.intern_symbol("zzz"), 3);
+        assert!(p.clauses_for(nothere).is_empty());
+    }
+
+    #[test]
+    fn predicates_enumerated_once() {
+        let mut s = TermStore::new();
+        let p = sample(&mut s);
+        let preds = p.predicates();
+        assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn constants_and_functions() {
+        let mut s = TermStore::new();
+        let p = sample(&mut s);
+        let consts = p.constants(&s);
+        assert_eq!(consts.len(), 2);
+        assert!(p.is_function_free(&s));
+        assert!(p.function_symbols(&s).is_empty());
+    }
+
+    #[test]
+    fn function_symbols_detected() {
+        let mut s = TermStore::new();
+        let one = s.numeral("s", "0", 1);
+        let e = s.intern_symbol("e");
+        let p = Program::from_clauses(vec![Clause::fact(Atom::new(e, vec![one]))]);
+        assert!(!p.is_function_free(&s));
+        let fs = p.function_symbols(&s);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(s.symbol_name(fs[0].0), "s");
+        assert_eq!(fs[0].1, 1);
+    }
+
+    #[test]
+    fn definite_check() {
+        let mut s = TermStore::new();
+        let p = sample(&mut s);
+        assert!(!p.is_definite(), "win clause has a negative literal");
+    }
+
+    #[test]
+    fn goal_resolution_step() {
+        let mut s = TermStore::new();
+        let a = s.constant("a");
+        let p = s.intern_symbol("p");
+        let q = s.intern_symbol("q");
+        let g = Goal::new(vec![
+            Literal::pos(Atom::new(p, vec![a])),
+            Literal::neg(Atom::new(q, vec![a])),
+        ]);
+        let g2 = g.resolve_at(0, &[Literal::pos(Atom::new(q, vec![a]))]);
+        assert_eq!(g2.len(), 2);
+        assert!(g2.literals()[0].is_neg());
+        assert!(g2.literals()[1].is_pos());
+    }
+
+    #[test]
+    fn goal_display_and_groundness() {
+        let mut s = TermStore::new();
+        let a = s.constant("a");
+        let p = s.intern_symbol("p");
+        let g = Goal::new(vec![Literal::neg(Atom::new(p, vec![a]))]);
+        assert_eq!(g.display(&s), "?- ~p(a).");
+        assert!(g.is_ground(&s));
+        assert!(!g.has_positive());
+    }
+
+    #[test]
+    fn empty_program_display() {
+        let s = TermStore::new();
+        let p = Program::new();
+        assert!(p.is_empty());
+        assert_eq!(p.display(&s), "");
+    }
+}

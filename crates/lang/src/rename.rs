@@ -1,0 +1,169 @@
+//! Renaming clauses apart (variants with fresh variables).
+//!
+//! Each resolution step resolves the current goal against *a variant* of a
+//! program clause whose variables are disjoint from everything used so far
+//! (Def. 3.2). The [`Renamer`] produces such variants, preserving the
+//! original variable names for readable traces.
+
+use crate::atom::{Atom, Literal};
+use crate::clause::Clause;
+use crate::fxhash::FxHashMap;
+use crate::term::{Term, TermId, TermStore, Var};
+
+/// Produces fresh-variable variants of terms, atoms and clauses.
+///
+/// One `Renamer` corresponds to one renaming scope: all occurrences of the
+/// same original variable within the scope map to the same fresh variable.
+#[derive(Debug, Default)]
+pub struct Renamer {
+    map: FxHashMap<Var, TermId>,
+}
+
+impl Renamer {
+    /// Creates a renamer with an empty scope.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the scope so the renamer can be reused for the next variant.
+    pub fn reset(&mut self) {
+        self.map.clear();
+    }
+
+    /// The fresh term standing for original variable `v` in this scope.
+    pub fn fresh_for(&mut self, store: &mut TermStore, v: Var) -> TermId {
+        if let Some(&t) = self.map.get(&v) {
+            return t;
+        }
+        let name = store.var_name(v);
+        let t = store.fresh_var(Some(&name));
+        self.map.insert(v, t);
+        t
+    }
+
+    /// Renames all variables of `t` to fresh ones.
+    pub fn rename_term(&mut self, store: &mut TermStore, t: TermId) -> TermId {
+        if store.is_ground(t) {
+            return t;
+        }
+        match store.term(t).clone() {
+            Term::Var(v) => self.fresh_for(store, v),
+            Term::App(sym, args) => {
+                let new_args: Vec<TermId> = args
+                    .iter()
+                    .map(|&a| self.rename_term(store, a))
+                    .collect();
+                store.app(sym, &new_args)
+            }
+        }
+    }
+
+    /// Renames an atom.
+    pub fn rename_atom(&mut self, store: &mut TermStore, atom: &Atom) -> Atom {
+        let args: Vec<TermId> = atom
+            .args
+            .iter()
+            .map(|&a| self.rename_term(store, a))
+            .collect();
+        Atom::new(atom.pred, args)
+    }
+
+    /// Renames a literal.
+    pub fn rename_literal(&mut self, store: &mut TermStore, lit: &Literal) -> Literal {
+        Literal {
+            sign: lit.sign,
+            atom: self.rename_atom(store, &lit.atom),
+        }
+    }
+
+    /// Produces a variant of `clause` with entirely fresh variables.
+    pub fn rename_clause(&mut self, store: &mut TermStore, clause: &Clause) -> Clause {
+        Clause {
+            head: self.rename_atom(store, &clause.head),
+            body: clause
+                .body
+                .iter()
+                .map(|l| self.rename_literal(store, l))
+                .collect(),
+        }
+    }
+}
+
+/// Convenience: a one-shot variant of `clause` with fresh variables.
+pub fn variant(store: &mut TermStore, clause: &Clause) -> Clause {
+    Renamer::new().rename_clause(store, clause)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_has_fresh_vars() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var(Some("X"));
+        let p = s.intern_symbol("p");
+        let q = s.intern_symbol("q");
+        let c = Clause::new(
+            Atom::new(p, vec![x]),
+            vec![Literal::pos(Atom::new(q, vec![x]))],
+        );
+        let v = variant(&mut s, &c);
+        assert_ne!(v.head.args[0], c.head.args[0]);
+        // Shared variable stays shared inside the variant.
+        assert_eq!(v.head.args[0], v.body[0].atom.args[0]);
+        // Name preserved for display.
+        let nv = s.as_var(v.head.args[0]).unwrap();
+        assert_eq!(s.var_name(nv), "X");
+    }
+
+    #[test]
+    fn ground_clause_unchanged() {
+        let mut s = TermStore::new();
+        let a = s.constant("a");
+        let p = s.intern_symbol("p");
+        let c = Clause::fact(Atom::new(p, vec![a]));
+        let v = variant(&mut s, &c);
+        assert_eq!(v, c);
+    }
+
+    #[test]
+    fn two_variants_disjoint() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var(Some("X"));
+        let p = s.intern_symbol("p");
+        let c = Clause::fact(Atom::new(p, vec![x]));
+        let v1 = variant(&mut s, &c);
+        let v2 = variant(&mut s, &c);
+        assert_ne!(v1.head.args[0], v2.head.args[0]);
+    }
+
+    #[test]
+    fn nested_terms_renamed_consistently() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var(Some("X"));
+        let f = s.intern_symbol("f");
+        let fx = s.app(f, &[x]);
+        let p = s.intern_symbol("p");
+        let c = Clause::fact(Atom::new(p, vec![x, fx]));
+        let v = variant(&mut s, &c);
+        let new_x = v.head.args[0];
+        let (sym, args) = s.as_app(v.head.args[1]).unwrap();
+        assert_eq!(sym, f);
+        assert_eq!(args[0], new_x, "f's argument is the same fresh variable");
+    }
+
+    #[test]
+    fn reset_gives_new_scope() {
+        let mut s = TermStore::new();
+        let x = s.fresh_var(Some("X"));
+        let vx = s.as_var(x).unwrap();
+        let mut r = Renamer::new();
+        let f1 = r.fresh_for(&mut s, vx);
+        let f1b = r.fresh_for(&mut s, vx);
+        assert_eq!(f1, f1b);
+        r.reset();
+        let f2 = r.fresh_for(&mut s, vx);
+        assert_ne!(f1, f2);
+    }
+}

@@ -1,0 +1,286 @@
+//! Unification: most general unifiers and one-way matching.
+
+use crate::atom::Atom;
+use crate::subst::Subst;
+use crate::term::{Term, TermId, TermStore};
+
+/// Options controlling unification.
+#[derive(Debug, Clone, Copy)]
+pub struct UnifyOpts {
+    /// Perform the occurs check (needed for soundness; defaults to `true`).
+    pub occurs_check: bool,
+}
+
+impl Default for UnifyOpts {
+    fn default() -> Self {
+        UnifyOpts { occurs_check: true }
+    }
+}
+
+/// Extends `subst` to a unifier of `a` and `b`. Returns `false` (leaving
+/// `subst` in an unspecified but safe state) if no unifier exists; callers
+/// that need rollback should clone the substitution first — resolution
+/// engines always unify into a fresh clone per child.
+pub fn unify(store: &TermStore, subst: &mut Subst, a: TermId, b: TermId) -> bool {
+    unify_with(store, subst, a, b, UnifyOpts::default())
+}
+
+/// [`unify`] with explicit options.
+pub fn unify_with(
+    store: &TermStore,
+    subst: &mut Subst,
+    a: TermId,
+    b: TermId,
+    opts: UnifyOpts,
+) -> bool {
+    let a = subst.walk(store, a);
+    let b = subst.walk(store, b);
+    if a == b {
+        return true;
+    }
+    match (store.term(a), store.term(b)) {
+        (Term::Var(v), _) => {
+            if opts.occurs_check && occurs_walked(store, subst, *v, b) {
+                return false;
+            }
+            subst.bind(*v, b);
+            true
+        }
+        (_, Term::Var(v)) => {
+            if opts.occurs_check && occurs_walked(store, subst, *v, a) {
+                return false;
+            }
+            subst.bind(*v, a);
+            true
+        }
+        (Term::App(f, fargs), Term::App(g, gargs)) => {
+            if f != g || fargs.len() != gargs.len() {
+                return false;
+            }
+            // Clone the id slices (Copy elements) so we can recurse while
+            // mutating the substitution.
+            let fargs: Vec<TermId> = fargs.to_vec();
+            let gargs: Vec<TermId> = gargs.to_vec();
+            fargs
+                .into_iter()
+                .zip(gargs)
+                .all(|(x, y)| unify_with(store, subst, x, y, opts))
+        }
+    }
+}
+
+/// Occurs check that walks bindings: does `v` occur in `t` under `subst`?
+fn occurs_walked(store: &TermStore, subst: &Subst, v: crate::term::Var, t: TermId) -> bool {
+    let t = subst.walk(store, t);
+    match store.term(t) {
+        Term::Var(w) => *w == v,
+        Term::App(_, args) => {
+            let args: Vec<TermId> = args.to_vec();
+            args.into_iter().any(|a| occurs_walked(store, subst, v, a))
+        }
+    }
+}
+
+/// Unifies two atoms (same predicate and arity required).
+pub fn unify_atoms(store: &TermStore, subst: &mut Subst, a: &Atom, b: &Atom) -> bool {
+    if a.pred != b.pred || a.args.len() != b.args.len() {
+        return false;
+    }
+    a.args
+        .iter()
+        .zip(b.args.iter())
+        .all(|(&x, &y)| unify(store, subst, x, y))
+}
+
+/// One-way matching: extends `subst` so that `pattern·subst == target`,
+/// binding only variables of `pattern`. `target` must be ground for the
+/// guarantee to be meaningful; used by the grounder.
+pub fn match_term(store: &TermStore, subst: &mut Subst, pattern: TermId, target: TermId) -> bool {
+    let pattern = subst.walk(store, pattern);
+    match (store.term(pattern), store.term(target)) {
+        (Term::Var(v), _) => {
+            subst.bind(*v, target);
+            true
+        }
+        (Term::App(f, fargs), Term::App(g, gargs)) => {
+            if f != g || fargs.len() != gargs.len() {
+                return false;
+            }
+            let fargs: Vec<TermId> = fargs.to_vec();
+            let gargs: Vec<TermId> = gargs.to_vec();
+            fargs
+                .into_iter()
+                .zip(gargs)
+                .all(|(x, y)| match_term(store, subst, x, y))
+        }
+        (Term::App(..), Term::Var(_)) => pattern == target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TermStore {
+        TermStore::new()
+    }
+
+    #[test]
+    fn unify_identical_constants() {
+        let mut s = store();
+        let a = s.constant("a");
+        let mut sub = Subst::new();
+        assert!(unify(&s, &mut sub, a, a));
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn unify_distinct_constants_fails() {
+        let mut s = store();
+        let a = s.constant("a");
+        let b = s.constant("b");
+        let mut sub = Subst::new();
+        assert!(!unify(&s, &mut sub, a, b));
+    }
+
+    #[test]
+    fn unify_var_with_term() {
+        let mut s = store();
+        let x = s.fresh_var(Some("X"));
+        let a = s.constant("a");
+        let mut sub = Subst::new();
+        assert!(unify(&s, &mut sub, x, a));
+        assert_eq!(sub.resolve(&mut s, x), a);
+    }
+
+    #[test]
+    fn unify_two_vars() {
+        let mut s = store();
+        let x = s.fresh_var(Some("X"));
+        let y = s.fresh_var(Some("Y"));
+        let a = s.constant("a");
+        let mut sub = Subst::new();
+        assert!(unify(&s, &mut sub, x, y));
+        assert!(unify(&s, &mut sub, y, a));
+        assert_eq!(sub.resolve(&mut s, x), a);
+    }
+
+    #[test]
+    fn unify_nested() {
+        let mut s = store();
+        let x = s.fresh_var(Some("X"));
+        let y = s.fresh_var(Some("Y"));
+        let a = s.constant("a");
+        let f = s.intern_symbol("f");
+        let g = s.intern_symbol("g");
+        // f(X, g(X)) with f(a, Y)
+        let gx = s.app(g, &[x]);
+        let t1 = s.app(f, &[x, gx]);
+        let t2 = s.app(f, &[a, y]);
+        let mut sub = Subst::new();
+        assert!(unify(&s, &mut sub, t1, t2));
+        let r1 = sub.resolve(&mut s, t1);
+        let r2 = sub.resolve(&mut s, t2);
+        assert_eq!(r1, r2);
+        assert_eq!(s.display_term(r1), "f(a, g(a))");
+    }
+
+    #[test]
+    fn occurs_check_blocks_cyclic() {
+        let mut s = store();
+        let x = s.fresh_var(Some("X"));
+        let f = s.intern_symbol("f");
+        let fx = s.app(f, &[x]);
+        let mut sub = Subst::new();
+        assert!(!unify(&s, &mut sub, x, fx), "X = f(X) must fail");
+    }
+
+    #[test]
+    fn occurs_check_through_bindings() {
+        let mut s = store();
+        let x = s.fresh_var(Some("X"));
+        let y = s.fresh_var(Some("Y"));
+        let f = s.intern_symbol("f");
+        let fy = s.app(f, &[y]);
+        let mut sub = Subst::new();
+        assert!(unify(&s, &mut sub, x, y)); // X := Y (or Y := X)
+        assert!(!unify(&s, &mut sub, y, fy), "indirect cycle must fail");
+    }
+
+    #[test]
+    fn occurs_check_can_be_disabled() {
+        let mut s = store();
+        let x = s.fresh_var(Some("X"));
+        let f = s.intern_symbol("f");
+        let fx = s.app(f, &[x]);
+        let mut sub = Subst::new();
+        let opts = UnifyOpts {
+            occurs_check: false,
+        };
+        assert!(unify_with(&s, &mut sub, x, fx, opts));
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let mut s = store();
+        let a = s.constant("a");
+        let f = s.intern_symbol("f");
+        let t1 = s.app(f, &[a]);
+        let t2 = s.app(f, &[a, a]);
+        let mut sub = Subst::new();
+        assert!(!unify(&s, &mut sub, t1, t2));
+    }
+
+    #[test]
+    fn unify_atoms_same_pred() {
+        let mut s = store();
+        let x = s.fresh_var(Some("X"));
+        let a = s.constant("a");
+        let p = s.intern_symbol("p");
+        let q = s.intern_symbol("q");
+        let pa = Atom::new(p, vec![a]);
+        let px = Atom::new(p, vec![x]);
+        let qa = Atom::new(q, vec![a]);
+        let mut sub = Subst::new();
+        assert!(unify_atoms(&s, &mut sub, &px, &pa));
+        let mut sub2 = Subst::new();
+        assert!(!unify_atoms(&s, &mut sub2, &px, &qa));
+    }
+
+    #[test]
+    fn match_is_one_way() {
+        let mut s = store();
+        let x = s.fresh_var(Some("X"));
+        let a = s.constant("a");
+        let f = s.intern_symbol("f");
+        let fx = s.app(f, &[x]);
+        let fa = s.app(f, &[a]);
+        let mut sub = Subst::new();
+        assert!(match_term(&s, &mut sub, fx, fa));
+        assert_eq!(sub.resolve(&mut s, x), a);
+        // target with a var, ground pattern: no match unless identical
+        let mut sub2 = Subst::new();
+        assert!(!match_term(&s, &mut sub2, fa, fx));
+    }
+
+    #[test]
+    fn mgu_is_most_general() {
+        // Unifying p(X, Y) with p(Y, Z): the mgu must keep one variable
+        // free (X = Y = Z all mapped to a single representative), not bind
+        // them to a constant.
+        let mut s = store();
+        let x = s.fresh_var(Some("X"));
+        let y = s.fresh_var(Some("Y"));
+        let z = s.fresh_var(Some("Z"));
+        let p = s.intern_symbol("p");
+        let a1 = Atom::new(p, vec![x, y]);
+        let a2 = Atom::new(p, vec![y, z]);
+        let mut sub = Subst::new();
+        assert!(unify_atoms(&s, &mut sub, &a1, &a2));
+        let r1 = sub.resolve_atom(&mut s, &a1);
+        let r2 = sub.resolve_atom(&mut s, &a2);
+        assert_eq!(r1, r2);
+        assert!(!r1.is_ground(&s), "mgu must not instantiate to ground");
+        assert_eq!(r1.vars(&s).len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the object-language substrate: unification
+//! invariants and display/parse round-trips over randomly generated
+//! terms, clauses and programs.
+
+use gsls_lang::{parse_program, parse_term, unify, Subst, TermId, TermStore};
+use proptest::prelude::*;
+
+/// A recipe for building a random term inside a fresh store.
+#[derive(Debug, Clone)]
+enum TermRecipe {
+    Var(u8),
+    Const(u8),
+    App(u8, Vec<TermRecipe>),
+}
+
+fn term_recipe() -> impl Strategy<Value = TermRecipe> {
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(TermRecipe::Var),
+        (0u8..4).prop_map(TermRecipe::Const),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        ((0u8..3), prop::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| TermRecipe::App(f, args))
+    })
+}
+
+fn build(store: &mut TermStore, vars: &mut Vec<TermId>, r: &TermRecipe) -> TermId {
+    match r {
+        TermRecipe::Var(i) => {
+            while vars.len() <= *i as usize {
+                let n = vars.len();
+                let v = store.fresh_var(Some(&format!("V{n}")));
+                vars.push(v);
+            }
+            vars[*i as usize]
+        }
+        TermRecipe::Const(c) => store.constant(&format!("c{c}")),
+        TermRecipe::App(f, args) => {
+            let ids: Vec<TermId> = args.iter().map(|a| build(store, vars, a)).collect();
+            store.apply(&format!("f{f}"), &ids)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Unification produces a genuine unifier: both sides resolve to the
+    /// same term under the substitution.
+    #[test]
+    fn unifier_actually_unifies(a in term_recipe(), b in term_recipe()) {
+        let mut store = TermStore::new();
+        let mut vars = Vec::new();
+        let ta = build(&mut store, &mut vars, &a);
+        let tb = build(&mut store, &mut vars, &b);
+        let mut sub = Subst::new();
+        if unify(&store, &mut sub, ta, tb) {
+            let ra = sub.resolve(&mut store, ta);
+            let rb = sub.resolve(&mut store, tb);
+            prop_assert_eq!(ra, rb, "resolved terms must coincide");
+        }
+    }
+
+    /// Resolution under a unifier is idempotent: applying the
+    /// substitution twice changes nothing.
+    #[test]
+    fn resolution_idempotent(a in term_recipe(), b in term_recipe()) {
+        let mut store = TermStore::new();
+        let mut vars = Vec::new();
+        let ta = build(&mut store, &mut vars, &a);
+        let tb = build(&mut store, &mut vars, &b);
+        let mut sub = Subst::new();
+        if unify(&store, &mut sub, ta, tb) {
+            let once = sub.resolve(&mut store, ta);
+            let twice = sub.resolve(&mut store, once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// Unification is symmetric in success.
+    #[test]
+    fn unification_symmetric(a in term_recipe(), b in term_recipe()) {
+        let mut store = TermStore::new();
+        let mut vars = Vec::new();
+        let ta = build(&mut store, &mut vars, &a);
+        let tb = build(&mut store, &mut vars, &b);
+        let ok_ab = unify(&store, &mut Subst::new(), ta, tb);
+        let ok_ba = unify(&store, &mut Subst::new(), tb, ta);
+        prop_assert_eq!(ok_ab, ok_ba);
+    }
+
+    /// Term display → parse round-trips to the identical hash-consed id
+    /// (for ground terms; variable names are scope-local).
+    #[test]
+    fn ground_term_display_parse_roundtrip(a in term_recipe()) {
+        let mut store = TermStore::new();
+        let mut vars = Vec::new();
+        let t = build(&mut store, &mut vars, &a);
+        if store.is_ground(t) {
+            let text = store.display_term(t);
+            let back = parse_term(&mut store, &text).unwrap();
+            prop_assert_eq!(t, back);
+        }
+    }
+
+    /// A term unifies with itself via the empty substitution.
+    #[test]
+    fn self_unification_is_trivial(a in term_recipe()) {
+        let mut store = TermStore::new();
+        let mut vars = Vec::new();
+        let t = build(&mut store, &mut vars, &a);
+        let mut sub = Subst::new();
+        prop_assert!(unify(&store, &mut sub, t, t));
+        prop_assert!(sub.is_empty());
+    }
+
+    /// Program display → parse round-trips clause-for-clause.
+    #[test]
+    fn program_display_parse_roundtrip(
+        n_clauses in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Build a small random program from a fixed grammar of shapes.
+        let mut text = String::new();
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as usize
+        };
+        for _ in 0..n_clauses {
+            let h = next() % 3;
+            match next() % 4 {
+                0 => text.push_str(&format!("p{h}(a).\n")),
+                1 => text.push_str(&format!("p{h}(X) :- q{}(X).\n", next() % 3)),
+                2 => text.push_str(&format!(
+                    "p{h}(X) :- q{}(X, Y), ~p{}(Y).\n",
+                    next() % 3,
+                    next() % 3
+                )),
+                _ => text.push_str(&format!("q{}(a, b).\n", next() % 3)),
+            }
+        }
+        let mut store = TermStore::new();
+        let prog = parse_program(&mut store, &text).unwrap();
+        let printed = prog.display(&store);
+        let mut store2 = TermStore::new();
+        let prog2 = parse_program(&mut store2, &printed).unwrap();
+        prop_assert_eq!(prog.len(), prog2.len());
+        prop_assert_eq!(printed, prog2.display(&store2));
+    }
+}

@@ -1,0 +1,23 @@
+//! # gsls-resolution — baseline procedural semantics
+//!
+//! The three resolution procedures the paper positions global
+//! SLS-resolution against:
+//!
+//! * [`sld`] — SLD-resolution for definite programs and positive goals
+//!   (Van Emden & Kowalski; the substrate Clark built negation-as-failure
+//!   on);
+//! * [`sldnf`] — SLDNF-resolution with a *safe* computation rule: sound
+//!   with respect to the well-founded semantics for all programs (Sec. 7)
+//!   but incomplete — it cannot treat infinite branches as failed, which
+//!   experiment E8 demonstrates;
+//! * [`sls`] — SLS-resolution for stratified programs (Przymusinski):
+//!   top-down search whose negative subgoals are answered by the perfect
+//!   model, computed stratum by stratum ([`sls::perfect_model`]).
+
+pub mod sld;
+pub mod sldnf;
+pub mod sls;
+
+pub use sld::{sld_solve, SldOpts, SldResult};
+pub use sldnf::{sldnf_solve, SldnfOpts, SldnfOutcome, SldnfResult};
+pub use sls::{perfect_model, sls_solve, SlsError, SlsOpts, SlsResult};

@@ -1,0 +1,239 @@
+//! SLD-resolution for definite programs.
+//!
+//! Depth-first search over the SLD-tree with leftmost literal selection,
+//! bounded by depth and node budgets so nontermination surfaces as an
+//! explicit `exhausted = false` rather than a hang.
+
+use gsls_lang::{
+    rename::variant, unify_atoms, Goal, Literal, Program, Subst, TermStore, Var,
+};
+
+/// Budgets for the SLD search.
+#[derive(Debug, Clone, Copy)]
+pub struct SldOpts {
+    /// Maximum derivation depth (resolution steps on one branch).
+    pub max_depth: u32,
+    /// Maximum number of goals expanded in total.
+    pub max_nodes: usize,
+    /// Stop after this many answers (`usize::MAX` = all).
+    pub max_answers: usize,
+}
+
+impl Default for SldOpts {
+    fn default() -> Self {
+        SldOpts {
+            max_depth: 512,
+            max_nodes: 1_000_000,
+            max_answers: usize::MAX,
+        }
+    }
+}
+
+/// Result of an SLD search.
+#[derive(Debug, Clone)]
+pub struct SldResult {
+    /// Answer substitutions, restricted to the goal's variables.
+    pub answers: Vec<Subst>,
+    /// Whether the SLD-tree was explored exhaustively. `false` means some
+    /// branch hit a depth/node budget, so failure is *not* finite failure.
+    pub exhausted: bool,
+    /// Number of goals expanded.
+    pub nodes: usize,
+}
+
+impl SldResult {
+    /// Whether at least one answer was found.
+    pub fn succeeded(&self) -> bool {
+        !self.answers.is_empty()
+    }
+
+    /// Whether the goal finitely failed (exhaustive search, no answers).
+    pub fn finitely_failed(&self) -> bool {
+        self.answers.is_empty() && self.exhausted
+    }
+}
+
+struct Search<'a> {
+    store: &'a mut TermStore,
+    program: &'a Program,
+    opts: SldOpts,
+    goal_vars: Vec<Var>,
+    answers: Vec<Subst>,
+    nodes: usize,
+    exhausted: bool,
+}
+
+/// Runs SLD-resolution on `goal` against `program`.
+///
+/// # Panics
+/// Panics if the goal contains a negative literal — use
+/// [`crate::sldnf::sldnf_solve`] for normal goals.
+pub fn sld_solve(
+    store: &mut TermStore,
+    program: &Program,
+    goal: &Goal,
+    opts: SldOpts,
+) -> SldResult {
+    assert!(
+        goal.literals().iter().all(Literal::is_pos),
+        "SLD-resolution handles positive goals only"
+    );
+    let goal_vars = goal.vars(store);
+    let mut search = Search {
+        store,
+        program,
+        opts,
+        goal_vars,
+        answers: Vec::new(),
+        nodes: 0,
+        exhausted: true,
+    };
+    search.expand(goal, &Subst::new(), 0);
+    SldResult {
+        answers: search.answers,
+        exhausted: search.exhausted,
+        nodes: search.nodes,
+    }
+}
+
+impl Search<'_> {
+    fn expand(&mut self, goal: &Goal, subst: &Subst, depth: u32) {
+        if self.answers.len() >= self.opts.max_answers {
+            return;
+        }
+        if goal.is_empty() {
+            let ans = subst.restricted_to(self.store, &self.goal_vars);
+            self.answers.push(ans);
+            return;
+        }
+        if depth >= self.opts.max_depth || self.nodes >= self.opts.max_nodes {
+            self.exhausted = false;
+            return;
+        }
+        self.nodes += 1;
+        // Leftmost selection.
+        let selected = &goal.literals()[0];
+        let pred = selected.atom.pred_id();
+        let clause_idxs: Vec<usize> = self.program.clauses_for(pred).to_vec();
+        for ci in clause_idxs {
+            let clause = variant(self.store, self.program.clause(ci));
+            let mut local = subst.clone();
+            let goal_atom = local.resolve_atom(self.store, &selected.atom);
+            if unify_atoms(self.store, &mut local, &goal_atom, &clause.head) {
+                let child = goal.resolve_at(0, &clause.body);
+                let child = local.resolve_goal(self.store, &child);
+                self.expand(&child, &local, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::{parse_goal, parse_program};
+
+    fn solve(src: &str, goal: &str) -> (TermStore, SldResult) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let g = parse_goal(&mut s, goal).unwrap();
+        let r = sld_solve(&mut s, &p, &g, SldOpts::default());
+        (s, r)
+    }
+
+    #[test]
+    fn fact_lookup() {
+        let (_, r) = solve("p(a). p(b).", "?- p(a).");
+        assert!(r.succeeded());
+        assert_eq!(r.answers.len(), 1);
+        assert!(r.exhausted);
+    }
+
+    #[test]
+    fn all_answers_enumerated() {
+        let (s, r) = solve("p(a). p(b). p(c).", "?- p(X).");
+        assert_eq!(r.answers.len(), 3);
+        let rendered: Vec<String> = r.answers.iter().map(|a| a.display(&s)).collect();
+        assert!(rendered.contains(&"{X = a}".to_owned()));
+        assert!(rendered.contains(&"{X = c}".to_owned()));
+    }
+
+    #[test]
+    fn conjunction_join() {
+        let (s, r) = solve(
+            "e(a, b). e(b, c). path(X, Z) :- e(X, Z). path(X, Z) :- e(X, Y), path(Y, Z).",
+            "?- path(a, Z).",
+        );
+        assert_eq!(r.answers.len(), 2);
+        let rendered: Vec<String> = r.answers.iter().map(|a| a.display(&s)).collect();
+        assert!(rendered.contains(&"{Z = b}".to_owned()));
+        assert!(rendered.contains(&"{Z = c}".to_owned()));
+    }
+
+    #[test]
+    fn finite_failure() {
+        let (_, r) = solve("p(a).", "?- p(b).");
+        assert!(r.finitely_failed());
+    }
+
+    #[test]
+    fn infinite_branch_hits_budget() {
+        let (_, r) = solve("p :- p.", "?- p.");
+        assert!(!r.succeeded());
+        assert!(!r.exhausted, "loop is not finite failure");
+        assert!(!r.finitely_failed());
+    }
+
+    #[test]
+    fn function_symbols_and_recursion() {
+        let (_, r) = solve(
+            "nat(0). nat(s(X)) :- nat(X).",
+            "?- nat(s(s(0))).",
+        );
+        assert!(r.succeeded());
+        assert!(r.exhausted);
+    }
+
+    #[test]
+    fn nonground_answer_kept_general() {
+        let (s, r) = solve("p(X, X).", "?- p(Y, Z).");
+        assert_eq!(r.answers.len(), 1);
+        // Y and Z are unified with each other (both bound to the same
+        // variable), not instantiated to any ground term.
+        let ans = &r.answers[0];
+        let bindings: Vec<_> = ans.iter().map(|(_, t)| t).collect();
+        assert_eq!(bindings.len(), 2, "{}", ans.display(&s));
+        assert_eq!(bindings[0], bindings[1], "same representative variable");
+        assert!(!s.is_ground(bindings[0]));
+    }
+
+    #[test]
+    fn max_answers_cutoff() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "nat(0). nat(s(X)) :- nat(X).").unwrap();
+        let g = parse_goal(&mut s, "?- nat(N).").unwrap();
+        let r = sld_solve(
+            &mut s,
+            &p,
+            &g,
+            SldOpts {
+                max_answers: 5,
+                ..SldOpts::default()
+            },
+        );
+        assert_eq!(r.answers.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive goals only")]
+    fn negative_goal_rejected() {
+        let _ = solve("p(a).", "?- ~p(a).");
+    }
+
+    #[test]
+    fn empty_goal_succeeds_immediately() {
+        let (_, r) = solve("p(a).", "?- .");
+        assert_eq!(r.answers.len(), 1);
+        assert!(r.answers[0].is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! SLDNF-resolution with a safe computation rule.
+//!
+//! Negation as failure (Clark): a ground negative subgoal `¬A` succeeds
+//! when the subsidiary SLDNF-tree for `← A` finitely fails, and fails when
+//! it succeeds. The computation rule is **safe** (Def. 3.1): it never
+//! selects a nonground negative literal — if only nonground negative
+//! literals remain the goal **flounders**.
+//!
+//! Section 7 of the paper: SLDNF with a safe rule is *sound* w.r.t. the
+//! well-founded semantics, but *incomplete* — it does not treat infinite
+//! branches as failed, so `p ← p` makes `← ¬p` loop instead of succeed.
+//! The explicit [`SldnfOutcome::Budget`] outcome surfaces exactly those
+//! nonterminating searches.
+
+use gsls_lang::{
+    rename::variant, unify_atoms, Goal, Literal, Program, Subst, TermStore, Var,
+};
+
+/// Budgets for the SLDNF search.
+#[derive(Debug, Clone, Copy)]
+pub struct SldnfOpts {
+    /// Maximum derivation depth per tree (main or subsidiary).
+    pub max_depth: u32,
+    /// Global budget on expanded goals across all subsidiary trees.
+    pub max_nodes: usize,
+}
+
+impl Default for SldnfOpts {
+    fn default() -> Self {
+        SldnfOpts {
+            max_depth: 256,
+            max_nodes: 200_000,
+        }
+    }
+}
+
+/// Outcome of an SLDNF query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SldnfOutcome {
+    /// At least one SLDNF-refutation found.
+    Success,
+    /// The SLDNF-tree finitely failed.
+    Fail,
+    /// A nonground negative literal had to be selected.
+    Floundered,
+    /// A depth/node budget was hit before the tree was exhausted — the
+    /// search may diverge (SLDNF's incompleteness made observable).
+    Budget,
+}
+
+/// Result of an SLDNF query.
+#[derive(Debug, Clone)]
+pub struct SldnfResult {
+    /// The overall outcome.
+    pub outcome: SldnfOutcome,
+    /// Answer substitutions (nonempty iff `outcome == Success`).
+    pub answers: Vec<Subst>,
+    /// Goals expanded across all trees.
+    pub nodes: usize,
+}
+
+/// Runs SLDNF-resolution on `goal` against `program` with a safe,
+/// leftmost-selectable computation rule.
+pub fn sldnf_solve(
+    store: &mut TermStore,
+    program: &Program,
+    goal: &Goal,
+    opts: SldnfOpts,
+) -> SldnfResult {
+    let goal_vars = goal.vars(store);
+    let mut search = Search {
+        store,
+        program,
+        opts,
+        nodes: 0,
+    };
+    let mut answers = Vec::new();
+    let status = search.expand(goal, &Subst::new(), 0, &goal_vars, &mut answers);
+    let outcome = match status {
+        Status::Ok => {
+            if answers.is_empty() {
+                SldnfOutcome::Fail
+            } else {
+                SldnfOutcome::Success
+            }
+        }
+        Status::Floundered => {
+            if answers.is_empty() {
+                SldnfOutcome::Floundered
+            } else {
+                // Some branch floundered but another produced an answer:
+                // report success (answers are still sound).
+                SldnfOutcome::Success
+            }
+        }
+        Status::Budget => {
+            if answers.is_empty() {
+                SldnfOutcome::Budget
+            } else {
+                SldnfOutcome::Success
+            }
+        }
+    };
+    SldnfResult {
+        outcome,
+        answers,
+        nodes: search.nodes,
+    }
+}
+
+/// Internal search status: did every branch resolve, or did some branch
+/// flounder / hit a budget (poisoning claims of finite failure)?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ok,
+    Floundered,
+    Budget,
+}
+
+impl Status {
+    fn worst(self, other: Status) -> Status {
+        use Status::*;
+        match (self, other) {
+            (Budget, _) | (_, Budget) => Budget,
+            (Floundered, _) | (_, Floundered) => Floundered,
+            _ => Ok,
+        }
+    }
+}
+
+struct Search<'a> {
+    store: &'a mut TermStore,
+    program: &'a Program,
+    opts: SldnfOpts,
+    nodes: usize,
+}
+
+impl Search<'_> {
+    /// Selects per the safe rule: the leftmost positive literal if any,
+    /// otherwise the leftmost *ground* negative literal.
+    fn select(&self, goal: &Goal) -> Option<usize> {
+        if let Some(i) = goal.literals().iter().position(Literal::is_pos) {
+            return Some(i);
+        }
+        goal.literals()
+            .iter()
+            .position(|l| l.is_ground(self.store))
+    }
+
+    fn expand(
+        &mut self,
+        goal: &Goal,
+        subst: &Subst,
+        depth: u32,
+        goal_vars: &[Var],
+        answers: &mut Vec<Subst>,
+    ) -> Status {
+        if goal.is_empty() {
+            answers.push(subst.restricted_to(self.store, goal_vars));
+            return Status::Ok;
+        }
+        if depth >= self.opts.max_depth || self.nodes >= self.opts.max_nodes {
+            return Status::Budget;
+        }
+        self.nodes += 1;
+        let Some(idx) = self.select(goal) else {
+            return Status::Floundered;
+        };
+        let selected = goal.literals()[idx].clone();
+        if selected.is_pos() {
+            let pred = selected.atom.pred_id();
+            let clause_idxs: Vec<usize> = self.program.clauses_for(pred).to_vec();
+            let mut status = Status::Ok;
+            for ci in clause_idxs {
+                let clause = variant(self.store, self.program.clause(ci));
+                let mut local = subst.clone();
+                let goal_atom = local.resolve_atom(self.store, &selected.atom);
+                if unify_atoms(self.store, &mut local, &goal_atom, &clause.head) {
+                    let child = goal.resolve_at(idx, &clause.body);
+                    let child = local.resolve_goal(self.store, &child);
+                    status =
+                        status.worst(self.expand(&child, &local, depth + 1, goal_vars, answers));
+                }
+            }
+            status
+        } else {
+            // Ground negative literal: subsidiary tree for the complement.
+            let sub_goal = Goal::new(vec![selected.complement()]);
+            let mut sub_answers = Vec::new();
+            let sub_status = self.expand(&sub_goal, &Subst::new(), depth + 1, &[], &mut sub_answers);
+            if !sub_answers.is_empty() {
+                // ¬A fails because A succeeded (sound even under budget).
+                return Status::Ok;
+            }
+            match sub_status {
+                Status::Ok => {
+                    // Finite failure of A: ¬A succeeds.
+                    let child = goal.resolve_at(idx, &[]);
+                    self.expand(&child, subst, depth + 1, goal_vars, answers)
+                }
+                // Floundered or budget inside the subsidiary tree: we can
+                // conclude nothing about ¬A.
+                other => other,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::{parse_goal, parse_program};
+
+    fn solve(src: &str, goal: &str) -> (TermStore, SldnfResult) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let g = parse_goal(&mut s, goal).unwrap();
+        let r = sldnf_solve(&mut s, &p, &g, SldnfOpts::default());
+        (s, r)
+    }
+
+    #[test]
+    fn negation_as_failure_success() {
+        let (_, r) = solve("p(a).", "?- ~p(b).");
+        assert_eq!(r.outcome, SldnfOutcome::Success);
+    }
+
+    #[test]
+    fn negation_as_failure_fail() {
+        let (_, r) = solve("p(a).", "?- ~p(a).");
+        assert_eq!(r.outcome, SldnfOutcome::Fail);
+    }
+
+    #[test]
+    fn stratified_composition() {
+        let (s, r) = solve(
+            "bird(tweety). bird(sam). penguin(sam). flies(X) :- bird(X), ~penguin(X).",
+            "?- flies(X).",
+        );
+        assert_eq!(r.outcome, SldnfOutcome::Success);
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.answers[0].display(&s), "{X = tweety}");
+    }
+
+    #[test]
+    fn floundering_detected() {
+        // Only a nonground negative literal remains.
+        let (_, r) = solve("q(a).", "?- ~q(X).");
+        assert_eq!(r.outcome, SldnfOutcome::Floundered);
+    }
+
+    #[test]
+    fn safe_rule_delays_negative_literal() {
+        // ~q(X) becomes ground after p(X) binds X; safe rule must postpone.
+        let (_, r) = solve("p(a). q(b).", "?- ~q(X), p(X).");
+        assert_eq!(r.outcome, SldnfOutcome::Success);
+    }
+
+    #[test]
+    fn positive_loop_budget_not_failure() {
+        // Sec. 7: SLDNF cannot fail infinite branches. WFS says ¬p, but
+        // the subsidiary tree for p loops.
+        let (_, r) = solve("p :- p.", "?- ~p.");
+        assert_eq!(r.outcome, SldnfOutcome::Budget);
+    }
+
+    #[test]
+    fn recursion_through_negation_budget() {
+        // win cycle: WFS leaves both undefined; SLDNF recurses forever.
+        let (_, r) = solve(
+            "move(a, b). move(b, a). win(X) :- move(X, Y), ~win(Y).",
+            "?- win(a).",
+        );
+        assert_eq!(r.outcome, SldnfOutcome::Budget);
+    }
+
+    #[test]
+    fn sldnf_agrees_on_terminating_win_game() {
+        let (_, r) = solve(
+            "move(a, b). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+            "?- win(b).",
+        );
+        assert_eq!(r.outcome, SldnfOutcome::Success);
+        let (_, r2) = solve(
+            "move(a, b). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+            "?- win(a).",
+        );
+        assert_eq!(r2.outcome, SldnfOutcome::Fail);
+    }
+
+    #[test]
+    fn double_negation() {
+        let (_, r) = solve("p. q :- ~r. r :- ~p.", "?- q.");
+        // r :- ~p fails (p succeeds), so ~r succeeds, so q succeeds.
+        assert_eq!(r.outcome, SldnfOutcome::Success);
+    }
+
+    #[test]
+    fn nodes_counted() {
+        let (_, r) = solve("p(a).", "?- p(a).");
+        assert!(r.nodes >= 1);
+    }
+}

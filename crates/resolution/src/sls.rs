@@ -1,0 +1,322 @@
+//! SLS-resolution for stratified programs (Przymusinski).
+//!
+//! SLS-resolution is an *ideal* procedure: infinite branches count as
+//! failed, which no terminating search can do directly. For stratified
+//! programs, however, the perfect model is computed stratum by stratum,
+//! and a negative subgoal `¬A` at stratum `k` only depends on strata
+//! `< k`. We realise SLS-resolution the way the paper describes its
+//! relationship to the perfect model semantics: the top-down search
+//! resolves positive literals by SLD steps and answers ground negative
+//! subgoals from the (lower-stratum) perfect model — the oracle that the
+//! level mapping of SLS-trees presupposes.
+//!
+//! The perfect-model computation itself ([`perfect_model`]) is the
+//! textbook iterated fixpoint over the stratification.
+
+use gsls_lang::{
+    rename::variant, unify_atoms, FxHashMap, Goal, Literal, Pred, Program, Subst, TermStore, Var,
+};
+use gsls_ground::{DepGraph, GroundProgram, Grounder, GrounderOpts};
+use gsls_wfs::{lfp_with, BitSet, Interp};
+use std::fmt;
+
+/// Errors from the SLS engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlsError {
+    /// The program is not stratified; SLS-resolution is undefined for it.
+    NotStratified,
+    /// Grounding failed (budget).
+    Grounding(String),
+}
+
+impl fmt::Display for SlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlsError::NotStratified => write!(f, "program is not stratified"),
+            SlsError::Grounding(e) => write!(f, "grounding failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SlsError {}
+
+/// Computes the perfect model of a stratified program by the iterated
+/// least fixpoint over its stratification.
+///
+/// Returns the ground program together with the (total, on derivable
+/// atoms) model. For stratified programs this coincides with the
+/// well-founded model — experiment E10 asserts exactly that.
+pub fn perfect_model(
+    store: &mut TermStore,
+    program: &Program,
+) -> Result<(GroundProgram, Interp), SlsError> {
+    let dg = DepGraph::from_program(program);
+    let strata = dg.strata().ok_or(SlsError::NotStratified)?;
+    let gp = Grounder::ground_with(store, program, GrounderOpts::default())
+        .map_err(|e| SlsError::Grounding(e.to_string()))?;
+    let max_stratum = strata.values().copied().max().unwrap_or(0);
+
+    // Pred → stratum lookup for ground atoms.
+    let stratum_of = |gp: &GroundProgram, a: gsls_ground::GroundAtomId| -> u32 {
+        let pred: Pred = gp.atom(a).pred_id();
+        strata.get(&pred).copied().unwrap_or(0)
+    };
+
+    let n = gp.atom_count();
+    let mut true_set = BitSet::new(n);
+    for k in 0..=max_stratum {
+        // Evaluate stratum k: fixpoint over clauses whose head is at
+        // stratum ≤ k, with negative literals answered by lower strata
+        // (or, equivalently, by the accumulating true_set — sound because
+        // a stratum-k head never negatively depends on stratum ≥ k).
+        let snapshot = true_set.clone();
+        let derived = lfp_with(&gp, |q| !snapshot.contains(q.index()));
+        for a in derived.iter() {
+            if stratum_of(&gp, gsls_ground::GroundAtomId(a as u32)) <= k {
+                true_set.insert(a);
+            }
+        }
+    }
+    let false_set = true_set.complement();
+    Ok((gp, Interp::from_parts(true_set, false_set)))
+}
+
+/// Result of an SLS query.
+#[derive(Debug, Clone)]
+pub struct SlsResult {
+    /// Answer substitutions for the goal's variables.
+    pub answers: Vec<Subst>,
+    /// Whether some branch floundered (nonground negative literal with no
+    /// positive literal left to select).
+    pub floundered: bool,
+    /// Goals expanded.
+    pub nodes: usize,
+}
+
+impl SlsResult {
+    /// Whether at least one answer exists.
+    pub fn succeeded(&self) -> bool {
+        !self.answers.is_empty()
+    }
+}
+
+/// Budgets for the top-down phase (positive recursion can still diverge
+/// with function symbols; stratified ≠ terminating).
+#[derive(Debug, Clone, Copy)]
+pub struct SlsOpts {
+    /// Maximum derivation depth.
+    pub max_depth: u32,
+    /// Maximum goals expanded.
+    pub max_nodes: usize,
+}
+
+impl Default for SlsOpts {
+    fn default() -> Self {
+        SlsOpts {
+            max_depth: 512,
+            max_nodes: 1_000_000,
+        }
+    }
+}
+
+/// Runs SLS-resolution on `goal` against the stratified `program`.
+pub fn sls_solve(
+    store: &mut TermStore,
+    program: &Program,
+    goal: &Goal,
+    opts: SlsOpts,
+) -> Result<SlsResult, SlsError> {
+    let (gp, model) = perfect_model(store, program)?;
+    let goal_vars = goal.vars(store);
+    let mut search = Search {
+        store,
+        program,
+        gp: &gp,
+        model: &model,
+        opts,
+        nodes: 0,
+        floundered: false,
+        answers: Vec::new(),
+        memo: FxHashMap::default(),
+    };
+    search.expand(goal, &Subst::new(), 0, &goal_vars);
+    Ok(SlsResult {
+        answers: search.answers,
+        floundered: search.floundered,
+        nodes: search.nodes,
+    })
+}
+
+struct Search<'a> {
+    store: &'a mut TermStore,
+    program: &'a Program,
+    gp: &'a GroundProgram,
+    model: &'a Interp,
+    opts: SlsOpts,
+    nodes: usize,
+    floundered: bool,
+    answers: Vec<Subst>,
+    /// Memo of ground negative-literal verdicts (true = ¬A succeeds).
+    memo: FxHashMap<gsls_lang::Atom, bool>,
+}
+
+impl Search<'_> {
+    fn neg_succeeds(&mut self, atom: &gsls_lang::Atom) -> bool {
+        if let Some(&v) = self.memo.get(atom) {
+            return v;
+        }
+        // ¬A succeeds iff A is false in the perfect model. Atoms the
+        // grounder never interned are underivable, hence false.
+        let v = match self.gp.lookup_atom(atom) {
+            Some(id) => self.model.is_false(id),
+            None => true,
+        };
+        self.memo.insert(atom.clone(), v);
+        v
+    }
+
+    fn expand(&mut self, goal: &Goal, subst: &Subst, depth: u32, goal_vars: &[Var]) {
+        if goal.is_empty() {
+            let ans = subst.restricted_to(self.store, goal_vars);
+            self.answers.push(ans);
+            return;
+        }
+        if depth >= self.opts.max_depth || self.nodes >= self.opts.max_nodes {
+            return;
+        }
+        self.nodes += 1;
+        // Positivistic, safe selection.
+        let idx = match goal.literals().iter().position(Literal::is_pos) {
+            Some(i) => i,
+            None => match goal
+                .literals()
+                .iter()
+                .position(|l| l.is_ground(self.store))
+            {
+                Some(i) => i,
+                None => {
+                    self.floundered = true;
+                    return;
+                }
+            },
+        };
+        let selected = goal.literals()[idx].clone();
+        if selected.is_pos() {
+            let pred = selected.atom.pred_id();
+            let clause_idxs: Vec<usize> = self.program.clauses_for(pred).to_vec();
+            for ci in clause_idxs {
+                let clause = variant(self.store, self.program.clause(ci));
+                let mut local = subst.clone();
+                let goal_atom = local.resolve_atom(self.store, &selected.atom);
+                if unify_atoms(self.store, &mut local, &goal_atom, &clause.head) {
+                    let child = goal.resolve_at(idx, &clause.body);
+                    let child = local.resolve_goal(self.store, &child);
+                    self.expand(&child, &local, depth + 1, goal_vars);
+                }
+            }
+        } else {
+            let atom = subst.resolve_atom(self.store, &selected.atom);
+            if self.neg_succeeds(&atom) {
+                let child = goal.resolve_at(idx, &[]);
+                self.expand(&child, subst, depth + 1, goal_vars);
+            }
+            // else: this branch fails.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::{parse_goal, parse_program};
+    use gsls_wfs::well_founded_model;
+
+    fn solve(src: &str, goal: &str) -> (TermStore, SlsResult) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let g = parse_goal(&mut s, goal).unwrap();
+        let r = sls_solve(&mut s, &p, &g, SlsOpts::default()).unwrap();
+        (s, r)
+    }
+
+    #[test]
+    fn rejects_unstratified() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "win(X) :- move(X, Y), ~win(Y). move(a, b).").unwrap();
+        let g = parse_goal(&mut s, "?- win(a).").unwrap();
+        assert_eq!(
+            sls_solve(&mut s, &p, &g, SlsOpts::default()).unwrap_err(),
+            SlsError::NotStratified
+        );
+    }
+
+    #[test]
+    fn perfect_model_equals_wfm_on_stratified() {
+        for src in [
+            "r(a). r(b). q(X) :- r(X). p(X) :- r(X), ~q(X).",
+            "b(1). b(2). e(1). odd(X) :- b(X), ~e(X).",
+            "p :- ~q. q :- ~r. r.",
+        ] {
+            let mut s = TermStore::new();
+            let prog = parse_program(&mut s, src).unwrap();
+            let (gp, pm) = perfect_model(&mut s, &prog).unwrap();
+            let wfm = well_founded_model(&gp);
+            assert_eq!(pm, wfm, "perfect model ≠ WFM for {src}");
+            assert!(pm.is_total());
+        }
+    }
+
+    #[test]
+    fn stratified_query_answers() {
+        let (s, r) = solve(
+            "bird(tweety). bird(sam). penguin(sam). flies(X) :- bird(X), ~penguin(X).",
+            "?- flies(X).",
+        );
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.answers[0].display(&s), "{X = tweety}");
+        assert!(!r.floundered);
+    }
+
+    #[test]
+    fn double_negation_through_strata() {
+        let (_, r) = solve("p. q :- ~r. r :- ~p.", "?- q.");
+        assert!(r.succeeded());
+    }
+
+    #[test]
+    fn failing_query() {
+        let (_, r) = solve("p. q :- ~p.", "?- q.");
+        assert!(!r.succeeded());
+        assert!(!r.floundered);
+    }
+
+    #[test]
+    fn floundering_reported() {
+        let (_, r) = solve("q(a).", "?- ~q(X).");
+        assert!(r.floundered);
+        assert!(!r.succeeded());
+    }
+
+    #[test]
+    fn transitive_closure_complement() {
+        // unreachable(X,Y) over a finite graph — the classic stratified
+        // deductive-database query.
+        let src = "e(a, b). e(b, c). n(a). n(b). n(c).
+                   t(X, Y) :- e(X, Y).
+                   t(X, Z) :- e(X, Y), t(Y, Z).
+                   unreach(X, Y) :- n(X), n(Y), ~t(X, Y).";
+        let (_, r) = solve(src, "?- unreach(c, a).");
+        assert!(r.succeeded());
+        let (_, r2) = solve(src, "?- unreach(a, c).");
+        assert!(!r2.succeeded());
+    }
+
+    #[test]
+    fn enumeration_with_negation() {
+        let (_, r) = solve(
+            "d(a). d(b). d(c). bad(b). good(X) :- d(X), ~bad(X).",
+            "?- good(X).",
+        );
+        assert_eq!(r.answers.len(), 2);
+    }
+}

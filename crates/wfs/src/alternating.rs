@@ -1,0 +1,168 @@
+//! The alternating fixpoint: the polynomial bottom-up baseline.
+//!
+//! Van Gelder's alternating-fixpoint characterisation of the well-founded
+//! model (the bottom-up algorithm the paper's footnote 5 cites as [32]):
+//! let `A(S)` be the least fixpoint of the Gelfond–Lifschitz reduct of `P`
+//! w.r.t. `S` (a negated atom `¬q` holds iff `q ∉ S`). `A` is
+//! antimonotone, so `A∘A` is monotone; iterating
+//!
+//! ```text
+//! T₀ = ∅,  U₀ = A(T₀),  Tᵢ₊₁ = A(Uᵢ),  Uᵢ₊₁ = A(Tᵢ₊₁)
+//! ```
+//!
+//! converges with `T∞ ⊆ U∞`. Then `M_WF(P)` has true atoms `T∞`, false
+//! atoms `H ∖ U∞`, undefined `U∞ ∖ T∞`. Each `A` call is linear in program
+//! size, and the iteration count is bounded by the number of atoms, giving
+//! the quadratic worst case (typically a handful of rounds).
+
+use crate::bitset::BitSet;
+use crate::interp::Interp;
+use crate::tp::lfp_with;
+use gsls_ground::GroundProgram;
+
+/// Statistics from an alternating-fixpoint run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlternatingStats {
+    /// Number of `A(·)` evaluations performed.
+    pub reduct_calls: u32,
+    /// Number of outer rounds until the fixpoint.
+    pub rounds: u32,
+}
+
+/// Computes the well-founded model of `gp`.
+pub fn well_founded_model(gp: &GroundProgram) -> Interp {
+    well_founded_model_with_stats(gp).0
+}
+
+/// [`well_founded_model`] plus iteration statistics.
+pub fn well_founded_model_with_stats(gp: &GroundProgram) -> (Interp, AlternatingStats) {
+    let n = gp.atom_count();
+    let mut reduct_calls = 0u32;
+    let mut a = |s: &BitSet| {
+        reduct_calls += 1;
+        lfp_with(gp, |q| !s.contains(q.index()))
+    };
+    let mut t = BitSet::new(n);
+    let mut u = a(&t);
+    let mut rounds = 1u32;
+    loop {
+        let t_next = a(&u);
+        let u_next = a(&t_next);
+        let stable = t_next == t && u_next == u;
+        t = t_next;
+        u = u_next;
+        if stable {
+            break;
+        }
+        rounds += 1;
+    }
+    debug_assert!(t.is_subset(&u), "alternating fixpoint order violated");
+    let false_set = u.complement();
+    (
+        Interp::from_parts(t, false_set),
+        AlternatingStats {
+            reduct_calls,
+            rounds,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Truth;
+    use crate::wp::{vp_iteration, wp_iteration};
+    use gsls_ground::{GroundAtomId, Grounder};
+    use gsls_lang::{parse_program, TermStore};
+
+    fn wfm(src: &str) -> (TermStore, GroundProgram, Interp) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        let m = well_founded_model(&gp);
+        (s, gp, m)
+    }
+
+    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
+        gp.atom_ids()
+            .find(|&a| gp.display_atom(store, a) == text)
+            .unwrap_or_else(|| panic!("atom {text} not found"))
+    }
+
+    #[test]
+    fn definite_program_two_valued() {
+        let (s, gp, m) = wfm("e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).");
+        assert!(m.is_total());
+        assert_eq!(m.truth(id(&s, &gp, "t(a, c)")), Truth::True);
+    }
+
+    #[test]
+    fn mutual_negation_undefined() {
+        let (s, gp, m) = wfm("p :- ~q. q :- ~p.");
+        assert_eq!(m.truth(id(&s, &gp, "p")), Truth::Undefined);
+        assert_eq!(m.truth(id(&s, &gp, "q")), Truth::Undefined);
+    }
+
+    #[test]
+    fn odd_loop_undefined() {
+        let (s, gp, m) = wfm("p :- ~p.");
+        assert_eq!(m.truth(id(&s, &gp, "p")), Truth::Undefined);
+    }
+
+    #[test]
+    fn agrees_with_wp_and_vp_iterations() {
+        for src in [
+            "q. p :- ~q. r :- ~p.",
+            "p :- ~q. q :- ~p. r :- ~s. s.",
+            "p :- ~q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.",
+            "p :- ~p. q :- ~s, ~p. s :- ~q.",
+            "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+            "e(a, b). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        ] {
+            let mut s = TermStore::new();
+            let p = parse_program(&mut s, src).unwrap();
+            let gp = Grounder::ground(&mut s, &p).unwrap();
+            let alt = well_founded_model(&gp);
+            assert_eq!(alt, vp_iteration(&gp).model, "vp mismatch: {src}");
+            assert_eq!(alt, wp_iteration(&gp).model, "wp mismatch: {src}");
+        }
+    }
+
+    #[test]
+    fn wfm_is_a_partial_model() {
+        for src in [
+            "q. p :- ~q. r :- ~p.",
+            "p :- ~q. q :- ~p.",
+            "move(a, b). move(b, a). win(X) :- move(X, Y), ~win(Y).",
+        ] {
+            let (_, gp, m) = wfm(src);
+            assert!(m.satisfies(&gp), "WFM must satisfy the program: {src}");
+        }
+    }
+
+    #[test]
+    fn stats_reported() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p :- ~q. q :- ~p.").unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        let (_, stats) = well_founded_model_with_stats(&gp);
+        assert!(stats.reduct_calls >= 3);
+        assert!(stats.rounds >= 1);
+    }
+
+    #[test]
+    fn deep_negation_chain() {
+        // a_i :- ~a_{i+1}; a_n fact. Alternating values down the chain.
+        let mut src = String::from("a10.\n");
+        for i in (0..10).rev() {
+            src.push_str(&format!("a{} :- ~a{}.\n", i, i + 1));
+        }
+        let (s, gp, m) = wfm(&src);
+        assert!(m.is_total());
+        // a10 true, a9 false, a8 true, ...
+        for i in 0..=10 {
+            let expect = if (10 - i) % 2 == 0 { Truth::True } else { Truth::False };
+            assert_eq!(m.truth(id(&s, &gp, &format!("a{i}"))), expect, "a{i}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Fitting's Kripke–Kleene semantics (three-valued completion).
+//!
+//! Included as a comparison semantics (Sec. 1 of the paper): the Fitting
+//! operator `Φ_P` makes an atom true when some rule body is true, false
+//! when *every* rule body is false — it does not detect unfounded positive
+//! loops, so `p ← p` is *undefined* under Fitting but *false* under the
+//! well-founded semantics. Experiment E11 exercises exactly this gap.
+
+use crate::interp::{Interp, Truth};
+use gsls_ground::{GroundClause, GroundProgram};
+
+fn body_truth(c: &GroundClause, i: &Interp) -> Truth {
+    let mut any_undef = false;
+    for &a in c.pos.iter() {
+        match i.truth(a) {
+            Truth::False => return Truth::False,
+            Truth::Undefined => any_undef = true,
+            Truth::True => {}
+        }
+    }
+    for &a in c.neg.iter() {
+        match i.truth(a) {
+            Truth::True => return Truth::False,
+            Truth::Undefined => any_undef = true,
+            Truth::False => {}
+        }
+    }
+    if any_undef {
+        Truth::Undefined
+    } else {
+        Truth::True
+    }
+}
+
+/// One application of the Fitting operator `Φ_P`.
+pub fn phi(gp: &GroundProgram, i: &Interp) -> Interp {
+    let n = gp.atom_count();
+    let mut out = Interp::new(n);
+    // Truth per atom: true if some body true; false if all bodies false
+    // (vacuously, for atoms with no rules).
+    let mut has_true = vec![false; n];
+    let mut all_false = vec![true; n];
+    for c in gp.clauses() {
+        match body_truth(c, i) {
+            Truth::True => {
+                has_true[c.head.index()] = true;
+                all_false[c.head.index()] = false;
+            }
+            Truth::Undefined => all_false[c.head.index()] = false,
+            Truth::False => {}
+        }
+    }
+    for a in gp.atom_ids() {
+        if has_true[a.index()] {
+            out.set_true(a);
+        } else if all_false[a.index()] {
+            out.set_false(a);
+        }
+    }
+    out
+}
+
+/// The Kripke–Kleene (Fitting) model: least fixpoint of `Φ_P` under the
+/// information ordering, reached by iterating from the all-undefined
+/// interpretation.
+pub fn fitting_model(gp: &GroundProgram) -> Interp {
+    let mut i = Interp::new(gp.atom_count());
+    loop {
+        let next = phi(gp, &i);
+        if next == i {
+            return i;
+        }
+        debug_assert!(i.leq(&next), "Φ must be inflationary from ∅");
+        i = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alternating::well_founded_model;
+    use gsls_ground::{GroundAtomId, GrounderOpts, Grounder, GroundingMode};
+    use gsls_lang::{parse_program, TermStore};
+
+    fn models(src: &str) -> (TermStore, GroundProgram, Interp, Interp) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground_with(
+            &mut s,
+            &p,
+            GrounderOpts {
+                mode: GroundingMode::Full,
+                ..GrounderOpts::default()
+            },
+        )
+        .unwrap();
+        let f = fitting_model(&gp);
+        let w = well_founded_model(&gp);
+        (s, gp, f, w)
+    }
+
+    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
+        gp.atom_ids()
+            .find(|&a| gp.display_atom(store, a) == text)
+            .unwrap_or_else(|| panic!("atom {text} not found"))
+    }
+
+    #[test]
+    fn positive_loop_separates_fitting_from_wfs() {
+        let (s, gp, f, w) = models("p :- p.");
+        let p = id(&s, &gp, "p");
+        assert_eq!(f.truth(p), Truth::Undefined, "Fitting: undefined");
+        assert_eq!(w.truth(p), Truth::False, "WFS: false (unfounded)");
+    }
+
+    #[test]
+    fn fitting_below_wfs_in_information_order() {
+        for src in [
+            "p :- p.",
+            "q. p :- ~q. r :- ~p.",
+            "p :- ~q. q :- ~p.",
+            "a :- b. b :- a. c :- ~a.",
+        ] {
+            let (_, _, f, w) = models(src);
+            assert!(f.leq(&w), "Fitting ⊆ WFS must hold: {src}");
+        }
+    }
+
+    #[test]
+    fn agree_on_stratified_without_positive_loops() {
+        let (_, _, f, w) = models("q. p :- ~q. r :- ~p.");
+        assert_eq!(f, w);
+    }
+
+    #[test]
+    fn atom_without_rules_false() {
+        let (s, gp, f, _) = models("p :- ~q.");
+        assert_eq!(f.truth(id(&s, &gp, "q")), Truth::False);
+        assert_eq!(f.truth(id(&s, &gp, "p")), Truth::True);
+    }
+
+    #[test]
+    fn phi_single_step_semantics() {
+        let (s, gp, _, _) = models("p :- q, ~r. q.");
+        let mut i = Interp::new(gp.atom_count());
+        i.set_true(id(&s, &gp, "q"));
+        i.set_false(id(&s, &gp, "r"));
+        let next = phi(&gp, &i);
+        assert_eq!(next.truth(id(&s, &gp, "p")), Truth::True);
+    }
+
+    #[test]
+    fn mutual_negation_undefined_in_both() {
+        let (s, gp, f, w) = models("p :- ~q. q :- ~p.");
+        let p = id(&s, &gp, "p");
+        assert_eq!(f.truth(p), Truth::Undefined);
+        assert_eq!(w.truth(p), Truth::Undefined);
+    }
+}

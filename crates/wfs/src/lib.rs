@@ -1,0 +1,37 @@
+//! # gsls-wfs — the well-founded semantics, bottom-up
+//!
+//! Ground-level fixpoint machinery for the well-founded semantics of
+//! Van Gelder, Ross & Schlipf, as summarised in Section 2 of Ross's
+//! global-SLS paper:
+//!
+//! * [`interp`] — three-valued partial interpretations (Def. 1.7);
+//! * [`tp`] — the immediate-consequence operators `T_P`, `T̄_P` and the
+//!   linear-time reduct least fixpoint (Dowling–Gallier);
+//! * [`unfounded`] — greatest unfounded sets `U_P(I)` (Def. 2.1/2.2);
+//! * [`wp`] — the `W_P` and `V_P` iterations with per-literal **stages**
+//!   (Def. 2.3/2.4), the quantity Theorem 4.5 equates with global-tree
+//!   levels;
+//! * [`alternating`] — the efficient alternating-fixpoint algorithm used
+//!   as the bottom-up baseline in every benchmark;
+//! * [`fitting`] — Fitting's Kripke–Kleene semantics (comparison);
+//! * [`stable`] — stable-model enumeration (comparison).
+//!
+//! All engines operate on [`gsls_ground::GroundProgram`]s.
+
+pub mod alternating;
+pub mod bitset;
+pub mod fitting;
+pub mod interp;
+pub mod stable;
+pub mod tp;
+pub mod unfounded;
+pub mod wp;
+
+pub use alternating::{well_founded_model, well_founded_model_with_stats, AlternatingStats};
+pub use bitset::BitSet;
+pub use fitting::{fitting_model, phi};
+pub use interp::{Interp, Truth};
+pub use stable::{is_stable_model, stable_intersection, stable_models, wfm_within_all_stable};
+pub use tp::{lfp_with, tp, tp_bar, tp_omega};
+pub use unfounded::{greatest_unfounded, is_unfounded_set};
+pub use wp::{vp_iteration, wp_iteration, StagedModel};

@@ -1,0 +1,179 @@
+//! Stable models (Gelfond–Lifschitz) for comparison with the WFS.
+//!
+//! Section 1 of the paper situates the well-founded semantics among its
+//! competitors; the classical relationships tested by experiment E11 are:
+//!
+//! * every stable model extends the well-founded partial model;
+//! * if the well-founded model is total it is the unique stable model;
+//! * programs like `p ← ¬p` have no stable model, while the WFS still
+//!   assigns (undefined) meaning.
+//!
+//! The enumerator prunes with the WFM first and then branches on the
+//! remaining undefined atoms — exponential only in the undefined residue,
+//! which is what small-model comparisons need.
+
+use crate::alternating::well_founded_model;
+use crate::bitset::BitSet;
+use crate::interp::Interp;
+use crate::tp::lfp_with;
+use gsls_ground::GroundProgram;
+
+/// Whether the two-valued interpretation with true-set `s` is a stable
+/// model of `gp`: `s = lfp(T_{P^s})` for the Gelfond–Lifschitz reduct
+/// `P^s`.
+pub fn is_stable_model(gp: &GroundProgram, s: &BitSet) -> bool {
+    lfp_with(gp, |q| !s.contains(q.index())) == *s
+}
+
+/// Enumerates up to `limit` stable models (as true-sets over the atom
+/// space of `gp`), in a deterministic order.
+pub fn stable_models(gp: &GroundProgram, limit: usize) -> Vec<BitSet> {
+    let wfm = well_founded_model(gp);
+    let undefined: Vec<usize> = wfm.iter_undefined().map(|a| a.index()).collect();
+    let mut out = Vec::new();
+    // Branch over the undefined residue only: stable models agree with the
+    // WFM on its defined part.
+    let base: BitSet = {
+        let mut b = BitSet::new(gp.atom_count());
+        for a in wfm.iter_true() {
+            b.insert(a.index());
+        }
+        b
+    };
+    let k = undefined.len();
+    assert!(k <= 26, "undefined residue too large to enumerate ({k})");
+    for mask in 0u64..(1u64 << k) {
+        if out.len() >= limit {
+            break;
+        }
+        let mut s = base.clone();
+        for (bit, &a) in undefined.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                s.insert(a);
+            }
+        }
+        if is_stable_model(gp, &s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// The intersection of all stable models, if any exist.
+pub fn stable_intersection(gp: &GroundProgram) -> Option<BitSet> {
+    let models = stable_models(gp, usize::MAX);
+    let mut iter = models.into_iter();
+    let mut acc = iter.next()?;
+    for m in iter {
+        acc.intersect_with(&m);
+    }
+    Some(acc)
+}
+
+/// Checks the classical containment: the WFM's true atoms are true in
+/// every stable model and its false atoms are false in every stable model.
+pub fn wfm_within_all_stable(gp: &GroundProgram, wfm: &Interp) -> bool {
+    stable_models(gp, usize::MAX).iter().all(|s| {
+        wfm.iter_true().all(|a| s.contains(a.index()))
+            && wfm.iter_false().all(|a| !s.contains(a.index()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_ground::{GroundAtomId, Grounder};
+    use gsls_lang::{parse_program, TermStore};
+
+    fn ground(src: &str) -> (TermStore, GroundProgram) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        (s, gp)
+    }
+
+    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
+        gp.atom_ids()
+            .find(|&a| gp.display_atom(store, a) == text)
+            .unwrap_or_else(|| panic!("atom {text} not found"))
+    }
+
+    #[test]
+    fn mutual_negation_two_stable_models() {
+        let (s, gp) = ground("p :- ~q. q :- ~p.");
+        let models = stable_models(&gp, 10);
+        assert_eq!(models.len(), 2);
+        let p = id(&s, &gp, "p");
+        let q = id(&s, &gp, "q");
+        // {p} and {q}.
+        assert!(models
+            .iter()
+            .any(|m| m.contains(p.index()) && !m.contains(q.index())));
+        assert!(models
+            .iter()
+            .any(|m| m.contains(q.index()) && !m.contains(p.index())));
+    }
+
+    #[test]
+    fn odd_loop_no_stable_model() {
+        let (_, gp) = ground("p :- ~p.");
+        assert!(stable_models(&gp, 10).is_empty());
+        assert!(stable_intersection(&gp).is_none());
+    }
+
+    #[test]
+    fn total_wfm_unique_stable_model() {
+        let (s, gp) = ground("q. p :- ~q. r :- ~p.");
+        let models = stable_models(&gp, 10);
+        assert_eq!(models.len(), 1);
+        let m = &models[0];
+        assert!(m.contains(id(&s, &gp, "q").index()));
+        assert!(m.contains(id(&s, &gp, "r").index()));
+        assert!(!m.contains(id(&s, &gp, "p").index()));
+    }
+
+    #[test]
+    fn wfm_contained_in_every_stable_model() {
+        for src in [
+            "p :- ~q. q :- ~p. r :- ~r. s.",
+            "q. p :- ~q.",
+            "a :- ~b. b :- ~a. c :- a. c :- b.",
+        ] {
+            let (_, gp) = ground(src);
+            let wfm = well_founded_model(&gp);
+            assert!(wfm_within_all_stable(&gp, &wfm), "{src}");
+        }
+    }
+
+    #[test]
+    fn stable_checker_rejects_non_minimal() {
+        let (s, gp) = ground("p :- p.");
+        // grounded relevant mode prunes; build by full check instead:
+        // {} is stable (reduct p:-p has lfp ∅); {p} is not (lfp ∅ ≠ {p}).
+        let n = gp.atom_count();
+        let empty = BitSet::new(n.max(1));
+        if n > 0 {
+            assert!(is_stable_model(&gp, &BitSet::new(n)));
+            let mut withp = BitSet::new(n);
+            if let Some(p) = gp.atom_ids().find(|&a| gp.display_atom(&s, a) == "p") {
+                withp.insert(p.index());
+                assert!(!is_stable_model(&gp, &withp));
+            }
+        } else {
+            assert!(empty.is_empty());
+        }
+    }
+
+    #[test]
+    fn intersection_includes_shared_consequences() {
+        let (s, gp) = ground("a :- ~b. b :- ~a. c :- a. c :- b.");
+        // c true in both stable models; intersection = {c}.
+        let inter = stable_intersection(&gp).unwrap();
+        assert!(inter.contains(id(&s, &gp, "c").index()));
+        assert!(!inter.contains(id(&s, &gp, "a").index()));
+        // The WFS leaves c undefined — stable-intersection is strictly
+        // stronger here (the classical gap between the two semantics).
+        let wfm = well_founded_model(&gp);
+        assert!(wfm.is_undefined(id(&s, &gp, "c")));
+    }
+}

@@ -1,0 +1,212 @@
+//! Greatest unfounded sets (Def. 2.1 / 2.2 of the paper).
+//!
+//! `A ⊆ H` is *unfounded w.r.t. I* when every rule for every `p ∈ A` has a
+//! **witness of unusability**: either (1) some body literal's complement
+//! is in `I`, or (2) some positive body literal is in `A` itself. The
+//! greatest unfounded set `U_P(I)` is the union of all unfounded sets.
+//!
+//! Computation: `U_P(I)` is the complement of the least set `X` of atoms
+//! that are *externally supported*: `p ∈ X` iff some rule for `p` is not
+//! blocked by condition (1) and has all its positive body atoms in `X`.
+//! That least fixpoint is exactly [`crate::tp::lfp_with`] over the rules
+//! surviving condition (1).
+
+use crate::bitset::BitSet;
+use crate::interp::Interp;
+use gsls_ground::{GroundClause, GroundProgram};
+
+/// Whether clause `c` is *blocked* w.r.t. `I` by condition (1): some body
+/// literal's complement is in `I`.
+fn blocked(c: &GroundClause, i: &Interp) -> bool {
+    c.pos.iter().any(|&a| i.is_false(a)) || c.neg.iter().any(|&a| i.is_true(a))
+}
+
+/// Computes the greatest unfounded set `U_P(I)` of `gp` w.r.t. `i`.
+pub fn greatest_unfounded(gp: &GroundProgram, i: &Interp) -> BitSet {
+    // X = least fixpoint of "some unblocked rule with positive body ⊆ X".
+    // Implemented with the same counter propagation as `lfp_with`, but the
+    // blocking test involves both signs so it is done per clause here.
+    let n = gp.atom_count();
+    let mut supported = BitSet::new(n);
+    let mut missing: Vec<u32> = Vec::with_capacity(gp.clause_count());
+    let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut queue: Vec<u32> = Vec::new();
+
+    for (ci, c) in gp.clauses().iter().enumerate() {
+        let ci = ci as u32;
+        if blocked(c, i) {
+            missing.push(u32::MAX);
+            continue;
+        }
+        missing.push(c.pos.len() as u32);
+        if c.pos.is_empty() {
+            if supported.insert(c.head.index()) {
+                queue.push(c.head.0);
+            }
+        } else {
+            for &a in c.pos.iter() {
+                watchers[a.index()].push(ci);
+            }
+        }
+    }
+    while let Some(a) = queue.pop() {
+        let ws = std::mem::take(&mut watchers[a as usize]);
+        for ci in ws {
+            let m = &mut missing[ci as usize];
+            if *m == u32::MAX {
+                continue;
+            }
+            *m -= 1;
+            if *m == 0 {
+                let head = gp.clause(ci).head;
+                if supported.insert(head.index()) {
+                    queue.push(head.0);
+                }
+            }
+        }
+    }
+    supported.complement()
+}
+
+/// Checks Def. 2.1 directly: is `set` an unfounded set w.r.t. `i`?
+/// Used as a test oracle for [`greatest_unfounded`].
+pub fn is_unfounded_set(gp: &GroundProgram, i: &Interp, set: &BitSet) -> bool {
+    for p in set.iter() {
+        for &ci in gp.clauses_for(gsls_ground::GroundAtomId(p as u32)) {
+            let c = gp.clause(ci);
+            let witness =
+                blocked(c, i) || c.pos.iter().any(|&a| set.contains(a.index()));
+            if !witness {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_ground::{GroundAtomId, Grounder};
+    use gsls_lang::{parse_program, TermStore};
+
+    fn ground(src: &str) -> (TermStore, GroundProgram) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        (s, gp)
+    }
+
+    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
+        gp.atom_ids()
+            .find(|&a| gp.display_atom(store, a) == text)
+            .unwrap_or_else(|| panic!("atom {text} not found"))
+    }
+
+    #[test]
+    fn atom_without_rules_is_unfounded() {
+        let (s, gp) = ground("p :- ~q.");
+        let q = id(&s, &gp, "q");
+        let i = Interp::new(gp.atom_count());
+        let u = greatest_unfounded(&gp, &i);
+        assert!(u.contains(q.index()), "q has no rules");
+    }
+
+    #[test]
+    fn fact_never_unfounded() {
+        let (s, gp) = ground("p. q :- p.");
+        let i = Interp::new(gp.atom_count());
+        let u = greatest_unfounded(&gp, &i);
+        assert!(!u.contains(id(&s, &gp, "p").index()));
+        assert!(!u.contains(id(&s, &gp, "q").index()));
+    }
+
+    #[test]
+    fn positive_loop_is_unfounded() {
+        // Manual ground program: a :- b. b :- a. (relevant grounding would
+        // prune it, so build it directly).
+        let mut s = TermStore::new();
+        let mut gp = GroundProgram::new();
+        let asym = s.intern_symbol("a");
+        let bsym = s.intern_symbol("b");
+        let a = gp.intern_atom(gsls_lang::Atom::new(asym, Vec::new()));
+        let b = gp.intern_atom(gsls_lang::Atom::new(bsym, Vec::new()));
+        gp.push_clause(gsls_ground::GroundClause {
+            head: a,
+            pos: vec![b].into(),
+            neg: Vec::new().into(),
+        });
+        gp.push_clause(gsls_ground::GroundClause {
+            head: b,
+            pos: vec![a].into(),
+            neg: Vec::new().into(),
+        });
+        let i = Interp::new(gp.atom_count());
+        let u = greatest_unfounded(&gp, &i);
+        assert!(u.contains(a.index()) && u.contains(b.index()));
+        assert!(is_unfounded_set(&gp, &i, &u));
+    }
+
+    #[test]
+    fn win_cycle_not_unfounded_wrt_empty() {
+        // win(a)/win(b) depend on each other only through negation, which
+        // condition (2) ignores — so neither is unfounded w.r.t. ∅.
+        let (s, gp) = ground("move(a, b). move(b, a). win(X) :- move(X, Y), ~win(Y).");
+        let i = {
+            // Make the move facts true so they don't block anything.
+            let mut i = Interp::new(gp.atom_count());
+            i.set_true(id(&s, &gp, "move(a, b)"));
+            i.set_true(id(&s, &gp, "move(b, a)"));
+            i
+        };
+        let u = greatest_unfounded(&gp, &i);
+        assert!(!u.contains(id(&s, &gp, "win(a)").index()));
+        assert!(!u.contains(id(&s, &gp, "win(b)").index()));
+    }
+
+    #[test]
+    fn blocked_rules_make_head_unfounded() {
+        let (s, gp) = ground("p :- q. q :- ~r. r.");
+        let mut i = Interp::new(gp.atom_count());
+        i.set_true(id(&s, &gp, "r"));
+        let u = greatest_unfounded(&gp, &i);
+        // q's rule has complement r ∈ I → q unfounded; p follows via (2).
+        assert!(u.contains(id(&s, &gp, "q").index()));
+        assert!(u.contains(id(&s, &gp, "p").index()));
+        assert!(is_unfounded_set(&gp, &i, &u));
+    }
+
+    #[test]
+    fn gus_is_maximal() {
+        // Every unfounded set is contained in the GUS: check against the
+        // brute-force enumeration on a small program.
+        let (_, gp) = ground("p :- ~q. q :- ~p. r :- p, q.");
+        let i = Interp::new(gp.atom_count());
+        let gus = greatest_unfounded(&gp, &i);
+        let n = gp.atom_count();
+        for mask in 0u32..(1 << n) {
+            let mut set = BitSet::new(n);
+            for b in 0..n {
+                if mask & (1 << b) != 0 {
+                    set.insert(b);
+                }
+            }
+            if is_unfounded_set(&gp, &i, &set) {
+                assert!(
+                    set.is_subset(&gus),
+                    "unfounded set {mask:b} not within GUS"
+                );
+            }
+        }
+        assert!(is_unfounded_set(&gp, &i, &gus));
+    }
+
+    #[test]
+    fn oracle_rejects_non_unfounded() {
+        let (s, gp) = ground("p. q :- p.");
+        let i = Interp::new(gp.atom_count());
+        let mut set = BitSet::new(gp.atom_count());
+        set.insert(id(&s, &gp, "p").index());
+        assert!(!is_unfounded_set(&gp, &i, &set), "fact has no witness");
+    }
+}

@@ -1,0 +1,260 @@
+//! The `W_P` and `V_P` iterations with stage tracking (Def. 2.3 / 2.4,
+//! Lemma 2.1 of the paper).
+//!
+//! `W_P(I) = T_P(I) ∪ ¬·U_P(I)` iterated from ∅ gives the well-founded
+//! partial model `M_WF(P)`. The coarser `V_P` iteration — one `T̄^ω` burst
+//! for positives plus one `U_P` application for negatives per stage —
+//! reaches the same fixpoint (Lemma 2.1) and defines the **stage** of each
+//! literal, which Theorem 4.5 equates with the level of the corresponding
+//! goal in the ground global tree. Stages are what the level/stage
+//! correspondence experiments (E6) measure.
+
+use crate::bitset::BitSet;
+use crate::interp::Interp;
+use crate::tp::{tp, tp_omega};
+use crate::unfounded::greatest_unfounded;
+use gsls_ground::{GroundAtomId, GroundProgram};
+
+/// Result of a staged fixpoint iteration.
+#[derive(Debug, Clone)]
+pub struct StagedModel {
+    /// The well-founded partial model.
+    pub model: Interp,
+    /// `stage_pos[a]` = iteration (1-based) at which atom `a` became true.
+    pub stage_pos: Vec<Option<u32>>,
+    /// `stage_neg[a]` = iteration at which atom `a` became false.
+    pub stage_neg: Vec<Option<u32>>,
+    /// Number of iterations to reach the fixpoint.
+    pub iterations: u32,
+}
+
+impl StagedModel {
+    /// The stage of the positive literal `a` (Def. 2.4), if true.
+    pub fn stage_of_true(&self, a: GroundAtomId) -> Option<u32> {
+        self.stage_pos[a.index()]
+    }
+
+    /// The stage of the negative literal `¬a`, if false.
+    pub fn stage_of_false(&self, a: GroundAtomId) -> Option<u32> {
+        self.stage_neg[a.index()]
+    }
+}
+
+/// Iterates `V_P` from ∅ per Def. 2.4, recording stages:
+/// `I_{α+1} = ⋃ₖT̄^k(neg(I_α)) ∪ ¬·U_P(pos(I_α))` (Lemma 4.4).
+pub fn vp_iteration(gp: &GroundProgram) -> StagedModel {
+    let n = gp.atom_count();
+    let mut model = Interp::new(n);
+    let mut stage_pos = vec![None; n];
+    let mut stage_neg = vec![None; n];
+    let mut iterations = 0u32;
+    loop {
+        let stage = iterations + 1;
+        let pos_next = tp_omega(gp, model.neg());
+        let neg_next = greatest_unfounded(gp, &pos_only(&model));
+        let mut changed = false;
+        for a in pos_next.iter() {
+            if stage_pos[a].is_none() {
+                stage_pos[a] = Some(stage);
+                model.set_true(GroundAtomId(a as u32));
+                changed = true;
+            }
+        }
+        for a in neg_next.iter() {
+            if stage_neg[a].is_none() {
+                debug_assert!(stage_pos[a].is_none(), "V_P produced inconsistency");
+                stage_neg[a] = Some(stage);
+                model.set_false(GroundAtomId(a as u32));
+                changed = true;
+            }
+        }
+        iterations = stage;
+        if !changed {
+            break;
+        }
+    }
+    StagedModel {
+        model,
+        stage_pos,
+        stage_neg,
+        iterations,
+    }
+}
+
+/// Iterates `W_P` from ∅ (Def. 2.3), recording the finer-grained stages.
+/// Reaches the same fixpoint as [`vp_iteration`] (Lemma 2.1) but needs
+/// more iterations; kept as a cross-check and for the ablation bench.
+pub fn wp_iteration(gp: &GroundProgram) -> StagedModel {
+    let n = gp.atom_count();
+    let mut model = Interp::new(n);
+    let mut stage_pos = vec![None; n];
+    let mut stage_neg = vec![None; n];
+    let mut iterations = 0u32;
+    loop {
+        let stage = iterations + 1;
+        let pos_next = tp(gp, &model);
+        let neg_next = greatest_unfounded(gp, &model);
+        let mut changed = false;
+        for a in pos_next.iter() {
+            if stage_pos[a].is_none() && stage_neg[a].is_none() {
+                stage_pos[a] = Some(stage);
+                model.set_true(GroundAtomId(a as u32));
+                changed = true;
+            }
+        }
+        for a in neg_next.iter() {
+            if stage_neg[a].is_none() && stage_pos[a].is_none() {
+                stage_neg[a] = Some(stage);
+                model.set_false(GroundAtomId(a as u32));
+                changed = true;
+            }
+        }
+        iterations = stage;
+        if !changed {
+            break;
+        }
+    }
+    StagedModel {
+        model,
+        stage_pos,
+        stage_neg,
+        iterations,
+    }
+}
+
+/// Projection keeping only the positive part of an interpretation
+/// (Lemma 4.4 applies `U_P` to `pos(I_α)`).
+fn pos_only(i: &Interp) -> Interp {
+    Interp::from_parts(i.pos().clone(), BitSet::new(i.capacity()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Truth;
+    use gsls_ground::Grounder;
+    use gsls_lang::{parse_program, TermStore};
+
+    fn staged(src: &str) -> (TermStore, GroundProgram, StagedModel) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        let m = vp_iteration(&gp);
+        (s, gp, m)
+    }
+
+    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
+        gp.atom_ids()
+            .find(|&a| gp.display_atom(store, a) == text)
+            .unwrap_or_else(|| panic!("atom {text} not found"))
+    }
+
+    #[test]
+    fn stratified_example() {
+        let (s, gp, m) = staged("q. p :- ~q. r :- ~p.");
+        assert_eq!(m.model.truth(id(&s, &gp, "q")), Truth::True);
+        assert_eq!(m.model.truth(id(&s, &gp, "p")), Truth::False);
+        assert_eq!(m.model.truth(id(&s, &gp, "r")), Truth::True);
+        assert!(m.model.is_total());
+    }
+
+    #[test]
+    fn mutual_negation_undefined() {
+        let (s, gp, m) = staged("p :- ~q. q :- ~p.");
+        assert_eq!(m.model.truth(id(&s, &gp, "p")), Truth::Undefined);
+        assert_eq!(m.model.truth(id(&s, &gp, "q")), Truth::Undefined);
+    }
+
+    #[test]
+    fn example_3_2_model() {
+        // Paper Example 3.2 (Przymusinska & Przymusinski): the cyclic
+        // program whose well-founded model is {s, ¬p, ¬q, ¬r} — p, q, r
+        // form a positive loop guarded by negation, hence unfounded.
+        let src = "p :- q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.";
+        let (s, gp, m) = staged(src);
+        assert_eq!(m.model.truth(id(&s, &gp, "s")), Truth::True);
+        for a in ["p", "q", "r"] {
+            assert_eq!(m.model.truth(id(&s, &gp, a)), Truth::False, "{a}");
+        }
+    }
+
+    #[test]
+    fn example_3_3_model() {
+        // Paper Example 3.3 (function-free analogue, see EXPERIMENTS.md):
+        // WFM = {s, ¬q} with p undefined. The rule for q has two negative
+        // subgoals; only parallel expansion sees the failing ¬s.
+        let src = "p :- ~p. q :- ~p, ~s. s.";
+        let (s, gp, m) = staged(src);
+        assert_eq!(m.model.truth(id(&s, &gp, "s")), Truth::True);
+        assert_eq!(m.model.truth(id(&s, &gp, "q")), Truth::False);
+        assert_eq!(m.model.truth(id(&s, &gp, "p")), Truth::Undefined);
+    }
+
+    #[test]
+    fn stages_increase_along_dependencies() {
+        let (s, gp, m) = staged("a :- ~b. b :- ~c. c :- ~d. d :- ~e. e.");
+        let stage = |x: &str| {
+            let a = id(&s, &gp, x);
+            m.stage_of_true(a).or(m.stage_of_false(a)).unwrap()
+        };
+        assert_eq!(stage("e"), 1);
+        assert!(stage("d") <= stage("c"));
+        assert!(stage("c") <= stage("b"));
+        assert!(stage("b") <= stage("a"));
+        assert!(stage("a") >= 2);
+    }
+
+    #[test]
+    fn wp_and_vp_agree() {
+        for src in [
+            "q. p :- ~q. r :- ~p.",
+            "p :- ~q. q :- ~p.",
+            "p :- ~q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.",
+            "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+        ] {
+            let mut s = TermStore::new();
+            let p = parse_program(&mut s, src).unwrap();
+            let gp = Grounder::ground(&mut s, &p).unwrap();
+            let v = vp_iteration(&gp);
+            let w = wp_iteration(&gp);
+            assert_eq!(v.model, w.model, "program: {src}");
+            // V_P stages are never larger than W_P stages (Lemma 2.1's
+            // I_α ⊆ I'_{ωα} comparison runs the other way: V is coarser).
+            assert!(v.iterations <= w.iterations);
+        }
+    }
+
+    #[test]
+    fn win_game_chain() {
+        // a→b→c, c terminal: win(b) true (move to c), win(a)... a moves to
+        // b which wins, so win(a) false? a→b only; win(a) :- move(a,b),
+        // ~win(b) = ~true = false. win(c): no moves → false.
+        let (s, gp, m) = staged("move(a, b). move(b, c). win(X) :- move(X, Y), ~win(Y).");
+        assert_eq!(m.model.truth(id(&s, &gp, "win(c)")), Truth::False);
+        assert_eq!(m.model.truth(id(&s, &gp, "win(b)")), Truth::True);
+        assert_eq!(m.model.truth(id(&s, &gp, "win(a)")), Truth::False);
+    }
+
+    #[test]
+    fn win_game_with_draw_cycle() {
+        // a↔b cycle plus b→c: win(c) false, win(b) true, win(a) undefined?
+        // a→b: win(a) :- ~win(b) = false... win(b) :- ~win(a) or ~win(c);
+        // ~win(c)=true so win(b) true; win(a) :- ~win(b) = false. Total.
+        let (s, gp, m) =
+            staged("move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).");
+        assert_eq!(m.model.truth(id(&s, &gp, "win(b)")), Truth::True);
+        assert_eq!(m.model.truth(id(&s, &gp, "win(a)")), Truth::False);
+        // Pure 2-cycle without escape: both undefined.
+        let (s2, gp2, m2) = staged("move(a, b). move(b, a). win(X) :- move(X, Y), ~win(Y).");
+        assert_eq!(m2.model.truth(id(&s2, &gp2, "win(a)")), Truth::Undefined);
+        assert_eq!(m2.model.truth(id(&s2, &gp2, "win(b)")), Truth::Undefined);
+    }
+
+    #[test]
+    fn stage_one_for_facts_and_no_rule_atoms() {
+        let (s, gp, m) = staged("p. q :- ~r.");
+        assert_eq!(m.stage_of_true(id(&s, &gp, "p")), Some(1));
+        assert_eq!(m.stage_of_false(id(&s, &gp, "r")), Some(1));
+        assert_eq!(m.stage_of_true(id(&s, &gp, "q")), Some(2));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the bottom-up semantics: model-theoretic
+//! invariants over random ground programs.
+
+use gsls_ground::{Grounder, GroundProgram};
+use gsls_lang::{Atom, Clause, Literal, Program, TermStore};
+use gsls_wfs::{
+    fitting_model, greatest_unfounded, is_unfounded_set, vp_iteration, well_founded_model,
+    wp_iteration, Interp,
+};
+use proptest::prelude::*;
+
+/// Builds a random propositional program from proptest-chosen clauses.
+fn program_strategy() -> impl Strategy<Value = Vec<(u8, Vec<(u8, bool)>)>> {
+    prop::collection::vec(
+        (
+            0u8..8,
+            prop::collection::vec(((0u8..8), any::<bool>()), 0..4),
+        ),
+        1..16,
+    )
+}
+
+fn realise(clauses: &[(u8, Vec<(u8, bool)>)]) -> (TermStore, GroundProgram) {
+    let mut store = TermStore::new();
+    let mut prog = Program::new();
+    for (head, body) in clauses {
+        let h = Atom::new(store.intern_symbol(&format!("p{head}")), Vec::new());
+        let body = body
+            .iter()
+            .map(|(a, positive)| {
+                let atom = Atom::new(store.intern_symbol(&format!("p{a}")), Vec::new());
+                if *positive {
+                    Literal::pos(atom)
+                } else {
+                    Literal::neg(atom)
+                }
+            })
+            .collect();
+        prog.push(Clause::new(h, body));
+    }
+    let gp = Grounder::ground_with(
+        &mut store,
+        &prog,
+        gsls_ground::GrounderOpts {
+            mode: gsls_ground::GroundingMode::Full,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (store, gp)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The well-founded model satisfies every clause (it is a partial
+    /// model — footnote 2 of the paper defers to [31] for this).
+    #[test]
+    fn wfm_is_a_partial_model(clauses in program_strategy()) {
+        let (_, gp) = realise(&clauses);
+        let wfm = well_founded_model(&gp);
+        prop_assert!(wfm.satisfies(&gp));
+    }
+
+    /// All three fixpoint formulations compute the same model.
+    #[test]
+    fn three_formulations_agree(clauses in program_strategy()) {
+        let (_, gp) = realise(&clauses);
+        let alt = well_founded_model(&gp);
+        prop_assert_eq!(&alt, &vp_iteration(&gp).model);
+        prop_assert_eq!(&alt, &wp_iteration(&gp).model);
+    }
+
+    /// The greatest unfounded set w.r.t. the empty interpretation is an
+    /// unfounded set (Def. 2.2's parenthetical remark), and adding any
+    /// single non-member breaks unfoundedness-maximality downward:
+    /// removing a member keeps it unfounded only sometimes, but the GUS
+    /// itself must always verify Def. 2.1.
+    #[test]
+    fn gus_is_unfounded(clauses in program_strategy()) {
+        let (_, gp) = realise(&clauses);
+        let empty = Interp::new(gp.atom_count());
+        let gus = greatest_unfounded(&gp, &empty);
+        prop_assert!(is_unfounded_set(&gp, &empty, &gus));
+    }
+
+    /// The GUS w.r.t. the WFM itself contains exactly the false atoms
+    /// (the fixpoint property of W_P).
+    #[test]
+    fn gus_at_fixpoint_is_false_set(clauses in program_strategy()) {
+        let (_, gp) = realise(&clauses);
+        let wfm = well_founded_model(&gp);
+        let gus = greatest_unfounded(&gp, &wfm);
+        for a in gp.atom_ids() {
+            if wfm.is_false(a) {
+                prop_assert!(gus.contains(a.index()), "false atom must stay unfounded");
+            }
+            if wfm.is_true(a) {
+                prop_assert!(!gus.contains(a.index()), "true atom cannot be unfounded");
+            }
+        }
+    }
+
+    /// Fitting's model never knows more than the well-founded model.
+    #[test]
+    fn fitting_below_wfs(clauses in program_strategy()) {
+        let (_, gp) = realise(&clauses);
+        prop_assert!(fitting_model(&gp).leq(&well_founded_model(&gp)));
+    }
+
+    /// Stages are consistent: every defined literal has a stage, every
+    /// undefined one has none, and stages are ≥ 1.
+    #[test]
+    fn stage_bookkeeping(clauses in program_strategy()) {
+        let (_, gp) = realise(&clauses);
+        let staged = vp_iteration(&gp);
+        for a in gp.atom_ids() {
+            match staged.model.truth(a) {
+                gsls_wfs::Truth::True => {
+                    let s = staged.stage_of_true(a);
+                    prop_assert!(s.is_some_and(|s| s >= 1));
+                    prop_assert!(staged.stage_of_false(a).is_none());
+                }
+                gsls_wfs::Truth::False => {
+                    let s = staged.stage_of_false(a);
+                    prop_assert!(s.is_some_and(|s| s >= 1));
+                    prop_assert!(staged.stage_of_true(a).is_none());
+                }
+                gsls_wfs::Truth::Undefined => {
+                    prop_assert!(staged.stage_of_true(a).is_none());
+                    prop_assert!(staged.stage_of_false(a).is_none());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Win/move game generators.
+//!
+//! `win(X) ← move(X, Y), ¬win(Y)` over various board graphs. The game is
+//! the canonical workload for the well-founded semantics: positions with
+//! a move to a lost position are won, positions whose moves all reach won
+//! positions are lost, and positions caught in drawing cycles are
+//! *undefined* — exactly the three truth values.
+
+use gsls_lang::{Atom, Clause, Literal, Program, TermStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds the game program over explicit move edges `(from, to)`,
+/// numbering positions `n0, n1, …`.
+pub fn win_game(store: &mut TermStore, edges: &[(usize, usize)]) -> Program {
+    let mv = store.intern_symbol("move");
+    let win = store.intern_symbol("win");
+    let mut prog = Program::new();
+    for &(a, b) in edges {
+        let ta = store.constant(&format!("n{a}"));
+        let tb = store.constant(&format!("n{b}"));
+        prog.push(Clause::fact(Atom::new(mv, vec![ta, tb])));
+    }
+    let x = store.fresh_var(Some("X"));
+    let y = store.fresh_var(Some("Y"));
+    prog.push(Clause::new(
+        Atom::new(win, vec![x]),
+        vec![
+            Literal::pos(Atom::new(mv, vec![x, y])),
+            Literal::neg(Atom::new(win, vec![y])),
+        ],
+    ));
+    prog
+}
+
+/// A chain `n0 → n1 → … → n(n−1)`: win/lose alternates from the dead end,
+/// every position defined. `n` is the number of positions.
+pub fn win_chain(store: &mut TermStore, n: usize) -> Program {
+    let edges: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    win_game(store, &edges)
+}
+
+/// A cycle over `n` positions: every position is a draw (undefined) when
+/// `n` is even; odd cycles are undefined too (no escape).
+pub fn win_cycle(store: &mut TermStore, n: usize) -> Program {
+    let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    win_game(store, &edges)
+}
+
+/// A complete binary tree of depth `depth` with edges toward the leaves;
+/// positions: `2^(depth+1) − 1`.
+pub fn win_tree(store: &mut TermStore, depth: u32) -> Program {
+    let mut edges = Vec::new();
+    let internal = (1usize << depth) - 1;
+    for i in 0..internal {
+        edges.push((i, 2 * i + 1));
+        edges.push((i, 2 * i + 2));
+    }
+    win_game(store, &edges)
+}
+
+/// A random game graph: `n` positions, each with out-degree sampled from
+/// `0..=max_degree` (degree 0 makes lost positions, cycles make draws).
+pub fn win_random(store: &mut TermStore, n: usize, max_degree: usize, seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        let deg = rng.gen_range(0..=max_degree);
+        for _ in 0..deg {
+            let j = rng.gen_range(0..n);
+            edges.push((i, j));
+        }
+    }
+    win_game(store, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_ground::Grounder;
+    use gsls_wfs::{well_founded_model, Truth};
+
+    fn truth_of(store: &TermStore, prog: &Program, name: &str) -> Truth {
+        let mut s2 = store.clone();
+        let gp = Grounder::ground(&mut s2, prog).unwrap();
+        let m = well_founded_model(&gp);
+        let a = gp
+            .atom_ids()
+            .find(|&a| gp.display_atom(&s2, a) == name)
+            .unwrap_or_else(|| panic!("{name} missing"));
+        m.truth(a)
+    }
+
+    #[test]
+    fn chain_alternates() {
+        let mut s = TermStore::new();
+        let p = win_chain(&mut s, 4); // n0→n1→n2→n3
+        assert_eq!(truth_of(&s, &p, "win(n3)"), Truth::False);
+        assert_eq!(truth_of(&s, &p, "win(n2)"), Truth::True);
+        assert_eq!(truth_of(&s, &p, "win(n1)"), Truth::False);
+        assert_eq!(truth_of(&s, &p, "win(n0)"), Truth::True);
+    }
+
+    #[test]
+    fn cycle_all_draws() {
+        let mut s = TermStore::new();
+        let p = win_cycle(&mut s, 3);
+        for i in 0..3 {
+            assert_eq!(truth_of(&s, &p, &format!("win(n{i})")), Truth::Undefined);
+        }
+    }
+
+    #[test]
+    fn tree_root_wins() {
+        // Leaves lose (no moves); internal nodes above leaves win; root
+        // of depth 2: children win ⇒ root... all moves reach winning
+        // positions ⇒ root loses; depth 1: root wins.
+        let mut s = TermStore::new();
+        let p = win_tree(&mut s, 1);
+        assert_eq!(truth_of(&s, &p, "win(n0)"), Truth::True);
+        let mut s2 = TermStore::new();
+        let p2 = win_tree(&mut s2, 2);
+        assert_eq!(truth_of(&s2, &p2, "win(n0)"), Truth::False);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut s1 = TermStore::new();
+        let p1 = win_random(&mut s1, 20, 3, 42);
+        let mut s2 = TermStore::new();
+        let p2 = win_random(&mut s2, 20, 3, 42);
+        assert_eq!(p1.display(&s1), p2.display(&s2));
+        let mut s3 = TermStore::new();
+        let p3 = win_random(&mut s3, 20, 3, 43);
+        assert_ne!(p1.display(&s1), p3.display(&s3));
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let mut s = TermStore::new();
+        let p = win_chain(&mut s, 100);
+        assert_eq!(p.len(), 100); // 99 edges + 1 rule
+        let t = win_tree(&mut s, 3);
+        assert_eq!(t.len(), 2 * ((1 << 3) - 1) + 1);
+    }
+}

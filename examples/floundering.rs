@@ -1,0 +1,61 @@
+//! Section 6: floundering, the `term/1` transform, and the universal
+//! query problem (Example 6.1 / the augmented program of Def. 6.1).
+//!
+//! ```sh
+//! cargo run --example floundering
+//! ```
+
+use global_sls::prelude::*;
+
+fn main() {
+    let mut store = TermStore::new();
+
+    // ---- Floundering. --------------------------------------------------
+    let src = "p(X) :- ~q(f(X)). q(a).";
+    let program = parse_program(&mut store, src).unwrap();
+    println!("Program:\n{}", program.display(&store));
+    let goal = parse_goal(&mut store, "?- p(X).").unwrap();
+    let solver = Solver::new(program.clone());
+    let tree = solver.global_tree(&mut store, &goal);
+    println!("?- p(X).  ⇒  {:?}", tree.status());
+    println!("{}", render_global(&store, &tree));
+    println!("…while every ground instance succeeds:");
+    for t in ["a", "f(a)", "f(f(a))"] {
+        let g = parse_goal(&mut store, &format!("?- p({t}).")).unwrap();
+        let tree = solver.global_tree(&mut store, &g);
+        println!("  ?- p({t}).  ⇒  {:?}", tree.status());
+    }
+
+    // ---- The term/1 transform removes floundering. ---------------------
+    let transformed = term_transform(&mut store, &program);
+    println!("\nterm/1-transformed program:\n{}", transformed.display(&store));
+    let guarded = gsls_ground::herbrand::guard_goal(&mut store, &goal);
+    let solver_t = Solver::new(transformed);
+    let tree = solver_t.global_tree(&mut store, &guarded);
+    println!("guarded ?- p(X), term(X).  ⇒  {:?}", tree.status());
+    let mut store2 = store.clone();
+    for ans in tree.answers(&mut store2) {
+        println!("  answer {}", ans.subst.display(&store2));
+    }
+
+    // ---- Example 6.1: the universal query problem. ----------------------
+    println!("\nExample 6.1: P = {{ p(a) }}.");
+    let p61 = parse_program(&mut store, "p(a).").unwrap();
+    let goal = parse_goal(&mut store, "?- p(X).").unwrap();
+    let mut solver61 = Solver::new(p61.clone());
+    let r = solver61.query(&mut store, &goal, Engine::Tabled).unwrap();
+    println!(
+        "?- p(X) over P: answers {:?} — only X = a, never the identity.",
+        r.answers.iter().map(|a| a.display(&store)).collect::<Vec<_>>()
+    );
+    let augmented = augment_program(&mut store, &p61);
+    println!(
+        "Augmented P' adds {} — its Herbrand universe has infinitely many\n\
+         terms not mentioned in P, so ∀x p(x) is correctly refutable:",
+        augmented.clause(augmented.len() - 1).display(&store)
+    );
+    let witness = parse_goal(&mut store, "?- p(f_hat(c_hat)).").unwrap();
+    let solver_aug = Solver::new(augmented);
+    let tree = solver_aug.global_tree(&mut store, &witness);
+    println!("?- p(f_hat(c_hat)) over P'  ⇒  {:?}", tree.status());
+}

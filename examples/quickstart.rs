@@ -1,0 +1,45 @@
+//! Quickstart: load a program, ask queries, inspect three-valued answers.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use global_sls::prelude::*;
+
+fn main() {
+    let mut store = TermStore::new();
+    // The win/move game: a position is won iff some move reaches a lost
+    // position. a↔b is a potential draw loop, but b can escape to c.
+    let program = parse_program(
+        &mut store,
+        "
+        move(a, b). move(b, a). move(b, c).
+        win(X) :- move(X, Y), ~win(Y).
+        ",
+    )
+    .expect("program parses");
+
+    println!("Program:\n{}", program.display(&store));
+    let mut solver = Solver::new(program);
+
+    for q in ["?- win(a).", "?- win(b).", "?- win(c)."] {
+        let goal = parse_goal(&mut store, q).unwrap();
+        let r = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
+        println!("{q}  ⇒  {}", r.truth);
+    }
+
+    // Nonground query: enumerate the winning positions.
+    let goal = parse_goal(&mut store, "?- win(X).").unwrap();
+    let r = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
+    println!("\n?- win(X).");
+    for ans in &r.answers {
+        println!("  true for {}", ans.display(&store));
+    }
+    for u in &r.undefined {
+        println!("  undefined for {}", u.display(&store));
+    }
+
+    // The same query through the explicit global tree, with the tree.
+    let tree = solver.global_tree(&mut store, &goal);
+    println!("\nGlobal tree for ?- win(X).\n{}", render_global(&store, &tree));
+}

@@ -1,0 +1,70 @@
+//! # global-sls — Global SLS-resolution for well-founded negation
+//!
+//! A full implementation of **Kenneth A. Ross, "A Procedural Semantics
+//! for Well-Founded Negation in Logic Programs"** (PODS 1989; JLP 1992):
+//! global trees, SLP-trees, ordinal levels, computation rules, the
+//! effective memoized engine for function-free programs, the bottom-up
+//! well-founded-model baselines, and the SLD/SLDNF/SLS comparison
+//! procedures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use global_sls::prelude::*;
+//!
+//! let mut store = TermStore::new();
+//! let program = parse_program(
+//!     &mut store,
+//!     "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+//! ).unwrap();
+//!
+//! let mut solver = Solver::new(program);
+//! let goal = parse_goal(&mut store, "?- win(X).").unwrap();
+//! let result = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
+//!
+//! assert_eq!(result.truth, Truth::True);
+//! assert_eq!(result.answers.len(), 1);          // win(b)
+//! assert_eq!(result.undefined.len(), 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`lang`] | terms, atoms, clauses, unification, parser |
+//! | [`ground`] | Herbrand machinery, grounding, stratification |
+//! | [`wfs`] | bottom-up well-founded semantics, Fitting, stable models |
+//! | [`resolution`] | SLD / SLDNF / SLS baselines |
+//! | [`core`] | global SLS-resolution (trees, levels, tabled engine) |
+//! | [`workloads`] | experiment program generators |
+
+pub use gsls_core as core;
+pub use gsls_ground as ground;
+pub use gsls_lang as lang;
+pub use gsls_resolution as resolution;
+pub use gsls_wfs as wfs;
+pub use gsls_workloads as workloads;
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use gsls_core::{
+        deviant_evaluate, render_global, render_slp, DeviantOpts, Engine, GlobalOpts, GlobalTree,
+        Ordinal, QueryResult, RuleKind, SlpOpts, SlpTree, Solver, SolverError, Status,
+        TabledEngine, Verdict,
+    };
+    pub use gsls_ground::{
+        augment_program, herbrand_universe, term_transform, AtomDepGraph, DepGraph, GroundProgram,
+        Grounder, GrounderOpts, GroundingMode, HerbrandOpts,
+    };
+    pub use gsls_lang::{
+        parse_goal, parse_program, parse_query, parse_term, Atom, Clause, Goal, Literal, Program,
+        Sign, Subst, TermStore,
+    };
+    pub use gsls_resolution::{
+        perfect_model, sld_solve, sldnf_solve, sls_solve, SldOpts, SldnfOpts, SldnfOutcome,
+        SlsOpts,
+    };
+    pub use gsls_wfs::{
+        fitting_model, stable_models, vp_iteration, well_founded_model, Interp, Truth,
+    };
+}

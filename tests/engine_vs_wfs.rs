@@ -1,0 +1,148 @@
+//! Experiment E7 — soundness & completeness (Theorems 5.4 / 6.2):
+//! the memoized top-down engine and the explicit global-tree engine must
+//! agree with the bottom-up well-founded model on every atom of every
+//! program, across thousands of random programs.
+
+use global_sls::prelude::*;
+use gsls_core::GlobalOpts;
+use gsls_workloads::{random_program, win_random, RandomProgramOpts};
+use proptest::prelude::*;
+
+fn check_tabled_vs_wfm(store: &mut TermStore, program: &Program) {
+    let gp = Grounder::ground(store, program).unwrap();
+    let wfm = well_founded_model(&gp);
+    let mut engine = TabledEngine::new(gp.clone());
+    for a in gp.atom_ids() {
+        assert_eq!(
+            engine.truth(a),
+            wfm.truth(a),
+            "tabled ≠ WFM on {}",
+            gp.display_atom(store, a)
+        );
+    }
+}
+
+fn check_tree_vs_wfm(store: &mut TermStore, program: &Program) {
+    let gp = Grounder::ground(store, program).unwrap();
+    let wfm = well_founded_model(&gp);
+    for a in gp.atom_ids() {
+        let atom = gp.atom(a).clone();
+        let goal = Goal::new(vec![Literal::pos(atom.clone())]);
+        let tree = GlobalTree::build(store, program, &goal, GlobalOpts::default());
+        let expected = match wfm.truth(a) {
+            Truth::True => Status::Successful,
+            Truth::False => Status::Failed,
+            Truth::Undefined => Status::Indeterminate,
+        };
+        assert_eq!(
+            tree.status(),
+            expected,
+            "tree ≠ WFM on {}",
+            atom.display(store)
+        );
+    }
+}
+
+#[test]
+fn tabled_matches_wfm_on_many_random_programs() {
+    for seed in 0..300u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, RandomProgramOpts::default(), seed);
+        check_tabled_vs_wfm(&mut store, &program);
+    }
+}
+
+#[test]
+fn tree_matches_wfm_on_random_programs() {
+    // The explicit tree engine is heavier; fewer seeds, smaller programs.
+    let opts = RandomProgramOpts {
+        atoms: 8,
+        clauses: 14,
+        max_body: 3,
+        neg_prob: 0.5,
+    };
+    for seed in 0..80u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        check_tree_vs_wfm(&mut store, &program);
+    }
+}
+
+#[test]
+fn tabled_matches_wfm_on_random_games() {
+    for seed in 0..40u64 {
+        let mut store = TermStore::new();
+        let program = win_random(&mut store, 30, 3, seed);
+        check_tabled_vs_wfm(&mut store, &program);
+    }
+}
+
+#[test]
+fn dense_negation_heavy_programs() {
+    let opts = RandomProgramOpts {
+        atoms: 10,
+        clauses: 40,
+        max_body: 4,
+        neg_prob: 0.8,
+    };
+    for seed in 1000..1100u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        check_tabled_vs_wfm(&mut store, &program);
+    }
+}
+
+#[test]
+fn pure_positive_programs() {
+    let opts = RandomProgramOpts {
+        neg_prob: 0.0,
+        ..RandomProgramOpts::default()
+    };
+    for seed in 0..50u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        check_tabled_vs_wfm(&mut store, &program);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property: tabled engine ≡ bottom-up WFM, arbitrary shapes.
+    #[test]
+    fn prop_tabled_equals_wfm(
+        seed in any::<u64>(),
+        atoms in 2usize..15,
+        clauses in 1usize..30,
+        max_body in 0usize..4,
+        neg_pct in 0u8..=10,
+    ) {
+        let opts = RandomProgramOpts {
+            atoms,
+            clauses,
+            max_body,
+            neg_prob: f64::from(neg_pct) / 10.0,
+        };
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        check_tabled_vs_wfm(&mut store, &program);
+    }
+
+    /// Property: the explicit global tree ≡ WFM on small programs.
+    #[test]
+    fn prop_tree_equals_wfm(
+        seed in any::<u64>(),
+        atoms in 2usize..8,
+        clauses in 1usize..12,
+    ) {
+        let opts = RandomProgramOpts {
+            atoms,
+            clauses,
+            max_body: 3,
+            neg_prob: 0.5,
+        };
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        check_tree_vs_wfm(&mut store, &program);
+    }
+}

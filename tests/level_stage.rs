@@ -1,0 +1,127 @@
+//! Experiment E6 — Theorem 4.5 / Corollary 4.6: the level of a ground
+//! goal in the global tree equals the stage of the corresponding literal
+//! in the `V_P` iteration of the well-founded model.
+
+use global_sls::prelude::*;
+use gsls_core::GlobalOpts;
+use gsls_workloads::{odd_even_chain, random_program, win_chain, RandomProgramOpts};
+use proptest::prelude::*;
+
+/// Asserts level ≡ stage for every determined atom of `program`.
+fn check_level_stage(store: &mut TermStore, program: &Program) {
+    let gp = Grounder::ground(store, program).unwrap();
+    let staged = vp_iteration(&gp);
+    for a in gp.atom_ids() {
+        let atom = gp.atom(a).clone();
+        let goal = Goal::new(vec![Literal::pos(atom.clone())]);
+        let tree = GlobalTree::build(store, program, &goal, GlobalOpts::default());
+        match staged.model.truth(a) {
+            Truth::True => {
+                let stage = staged.stage_of_true(a).expect("true atom has a stage");
+                assert_eq!(
+                    tree.root().level_succ,
+                    Some(gsls_core::Ordinal::finite(u64::from(stage))),
+                    "succ level ≠ stage for {}",
+                    atom.display(store)
+                );
+            }
+            Truth::False => {
+                let stage = staged.stage_of_false(a).expect("false atom has a stage");
+                assert_eq!(
+                    tree.root().level_fail,
+                    Some(gsls_core::Ordinal::finite(u64::from(stage))),
+                    "fail level ≠ stage for {}",
+                    atom.display(store)
+                );
+            }
+            Truth::Undefined => {
+                assert_eq!(tree.status(), gsls_core::Status::Indeterminate);
+                assert!(tree.root().level_succ.is_none());
+                assert!(tree.root().level_fail.is_none());
+            }
+        }
+    }
+}
+
+#[test]
+fn hand_programs() {
+    for src in [
+        "p.",
+        "p :- ~q.",
+        "a1 :- ~a2. a2 :- ~a3. a3.",
+        "q. p :- ~q. r :- ~p.",
+        "p :- q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.",
+        "p :- ~p. q :- ~p, ~s. s.",
+        "w :- ~l. l :- ~w2. w2 :- ~l2. l2.",
+        "p :- q. q. r :- p, ~s.",
+    ] {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, src).unwrap();
+        check_level_stage(&mut store, &program);
+    }
+}
+
+#[test]
+fn negation_chains_have_linear_stages() {
+    // a0 ← ¬a1 … a(n−1) ← ¬an, an: stage(an)=1, and levels climb one per
+    // negation, so level(a0) = n+1.
+    for n in [1usize, 3, 7, 12] {
+        let mut store = TermStore::new();
+        let program = odd_even_chain(&mut store, n);
+        check_level_stage(&mut store, &program);
+        let goal = parse_goal(&mut store, "?- a0.").unwrap();
+        let tree = GlobalTree::build(&mut store, &program, &goal, GlobalOpts::default());
+        let expected = gsls_core::Ordinal::finite(n as u64 + 1);
+        let level = if (n % 2) == 0 {
+            tree.root().level_succ.clone()
+        } else {
+            tree.root().level_fail.clone()
+        };
+        assert_eq!(level, Some(expected), "chain n={n}");
+    }
+}
+
+#[test]
+fn win_chains() {
+    for n in [2usize, 3, 5, 8] {
+        let mut store = TermStore::new();
+        let program = win_chain(&mut store, n);
+        check_level_stage(&mut store, &program);
+    }
+}
+
+#[test]
+fn random_programs_level_stage() {
+    let opts = RandomProgramOpts {
+        atoms: 7,
+        clauses: 12,
+        max_body: 3,
+        neg_prob: 0.5,
+    };
+    for seed in 0..60u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        check_level_stage(&mut store, &program);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_level_equals_stage(
+        seed in any::<u64>(),
+        atoms in 2usize..7,
+        clauses in 1usize..10,
+    ) {
+        let opts = RandomProgramOpts {
+            atoms,
+            clauses,
+            max_body: 2,
+            neg_prob: 0.5,
+        };
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        check_level_stage(&mut store, &program);
+    }
+}

@@ -1,0 +1,117 @@
+//! Experiment E11 — the Section 1 semantics landscape:
+//! Fitting ⊑ WFS (information order), WFS ⊑ every stable model, a total
+//! WFM is the unique stable model, and the classic separating examples.
+
+use global_sls::prelude::*;
+use gsls_ground::GroundingMode;
+use gsls_workloads::{random_program, RandomProgramOpts};
+
+fn ground_full(store: &mut TermStore, program: &Program) -> GroundProgram {
+    Grounder::ground_with(
+        store,
+        program,
+        GrounderOpts {
+            mode: GroundingMode::Full,
+            ..GrounderOpts::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn fitting_below_wfs_on_random_programs() {
+    let opts = RandomProgramOpts::default();
+    for seed in 0..120u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        let gp = ground_full(&mut store, &program);
+        let fit = fitting_model(&gp);
+        let wfm = well_founded_model(&gp);
+        assert!(fit.leq(&wfm), "Fitting ⊑ WFS violated at seed {seed}");
+    }
+}
+
+#[test]
+fn wfs_within_every_stable_model_on_random_programs() {
+    let opts = RandomProgramOpts {
+        atoms: 8,
+        clauses: 12,
+        max_body: 2,
+        neg_prob: 0.6,
+    };
+    for seed in 0..80u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        let gp = ground_full(&mut store, &program);
+        let wfm = well_founded_model(&gp);
+        assert!(
+            gsls_wfs::wfm_within_all_stable(&gp, &wfm),
+            "WFM ⊄ stable model at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn total_wfm_is_unique_stable_model() {
+    for seed in 200..260u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, RandomProgramOpts::default(), seed);
+        let gp = ground_full(&mut store, &program);
+        let wfm = well_founded_model(&gp);
+        if wfm.is_total() {
+            let models = stable_models(&gp, 16);
+            assert_eq!(models.len(), 1, "seed {seed}");
+            for a in gp.atom_ids() {
+                assert_eq!(
+                    models[0].contains(a.index()),
+                    wfm.is_true(a),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn classic_separating_programs() {
+    // p ← p: Fitting undefined, WFS false.
+    let mut store = TermStore::new();
+    let program = parse_program(&mut store, "p :- p.").unwrap();
+    let gp = ground_full(&mut store, &program);
+    let p = gp.atom_ids().next().unwrap();
+    assert_eq!(fitting_model(&gp).truth(p), Truth::Undefined);
+    assert_eq!(well_founded_model(&gp).truth(p), Truth::False);
+
+    // p ← ¬p: no stable model, WFS undefined.
+    let mut store = TermStore::new();
+    let program = parse_program(&mut store, "p :- ~p.").unwrap();
+    let gp = ground_full(&mut store, &program);
+    assert!(stable_models(&gp, 4).is_empty());
+    let p = gp.atom_ids().next().unwrap();
+    assert_eq!(well_founded_model(&gp).truth(p), Truth::Undefined);
+
+    // a∨b choice + shared consequence: stable-intersection decides c,
+    // WFS leaves it undefined (the stable semantics is stronger).
+    let mut store = TermStore::new();
+    let program =
+        parse_program(&mut store, "a :- ~b. b :- ~a. c :- a. c :- b.").unwrap();
+    let gp = ground_full(&mut store, &program);
+    let c = gp
+        .atom_ids()
+        .find(|&x| gp.display_atom(&store, x) == "c")
+        .unwrap();
+    let inter = gsls_wfs::stable_intersection(&gp).unwrap();
+    assert!(inter.contains(c.index()));
+    assert_eq!(well_founded_model(&gp).truth(c), Truth::Undefined);
+}
+
+#[test]
+fn wfs_equals_fitting_plus_unfounded_detection() {
+    // On programs whose positive part is acyclic, Fitting and WFS agree.
+    for src in ["q. p :- ~q. r :- ~p.", "a :- ~b. b :- ~a.", "x :- y, ~z. y. z :- ~x."] {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, src).unwrap();
+        let gp = ground_full(&mut store, &program);
+        assert_eq!(fitting_model(&gp), well_founded_model(&gp), "{src}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Experiment E8 — Sec. 7: SLDNF-resolution with a safe computation rule
+//! is *sound* with respect to the well-founded semantics for all
+//! programs, but *incomplete*: it cannot treat infinite branches as
+//! failed. The global SLS engines decide goals SLDNF only times out on.
+
+use global_sls::prelude::*;
+use gsls_workloads::{random_program, RandomProgramOpts};
+
+/// Small budgets keep looping queries cheap; the soundness of decided
+/// verdicts does not depend on the budget size.
+fn small_budget() -> SldnfOpts {
+    SldnfOpts {
+        max_depth: 48,
+        max_nodes: 2_000,
+    }
+}
+
+/// Whenever SLDNF reaches a definite verdict, it matches the WFM.
+#[test]
+fn sldnf_sound_wrt_wfs_on_random_programs() {
+    let opts = RandomProgramOpts {
+        atoms: 8,
+        clauses: 14,
+        max_body: 3,
+        neg_prob: 0.5,
+    };
+    let mut decided = 0usize;
+    for seed in 0..150u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        let gp = Grounder::ground(&mut store, &program).unwrap();
+        let wfm = well_founded_model(&gp);
+        for a in gp.atom_ids() {
+            let atom = gp.atom(a).clone();
+            let goal = Goal::new(vec![Literal::pos(atom.clone())]);
+            let r = sldnf_solve(&mut store, &program, &goal, small_budget());
+            match r.outcome {
+                SldnfOutcome::Success => {
+                    decided += 1;
+                    assert_eq!(
+                        wfm.truth(a),
+                        Truth::True,
+                        "SLDNF success must be WFS-true: {} (seed {seed})",
+                        atom.display(&store)
+                    );
+                }
+                SldnfOutcome::Fail => {
+                    decided += 1;
+                    assert_eq!(
+                        wfm.truth(a),
+                        Truth::False,
+                        "SLDNF finite failure must be WFS-false: {} (seed {seed})",
+                        atom.display(&store)
+                    );
+                }
+                SldnfOutcome::Budget | SldnfOutcome::Floundered => {}
+            }
+        }
+    }
+    assert!(decided > 500, "sanity: SLDNF decided {decided} goals");
+}
+
+/// The incompleteness witness: `p ← p` makes `← ¬p` loop under SLDNF
+/// while both global SLS engines fail `p` (and hence prove `¬p`).
+#[test]
+fn sldnf_incomplete_where_global_sls_decides() {
+    let mut store = TermStore::new();
+    let program = parse_program(&mut store, "p :- p.").unwrap();
+    let goal = parse_goal(&mut store, "?- ~p.").unwrap();
+    let sldnf = sldnf_solve(&mut store, &program, &goal, small_budget());
+    assert_eq!(sldnf.outcome, SldnfOutcome::Budget, "SLDNF loops");
+    // Global tree engine: p failed, so ~p succeeds.
+    let tree = GlobalTree::build(
+        &mut store,
+        &program,
+        &goal,
+        gsls_core::GlobalOpts::default(),
+    );
+    assert_eq!(tree.status(), Status::Successful);
+}
+
+/// Quantifying the gap: on random programs the tabled engine decides
+/// every atom; SLDNF leaves a nontrivial fraction undecided.
+#[test]
+fn global_sls_decides_strictly_more() {
+    let opts = RandomProgramOpts {
+        atoms: 8,
+        clauses: 16,
+        max_body: 3,
+        neg_prob: 0.5,
+    };
+    let mut sldnf_undecided = 0usize;
+    let mut total = 0usize;
+    for seed in 300..360u64 {
+        let mut store = TermStore::new();
+        let program = random_program(&mut store, opts, seed);
+        let gp = Grounder::ground(&mut store, &program).unwrap();
+        let wfm = well_founded_model(&gp);
+        for a in gp.atom_ids() {
+            total += 1;
+            let atom = gp.atom(a).clone();
+            let goal = Goal::new(vec![Literal::pos(atom)]);
+            let r = sldnf_solve(&mut store, &program, &goal, small_budget());
+            let sldnf_decided = matches!(r.outcome, SldnfOutcome::Success | SldnfOutcome::Fail);
+            if !sldnf_decided && wfm.truth(a) != Truth::Undefined {
+                // WFS (hence global SLS) decides it; SLDNF does not.
+                sldnf_undecided += 1;
+            }
+        }
+    }
+    assert!(
+        sldnf_undecided > 0,
+        "expected SLDNF to miss some WFS-decided goals ({total} total)"
+    );
+}

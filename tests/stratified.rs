@@ -1,0 +1,112 @@
+//! Experiment E10 — program classes (Sec. 7): on stratified programs,
+//! SLS-resolution, the tabled engine and the well-founded model coincide
+//! (and the model is total); on ground-acyclic programs, the plain
+//! (budgeted, non-memoized) tree search already terminates.
+
+use global_sls::prelude::*;
+use gsls_core::GlobalOpts;
+use gsls_workloads::{negated_reachability, odd_even_chain};
+
+#[test]
+fn sls_equals_tabled_on_stratified() {
+    let srcs = [
+        "r(a). r(b). q(X) :- r(X). p(X) :- r(X), ~q(X).",
+        "b(x1). b(x2). e(x1). odd(X) :- b(X), ~e(X).",
+        "p :- ~q. q :- ~r. r.",
+    ];
+    for src in srcs {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, src).unwrap();
+        assert!(DepGraph::from_program(&program).is_stratified());
+        let (gp, pm) = perfect_model(&mut store, &program).unwrap();
+        assert!(pm.is_total());
+        let mut tabled = TabledEngine::new(gp.clone());
+        for a in gp.atom_ids() {
+            assert_eq!(tabled.truth(a), pm.truth(a), "{}", gp.display_atom(&store, a));
+        }
+    }
+}
+
+#[test]
+fn stratified_wfm_total_on_generators() {
+    for n in [3usize, 6, 10] {
+        let mut store = TermStore::new();
+        let program = negated_reachability(&mut store, n);
+        let gp = Grounder::ground(&mut store, &program).unwrap();
+        let wfm = well_founded_model(&gp);
+        assert!(wfm.is_total(), "n={n}");
+        let mut store2 = TermStore::new();
+        let chain = odd_even_chain(&mut store2, n);
+        let gp2 = Grounder::ground(&mut store2, &chain).unwrap();
+        assert!(well_founded_model(&gp2).is_total(), "chain n={n}");
+    }
+}
+
+#[test]
+fn sls_query_agrees_with_tabled_answers() {
+    let src = "n(v0). n(v1). n(v2).
+               e(v0, v1). e(v1, v2).
+               t(X, Y) :- e(X, Y).
+               t(X, Z) :- e(X, Y), t(Y, Z).
+               unreach(X, Y) :- n(X), n(Y), ~t(X, Y).";
+    let mut store = TermStore::new();
+    let program = parse_program(&mut store, src).unwrap();
+    let goal = parse_goal(&mut store, "?- unreach(v2, Y).").unwrap();
+    let sls = sls_solve(&mut store, &program, &goal, SlsOpts::default()).unwrap();
+    let mut solver = Solver::new(program);
+    let tab = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
+    let mut a1: Vec<String> = sls.answers.iter().map(|s| s.display(&store)).collect();
+    let mut a2: Vec<String> = tab.answers.iter().map(|s| s.display(&store)).collect();
+    a1.sort();
+    a1.dedup();
+    a2.sort();
+    assert_eq!(a1, a2);
+    // v2 reaches nothing: unreach(v2, Y) holds for all three nodes.
+    assert_eq!(a2.len(), 3);
+}
+
+#[test]
+fn acyclic_programs_determined_without_memo_assistance() {
+    // Ground-acyclic: the plain global tree terminates and decides every
+    // atom even with the loop check disabled (Sec. 7: global
+    // SLS-resolution is effective for acyclic programs).
+    let src = "p :- ~q, r. q :- s, ~z. r. s.";
+    let mut store = TermStore::new();
+    let program = parse_program(&mut store, src).unwrap();
+    let gp = Grounder::ground(&mut store, &program).unwrap();
+    assert!(AtomDepGraph::from_ground(&gp).is_acyclic());
+    let opts = GlobalOpts {
+        slp: SlpOpts {
+            ground_loop_check: false,
+            ..SlpOpts::default()
+        },
+        ..GlobalOpts::default()
+    };
+    for (atom, expect) in [("p", Status::Failed), ("q", Status::Successful), ("r", Status::Successful)] {
+        let goal = parse_goal(&mut store, &format!("?- {atom}.")).unwrap();
+        let tree = GlobalTree::build(&mut store, &program, &goal, opts);
+        assert_eq!(tree.status(), expect, "{atom}");
+        assert!(!tree.budget_hit(), "acyclic ⇒ no budget needed");
+    }
+}
+
+#[test]
+fn locally_stratified_total_but_not_stratified() {
+    // even/odd over numerals: predicate-level negation cycle, ground
+    // acyclic; the WFM is total.
+    let src = "num(z). num(s(z)). num(s(s(z))). num(s(s(s(z)))).
+               even(z).
+               even(s(X)) :- num(X), ~even(X).";
+    let mut store = TermStore::new();
+    let program = parse_program(&mut store, src).unwrap();
+    assert!(!DepGraph::from_program(&program).is_stratified());
+    let gp = Grounder::ground(&mut store, &program).unwrap();
+    assert!(AtomDepGraph::from_ground(&gp).is_locally_stratified());
+    let wfm = well_founded_model(&gp);
+    assert!(wfm.is_total());
+    let even2 = gp
+        .atom_ids()
+        .find(|&a| gp.display_atom(&store, a) == "even(s(s(z)))")
+        .unwrap();
+    assert_eq!(wfm.truth(even2), Truth::True);
+}
