@@ -16,7 +16,7 @@ fn bench_negation_chain(c: &mut Criterion) {
         let mut store = TermStore::new();
         let program = odd_even_chain(&mut store, n);
         let gp = ground(&mut store, &program);
-        let root = atom_named(&store, &gp, "a0");
+        let root = atom_named(&mut store, &gp, "a0");
         group.bench_with_input(BenchmarkId::new("tabled", n), &n, |b, _| {
             b.iter(|| {
                 let mut e = TabledEngine::new(gp.clone());
@@ -27,9 +27,7 @@ fn bench_negation_chain(c: &mut Criterion) {
             let mut store = TermStore::new();
             let program = odd_even_chain(&mut store, n);
             let goal = parse_goal(&mut store, "?- a0.").unwrap();
-            b.iter(|| {
-                sldnf_solve(&mut store, &program, &goal, SldnfOpts::default()).outcome
-            });
+            b.iter(|| sldnf_solve(&mut store, &program, &goal, SldnfOpts::default()).outcome);
         });
         group.bench_with_input(BenchmarkId::new("sls", n), &n, |b, _| {
             let mut store = TermStore::new();
@@ -52,7 +50,7 @@ fn bench_stratified_db(c: &mut Criterion) {
             let mut store = TermStore::new();
             let program = negated_reachability(&mut store, n);
             let gp = ground(&mut store, &program);
-            let q = atom_named(&store, &gp, &format!("unreach(v{}, v0)", n - 1));
+            let q = atom_named(&mut store, &gp, &format!("unreach(v{}, v0)", n - 1));
             b.iter(|| {
                 let mut e = TabledEngine::new(gp.clone());
                 e.truth(q)
@@ -61,8 +59,7 @@ fn bench_stratified_db(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sls", n), &n, |b, _| {
             let mut store = TermStore::new();
             let program = negated_reachability(&mut store, n);
-            let goal =
-                parse_goal(&mut store, &format!("?- unreach(v{}, v0).", n - 1)).unwrap();
+            let goal = parse_goal(&mut store, &format!("?- unreach(v{}, v0).", n - 1)).unwrap();
             b.iter(|| {
                 sls_solve(&mut store, &program, &goal, Default::default())
                     .unwrap()

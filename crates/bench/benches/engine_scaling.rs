@@ -33,22 +33,16 @@ fn bench_shapes(c: &mut Criterion) {
             let mut store = TermStore::new();
             let program = gen(&mut store, n);
             let gp = ground(&mut store, &program);
-            let root = atom_named(&store, &gp, "win(n0)");
-            group.bench_with_input(
-                BenchmarkId::new("tabled_query", n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let mut engine = TabledEngine::new(gp.clone());
-                        engine.truth(root)
-                    });
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new("bottom_up_full_model", n),
-                &n,
-                |b, _| b.iter(|| well_founded_model(&gp).count_true()),
-            );
+            let root = atom_named(&mut store, &gp, "win(n0)");
+            group.bench_with_input(BenchmarkId::new("tabled_query", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut engine = TabledEngine::new(gp.clone());
+                    engine.truth(root)
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("bottom_up_full_model", n), &n, |b, _| {
+                b.iter(|| well_founded_model(&gp).count_true())
+            });
         }
         group.finish();
     }
@@ -69,7 +63,7 @@ fn bench_goal_directedness(c: &mut Criterion) {
         }
         let program = gsls_lang::parse_program(&mut store, &src).unwrap();
         let gp = ground(&mut store, &program);
-        let root = atom_named(&store, &gp, "w0(x0_0)");
+        let root = atom_named(&mut store, &gp, "w0(x0_0)");
         group.bench_with_input(BenchmarkId::new("tabled_one_board", k), &k, |b, _| {
             b.iter(|| {
                 let mut engine = TabledEngine::new(gp.clone());

@@ -45,8 +45,7 @@ fn bench_tree_levels(c: &mut Criterion) {
             let program = van_gelder_program(&mut store);
             let goal = parse_goal(&mut store, &format!("?- w({}).", numeral(n))).unwrap();
             b.iter(|| {
-                let tree =
-                    GlobalTree::build(&mut store, &program, &goal, GlobalOpts::default());
+                let tree = GlobalTree::build(&mut store, &program, &goal, GlobalOpts::default());
                 assert_eq!(tree.status(), Status::Successful);
                 tree.root().level_succ.clone()
             });

@@ -1,0 +1,235 @@
+//! Emits `BENCH_1.json`: the perf trajectory record for PR 1 (the
+//! zero-allocation fixpoint substrate).
+//!
+//! Measures, for the van_gelder and engine_scaling sweeps:
+//!
+//! * ground program size (atoms, clauses) and alternating-fixpoint
+//!   `reduct_calls`;
+//! * wall-time of the well-founded model on the reusable-propagator
+//!   substrate vs the pre-CSR rebuild-per-call baseline
+//!   (`well_founded_model_rebuild`), with the speedup;
+//! * heap allocations per reduct call after warm-up, counted by a
+//!   wrapping global allocator (the substrate's contract is zero).
+//!
+//! Run from the workspace root: `cargo run --release -p gsls-bench --bin
+//! perf_report`. Future PRs append their own `BENCH_<n>.json` so the
+//! trajectory stays comparable.
+
+use gsls_ground::{Grounder, GrounderOpts, HerbrandOpts};
+use gsls_lang::TermStore;
+use gsls_wfs::{well_founded_model_rebuild, well_founded_model_with_stats, BitSet, Propagator};
+use gsls_workloads::{van_gelder_program, win_random};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every allocation so the zero-allocation contract is checked,
+/// not assumed.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Median wall-time of `runs` executions, in nanoseconds.
+fn median_ns<T>(runs: usize, mut f: impl FnMut() -> T) -> u64 {
+    let mut samples: Vec<u64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct SweepPoint {
+    label: String,
+    atoms: usize,
+    clauses: usize,
+    reduct_calls: u32,
+    wfm_ns: u64,
+    rebuild_ns: u64,
+}
+
+impl SweepPoint {
+    fn speedup(&self) -> f64 {
+        self.rebuild_ns as f64 / self.wfm_ns.max(1) as f64
+    }
+
+    fn json(&self, key: &str) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\"{key}\": {}, \"atoms\": {}, \"clauses\": {}, \
+             \"reduct_calls\": {}, \"wfm_ns\": {}, \"wfm_rebuild_ns\": {}, \
+             \"speedup\": {:.2}}}",
+            self.label,
+            self.atoms,
+            self.clauses,
+            self.reduct_calls,
+            self.wfm_ns,
+            self.rebuild_ns,
+            self.speedup()
+        );
+        s
+    }
+}
+
+fn measure(gp: &gsls_ground::GroundProgram, label: String, runs: usize) -> SweepPoint {
+    let (_, stats) = well_founded_model_with_stats(gp);
+    let wfm_ns = median_ns(runs, || well_founded_model_with_stats(gp).0);
+    let rebuild_ns = median_ns(runs, || well_founded_model_rebuild(gp));
+    SweepPoint {
+        label,
+        atoms: gp.atom_count(),
+        clauses: gp.clause_count(),
+        reduct_calls: stats.reduct_calls,
+        wfm_ns,
+        rebuild_ns,
+    }
+}
+
+fn van_gelder_sweep() -> Vec<SweepPoint> {
+    [64u32, 256, 1024]
+        .iter()
+        .map(|&depth| {
+            let mut store = TermStore::new();
+            let program = van_gelder_program(&mut store);
+            let gp = Grounder::ground_with(
+                &mut store,
+                &program,
+                GrounderOpts {
+                    universe: HerbrandOpts {
+                        max_depth: depth,
+                        max_terms: 1_000_000,
+                    },
+                    ..GrounderOpts::default()
+                },
+            )
+            .expect("van_gelder grounds");
+            let runs = if depth >= 1024 { 5 } else { 9 };
+            let p = measure(&gp, depth.to_string(), runs);
+            println!(
+                "van_gelder N={depth}: atoms={} clauses={} reduct_calls={} \
+                 wfm={:.3}ms rebuild={:.3}ms speedup={:.2}x",
+                p.atoms,
+                p.clauses,
+                p.reduct_calls,
+                p.wfm_ns as f64 / 1e6,
+                p.rebuild_ns as f64 / 1e6,
+                p.speedup()
+            );
+            p
+        })
+        .collect()
+}
+
+fn engine_scaling_sweep() -> Vec<SweepPoint> {
+    gsls_bench::SWEEP
+        .iter()
+        .map(|&n| {
+            let mut store = TermStore::new();
+            let program = win_random(&mut store, n, 3, 11);
+            let gp = gsls_bench::ground(&mut store, &program);
+            let p = measure(&gp, n.to_string(), 9);
+            println!(
+                "engine_scaling n={n}: atoms={} clauses={} reduct_calls={} \
+                 wfm={:.3}ms rebuild={:.3}ms speedup={:.2}x",
+                p.atoms,
+                p.clauses,
+                p.reduct_calls,
+                p.wfm_ns as f64 / 1e6,
+                p.rebuild_ns as f64 / 1e6,
+                p.speedup()
+            );
+            p
+        })
+        .collect()
+}
+
+/// Counts heap allocations across `calls` reduct evaluations on warm
+/// scratch. The substrate contract is exactly zero.
+fn zero_alloc_check() -> (u64, u64) {
+    let mut store = TermStore::new();
+    let program = win_random(&mut store, 256, 3, 7);
+    let gp = gsls_bench::ground(&mut store, &program);
+    let mut prop = Propagator::new(&gp);
+    let mut out = BitSet::new(gp.atom_count());
+    let mut s = BitSet::new(gp.atom_count());
+    // Warm-up: size the queue and touch every path once.
+    prop.lfp_into(&gp, |q| !s.contains(q.index()), &mut out);
+    s.copy_from(&out);
+    prop.lfp_into(&gp, |q| !s.contains(q.index()), &mut out);
+    let calls = 100u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..calls {
+        // Alternate contexts so both reduct shapes are exercised.
+        if i % 2 == 0 {
+            prop.lfp_into(&gp, |q| !s.contains(q.index()), &mut out);
+        } else {
+            prop.lfp_into(&gp, |_| false, &mut out);
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    (calls, after - before)
+}
+
+fn main() {
+    println!("# perf_report — zero-allocation fixpoint substrate (PR 1)");
+    let van_gelder = van_gelder_sweep();
+    let engine = engine_scaling_sweep();
+    let (calls, allocs) = zero_alloc_check();
+    println!("zero_alloc: {allocs} allocations across {calls} warm reduct calls");
+
+    let mut json = String::from("{\n  \"pr\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"CSR ground programs + reusable propagator vs \
+         per-call watch-list rebuild\","
+    );
+    json.push_str("  \"van_gelder\": [\n");
+    let vg: Vec<String> = van_gelder.iter().map(|p| p.json("depth")).collect();
+    json.push_str(&vg.join(",\n"));
+    json.push_str("\n  ],\n  \"engine_scaling\": [\n");
+    let es: Vec<String> = engine.iter().map(|p| p.json("n")).collect();
+    json.push_str(&es.join(",\n"));
+    let _ = write!(
+        json,
+        "\n  ],\n  \"zero_alloc\": {{\"warm_reduct_calls\": {calls}, \
+         \"allocations\": {allocs}}}\n}}\n"
+    );
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    println!("wrote BENCH_1.json");
+
+    let n1024 = van_gelder.last().expect("sweep nonempty");
+    assert_eq!(allocs, 0, "reduct calls must not allocate after warm-up");
+    assert!(
+        n1024.speedup() >= 3.0,
+        "van_gelder N=1024 speedup {:.2}x below the 3x acceptance bar",
+        n1024.speedup()
+    );
+    println!(
+        "acceptance: van_gelder N=1024 speedup {:.2}x (>= 3x), zero warm allocations",
+        n1024.speedup()
+    );
+}

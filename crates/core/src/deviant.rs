@@ -213,7 +213,10 @@ mod tests {
 
     #[test]
     fn example_3_2_preferential_succeeds() {
-        assert_eq!(run(EX32, "?- s.", RuleKind::Preferential), Verdict::Successful);
+        assert_eq!(
+            run(EX32, "?- s.", RuleKind::Preferential),
+            Verdict::Successful
+        );
     }
 
     #[test]
@@ -259,8 +262,16 @@ mod tests {
             RuleKind::SequentialNegative,
             RuleKind::LeftmostLiteral,
         ] {
-            assert_eq!(run("p :- ~q.", "?- p.", rule), Verdict::Successful, "{rule:?}");
-            assert_eq!(run("p :- ~q. q.", "?- p.", rule), Verdict::Failed, "{rule:?}");
+            assert_eq!(
+                run("p :- ~q.", "?- p.", rule),
+                Verdict::Successful,
+                "{rule:?}"
+            );
+            assert_eq!(
+                run("p :- ~q. q.", "?- p.", rule),
+                Verdict::Failed,
+                "{rule:?}"
+            );
         }
     }
 

@@ -258,8 +258,7 @@ impl GlobalTree {
                 debug_assert!(lit.is_neg(), "active leaves contain only negatives");
                 if !lit.atom.is_ground(store) {
                     children.push(NegChild::NonGround(lit.atom.clone()));
-                } else if neg_depth >= opts.max_neg_depth
-                    || self.nodes.len() >= opts.max_tree_nodes
+                } else if neg_depth >= opts.max_neg_depth || self.nodes.len() >= opts.max_tree_nodes
                 {
                     self.budget_hit = true;
                     self.nodes[idx as usize].budget_hit = true;
@@ -274,8 +273,7 @@ impl GlobalTree {
                     // expand_goal; record it first.
                     let child_idx = self.nodes.len() as u32;
                     self.memo.insert(lit.atom.clone(), child_idx);
-                    let actual =
-                        self.expand_goal(store, program, child_goal, neg_depth + 1, opts);
+                    let actual = self.expand_goal(store, program, child_goal, neg_depth + 1, opts);
                     debug_assert_eq!(actual, child_idx);
                     children.push(NegChild::Tree(child_idx));
                 }
@@ -345,14 +343,8 @@ impl GlobalTree {
                 // Tree-node rules (3a–3c).
                 let mut flags = self.nodes[i].flags;
                 let any_success = self.nodes[i].negnodes.iter().any(|n| n.flags.successful);
-                let all_failed = self.nodes[i]
-                    .negnodes
-                    .iter()
-                    .all(|n| n.flags.failed);
-                let some_floundered = self.nodes[i]
-                    .negnodes
-                    .iter()
-                    .any(|n| n.flags.floundered);
+                let all_failed = self.nodes[i].negnodes.iter().all(|n| n.flags.failed);
+                let some_floundered = self.nodes[i].negnodes.iter().any(|n| n.flags.floundered);
                 // "T is a leaf of Γ (no active leaves)" fails — but only
                 // when the SLP-tree is complete (a truncated tree might
                 // still grow active leaves) and no budget cut children.
@@ -502,21 +494,17 @@ impl GlobalTree {
                         }
                         self.nodes[i].level_fail = Some(level.clone());
                         for &(pi, pj) in &on_tree_fail[i].clone() {
-                            let w = jsucc_wait
-                                .get_mut(&(pi, pj))
-                                .expect("registered waiter");
+                            let w = jsucc_wait.get_mut(&(pi, pj)).expect("registered waiter");
                             *w -= 1;
                             if *w == 0 {
                                 // All children fail levels known: lub.
                                 let lub = {
                                     let neg = &self.nodes[pi as usize].negnodes[pj as usize];
-                                    Ordinal::lub(neg.children.iter().filter_map(|c| {
-                                        match c {
-                                            NegChild::Tree(t) => {
-                                                self.nodes[*t as usize].level_fail.as_ref()
-                                            }
-                                            _ => None,
+                                    Ordinal::lub(neg.children.iter().filter_map(|c| match c {
+                                        NegChild::Tree(t) => {
+                                            self.nodes[*t as usize].level_fail.as_ref()
                                         }
+                                        _ => None,
                                     }))
                                 };
                                 heap.push(Reverse((lub, Key::Neg(pi, pj))));
@@ -580,7 +568,10 @@ mod tests {
 
     #[test]
     fn negative_cycle_indeterminate() {
-        assert_eq!(status_of("p :- ~q. q :- ~p.", "?- p."), Status::Indeterminate);
+        assert_eq!(
+            status_of("p :- ~q. q :- ~p.", "?- p."),
+            Status::Indeterminate
+        );
         assert_eq!(status_of("p :- ~p.", "?- p."), Status::Indeterminate);
     }
 
@@ -646,10 +637,7 @@ mod tests {
     #[test]
     fn multiple_answers_multiple_levels() {
         // Root tree nodes may have several levels, one per answer.
-        let (mut s, t) = build(
-            "q(a). p(a). p(b) :- ~q(b).",
-            "?- p(X).",
-        );
+        let (mut s, t) = build("q(a). p(a). p(b) :- ~q(b).", "?- p(X).");
         let answers = t.answers(&mut s);
         assert_eq!(answers.len(), 2);
         let mut levels: Vec<Ordinal> = answers.iter().filter_map(|a| a.level.clone()).collect();

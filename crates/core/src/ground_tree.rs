@@ -167,7 +167,9 @@ impl GroundTreeAnalysis {
     /// successful and every `qⱼ` failed; ground failed iff some `pᵢ`
     /// failed or some `qⱼ` successful.
     pub fn query(&self, pos: &[GroundAtomId], neg: &[GroundAtomId]) -> GroundStatus {
-        let all_ok = pos.iter().all(|&a| self.status(a) == GroundStatus::Successful)
+        let all_ok = pos
+            .iter()
+            .all(|&a| self.status(a) == GroundStatus::Successful)
             && neg.iter().all(|&a| self.status(a) == GroundStatus::Failed);
         if all_ok {
             return GroundStatus::Successful;

@@ -38,9 +38,7 @@ impl Ordinal {
 
     /// The ordinal ω.
     pub fn omega() -> Self {
-        Ordinal {
-            coeffs: vec![0, 1],
-        }
+        Ordinal { coeffs: vec![0, 1] }
     }
 
     /// Builds `coeffs[k]·ω^k + …` from little-endian coefficients.
@@ -97,8 +95,8 @@ impl Ordinal {
             return self.clone();
         }
         let k = rhs.coeffs.len() - 1; // highest power of rhs
-        // self + rhs: powers of self below ω^k are absorbed; the ω^k
-        // coefficients add; higher powers of self survive.
+                                      // self + rhs: powers of self below ω^k are absorbed; the ω^k
+                                      // coefficients add; higher powers of self survive.
         let mut coeffs = rhs.coeffs.clone();
         if self.coeffs.len() > k {
             coeffs[k] += self.coeffs[k];

@@ -83,11 +83,7 @@ impl RuleKind {
                 if let Some(i) = goal.literals().iter().position(Literal::is_pos) {
                     return Selection::Positive(i);
                 }
-                match goal
-                    .literals()
-                    .iter()
-                    .position(|l| l.is_ground(store))
-                {
+                match goal.literals().iter().position(|l| l.is_ground(store)) {
                     Some(i) => Selection::Negatives(vec![i]),
                     None => Selection::Flounder,
                 }

@@ -261,19 +261,13 @@ mod tests {
     fn negative_literals_stay_in_leaves() {
         // win(X) :- move(X,Y), ~win(Y): expanding win(a) must stop at the
         // all-negative goal {~win(b)}.
-        let (s, t) = build(
-            "move(a, b). win(X) :- move(X, Y), ~win(Y).",
-            "?- win(a).",
-        );
+        let (s, t) = build("move(a, b). win(X) :- move(X, Y), ~win(Y).", "?- win(a).");
         let leaves = t.active_leaves();
         assert_eq!(leaves.len(), 1);
         let leaf = &t.nodes()[leaves[0] as usize];
         assert_eq!(leaf.goal.len(), 1);
         assert!(leaf.goal.literals()[0].is_neg());
-        assert_eq!(
-            leaf.goal.literals()[0].atom.display(&s),
-            "win(b)"
-        );
+        assert_eq!(leaf.goal.literals()[0].atom.display(&s), "win(b)");
     }
 
     #[test]

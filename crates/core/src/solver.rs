@@ -195,9 +195,10 @@ impl Solver {
         let candidates: Vec<Atom> = {
             let eng = self.ensure_tabled(store)?;
             let gp = eng.ground_program();
-            gp.atom_ids()
+            // The per-predicate index from `finalize` replaces a scan
+            // (and clone) of the entire atom table.
+            gp.atoms_with_pred(pattern.pred_id())
                 .map(|a| gp.atom(a).clone())
-                .filter(|a| a.pred_id() == pattern.pred_id())
                 .collect()
         };
         let mut answers = Vec::new();
@@ -361,8 +362,7 @@ mod tests {
         (s, Solver::new(p))
     }
 
-    const WINGAME: &str =
-        "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).";
+    const WINGAME: &str = "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).";
 
     #[test]
     fn ground_query_both_engines_agree() {
@@ -411,9 +411,7 @@ mod tests {
 
     #[test]
     fn join_with_negative_literal() {
-        let (mut s, mut solver) = solver(
-            "d(a). d(b). d(c). bad(b). good(X) :- d(X), ~bad(X).",
-        );
+        let (mut s, mut solver) = solver("d(a). d(b). d(c). bad(b). good(X) :- d(X), ~bad(X).");
         let g = parse_goal(&mut s, "?- d(X), ~bad(X).").unwrap();
         let r = solver.query(&mut s, &g, Engine::Tabled).unwrap();
         assert_eq!(r.answers.len(), 2);

@@ -23,9 +23,9 @@
 //! tests against the bottom-up oracle); `Undefined` is the effective
 //! stand-in for "ideal global SLS-resolution is indeterminate".
 
-use gsls_ground::{depgraph, GroundAtomId, GroundProgram};
+use gsls_ground::{depgraph, ClauseRef, GroundAtomId, GroundProgram};
 use gsls_lang::FxHashMap;
-use gsls_wfs::{BitSet, Truth};
+use gsls_wfs::{BitSet, Propagator, Truth};
 
 /// Statistics for one query evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,24 +39,48 @@ pub struct TabledStats {
 }
 
 /// The memoized engine over a ground program.
+///
+/// SCC-local alternating fixpoints all run through one shared
+/// [`Propagator`] restricted to the SCC's clause range
+/// ([`Propagator::lfp_restricted`]), with engine-owned bitset scratch
+/// cleared sparsely per SCC — after warm-up, solving an SCC performs no
+/// heap allocation.
 #[derive(Debug, Clone)]
 pub struct TabledEngine {
     gp: GroundProgram,
     /// Memo table: verdicts for already-evaluated atoms.
     table: Vec<Option<Truth>>,
-    /// For each atom, the clauses in whose body it occurs — reverse
-    /// dependency index, built lazily on first use.
     stats_total: TabledStats,
+    /// Shared propagation scratch for every SCC-local fixpoint.
+    prop: Propagator,
+    /// Clause indices of the SCC currently being solved.
+    scc_clauses: Vec<u32>,
+    /// Membership mask of the SCC currently being solved.
+    in_scc: BitSet,
+    /// Alternating-fixpoint buffers (global-sized, sparsely cleared).
+    t: BitSet,
+    u: BitSet,
+    t_next: BitSet,
+    u_next: BitSet,
 }
 
 impl TabledEngine {
-    /// Creates an engine for `gp`.
-    pub fn new(gp: GroundProgram) -> Self {
+    /// Creates an engine for `gp` (finalizing it if needed).
+    pub fn new(mut gp: GroundProgram) -> Self {
+        gp.finalize();
         let n = gp.atom_count();
+        let prop = Propagator::new(&gp);
         TabledEngine {
             gp,
             table: vec![None; n],
             stats_total: TabledStats::default(),
+            prop,
+            scc_clauses: Vec::new(),
+            in_scc: BitSet::new(n),
+            t: BitSet::new(n),
+            u: BitSet::new(n),
+            t_next: BitSet::new(n),
+            u_next: BitSet::new(n),
         }
     }
 
@@ -146,117 +170,109 @@ impl TabledEngine {
 
     /// Solves one SCC by a local alternating fixpoint, reading external
     /// atoms from the memo table (they are guaranteed decided).
+    ///
+    /// Each reduct evaluation is [`Propagator::lfp_restricted`] over the
+    /// SCC's clause indices with global atom ids: internal positive
+    /// literals are tracked by the propagation, external ones resolve
+    /// against the memo table at classification time, and internal
+    /// negative literals delete clauses per the Gelfond–Lifschitz reduct
+    /// w.r.t. the opposite approximation. Fixpoint detection uses
+    /// derivation counts (`T` grows, `U` shrinks along the iteration).
     fn solve_scc(&mut self, atoms: &[GroundAtomId]) {
-        let mut member: FxHashMap<u32, usize> = FxHashMap::default();
-        for (i, a) in atoms.iter().enumerate() {
-            member.insert(a.0, i);
-        }
-        let k = atoms.len();
-        // Gather clauses for heads in the SCC and pre-resolve external
-        // literals. A clause is kept as (head_local, internal_pos,
-        // internal_neg) plus flags for definite/possible external
-        // satisfaction.
-        struct LocalClause {
-            head: usize,
-            pos: Vec<usize>,
-            neg: Vec<usize>,
-            /// Every external literal definitely true (for the
-            /// under-approximation pass).
-            ext_definite: bool,
-            /// No external literal definitely false (for the
-            /// over-approximation pass).
-            ext_possible: bool,
-        }
-        let mut clauses: Vec<LocalClause> = Vec::new();
+        let Self {
+            gp,
+            table,
+            prop,
+            scc_clauses,
+            in_scc,
+            t,
+            u,
+            t_next,
+            u_next,
+            ..
+        } = self;
         for &a in atoms {
-            for &ci in self.gp.clauses_for(a) {
-                let c = self.gp.clause(ci);
-                let mut lc = LocalClause {
-                    head: member[&a.0],
-                    pos: Vec::new(),
-                    neg: Vec::new(),
-                    ext_definite: true,
-                    ext_possible: true,
-                };
-                for &b in c.pos.iter() {
-                    if let Some(&lb) = member.get(&b.0) {
-                        lc.pos.push(lb);
-                    } else {
-                        match self.table[b.index()].expect("external atom tabled") {
-                            Truth::True => {}
-                            Truth::Undefined => lc.ext_definite = false,
-                            Truth::False => {
-                                lc.ext_definite = false;
-                                lc.ext_possible = false;
-                            }
-                        }
-                    }
-                }
-                for &b in c.neg.iter() {
-                    if let Some(&lb) = member.get(&b.0) {
-                        lc.neg.push(lb);
-                    } else {
-                        match self.table[b.index()].expect("external atom tabled") {
-                            Truth::False => {}
-                            Truth::Undefined => lc.ext_definite = false,
-                            Truth::True => {
-                                lc.ext_definite = false;
-                                lc.ext_possible = false;
-                            }
-                        }
-                    }
-                }
-                if lc.ext_possible {
-                    clauses.push(lc);
-                }
-            }
+            in_scc.insert(a.index());
+            t.remove(a.index());
+            u.remove(a.index());
+            t_next.remove(a.index());
+            u_next.remove(a.index());
         }
-        // Local alternating fixpoint. `reduct_lfp(s, under)` = lfp of the
-        // reduct where internal ¬q holds iff q ∉ s; `under` selects the
-        // definite (T) or possible (U) reading of external literals.
-        let reduct_lfp = |s: &BitSet, under: bool| -> BitSet {
-            let mut truth = BitSet::new(k);
-            let mut changed = true;
-            while changed {
-                changed = false;
-                for c in &clauses {
-                    if truth.contains(c.head) {
-                        continue;
-                    }
-                    if under && !c.ext_definite {
-                        continue;
-                    }
-                    let pos_ok = c.pos.iter().all(|&b| truth.contains(b));
-                    let neg_ok = c.neg.iter().all(|&b| !s.contains(b));
-                    if pos_ok && neg_ok {
-                        truth.insert(c.head);
-                        changed = true;
+        scc_clauses.clear();
+        for &a in atoms {
+            scc_clauses.extend_from_slice(gp.clauses_for(a));
+        }
+        let scc_mask = &*in_scc;
+        let table_ro = &*table;
+        // `classify(c, s, under)`: `None` = clause deleted for this pass;
+        // `Some(k)` = number of internal positive literals the
+        // propagation must derive. `under` selects the definite (T) or
+        // possible (U) reading of external undefined literals.
+        let classify = |c: ClauseRef<'_>, s: &BitSet, under: bool| -> Option<u32> {
+            let mut missing = 0u32;
+            for &b in c.pos {
+                if scc_mask.contains(b.index()) {
+                    missing += 1;
+                } else {
+                    match table_ro[b.index()].expect("external atom tabled") {
+                        Truth::True => {}
+                        Truth::Undefined if under => return None,
+                        Truth::Undefined => {}
+                        Truth::False => return None,
                     }
                 }
             }
-            truth
+            for &b in c.neg {
+                if scc_mask.contains(b.index()) {
+                    if s.contains(b.index()) {
+                        return None;
+                    }
+                } else {
+                    match table_ro[b.index()].expect("external atom tabled") {
+                        Truth::False => {}
+                        Truth::Undefined if under => return None,
+                        Truth::Undefined => {}
+                        Truth::True => return None,
+                    }
+                }
+            }
+            Some(missing)
         };
-        let mut t = BitSet::new(k);
-        let mut u = reduct_lfp(&t, false);
+        // T₀ = ∅; U₀ = A_over(T₀); then alternate until the counts of
+        // both approximations stop moving.
+        let mut t_count = 0usize;
+        let mut u_count = prop.lfp_restricted(gp, scc_clauses, |c| classify(c, t, false), u);
         loop {
-            let t_next = reduct_lfp(&u, true);
-            let u_next = reduct_lfp(&t_next, false);
-            let stable = t_next == t && u_next == u;
-            t = t_next;
-            u = u_next;
+            let tc = prop.lfp_restricted(gp, scc_clauses, |c| classify(c, u, true), t_next);
+            let uc = prop.lfp_restricted(gp, scc_clauses, |c| classify(c, t_next, false), u_next);
+            let stable = tc == t_count && uc == u_count;
+            std::mem::swap(t, t_next);
+            std::mem::swap(u, u_next);
+            t_count = tc;
+            u_count = uc;
             if stable {
                 break;
             }
+            // The swapped-out buffers hold the previous round; clear the
+            // SCC's bits before they serve as outputs again.
+            for &a in atoms {
+                t_next.remove(a.index());
+                u_next.remove(a.index());
+            }
         }
-        for (i, &a) in atoms.iter().enumerate() {
-            let verdict = if t.contains(i) {
+        for &a in atoms {
+            let verdict = if t.contains(a.index()) {
                 Truth::True
-            } else if !u.contains(i) {
+            } else if !u.contains(a.index()) {
                 Truth::False
             } else {
                 Truth::Undefined
             };
-            self.table[a.index()] = Some(verdict);
+            table[a.index()] = Some(verdict);
+        }
+        // The membership mask must not leak into the next SCC.
+        for &a in atoms {
+            in_scc.remove(a.index());
         }
     }
 }

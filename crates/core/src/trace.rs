@@ -103,20 +103,24 @@ fn render_tree_node(
         ));
         for child in &neg.children {
             match child {
-                NegChild::Tree(t) => {
-                    render_tree_node(store, tree, *t, indent + 2, visited, out)
-                }
+                NegChild::Tree(t) => render_tree_node(store, tree, *t, indent + 2, visited, out),
                 NegChild::NonGround(atom) => {
                     for _ in 0..indent + 2 {
                         out.push_str("  ");
                     }
-                    out.push_str(&format!("<nonground {}>   (floundered)\n", atom.display(store)));
+                    out.push_str(&format!(
+                        "<nonground {}>   (floundered)\n",
+                        atom.display(store)
+                    ));
                 }
                 NegChild::Unexpanded(atom) => {
                     for _ in 0..indent + 2 {
                         out.push_str("  ");
                     }
-                    out.push_str(&format!("<unexpanded {}>   (…budget)\n", atom.display(store)));
+                    out.push_str(&format!(
+                        "<unexpanded {}>   (…budget)\n",
+                        atom.display(store)
+                    ));
                 }
             }
         }

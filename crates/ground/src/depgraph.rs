@@ -346,7 +346,13 @@ mod tests {
         // Deep chain exercises the iterative DFS.
         let n = 200_000;
         let adj: Vec<Vec<u32>> = (0..n)
-            .map(|i| if i + 1 < n { vec![(i + 1) as u32] } else { vec![] })
+            .map(|i| {
+                if i + 1 < n {
+                    vec![(i + 1) as u32]
+                } else {
+                    vec![]
+                }
+            })
             .collect();
         let comps = sccs(&adj);
         assert_eq!(comps.len(), n);

@@ -1,9 +1,14 @@
 //! Herbrand instantiation: compiling programs to dense ground form.
 //!
 //! A [`GroundProgram`] stores interned ground atoms as `u32` ids and
-//! clauses as `(head, positive body, negative body)` id triples — the
-//! cache-friendly representation every fixpoint engine in the workspace
-//! operates on.
+//! clauses in **CSR (compressed-sparse-row) form**: one flat array holds
+//! every body atom of every clause (positive literals first, then
+//! negative), and per-clause offset tables delimit the slices. On top of
+//! the clause store, [`GroundProgram::finalize`] precomputes three CSR
+//! reverse indexes — head → clauses, atom → clauses watching it
+//! positively, atom → clauses watching it negatively — so fixpoint
+//! engines never rebuild watch lists per call. See the crate docs for the
+//! full layout contract.
 //!
 //! [`Grounder::ground`] performs **relevant grounding**: instead of the
 //! full Herbrand instantiation (Def. 1.5), which is wasteful or infinite,
@@ -15,10 +20,17 @@
 //! are false in the well-founded model. Variables not bound by the
 //! positive body are enumerated over the (depth-bounded) Herbrand
 //! universe.
+//!
+//! The relevant-grounding loop is **semi-naive**: each round joins rule
+//! bodies against the *delta* (atoms first derived in the previous round)
+//! through a per-predicate argument-indexed fact store, rather than
+//! re-joining every rule against the full closure. Instances whose
+//! positive bodies mention no delta atom were already emitted in an
+//! earlier round and are never re-derived.
 
 use crate::herbrand::{herbrand_universe, HerbrandOpts};
 use gsls_lang::{
-    match_term, Atom, FxHashMap, FxHashSet, Pred, Program, Subst, TermId, TermStore, Var,
+    match_term_recording, Atom, FxHashMap, FxHashSet, Pred, Program, Subst, TermId, TermStore, Var,
 };
 use std::fmt;
 
@@ -34,7 +46,11 @@ impl GroundAtomId {
     }
 }
 
-/// A ground clause `head ← pos₁,…,posₘ, ¬neg₁,…,¬negₖ`.
+/// An owned ground clause `head ← pos₁,…,posₘ, ¬neg₁,…,¬negₖ`.
+///
+/// This is the *builder* form: [`GroundProgram::push_clause`] copies it
+/// into the CSR store, and the grounder uses it as the deduplication key.
+/// Engines never see it — they work on borrowed [`ClauseRef`] views.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GroundClause {
     /// Head atom.
@@ -57,13 +73,126 @@ impl GroundClause {
     }
 }
 
-/// A program compiled to ground form.
-#[derive(Debug, Default, Clone)]
+/// A borrowed view of one clause inside the CSR store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClauseRef<'a> {
+    /// Head atom.
+    pub head: GroundAtomId,
+    /// Positive body atoms.
+    pub pos: &'a [GroundAtomId],
+    /// Atoms appearing negated in the body.
+    pub neg: &'a [GroundAtomId],
+}
+
+impl ClauseRef<'_> {
+    /// Whether this is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.pos.is_empty() && self.neg.is_empty()
+    }
+
+    /// Total body length.
+    pub fn body_len(&self) -> usize {
+        self.pos.len() + self.neg.len()
+    }
+
+    /// Copies into an owned [`GroundClause`].
+    pub fn to_owned(&self) -> GroundClause {
+        GroundClause {
+            head: self.head,
+            pos: self.pos.into(),
+            neg: self.neg.into(),
+        }
+    }
+}
+
+/// A compressed-sparse-row map from `u32` keys to lists of `u32` items:
+/// row `k` is `items[off[k] .. off[k+1]]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Csr {
+    off: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds from `(key, item)` pairs produced by calling `each` with a
+    /// sink; `n_keys` bounds the key space. Two passes: count, then fill.
+    fn build(n_keys: usize, each: impl Fn(&mut dyn FnMut(u32, u32))) -> Csr {
+        let mut counts = vec![0u32; n_keys + 1];
+        each(&mut |k, _| counts[k as usize + 1] += 1);
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let mut items = vec![0u32; *counts.last().unwrap_or(&0) as usize];
+        let mut cursor = counts.clone();
+        each(&mut |k, v| {
+            let c = &mut cursor[k as usize];
+            items[*c as usize] = v;
+            *c += 1;
+        });
+        Csr { off: counts, items }
+    }
+
+    /// The item list for `key`.
+    #[inline]
+    pub fn row(&self, key: usize) -> &[u32] {
+        &self.items[self.off[key] as usize..self.off[key + 1] as usize]
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.off.len().saturating_sub(1)
+    }
+
+    /// Whether there are no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The reverse indexes precomputed by [`GroundProgram::finalize`].
+#[derive(Debug, Clone)]
+struct Indexes {
+    /// head atom → clause indices.
+    by_head: Csr,
+    /// atom → clauses whose *positive* body contains it (one entry per
+    /// occurrence, so counter-based propagation can decrement per watch).
+    watch_pos: Csr,
+    /// atom → clauses whose *negative* body contains it.
+    watch_neg: Csr,
+    /// predicate → interned atom ids (query-enumeration index).
+    by_pred: FxHashMap<Pred, Vec<u32>>,
+}
+
+/// A program compiled to ground form (CSR clause storage).
+#[derive(Debug, Clone)]
 pub struct GroundProgram {
     atoms: Vec<Atom>,
     atom_ids: FxHashMap<Atom, GroundAtomId>,
-    clauses: Vec<GroundClause>,
-    by_head: Vec<Vec<u32>>,
+    /// Clause heads, one per clause.
+    heads: Vec<GroundAtomId>,
+    /// Flat body store: clause `c`'s positive atoms then negative atoms.
+    body: Vec<GroundAtomId>,
+    /// `body_start[c] .. body_start[c+1]` delimits clause `c`'s body.
+    body_start: Vec<u32>,
+    /// Within that range, negatives start at `neg_start[c]`.
+    neg_start: Vec<u32>,
+    /// Reverse indexes; `None` until [`GroundProgram::finalize`] runs (or
+    /// after any mutation, which invalidates them).
+    index: Option<Indexes>,
+}
+
+impl Default for GroundProgram {
+    fn default() -> Self {
+        GroundProgram {
+            atoms: Vec::new(),
+            atom_ids: FxHashMap::default(),
+            heads: Vec::new(),
+            body: Vec::new(),
+            body_start: vec![0],
+            neg_start: Vec::new(),
+            index: None,
+        }
+    }
 }
 
 impl GroundProgram {
@@ -74,14 +203,18 @@ impl GroundProgram {
 
     /// Interns a ground atom, returning its id.
     pub fn intern_atom(&mut self, atom: Atom) -> GroundAtomId {
-        if let Some(&id) = self.atom_ids.get(&atom) {
-            return id;
+        let next = GroundAtomId(u32::try_from(self.atoms.len()).expect("ground atom overflow"));
+        match self.atom_ids.entry(atom) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.atoms.push(e.key().clone());
+                e.insert(next);
+                // A fresh atom widens the id space the reverse indexes
+                // cover; they must be rebuilt before the next fixpoint.
+                self.index = None;
+                next
+            }
         }
-        let id = GroundAtomId(u32::try_from(self.atoms.len()).expect("ground atom overflow"));
-        self.atom_ids.insert(atom.clone(), atom_id_guard(id));
-        self.atoms.push(atom);
-        self.by_head.push(Vec::new());
-        id
     }
 
     /// Looks up a ground atom without interning.
@@ -106,29 +239,157 @@ impl GroundProgram {
 
     /// Adds a clause (deduplication is the grounder's responsibility).
     pub fn push_clause(&mut self, clause: GroundClause) {
-        let idx = self.clauses.len() as u32;
-        self.by_head[clause.head.index()].push(idx);
-        self.clauses.push(clause);
+        self.push_clause_parts(clause.head, &clause.pos, &clause.neg);
     }
 
-    /// All clauses.
-    pub fn clauses(&self) -> &[GroundClause] {
-        &self.clauses
+    /// Adds a clause from borrowed parts, avoiding the boxed builder.
+    pub fn push_clause_parts(
+        &mut self,
+        head: GroundAtomId,
+        pos: &[GroundAtomId],
+        neg: &[GroundAtomId],
+    ) {
+        self.heads.push(head);
+        self.body.extend_from_slice(pos);
+        self.neg_start
+            .push(u32::try_from(self.body.len()).expect("ground body overflow"));
+        self.body.extend_from_slice(neg);
+        self.body_start
+            .push(u32::try_from(self.body.len()).expect("ground body overflow"));
+        self.index = None;
+    }
+
+    /// Iterates over all clauses as borrowed views.
+    pub fn clauses(&self) -> impl Iterator<Item = ClauseRef<'_>> + '_ {
+        (0..self.clause_count() as u32).map(move |i| self.clause(i))
     }
 
     /// Number of clauses.
     pub fn clause_count(&self) -> usize {
-        self.clauses.len()
-    }
-
-    /// Indices of clauses with head `id`.
-    pub fn clauses_for(&self, id: GroundAtomId) -> &[u32] {
-        &self.by_head[id.index()]
+        self.heads.len()
     }
 
     /// The clause at `idx`.
-    pub fn clause(&self, idx: u32) -> &GroundClause {
-        &self.clauses[idx as usize]
+    #[inline]
+    pub fn clause(&self, idx: u32) -> ClauseRef<'_> {
+        let i = idx as usize;
+        let (start, end) = (self.body_start[i] as usize, self.body_start[i + 1] as usize);
+        let mid = self.neg_start[i] as usize;
+        ClauseRef {
+            head: self.heads[i],
+            pos: &self.body[start..mid],
+            neg: &self.body[mid..end],
+        }
+    }
+
+    /// Number of positive body atoms of clause `idx` (O(1), no slice
+    /// construction — used by propagator init loops).
+    #[inline]
+    pub fn pos_len(&self, idx: u32) -> u32 {
+        self.neg_start[idx as usize] - self.body_start[idx as usize]
+    }
+
+    /// All clause heads, indexed by clause (O(1) head access for hot
+    /// propagation loops that don't need the bodies).
+    #[inline]
+    pub fn heads(&self) -> &[GroundAtomId] {
+        &self.heads
+    }
+
+    /// The atom → positively-watching-clauses index as a raw [`Csr`],
+    /// for hot loops that hoist the per-lookup indirection (same panics
+    /// as [`GroundProgram::clauses_for`]).
+    pub fn watch_pos_index(&self) -> &Csr {
+        &self.index().watch_pos
+    }
+
+    /// Builds the reverse indexes (head → clauses and the two watch
+    /// maps). Idempotent; must be re-run after any `push_clause` /
+    /// fresh-atom `intern_atom`. [`Grounder::ground`] returns programs
+    /// already finalized.
+    pub fn finalize(&mut self) {
+        if self.index.is_some() {
+            return;
+        }
+        let n = self.atom_count();
+        let by_head = Csr::build(n, |sink| {
+            for (ci, &h) in self.heads.iter().enumerate() {
+                sink(h.0, ci as u32);
+            }
+        });
+        let watch_pos = Csr::build(n, |sink| {
+            for ci in 0..self.heads.len() {
+                let (start, mid) = (self.body_start[ci] as usize, self.neg_start[ci] as usize);
+                for a in &self.body[start..mid] {
+                    sink(a.0, ci as u32);
+                }
+            }
+        });
+        let watch_neg = Csr::build(n, |sink| {
+            for ci in 0..self.heads.len() {
+                let (mid, end) = (
+                    self.neg_start[ci] as usize,
+                    self.body_start[ci + 1] as usize,
+                );
+                for a in &self.body[mid..end] {
+                    sink(a.0, ci as u32);
+                }
+            }
+        });
+        let mut by_pred: FxHashMap<Pred, Vec<u32>> = FxHashMap::default();
+        for (i, atom) in self.atoms.iter().enumerate() {
+            by_pred.entry(atom.pred_id()).or_default().push(i as u32);
+        }
+        self.index = Some(Indexes {
+            by_head,
+            watch_pos,
+            watch_neg,
+            by_pred,
+        });
+    }
+
+    /// Whether the reverse indexes are current.
+    pub fn is_finalized(&self) -> bool {
+        self.index.is_some()
+    }
+
+    fn index(&self) -> &Indexes {
+        self.index
+            .as_ref()
+            .expect("GroundProgram::finalize must be called after mutation")
+    }
+
+    /// Indices of clauses with head `id`.
+    ///
+    /// # Panics
+    /// Panics if the program was mutated since the last
+    /// [`GroundProgram::finalize`].
+    pub fn clauses_for(&self, id: GroundAtomId) -> &[u32] {
+        self.index().by_head.row(id.index())
+    }
+
+    /// Clauses whose positive body contains `id`, one entry per
+    /// occurrence (same panics as [`GroundProgram::clauses_for`]).
+    pub fn watch_pos(&self, id: GroundAtomId) -> &[u32] {
+        self.index().watch_pos.row(id.index())
+    }
+
+    /// Clauses whose negative body contains `id`, one entry per
+    /// occurrence (same panics as [`GroundProgram::clauses_for`]).
+    pub fn watch_neg(&self, id: GroundAtomId) -> &[u32] {
+        self.index().watch_neg.row(id.index())
+    }
+
+    /// Interned atoms of predicate `pred` (same panics as
+    /// [`GroundProgram::clauses_for`]). Lets query engines enumerate
+    /// candidate instances without scanning the whole atom table.
+    pub fn atoms_with_pred(&self, pred: Pred) -> impl Iterator<Item = GroundAtomId> + '_ {
+        self.index()
+            .by_pred
+            .get(&pred)
+            .map_or(&[][..], |v| v.as_slice())
+            .iter()
+            .map(|&i| GroundAtomId(i))
     }
 
     /// Renders an atom.
@@ -139,7 +400,7 @@ impl GroundProgram {
     /// Renders the whole ground program.
     pub fn display(&self, store: &TermStore) -> String {
         let mut s = String::new();
-        for c in &self.clauses {
+        for c in self.clauses() {
             s.push_str(&self.display_atom(store, c.head));
             if !c.is_fact() {
                 s.push_str(" :- ");
@@ -164,11 +425,6 @@ impl GroundProgram {
         }
         s
     }
-}
-
-#[inline]
-fn atom_id_guard(id: GroundAtomId) -> GroundAtomId {
-    id
 }
 
 /// How clause instances are enumerated.
@@ -226,6 +482,71 @@ impl fmt::Display for GroundingError {
 
 impl std::error::Error for GroundingError {}
 
+/// Which slice of a predicate's facts a join literal ranges over —
+/// the standard semi-naive split. For the rule-literal chosen as the
+/// delta position, only last round's new atoms participate; literals to
+/// its left see everything, literals to its right only what was known
+/// *before* last round. Summed over delta positions this enumerates
+/// exactly the instances that mention at least one new atom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Full,
+    Delta,
+    Old,
+}
+
+/// Facts for one predicate, argument-indexed for join lookups.
+#[derive(Debug, Default)]
+struct PredFacts {
+    /// All derivable atoms of this predicate; `all[old_len..]` is the
+    /// delta from the most recent round.
+    all: Vec<Atom>,
+    old_len: usize,
+    /// `(argument position, ground term) → indices into `all``.
+    index: FxHashMap<(u32, TermId), Vec<u32>>,
+}
+
+impl PredFacts {
+    fn push(&mut self, atom: Atom) {
+        let idx = self.all.len() as u32;
+        for (pos, &arg) in atom.args.iter().enumerate() {
+            self.index.entry((pos as u32, arg)).or_default().push(idx);
+        }
+        self.all.push(atom);
+    }
+
+    fn range(&self, role: Role) -> (usize, usize) {
+        match role {
+            Role::Full => (0, self.all.len()),
+            Role::Delta => (self.old_len, self.all.len()),
+            Role::Old => (0, self.old_len),
+        }
+    }
+}
+
+/// The per-predicate fact store driving semi-naive evaluation.
+#[derive(Debug, Default)]
+struct FactStore {
+    preds: FxHashMap<Pred, PredFacts>,
+}
+
+impl FactStore {
+    /// Ends a round: the previous delta becomes old, `new_atoms` becomes
+    /// the next delta.
+    fn advance(&mut self, new_atoms: impl Iterator<Item = Atom>) {
+        for pf in self.preds.values_mut() {
+            pf.old_len = pf.all.len();
+        }
+        for atom in new_atoms {
+            self.preds.entry(atom.pred_id()).or_default().push(atom);
+        }
+    }
+
+    fn get(&self, pred: Pred) -> Option<&PredFacts> {
+        self.preds.get(&pred)
+    }
+}
+
 /// The Herbrand instantiation engine.
 pub struct Grounder<'a> {
     store: &'a mut TermStore,
@@ -235,10 +556,12 @@ pub struct Grounder<'a> {
     /// can otherwise escape the bounded universe and diverge.
     max_depth: u32,
     gp: GroundProgram,
-    /// Per-predicate candidates for positive-body matching.
-    index: FxHashMap<Pred, Vec<Atom>>,
+    facts: FactStore,
+    /// Atoms already queued as derivable (heads of emitted instances).
     derivable: FxHashSet<Atom>,
     seen_clauses: FxHashSet<GroundClause>,
+    /// Backtracking trail for join matching.
+    trail: Vec<Var>,
 }
 
 impl<'a> Grounder<'a> {
@@ -250,7 +573,8 @@ impl<'a> Grounder<'a> {
         Self::ground_with(store, program, GrounderOpts::default())
     }
 
-    /// Grounds `program` with explicit options.
+    /// Grounds `program` with explicit options. The returned program is
+    /// finalized (reverse indexes built).
     pub fn ground_with(
         store: &'a mut TermStore,
         program: &Program,
@@ -271,59 +595,78 @@ impl<'a> Grounder<'a> {
             opts,
             max_depth,
             gp: GroundProgram::new(),
-            index: FxHashMap::default(),
+            facts: FactStore::default(),
             derivable: FxHashSet::default(),
             seen_clauses: FxHashSet::default(),
+            trail: Vec::new(),
         };
         g.run(program)?;
+        g.gp.finalize();
         Ok(g.gp)
     }
 
     fn run(&mut self, program: &Program) -> Result<(), GroundingError> {
-        loop {
-            let mut new_atoms: Vec<Atom> = Vec::new();
+        if self.opts.mode == GroundingMode::Full {
+            // Full instantiation doesn't consult the derivable closure:
+            // one enumeration pass emits everything.
+            let mut ignored = Vec::new();
             for clause in program.clauses() {
-                self.instantiate_clause(clause, &mut new_atoms)?;
-            }
-            if new_atoms.is_empty() {
-                return Ok(());
-            }
-            for atom in new_atoms {
-                self.index
-                    .entry(atom.pred_id())
-                    .or_default()
-                    .push(atom.clone());
-                self.derivable.insert(atom);
-            }
-        }
-    }
-
-    fn instantiate_clause(
-        &mut self,
-        clause: &gsls_lang::Clause,
-        new_atoms: &mut Vec<Atom>,
-    ) -> Result<(), GroundingError> {
-        let mut subst = Subst::new();
-        match self.opts.mode {
-            GroundingMode::Relevant => {
-                let pos: Vec<&Atom> = clause.pos_body().map(|l| &l.atom).collect();
-                self.join(clause, &pos, 0, &mut subst, new_atoms)
-            }
-            GroundingMode::Full => {
                 let free = clause.vars(self.store);
-                self.enumerate_free(clause, &free, 0, &mut subst, new_atoms)
+                let mut subst = Subst::new();
+                self.enumerate_free(clause, &free, 0, &mut subst, &mut ignored)?;
+            }
+            return Ok(());
+        }
+        // Round 0: rules without positive body — their instances don't
+        // depend on the closure and are emitted exactly once.
+        let mut new_atoms: Vec<Atom> = Vec::new();
+        for clause in program.clauses() {
+            if clause.pos_body().next().is_none() {
+                let free = clause.vars(self.store);
+                let mut subst = Subst::new();
+                self.enumerate_free(clause, &free, 0, &mut subst, &mut new_atoms)?;
             }
         }
+        // Semi-naive rounds: join each rule's positive body against the
+        // fact store with one literal pinned to the delta.
+        while !new_atoms.is_empty() {
+            self.facts.advance(new_atoms.drain(..));
+            let facts = std::mem::take(&mut self.facts);
+            for clause in program.clauses() {
+                let pos: Vec<&Atom> = clause.pos_body().map(|l| &l.atom).collect();
+                if pos.is_empty() {
+                    continue;
+                }
+                for delta_at in 0..pos.len() {
+                    let mut subst = Subst::new();
+                    self.join(
+                        clause,
+                        &pos,
+                        delta_at,
+                        0,
+                        &mut subst,
+                        &facts,
+                        &mut new_atoms,
+                    )?;
+                }
+            }
+            self.facts = facts;
+        }
+        Ok(())
     }
 
-    /// Matches positive body literals `pos[i..]` against derivable atoms,
-    /// then enumerates residual variables and emits the instance.
+    /// Matches positive body literals `pos[i..]` against the fact store
+    /// (literal `delta_at` restricted to the delta), then enumerates
+    /// residual variables and emits the instance.
+    #[allow(clippy::too_many_arguments)]
     fn join(
         &mut self,
         clause: &gsls_lang::Clause,
         pos: &[&Atom],
+        delta_at: usize,
         i: usize,
         subst: &mut Subst,
+        facts: &FactStore,
         new_atoms: &mut Vec<Atom>,
     ) -> Result<(), GroundingError> {
         if i == pos.len() {
@@ -339,23 +682,85 @@ impl<'a> Grounder<'a> {
                 .collect();
             return self.enumerate_free(clause, &free, 0, subst, new_atoms);
         }
+        let role = match i.cmp(&delta_at) {
+            std::cmp::Ordering::Less => Role::Full,
+            std::cmp::Ordering::Equal => Role::Delta,
+            std::cmp::Ordering::Greater => Role::Old,
+        };
         let pattern = pos[i];
-        let Some(candidates) = self.index.get(&pattern.pred_id()) else {
+        let Some(pf) = facts.get(pattern.pred_id()) else {
             return Ok(());
         };
-        // Snapshot of candidate atoms (naive-evaluation pass semantics:
-        // atoms found this pass only participate from the next pass).
-        let candidates: Vec<Atom> = candidates.clone();
-        for cand in candidates {
-            let mut local = subst.clone();
-            let ok = pattern
-                .args
-                .iter()
-                .zip(cand.args.iter())
-                .all(|(&pat, &tgt)| match_term(self.store, &mut local, pat, tgt));
-            if ok {
-                self.join(clause, pos, i + 1, &mut local, new_atoms)?;
+        let (lo, hi) = pf.range(role);
+        if lo >= hi {
+            return Ok(());
+        }
+        // Prefer an argument-index lookup: the first pattern argument
+        // that is ground under the current bindings selects a (usually
+        // tiny) candidate list instead of a scan.
+        let mut indexed: Option<&[u32]> = None;
+        for (argpos, &arg) in pattern.args.iter().enumerate() {
+            let walked = subst.walk(self.store, arg);
+            if self.store.is_ground(walked) {
+                indexed = Some(
+                    pf.index
+                        .get(&(argpos as u32, walked))
+                        .map_or(&[][..], |v| v.as_slice()),
+                );
+                break;
             }
+        }
+        match indexed {
+            Some(list) => {
+                for &idx in list {
+                    let idx = idx as usize;
+                    if idx >= lo && idx < hi {
+                        self.try_candidate(
+                            clause, pos, delta_at, i, pf, idx, subst, facts, new_atoms,
+                        )?;
+                    }
+                }
+            }
+            None => {
+                for idx in lo..hi {
+                    self.try_candidate(clause, pos, delta_at, i, pf, idx, subst, facts, new_atoms)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Tries to match `pos[i]` against candidate `idx` of `pf`, recursing
+    /// on success and undoing the bindings afterwards.
+    #[allow(clippy::too_many_arguments)]
+    fn try_candidate(
+        &mut self,
+        clause: &gsls_lang::Clause,
+        pos: &[&Atom],
+        delta_at: usize,
+        i: usize,
+        pf: &PredFacts,
+        idx: usize,
+        subst: &mut Subst,
+        facts: &FactStore,
+        new_atoms: &mut Vec<Atom>,
+    ) -> Result<(), GroundingError> {
+        let pattern = pos[i];
+        let cand = &pf.all[idx];
+        let mark = self.trail.len();
+        let mut ok = true;
+        for (&pat, &tgt) in pattern.args.iter().zip(cand.args.iter()) {
+            if !match_term_recording(self.store, subst, pat, tgt, &mut self.trail) {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            self.join(clause, pos, delta_at, i + 1, subst, facts, new_atoms)?;
+        }
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("trail mark within bounds");
+            subst.remove(v);
         }
         Ok(())
     }
@@ -371,11 +776,11 @@ impl<'a> Grounder<'a> {
         if j == free.len() {
             return self.emit(clause, subst, new_atoms);
         }
-        let universe = self.universe.clone();
-        for t in universe {
-            let mut local = subst.clone();
-            local.bind(free[j], t);
-            self.enumerate_free(clause, free, j + 1, &mut local, new_atoms)?;
+        for u in 0..self.universe.len() {
+            let t = self.universe[u];
+            subst.bind(free[j], t);
+            self.enumerate_free(clause, free, j + 1, subst, new_atoms)?;
+            subst.remove(free[j]);
         }
         Ok(())
     }
@@ -424,7 +829,7 @@ impl<'a> Grounder<'a> {
                 return Err(GroundingError::ClauseBudget(self.opts.max_clauses));
             }
             self.gp.push_clause(gc);
-            if !self.derivable.contains(&head) && !new_atoms.contains(&head) {
+            if self.derivable.insert(head.clone()) {
                 new_atoms.push(head);
             }
         }
@@ -457,7 +862,7 @@ mod tests {
         let (s, gp) = ground("p(a). q(b).");
         assert_eq!(gp.clause_count(), 2);
         assert_eq!(gp.atom_count(), 2);
-        assert!(gp.clauses().iter().all(GroundClause::is_fact));
+        assert!(gp.clauses().all(|c| c.is_fact()));
         let text = gp.display(&s);
         assert!(text.contains("p(a)."));
     }
@@ -576,5 +981,101 @@ mod tests {
         let id = gp.intern_atom(pb.clone());
         assert_eq!(gp.lookup_atom(&pb), Some(id));
         assert_eq!(gp.atom(id), &pb);
+    }
+
+    #[test]
+    fn csr_views_match_pushed_clauses() {
+        // Round-trip: clauses pushed as owned builders come back
+        // identical through the CSR views, in order.
+        let mut s = TermStore::new();
+        let mut gp = GroundProgram::new();
+        let mut mk = |name: &str| {
+            let sym = s.intern_symbol(name);
+            gp.intern_atom(Atom::new(sym, Vec::new()))
+        };
+        let (a, b, c, d) = (mk("a"), mk("b"), mk("c"), mk("d"));
+        let cls = vec![
+            GroundClause {
+                head: a,
+                pos: vec![b, c].into(),
+                neg: vec![d].into(),
+            },
+            GroundClause {
+                head: b,
+                pos: Vec::new().into(),
+                neg: Vec::new().into(),
+            },
+            GroundClause {
+                head: c,
+                pos: vec![b, b].into(), // duplicate body literal survives
+                neg: vec![a, d].into(),
+            },
+        ];
+        for cl in &cls {
+            gp.push_clause(cl.clone());
+        }
+        assert_eq!(gp.clause_count(), cls.len());
+        for (i, cl) in cls.iter().enumerate() {
+            let view = gp.clause(i as u32);
+            assert_eq!(&view.to_owned(), cl, "clause {i}");
+            assert_eq!(view.pos.len() as u32, gp.pos_len(i as u32));
+        }
+        // Reverse indexes agree with a brute-force scan.
+        gp.finalize();
+        for atom in gp.atom_ids() {
+            let heads: Vec<u32> = (0..cls.len() as u32)
+                .filter(|&ci| gp.clause(ci).head == atom)
+                .collect();
+            assert_eq!(gp.clauses_for(atom), &heads[..], "by_head {atom:?}");
+            let mut pos_watch = Vec::new();
+            let mut neg_watch = Vec::new();
+            for ci in 0..cls.len() as u32 {
+                for &p in gp.clause(ci).pos {
+                    if p == atom {
+                        pos_watch.push(ci);
+                    }
+                }
+                for &q in gp.clause(ci).neg {
+                    if q == atom {
+                        neg_watch.push(ci);
+                    }
+                }
+            }
+            assert_eq!(gp.watch_pos(atom), &pos_watch[..], "watch_pos {atom:?}");
+            assert_eq!(gp.watch_neg(atom), &neg_watch[..], "watch_neg {atom:?}");
+        }
+    }
+
+    #[test]
+    fn mutation_invalidates_indexes() {
+        let (_, mut gp) = ground("p :- ~q.");
+        assert!(gp.is_finalized());
+        let p = GroundAtomId(0);
+        gp.push_clause(GroundClause {
+            head: p,
+            pos: Vec::new().into(),
+            neg: Vec::new().into(),
+        });
+        assert!(!gp.is_finalized());
+        gp.finalize();
+        assert!(gp.is_finalized());
+        assert!(gp.clauses_for(p).len() >= 2 || gp.clauses_for(p).len() == 1);
+    }
+
+    #[test]
+    fn semi_naive_matches_long_chain() {
+        // A linear chain forces many rounds; every hop must appear.
+        let mut src = String::new();
+        src.push_str("r(v0).\n");
+        for i in 0..12 {
+            src.push_str(&format!("e(v{i}, v{}).\n", i + 1));
+        }
+        src.push_str("r(Y) :- r(X), e(X, Y).\n");
+        let (s, gp) = ground(&src);
+        let text = gp.display(&s);
+        for i in 0..=12 {
+            assert!(text.contains(&format!("r(v{i})")), "r(v{i}) missing");
+        }
+        assert!(!text.contains("r(v13)"));
     }
 }

@@ -58,10 +58,7 @@ pub fn herbrand_universe(
 ) -> Vec<TermId> {
     let consts = constants_with_default(store, program);
     let funcs = program.function_symbols(store);
-    let mut universe: Vec<TermId> = consts
-        .iter()
-        .map(|&c| store.app(c, &[]))
-        .collect();
+    let mut universe: Vec<TermId> = consts.iter().map(|&c| store.app(c, &[])).collect();
     if funcs.is_empty() {
         universe.truncate(opts.max_terms);
         return universe;
@@ -162,10 +159,7 @@ pub fn augment_program(store: &mut TermStore, program: &Program) -> Program {
     let f_hat = store.intern_symbol(AUGMENT_FUNC);
     let c_hat = store.constant(AUGMENT_CONST);
     debug_assert!(
-        !program
-            .predicates()
-            .iter()
-            .any(|p| p.sym == p_hat),
+        !program.predicates().iter().any(|p| p.sym == p_hat),
         "augmentation predicate already used by the program"
     );
     let arg = store.app(f_hat, &[c_hat]);

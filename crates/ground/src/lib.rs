@@ -8,11 +8,35 @@
 //!   the `term/1` anti-floundering transform of Sec. 6;
 //! * [`grounder`] — Herbrand instantiation (Def. 1.5): compiles a program
 //!   to a dense [`GroundProgram`] over interned ground-atom ids, using a
-//!   relevant-grounding fixpoint so only rules whose positive bodies are
-//!   potentially derivable are emitted;
+//!   **semi-naive** relevant-grounding fixpoint so only rules whose
+//!   positive bodies are potentially derivable are emitted, and each
+//!   round joins only against the previous round's delta;
 //! * [`depgraph`] — predicate/atom dependency graphs, Tarjan SCCs,
 //!   stratification, local stratification and acyclicity tests for the
 //!   program classes discussed in Sec. 7 of the paper.
+//!
+//! ## CSR ground-program layout
+//!
+//! [`GroundProgram`] is the substrate every fixpoint engine runs on, so
+//! its layout is optimised for iteration, not mutation:
+//!
+//! * clause bodies live in **one flat `Vec<GroundAtomId>`** (positive
+//!   literals first, then negative), delimited per clause by two offset
+//!   tables — no per-clause boxes, no pointer chasing;
+//! * [`GroundProgram::clause`] returns a borrowed [`ClauseRef`] view
+//!   (`head` + `pos`/`neg` slices); the owned [`GroundClause`] exists
+//!   only as a builder/dedup key;
+//! * [`GroundProgram::finalize`] precomputes four reverse indexes in one
+//!   pass: head → clauses, atom → positively-watching clauses (one entry
+//!   per occurrence, so counter propagation decrements per watch), atom →
+//!   negatively-watching clauses, and predicate → atoms. Engines
+//!   (`gsls_wfs::Propagator`, the tabled engine, the solver) read these
+//!   instead of rebuilding watch lists per call.
+//!
+//! **Mutation contract:** `push_clause` / fresh-atom `intern_atom`
+//! invalidate the indexes; call `finalize` again before using any
+//! index-backed accessor (they panic otherwise). [`Grounder::ground`]
+//! returns programs already finalized.
 
 pub mod depgraph;
 pub mod grounder;
@@ -20,7 +44,7 @@ pub mod herbrand;
 
 pub use depgraph::{AtomDepGraph, DepGraph, ProgramClass};
 pub use grounder::{
-    GroundAtomId, GroundClause, GroundProgram, Grounder, GrounderOpts, GroundingError,
-    GroundingMode,
+    ClauseRef, Csr, GroundAtomId, GroundClause, GroundProgram, Grounder, GrounderOpts,
+    GroundingError, GroundingMode,
 };
 pub use herbrand::{augment_program, herbrand_universe, term_transform, HerbrandOpts};

@@ -58,4 +58,4 @@ pub use rename::Renamer;
 pub use subst::Subst;
 pub use symbol::{Symbol, SymbolTable};
 pub use term::{Term, TermId, TermStore, Var};
-pub use unify::{match_term, unify, unify_atoms, UnifyOpts};
+pub use unify::{match_term, match_term_recording, unify, unify_atoms, UnifyOpts};

@@ -49,10 +49,8 @@ impl Renamer {
         match store.term(t).clone() {
             Term::Var(v) => self.fresh_for(store, v),
             Term::App(sym, args) => {
-                let new_args: Vec<TermId> = args
-                    .iter()
-                    .map(|&a| self.rename_term(store, a))
-                    .collect();
+                let new_args: Vec<TermId> =
+                    args.iter().map(|&a| self.rename_term(store, a)).collect();
                 store.app(sym, &new_args)
             }
         }

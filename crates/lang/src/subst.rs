@@ -46,6 +46,13 @@ impl Subst {
         self.map.get(&var).copied()
     }
 
+    /// Removes the binding for `var`, returning it if present. Used with
+    /// [`crate::unify::match_term_recording`] to backtrack a failed match
+    /// without cloning the substitution.
+    pub fn remove(&mut self, var: Var) -> Option<TermId> {
+        self.map.remove(&var)
+    }
+
     /// Follows variable-to-variable chains from `t` until reaching either
     /// an unbound variable or a function application. Does not descend
     /// into arguments.
@@ -70,8 +77,7 @@ impl Subst {
         match store.term(t).clone() {
             Term::Var(_) => t,
             Term::App(sym, args) => {
-                let new_args: Vec<TermId> =
-                    args.iter().map(|&a| self.resolve(store, a)).collect();
+                let new_args: Vec<TermId> = args.iter().map(|&a| self.resolve(store, a)).collect();
                 store.app(sym, &new_args)
             }
         }

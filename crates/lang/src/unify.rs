@@ -117,6 +117,39 @@ pub fn match_term(store: &TermStore, subst: &mut Subst, pattern: TermId, target:
     }
 }
 
+/// [`match_term`] that records every variable it binds on `trail`, so a
+/// failed or exhausted match can be undone with [`crate::Subst::remove`]
+/// instead of cloning the whole substitution. The caller snapshots
+/// `trail.len()` before matching and pops back to it to backtrack.
+pub fn match_term_recording(
+    store: &TermStore,
+    subst: &mut Subst,
+    pattern: TermId,
+    target: TermId,
+    trail: &mut Vec<crate::Var>,
+) -> bool {
+    let pattern = subst.walk(store, pattern);
+    match (store.term(pattern), store.term(target)) {
+        (Term::Var(v), _) => {
+            trail.push(*v);
+            subst.bind(*v, target);
+            true
+        }
+        (Term::App(f, fargs), Term::App(g, gargs)) => {
+            if f != g || fargs.len() != gargs.len() {
+                return false;
+            }
+            let fargs: Vec<TermId> = fargs.to_vec();
+            let gargs: Vec<TermId> = gargs.to_vec();
+            fargs
+                .into_iter()
+                .zip(gargs)
+                .all(|(x, y)| match_term_recording(store, subst, x, y, trail))
+        }
+        (Term::App(..), Term::Var(_)) => pattern == target,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,265 @@
+//! A minimal, dependency-free benchmark harness exposing the subset of
+//! the `criterion` API this workspace's benches use.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! the real criterion cannot be a dependency. The bench sources keep
+//! their `use criterion::…` imports unchanged; the bench crate aliases
+//! this package as `criterion` via a path dependency rename. The harness
+//! measures wall-clock time per iteration (median of `sample_size`
+//! samples after a warm-up window) and prints one line per benchmark in
+//! a stable, grep-friendly format:
+//!
+//! ```text
+//! bench group/id/param ... median 12.345 µs/iter (n samples)
+//! ```
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to run the closure before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget spread over the samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing the harness configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            config: self.criterion.clone(),
+            result: None,
+        };
+        f(&mut bencher, input);
+        if let Some(r) = bencher.result {
+            println!(
+                "bench {}/{} ... median {} ({} samples)",
+                self.name,
+                id.id,
+                format_per_iter(r.median_ns),
+                r.samples
+            );
+        }
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+struct SampleResult {
+    median_ns: f64,
+    samples: usize,
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    config: Criterion,
+    result: Option<SampleResult>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value opaque to the optimiser.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window elapses, counting
+        // iterations to size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            std_black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let sample_budget_ns =
+            self.config.measurement_time.as_nanos() as f64 / self.config.sample_size as f64;
+        let iters_per_sample = ((sample_budget_ns / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = samples[samples.len() / 2];
+        self.result = Some(SampleResult {
+            median_ns,
+            samples: samples.len(),
+        });
+    }
+}
+
+fn format_per_iter(ns: f64) -> String {
+    let mut s = String::new();
+    if ns < 1_000.0 {
+        let _ = write!(s, "{ns:.1} ns/iter");
+    } else if ns < 1_000_000.0 {
+        let _ = write!(s, "{:.3} µs/iter", ns / 1_000.0);
+    } else if ns < 1_000_000_000.0 {
+        let _ = write!(s, "{:.3} ms/iter", ns / 1_000_000.0);
+    } else {
+        let _ = write!(s, "{:.3} s/iter", ns / 1_000_000_000.0);
+    }
+    s
+}
+
+/// Declares a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3))
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("test/group");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("id", 4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_forms() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn group_and_main_macros_compile() {
+        fn target(c: &mut Criterion) {
+            let mut g = c.benchmark_group("m");
+            g.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+                b.iter(|| 1 + 1);
+            });
+            g.finish();
+        }
+        criterion_group! {
+            name = benches;
+            config = Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2));
+            targets = target
+        }
+        benches();
+    }
+}

@@ -4,9 +4,7 @@
 //! bounded by depth and node budgets so nontermination surfaces as an
 //! explicit `exhausted = false` rather than a hang.
 
-use gsls_lang::{
-    rename::variant, unify_atoms, Goal, Literal, Program, Subst, TermStore, Var,
-};
+use gsls_lang::{rename::variant, unify_atoms, Goal, Literal, Program, Subst, TermStore, Var};
 
 /// Budgets for the SLD search.
 #[derive(Debug, Clone, Copy)]
@@ -186,10 +184,7 @@ mod tests {
 
     #[test]
     fn function_symbols_and_recursion() {
-        let (_, r) = solve(
-            "nat(0). nat(s(X)) :- nat(X).",
-            "?- nat(s(s(0))).",
-        );
+        let (_, r) = solve("nat(0). nat(s(X)) :- nat(X).", "?- nat(s(s(0))).");
         assert!(r.succeeded());
         assert!(r.exhausted);
     }

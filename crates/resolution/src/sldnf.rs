@@ -12,9 +12,7 @@
 //! The explicit [`SldnfOutcome::Budget`] outcome surfaces exactly those
 //! nonterminating searches.
 
-use gsls_lang::{
-    rename::variant, unify_atoms, Goal, Literal, Program, Subst, TermStore, Var,
-};
+use gsls_lang::{rename::variant, unify_atoms, Goal, Literal, Program, Subst, TermStore, Var};
 
 /// Budgets for the SLDNF search.
 #[derive(Debug, Clone, Copy)]
@@ -142,9 +140,7 @@ impl Search<'_> {
         if let Some(i) = goal.literals().iter().position(Literal::is_pos) {
             return Some(i);
         }
-        goal.literals()
-            .iter()
-            .position(|l| l.is_ground(self.store))
+        goal.literals().iter().position(|l| l.is_ground(self.store))
     }
 
     fn expand(
@@ -187,7 +183,8 @@ impl Search<'_> {
             // Ground negative literal: subsidiary tree for the complement.
             let sub_goal = Goal::new(vec![selected.complement()]);
             let mut sub_answers = Vec::new();
-            let sub_status = self.expand(&sub_goal, &Subst::new(), depth + 1, &[], &mut sub_answers);
+            let sub_status =
+                self.expand(&sub_goal, &Subst::new(), depth + 1, &[], &mut sub_answers);
             if !sub_answers.is_empty() {
                 // ¬A fails because A succeeded (sound even under budget).
                 return Status::Ok;

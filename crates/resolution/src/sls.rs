@@ -13,10 +13,10 @@
 //! The perfect-model computation itself ([`perfect_model`]) is the
 //! textbook iterated fixpoint over the stratification.
 
+use gsls_ground::{DepGraph, GroundProgram, Grounder, GrounderOpts};
 use gsls_lang::{
     rename::variant, unify_atoms, FxHashMap, Goal, Literal, Pred, Program, Subst, TermStore, Var,
 };
-use gsls_ground::{DepGraph, GroundProgram, Grounder, GrounderOpts};
 use gsls_wfs::{lfp_with, BitSet, Interp};
 use std::fmt;
 
@@ -188,11 +188,7 @@ impl Search<'_> {
         // Positivistic, safe selection.
         let idx = match goal.literals().iter().position(Literal::is_pos) {
             Some(i) => i,
-            None => match goal
-                .literals()
-                .iter()
-                .position(|l| l.is_ground(self.store))
-            {
+            None => match goal.literals().iter().position(|l| l.is_ground(self.store)) {
                 Some(i) => i,
                 None => {
                     self.floundered = true;

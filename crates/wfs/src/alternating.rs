@@ -17,7 +17,8 @@
 
 use crate::bitset::BitSet;
 use crate::interp::Interp;
-use crate::tp::lfp_with;
+use crate::propagator::Propagator;
+use crate::tp::lfp_with_rebuild;
 use gsls_ground::GroundProgram;
 
 /// Statistics from an alternating-fixpoint run.
@@ -35,16 +36,61 @@ pub fn well_founded_model(gp: &GroundProgram) -> Interp {
 }
 
 /// [`well_founded_model`] plus iteration statistics.
+///
+/// All `A(·)` evaluations share one [`Propagator`] and four bitset
+/// buffers allocated up front, so each reduct call performs zero heap
+/// allocation. Fixpoint detection uses derivation *counts*: along the
+/// alternating iteration `T` grows and `U` shrinks monotonically, so
+/// unchanged cardinalities imply unchanged sets.
 pub fn well_founded_model_with_stats(gp: &GroundProgram) -> (Interp, AlternatingStats) {
     let n = gp.atom_count();
-    let mut reduct_calls = 0u32;
-    let mut a = |s: &BitSet| {
-        reduct_calls += 1;
-        lfp_with(gp, |q| !s.contains(q.index()))
-    };
+    let mut prop = Propagator::new(gp);
+    let mut t = BitSet::new(n);
+    let mut u = BitSet::new(n);
+    let mut t_next = BitSet::new(n);
+    let mut u_next = BitSet::new(n);
+
+    // U₀ = A(∅); T₀ = ∅.
+    let mut reduct_calls = 1u32;
+    let mut t_count = 0usize;
+    let mut u_count = prop.lfp_into(gp, |q| !t.contains(q.index()), &mut u);
+    let mut rounds = 1u32;
+    loop {
+        reduct_calls += 2;
+        let tc = prop.lfp_into(gp, |q| !u.contains(q.index()), &mut t_next);
+        let uc = prop.lfp_into(gp, |q| !t_next.contains(q.index()), &mut u_next);
+        debug_assert!(t.is_subset(&t_next), "T must grow monotonically");
+        debug_assert!(u_next.is_subset(&u), "U must shrink monotonically");
+        let stable = tc == t_count && uc == u_count;
+        std::mem::swap(&mut t, &mut t_next);
+        std::mem::swap(&mut u, &mut u_next);
+        t_count = tc;
+        u_count = uc;
+        if stable {
+            break;
+        }
+        rounds += 1;
+    }
+    debug_assert!(t.is_subset(&u), "alternating fixpoint order violated");
+    u.complement_in_place();
+    (
+        Interp::from_parts(t, u),
+        AlternatingStats {
+            reduct_calls,
+            rounds,
+        },
+    )
+}
+
+/// The pre-propagator baseline: identical semantics to
+/// [`well_founded_model`], but every `A(·)` call rebuilds its watch
+/// structure from scratch ([`lfp_with_rebuild`]). Kept only so the perf
+/// harness can quantify the substrate win end-to-end.
+pub fn well_founded_model_rebuild(gp: &GroundProgram) -> Interp {
+    let n = gp.atom_count();
+    let a = |s: &BitSet| lfp_with_rebuild(gp, |q| !s.contains(q.index()));
     let mut t = BitSet::new(n);
     let mut u = a(&t);
-    let mut rounds = 1u32;
     loop {
         let t_next = a(&u);
         let u_next = a(&t_next);
@@ -54,17 +100,9 @@ pub fn well_founded_model_with_stats(gp: &GroundProgram) -> (Interp, Alternating
         if stable {
             break;
         }
-        rounds += 1;
     }
-    debug_assert!(t.is_subset(&u), "alternating fixpoint order violated");
     let false_set = u.complement();
-    (
-        Interp::from_parts(t, false_set),
-        AlternatingStats {
-            reduct_calls,
-            rounds,
-        },
-    )
+    Interp::from_parts(t, false_set)
 }
 
 #[cfg(test)]
@@ -161,7 +199,11 @@ mod tests {
         assert!(m.is_total());
         // a10 true, a9 false, a8 true, ...
         for i in 0..=10 {
-            let expect = if (10 - i) % 2 == 0 { Truth::True } else { Truth::False };
+            let expect = if (10 - i) % 2 == 0 {
+                Truth::True
+            } else {
+                Truth::False
+            };
             assert_eq!(m.truth(id(&s, &gp, &format!("a{i}"))), expect, "a{i}");
         }
     }

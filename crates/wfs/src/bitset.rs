@@ -119,7 +119,10 @@ impl BitSet {
     /// Whether `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.len, other.len);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Whether `self ∩ other = ∅`.
@@ -136,6 +139,22 @@ impl BitSet {
         };
         out.trim();
         out
+    }
+
+    /// Complements in place within `0..capacity` — the allocation-free
+    /// form used by the reusable fixpoint scratch.
+    pub fn complement_in_place(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.trim();
+    }
+
+    /// Copies `other`'s contents into `self` (capacities must match);
+    /// reuses the existing allocation.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        self.words.copy_from_slice(&other.words);
     }
 }
 

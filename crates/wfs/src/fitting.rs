@@ -7,9 +7,9 @@
 //! well-founded semantics. Experiment E11 exercises exactly this gap.
 
 use crate::interp::{Interp, Truth};
-use gsls_ground::{GroundClause, GroundProgram};
+use gsls_ground::{ClauseRef, GroundProgram};
 
-fn body_truth(c: &GroundClause, i: &Interp) -> Truth {
+fn body_truth(c: ClauseRef<'_>, i: &Interp) -> Truth {
     let mut any_undef = false;
     for &a in c.pos.iter() {
         match i.truth(a) {
@@ -32,46 +32,64 @@ fn body_truth(c: &GroundClause, i: &Interp) -> Truth {
     }
 }
 
-/// One application of the Fitting operator `Φ_P`.
-pub fn phi(gp: &GroundProgram, i: &Interp) -> Interp {
+/// Reusable scratch for iterated `Φ_P` application.
+#[derive(Debug, Default)]
+struct PhiScratch {
+    has_true: Vec<bool>,
+    all_false: Vec<bool>,
+}
+
+fn phi_into(gp: &GroundProgram, i: &Interp, out: &mut Interp, scratch: &mut PhiScratch) {
     let n = gp.atom_count();
-    let mut out = Interp::new(n);
+    out.clear();
     // Truth per atom: true if some body true; false if all bodies false
     // (vacuously, for atoms with no rules).
-    let mut has_true = vec![false; n];
-    let mut all_false = vec![true; n];
+    scratch.has_true.clear();
+    scratch.has_true.resize(n, false);
+    scratch.all_false.clear();
+    scratch.all_false.resize(n, true);
     for c in gp.clauses() {
         match body_truth(c, i) {
             Truth::True => {
-                has_true[c.head.index()] = true;
-                all_false[c.head.index()] = false;
+                scratch.has_true[c.head.index()] = true;
+                scratch.all_false[c.head.index()] = false;
             }
-            Truth::Undefined => all_false[c.head.index()] = false,
+            Truth::Undefined => scratch.all_false[c.head.index()] = false,
             Truth::False => {}
         }
     }
     for a in gp.atom_ids() {
-        if has_true[a.index()] {
+        if scratch.has_true[a.index()] {
             out.set_true(a);
-        } else if all_false[a.index()] {
+        } else if scratch.all_false[a.index()] {
             out.set_false(a);
         }
     }
+}
+
+/// One application of the Fitting operator `Φ_P`.
+pub fn phi(gp: &GroundProgram, i: &Interp) -> Interp {
+    let mut out = Interp::new(gp.atom_count());
+    phi_into(gp, i, &mut out, &mut PhiScratch::default());
     out
 }
 
 /// The Kripke–Kleene (Fitting) model: least fixpoint of `Φ_P` under the
 /// information ordering, reached by iterating from the all-undefined
-/// interpretation.
+/// interpretation. Two interpretation buffers and one scratch pair are
+/// allocated up front and reused across all iterations.
 pub fn fitting_model(gp: &GroundProgram) -> Interp {
-    let mut i = Interp::new(gp.atom_count());
+    let n = gp.atom_count();
+    let mut i = Interp::new(n);
+    let mut next = Interp::new(n);
+    let mut scratch = PhiScratch::default();
     loop {
-        let next = phi(gp, &i);
+        phi_into(gp, &i, &mut next, &mut scratch);
         if next == i {
             return i;
         }
         debug_assert!(i.leq(&next), "Φ must be inflationary from ∅");
-        i = next;
+        std::mem::swap(&mut i, &mut next);
     }
 }
 
@@ -79,7 +97,7 @@ pub fn fitting_model(gp: &GroundProgram) -> Interp {
 mod tests {
     use super::*;
     use crate::alternating::well_founded_model;
-    use gsls_ground::{GroundAtomId, GrounderOpts, Grounder, GroundingMode};
+    use gsls_ground::{GroundAtomId, Grounder, GrounderOpts, GroundingMode};
     use gsls_lang::{parse_program, TermStore};
 
     fn models(src: &str) -> (TermStore, GroundProgram, Interp, Interp) {

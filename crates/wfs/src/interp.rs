@@ -1,8 +1,8 @@
 //! Three-valued (partial) interpretations — Def. 1.7 of the paper.
 
 use crate::bitset::BitSet;
-use gsls_lang::TermStore;
 use gsls_ground::{GroundAtomId, GroundProgram};
+use gsls_lang::TermStore;
 use std::fmt;
 
 /// Truth value of a ground atom in a partial interpretation.
@@ -102,6 +102,12 @@ impl Interp {
         self.neg.insert(a.index())
     }
 
+    /// Resets to the all-undefined interpretation, keeping allocations.
+    pub fn clear(&mut self) {
+        self.pos.clear();
+        self.neg.clear();
+    }
+
     /// The positive part (set of true atoms).
     pub fn pos(&self) -> &BitSet {
         &self.pos
@@ -167,7 +173,7 @@ impl Interp {
                 Truth::True => 2,
             }
         }
-        gp.clauses().iter().all(|c| {
+        gp.clauses().all(|c| {
             let body_min = c
                 .pos
                 .iter()
@@ -226,7 +232,8 @@ mod tests {
 
     fn id(gp: &GroundProgram, store: &mut TermStore, name: &str) -> GroundAtomId {
         let sym = store.intern_symbol(name);
-        gp.lookup_atom(&gsls_lang::Atom::new(sym, Vec::new())).unwrap()
+        gp.lookup_atom(&gsls_lang::Atom::new(sym, Vec::new()))
+            .unwrap()
     }
 
     #[test]

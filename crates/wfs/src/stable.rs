@@ -15,6 +15,7 @@
 use crate::alternating::well_founded_model;
 use crate::bitset::BitSet;
 use crate::interp::Interp;
+use crate::propagator::Propagator;
 use crate::tp::lfp_with;
 use gsls_ground::GroundProgram;
 
@@ -42,6 +43,9 @@ pub fn stable_models(gp: &GroundProgram, limit: usize) -> Vec<BitSet> {
     };
     let k = undefined.len();
     assert!(k <= 26, "undefined residue too large to enumerate ({k})");
+    // One propagator and one scratch set serve every candidate check.
+    let mut prop = Propagator::new(gp);
+    let mut lfp = BitSet::new(gp.atom_count());
     for mask in 0u64..(1u64 << k) {
         if out.len() >= limit {
             break;
@@ -52,7 +56,8 @@ pub fn stable_models(gp: &GroundProgram, limit: usize) -> Vec<BitSet> {
                 s.insert(a);
             }
         }
-        if is_stable_model(gp, &s) {
+        prop.lfp_into(gp, |q| !s.contains(q.index()), &mut lfp);
+        if lfp == s {
             out.push(s);
         }
     }

@@ -1,8 +1,17 @@
 //! The immediate-consequence operators `T_P`, `T̄_P` and reduct least
 //! fixpoints (Def. 2.3 of the paper).
+//!
+//! The least-fixpoint entry points here are convenience wrappers over
+//! [`crate::propagator::Propagator`], which owns the reusable scratch;
+//! engines making many reduct calls (alternating fixpoint, stable-model
+//! enumeration, staged iterations, the tabled engine) hold a `Propagator`
+//! directly so no per-call allocation happens. [`lfp_with_rebuild`] keeps
+//! the old rebuild-everything-per-call implementation as the measured
+//! baseline for the perf harness.
 
 use crate::bitset::BitSet;
 use crate::interp::Interp;
+use crate::propagator::Propagator;
 use gsls_ground::{GroundAtomId, GroundProgram};
 
 /// One application of `T_P` to a partial interpretation: `p ∈ T_P(I)` iff
@@ -10,13 +19,20 @@ use gsls_ground::{GroundAtomId, GroundProgram};
 /// in `I`, negated atoms false in `I`).
 pub fn tp(gp: &GroundProgram, i: &Interp) -> BitSet {
     let mut out = BitSet::new(gp.atom_count());
+    tp_into(gp, i, &mut out);
+    out
+}
+
+/// [`tp`] into a caller-provided set (cleared first) — the
+/// allocation-free form for iterated callers.
+pub fn tp_into(gp: &GroundProgram, i: &Interp, out: &mut BitSet) {
+    out.clear();
     for c in gp.clauses() {
         let fires = c.pos.iter().all(|&a| i.is_true(a)) && c.neg.iter().all(|&a| i.is_false(a));
         if fires {
             out.insert(c.head.index());
         }
     }
-    out
 }
 
 /// `T̄_P(I) = T_P(I) ∪ I` restricted to the positive side: applies one
@@ -43,7 +59,21 @@ pub fn tp_omega(gp: &GroundProgram, neg_true: &BitSet) -> BitSet {
 /// `A(S)` (with `neg_sat(q) = q ∉ S`) used by the alternating fixpoint,
 /// as well as the `T̄^ω(S⁻)` iteration of Lemma 4.2 (with
 /// `neg_sat(q) = ¬q ∈ S⁻`).
+///
+/// Convenience form allocating fresh scratch; hot paths reuse a
+/// [`Propagator`] and call [`Propagator::lfp_into`].
 pub fn lfp_with(gp: &GroundProgram, neg_sat: impl Fn(GroundAtomId) -> bool) -> BitSet {
+    let mut prop = Propagator::new(gp);
+    let mut out = BitSet::new(gp.atom_count());
+    prop.lfp_into(gp, neg_sat, &mut out);
+    out
+}
+
+/// The pre-CSR baseline: identical semantics to [`lfp_with`], but
+/// rebuilds the entire watch structure (`vec![Vec::new(); n]`) on every
+/// call, as the engines did before the reusable propagator existed. Kept
+/// only so the perf harness can quantify the win; do not use in engines.
+pub fn lfp_with_rebuild(gp: &GroundProgram, neg_sat: impl Fn(GroundAtomId) -> bool) -> BitSet {
     let n = gp.atom_count();
     let mut truth = BitSet::new(n);
     // Per-clause count of unsatisfied positive body atoms.
@@ -52,7 +82,7 @@ pub fn lfp_with(gp: &GroundProgram, neg_sat: impl Fn(GroundAtomId) -> bool) -> B
     let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut queue: Vec<GroundAtomId> = Vec::new();
 
-    for (ci, c) in gp.clauses().iter().enumerate() {
+    for (ci, c) in gp.clauses().enumerate() {
         let ci = ci as u32;
         if !c.neg.iter().all(|&q| neg_sat(q)) {
             // A negative body literal is unsatisfied: the clause is
@@ -222,5 +252,23 @@ mod tests {
         let out = tp_omega(&gp, &sneg);
         assert!(out.contains(p.index()));
         assert!(out.contains(r.index()), "chained through p");
+    }
+
+    #[test]
+    fn rebuild_baseline_agrees_with_propagator() {
+        for src in [
+            "p0. p1 :- p0. p2 :- p1.",
+            "p :- ~q. q. r :- p, ~s.",
+            "a :- b, ~c. b :- ~d. d.",
+        ] {
+            let (_, gp) = ground(src);
+            for flag in [false, true] {
+                assert_eq!(
+                    lfp_with(&gp, |_| flag),
+                    lfp_with_rebuild(&gp, |_| flag),
+                    "{src} / neg_sat={flag}"
+                );
+            }
+        }
     }
 }

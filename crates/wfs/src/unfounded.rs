@@ -13,59 +13,34 @@
 
 use crate::bitset::BitSet;
 use crate::interp::Interp;
-use gsls_ground::{GroundClause, GroundProgram};
+use crate::propagator::Propagator;
+use gsls_ground::{ClauseRef, GroundProgram};
 
 /// Whether clause `c` is *blocked* w.r.t. `I` by condition (1): some body
 /// literal's complement is in `I`.
-fn blocked(c: &GroundClause, i: &Interp) -> bool {
+fn blocked(c: ClauseRef<'_>, i: &Interp) -> bool {
     c.pos.iter().any(|&a| i.is_false(a)) || c.neg.iter().any(|&a| i.is_true(a))
 }
 
 /// Computes the greatest unfounded set `U_P(I)` of `gp` w.r.t. `i`.
+///
+/// Convenience form allocating fresh scratch; iterated callers (`W_P` /
+/// `V_P` stages) reuse a [`Propagator`] via [`unfounded_into`].
 pub fn greatest_unfounded(gp: &GroundProgram, i: &Interp) -> BitSet {
-    // X = least fixpoint of "some unblocked rule with positive body ⊆ X".
-    // Implemented with the same counter propagation as `lfp_with`, but the
-    // blocking test involves both signs so it is done per clause here.
-    let n = gp.atom_count();
-    let mut supported = BitSet::new(n);
-    let mut missing: Vec<u32> = Vec::with_capacity(gp.clause_count());
-    let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut queue: Vec<u32> = Vec::new();
+    let mut prop = Propagator::new(gp);
+    let mut out = BitSet::new(gp.atom_count());
+    unfounded_into(&mut prop, gp, i, &mut out);
+    out
+}
 
-    for (ci, c) in gp.clauses().iter().enumerate() {
-        let ci = ci as u32;
-        if blocked(c, i) {
-            missing.push(u32::MAX);
-            continue;
-        }
-        missing.push(c.pos.len() as u32);
-        if c.pos.is_empty() {
-            if supported.insert(c.head.index()) {
-                queue.push(c.head.0);
-            }
-        } else {
-            for &a in c.pos.iter() {
-                watchers[a.index()].push(ci);
-            }
-        }
-    }
-    while let Some(a) = queue.pop() {
-        let ws = std::mem::take(&mut watchers[a as usize]);
-        for ci in ws {
-            let m = &mut missing[ci as usize];
-            if *m == u32::MAX {
-                continue;
-            }
-            *m -= 1;
-            if *m == 0 {
-                let head = gp.clause(ci).head;
-                if supported.insert(head.index()) {
-                    queue.push(head.0);
-                }
-            }
-        }
-    }
-    supported.complement()
+/// [`greatest_unfounded`] into reusable scratch: computes the externally
+/// supported closure with `prop` (see [`Propagator::supported_into`]) and
+/// complements it in place. Zero heap allocation after warm-up.
+pub fn unfounded_into(prop: &mut Propagator, gp: &GroundProgram, i: &Interp, out: &mut BitSet) {
+    // X = least fixpoint of "some unblocked rule with positive body ⊆ X";
+    // U_P(I) is the complement of X.
+    prop.supported_into(gp, i, out);
+    out.complement_in_place();
 }
 
 /// Checks Def. 2.1 directly: is `set` an unfounded set w.r.t. `i`?
@@ -74,8 +49,7 @@ pub fn is_unfounded_set(gp: &GroundProgram, i: &Interp, set: &BitSet) -> bool {
     for p in set.iter() {
         for &ci in gp.clauses_for(gsls_ground::GroundAtomId(p as u32)) {
             let c = gp.clause(ci);
-            let witness =
-                blocked(c, i) || c.pos.iter().any(|&a| set.contains(a.index()));
+            let witness = blocked(c, i) || c.pos.iter().any(|&a| set.contains(a.index()));
             if !witness {
                 return false;
             }
@@ -141,6 +115,7 @@ mod tests {
             pos: vec![a].into(),
             neg: Vec::new().into(),
         });
+        gp.finalize();
         let i = Interp::new(gp.atom_count());
         let u = greatest_unfounded(&gp, &i);
         assert!(u.contains(a.index()) && u.contains(b.index()));
@@ -192,10 +167,7 @@ mod tests {
                 }
             }
             if is_unfounded_set(&gp, &i, &set) {
-                assert!(
-                    set.is_subset(&gus),
-                    "unfounded set {mask:b} not within GUS"
-                );
+                assert!(set.is_subset(&gus), "unfounded set {mask:b} not within GUS");
             }
         }
         assert!(is_unfounded_set(&gp, &i, &gus));

@@ -11,8 +11,8 @@
 
 use crate::bitset::BitSet;
 use crate::interp::Interp;
-use crate::tp::{tp, tp_omega};
-use crate::unfounded::greatest_unfounded;
+use crate::propagator::Propagator;
+use crate::tp::tp_into;
 use gsls_ground::{GroundAtomId, GroundProgram};
 
 /// Result of a staged fixpoint iteration.
@@ -48,10 +48,21 @@ pub fn vp_iteration(gp: &GroundProgram) -> StagedModel {
     let mut stage_pos = vec![None; n];
     let mut stage_neg = vec![None; n];
     let mut iterations = 0u32;
+    // One propagator plus two bitset buffers serve every stage: zero
+    // per-stage heap allocation.
+    let mut prop = Propagator::new(gp);
+    let mut pos_next = BitSet::new(n);
+    let mut neg_next = BitSet::new(n);
     loop {
         let stage = iterations + 1;
-        let pos_next = tp_omega(gp, model.neg());
-        let neg_next = greatest_unfounded(gp, &pos_only(&model));
+        // T̄^ω(neg(I_α)): ¬q satisfied iff q already false.
+        prop.lfp_into(gp, |q| model.is_false(q), &mut pos_next);
+        // U_P(pos(I_α)): in the positive-only projection, a clause is
+        // blocked exactly when a negated atom is true in the model — a
+        // pure negative-literal condition, so the fast reduct path
+        // applies.
+        prop.lfp_into(gp, |q| !model.is_true(q), &mut neg_next);
+        neg_next.complement_in_place();
         let mut changed = false;
         for a in pos_next.iter() {
             if stage_pos[a].is_none() {
@@ -90,10 +101,14 @@ pub fn wp_iteration(gp: &GroundProgram) -> StagedModel {
     let mut stage_pos = vec![None; n];
     let mut stage_neg = vec![None; n];
     let mut iterations = 0u32;
+    let mut prop = Propagator::new(gp);
+    let mut pos_next = BitSet::new(n);
+    let mut neg_next = BitSet::new(n);
     loop {
         let stage = iterations + 1;
-        let pos_next = tp(gp, &model);
-        let neg_next = greatest_unfounded(gp, &model);
+        tp_into(gp, &model, &mut pos_next);
+        prop.supported_into(gp, &model, &mut neg_next);
+        neg_next.complement_in_place();
         let mut changed = false;
         for a in pos_next.iter() {
             if stage_pos[a].is_none() && stage_neg[a].is_none() {
@@ -120,12 +135,6 @@ pub fn wp_iteration(gp: &GroundProgram) -> StagedModel {
         stage_neg,
         iterations,
     }
-}
-
-/// Projection keeping only the positive part of an interpretation
-/// (Lemma 4.4 applies `U_P` to `pos(I_α)`).
-fn pos_only(i: &Interp) -> Interp {
-    Interp::from_parts(i.pos().clone(), BitSet::new(i.capacity()))
 }
 
 #[cfg(test)]

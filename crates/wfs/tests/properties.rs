@@ -1,11 +1,11 @@
 //! Property-based tests for the bottom-up semantics: model-theoretic
 //! invariants over random ground programs.
 
-use gsls_ground::{Grounder, GroundProgram};
+use gsls_ground::{GroundAtomId, GroundClause, GroundProgram, Grounder};
 use gsls_lang::{Atom, Clause, Literal, Program, TermStore};
 use gsls_wfs::{
     fitting_model, greatest_unfounded, is_unfounded_set, vp_iteration, well_founded_model,
-    wp_iteration, Interp,
+    well_founded_model_rebuild, wp_iteration, BitSet, Interp, Propagator,
 };
 use proptest::prelude::*;
 
@@ -18,6 +18,30 @@ fn program_strategy() -> impl Strategy<Value = Vec<(u8, Vec<(u8, bool)>)>> {
         ),
         1..16,
     )
+}
+
+/// The specification-level ω-iteration of `T̄_P` with a fixed negative
+/// context: iterate "some rule fires (positives derived, negatives in
+/// `neg_true`)" to a fixpoint. Quadratic, obviously correct — the oracle
+/// for the linear-time propagator.
+fn naive_tp_bar_omega(gp: &GroundProgram, neg_true: &BitSet) -> BitSet {
+    let mut truth = BitSet::new(gp.atom_count());
+    loop {
+        let mut changed = false;
+        for c in gp.clauses() {
+            if truth.contains(c.head.index()) {
+                continue;
+            }
+            let fires = c.pos.iter().all(|&a| truth.contains(a.index()))
+                && c.neg.iter().all(|&a| neg_true.contains(a.index()));
+            if fires && truth.insert(c.head.index()) {
+                changed = true;
+            }
+        }
+        if !changed {
+            return truth;
+        }
+    }
 }
 
 fn realise(clauses: &[(u8, Vec<(u8, bool)>)]) -> (TermStore, GroundProgram) {
@@ -106,6 +130,96 @@ proptest! {
     fn fitting_below_wfs(clauses in program_strategy()) {
         let (_, gp) = realise(&clauses);
         prop_assert!(fitting_model(&gp).leq(&well_founded_model(&gp)));
+    }
+
+    /// The reusable propagator's reduct fixpoint agrees with a naive
+    /// `T̄_P` ω-iteration (Lemma 4.2's direct reading) for arbitrary
+    /// negative contexts — and stays correct across reuses of the same
+    /// scratch.
+    #[test]
+    fn lfp_into_agrees_with_naive_omega(
+        clauses in program_strategy(),
+        neg_bits in any::<u64>(),
+    ) {
+        let (_, gp) = realise(&clauses);
+        let n = gp.atom_count();
+        let mut neg_true = BitSet::new(n);
+        for b in 0..n.min(64) {
+            if neg_bits & (1 << b) != 0 {
+                neg_true.insert(b);
+            }
+        }
+        let mut prop = Propagator::new(&gp);
+        let mut fast = BitSet::new(n);
+        // Exercise scratch reuse: a throwaway call with a different
+        // context first, then the measured one.
+        prop.lfp_into(&gp, |_| true, &mut fast);
+        let count = prop.lfp_into(&gp, |q| neg_true.contains(q.index()), &mut fast);
+        let naive = naive_tp_bar_omega(&gp, &neg_true);
+        prop_assert_eq!(&fast, &naive);
+        prop_assert_eq!(count, naive.count());
+    }
+
+    /// The alternating fixpoint on the reusable substrate equals the
+    /// rebuild-per-call baseline it replaced.
+    #[test]
+    fn propagator_wfm_equals_rebuild_wfm(clauses in program_strategy()) {
+        let (_, gp) = realise(&clauses);
+        prop_assert_eq!(well_founded_model(&gp), well_founded_model_rebuild(&gp));
+    }
+
+    /// CSR storage round-trips clause contents identically: pushing
+    /// arbitrary owned clauses and reading them back through the views
+    /// preserves heads, bodies (order and duplicates), and the reverse
+    /// indexes match a brute-force scan.
+    #[test]
+    fn csr_round_trips_clauses(raw in program_strategy()) {
+        let mut gp = GroundProgram::new();
+        let mut store = TermStore::new();
+        // Intern one atom per mentioned id.
+        let mut ids: Vec<GroundAtomId> = Vec::new();
+        for k in 0u8..8 {
+            let sym = store.intern_symbol(&format!("p{k}"));
+            ids.push(gp.intern_atom(Atom::new(sym, Vec::new())));
+        }
+        let clauses: Vec<GroundClause> = raw
+            .iter()
+            .map(|(head, body)| GroundClause {
+                head: ids[*head as usize],
+                pos: body
+                    .iter()
+                    .filter(|(_, positive)| *positive)
+                    .map(|(a, _)| ids[*a as usize])
+                    .collect(),
+                neg: body
+                    .iter()
+                    .filter(|(_, positive)| !*positive)
+                    .map(|(a, _)| ids[*a as usize])
+                    .collect(),
+            })
+            .collect();
+        for c in &clauses {
+            gp.push_clause(c.clone());
+        }
+        prop_assert_eq!(gp.clause_count(), clauses.len());
+        for (i, c) in clauses.iter().enumerate() {
+            prop_assert_eq!(&gp.clause(i as u32).to_owned(), c);
+        }
+        gp.finalize();
+        for &a in &ids {
+            let by_head: Vec<u32> = (0..clauses.len() as u32)
+                .filter(|&ci| clauses[ci as usize].head == a)
+                .collect();
+            prop_assert_eq!(gp.clauses_for(a), &by_head[..]);
+            let mut wp = Vec::new();
+            let mut wn = Vec::new();
+            for (ci, c) in clauses.iter().enumerate() {
+                wp.extend(c.pos.iter().filter(|&&p| p == a).map(|_| ci as u32));
+                wn.extend(c.neg.iter().filter(|&&q| q == a).map(|_| ci as u32));
+            }
+            prop_assert_eq!(gp.watch_pos(a), &wp[..]);
+            prop_assert_eq!(gp.watch_neg(a), &wn[..]);
+        }
     }
 
     /// Stages are consistent: every defined literal has a stage, every

@@ -6,9 +6,8 @@
 //! positions are lost, and positions caught in drawing cycles are
 //! *undefined* — exactly the three truth values.
 
+use crate::prng::SplitMix64;
 use gsls_lang::{Atom, Clause, Literal, Program, TermStore};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Builds the game program over explicit move edges `(from, to)`,
 /// numbering positions `n0, n1, …`.
@@ -62,12 +61,12 @@ pub fn win_tree(store: &mut TermStore, depth: u32) -> Program {
 /// A random game graph: `n` positions, each with out-degree sampled from
 /// `0..=max_degree` (degree 0 makes lost positions, cycles make draws).
 pub fn win_random(store: &mut TermStore, n: usize, max_degree: usize, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut edges = Vec::new();
     for i in 0..n {
-        let deg = rng.gen_range(0..=max_degree);
+        let deg = rng.below(max_degree + 1);
         for _ in 0..deg {
-            let j = rng.gen_range(0..n);
+            let j = rng.below(n);
             edges.push((i, j));
         }
     }

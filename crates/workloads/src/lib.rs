@@ -10,6 +10,7 @@
 //!   testing of engines.
 
 pub mod games;
+mod prng;
 pub mod random;
 pub mod stratified;
 pub mod van_gelder;

@@ -4,9 +4,8 @@
 //! (experiment E7): the memoized top-down engine must agree with the
 //! bottom-up alternating fixpoint everywhere, on every seed.
 
+use crate::prng::SplitMix64;
 use gsls_lang::{Atom, Clause, Literal, Program, Symbol, TermStore};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for [`random_program`].
 #[derive(Debug, Clone, Copy)]
@@ -35,18 +34,18 @@ impl Default for RandomProgramOpts {
 /// Generates a random propositional normal program (deterministic per
 /// seed).
 pub fn random_program(store: &mut TermStore, opts: RandomProgramOpts, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let syms: Vec<Symbol> = (0..opts.atoms)
         .map(|i| store.intern_symbol(&format!("p{i}")))
         .collect();
     let mut prog = Program::new();
     for _ in 0..opts.clauses {
-        let head = Atom::new(syms[rng.gen_range(0..syms.len())], Vec::new());
-        let blen = rng.gen_range(0..=opts.max_body);
+        let head = Atom::new(syms[rng.below(syms.len())], Vec::new());
+        let blen = rng.below(opts.max_body + 1);
         let mut body = Vec::with_capacity(blen);
         for _ in 0..blen {
-            let atom = Atom::new(syms[rng.gen_range(0..syms.len())], Vec::new());
-            if rng.gen_bool(opts.neg_prob) {
+            let atom = Atom::new(syms[rng.below(syms.len())], Vec::new());
+            if rng.chance(opts.neg_prob) {
                 body.push(Literal::neg(atom));
             } else {
                 body.push(Literal::pos(atom));

@@ -74,7 +74,11 @@ mod tests {
                 .atom_ids()
                 .find(|&x| gp.display_atom(&s, x) == format!("a{i}"))
                 .unwrap();
-            let expect = if (5 - i) % 2 == 0 { Truth::True } else { Truth::False };
+            let expect = if (5 - i) % 2 == 0 {
+                Truth::True
+            } else {
+                Truth::False
+            };
             assert_eq!(m.truth(a), expect, "a{i}");
         }
     }

@@ -27,7 +27,10 @@ fn main() {
     // ---- Example 3.3: negatively-parallel expansion is required. ------
     let ex33 = "p :- ~p. q :- ~p, ~s. s.";
     let program = parse_program(&mut store, ex33).unwrap();
-    println!("Example 3.3 (function-free analogue):\n{}", program.display(&store));
+    println!(
+        "Example 3.3 (function-free analogue):\n{}",
+        program.display(&store)
+    );
     println!("Well-founded model: {{s, ~q}} with p undefined — so ← q should fail.\n");
     let goal = parse_goal(&mut store, "?- q.").unwrap();
     for rule in [RuleKind::Preferential, RuleKind::SequentialNegative] {
@@ -42,5 +45,8 @@ fn main() {
     // Cross-check with the bottom-up model.
     let gp = Grounder::ground(&mut store, &program).unwrap();
     let wfm = well_founded_model(&gp);
-    println!("\nBottom-up WFM of Example 3.3: {}", wfm.display(&store, &gp));
+    println!(
+        "\nBottom-up WFM of Example 3.3: {}",
+        wfm.display(&store, &gp)
+    );
 }

@@ -43,7 +43,10 @@ fn main() {
     let sls = sls_solve(&mut store, &program, &goal, SlsOpts::default()).unwrap();
     println!(
         "SLS-resolution, ?- leaf(X): {:?}",
-        sls.answers.iter().map(|a| a.display(&store)).collect::<Vec<_>>()
+        sls.answers
+            .iter()
+            .map(|a| a.display(&store))
+            .collect::<Vec<_>>()
     );
 
     // 2. The memoized global-SLS engine.
@@ -51,7 +54,10 @@ fn main() {
     let r = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
     println!(
         "Tabled global SLS, ?- leaf(X): {:?}",
-        r.answers.iter().map(|a| a.display(&store)).collect::<Vec<_>>()
+        r.answers
+            .iter()
+            .map(|a| a.display(&store))
+            .collect::<Vec<_>>()
     );
 
     // 3. Negated reachability.
@@ -59,7 +65,10 @@ fn main() {
     let r = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
     println!(
         "?- independent(X): {:?}",
-        r.answers.iter().map(|a| a.display(&store)).collect::<Vec<_>>()
+        r.answers
+            .iter()
+            .map(|a| a.display(&store))
+            .collect::<Vec<_>>()
     );
 
     // 4. Bottom-up: the whole perfect model (= well-founded model).

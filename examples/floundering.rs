@@ -28,7 +28,10 @@ fn main() {
 
     // ---- The term/1 transform removes floundering. ---------------------
     let transformed = term_transform(&mut store, &program);
-    println!("\nterm/1-transformed program:\n{}", transformed.display(&store));
+    println!(
+        "\nterm/1-transformed program:\n{}",
+        transformed.display(&store)
+    );
     let guarded = gsls_ground::herbrand::guard_goal(&mut store, &goal);
     let solver_t = Solver::new(transformed);
     let tree = solver_t.global_tree(&mut store, &guarded);
@@ -46,7 +49,10 @@ fn main() {
     let r = solver61.query(&mut store, &goal, Engine::Tabled).unwrap();
     println!(
         "?- p(X) over P: answers {:?} — only X = a, never the identity.",
-        r.answers.iter().map(|a| a.display(&store)).collect::<Vec<_>>()
+        r.answers
+            .iter()
+            .map(|a| a.display(&store))
+            .collect::<Vec<_>>()
     );
     let augmented = augment_program(&mut store, &p61);
     println!(

@@ -41,5 +41,8 @@ fn main() {
 
     // The same query through the explicit global tree, with the tree.
     let tree = solver.global_tree(&mut store, &goal);
-    println!("\nGlobal tree for ?- win(X).\n{}", render_global(&store, &tree));
+    println!(
+        "\nGlobal tree for ?- win(X).\n{}",
+        render_global(&store, &tree)
+    );
 }

@@ -41,10 +41,7 @@ fn analyse(title: &str, src: &str) {
 }
 
 fn main() {
-    analyse(
-        "Positive loop — Fitting can't fail it, WFS can",
-        "p :- p.",
-    );
+    analyse("Positive loop — Fitting can't fail it, WFS can", "p :- p.");
     analyse(
         "Odd loop through negation — no stable model, WFS stays partial",
         "p :- ~p.",

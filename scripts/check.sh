@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tooling gate: formatting + lints (with -D warnings) + build + tests.
+# CI and pre-PR runs should both use this single entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "check.sh: all gates passed"

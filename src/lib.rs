@@ -61,8 +61,7 @@ pub mod prelude {
         Sign, Subst, TermStore,
     };
     pub use gsls_resolution::{
-        perfect_model, sld_solve, sldnf_solve, sls_solve, SldOpts, SldnfOpts, SldnfOutcome,
-        SlsOpts,
+        perfect_model, sld_solve, sldnf_solve, sls_solve, SldOpts, SldnfOpts, SldnfOutcome, SlsOpts,
     };
     pub use gsls_wfs::{
         fitting_model, stable_models, vp_iteration, well_founded_model, Interp, Truth,

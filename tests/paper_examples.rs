@@ -152,11 +152,23 @@ fn example_3_2_rule_comparison() {
     let program = parse_program(&mut store, EX32).unwrap();
     let goal = parse_goal(&mut store, "?- s.").unwrap();
     assert_eq!(
-        deviant_evaluate(&mut store, &program, &goal, RuleKind::Preferential, DeviantOpts::default()),
+        deviant_evaluate(
+            &mut store,
+            &program,
+            &goal,
+            RuleKind::Preferential,
+            DeviantOpts::default()
+        ),
         Verdict::Successful
     );
     assert_eq!(
-        deviant_evaluate(&mut store, &program, &goal, RuleKind::LeftmostLiteral, DeviantOpts::default()),
+        deviant_evaluate(
+            &mut store,
+            &program,
+            &goal,
+            RuleKind::LeftmostLiteral,
+            DeviantOpts::default()
+        ),
         Verdict::Indeterminate
     );
     // Ground truth from the bottom-up model.
@@ -178,11 +190,23 @@ fn example_3_3_parallel_vs_sequential() {
     let program = parse_program(&mut store, EX33).unwrap();
     let goal = parse_goal(&mut store, "?- q.").unwrap();
     assert_eq!(
-        deviant_evaluate(&mut store, &program, &goal, RuleKind::Preferential, DeviantOpts::default()),
+        deviant_evaluate(
+            &mut store,
+            &program,
+            &goal,
+            RuleKind::Preferential,
+            DeviantOpts::default()
+        ),
         Verdict::Failed
     );
     assert_eq!(
-        deviant_evaluate(&mut store, &program, &goal, RuleKind::SequentialNegative, DeviantOpts::default()),
+        deviant_evaluate(
+            &mut store,
+            &program,
+            &goal,
+            RuleKind::SequentialNegative,
+            DeviantOpts::default()
+        ),
         Verdict::Indeterminate
     );
     let mut solver = Solver::new(parse_program(&mut store, EX33).unwrap());
@@ -200,7 +224,11 @@ fn example_3_3_functional_form() {
     let program = parse_program(&mut store, SRC).unwrap();
     let goal = parse_goal(&mut store, "?- q.").unwrap();
     let tree = GlobalTree::build(&mut store, &program, &goal, GlobalOpts::default());
-    assert_eq!(tree.status(), Status::Failed, "parallel sees the failing ~s");
+    assert_eq!(
+        tree.status(),
+        Status::Failed,
+        "parallel sees the failing ~s"
+    );
 }
 
 // ---------------------------------------------------------------- E4 --

@@ -62,11 +62,7 @@ fn total_wfm_is_unique_stable_model() {
             let models = stable_models(&gp, 16);
             assert_eq!(models.len(), 1, "seed {seed}");
             for a in gp.atom_ids() {
-                assert_eq!(
-                    models[0].contains(a.index()),
-                    wfm.is_true(a),
-                    "seed {seed}"
-                );
+                assert_eq!(models[0].contains(a.index()), wfm.is_true(a), "seed {seed}");
             }
         }
     }
@@ -93,8 +89,7 @@ fn classic_separating_programs() {
     // a∨b choice + shared consequence: stable-intersection decides c,
     // WFS leaves it undefined (the stable semantics is stronger).
     let mut store = TermStore::new();
-    let program =
-        parse_program(&mut store, "a :- ~b. b :- ~a. c :- a. c :- b.").unwrap();
+    let program = parse_program(&mut store, "a :- ~b. b :- ~a. c :- a. c :- b.").unwrap();
     let gp = ground_full(&mut store, &program);
     let c = gp
         .atom_ids()
@@ -108,7 +103,11 @@ fn classic_separating_programs() {
 #[test]
 fn wfs_equals_fitting_plus_unfounded_detection() {
     // On programs whose positive part is acyclic, Fitting and WFS agree.
-    for src in ["q. p :- ~q. r :- ~p.", "a :- ~b. b :- ~a.", "x :- y, ~z. y. z :- ~x."] {
+    for src in [
+        "q. p :- ~q. r :- ~p.",
+        "a :- ~b. b :- ~a.",
+        "x :- y, ~z. y. z :- ~x.",
+    ] {
         let mut store = TermStore::new();
         let program = parse_program(&mut store, src).unwrap();
         let gp = ground_full(&mut store, &program);

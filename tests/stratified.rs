@@ -22,7 +22,12 @@ fn sls_equals_tabled_on_stratified() {
         assert!(pm.is_total());
         let mut tabled = TabledEngine::new(gp.clone());
         for a in gp.atom_ids() {
-            assert_eq!(tabled.truth(a), pm.truth(a), "{}", gp.display_atom(&store, a));
+            assert_eq!(
+                tabled.truth(a),
+                pm.truth(a),
+                "{}",
+                gp.display_atom(&store, a)
+            );
         }
     }
 }
@@ -82,7 +87,11 @@ fn acyclic_programs_determined_without_memo_assistance() {
         },
         ..GlobalOpts::default()
     };
-    for (atom, expect) in [("p", Status::Failed), ("q", Status::Successful), ("r", Status::Successful)] {
+    for (atom, expect) in [
+        ("p", Status::Failed),
+        ("q", Status::Successful),
+        ("r", Status::Successful),
+    ] {
         let goal = parse_goal(&mut store, &format!("?- {atom}.")).unwrap();
         let tree = GlobalTree::build(&mut store, &program, &goal, opts);
         assert_eq!(tree.status(), expect, "{atom}");
