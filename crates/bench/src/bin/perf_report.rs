@@ -1,24 +1,30 @@
-//! Emits `BENCH_1.json`: the perf trajectory record for PR 1 (the
-//! zero-allocation fixpoint substrate).
+//! Emits `BENCH_2.json`: the perf trajectory record for PR 2 (the
+//! difference-driven alternating fixpoint).
 //!
-//! Measures, for the van_gelder and engine_scaling sweeps:
+//! Measures, for the van_gelder and engine_scaling sweeps plus the new
+//! 10^5-atom grid boards:
 //!
-//! * ground program size (atoms, clauses) and alternating-fixpoint
-//!   `reduct_calls`;
-//! * wall-time of the well-founded model on the reusable-propagator
-//!   substrate vs the pre-CSR rebuild-per-call baseline
-//!   (`well_founded_model_rebuild`), with the speedup;
-//! * heap allocations per reduct call after warm-up, counted by a
+//! * ground program size (atoms, clauses), alternating-fixpoint
+//!   `reduct_calls`, and the incremental path's total clause re-checks
+//!   (vs `reduct_calls × clauses` for from-scratch restarts);
+//! * wall-time of the incremental `well_founded_model` vs the PR 1
+//!   full-recompute propagator baseline (`well_founded_model_scratch`)
+//!   and the PR 0 rebuild-per-call baseline
+//!   (`well_founded_model_rebuild`), with speedups;
+//! * heap allocations per warm call for both the propagator's
+//!   `lfp_into` and the incremental engine's `evaluate`, counted by a
 //!   wrapping global allocator (the substrate's contract is zero).
 //!
 //! Run from the workspace root: `cargo run --release -p gsls-bench --bin
-//! perf_report`. Future PRs append their own `BENCH_<n>.json` so the
-//! trajectory stays comparable.
+//! perf_report`. Earlier trajectory records stay in `BENCH_<n>.json`.
 
 use gsls_ground::{Grounder, GrounderOpts, HerbrandOpts};
 use gsls_lang::TermStore;
-use gsls_wfs::{well_founded_model_rebuild, well_founded_model_with_stats, BitSet, Propagator};
-use gsls_workloads::{van_gelder_program, win_random};
+use gsls_wfs::{
+    well_founded_model_rebuild, well_founded_model_scratch, well_founded_model_with_stats, BitSet,
+    IncrementalLfp, NegMode, Propagator,
+};
+use gsls_workloads::{van_gelder_program, win_grid, win_random};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,12 +73,18 @@ struct SweepPoint {
     atoms: usize,
     clauses: usize,
     reduct_calls: u32,
+    clause_checks: u64,
     wfm_ns: u64,
+    scratch_ns: u64,
     rebuild_ns: u64,
 }
 
 impl SweepPoint {
-    fn speedup(&self) -> f64 {
+    fn speedup_vs_scratch(&self) -> f64 {
+        self.scratch_ns as f64 / self.wfm_ns.max(1) as f64
+    }
+
+    fn speedup_vs_rebuild(&self) -> f64 {
         self.rebuild_ns as f64 / self.wfm_ns.max(1) as f64
     }
 
@@ -81,30 +93,66 @@ impl SweepPoint {
         let _ = write!(
             s,
             "    {{\"{key}\": {}, \"atoms\": {}, \"clauses\": {}, \
-             \"reduct_calls\": {}, \"wfm_ns\": {}, \"wfm_rebuild_ns\": {}, \
-             \"speedup\": {:.2}}}",
+             \"reduct_calls\": {}, \"clause_checks\": {}, \"wfm_ns\": {}, \
+             \"wfm_scratch_ns\": {}, \"wfm_rebuild_ns\": {}, \
+             \"speedup_vs_scratch\": {:.2}, \"speedup_vs_rebuild\": {:.2}}}",
             self.label,
             self.atoms,
             self.clauses,
             self.reduct_calls,
+            self.clause_checks,
             self.wfm_ns,
+            self.scratch_ns,
             self.rebuild_ns,
-            self.speedup()
+            self.speedup_vs_scratch(),
+            self.speedup_vs_rebuild()
         );
         s
+    }
+
+    fn print(&self, family: &str) {
+        println!(
+            "{family} {}: atoms={} clauses={} reduct_calls={} checks={} \
+             wfm={:.3}ms scratch={:.3}ms rebuild={:.3}ms \
+             speedup={:.2}x/{:.2}x",
+            self.label,
+            self.atoms,
+            self.clauses,
+            self.reduct_calls,
+            self.clause_checks,
+            self.wfm_ns as f64 / 1e6,
+            self.scratch_ns as f64 / 1e6,
+            self.rebuild_ns as f64 / 1e6,
+            self.speedup_vs_scratch(),
+            self.speedup_vs_rebuild()
+        );
     }
 }
 
 fn measure(gp: &gsls_ground::GroundProgram, label: String, runs: usize) -> SweepPoint {
+    measure_with(gp, label, runs, runs)
+}
+
+/// `baseline_runs` lets the big boards sample the (much slower)
+/// baselines once while still taking a median for the incremental path.
+fn measure_with(
+    gp: &gsls_ground::GroundProgram,
+    label: String,
+    runs: usize,
+    baseline_runs: usize,
+) -> SweepPoint {
     let (_, stats) = well_founded_model_with_stats(gp);
     let wfm_ns = median_ns(runs, || well_founded_model_with_stats(gp).0);
-    let rebuild_ns = median_ns(runs, || well_founded_model_rebuild(gp));
+    let scratch_ns = median_ns(baseline_runs, || well_founded_model_scratch(gp));
+    let rebuild_ns = median_ns(baseline_runs, || well_founded_model_rebuild(gp));
     SweepPoint {
         label,
         atoms: gp.atom_count(),
         clauses: gp.clause_count(),
         reduct_calls: stats.reduct_calls,
+        clause_checks: stats.clause_checks,
         wfm_ns,
+        scratch_ns,
         rebuild_ns,
     }
 }
@@ -129,16 +177,7 @@ fn van_gelder_sweep() -> Vec<SweepPoint> {
             .expect("van_gelder grounds");
             let runs = if depth >= 1024 { 5 } else { 9 };
             let p = measure(&gp, depth.to_string(), runs);
-            println!(
-                "van_gelder N={depth}: atoms={} clauses={} reduct_calls={} \
-                 wfm={:.3}ms rebuild={:.3}ms speedup={:.2}x",
-                p.atoms,
-                p.clauses,
-                p.reduct_calls,
-                p.wfm_ns as f64 / 1e6,
-                p.rebuild_ns as f64 / 1e6,
-                p.speedup()
-            );
+            p.print("van_gelder N=");
             p
         })
         .collect()
@@ -152,59 +191,93 @@ fn engine_scaling_sweep() -> Vec<SweepPoint> {
             let program = win_random(&mut store, n, 3, 11);
             let gp = gsls_bench::ground(&mut store, &program);
             let p = measure(&gp, n.to_string(), 9);
-            println!(
-                "engine_scaling n={n}: atoms={} clauses={} reduct_calls={} \
-                 wfm={:.3}ms rebuild={:.3}ms speedup={:.2}x",
-                p.atoms,
-                p.clauses,
-                p.reduct_calls,
-                p.wfm_ns as f64 / 1e6,
-                p.rebuild_ns as f64 / 1e6,
-                p.speedup()
-            );
+            p.print("engine_scaling n=");
             p
         })
         .collect()
 }
 
-/// Counts heap allocations across `calls` reduct evaluations on warm
-/// scratch. The substrate contract is exactly zero.
-fn zero_alloc_check() -> (u64, u64) {
+/// The ROADMAP's 10^5-atom-class win/move boards (grid workload).
+fn grid_sweep() -> Vec<(SweepPoint, u64)> {
+    [(64usize, 64usize), (200, 200)]
+        .iter()
+        .map(|&(w, h)| {
+            let mut store = TermStore::new();
+            let program = win_grid(&mut store, w, h);
+            let t = Instant::now();
+            let gp = gsls_bench::ground(&mut store, &program);
+            let ground_ns = t.elapsed().as_nanos() as u64;
+            let p = measure_with(&gp, format!("\"{w}x{h}\""), 3, 1);
+            println!("grid {w}x{h}: ground={:.1}ms", ground_ns as f64 / 1e6);
+            p.print("grid ");
+            (p, ground_ns)
+        })
+        .collect()
+}
+
+/// Counts heap allocations across warm calls of both substrate modes.
+/// The contract for each is exactly zero.
+fn zero_alloc_check() -> (u64, u64, u64) {
     let mut store = TermStore::new();
     let program = win_random(&mut store, 256, 3, 7);
     let gp = gsls_bench::ground(&mut store, &program);
+    let calls = 100u64;
+
+    // Propagator full-recompute calls on warm scratch.
     let mut prop = Propagator::new(&gp);
     let mut out = BitSet::new(gp.atom_count());
     let mut s = BitSet::new(gp.atom_count());
-    // Warm-up: size the queue and touch every path once.
     prop.lfp_into(&gp, |q| !s.contains(q.index()), &mut out);
     s.copy_from(&out);
     prop.lfp_into(&gp, |q| !s.contains(q.index()), &mut out);
-    let calls = 100u64;
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for i in 0..calls {
-        // Alternate contexts so both reduct shapes are exercised.
         if i % 2 == 0 {
             prop.lfp_into(&gp, |q| !s.contains(q.index()), &mut out);
         } else {
             prop.lfp_into(&gp, |_| false, &mut out);
         }
     }
-    let after = ALLOCATIONS.load(Ordering::Relaxed);
-    (calls, after - before)
+    let prop_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    // Incremental evaluates over a flipping context (kills + revivals +
+    // retraction cones every call) on warm scratch.
+    let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+    let mut ctx = BitSet::new(gp.atom_count());
+    inc.evaluate(&gp, &ctx);
+    ctx.copy_from(inc.out());
+    inc.evaluate(&gp, &ctx);
+    ctx.clear();
+    inc.evaluate(&gp, &ctx);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..calls {
+        if i % 2 == 0 {
+            ctx.copy_from(inc.out());
+        } else {
+            ctx.clear();
+        }
+        inc.evaluate(&gp, &ctx);
+    }
+    let inc_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    (calls, prop_allocs, inc_allocs)
 }
 
 fn main() {
-    println!("# perf_report — zero-allocation fixpoint substrate (PR 1)");
+    println!("# perf_report — difference-driven alternating fixpoint (PR 2)");
     let van_gelder = van_gelder_sweep();
     let engine = engine_scaling_sweep();
-    let (calls, allocs) = zero_alloc_check();
-    println!("zero_alloc: {allocs} allocations across {calls} warm reduct calls");
+    let grid = grid_sweep();
+    let (calls, prop_allocs, inc_allocs) = zero_alloc_check();
+    println!(
+        "zero_alloc: {prop_allocs} (propagator) / {inc_allocs} (incremental) \
+         allocations across {calls} warm calls each"
+    );
 
-    let mut json = String::from("{\n  \"pr\": 1,\n");
+    let mut json = String::from("{\n  \"pr\": 2,\n");
     let _ = writeln!(
         json,
-        "  \"description\": \"CSR ground programs + reusable propagator vs \
+        "  \"description\": \"difference-driven A(S) restarts (incremental \
+         revive/retract via watch_neg) vs full-recompute propagator vs \
          per-call watch-list rebuild\","
     );
     json.push_str("  \"van_gelder\": [\n");
@@ -213,23 +286,40 @@ fn main() {
     json.push_str("\n  ],\n  \"engine_scaling\": [\n");
     let es: Vec<String> = engine.iter().map(|p| p.json("n")).collect();
     json.push_str(&es.join(",\n"));
+    json.push_str("\n  ],\n  \"grid_boards\": [\n");
+    let gr: Vec<String> = grid
+        .iter()
+        .map(|(p, ground_ns)| {
+            let mut s = p.json("board");
+            let insert = format!(", \"ground_ns\": {ground_ns}}}");
+            s.truncate(s.len() - 1);
+            s.push_str(&insert);
+            s
+        })
+        .collect();
+    json.push_str(&gr.join(",\n"));
     let _ = write!(
         json,
-        "\n  ],\n  \"zero_alloc\": {{\"warm_reduct_calls\": {calls}, \
-         \"allocations\": {allocs}}}\n}}\n"
+        "\n  ],\n  \"zero_alloc\": {{\"warm_calls_each\": {calls}, \
+         \"propagator_allocations\": {prop_allocs}, \
+         \"incremental_allocations\": {inc_allocs}}}\n}}\n"
     );
-    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
-    println!("wrote BENCH_1.json");
+    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    println!("wrote BENCH_2.json");
 
     let n1024 = van_gelder.last().expect("sweep nonempty");
-    assert_eq!(allocs, 0, "reduct calls must not allocate after warm-up");
+    assert_eq!(prop_allocs, 0, "propagator calls must not allocate warm");
+    assert_eq!(inc_allocs, 0, "incremental calls must not allocate warm");
     assert!(
-        n1024.speedup() >= 3.0,
-        "van_gelder N=1024 speedup {:.2}x below the 3x acceptance bar",
-        n1024.speedup()
+        n1024.speedup_vs_scratch() >= 2.0,
+        "van_gelder N=1024 incremental speedup {:.2}x below the 2x acceptance bar",
+        n1024.speedup_vs_scratch()
     );
     println!(
-        "acceptance: van_gelder N=1024 speedup {:.2}x (>= 3x), zero warm allocations",
-        n1024.speedup()
+        "acceptance: van_gelder N=1024 incremental {:.3}ms, {:.2}x vs scratch \
+         (>= 2x), {:.2}x vs rebuild, zero warm allocations on both paths",
+        n1024.wfm_ns as f64 / 1e6,
+        n1024.speedup_vs_scratch(),
+        n1024.speedup_vs_rebuild()
     );
 }

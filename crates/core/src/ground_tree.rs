@@ -201,11 +201,7 @@ mod tests {
         (s, gp, a)
     }
 
-    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
-        gp.atom_ids()
-            .find(|&a| gp.display_atom(store, a) == text)
-            .unwrap_or_else(|| panic!("atom {text} not found"))
-    }
+    use gsls_ground::testutil::atom_id as id;
 
     #[test]
     fn matches_vp_stages_exactly() {

@@ -178,6 +178,12 @@ impl TabledEngine {
     /// negative literals delete clauses per the Gelfond–Lifschitz reduct
     /// w.r.t. the opposite approximation. Fixpoint detection uses
     /// derivation counts (`T` grows, `U` shrinks along the iteration).
+    ///
+    /// **Singleton fast path:** most SCCs of real dependency graphs are
+    /// single atoms without a self-loop, where every body literal is
+    /// external and already tabled. The three-valued verdict is then two
+    /// classification passes over the atom's clauses — no bitset
+    /// bookkeeping, no restricted fixpoints, no alternating rounds.
     fn solve_scc(&mut self, atoms: &[GroundAtomId]) {
         let Self {
             gp,
@@ -191,6 +197,34 @@ impl TabledEngine {
             u_next,
             ..
         } = self;
+        if let [a] = *atoms {
+            let self_dep = gp.clauses_for(a).iter().any(|&ci| {
+                let c = gp.clause(ci);
+                c.pos.contains(&a) || c.neg.contains(&a)
+            });
+            if !self_dep {
+                let external = |b: GroundAtomId| table[b.index()].expect("external atom tabled");
+                let mut verdict = Truth::False;
+                for &ci in gp.clauses_for(a) {
+                    let c = gp.clause(ci);
+                    // Definite reading: every literal decided its way.
+                    if c.pos.iter().all(|&b| external(b) == Truth::True)
+                        && c.neg.iter().all(|&b| external(b) == Truth::False)
+                    {
+                        verdict = Truth::True;
+                        break;
+                    }
+                    // Possible reading: no literal decided against.
+                    if c.pos.iter().all(|&b| external(b) != Truth::False)
+                        && c.neg.iter().all(|&b| external(b) != Truth::True)
+                    {
+                        verdict = Truth::Undefined;
+                    }
+                }
+                table[a.index()] = Some(verdict);
+                return;
+            }
+        }
         for &a in atoms {
             in_scc.insert(a.index());
             t.remove(a.index());
@@ -291,11 +325,7 @@ mod tests {
         (s, TabledEngine::new(gp))
     }
 
-    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
-        gp.atom_ids()
-            .find(|&a| gp.display_atom(store, a) == text)
-            .unwrap_or_else(|| panic!("atom {text} not found"))
-    }
+    use gsls_ground::testutil::atom_id as id;
 
     #[test]
     fn simple_verdicts() {

@@ -41,6 +41,7 @@
 pub mod depgraph;
 pub mod grounder;
 pub mod herbrand;
+pub mod testutil;
 
 pub use depgraph::{AtomDepGraph, DepGraph, ProgramClass};
 pub use grounder::{

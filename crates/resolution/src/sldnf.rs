@@ -39,7 +39,10 @@ pub enum SldnfOutcome {
     Success,
     /// The SLDNF-tree finitely failed.
     Fail,
-    /// A nonground negative literal had to be selected.
+    /// A nonground negative literal had to be selected. Takes precedence
+    /// over [`SldnfOutcome::Budget`] when both occur: floundering is a
+    /// structural property of the query (no budget increase can fix it),
+    /// while a budget hit merely says "ran out of fuel".
     Floundered,
     /// A depth/node budget was hit before the tree was exhausted — the
     /// search may diverge (SLDNF's incompleteness made observable).
@@ -82,22 +85,11 @@ pub fn sldnf_solve(
                 SldnfOutcome::Success
             }
         }
-        Status::Floundered => {
-            if answers.is_empty() {
-                SldnfOutcome::Floundered
-            } else {
-                // Some branch floundered but another produced an answer:
-                // report success (answers are still sound).
-                SldnfOutcome::Success
-            }
-        }
-        Status::Budget => {
-            if answers.is_empty() {
-                SldnfOutcome::Budget
-            } else {
-                SldnfOutcome::Success
-            }
-        }
+        // Some branch floundered/budgeted but another produced an
+        // answer: report success (answers are still sound).
+        Status::Floundered if answers.is_empty() => SldnfOutcome::Floundered,
+        Status::Budget if answers.is_empty() => SldnfOutcome::Budget,
+        Status::Floundered | Status::Budget => SldnfOutcome::Success,
     };
     SldnfResult {
         outcome,
@@ -116,11 +108,19 @@ enum Status {
 }
 
 impl Status {
+    /// Combines branch statuses. **Precedence (deliberate):**
+    /// `Floundered > Budget > Ok`. A goal that both flounders and
+    /// exhausts its budget reports `Floundered`, because floundering is
+    /// the stronger diagnosis — the query sits outside the allowed
+    /// (safe-rule) fragment and re-running with a larger budget cannot
+    /// help, whereas `Budget` invites exactly that retry. Either
+    /// non-`Ok` status poisons claims of finite failure equally.
+    /// Pinned by `precedence` tests here and in `sldnf_soundness.rs`.
     fn worst(self, other: Status) -> Status {
         use Status::*;
         match (self, other) {
-            (Budget, _) | (_, Budget) => Budget,
             (Floundered, _) | (_, Floundered) => Floundered,
+            (Budget, _) | (_, Budget) => Budget,
             _ => Ok,
         }
     }
@@ -251,6 +251,18 @@ mod tests {
         // ~q(X) becomes ground after p(X) binds X; safe rule must postpone.
         let (_, r) = solve("p(a). q(b).", "?- ~q(X), p(X).");
         assert_eq!(r.outcome, SldnfOutcome::Success);
+    }
+
+    #[test]
+    fn floundering_outranks_budget() {
+        // One branch flounders (nonground negative literal), the other
+        // diverges into the budget. The combined verdict must be
+        // Floundered: that diagnosis survives any budget increase.
+        let (_, r) = solve("r :- ~q(X). r :- p. p :- p. q(a).", "?- r.");
+        assert_eq!(r.outcome, SldnfOutcome::Floundered);
+        // Same program with the branches swapped — order must not matter.
+        let (_, r2) = solve("r :- p. r :- ~q(X). p :- p. q(a).", "?- r.");
+        assert_eq!(r2.outcome, SldnfOutcome::Floundered);
     }
 
     #[test]

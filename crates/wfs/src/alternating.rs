@@ -16,6 +16,7 @@
 //! the quadratic worst case (typically a handful of rounds).
 
 use crate::bitset::BitSet;
+use crate::incremental::{IncrementalLfp, NegMode};
 use crate::interp::Interp;
 use crate::propagator::Propagator;
 use crate::tp::lfp_with_rebuild;
@@ -28,6 +29,13 @@ pub struct AlternatingStats {
     pub reduct_calls: u32,
     /// Number of outer rounds until the fixpoint.
     pub rounds: u32,
+    /// Clause liveness (re)checks across all `A(·)` evaluations. The
+    /// from-scratch path would pay `reduct_calls × #clauses`; the
+    /// difference-driven path pays the two priming scans plus only the
+    /// clauses reachable from context changes through `watch_neg`.
+    pub clause_checks: u64,
+    /// Atoms enqueued (derived or retracted) across all evaluations.
+    pub enqueues: u64,
 }
 
 /// Computes the well-founded model of `gp`.
@@ -37,12 +45,63 @@ pub fn well_founded_model(gp: &GroundProgram) -> Interp {
 
 /// [`well_founded_model`] plus iteration statistics.
 ///
-/// All `A(·)` evaluations share one [`Propagator`] and four bitset
-/// buffers allocated up front, so each reduct call performs zero heap
-/// allocation. Fixpoint detection uses derivation *counts*: along the
-/// alternating iteration `T` grows and `U` shrinks monotonically, so
-/// unchanged cardinalities imply unchanged sets.
+/// **Difference-driven:** the `T`-chain contexts (`U₀ ⊇ U₁ ⊇ …`) and
+/// `U`-chain contexts (`T₀ ⊆ T₁ ⊆ …`) each change by a few atoms per
+/// round, so each chain keeps its own [`IncrementalLfp`] and every
+/// `A(S)` after the first two re-enqueues only the clauses whose
+/// negative context actually changed (revivals on the growing `T`-chain,
+/// retractions on the shrinking `U`-chain) instead of template-copying
+/// all counters and rescanning every clause. After the two priming
+/// scans, per-round work is proportional to the *delta*, and no heap is
+/// allocated once the scratch queues reach steady capacity.
+///
+/// Fixpoint detection uses derivation *counts*: along the alternating
+/// iteration `T` grows and `U` shrinks monotonically, so unchanged
+/// cardinalities imply unchanged sets.
 pub fn well_founded_model_with_stats(gp: &GroundProgram) -> (Interp, AlternatingStats) {
+    let mut t_chain = IncrementalLfp::new(gp, NegMode::SatisfiedOutside);
+    let mut u_chain = IncrementalLfp::new(gp, NegMode::SatisfiedOutside);
+
+    // U₀ = A(T₀) with T₀ = ∅ (the t-chain's not-yet-primed empty out).
+    let mut reduct_calls = 1u32;
+    let mut t_count = 0usize;
+    let mut u_count = u_chain.evaluate(gp, t_chain.out());
+    let mut rounds = 1u32;
+    loop {
+        reduct_calls += 2;
+        let tc = t_chain.evaluate(gp, u_chain.out());
+        let uc = u_chain.evaluate(gp, t_chain.out());
+        let stable = tc == t_count && uc == u_count;
+        t_count = tc;
+        u_count = uc;
+        if stable {
+            break;
+        }
+        rounds += 1;
+    }
+    let stats = AlternatingStats {
+        reduct_calls,
+        rounds,
+        clause_checks: t_chain.stats().clause_checks + u_chain.stats().clause_checks,
+        enqueues: t_chain.stats().enqueues + u_chain.stats().enqueues,
+    };
+    let t = t_chain.into_out();
+    let mut false_set = u_chain.into_out();
+    debug_assert!(
+        t.is_subset(&false_set),
+        "alternating fixpoint order violated"
+    );
+    false_set.complement_in_place();
+    (Interp::from_parts(t, false_set), stats)
+}
+
+/// The full-recompute alternating fixpoint of PR 1: every `A(·)` runs
+/// through one shared [`Propagator`] from scratch (template-copied
+/// counters, full negative-clause rescan). Zero allocation per reduct
+/// call, but O(program) work per call regardless of how little the
+/// context moved. Kept as the measured baseline for the perf harness
+/// and as the differential-testing oracle for the incremental path.
+pub fn well_founded_model_scratch(gp: &GroundProgram) -> Interp {
     let n = gp.atom_count();
     let mut prop = Propagator::new(gp);
     let mut t = BitSet::new(n);
@@ -50,13 +109,9 @@ pub fn well_founded_model_with_stats(gp: &GroundProgram) -> (Interp, Alternating
     let mut t_next = BitSet::new(n);
     let mut u_next = BitSet::new(n);
 
-    // U₀ = A(∅); T₀ = ∅.
-    let mut reduct_calls = 1u32;
     let mut t_count = 0usize;
     let mut u_count = prop.lfp_into(gp, |q| !t.contains(q.index()), &mut u);
-    let mut rounds = 1u32;
     loop {
-        reduct_calls += 2;
         let tc = prop.lfp_into(gp, |q| !u.contains(q.index()), &mut t_next);
         let uc = prop.lfp_into(gp, |q| !t_next.contains(q.index()), &mut u_next);
         debug_assert!(t.is_subset(&t_next), "T must grow monotonically");
@@ -69,17 +124,10 @@ pub fn well_founded_model_with_stats(gp: &GroundProgram) -> (Interp, Alternating
         if stable {
             break;
         }
-        rounds += 1;
     }
     debug_assert!(t.is_subset(&u), "alternating fixpoint order violated");
     u.complement_in_place();
-    (
-        Interp::from_parts(t, u),
-        AlternatingStats {
-            reduct_calls,
-            rounds,
-        },
-    )
+    Interp::from_parts(t, u)
 }
 
 /// The pre-propagator baseline: identical semantics to
@@ -110,7 +158,8 @@ mod tests {
     use super::*;
     use crate::interp::Truth;
     use crate::wp::{vp_iteration, wp_iteration};
-    use gsls_ground::{GroundAtomId, Grounder};
+    use gsls_ground::testutil::atom_id as id;
+    use gsls_ground::Grounder;
     use gsls_lang::{parse_program, TermStore};
 
     fn wfm(src: &str) -> (TermStore, GroundProgram, Interp) {
@@ -119,12 +168,6 @@ mod tests {
         let gp = Grounder::ground(&mut s, &p).unwrap();
         let m = well_founded_model(&gp);
         (s, gp, m)
-    }
-
-    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
-        gp.atom_ids()
-            .find(|&a| gp.display_atom(store, a) == text)
-            .unwrap_or_else(|| panic!("atom {text} not found"))
     }
 
     #[test]
@@ -186,6 +229,50 @@ mod tests {
         let (_, stats) = well_founded_model_with_stats(&gp);
         assert!(stats.reduct_calls >= 3);
         assert!(stats.rounds >= 1);
+        assert!(stats.clause_checks >= 2 * gp.clause_count() as u64);
+    }
+
+    #[test]
+    fn incremental_equals_scratch_and_rebuild() {
+        for src in [
+            "q. p :- ~q. r :- ~p.",
+            "p :- ~q. q :- ~p. r :- ~s. s.",
+            "p :- ~q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.",
+            "p :- ~p. q :- ~s, ~p. s :- ~q.",
+            "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+            "e(a, b). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        ] {
+            let mut s = TermStore::new();
+            let p = parse_program(&mut s, src).unwrap();
+            let gp = Grounder::ground(&mut s, &p).unwrap();
+            let inc = well_founded_model(&gp);
+            assert_eq!(inc, well_founded_model_scratch(&gp), "scratch: {src}");
+            assert_eq!(inc, well_founded_model_rebuild(&gp), "rebuild: {src}");
+        }
+    }
+
+    #[test]
+    fn deep_chain_does_delta_sized_rounds() {
+        // a_i :- ~a_{i+1}: the alternating iteration takes many rounds,
+        // each changing O(1) atoms — exactly the shape the incremental
+        // path exists for. Total clause checks must stay far below
+        // reduct_calls × clauses.
+        let mut src = String::from("a40.\n");
+        for i in (0..40).rev() {
+            src.push_str(&format!("a{} :- ~a{}.\n", i, i + 1));
+        }
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, &src).unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        let (m, stats) = well_founded_model_with_stats(&gp);
+        assert!(m.is_total());
+        let scratch_checks = stats.reduct_calls as u64 * gp.clause_count() as u64;
+        assert!(
+            stats.clause_checks < scratch_checks / 4,
+            "incremental checks {} vs scratch-equivalent {}",
+            stats.clause_checks,
+            scratch_checks
+        );
     }
 
     #[test]

@@ -156,15 +156,26 @@ impl BitSet {
         debug_assert_eq!(self.len, other.len);
         self.words.copy_from_slice(&other.words);
     }
-}
 
-impl FromIterator<usize> for BitSet {
-    /// Builds a set sized to the maximum element + 1.
-    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
-        let items: Vec<usize> = iter.into_iter().collect();
-        let cap = items.iter().max().map_or(0, |&m| m + 1);
+    /// The raw backing words, read-only. Lets the incremental fixpoint
+    /// engines diff two same-capacity sets word-by-word instead of
+    /// probing every index.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a set with explicit capacity `cap` from an iterator of
+    /// member indices.
+    ///
+    /// This is the only iterator constructor: sizing a set to its
+    /// largest member (as a `FromIterator` impl once did) silently
+    /// violates the capacity-equality contract every binary operation
+    /// (`union_with`, `is_subset`, …) debug-asserts the moment such a
+    /// set meets a program-sized one.
+    pub fn from_indices(cap: usize, iter: impl IntoIterator<Item = usize>) -> Self {
         let mut s = BitSet::new(cap);
-        for i in items {
+        for i in iter {
             s.insert(i);
         }
         s
@@ -239,11 +250,18 @@ mod tests {
     }
 
     #[test]
-    fn from_iterator() {
-        let s: BitSet = [3usize, 5, 9].into_iter().collect();
-        assert_eq!(s.capacity(), 10);
+    fn from_indices_respects_requested_capacity() {
+        let s = BitSet::from_indices(100, [3usize, 5, 9]);
+        assert_eq!(s.capacity(), 100);
         assert_eq!(s.count(), 3);
         assert!(s.contains(9));
+        // The whole point: it can meet a program-sized set without
+        // tripping the capacity-equality contract.
+        let mut program_sized = BitSet::new(100);
+        program_sized.insert(64);
+        program_sized.union_with(&s);
+        assert_eq!(program_sized.count(), 4);
+        assert!(s.is_subset(&program_sized));
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub fn fitting_model(gp: &GroundProgram) -> Interp {
 mod tests {
     use super::*;
     use crate::alternating::well_founded_model;
-    use gsls_ground::{GroundAtomId, Grounder, GrounderOpts, GroundingMode};
+    use gsls_ground::{Grounder, GrounderOpts, GroundingMode};
     use gsls_lang::{parse_program, TermStore};
 
     fn models(src: &str) -> (TermStore, GroundProgram, Interp, Interp) {
@@ -117,11 +117,7 @@ mod tests {
         (s, gp, f, w)
     }
 
-    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
-        gp.atom_ids()
-            .find(|&a| gp.display_atom(store, a) == text)
-            .unwrap_or_else(|| panic!("atom {text} not found"))
-    }
+    use gsls_ground::testutil::atom_id as id;
 
     #[test]
     fn positive_loop_separates_fitting_from_wfs() {

@@ -1,0 +1,587 @@
+//! Difference-driven reduct least fixpoints — the incremental mode of
+//! the propagation substrate.
+//!
+//! The alternating fixpoint, the `V_P` stages, and every other engine
+//! that iterates `A(S)` evaluate long chains of reduct fixpoints whose
+//! negative contexts differ in only a few atoms. The full-recompute path
+//! ([`crate::propagator::Propagator::lfp_into`]) pays O(program) per
+//! call regardless: it template-copies every counter and rescans every
+//! clause with negative literals. [`IncrementalLfp`] instead keeps the
+//! previous call's state alive — the missing-positive counters, the
+//! derived set, and an owned copy of the context — and on the next call
+//! diffs the new context against the stored one word-by-word,
+//! re-enqueueing only the clauses reachable from *changed* atoms through
+//! the `watch_neg` CSR index:
+//!
+//! * a clause whose blockers all left the context is **revived**: its
+//!   counter is recomputed against the live derived set and, when
+//!   already complete, its head re-enters the work queue;
+//! * a clause whose blocker entered the context is **re-deleted**; if it
+//!   was satisfied, the derivation it provided is invalidated and the
+//!   dependent cone is retracted by delete-and-rederive: overdelete
+//!   through `watch_pos` (removing every atom whose derivation used a
+//!   retracted atom, which correctly kills positive support cycles that
+//!   reference counting alone would keep alive), then re-derive the
+//!   overdeleted atoms that still have surviving support.
+//!
+//! The result equals a from-scratch `lfp_into` on every call (the
+//! workspace property tests compare them on random programs and random
+//! context walks); the work per call is proportional to the *change*
+//! between contexts plus the size of the affected cone, not to program
+//! size. After the first (priming) call, `evaluate` performs zero heap
+//! allocation once its scratch vectors have reached steady capacity.
+//!
+//! Both readings of a negative literal are supported ([`NegMode`]), so
+//! one type serves the Gelfond–Lifschitz chains (`A(S)`, blockers are
+//! context members) and the `T̄^ω(S⁻)` chains of the `V_P` iteration
+//! (blockers are context non-members).
+
+use crate::bitset::BitSet;
+use gsls_ground::{GroundAtomId, GroundProgram};
+
+/// Sentinel marking a clause deleted under the current context.
+const DEAD: u32 = u32::MAX;
+
+/// How a negative body literal `¬q` reads the context set `S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegMode {
+    /// `¬q` is satisfied iff `q ∉ S` — the Gelfond–Lifschitz reduct
+    /// `A(S)` of the alternating fixpoint.
+    SatisfiedOutside,
+    /// `¬q` is satisfied iff `q ∈ S` — the `T̄^ω(S⁻)` reading of
+    /// Lemma 4.2, where `S` is a set of already-false atoms.
+    SatisfiedInside,
+}
+
+/// Work counters for one [`IncrementalLfp`] across its lifetime.
+///
+/// `clause_checks` is the comparable unit between the incremental and
+/// full-recompute paths: the full path examines every clause with
+/// negative literals on every call, the incremental path only those
+/// reachable from context changes through `watch_neg`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncStats {
+    /// Number of `evaluate` calls.
+    pub evaluations: u64,
+    /// Clause liveness (re)evaluations, including the priming scan.
+    pub clause_checks: u64,
+    /// Atoms pushed onto a work queue (derivation or retraction).
+    pub enqueues: u64,
+}
+
+/// A reduct least fixpoint maintained incrementally across a chain of
+/// nearby contexts.
+#[derive(Debug, Clone)]
+pub struct IncrementalLfp {
+    mode: NegMode,
+    /// The context the current state reflects (owned copy; diffed
+    /// against the caller's set on each call).
+    s: BitSet,
+    /// The least fixpoint of the reduct w.r.t. `s`.
+    out: BitSet,
+    out_count: usize,
+    /// Per-clause count of positive body occurrences not yet in `out`
+    /// (`DEAD` = deleted under the current context). Invariant between
+    /// calls, for alive clauses: `missing[ci]` = number of positive
+    /// occurrences whose atom is outside `out`.
+    missing: Vec<u32>,
+    /// Derivation work queue (atoms inserted into `out`, not yet
+    /// propagated).
+    queue: Vec<u32>,
+    /// Atoms retracted during the current call, in retraction order;
+    /// doubles as the overdeletion queue (cursor-driven) and the
+    /// re-derivation candidate list.
+    retracted: Vec<u32>,
+    /// Scratch: atoms whose toggle makes them block watching clauses.
+    now_blocking: Vec<u32>,
+    /// Scratch: atoms whose toggle unblocks watching clauses.
+    now_unblocked: Vec<u32>,
+    /// Scratch: heads of clauses revived complete (inserted after all
+    /// revival counters are computed, so counts never see pending
+    /// queue entries).
+    revived_heads: Vec<u32>,
+    primed: bool,
+    stats: IncStats,
+    n_atoms: usize,
+}
+
+impl IncrementalLfp {
+    /// Creates an engine sized to `gp` (which must stay finalized and
+    /// unchanged for this engine's lifetime).
+    pub fn new(gp: &GroundProgram, mode: NegMode) -> Self {
+        assert!(
+            gp.is_finalized(),
+            "IncrementalLfp requires a finalized GroundProgram"
+        );
+        let n = gp.atom_count();
+        IncrementalLfp {
+            mode,
+            s: BitSet::new(n),
+            out: BitSet::new(n),
+            out_count: 0,
+            missing: vec![0; gp.clause_count()],
+            queue: Vec::new(),
+            retracted: Vec::new(),
+            now_blocking: Vec::new(),
+            now_unblocked: Vec::new(),
+            revived_heads: Vec::new(),
+            primed: false,
+            stats: IncStats::default(),
+            n_atoms: n,
+        }
+    }
+
+    /// The current fixpoint (valid after the first [`Self::evaluate`];
+    /// empty before).
+    pub fn out(&self) -> &BitSet {
+        &self.out
+    }
+
+    /// Number of atoms in the current fixpoint.
+    pub fn count(&self) -> usize {
+        self.out_count
+    }
+
+    /// Lifetime work counters.
+    pub fn stats(&self) -> IncStats {
+        self.stats
+    }
+
+    /// Consumes the engine, returning the fixpoint set (for final model
+    /// construction without a copy).
+    pub fn into_out(self) -> BitSet {
+        self.out
+    }
+
+    #[inline]
+    fn sat(s: &BitSet, mode: NegMode, q: GroundAtomId) -> bool {
+        s.contains(q.index()) == (mode == NegMode::SatisfiedInside)
+    }
+
+    /// Brings the fixpoint to the reduct of `gp` w.r.t. `context` and
+    /// returns its cardinality. The first call computes from scratch;
+    /// every later call re-enqueues only clauses reachable from the
+    /// context delta through `watch_neg`.
+    pub fn evaluate(&mut self, gp: &GroundProgram, context: &BitSet) -> usize {
+        debug_assert_eq!(self.missing.len(), gp.clause_count(), "program changed");
+        debug_assert_eq!(self.n_atoms, gp.atom_count(), "program changed");
+        debug_assert_eq!(context.capacity(), self.n_atoms);
+        self.stats.evaluations += 1;
+        if !self.primed {
+            self.prime(gp, context);
+        } else {
+            self.update(gp, context);
+        }
+        self.out_count
+    }
+
+    /// The from-scratch first call: identical structure to
+    /// `Propagator::lfp_into`, but leaves counters/out/context alive for
+    /// the incremental calls that follow.
+    fn prime(&mut self, gp: &GroundProgram, context: &BitSet) {
+        self.s.copy_from(context);
+        self.out.clear();
+        self.out_count = 0;
+        self.queue.clear();
+        self.stats.clause_checks += gp.clause_count() as u64;
+        for (ci, c) in gp.clauses().enumerate() {
+            if c.neg.iter().all(|&q| Self::sat(&self.s, self.mode, q)) {
+                self.missing[ci] = c.pos.len() as u32;
+                if c.pos.is_empty() {
+                    self.insert(c.head);
+                }
+            } else {
+                self.missing[ci] = DEAD;
+            }
+        }
+        self.propagate(gp);
+        self.primed = true;
+    }
+
+    /// One delta step: diff the stored context against `context`, flip
+    /// clause liveness through `watch_neg`, retract the cone of broken
+    /// derivations, revive and re-derive, then drain the queue.
+    fn update(&mut self, gp: &GroundProgram, context: &BitSet) {
+        // Phase 1: word-wise diff into "now blocks its watchers" /
+        // "no longer blocks its watchers" atom lists.
+        self.now_blocking.clear();
+        self.now_unblocked.clear();
+        let inside = self.mode == NegMode::SatisfiedInside;
+        for (wi, (&sw, &nw)) in self.s.words().iter().zip(context.words()).enumerate() {
+            let mut diff = sw ^ nw;
+            while diff != 0 {
+                let bit = diff.trailing_zeros();
+                diff &= diff - 1;
+                let a = (wi * 64) as u32 + bit;
+                let now_in = nw & (1u64 << bit) != 0;
+                if now_in != inside {
+                    self.now_blocking.push(a);
+                } else {
+                    self.now_unblocked.push(a);
+                }
+            }
+        }
+        self.s.copy_from(context);
+        if self.now_blocking.is_empty() && self.now_unblocked.is_empty() {
+            return;
+        }
+
+        // Phase 2: re-delete clauses that gained a blocker. A deleted
+        // clause that was satisfied invalidates one derivation of its
+        // head: overdelete the head and cascade through watch_pos
+        // (delete-and-rederive; support counting alone would keep
+        // positive cycles alive).
+        self.retracted.clear();
+        let heads = gp.heads();
+        let watch_pos = gp.watch_pos_index();
+        for i in 0..self.now_blocking.len() {
+            let q = self.now_blocking[i];
+            for &ci in gp.watch_neg(GroundAtomId(q)) {
+                let m = self.missing[ci as usize];
+                if m == DEAD {
+                    continue;
+                }
+                self.stats.clause_checks += 1;
+                self.missing[ci as usize] = DEAD;
+                if m == 0 {
+                    self.retract(heads[ci as usize]);
+                }
+            }
+        }
+        let mut cursor = 0;
+        while cursor < self.retracted.len() {
+            let a = self.retracted[cursor];
+            cursor += 1;
+            for &ci in watch_pos.row(a as usize) {
+                let m = &mut self.missing[ci as usize];
+                if *m == DEAD {
+                    continue;
+                }
+                let was_satisfied = *m == 0;
+                *m += 1;
+                if was_satisfied {
+                    self.retract(heads[ci as usize]);
+                }
+            }
+        }
+
+        // Phase 3a: revive clauses that lost their last blocker,
+        // recomputing counters against the (post-retraction) derived
+        // set. No insertions happen here: counters computed from `out`
+        // must never see atoms that are pending in the queue, or the
+        // later queue drain would decrement them twice.
+        self.revived_heads.clear();
+        for i in 0..self.now_unblocked.len() {
+            let q = self.now_unblocked[i];
+            for &ci in gp.watch_neg(GroundAtomId(q)) {
+                if self.missing[ci as usize] != DEAD {
+                    continue;
+                }
+                self.stats.clause_checks += 1;
+                let c = gp.clause(ci);
+                if !c.neg.iter().all(|&b| Self::sat(&self.s, self.mode, b)) {
+                    continue; // still blocked by another context atom
+                }
+                let m = c
+                    .pos
+                    .iter()
+                    .filter(|&&p| !self.out.contains(p.index()))
+                    .count() as u32;
+                self.missing[ci as usize] = m;
+                if m == 0 {
+                    self.revived_heads.push(c.head.0);
+                }
+            }
+        }
+        // Phase 3b: insert the heads of complete revived clauses.
+        for i in 0..self.revived_heads.len() {
+            let h = self.revived_heads[i];
+            self.insert(GroundAtomId(h));
+        }
+
+        // Phase 4: re-derive retracted atoms with surviving support —
+        // an alive clause whose counter is zero derives its head
+        // outright; the rest (re)complete during propagation, if at all.
+        for i in 0..self.retracted.len() {
+            let a = self.retracted[i];
+            if self.out.contains(a as usize) {
+                continue;
+            }
+            if gp
+                .clauses_for(GroundAtomId(a))
+                .iter()
+                .any(|&ci| self.missing[ci as usize] == 0)
+            {
+                self.insert(GroundAtomId(a));
+            }
+        }
+
+        // Phase 5: drain the derivation queue.
+        self.propagate(gp);
+    }
+
+    #[inline]
+    fn insert(&mut self, a: GroundAtomId) {
+        if self.out.insert(a.index()) {
+            self.out_count += 1;
+            self.stats.enqueues += 1;
+            self.queue.push(a.0);
+        }
+    }
+
+    #[inline]
+    fn retract(&mut self, a: GroundAtomId) {
+        if self.out.remove(a.index()) {
+            self.out_count -= 1;
+            self.stats.enqueues += 1;
+            self.retracted.push(a.0);
+        }
+    }
+
+    /// Standard counter-decrement drain over `watch_pos`.
+    fn propagate(&mut self, gp: &GroundProgram) {
+        let watch = gp.watch_pos_index();
+        let heads = gp.heads();
+        while let Some(a) = self.queue.pop() {
+            for &ci in watch.row(a as usize) {
+                let m = &mut self.missing[ci as usize];
+                if *m == DEAD {
+                    continue;
+                }
+                debug_assert!(*m > 0, "over-decrement in incremental propagation");
+                *m -= 1;
+                if *m == 0 {
+                    let head = heads[ci as usize];
+                    if self.out.insert(head.index()) {
+                        self.out_count += 1;
+                        self.stats.enqueues += 1;
+                        self.queue.push(head.0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagator::Propagator;
+    use gsls_ground::testutil::atom_id;
+    use gsls_ground::Grounder;
+    use gsls_lang::{parse_program, TermStore};
+
+    fn ground(src: &str) -> (TermStore, GroundProgram) {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground(&mut s, &p).unwrap();
+        (s, gp)
+    }
+
+    /// Oracle: from-scratch propagator fixpoint for the same context.
+    fn scratch(gp: &GroundProgram, s: &BitSet, mode: NegMode) -> BitSet {
+        let mut prop = Propagator::new(gp);
+        let mut out = BitSet::new(gp.atom_count());
+        match mode {
+            NegMode::SatisfiedOutside => prop.lfp_into(gp, |q| !s.contains(q.index()), &mut out),
+            NegMode::SatisfiedInside => prop.lfp_into(gp, |q| s.contains(q.index()), &mut out),
+        };
+        out
+    }
+
+    #[test]
+    fn revival_grows_the_fixpoint() {
+        let (s, gp) = ground("p :- ~q. r :- p. q :- ~z. t.");
+        let n = gp.atom_count();
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        // Context {q}: p's clause deleted.
+        let mut ctx = BitSet::new(n);
+        ctx.insert(atom_id(&s, &gp, "q").index());
+        inc.evaluate(&gp, &ctx);
+        assert!(!inc.out().contains(atom_id(&s, &gp, "p").index()));
+        // q leaves the context: p and r revive incrementally.
+        ctx.clear();
+        let count = inc.evaluate(&gp, &ctx);
+        assert!(inc.out().contains(atom_id(&s, &gp, "p").index()));
+        assert!(inc.out().contains(atom_id(&s, &gp, "r").index()));
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedOutside), inc.out());
+        assert_eq!(count, inc.out().count());
+    }
+
+    #[test]
+    fn deletion_retracts_the_cone() {
+        let (s, gp) = ground("p :- ~q. r :- p. u :- r. t. q :- ~z. z :- ~w.");
+        let n = gp.atom_count();
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        // Empty context: everything is derivable.
+        let mut ctx = BitSet::new(n);
+        inc.evaluate(&gp, &ctx);
+        assert!(inc.out().contains(atom_id(&s, &gp, "u").index()));
+        // q enters the context: the whole p→r→u cone must retract,
+        // while the unrelated t/q/z derivations survive.
+        ctx.insert(atom_id(&s, &gp, "q").index());
+        inc.evaluate(&gp, &ctx);
+        assert!(!inc.out().contains(atom_id(&s, &gp, "p").index()));
+        assert!(!inc.out().contains(atom_id(&s, &gp, "r").index()));
+        assert!(!inc.out().contains(atom_id(&s, &gp, "u").index()));
+        assert!(inc.out().contains(atom_id(&s, &gp, "t").index()));
+        assert!(inc.out().contains(atom_id(&s, &gp, "z").index()));
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedOutside), inc.out());
+    }
+
+    #[test]
+    fn positive_cycle_support_dies_with_its_base() {
+        // a and b support each other positively; the only external base
+        // is a :- ~q. Blocking it must retract the whole cycle — the
+        // case plain reference counting gets wrong.
+        use gsls_ground::{GrounderOpts, GroundingMode};
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "a :- b. b :- a. a :- ~q. q :- ~z.").unwrap();
+        let gp = Grounder::ground_with(
+            &mut s,
+            &p,
+            GrounderOpts {
+                mode: GroundingMode::Full,
+                ..GrounderOpts::default()
+            },
+        )
+        .unwrap();
+        let n = gp.atom_count();
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        let ctx = BitSet::new(n);
+        inc.evaluate(&gp, &ctx);
+        assert!(inc.out().contains(atom_id(&s, &gp, "a").index()));
+        assert!(inc.out().contains(atom_id(&s, &gp, "b").index()));
+        let mut ctx2 = BitSet::new(n);
+        ctx2.insert(atom_id(&s, &gp, "q").index());
+        inc.evaluate(&gp, &ctx2);
+        assert!(!inc.out().contains(atom_id(&s, &gp, "a").index()));
+        assert!(!inc.out().contains(atom_id(&s, &gp, "b").index()));
+        assert_eq!(&scratch(&gp, &ctx2, NegMode::SatisfiedOutside), inc.out());
+    }
+
+    #[test]
+    fn retraction_keeps_alternative_support() {
+        // c has two independent derivations; killing one keeps c.
+        let (s, gp) = ground("c :- a. c :- b. a :- ~p. b :- ~q. p :- ~z0. q :- ~z1. d :- c.");
+        let n = gp.atom_count();
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        let mut ctx = BitSet::new(n);
+        ctx.insert(atom_id(&s, &gp, "p").index());
+        ctx.insert(atom_id(&s, &gp, "q").index());
+        inc.evaluate(&gp, &ctx);
+        // Unblock both a and b.
+        ctx.clear();
+        inc.evaluate(&gp, &ctx);
+        assert!(inc.out().contains(atom_id(&s, &gp, "c").index()));
+        // Re-block a only: c survives via b, d survives via c.
+        ctx.insert(atom_id(&s, &gp, "p").index());
+        inc.evaluate(&gp, &ctx);
+        assert!(!inc.out().contains(atom_id(&s, &gp, "a").index()));
+        assert!(inc.out().contains(atom_id(&s, &gp, "b").index()));
+        assert!(inc.out().contains(atom_id(&s, &gp, "c").index()));
+        assert!(inc.out().contains(atom_id(&s, &gp, "d").index()));
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedOutside), inc.out());
+    }
+
+    #[test]
+    fn mixed_delta_revive_and_delete_in_one_call() {
+        let (s, gp) = ground("p :- ~q. r :- ~w. x :- p, r. q :- ~z0. w :- ~z1.");
+        let n = gp.atom_count();
+        let q = atom_id(&s, &gp, "q").index();
+        let w = atom_id(&s, &gp, "w").index();
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        let mut ctx = BitSet::new(n);
+        ctx.insert(q);
+        inc.evaluate(&gp, &ctx);
+        // One call: q leaves (revives p), w enters (kills r).
+        ctx.clear();
+        ctx.insert(w);
+        inc.evaluate(&gp, &ctx);
+        assert!(inc.out().contains(atom_id(&s, &gp, "p").index()));
+        assert!(!inc.out().contains(atom_id(&s, &gp, "r").index()));
+        assert!(!inc.out().contains(atom_id(&s, &gp, "x").index()));
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedOutside), inc.out());
+    }
+
+    #[test]
+    fn inside_mode_matches_scratch() {
+        let (s, gp) = ground("p :- ~q. t :- p, ~r. u :- t.");
+        let n = gp.atom_count();
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedInside);
+        let mut ctx = BitSet::new(n);
+        inc.evaluate(&gp, &ctx);
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedInside), inc.out());
+        // q becomes known-false: p derivable.
+        ctx.insert(atom_id(&s, &gp, "q").index());
+        inc.evaluate(&gp, &ctx);
+        assert!(inc.out().contains(atom_id(&s, &gp, "p").index()));
+        assert!(!inc.out().contains(atom_id(&s, &gp, "t").index()));
+        ctx.insert(atom_id(&s, &gp, "r").index());
+        inc.evaluate(&gp, &ctx);
+        assert!(inc.out().contains(atom_id(&s, &gp, "u").index()));
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedInside), inc.out());
+    }
+
+    #[test]
+    fn random_context_walk_matches_scratch() {
+        // A deterministic pseudo-random walk over contexts, including
+        // non-monotone flips, duplicate negative literals, and facts —
+        // run in both modes so both retraction paths are exercised.
+        let (_, gp) = ground(
+            "f. p :- ~a, ~a. q :- p, ~b. r :- q, ~c. s :- ~p. \
+             t :- s, r. a :- ~d. b :- ~e. c :- f, ~g.",
+        );
+        let n = gp.atom_count();
+        for mode in [NegMode::SatisfiedOutside, NegMode::SatisfiedInside] {
+            let mut inc = IncrementalLfp::new(&gp, mode);
+            let mut ctx = BitSet::new(n);
+            let mut state = 0x9e3779b97f4a7c15u64;
+            for step in 0..200 {
+                // Flip 1–3 pseudo-random atoms.
+                for _ in 0..(1 + step % 3) {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let a = (state >> 33) as usize % n;
+                    if ctx.contains(a) {
+                        ctx.remove(a);
+                    } else {
+                        ctx.insert(a);
+                    }
+                }
+                let count = inc.evaluate(&gp, &ctx);
+                let oracle = scratch(&gp, &ctx, mode);
+                assert_eq!(inc.out(), &oracle, "step {step} ({mode:?})");
+                assert_eq!(count, oracle.count(), "step {step} ({mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_context_is_a_no_op() {
+        let (_, gp) = ground("p :- ~q. r :- p.");
+        let n = gp.atom_count();
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        let ctx = BitSet::new(n);
+        let c1 = inc.evaluate(&gp, &ctx);
+        let checks_after_prime = inc.stats().clause_checks;
+        let c2 = inc.evaluate(&gp, &ctx);
+        assert_eq!(c1, c2);
+        assert_eq!(
+            inc.stats().clause_checks,
+            checks_after_prime,
+            "no clause may be re-checked for an identical context"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finalized")]
+    fn unfinalized_program_rejected() {
+        let mut gp = GroundProgram::new();
+        let mut s = TermStore::new();
+        let sym = s.intern_symbol("x");
+        gp.intern_atom(gsls_lang::Atom::new(sym, Vec::new()));
+        let _ = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+    }
+}

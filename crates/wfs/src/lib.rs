@@ -7,6 +7,11 @@
 //! * [`interp`] — three-valued partial interpretations (Def. 1.7);
 //! * [`propagator`] — the **reusable Dowling–Gallier propagation
 //!   context** every engine's least fixpoints run through;
+//! * [`incremental`] — the **difference-driven** mode of that substrate:
+//!   reduct fixpoints maintained across a chain of nearby contexts, with
+//!   work proportional to the context *delta* (revive / delete-and-
+//!   rederive through `watch_neg`), backing the alternating fixpoint and
+//!   the `V_P` stages;
 //! * [`tp`] — the immediate-consequence operators `T_P`, `T̄_P` and the
 //!   linear-time reduct least fixpoint (convenience wrappers over the
 //!   propagator, plus the rebuild-per-call baseline for the perf
@@ -41,6 +46,7 @@
 pub mod alternating;
 pub mod bitset;
 pub mod fitting;
+pub mod incremental;
 pub mod interp;
 pub mod propagator;
 pub mod stable;
@@ -49,10 +55,12 @@ pub mod unfounded;
 pub mod wp;
 
 pub use alternating::{
-    well_founded_model, well_founded_model_rebuild, well_founded_model_with_stats, AlternatingStats,
+    well_founded_model, well_founded_model_rebuild, well_founded_model_scratch,
+    well_founded_model_with_stats, AlternatingStats,
 };
 pub use bitset::BitSet;
 pub use fitting::{fitting_model, phi};
+pub use incremental::{IncStats, IncrementalLfp, NegMode};
 pub use interp::{Interp, Truth};
 pub use propagator::Propagator;
 pub use stable::{is_stable_model, stable_intersection, stable_models, wfm_within_all_stable};

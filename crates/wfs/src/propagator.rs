@@ -41,6 +41,12 @@
 //! O(clauses) reset is ever needed. Full-program calls instead mark
 //! reduct-deleted clauses with a `u32::MAX` sentinel in the (freshly
 //! template-copied) counter array.
+//!
+//! Every call here recomputes from scratch (O(program) even for a
+//! context that barely moved). Engines that evaluate a *chain* of
+//! nearby contexts — the alternating fixpoint, the `V_P` stages — use
+//! the substrate's difference-driven mode instead:
+//! [`crate::incremental::IncrementalLfp`].
 
 use crate::bitset::BitSet;
 use crate::interp::Interp;
@@ -320,6 +326,7 @@ impl Propagator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gsls_ground::testutil::atom_id as id;
     use gsls_ground::Grounder;
     use gsls_lang::{parse_program, TermStore};
 
@@ -328,12 +335,6 @@ mod tests {
         let p = parse_program(&mut s, src).unwrap();
         let gp = Grounder::ground(&mut s, &p).unwrap();
         (s, gp)
-    }
-
-    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
-        gp.atom_ids()
-            .find(|&a| gp.display_atom(store, a) == text)
-            .unwrap_or_else(|| panic!("atom {text} not found"))
     }
 
     #[test]

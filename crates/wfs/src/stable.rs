@@ -8,14 +8,23 @@
 //! * programs like `p ← ¬p` have no stable model, while the WFS still
 //!   assigns (undefined) meaning.
 //!
-//! The enumerator prunes with the WFM first and then branches on the
-//! remaining undefined atoms — exponential only in the undefined residue,
-//! which is what small-model comparisons need.
+//! The enumerator prunes with the WFM first and then runs
+//! **branch-and-propagate** over the remaining undefined atoms: branch
+//! one atom at a time, and at every node bound all completions of the
+//! partial assignment by two reduct fixpoints — `lfp` w.r.t. the
+//! smallest consistent candidate over-approximates what any completion
+//! can derive, `lfp` w.r.t. the largest under-approximates what every
+//! completion must derive. Candidates whose bounds already contradict
+//! the assignment are pruned, and forced atoms are propagated without
+//! branching. Unlike the `2^k` candidate-mask loop this replaces (which
+//! hard-panicked above 26 undefined atoms), the residue size only
+//! bounds the branching *depth*; time is spent per surviving branch,
+//! not per subset.
 
 use crate::alternating::well_founded_model;
 use crate::bitset::BitSet;
+use crate::incremental::{IncrementalLfp, NegMode};
 use crate::interp::Interp;
-use crate::propagator::Propagator;
 use crate::tp::lfp_with;
 use gsls_ground::GroundProgram;
 
@@ -27,41 +36,162 @@ pub fn is_stable_model(gp: &GroundProgram, s: &BitSet) -> bool {
 }
 
 /// Enumerates up to `limit` stable models (as true-sets over the atom
-/// space of `gp`), in a deterministic order.
+/// space of `gp`), in a deterministic (but otherwise unspecified) order.
+///
+/// Works for any undefined-residue size: the search branches atom by
+/// atom and prunes with reduct-fixpoint bounds, so programs whose WFM
+/// leaves hundreds of atoms undefined enumerate fine as long as the
+/// requested number of models (and the genuinely ambiguous branching)
+/// stays manageable.
 pub fn stable_models(gp: &GroundProgram, limit: usize) -> Vec<BitSet> {
+    if limit == 0 {
+        return Vec::new();
+    }
     let wfm = well_founded_model(gp);
-    let undefined: Vec<usize> = wfm.iter_undefined().map(|a| a.index()).collect();
-    let mut out = Vec::new();
-    // Branch over the undefined residue only: stable models agree with the
-    // WFM on its defined part.
-    let base: BitSet = {
-        let mut b = BitSet::new(gp.atom_count());
-        for a in wfm.iter_true() {
-            b.insert(a.index());
-        }
-        b
+    let n = gp.atom_count();
+    // Stable models agree with the WFM on its defined part: true atoms
+    // seed the candidate, false atoms are excluded outright, and the
+    // search space is the undefined residue only.
+    let mut search = StableSearch {
+        gp,
+        in_set: BitSet::from_indices(n, wfm.iter_true().map(|a| a.index())),
+        out_set: BitSet::from_indices(n, wfm.iter_false().map(|a| a.index())),
+        free: wfm.iter_undefined().map(|a| a.index()).collect(),
+        upper: IncrementalLfp::new(gp, NegMode::SatisfiedOutside),
+        lower: IncrementalLfp::new(gp, NegMode::SatisfiedInside),
+        trail: Vec::new(),
+        models: Vec::new(),
+        limit,
     };
-    let k = undefined.len();
-    assert!(k <= 26, "undefined residue too large to enumerate ({k})");
-    // One propagator and one scratch set serve every candidate check.
-    let mut prop = Propagator::new(gp);
-    let mut lfp = BitSet::new(gp.atom_count());
-    for mask in 0u64..(1u64 << k) {
-        if out.len() >= limit {
-            break;
+    search.dfs();
+    search.models
+}
+
+/// State of the branch-and-propagate enumeration.
+struct StableSearch<'a> {
+    gp: &'a GroundProgram,
+    /// WFM-true atoms plus atoms decided/forced true on this branch.
+    in_set: BitSet,
+    /// WFM-false atoms plus atoms decided/forced false on this branch.
+    out_set: BitSet,
+    /// The undefined residue (ascending atom index — branch order).
+    free: Vec<usize>,
+    /// `lfp` w.r.t. the smallest candidate `in_set` — an upper bound on
+    /// what any completion derives (antimonotonicity of the reduct).
+    /// Difference-driven: along the DFS, consecutive contexts differ by
+    /// the few atoms assigned or undone between nodes, so each bound
+    /// update costs delta work, not a program rescan.
+    upper: IncrementalLfp,
+    /// `lfp` w.r.t. the largest candidate `¬out_set` — a lower bound on
+    /// what every completion derives (`¬q` satisfied iff `q ∈ out_set`).
+    lower: IncrementalLfp,
+    /// Atoms assigned since the search began, for backtracking: the
+    /// bool records which side (`true` = `in_set`).
+    trail: Vec<(usize, bool)>,
+    models: Vec<BitSet>,
+    limit: usize,
+}
+
+impl StableSearch<'_> {
+    fn dfs(&mut self) {
+        if self.models.len() >= self.limit {
+            return;
         }
-        let mut s = base.clone();
-        for (bit, &a) in undefined.iter().enumerate() {
-            if mask & (1 << bit) != 0 {
-                s.insert(a);
+        let mark = self.trail.len();
+        if self.propagate() {
+            match self.first_unassigned() {
+                None => {
+                    // Complete assignment that survived the bound
+                    // checks: upper == in_set == lfp of its own reduct,
+                    // i.e. a stable model.
+                    debug_assert!(is_stable_model(self.gp, &self.in_set));
+                    self.models.push(self.in_set.clone());
+                }
+                Some(a) => {
+                    // This node's forced assignments (made by propagate
+                    // above) stay in place for both branches; only the
+                    // branch decision itself is undone in between.
+                    let branch_mark = self.trail.len();
+                    // False branch first (the old mask loop also started
+                    // from the all-false candidate).
+                    self.assign(a, false);
+                    self.dfs();
+                    self.undo(branch_mark);
+                    if self.models.len() < self.limit {
+                        self.assign(a, true);
+                        self.dfs();
+                        self.undo(branch_mark);
+                    }
+                }
             }
         }
-        prop.lfp_into(gp, |q| !s.contains(q.index()), &mut lfp);
-        if lfp == s {
-            out.push(s);
+        self.undo(mark);
+    }
+
+    fn first_unassigned(&self) -> Option<usize> {
+        self.free
+            .iter()
+            .copied()
+            .find(|&a| !self.in_set.contains(a) && !self.out_set.contains(a))
+    }
+
+    fn assign(&mut self, a: usize, truth: bool) {
+        if truth {
+            self.in_set.insert(a);
+        } else {
+            self.out_set.insert(a);
+        }
+        self.trail.push((a, truth));
+    }
+
+    fn undo(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let (a, truth) = self.trail.pop().expect("trail underflow");
+            if truth {
+                self.in_set.remove(a);
+            } else {
+                self.out_set.remove(a);
+            }
         }
     }
-    out
+
+    /// Tightens the partial assignment to its bound-implied closure.
+    /// Returns `false` if the branch is contradictory (no completion of
+    /// the assignment can be stable).
+    fn propagate(&mut self) -> bool {
+        loop {
+            // Any completion S satisfies in_set ⊆ S ⊆ ¬out_set, and the
+            // reduct fixpoint is antimonotone in S, so
+            //   lower = lfp(P^{¬out_set}) ⊆ lfp(P^S) ⊆ lfp(P^{in_set}) = upper
+            // while a stable S must equal lfp(P^S).
+            self.upper.evaluate(self.gp, &self.in_set);
+            if !self.in_set.is_subset(self.upper.out()) {
+                return false; // an atom decided true can never be derived
+            }
+            self.lower.evaluate(self.gp, &self.out_set);
+            if !self.lower.out().is_disjoint(&self.out_set) {
+                return false; // an atom decided false is always derived
+            }
+            // Unit propagation: forced verdicts on still-free atoms.
+            let mut changed = false;
+            for i in 0..self.free.len() {
+                let a = self.free[i];
+                if self.in_set.contains(a) || self.out_set.contains(a) {
+                    continue;
+                }
+                if self.lower.out().contains(a) {
+                    self.assign(a, true);
+                    changed = true;
+                } else if !self.upper.out().contains(a) {
+                    self.assign(a, false);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
 }
 
 /// The intersection of all stable models, if any exist.
@@ -87,7 +217,7 @@ pub fn wfm_within_all_stable(gp: &GroundProgram, wfm: &Interp) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsls_ground::{GroundAtomId, Grounder};
+    use gsls_ground::Grounder;
     use gsls_lang::{parse_program, TermStore};
 
     fn ground(src: &str) -> (TermStore, GroundProgram) {
@@ -97,11 +227,7 @@ mod tests {
         (s, gp)
     }
 
-    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
-        gp.atom_ids()
-            .find(|&a| gp.display_atom(store, a) == text)
-            .unwrap_or_else(|| panic!("atom {text} not found"))
-    }
+    use gsls_ground::testutil::atom_id as id;
 
     #[test]
     fn mutual_negation_two_stable_models() {
@@ -167,6 +293,89 @@ mod tests {
         } else {
             assert!(empty.is_empty());
         }
+    }
+
+    /// Oracle: enumerate all 2^n subsets and keep the stable ones —
+    /// feasible only for tiny programs, but implementation-independent.
+    fn brute_force_stable(gp: &GroundProgram) -> Vec<BitSet> {
+        let n = gp.atom_count();
+        assert!(n <= 12, "oracle is exponential");
+        let mut out = Vec::new();
+        for mask in 0u32..(1 << n) {
+            let s = BitSet::from_indices(n, (0..n).filter(|b| mask & (1 << b) != 0));
+            if is_stable_model(gp, &s) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn branch_and_propagate_matches_brute_force() {
+        for src in [
+            "p :- ~q. q :- ~p.",
+            "p :- ~p.",
+            "a :- ~b. b :- ~a. c :- a. c :- b. d :- c, ~e. e :- ~d.",
+            "p :- ~q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.",
+            "x :- ~y. y :- ~z. z :- ~x.",
+            "q. p :- ~q. r :- ~p.",
+        ] {
+            let (_, gp) = ground(src);
+            let mut found = stable_models(&gp, usize::MAX);
+            let mut oracle = brute_force_stable(&gp);
+            let key = |s: &BitSet| s.iter().collect::<Vec<_>>();
+            found.sort_by_key(key);
+            oracle.sort_by_key(key);
+            assert_eq!(found, oracle, "{src}");
+        }
+    }
+
+    #[test]
+    fn large_undefined_residue_no_panic() {
+        // 15 mutual-negation pairs: 30 undefined atoms, 2^15 stable
+        // models. The old mask loop asserted k <= 26 and would have
+        // needed 2^30 candidate checks below that; branch-and-propagate
+        // spends time only on surviving branches.
+        let mut src = String::new();
+        for i in 0..15 {
+            src.push_str(&format!("a{i} :- ~b{i}. b{i} :- ~a{i}. "));
+        }
+        let (_, gp) = ground(&src);
+        let wfm = well_founded_model(&gp);
+        assert!(
+            wfm.iter_undefined().count() >= 30,
+            "workload must exceed the old 26-atom panic threshold"
+        );
+        // A bounded request returns promptly.
+        let some = stable_models(&gp, 100);
+        assert_eq!(some.len(), 100);
+        for m in &some {
+            assert!(is_stable_model(&gp, m));
+        }
+        // Exhaustive enumeration completes and has the right count.
+        let all = stable_models(&gp, usize::MAX);
+        assert_eq!(all.len(), 1 << 15);
+        // Each pair contributes exactly one of {a_i, b_i} per model, so
+        // the intersection of all stable models is empty — and the WFM
+        // (all-undefined) is trivially within all of them.
+        let inter = stable_intersection(&gp).expect("models exist");
+        assert!(inter.is_empty());
+        assert!(wfm_within_all_stable(&gp, &wfm));
+    }
+
+    #[test]
+    fn forced_propagation_skips_hopeless_branches() {
+        // A long chain q0 :- ~q1. … with a fact at the end is totally
+        // defined (unique stable model) — the enumerator must find it
+        // without branching at all.
+        let mut src = String::from("q40.\n");
+        for i in (0..40).rev() {
+            src.push_str(&format!("q{} :- ~q{}.\n", i, i + 1));
+        }
+        let (_, gp) = ground(&src);
+        let models = stable_models(&gp, usize::MAX);
+        assert_eq!(models.len(), 1);
+        assert!(is_stable_model(&gp, &models[0]));
     }
 
     #[test]

@@ -129,6 +129,7 @@ pub fn lfp_with_rebuild(gp: &GroundProgram, neg_sat: impl Fn(GroundAtomId) -> bo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gsls_ground::testutil::atom_id;
     use gsls_ground::Grounder;
     use gsls_lang::{parse_program, TermStore};
 
@@ -139,20 +140,13 @@ mod tests {
         (s, gp)
     }
 
-    fn id(store: &mut TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
-        for a in gp.atom_ids() {
-            if gp.display_atom(store, a) == text {
-                return a;
-            }
-        }
-        panic!("atom {text} not found");
-    }
+    use atom_id as id;
 
     #[test]
     fn tp_single_step() {
-        let (mut s, gp) = ground("p :- q. q.");
-        let q = id(&mut s, &gp, "q");
-        let p = id(&mut s, &gp, "p");
+        let (s, gp) = ground("p :- q. q.");
+        let q = id(&s, &gp, "q");
+        let p = id(&s, &gp, "p");
         let empty = Interp::new(gp.atom_count());
         let t1 = tp(&gp, &empty);
         assert!(t1.contains(q.index()), "fact fires immediately");
@@ -165,9 +159,9 @@ mod tests {
 
     #[test]
     fn tp_uses_negative_info() {
-        let (mut s, gp) = ground("p :- ~q. q :- r.");
-        let p = id(&mut s, &gp, "p");
-        let q = id(&mut s, &gp, "q");
+        let (s, gp) = ground("p :- ~q. q :- r.");
+        let p = id(&s, &gp, "p");
+        let q = id(&s, &gp, "q");
         let empty = Interp::new(gp.atom_count());
         assert!(!tp(&gp, &empty).contains(p.index()), "~q not yet known");
         let mut i = Interp::new(gp.atom_count());
@@ -177,8 +171,8 @@ mod tests {
 
     #[test]
     fn tp_bar_accumulates() {
-        let (mut s, gp) = ground("p :- q. q.");
-        let q = id(&mut s, &gp, "q");
+        let (s, gp) = ground("p :- q. q.");
+        let q = id(&s, &gp, "q");
         let mut i = Interp::new(gp.atom_count());
         i.set_true(q);
         let t = tp_bar(&gp, &i);
@@ -187,18 +181,18 @@ mod tests {
 
     #[test]
     fn lfp_definite_chain() {
-        let (mut s, gp) = ground("p0. p1 :- p0. p2 :- p1. p3 :- p2.");
+        let (s, gp) = ground("p0. p1 :- p0. p2 :- p1. p3 :- p2.");
         let out = lfp_with(&gp, |_| false);
         assert_eq!(out.count(), 4);
-        let p3 = id(&mut s, &gp, "p3");
+        let p3 = id(&s, &gp, "p3");
         assert!(out.contains(p3.index()));
     }
 
     #[test]
     fn lfp_respects_reduct_deletion() {
-        let (mut s, gp) = ground("p :- ~q. q.");
-        let p = id(&mut s, &gp, "p");
-        let q = id(&mut s, &gp, "q");
+        let (s, gp) = ground("p :- ~q. q.");
+        let p = id(&s, &gp, "p");
+        let q = id(&s, &gp, "q");
         // neg_sat(q) = false: the p-rule is deleted.
         let out = lfp_with(&gp, |_| false);
         assert!(!out.contains(p.index()));
@@ -224,7 +218,7 @@ mod tests {
             },
         )
         .unwrap();
-        let a = id(&mut s, &gp, "a");
+        let a = id(&s, &gp, "a");
         let out = lfp_with(&gp, |_| true);
         assert!(!out.contains(a.index()), "positive loop stays underived");
         assert_eq!(out.count(), 1);
@@ -234,8 +228,8 @@ mod tests {
     fn lfp_duplicate_body_literal() {
         // A clause mentioning q twice positively must still fire exactly
         // when q is derived.
-        let (mut s, gp) = ground("p :- q, q. q.");
-        let p = id(&mut s, &gp, "p");
+        let (s, gp) = ground("p :- q, q. q.");
+        let p = id(&s, &gp, "p");
         let out = lfp_with(&gp, |_| false);
         assert!(out.contains(p.index()));
     }
@@ -243,10 +237,10 @@ mod tests {
     #[test]
     fn tp_omega_matches_lemma_4_2_direction() {
         // p :- ~q. with ¬q ∈ S⁻: p derivable by T̄^ω(S⁻).
-        let (mut s, gp) = ground("p :- ~q. r :- p.");
-        let q = id(&mut s, &gp, "q");
-        let p = id(&mut s, &gp, "p");
-        let r = id(&mut s, &gp, "r");
+        let (s, gp) = ground("p :- ~q. r :- p.");
+        let q = id(&s, &gp, "q");
+        let p = id(&s, &gp, "p");
+        let r = id(&s, &gp, "r");
         let mut sneg = BitSet::new(gp.atom_count());
         sneg.insert(q.index());
         let out = tp_omega(&gp, &sneg);

@@ -10,6 +10,14 @@
 //! blocked by condition (1) and has all its positive body atoms in `X`.
 //! That least fixpoint is exactly [`crate::tp::lfp_with`] over the rules
 //! surviving condition (1).
+//!
+//! The entry points here stay on the full-recompute substrate: blocking
+//! condition (1) involves *positive* literals being false as well as
+//! negative ones being true, which is not a pure `watch_neg` condition,
+//! so the difference-driven mode does not apply directly. The `V_P`
+//! iteration sidesteps this by evaluating its unfounded pass as a
+//! Gelfond–Lifschitz chain against the growing true set (see
+//! [`crate::wp::vp_iteration`]), which *is* incremental.
 
 use crate::bitset::BitSet;
 use crate::interp::Interp;
@@ -61,7 +69,7 @@ pub fn is_unfounded_set(gp: &GroundProgram, i: &Interp, set: &BitSet) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gsls_ground::{GroundAtomId, Grounder};
+    use gsls_ground::Grounder;
     use gsls_lang::{parse_program, TermStore};
 
     fn ground(src: &str) -> (TermStore, GroundProgram) {
@@ -71,11 +79,7 @@ mod tests {
         (s, gp)
     }
 
-    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
-        gp.atom_ids()
-            .find(|&a| gp.display_atom(store, a) == text)
-            .unwrap_or_else(|| panic!("atom {text} not found"))
-    }
+    use gsls_ground::testutil::atom_id as id;
 
     #[test]
     fn atom_without_rules_is_unfounded() {

@@ -10,6 +10,7 @@
 //! correspondence experiments (E6) measure.
 
 use crate::bitset::BitSet;
+use crate::incremental::{IncrementalLfp, NegMode};
 use crate::interp::Interp;
 use crate::propagator::Propagator;
 use crate::tp::tp_into;
@@ -42,37 +43,42 @@ impl StagedModel {
 
 /// Iterates `V_P` from ∅ per Def. 2.4, recording stages:
 /// `I_{α+1} = ⋃ₖT̄^k(neg(I_α)) ∪ ¬·U_P(pos(I_α))` (Lemma 4.4).
+///
+/// Both per-stage fixpoints run **difference-driven**: the positive
+/// burst's context (the model's false set) and the unfounded pass's
+/// context (the model's true set) each only grow along the iteration,
+/// so every stage after the first re-enqueues only clauses whose
+/// negative context changed (revivals on the `T̄^ω` chain, retractions
+/// on the `U_P` chain) instead of rescanning the program.
 pub fn vp_iteration(gp: &GroundProgram) -> StagedModel {
     let n = gp.atom_count();
     let mut model = Interp::new(n);
     let mut stage_pos = vec![None; n];
     let mut stage_neg = vec![None; n];
     let mut iterations = 0u32;
-    // One propagator plus two bitset buffers serve every stage: zero
-    // per-stage heap allocation.
-    let mut prop = Propagator::new(gp);
-    let mut pos_next = BitSet::new(n);
-    let mut neg_next = BitSet::new(n);
+    // T̄^ω(neg(I_α)): ¬q satisfied iff q already false — context is the
+    // false set, blockers are its non-members.
+    let mut pos_chain = IncrementalLfp::new(gp, NegMode::SatisfiedInside);
+    // U_P(pos(I_α)) via the externally-supported closure: a clause is
+    // blocked exactly when a negated atom is true in the model — the
+    // Gelfond–Lifschitz reading against the growing true set.
+    let mut neg_chain = IncrementalLfp::new(gp, NegMode::SatisfiedOutside);
     loop {
         let stage = iterations + 1;
-        // T̄^ω(neg(I_α)): ¬q satisfied iff q already false.
-        prop.lfp_into(gp, |q| model.is_false(q), &mut pos_next);
-        // U_P(pos(I_α)): in the positive-only projection, a clause is
-        // blocked exactly when a negated atom is true in the model — a
-        // pure negative-literal condition, so the fast reduct path
-        // applies.
-        prop.lfp_into(gp, |q| !model.is_true(q), &mut neg_next);
-        neg_next.complement_in_place();
+        pos_chain.evaluate(gp, model.neg());
+        neg_chain.evaluate(gp, model.pos());
         let mut changed = false;
-        for a in pos_next.iter() {
+        for a in pos_chain.out().iter() {
             if stage_pos[a].is_none() {
                 stage_pos[a] = Some(stage);
                 model.set_true(GroundAtomId(a as u32));
                 changed = true;
             }
         }
-        for a in neg_next.iter() {
-            if stage_neg[a].is_none() {
+        // The unfounded set is the complement of the supported closure.
+        let supported = neg_chain.out();
+        for a in 0..n {
+            if !supported.contains(a) && stage_neg[a].is_none() {
                 debug_assert!(stage_pos[a].is_none(), "V_P produced inconsistency");
                 stage_neg[a] = Some(stage);
                 model.set_false(GroundAtomId(a as u32));
@@ -95,6 +101,11 @@ pub fn vp_iteration(gp: &GroundProgram) -> StagedModel {
 /// Iterates `W_P` from ∅ (Def. 2.3), recording the finer-grained stages.
 /// Reaches the same fixpoint as [`vp_iteration`] (Lemma 2.1) but needs
 /// more iterations; kept as a cross-check and for the ablation bench.
+/// Stays on the full-recompute substrate deliberately: its `U_P` pass
+/// blocks clauses on *positive* literals being false as well as negative
+/// ones being true (see [`Propagator::supported_into`]), which is not a
+/// pure `watch_neg` condition, and as the oracle it should share as
+/// little machinery as possible with the incremental path it checks.
 pub fn wp_iteration(gp: &GroundProgram) -> StagedModel {
     let n = gp.atom_count();
     let mut model = Interp::new(n);
@@ -141,6 +152,7 @@ pub fn wp_iteration(gp: &GroundProgram) -> StagedModel {
 mod tests {
     use super::*;
     use crate::interp::Truth;
+    use gsls_ground::testutil::atom_id as id;
     use gsls_ground::Grounder;
     use gsls_lang::{parse_program, TermStore};
 
@@ -150,12 +162,6 @@ mod tests {
         let gp = Grounder::ground(&mut s, &p).unwrap();
         let m = vp_iteration(&gp);
         (s, gp, m)
-    }
-
-    fn id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomId {
-        gp.atom_ids()
-            .find(|&a| gp.display_atom(store, a) == text)
-            .unwrap_or_else(|| panic!("atom {text} not found"))
     }
 
     #[test]

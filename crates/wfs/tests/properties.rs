@@ -5,7 +5,8 @@ use gsls_ground::{GroundAtomId, GroundClause, GroundProgram, Grounder};
 use gsls_lang::{Atom, Clause, Literal, Program, TermStore};
 use gsls_wfs::{
     fitting_model, greatest_unfounded, is_unfounded_set, vp_iteration, well_founded_model,
-    well_founded_model_rebuild, wp_iteration, BitSet, Interp, Propagator,
+    well_founded_model_rebuild, well_founded_model_scratch, wp_iteration, BitSet, IncrementalLfp,
+    Interp, NegMode, Propagator,
 };
 use proptest::prelude::*;
 
@@ -160,12 +161,54 @@ proptest! {
         prop_assert_eq!(count, naive.count());
     }
 
-    /// The alternating fixpoint on the reusable substrate equals the
+    /// The alternating fixpoint on the difference-driven substrate
+    /// equals both the full-recompute propagator baseline and the
     /// rebuild-per-call baseline it replaced.
     #[test]
     fn propagator_wfm_equals_rebuild_wfm(clauses in program_strategy()) {
         let (_, gp) = realise(&clauses);
-        prop_assert_eq!(well_founded_model(&gp), well_founded_model_rebuild(&gp));
+        let incremental = well_founded_model(&gp);
+        prop_assert_eq!(&incremental, &well_founded_model_scratch(&gp));
+        prop_assert_eq!(&incremental, &well_founded_model_rebuild(&gp));
+    }
+
+    /// An [`IncrementalLfp`] driven through an arbitrary (non-monotone)
+    /// walk of contexts agrees with the from-scratch propagator at every
+    /// step — revival, retraction, and rederivation all exact, in both
+    /// context readings (a shrinking context retracts under
+    /// `SatisfiedInside` exactly where it revives under
+    /// `SatisfiedOutside`, so both deletion paths get exercised).
+    #[test]
+    fn incremental_lfp_tracks_scratch_on_context_walks(
+        clauses in program_strategy(),
+        walk in prop::collection::vec(any::<u8>(), 1..24),
+    ) {
+        let (_, gp) = realise(&clauses);
+        let n = gp.atom_count();
+        for mode in [NegMode::SatisfiedOutside, NegMode::SatisfiedInside] {
+            let mut inc = IncrementalLfp::new(&gp, mode);
+            let mut prop_ = Propagator::new(&gp);
+            let mut ctx = BitSet::new(n);
+            let mut oracle = BitSet::new(n);
+            for (step, &flip) in walk.iter().enumerate() {
+                if n > 0 {
+                    let a = flip as usize % n;
+                    if ctx.contains(a) {
+                        ctx.remove(a);
+                    } else {
+                        ctx.insert(a);
+                    }
+                }
+                let count = inc.evaluate(&gp, &ctx);
+                prop_.lfp_into(
+                    &gp,
+                    |q| ctx.contains(q.index()) == (mode == NegMode::SatisfiedInside),
+                    &mut oracle,
+                );
+                prop_assert_eq!(inc.out(), &oracle, "step {} ({:?})", step, mode);
+                prop_assert_eq!(count, oracle.count(), "step {} ({:?})", step, mode);
+            }
+        }
     }
 
     /// CSR storage round-trips clause contents identically: pushing

@@ -58,6 +58,54 @@ pub fn win_tree(store: &mut TermStore, depth: u32) -> Program {
     win_game(store, &edges)
 }
 
+/// A `w × h` grid board — the ROADMAP's 10^5-atom-class win/move
+/// workload (positions plus move facts ground to roughly `3·w·h`
+/// atoms, so `w = h = 200` already exceeds 10^5).
+///
+/// Structure, chosen so all three truth values are guaranteed at every
+/// scale and the alternating fixpoint needs many delta-sized rounds
+/// (the shape the difference-driven restarts exist for):
+///
+/// * every position moves right and down — long alternation chains
+///   radiating from the bottom-right corner, which is the unique
+///   terminal (lost) position, so its row neighbour is won;
+/// * every row `j ≡ 1 (mod 3)` except the last also moves left,
+///   creating local cycles (the last row must stay cycle-free or the
+///   corner gains an escape, no position is ever terminal, and the
+///   whole board degenerates to undefined in two rounds);
+/// * each cycle row exits on the right into a dedicated two-position
+///   **draw pocket** (`a ↔ b` with no other moves), whose positions are
+///   undefined in the well-founded model.
+pub fn win_grid(store: &mut TermStore, w: usize, h: usize) -> Program {
+    assert!(w >= 2 && h >= 2, "grid must be at least 2×2");
+    let id = |i: usize, j: usize| j * w + i;
+    let mut edges = Vec::new();
+    let mut next_pocket = w * h;
+    for j in 0..h {
+        for i in 0..w {
+            if i + 1 < w {
+                edges.push((id(i, j), id(i + 1, j)));
+            }
+            if j + 1 < h {
+                edges.push((id(i, j), id(i, j + 1)));
+            }
+            if j % 3 == 1 && j + 1 < h {
+                if i > 0 {
+                    edges.push((id(i, j), id(i - 1, j)));
+                }
+                if i + 1 == w {
+                    let (a, b) = (next_pocket, next_pocket + 1);
+                    next_pocket += 2;
+                    edges.push((id(i, j), a));
+                    edges.push((a, b));
+                    edges.push((b, a));
+                }
+            }
+        }
+    }
+    win_game(store, &edges)
+}
+
 /// A random game graph: `n` positions, each with out-degree sampled from
 /// `0..=max_degree` (degree 0 makes lost positions, cycles make draws).
 pub fn win_random(store: &mut TermStore, n: usize, max_degree: usize, seed: u64) -> Program {
@@ -120,6 +168,39 @@ mod tests {
         let mut s2 = TermStore::new();
         let p2 = win_tree(&mut s2, 2);
         assert_eq!(truth_of(&s2, &p2, "win(n0)"), Truth::False);
+    }
+
+    #[test]
+    fn grid_has_all_three_truth_values() {
+        let w = 4;
+        let h = 4;
+        let mut s = TermStore::new();
+        let p = win_grid(&mut s, w, h);
+        // Bottom-right corner (3,3) = n15 is the unique terminal: lost.
+        assert_eq!(truth_of(&s, &p, "win(n15)"), Truth::False);
+        // Its row neighbour moves into it: won.
+        assert_eq!(truth_of(&s, &p, "win(n14)"), Truth::True);
+        // The cycle row (j = 1) exits into the draw pocket n16 ↔ n17.
+        assert_eq!(truth_of(&s, &p, "win(n16)"), Truth::Undefined);
+        assert_eq!(truth_of(&s, &p, "win(n17)"), Truth::Undefined);
+        // A height whose last row would be a cycle row (4 ≡ 1 mod 3)
+        // must still keep the corner terminal, hence lost.
+        let mut s2 = TermStore::new();
+        let p2 = win_grid(&mut s2, 4, 5);
+        assert_eq!(truth_of(&s2, &p2, "win(n19)"), Truth::False);
+    }
+
+    #[test]
+    fn grid_scales_to_roadmap_sizes() {
+        // Clause count only — actually grounding 10^5 atoms is the perf
+        // harness's job, not a unit test's.
+        let mut s = TermStore::new();
+        let p = win_grid(&mut s, 10, 10);
+        // ~2 edges per position + cycle rows + pockets + 1 rule.
+        assert!(p.len() > 2 * 10 * 10);
+        let mut s2 = TermStore::new();
+        let p2 = win_grid(&mut s2, 20, 10);
+        assert!(p2.len() > 2 * p.len() - 40, "clauses scale with area");
     }
 
     #[test]

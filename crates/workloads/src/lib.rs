@@ -2,7 +2,7 @@
 //!
 //! * [`games`] — the win/move game (`win(X) ← move(X,Y), ¬win(Y)`), the
 //!   canonical non-stratified workload: chains, cycles, complete binary
-//!   trees and random graphs;
+//!   trees, random graphs, and the 10^5-atom-class grid boards;
 //! * [`van_gelder`] — Example 3.1's ordinal-level program family;
 //! * [`stratified`] — stratified deductive-database workloads (negation
 //!   over transitive closure);
@@ -15,7 +15,7 @@ pub mod random;
 pub mod stratified;
 pub mod van_gelder;
 
-pub use games::{win_chain, win_cycle, win_random, win_tree};
+pub use games::{win_chain, win_cycle, win_grid, win_random, win_tree};
 pub use random::{random_program, RandomProgramOpts};
 pub use stratified::{negated_reachability, odd_even_chain};
 pub use van_gelder::{van_gelder_program, VAN_GELDER_SRC};

@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
 echo "==> cargo test -q"
 cargo test -q
 

@@ -79,6 +79,31 @@ fn sldnf_incomplete_where_global_sls_decides() {
     assert_eq!(tree.status(), Status::Successful);
 }
 
+/// Outcome precedence, pinned: a goal that both flounders and exhausts
+/// its budget reports `Floundered`, not `Budget`. Floundering is a
+/// structural property of the query — it sits outside the safe-rule
+/// fragment and no budget increase can fix it — so it is the more
+/// actionable diagnosis; `Budget` would invite a pointless retry with
+/// more fuel. (Either status equally blocks claims of finite failure,
+/// so soundness is unaffected by the choice.)
+#[test]
+fn floundering_takes_precedence_over_budget() {
+    let mut store = TermStore::new();
+    let program = parse_program(&mut store, "r :- ~q(X). r :- p. p :- p. q(a).").unwrap();
+    let goal = parse_goal(&mut store, "?- r.").unwrap();
+    let r = sldnf_solve(&mut store, &program, &goal, small_budget());
+    assert_eq!(r.outcome, SldnfOutcome::Floundered);
+    // A pure budget case still reports Budget…
+    let goal_p = parse_goal(&mut store, "?- p.").unwrap();
+    let rp = sldnf_solve(&mut store, &program, &goal_p, small_budget());
+    assert_eq!(rp.outcome, SldnfOutcome::Budget);
+    // …and an answer on any branch outranks both diagnoses.
+    let program2 = parse_program(&mut store, "r :- ~q(X). r. q(a).").unwrap();
+    let goal2 = parse_goal(&mut store, "?- r.").unwrap();
+    let r2 = sldnf_solve(&mut store, &program2, &goal2, small_budget());
+    assert_eq!(r2.outcome, SldnfOutcome::Success);
+}
+
 /// Quantifying the gap: on random programs the tabled engine decides
 /// every atom; SLDNF leaves a nontrivial fraction undecided.
 #[test]
