@@ -1,0 +1,85 @@
+//! Grounder microbench smoke target: small-N workloads grounded with
+//! both join strategies, asserting the planned path and the naive
+//! oracle produce identical clause sets — so the join planner cannot
+//! silently rot between perf runs. Wired into `scripts/check.sh`.
+//!
+//! Run: `cargo run --release -p gsls-bench --bin ground_smoke`.
+
+use gsls_ground::testutil::sorted_clauses;
+use gsls_ground::{Grounder, GrounderOpts, HerbrandOpts, JoinStrategy};
+use gsls_lang::{Program, TermStore};
+use gsls_workloads::{negated_reachability, odd_even_chain, van_gelder_program, win_grid};
+use std::time::Instant;
+
+fn check(name: &str, mk: impl Fn(&mut TermStore) -> Program, opts: GrounderOpts) {
+    let mut s1 = TermStore::new();
+    let p1 = mk(&mut s1);
+    let t = Instant::now();
+    let (planned, stats) = Grounder::ground_with_stats(&mut s1, &p1, opts)
+        .unwrap_or_else(|e| panic!("{name}: planned grounding failed: {e}"));
+    let planned_ns = t.elapsed().as_nanos() as u64;
+
+    let mut s2 = TermStore::new();
+    let p2 = mk(&mut s2);
+    let t = Instant::now();
+    let naive = Grounder::ground_with(
+        &mut s2,
+        &p2,
+        GrounderOpts {
+            strategy: JoinStrategy::Naive,
+            ..opts
+        },
+    )
+    .unwrap_or_else(|e| panic!("{name}: naive grounding failed: {e}"));
+    let naive_ns = t.elapsed().as_nanos() as u64;
+
+    assert_eq!(
+        sorted_clauses(&s1, &planned),
+        sorted_clauses(&s2, &naive),
+        "{name}: planned and naive clause sets diverge"
+    );
+    println!(
+        "{name}: atoms={} clauses={} plans={} indexes={} candidates={} probes={} \
+         planned={:.2}ms naive={:.2}ms ({:.1}x)",
+        planned.atom_count(),
+        planned.clause_count(),
+        stats.plans,
+        stats.indexes,
+        stats.join_candidates,
+        stats.index_probes,
+        planned_ns as f64 / 1e6,
+        naive_ns as f64 / 1e6,
+        naive_ns as f64 / planned_ns.max(1) as f64,
+    );
+}
+
+fn main() {
+    println!("# ground_smoke — join-plan vs naive-join differential");
+    check(
+        "win_grid 16x16",
+        |s| win_grid(s, 16, 16),
+        GrounderOpts::default(),
+    );
+    check(
+        "negated_reachability 12",
+        |s| negated_reachability(s, 12),
+        GrounderOpts::default(),
+    );
+    check(
+        "odd_even_chain 48",
+        |s| odd_even_chain(s, 48),
+        GrounderOpts::default(),
+    );
+    check(
+        "van_gelder depth=8",
+        van_gelder_program,
+        GrounderOpts {
+            universe: HerbrandOpts {
+                max_depth: 8,
+                max_terms: 10_000,
+            },
+            ..GrounderOpts::default()
+        },
+    );
+    println!("ground_smoke: planned path and naive oracle agree on all workloads");
+}

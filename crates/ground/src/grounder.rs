@@ -21,18 +21,34 @@
 //! positive body are enumerated over the (depth-bounded) Herbrand
 //! universe.
 //!
-//! The relevant-grounding loop is **semi-naive**: each round joins rule
-//! bodies against the *delta* (atoms first derived in the previous round)
-//! through a per-predicate argument-indexed fact store, rather than
-//! re-joining every rule against the full closure. Instances whose
-//! positive bodies mention no delta atom were already emitted in an
-//! earlier round and are never re-derived.
+//! The relevant-grounding loop is **semi-naive** and **plan-compiled**:
+//! each `rule × delta-position` pair is compiled once into a
+//! [`crate::plan::JoinPlan`] — a selectivity-ordered body-literal
+//! sequence with precomputed bound-argument signatures, composite-index
+//! handles, and cached residual variables — and each round executes only
+//! the plans whose delta predicate actually grew (the relevance index).
+//! Facts live in the [`crate::factstore::FactStore`] as interned-id
+//! rows; candidate lookups are composite-index probes clamped to the
+//! delta/old row range by binary search. See the `plan` and `factstore`
+//! module docs for the invariants.
+//!
+//! [`JoinStrategy::Naive`] keeps a deliberately simple join (original
+//! literal order, full fact scans, whole-store re-joins per pass) as the
+//! differential oracle: both strategies must produce the same clause
+//! set, and the microbench smoke target plus the workspace property
+//! tests pin that.
 
+use crate::factstore::{atom_hash, clause_hash, FactStore, IdTable, Role};
 use crate::herbrand::{herbrand_universe, HerbrandOpts};
+use crate::plan::{
+    build_plans, build_templates, residual_vars, ArgSpec, JoinPlan, RuleTemplate, NO_INDEX, UNBOUND,
+};
 use gsls_lang::{
-    match_term_recording, Atom, FxHashMap, FxHashSet, Pred, Program, Subst, TermId, TermStore, Var,
+    match_term_recording, Atom, Clause, FxHashMap, Pred, Program, Subst, Symbol, Term, TermId,
+    TermStore, Var,
 };
 use std::fmt;
+use std::time::Instant;
 
 /// Identity of an interned ground atom within a [`GroundProgram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -49,8 +65,10 @@ impl GroundAtomId {
 /// An owned ground clause `head ← pos₁,…,posₘ, ¬neg₁,…,¬negₖ`.
 ///
 /// This is the *builder* form: [`GroundProgram::push_clause`] copies it
-/// into the CSR store, and the grounder uses it as the deduplication key.
-/// Engines never see it — they work on borrowed [`ClauseRef`] views.
+/// into the CSR store. Engines never see it — they work on borrowed
+/// [`ClauseRef`] views, and the grounder deduplicates against the CSR
+/// store directly (id-triple hashing), so no owned clause is built per
+/// candidate.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GroundClause {
     /// Head atom.
@@ -167,7 +185,9 @@ struct Indexes {
 #[derive(Debug, Clone)]
 pub struct GroundProgram {
     atoms: Vec<Atom>,
-    atom_ids: FxHashMap<Atom, GroundAtomId>,
+    /// Open-addressing interning table over `atoms` (identity = `(pred,
+    /// args)`; probes hash borrowed parts, so lookups allocate nothing).
+    atom_table: IdTable,
     /// Clause heads, one per clause.
     heads: Vec<GroundAtomId>,
     /// Flat body store: clause `c`'s positive atoms then negative atoms.
@@ -185,7 +205,7 @@ impl Default for GroundProgram {
     fn default() -> Self {
         GroundProgram {
             atoms: Vec::new(),
-            atom_ids: FxHashMap::default(),
+            atom_table: IdTable::default(),
             heads: Vec::new(),
             body: Vec::new(),
             body_start: vec![0],
@@ -201,25 +221,84 @@ impl GroundProgram {
         Self::default()
     }
 
+    /// One probe walk: the existing id for `(pred, args)`, or the slot
+    /// claimed for the next id (in which case the caller pushes the
+    /// atom). Keeps the hot interning path at a single table traversal.
+    fn intern_probe(&mut self, pred: Symbol, args: &[TermId]) -> Option<GroundAtomId> {
+        let hash = atom_hash(pred, args);
+        let candidate = u32::try_from(self.atoms.len()).expect("ground atom overflow");
+        let atoms = &self.atoms;
+        self.atom_table
+            .find_or_insert(
+                hash,
+                candidate,
+                |id| {
+                    let a = &atoms[id as usize];
+                    a.pred == pred && a.args[..] == *args
+                },
+                |id| {
+                    let a = &atoms[id as usize];
+                    atom_hash(a.pred, &a.args)
+                },
+            )
+            .map(GroundAtomId)
+    }
+
     /// Interns a ground atom, returning its id.
     pub fn intern_atom(&mut self, atom: Atom) -> GroundAtomId {
-        let next = GroundAtomId(u32::try_from(self.atoms.len()).expect("ground atom overflow"));
-        match self.atom_ids.entry(atom) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                self.atoms.push(e.key().clone());
-                e.insert(next);
+        match self.intern_probe(atom.pred, &atom.args) {
+            Some(id) => id,
+            None => {
+                let id = GroundAtomId(self.atoms.len() as u32);
+                self.atoms.push(atom);
                 // A fresh atom widens the id space the reverse indexes
                 // cover; they must be rebuilt before the next fixpoint.
                 self.index = None;
-                next
+                id
             }
         }
     }
 
+    /// Interns a ground atom from borrowed parts; the owned [`Atom`] is
+    /// built only when the atom is genuinely new. This is the grounder's
+    /// hot interning path — duplicate candidates allocate nothing.
+    pub fn intern_atom_parts(&mut self, pred: Symbol, args: &[TermId]) -> GroundAtomId {
+        match self.intern_probe(pred, args) {
+            Some(id) => id,
+            None => {
+                let id = GroundAtomId(self.atoms.len() as u32);
+                self.atoms.push(Atom::new(pred, args.to_vec()));
+                self.index = None;
+                id
+            }
+        }
+    }
+
+    /// Pre-sizes the atom arena and interning table for about `n_atoms`
+    /// entries and the clause store for `n_clauses`, so bulk grounding
+    /// skips the grow-and-rehash cascade.
+    pub fn reserve(&mut self, n_atoms: usize, n_clauses: usize) {
+        self.atoms.reserve(n_atoms.saturating_sub(self.atoms.len()));
+        let atoms = &self.atoms;
+        self.atom_table.reserve(n_atoms, |id| {
+            let a = &atoms[id as usize];
+            atom_hash(a.pred, &a.args)
+        });
+        self.heads
+            .reserve(n_clauses.saturating_sub(self.heads.len()));
+        self.body_start.reserve(n_clauses);
+        self.neg_start.reserve(n_clauses);
+    }
+
     /// Looks up a ground atom without interning.
     pub fn lookup_atom(&self, atom: &Atom) -> Option<GroundAtomId> {
-        self.atom_ids.get(atom).copied()
+        let atoms = &self.atoms;
+        self.atom_table
+            .find(atom_hash(atom.pred, &atom.args), |id| {
+                let a = &atoms[id as usize];
+                a.pred == atom.pred && a.args == atom.args
+            })
+            .map(GroundAtomId)
     }
 
     /// The atom for `id`.
@@ -442,6 +521,22 @@ pub enum GroundingMode {
     Full,
 }
 
+/// How [`GroundingMode::Relevant`] joins rule bodies against the fact
+/// store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Precompiled join plans: selectivity-ordered literals, composite
+    /// indexes, delta sub-ranges, relevance-driven rounds (see the
+    /// [`crate::plan`] module docs). The production path.
+    #[default]
+    Planned,
+    /// Unordered full-scan joins, re-run over every rule each pass.
+    /// Quadratically slower, but so simple it is obviously correct —
+    /// kept exclusively as the differential-testing oracle for
+    /// [`JoinStrategy::Planned`].
+    Naive,
+}
+
 /// Options controlling grounding.
 #[derive(Debug, Clone, Copy)]
 pub struct GrounderOpts {
@@ -451,6 +546,8 @@ pub struct GrounderOpts {
     pub max_clauses: usize,
     /// Instance enumeration strategy.
     pub mode: GroundingMode,
+    /// Join evaluation strategy for [`GroundingMode::Relevant`].
+    pub strategy: JoinStrategy,
 }
 
 impl Default for GrounderOpts {
@@ -459,6 +556,7 @@ impl Default for GrounderOpts {
             universe: HerbrandOpts::default(),
             max_clauses: 2_000_000,
             mode: GroundingMode::Relevant,
+            strategy: JoinStrategy::Planned,
         }
     }
 }
@@ -482,69 +580,31 @@ impl fmt::Display for GroundingError {
 
 impl std::error::Error for GroundingError {}
 
-/// Which slice of a predicate's facts a join literal ranges over —
-/// the standard semi-naive split. For the rule-literal chosen as the
-/// delta position, only last round's new atoms participate; literals to
-/// its left see everything, literals to its right only what was known
-/// *before* last round. Summed over delta positions this enumerates
-/// exactly the instances that mention at least one new atom.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Role {
-    Full,
-    Delta,
-    Old,
-}
-
-/// Facts for one predicate, argument-indexed for join lookups.
-#[derive(Debug, Default)]
-struct PredFacts {
-    /// All derivable atoms of this predicate; `all[old_len..]` is the
-    /// delta from the most recent round.
-    all: Vec<Atom>,
-    old_len: usize,
-    /// `(argument position, ground term) → indices into `all``.
-    index: FxHashMap<(u32, TermId), Vec<u32>>,
-}
-
-impl PredFacts {
-    fn push(&mut self, atom: Atom) {
-        let idx = self.all.len() as u32;
-        for (pos, &arg) in atom.args.iter().enumerate() {
-            self.index.entry((pos as u32, arg)).or_default().push(idx);
-        }
-        self.all.push(atom);
-    }
-
-    fn range(&self, role: Role) -> (usize, usize) {
-        match role {
-            Role::Full => (0, self.all.len()),
-            Role::Delta => (self.old_len, self.all.len()),
-            Role::Old => (0, self.old_len),
-        }
-    }
-}
-
-/// The per-predicate fact store driving semi-naive evaluation.
-#[derive(Debug, Default)]
-struct FactStore {
-    preds: FxHashMap<Pred, PredFacts>,
-}
-
-impl FactStore {
-    /// Ends a round: the previous delta becomes old, `new_atoms` becomes
-    /// the next delta.
-    fn advance(&mut self, new_atoms: impl Iterator<Item = Atom>) {
-        for pf in self.preds.values_mut() {
-            pf.old_len = pf.all.len();
-        }
-        for atom in new_atoms {
-            self.preds.entry(atom.pred_id()).or_default().push(atom);
-        }
-    }
-
-    fn get(&self, pred: Pred) -> Option<&PredFacts> {
-        self.preds.get(&pred)
-    }
+/// Per-stage instrumentation of one grounding run, from
+/// [`Grounder::ground_with_stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroundStats {
+    /// Semi-naive rounds after the seed round.
+    pub rounds: u32,
+    /// Join plans compiled (`rule × delta-position` pairs).
+    pub plans: u32,
+    /// Composite indexes registered in the fact store.
+    pub indexes: u32,
+    /// Candidate fact rows examined across all joins (scans + posting
+    /// sub-ranges).
+    pub join_candidates: u64,
+    /// Composite-index probes (one hash lookup + two binary searches).
+    pub index_probes: u64,
+    /// Candidate instances discarded as already-emitted clauses.
+    pub dedup_hits: u64,
+    /// Wall time of the seed round (rules without positive body).
+    pub seed_ns: u64,
+    /// Wall time of plan compilation + index registration/backfill.
+    pub plan_ns: u64,
+    /// Wall time of the semi-naive join rounds.
+    pub join_ns: u64,
+    /// Wall time of [`GroundProgram::finalize`].
+    pub finalize_ns: u64,
 }
 
 /// The Herbrand instantiation engine.
@@ -556,12 +616,33 @@ pub struct Grounder<'a> {
     /// can otherwise escape the bounded universe and diverge.
     max_depth: u32,
     gp: GroundProgram,
-    facts: FactStore,
-    /// Atoms already queued as derivable (heads of emitted instances).
-    derivable: FxHashSet<Atom>,
-    seen_clauses: FxHashSet<GroundClause>,
-    /// Backtracking trail for join matching.
+    /// `derivable[atom id]`: the atom heads an emitted instance, so it is
+    /// in the positive closure and has been queued through the delta.
+    derivable: Vec<bool>,
+    /// `fact_seen[atom id]`: a fact-shaped clause with this head was
+    /// already stored (fact dedup without touching the clause table).
+    fact_seen: Vec<bool>,
+    /// Clause dedup: id-triple hashes over the CSR store.
+    clause_table: IdTable,
+    /// Backtracking trail for `Subst`-based matching (naive oracle).
     trail: Vec<Var>,
+    /// Dense binding slots for the planned path: `bindings[slot]` is the
+    /// ground value of the current rule's variable `slot`, or
+    /// [`UNBOUND`]. Sized to the largest rule once per run.
+    bindings: Vec<TermId>,
+    /// Backtracking trail of slot numbers for the planned path.
+    slot_trail: Vec<u32>,
+    /// `matched_buf[p]`: the interned atom id of the fact row matched by
+    /// positive body literal `p` (clause order) — emission reuses these
+    /// ids instead of re-interning the atoms.
+    matched_buf: Vec<GroundAtomId>,
+    stats: GroundStats,
+    /// Reusable buffers (probe keys, resolved head/body arguments,
+    /// interned body ids) — the join inner loop allocates nothing.
+    key_buf: Vec<TermId>,
+    head_buf: Vec<TermId>,
+    body_buf: Vec<TermId>,
+    neg_buf: Vec<GroundAtomId>,
 }
 
 impl<'a> Grounder<'a> {
@@ -580,7 +661,15 @@ impl<'a> Grounder<'a> {
         program: &Program,
         opts: GrounderOpts,
     ) -> Result<GroundProgram, GroundingError> {
-        let universe = herbrand_universe(store, program, opts.universe);
+        Self::ground_with_stats(store, program, opts).map(|(gp, _)| gp)
+    }
+
+    /// [`Grounder::ground_with`] plus per-stage instrumentation.
+    pub fn ground_with_stats(
+        store: &'a mut TermStore,
+        program: &Program,
+        opts: GrounderOpts,
+    ) -> Result<(GroundProgram, GroundStats), GroundingError> {
         // With function symbols the universe is depth-truncated; emitted
         // atoms must respect the same bound or grounding diverges. For
         // function-free programs terms never grow, so no bound is needed.
@@ -591,58 +680,176 @@ impl<'a> Grounder<'a> {
         };
         let mut g = Grounder {
             store,
-            universe,
+            // Computed on demand: joins only consult the universe for
+            // residual variables, and purely extensional workloads have
+            // none (see `ensure_universe`).
+            universe: Vec::new(),
             opts,
             max_depth,
             gp: GroundProgram::new(),
-            facts: FactStore::default(),
-            derivable: FxHashSet::default(),
-            seen_clauses: FxHashSet::default(),
+            derivable: Vec::new(),
+            fact_seen: Vec::new(),
+            clause_table: IdTable::default(),
             trail: Vec::new(),
+            bindings: Vec::new(),
+            slot_trail: Vec::new(),
+            matched_buf: Vec::new(),
+            stats: GroundStats::default(),
+            key_buf: Vec::new(),
+            head_buf: Vec::new(),
+            body_buf: Vec::new(),
+            neg_buf: Vec::new(),
         };
         g.run(program)?;
+        let t = Instant::now();
         g.gp.finalize();
-        Ok(g.gp)
+        g.stats.finalize_ns = t.elapsed().as_nanos() as u64;
+        Ok((g.gp, g.stats))
     }
 
     fn run(&mut self, program: &Program) -> Result<(), GroundingError> {
-        if self.opts.mode == GroundingMode::Full {
-            // Full instantiation doesn't consult the derivable closure:
-            // one enumeration pass emits everything.
-            let mut ignored = Vec::new();
-            for clause in program.clauses() {
-                let free = clause.vars(self.store);
-                let mut subst = Subst::new();
-                self.enumerate_free(clause, &free, 0, &mut subst, &mut ignored)?;
-            }
-            return Ok(());
+        match (self.opts.mode, self.opts.strategy) {
+            (GroundingMode::Full, _) => self.run_full(program),
+            (GroundingMode::Relevant, JoinStrategy::Planned) => self.run_planned(program),
+            (GroundingMode::Relevant, JoinStrategy::Naive) => self.run_naive(program),
         }
-        // Round 0: rules without positive body — their instances don't
-        // depend on the closure and are emitted exactly once.
-        let mut new_atoms: Vec<Atom> = Vec::new();
+    }
+
+    /// Enumerates the (depth-bounded) Herbrand universe, once per run.
+    /// Deferred so that runs which never enumerate a residual variable —
+    /// every rule's variables bound by its positive body — skip the
+    /// constant/function sweep over the whole program.
+    fn ensure_universe(&mut self, program: &Program) {
+        if self.universe.is_empty() {
+            self.universe = herbrand_universe(self.store, program, self.opts.universe);
+        }
+    }
+
+    /// Full instantiation doesn't consult the derivable closure: one
+    /// enumeration pass emits everything.
+    fn run_full(&mut self, program: &Program) -> Result<(), GroundingError> {
+        let t = Instant::now();
+        self.ensure_universe(program);
+        let mut ignored = Vec::new();
         for clause in program.clauses() {
-            if clause.pos_body().next().is_none() {
-                let free = clause.vars(self.store);
-                let mut subst = Subst::new();
-                self.enumerate_free(clause, &free, 0, &mut subst, &mut new_atoms)?;
+            let free = clause.vars(self.store);
+            let mut subst = Subst::new();
+            self.enumerate_free(clause, &free, 0, &mut subst, &mut ignored)?;
+        }
+        self.stats.seed_ns = t.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// The production path: rule-template compilation, seed round, plan
+    /// compilation, then relevance-driven semi-naive rounds over the
+    /// compiled plans using dense binding slots.
+    fn run_planned(&mut self, program: &Program) -> Result<(), GroundingError> {
+        // Seed round: rules without positive body — their instances don't
+        // depend on the closure and are emitted exactly once. Ground
+        // facts (template `None`) bypass enumeration entirely.
+        let t = Instant::now();
+        let templates = build_templates(self.store, program);
+        let max_slots = templates
+            .iter()
+            .flatten()
+            .map(|t| t.n_slots)
+            .max()
+            .unwrap_or(0);
+        let max_pos = templates
+            .iter()
+            .flatten()
+            .map(|t| t.n_pos)
+            .max()
+            .unwrap_or(0);
+        if templates.iter().flatten().any(|t| !t.residual.is_empty()) {
+            self.ensure_universe(program);
+        }
+        self.bindings = vec![UNBOUND; max_slots as usize];
+        self.matched_buf = vec![GroundAtomId(0); max_pos as usize];
+        // Size the arenas for the extensional load: most programs are
+        // dominated by their facts, each contributing one atom and one
+        // clause (further growth is the usual amortized doubling).
+        self.gp.reserve(program.len(), program.len());
+        let mut new_atoms: Vec<GroundAtomId> = Vec::new();
+        for (ci, clause) in program.clauses().iter().enumerate() {
+            match &templates[ci] {
+                None => {
+                    if !self.exceeds_depth(&clause.head.args) {
+                        let head_id = self
+                            .gp
+                            .intern_atom_parts(clause.head.pred, &clause.head.args);
+                        self.neg_buf.clear();
+                        self.push_unique(head_id, 0, false, &mut new_atoms)?;
+                    }
+                }
+                Some(tmpl) if clause.pos_body().next().is_none() => {
+                    self.enumerate_residual(tmpl, 0, &mut new_atoms)?;
+                }
+                Some(_) => {}
             }
         }
-        // Semi-naive rounds: join each rule's positive body against the
-        // fact store with one literal pinned to the delta.
-        while !new_atoms.is_empty() {
-            self.facts.advance(new_atoms.drain(..));
-            let facts = std::mem::take(&mut self.facts);
-            for clause in program.clauses() {
-                let pos: Vec<&Atom> = clause.pos_body().map(|l| &l.atom).collect();
-                if pos.is_empty() {
-                    continue;
+        self.stats.seed_ns = t.elapsed().as_nanos() as u64;
+
+        // Compile plans once, after the seed round, so the selectivity
+        // order can use observed cardinalities; index registration
+        // backfills over the seed facts.
+        let t = Instant::now();
+        let mut facts = FactStore::default();
+        let mut grown: Vec<u32> = Vec::new();
+        facts.advance(&self.gp, &new_atoms, &mut grown);
+        new_atoms.clear();
+        let planner = build_plans(self.store, program, &templates, &mut facts);
+        // Every joinable predicate now has a slot; anything else is
+        // dead weight and gets dropped by subsequent advances.
+        facts.freeze();
+        self.stats.plans = planner.plans.len() as u32;
+        self.stats.indexes = facts.index_count() as u32;
+        self.stats.plan_ns = t.elapsed().as_nanos() as u64;
+
+        // Semi-naive rounds: only plans whose delta predicate grew are
+        // re-joined (relevance index).
+        let t = Instant::now();
+        while !grown.is_empty() {
+            self.stats.rounds += 1;
+            for &slot in &grown {
+                for &pid in planner.dependents_of(slot) {
+                    let plan = &planner.plans[pid as usize];
+                    let tmpl = templates[plan.rule as usize]
+                        .as_ref()
+                        .expect("planned rules have templates");
+                    self.exec(plan, tmpl, 0, &facts, &mut new_atoms)?;
                 }
-                for delta_at in 0..pos.len() {
-                    let mut subst = Subst::new();
-                    self.join(
+            }
+            facts.advance(&self.gp, &new_atoms, &mut grown);
+            new_atoms.clear();
+        }
+        self.stats.join_ns = t.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// The differential oracle: per pass, every rule is re-joined
+    /// against the whole fact store with unordered full scans, until a
+    /// pass emits nothing new. See [`JoinStrategy::Naive`].
+    fn run_naive(&mut self, program: &Program) -> Result<(), GroundingError> {
+        let t = Instant::now();
+        self.ensure_universe(program);
+        let mut new_atoms: Vec<GroundAtomId> = Vec::new();
+        let mut facts = FactStore::default();
+        let mut grown: Vec<u32> = Vec::new();
+        let mut subst = Subst::new();
+        loop {
+            let before = self.gp.clause_count();
+            for clause in program.clauses() {
+                let pats: Vec<&Atom> = clause.pos_body().map(|l| &l.atom).collect();
+                if pats.is_empty() {
+                    let free = clause.vars(self.store);
+                    self.enumerate_free(clause, &free, 0, &mut subst, &mut new_atoms)?;
+                } else {
+                    let residual = residual_vars(self.store, clause);
+                    self.naive_join(
                         clause,
-                        &pos,
-                        delta_at,
+                        &pats,
+                        &residual,
                         0,
                         &mut subst,
                         &facts,
@@ -650,128 +857,365 @@ impl<'a> Grounder<'a> {
                     )?;
                 }
             }
-            self.facts = facts;
+            facts.advance(&self.gp, &new_atoms, &mut grown);
+            new_atoms.clear();
+            if self.gp.clause_count() == before {
+                break;
+            }
+            self.stats.rounds += 1;
         }
+        self.stats.join_ns = t.elapsed().as_nanos() as u64;
         Ok(())
     }
 
-    /// Matches positive body literals `pos[i..]` against the fact store
-    /// (literal `delta_at` restricted to the delta), then enumerates
-    /// residual variables and emits the instance.
-    #[allow(clippy::too_many_arguments)]
-    fn join(
+    /// Executes plan literal `li` under the current bindings: an index
+    /// probe clamped to the literal's role sub-range, or a row-range
+    /// scan when nothing is bound at this slot.
+    fn exec(
         &mut self,
-        clause: &gsls_lang::Clause,
-        pos: &[&Atom],
-        delta_at: usize,
-        i: usize,
-        subst: &mut Subst,
+        plan: &JoinPlan,
+        tmpl: &RuleTemplate,
+        li: usize,
         facts: &FactStore,
-        new_atoms: &mut Vec<Atom>,
+        new_atoms: &mut Vec<GroundAtomId>,
     ) -> Result<(), GroundingError> {
-        if i == pos.len() {
-            // Enumerate variables not bound by the positive body.
-            let free: Vec<Var> = clause
-                .vars(self.store)
-                .into_iter()
-                .filter(|&v| {
-                    let vt = self.store.var_term(v);
-                    let walked = subst.walk(self.store, vt);
-                    self.store.as_var(walked).is_some()
-                })
-                .collect();
-            return self.enumerate_free(clause, &free, 0, subst, new_atoms);
-        }
-        let role = match i.cmp(&delta_at) {
+        let Some(lit) = plan.literals.get(li) else {
+            return self.enumerate_residual(tmpl, 0, new_atoms);
+        };
+        let role = match lit.orig.cmp(&plan.delta_pos) {
             std::cmp::Ordering::Less => Role::Full,
             std::cmp::Ordering::Equal => Role::Delta,
             std::cmp::Ordering::Greater => Role::Old,
         };
-        let pattern = pos[i];
-        let Some(pf) = facts.get(pattern.pred_id()) else {
-            return Ok(());
-        };
-        let (lo, hi) = pf.range(role);
+        let (lo, hi) = facts.range(lit.pred_slot, role);
         if lo >= hi {
             return Ok(());
         }
-        // Prefer an argument-index lookup: the first pattern argument
-        // that is ground under the current bindings selects a (usually
-        // tiny) candidate list instead of a scan.
-        let mut indexed: Option<&[u32]> = None;
-        for (argpos, &arg) in pattern.args.iter().enumerate() {
-            let walked = subst.walk(self.store, arg);
-            if self.store.is_ground(walked) {
-                indexed = Some(
-                    pf.index
-                        .get(&(argpos as u32, walked))
-                        .map_or(&[][..], |v| v.as_slice()),
-                );
-                break;
+        if lit.handle != NO_INDEX {
+            let mark = self.key_buf.len();
+            for &p in lit.bound.iter() {
+                let value = match lit.specs[p as usize] {
+                    ArgSpec::Ground(id) => id,
+                    ArgSpec::Slot(s) => self.bindings[s as usize],
+                    ArgSpec::Compound(_) => unreachable!("compound args never join signatures"),
+                };
+                debug_assert_ne!(value, UNBOUND, "bound signature slot unbound");
+                self.key_buf.push(value);
             }
-        }
-        match indexed {
-            Some(list) => {
-                for &idx in list {
-                    let idx = idx as usize;
-                    if idx >= lo && idx < hi {
-                        self.try_candidate(
-                            clause, pos, delta_at, i, pf, idx, subst, facts, new_atoms,
-                        )?;
-                    }
-                }
+            self.stats.index_probes += 1;
+            let posting = facts.posting(lit.handle, &self.key_buf[mark..]);
+            self.key_buf.truncate(mark);
+            // Sorted posting list: the role restriction is a contiguous
+            // sub-range, not a filter over the whole list.
+            let a = posting.partition_point(|&r| r < lo);
+            let b = posting.partition_point(|&r| r < hi);
+            for &row in &posting[a..b] {
+                self.try_row(plan, tmpl, li, row, facts, new_atoms)?;
             }
-            None => {
-                for idx in lo..hi {
-                    self.try_candidate(clause, pos, delta_at, i, pf, idx, subst, facts, new_atoms)?;
-                }
+        } else {
+            for row in lo..hi {
+                self.try_row(plan, tmpl, li, row, facts, new_atoms)?;
             }
         }
         Ok(())
     }
 
-    /// Tries to match `pos[i]` against candidate `idx` of `pf`, recursing
-    /// on success and undoing the bindings afterwards.
-    #[allow(clippy::too_many_arguments)]
-    fn try_candidate(
+    /// Matches plan literal `li` against fact `row` (skipping the
+    /// index-guaranteed bound positions), recursing on success and
+    /// undoing the slot bindings afterwards.
+    fn try_row(
         &mut self,
-        clause: &gsls_lang::Clause,
-        pos: &[&Atom],
-        delta_at: usize,
-        i: usize,
-        pf: &PredFacts,
-        idx: usize,
-        subst: &mut Subst,
+        plan: &JoinPlan,
+        tmpl: &RuleTemplate,
+        li: usize,
+        row: u32,
         facts: &FactStore,
-        new_atoms: &mut Vec<Atom>,
+        new_atoms: &mut Vec<GroundAtomId>,
     ) -> Result<(), GroundingError> {
-        let pattern = pos[i];
-        let cand = &pf.all[idx];
-        let mark = self.trail.len();
+        let lit = &plan.literals[li];
+        self.stats.join_candidates += 1;
+        let targs = facts.row_args(lit.pred_slot, row);
+        let mark = self.slot_trail.len();
         let mut ok = true;
-        for (&pat, &tgt) in pattern.args.iter().zip(cand.args.iter()) {
-            if !match_term_recording(self.store, subst, pat, tgt, &mut self.trail) {
+        let mut bi = 0usize;
+        for (p, (&spec, &tgt)) in lit.specs.iter().zip(targs.iter()).enumerate() {
+            if bi < lit.bound.len() && lit.bound[bi] as usize == p {
+                // The index key already pinned this position.
+                bi += 1;
+                continue;
+            }
+            let matched = match spec {
+                // Hash-consing: id equality is structural equality, so
+                // deep ground terms (numerals) compare in O(1).
+                ArgSpec::Ground(id) => id == tgt,
+                ArgSpec::Slot(s) => {
+                    let cur = self.bindings[s as usize];
+                    if cur == UNBOUND {
+                        self.bindings[s as usize] = tgt;
+                        self.slot_trail.push(s);
+                        true
+                    } else {
+                        cur == tgt
+                    }
+                }
+                ArgSpec::Compound(pat) => match_compound(
+                    self.store,
+                    pat,
+                    tgt,
+                    &tmpl.var_slots,
+                    &mut self.bindings,
+                    &mut self.slot_trail,
+                ),
+            };
+            if !matched {
                 ok = false;
                 break;
             }
         }
         if ok {
-            self.join(clause, pos, delta_at, i + 1, subst, facts, new_atoms)?;
+            self.matched_buf[lit.orig as usize] = facts.row_atom(lit.pred_slot, row);
+            self.exec(plan, tmpl, li + 1, facts, new_atoms)?;
         }
-        while self.trail.len() > mark {
-            let v = self.trail.pop().expect("trail mark within bounds");
-            subst.remove(v);
+        while self.slot_trail.len() > mark {
+            let s = self
+                .slot_trail
+                .pop()
+                .expect("slot trail mark within bounds");
+            self.bindings[s as usize] = UNBOUND;
+        }
+        Ok(())
+    }
+
+    /// Enumerates the rule's residual slots over the universe, emitting
+    /// the instance when all are bound.
+    fn enumerate_residual(
+        &mut self,
+        tmpl: &RuleTemplate,
+        j: usize,
+        new_atoms: &mut Vec<GroundAtomId>,
+    ) -> Result<(), GroundingError> {
+        let Some(&slot) = tmpl.residual.get(j) else {
+            return self.emit_template(tmpl, new_atoms);
+        };
+        for u in 0..self.universe.len() {
+            self.bindings[slot as usize] = self.universe[u];
+            self.enumerate_residual(tmpl, j + 1, new_atoms)?;
+        }
+        self.bindings[slot as usize] = UNBOUND;
+        Ok(())
+    }
+
+    /// Resolves one template argument to its ground term.
+    fn resolve_spec(&mut self, spec: ArgSpec, tmpl: &RuleTemplate) -> TermId {
+        match spec {
+            ArgSpec::Ground(id) => id,
+            ArgSpec::Slot(s) => {
+                let t = self.bindings[s as usize];
+                debug_assert_ne!(t, UNBOUND, "unbound slot at emit");
+                t
+            }
+            ArgSpec::Compound(t) => self.resolve_compound(t, tmpl),
+        }
+    }
+
+    /// Substitutes slot values into a non-ground compound argument,
+    /// interning the new terms (cold path: function symbols only).
+    fn resolve_compound(&mut self, t: TermId, tmpl: &RuleTemplate) -> TermId {
+        if self.store.is_ground(t) {
+            return t;
+        }
+        match self.store.term(t).clone() {
+            Term::Var(v) => {
+                let b = self.bindings[tmpl.var_slots[&v] as usize];
+                debug_assert_ne!(b, UNBOUND, "unbound variable at emit");
+                b
+            }
+            Term::App(f, args) => {
+                let new_args: Vec<TermId> = args
+                    .iter()
+                    .map(|&a| self.resolve_compound(a, tmpl))
+                    .collect();
+                self.store.app(f, &new_args)
+            }
+        }
+    }
+
+    /// Template analogue of [`Grounder::emit`]: the positive body ids
+    /// come straight from the matched fact rows; only the head and the
+    /// negative body atoms are resolved and interned.
+    fn emit_template(
+        &mut self,
+        tmpl: &RuleTemplate,
+        new_atoms: &mut Vec<GroundAtomId>,
+    ) -> Result<(), GroundingError> {
+        // Resolve before interning anything: an instance that escapes
+        // the bounded universe must leave no trace in the atom table.
+        // (Positive body atoms are matched fact rows, i.e. previously
+        // emitted heads, so they are within depth by induction.)
+        self.head_buf.clear();
+        for i in 0..tmpl.head.args.len() {
+            let t = self.resolve_spec(tmpl.head.args[i], tmpl);
+            self.head_buf.push(t);
+        }
+        if self.exceeds_depth(&self.head_buf) {
+            return Ok(());
+        }
+        self.body_buf.clear();
+        for ni in 0..tmpl.neg.len() {
+            let start = self.body_buf.len();
+            for ai in 0..tmpl.neg[ni].args.len() {
+                let t = self.resolve_spec(tmpl.neg[ni].args[ai], tmpl);
+                self.body_buf.push(t);
+            }
+            if self.exceeds_depth(&self.body_buf[start..]) {
+                return Ok(());
+            }
+        }
+        let head_id = self.gp.intern_atom_parts(tmpl.head.pred, &self.head_buf);
+        self.neg_buf.clear();
+        let mut off = 0usize;
+        for nt in tmpl.neg.iter() {
+            let n = nt.args.len();
+            let id = self
+                .gp
+                .intern_atom_parts(nt.pred, &self.body_buf[off..off + n]);
+            off += n;
+            self.neg_buf.push(id);
+        }
+        self.push_unique(head_id, tmpl.n_pos as usize, tmpl.table_dedup, new_atoms)
+    }
+
+    /// Dedups and stores the clause `head ← matched positives, ¬negs`,
+    /// queueing a first-time head through the delta.
+    ///
+    /// Fact-shaped instances (empty body) dedup by head atom alone — two
+    /// such clauses are equal iff their heads are. Bodied instances
+    /// consult the id-triple clause table only when `use_table` says a
+    /// colliding rule exists (see `RuleTemplate::table_dedup`); planned
+    /// semi-naive enumeration is duplicate-free within one rule.
+    fn push_unique(
+        &mut self,
+        head_id: GroundAtomId,
+        n_pos: usize,
+        use_table: bool,
+        new_atoms: &mut Vec<GroundAtomId>,
+    ) -> Result<(), GroundingError> {
+        if n_pos == 0 && self.neg_buf.is_empty() {
+            if self.fact_seen.len() <= head_id.index() {
+                self.fact_seen.resize(head_id.index() + 1, false);
+            }
+            if self.fact_seen[head_id.index()] {
+                self.stats.dedup_hits += 1;
+                return Ok(());
+            }
+            if self.gp.clause_count() >= self.opts.max_clauses {
+                return Err(GroundingError::ClauseBudget(self.opts.max_clauses));
+            }
+            self.fact_seen[head_id.index()] = true;
+            self.gp.push_clause_parts(head_id, &[], &[]);
+            return self.queue_derivable(head_id, new_atoms);
+        }
+        if use_table {
+            let pos = &self.matched_buf[..n_pos];
+            let neg = &self.neg_buf;
+            let hash = clause_hash(head_id.0, pos, neg);
+            let gp = &self.gp;
+            let eq = |ci: u32| {
+                let c = gp.clause(ci);
+                c.head == head_id && c.pos == pos && c.neg == &neg[..]
+            };
+            let ci = gp.clause_count() as u32;
+            if (ci as usize) >= self.opts.max_clauses {
+                // At the budget only duplicates may still arrive cleanly.
+                if self.clause_table.find(hash, eq).is_some() {
+                    self.stats.dedup_hits += 1;
+                    return Ok(());
+                }
+                return Err(GroundingError::ClauseBudget(self.opts.max_clauses));
+            }
+            let existing = self.clause_table.find_or_insert(hash, ci, eq, |i| {
+                let c = gp.clause(i);
+                clause_hash(c.head.0, c.pos, c.neg)
+            });
+            if existing.is_some() {
+                self.stats.dedup_hits += 1;
+                return Ok(());
+            }
+        } else if self.gp.clause_count() >= self.opts.max_clauses {
+            return Err(GroundingError::ClauseBudget(self.opts.max_clauses));
+        }
+        let (gp, matched) = (&mut self.gp, &self.matched_buf);
+        gp.push_clause_parts(head_id, &matched[..n_pos], &self.neg_buf);
+        self.queue_derivable(head_id, new_atoms)
+    }
+
+    /// Marks `head_id` derivable, queueing it through the delta on the
+    /// first derivation.
+    fn queue_derivable(
+        &mut self,
+        head_id: GroundAtomId,
+        new_atoms: &mut Vec<GroundAtomId>,
+    ) -> Result<(), GroundingError> {
+        if self.derivable.len() <= head_id.index() {
+            self.derivable.resize(head_id.index() + 1, false);
+        }
+        if !self.derivable[head_id.index()] {
+            self.derivable[head_id.index()] = true;
+            new_atoms.push(head_id);
+        }
+        Ok(())
+    }
+
+    /// Matches naive-order literal `i` against every fact row of its
+    /// predicate — the oracle join.
+    #[allow(clippy::too_many_arguments)]
+    fn naive_join(
+        &mut self,
+        clause: &Clause,
+        pats: &[&Atom],
+        residual: &[Var],
+        i: usize,
+        subst: &mut Subst,
+        facts: &FactStore,
+        new_atoms: &mut Vec<GroundAtomId>,
+    ) -> Result<(), GroundingError> {
+        if i == pats.len() {
+            return self.enumerate_free(clause, residual, 0, subst, new_atoms);
+        }
+        let pat = pats[i];
+        let Some(slot) = facts.slot_of(pat.pred_id()) else {
+            return Ok(());
+        };
+        let (lo, hi) = facts.range(slot, Role::Full);
+        for row in lo..hi {
+            self.stats.join_candidates += 1;
+            let targs = facts.row_args(slot, row);
+            let mark = self.trail.len();
+            let mut ok = true;
+            for (&p, &t) in pat.args.iter().zip(targs.iter()) {
+                if !match_term_recording(self.store, subst, p, t, &mut self.trail) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                self.naive_join(clause, pats, residual, i + 1, subst, facts, new_atoms)?;
+            }
+            while self.trail.len() > mark {
+                let v = self.trail.pop().expect("trail mark within bounds");
+                subst.remove(v);
+            }
         }
         Ok(())
     }
 
     fn enumerate_free(
         &mut self,
-        clause: &gsls_lang::Clause,
+        clause: &Clause,
         free: &[Var],
         j: usize,
         subst: &mut Subst,
-        new_atoms: &mut Vec<Atom>,
+        new_atoms: &mut Vec<GroundAtomId>,
     ) -> Result<(), GroundingError> {
         if j == free.len() {
             return self.emit(clause, subst, new_atoms);
@@ -785,63 +1229,109 @@ impl<'a> Grounder<'a> {
         Ok(())
     }
 
+    /// Resolves the instance under `subst`, interns its atoms, and —
+    /// unless the id-triple dedup has seen the clause — pushes it into
+    /// the CSR store, queueing a first-time head through the delta.
     fn emit(
         &mut self,
-        clause: &gsls_lang::Clause,
+        clause: &Clause,
         subst: &Subst,
-        new_atoms: &mut Vec<Atom>,
+        new_atoms: &mut Vec<GroundAtomId>,
     ) -> Result<(), GroundingError> {
-        let head = subst.resolve_atom(self.store, &clause.head);
-        debug_assert!(head.is_ground(self.store));
-        if self.exceeds_depth(&head) {
-            // The instance mentions terms outside the bounded universe;
-            // it belongs to a deeper prefix of the (infinite) Herbrand
-            // instantiation than this grounding approximates.
+        // Resolve every atom before interning anything: an instance that
+        // escapes the bounded universe belongs to a deeper prefix of the
+        // (infinite) Herbrand instantiation than this grounding
+        // approximates, and must leave no trace in the atom table.
+        self.head_buf.clear();
+        for &a in clause.head.args.iter() {
+            let t = subst.resolve(self.store, a);
+            debug_assert!(self.store.is_ground(t), "unbound head variable at emit");
+            self.head_buf.push(t);
+        }
+        if self.exceeds_depth(&self.head_buf) {
             return Ok(());
         }
-        let mut pos_ids = Vec::new();
-        let mut neg_ids = Vec::new();
-        let mut bodies: Vec<(bool, Atom)> = Vec::with_capacity(clause.body.len());
+        self.body_buf.clear();
         for lit in &clause.body {
-            let atom = subst.resolve_atom(self.store, &lit.atom);
-            debug_assert!(atom.is_ground(self.store), "unbound variable at emit");
-            if self.exceeds_depth(&atom) {
+            let start = self.body_buf.len();
+            for &a in lit.atom.args.iter() {
+                let t = subst.resolve(self.store, a);
+                debug_assert!(self.store.is_ground(t), "unbound variable at emit");
+                self.body_buf.push(t);
+            }
+            if self.exceeds_depth(&self.body_buf[start..]) {
                 return Ok(());
             }
-            bodies.push((lit.is_pos(), atom));
         }
-        let head_id = self.gp.intern_atom(head.clone());
-        for (is_pos, atom) in bodies {
-            let id = self.gp.intern_atom(atom);
-            if is_pos {
-                pos_ids.push(id);
+        let head_id = self.gp.intern_atom_parts(clause.head.pred, &self.head_buf);
+        // The planned path never runs this emit, so `matched_buf` is
+        // free to serve as the positive-id buffer here.
+        self.matched_buf.clear();
+        self.neg_buf.clear();
+        let mut off = 0usize;
+        for lit in &clause.body {
+            let n = lit.atom.args.len();
+            let id = self
+                .gp
+                .intern_atom_parts(lit.atom.pred, &self.body_buf[off..off + n]);
+            off += n;
+            if lit.is_pos() {
+                self.matched_buf.push(id);
             } else {
-                neg_ids.push(id);
+                self.neg_buf.push(id);
             }
         }
-        let gc = GroundClause {
-            head: head_id,
-            pos: pos_ids.into(),
-            neg: neg_ids.into(),
-        };
-        if self.seen_clauses.insert(gc.clone()) {
-            if self.gp.clause_count() >= self.opts.max_clauses {
-                return Err(GroundingError::ClauseBudget(self.opts.max_clauses));
-            }
-            self.gp.push_clause(gc);
-            if self.derivable.insert(head.clone()) {
-                new_atoms.push(head);
-            }
-        }
-        Ok(())
+        let n_pos = self.matched_buf.len();
+        self.push_unique(head_id, n_pos, true, new_atoms)
     }
 
-    fn exceeds_depth(&self, atom: &Atom) -> bool {
-        self.max_depth != u32::MAX
-            && atom
-                .args
-                .iter()
-                .any(|&t| self.store.depth(t) > self.max_depth)
+    fn exceeds_depth(&self, args: &[TermId]) -> bool {
+        self.max_depth != u32::MAX && args.iter().any(|&t| self.store.depth(t) > self.max_depth)
+    }
+}
+
+/// Structurally matches a non-ground compound pattern (e.g. `s(X)`)
+/// against a ground target, binding pattern variables into the rule's
+/// dense slots and recording each new binding on the slot trail. The
+/// cold path of [`Grounder::try_row`] — only reachable in programs with
+/// function symbols.
+fn match_compound(
+    store: &TermStore,
+    pat: TermId,
+    tgt: TermId,
+    var_slots: &FxHashMap<Var, u32>,
+    bindings: &mut [TermId],
+    slot_trail: &mut Vec<u32>,
+) -> bool {
+    if store.is_ground(pat) {
+        // Hash-consing: ground ids are equal iff the terms are.
+        return pat == tgt;
+    }
+    match store.term(pat) {
+        Term::Var(v) => {
+            let s = var_slots[v] as usize;
+            let cur = bindings[s];
+            if cur == UNBOUND {
+                bindings[s] = tgt;
+                slot_trail.push(s as u32);
+                true
+            } else {
+                cur == tgt
+            }
+        }
+        Term::App(f, pargs) => match store.term(tgt) {
+            Term::App(g, targs) if f == g && pargs.len() == targs.len() => {
+                // Clone the id slices (Copy elements) so we can recurse
+                // while mutating the bindings.
+                let pargs: Vec<TermId> = pargs.to_vec();
+                let targs: Vec<TermId> = targs.to_vec();
+                pargs
+                    .into_iter()
+                    .zip(targs)
+                    .all(|(p, t)| match_compound(store, p, t, var_slots, bindings, slot_trail))
+            }
+            _ => false,
+        },
     }
 }
 
@@ -856,6 +1346,8 @@ mod tests {
         let gp = Grounder::ground(&mut s, &p).unwrap();
         (s, gp)
     }
+
+    use crate::testutil::sorted_clauses;
 
     #[test]
     fn facts_ground_to_themselves() {
@@ -919,7 +1411,7 @@ mod tests {
                     max_terms: 1000,
                 },
                 max_clauses: 10_000,
-                mode: GroundingMode::Relevant,
+                ..GrounderOpts::default()
             },
         )
         .unwrap();
@@ -953,9 +1445,8 @@ mod tests {
             &mut s,
             &p,
             GrounderOpts {
-                universe: HerbrandOpts::default(),
                 max_clauses: 5,
-                mode: GroundingMode::Relevant,
+                ..GrounderOpts::default()
             },
         )
         .unwrap_err();
@@ -981,6 +1472,8 @@ mod tests {
         let id = gp.intern_atom(pb.clone());
         assert_eq!(gp.lookup_atom(&pb), Some(id));
         assert_eq!(gp.atom(id), &pb);
+        // Parts-based interning agrees with the owned-atom path.
+        assert_eq!(gp.intern_atom_parts(p, &pb.args), id);
     }
 
     #[test]
@@ -1077,5 +1570,84 @@ mod tests {
             assert!(text.contains(&format!("r(v{i})")), "r(v{i}) missing");
         }
         assert!(!text.contains("r(v13)"));
+    }
+
+    #[test]
+    fn planned_and_naive_agree_on_core_programs() {
+        for src in [
+            "e(a). other(b). p(X) :- e(X).",
+            "q(a). q(b). p(X) :- ~q(X).",
+            "e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+            "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+            "p :- ~q. q :- ~p. r :- p.",
+            // Wide rule with shared variables across four positive
+            // literals plus a residual-only negative.
+            "a(x, y). a(y, z). b(y). c(y, z). d(z). \
+             p(X, Z) :- a(X, Y), b(Y), c(Y, Z), d(Z), ~p(Z, X).",
+        ] {
+            let mut s1 = TermStore::new();
+            let p1 = parse_program(&mut s1, src).unwrap();
+            let planned = Grounder::ground(&mut s1, &p1).unwrap();
+            let mut s2 = TermStore::new();
+            let p2 = parse_program(&mut s2, src).unwrap();
+            let naive = Grounder::ground_with(
+                &mut s2,
+                &p2,
+                GrounderOpts {
+                    strategy: JoinStrategy::Naive,
+                    ..GrounderOpts::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                sorted_clauses(&s1, &planned),
+                sorted_clauses(&s2, &naive),
+                "strategy divergence on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_expose_plan_and_probe_counts() {
+        let mut s = TermStore::new();
+        let p = parse_program(
+            &mut s,
+            "e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        )
+        .unwrap();
+        let (_, stats) = Grounder::ground_with_stats(&mut s, &p, GrounderOpts::default()).unwrap();
+        // 1 plan for the base rule, 2 for the recursive rule.
+        assert_eq!(stats.plans, 3);
+        assert!(stats.indexes >= 2, "both join signatures indexed");
+        assert!(stats.index_probes > 0);
+        assert!(stats.join_candidates > 0);
+        assert!(stats.rounds >= 2, "chain needs several rounds");
+    }
+
+    #[test]
+    fn delta_subrange_probes_stay_linear_on_chains() {
+        // Regression for the indexed-candidate path: posting lists are
+        // restricted to the delta/old sub-range by binary search, so a
+        // linear derivation chain examines O(edges) candidates overall —
+        // the old full-list filter scan (and the pre-relevance sweep of
+        // every rule per round) was quadratic in the round count.
+        let n = 256usize;
+        let mut src = String::new();
+        src.push_str("r(v0).\n");
+        for i in 0..n {
+            src.push_str(&format!("e(v{i}, v{}).\n", i + 1));
+        }
+        src.push_str("r(Y) :- r(X), e(X, Y).\n");
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, &src).unwrap();
+        let (gp, stats) = Grounder::ground_with_stats(&mut s, &p, GrounderOpts::default()).unwrap();
+        // 1 seed fact + n edge facts + n rule instances.
+        assert_eq!(gp.clause_count(), 1 + n + n);
+        let bound = (n as u64) * 16;
+        assert!(
+            stats.join_candidates <= bound,
+            "chain join candidates {} exceed linear bound {bound}",
+            stats.join_candidates
+        );
     }
 }

@@ -9,8 +9,12 @@
 //! * [`grounder`] — Herbrand instantiation (Def. 1.5): compiles a program
 //!   to a dense [`GroundProgram`] over interned ground-atom ids, using a
 //!   **semi-naive** relevant-grounding fixpoint so only rules whose
-//!   positive bodies are potentially derivable are emitted, and each
-//!   round joins only against the previous round's delta;
+//!   positive bodies are potentially derivable are emitted. Rule bodies
+//!   are compiled once into **join plans** (selectivity-ordered literals,
+//!   composite bound-argument indexes, delta sub-ranges, a relevance
+//!   index routing each round to the plans whose delta grew — see the
+//!   `plan` and `factstore` module docs), with a deliberately simple
+//!   [`JoinStrategy::Naive`] oracle retained for differential testing;
 //! * [`depgraph`] — predicate/atom dependency graphs, Tarjan SCCs,
 //!   stratification, local stratification and acyclicity tests for the
 //!   program classes discussed in Sec. 7 of the paper.
@@ -39,13 +43,15 @@
 //! returns programs already finalized.
 
 pub mod depgraph;
+mod factstore;
 pub mod grounder;
 pub mod herbrand;
+mod plan;
 pub mod testutil;
 
 pub use depgraph::{AtomDepGraph, DepGraph, ProgramClass};
 pub use grounder::{
-    ClauseRef, Csr, GroundAtomId, GroundClause, GroundProgram, Grounder, GrounderOpts,
-    GroundingError, GroundingMode,
+    ClauseRef, Csr, GroundAtomId, GroundClause, GroundProgram, GroundStats, Grounder, GrounderOpts,
+    GroundingError, GroundingMode, JoinStrategy,
 };
 pub use herbrand::{augment_program, herbrand_universe, term_transform, HerbrandOpts};

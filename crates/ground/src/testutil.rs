@@ -21,6 +21,16 @@ pub fn atom_id(store: &TermStore, gp: &GroundProgram, text: &str) -> GroundAtomI
         .unwrap_or_else(|| panic!("atom {text} not found"))
 }
 
+/// The clause multiset of a ground program as sorted rendered lines —
+/// the clause-set identity used by the planned-vs-naive differential
+/// oracles (atom ids may be assigned in a different order by different
+/// join strategies, so id-level comparison would be wrong).
+pub fn sorted_clauses(store: &TermStore, gp: &GroundProgram) -> Vec<String> {
+    let mut lines: Vec<String> = gp.display(store).lines().map(str::to_owned).collect();
+    lines.sort();
+    lines
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,6 +56,132 @@ pub fn random_program(store: &mut TermStore, opts: RandomProgramOpts, seed: u64)
     prog
 }
 
+/// Parameters for [`random_relational_program`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomRelationalOpts {
+    /// Universe size (`c0 … c(n−1)`).
+    pub constants: usize,
+    /// Number of relations (`r0 … r(n−1)`), each with a random arity in
+    /// `1..=max_arity`.
+    pub preds: usize,
+    /// Maximum relation arity.
+    pub max_arity: usize,
+    /// Number of ground facts.
+    pub facts: usize,
+    /// Number of rules.
+    pub rules: usize,
+    /// Body length range (inclusive); `min_body ≥ 1` keeps every rule
+    /// joinable.
+    pub min_body: usize,
+    /// See [`RandomRelationalOpts::min_body`].
+    pub max_body: usize,
+    /// Variable pool size per rule — small pools force shared join
+    /// variables across body literals.
+    pub vars: usize,
+    /// Probability that a body literal is negative.
+    pub neg_prob: f64,
+}
+
+impl Default for RandomRelationalOpts {
+    fn default() -> Self {
+        RandomRelationalOpts {
+            constants: 4,
+            preds: 3,
+            max_arity: 2,
+            facts: 8,
+            rules: 5,
+            min_body: 1,
+            max_body: 3,
+            vars: 3,
+            neg_prob: 0.3,
+        }
+    }
+}
+
+/// Generates a random **function-free relational** normal program
+/// (deterministic per seed): ground facts over a small constant
+/// universe plus rules whose body literals share variables from a small
+/// per-rule pool. The grounder's join planner is exercised by exactly
+/// this shape — wide positive bodies with shared variables — so these
+/// programs drive the planned-vs-naive and relevant-vs-full
+/// differential properties.
+///
+/// Head arguments are drawn from the rule's variable pool with a bias
+/// toward variables that appear in the positive body (keeping most
+/// rules range-restricted), but unbound head/negative variables do
+/// occur and exercise the residual-enumeration path.
+pub fn random_relational_program(
+    store: &mut TermStore,
+    opts: RandomRelationalOpts,
+    seed: u64,
+) -> Program {
+    let mut rng = SplitMix64::new(seed);
+    let consts: Vec<_> = (0..opts.constants.max(1))
+        .map(|i| store.constant(&format!("c{i}")))
+        .collect();
+    let arities: Vec<usize> = (0..opts.preds.max(1))
+        .map(|_| 1 + rng.below(opts.max_arity.max(1)))
+        .collect();
+    let syms: Vec<Symbol> = (0..opts.preds.max(1))
+        .map(|i| store.intern_symbol(&format!("r{i}")))
+        .collect();
+    let mut prog = Program::new();
+    for _ in 0..opts.facts {
+        let p = rng.below(syms.len());
+        let args: Vec<_> = (0..arities[p])
+            .map(|_| consts[rng.below(consts.len())])
+            .collect();
+        prog.push(Clause::fact(Atom::new(syms[p], args)));
+    }
+    for _ in 0..opts.rules {
+        let vars: Vec<_> = (0..opts.vars.max(1))
+            .map(|i| store.fresh_var(Some(&format!("V{i}"))))
+            .collect();
+        let blen = opts.min_body + rng.below(opts.max_body.saturating_sub(opts.min_body) + 1);
+        let mut body = Vec::with_capacity(blen);
+        let mut pos_var_mask = vec![false; vars.len()];
+        for _ in 0..blen {
+            let p = rng.below(syms.len());
+            let neg = rng.chance(opts.neg_prob);
+            let args: Vec<_> = (0..arities[p])
+                .map(|_| {
+                    // Mostly variables (forcing joins), sometimes constants.
+                    if rng.chance(0.8) {
+                        let v = rng.below(vars.len());
+                        if !neg {
+                            pos_var_mask[v] = true;
+                        }
+                        vars[v]
+                    } else {
+                        consts[rng.below(consts.len())]
+                    }
+                })
+                .collect();
+            let atom = Atom::new(syms[p], args);
+            body.push(if neg {
+                Literal::neg(atom)
+            } else {
+                Literal::pos(atom)
+            });
+        }
+        let hp = rng.below(syms.len());
+        let bound: Vec<_> = (0..vars.len()).filter(|&v| pos_var_mask[v]).collect();
+        let head_args: Vec<_> = (0..arities[hp])
+            .map(|_| {
+                if !bound.is_empty() && rng.chance(0.85) {
+                    vars[bound[rng.below(bound.len())]]
+                } else if rng.chance(0.5) {
+                    consts[rng.below(consts.len())]
+                } else {
+                    vars[rng.below(vars.len())]
+                }
+            })
+            .collect();
+        prog.push(Clause::new(Atom::new(syms[hp], head_args), body));
+    }
+    prog
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,5 +221,52 @@ mod tests {
         };
         let p = random_program(&mut s, opts, 9);
         assert!(p.is_definite());
+    }
+
+    #[test]
+    fn relational_deterministic_and_function_free() {
+        let mut s1 = TermStore::new();
+        let p1 = random_relational_program(&mut s1, RandomRelationalOpts::default(), 11);
+        let mut s2 = TermStore::new();
+        let p2 = random_relational_program(&mut s2, RandomRelationalOpts::default(), 11);
+        assert_eq!(p1.display(&s1), p2.display(&s2));
+        assert!(p1.is_function_free(&s1));
+        assert_eq!(p1.len(), 8 + 5);
+    }
+
+    #[test]
+    fn relational_wide_rules_share_variables() {
+        let mut s = TermStore::new();
+        let opts = RandomRelationalOpts {
+            rules: 20,
+            min_body: 4,
+            max_body: 6,
+            vars: 4,
+            ..RandomRelationalOpts::default()
+        };
+        let p = random_relational_program(&mut s, opts, 3);
+        let wide = p
+            .clauses()
+            .iter()
+            .filter(|c| !c.is_fact())
+            .filter(|c| c.body.len() >= 4)
+            .count();
+        assert_eq!(wide, 20, "every rule respects min_body");
+        // With 4 variables and ≥4 literals of arity ≥1, rules share
+        // variables across literals somewhere in the program.
+        let shares = p.clauses().iter().filter(|c| !c.is_fact()).any(|c| {
+            let mut seen = Vec::new();
+            let mut shared = false;
+            for l in c.body.iter().filter(|l| l.is_pos()) {
+                for v in l.atom.vars(&s) {
+                    if seen.contains(&v) {
+                        shared = true;
+                    }
+                    seen.push(v);
+                }
+            }
+            shared
+        });
+        assert!(shares, "expected at least one shared join variable");
     }
 }

@@ -19,4 +19,7 @@ cargo build --release --examples
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> ground_smoke (join-plan vs naive-join differential)"
+cargo run --release -p gsls-bench --bin ground_smoke
+
 echo "check.sh: all gates passed"

