@@ -41,6 +41,7 @@ pub mod global;
 pub mod ground_tree;
 pub mod ordinal;
 pub mod rule;
+pub mod scc;
 pub mod slp;
 pub mod solver;
 pub mod tabled;
@@ -53,6 +54,7 @@ pub use global::{
 pub use ground_tree::{GroundStatus, GroundTreeAnalysis};
 pub use ordinal::Ordinal;
 pub use rule::{RuleKind, Selection};
+pub use scc::SccSolver;
 pub use slp::{SlpNode, SlpNodeKind, SlpOpts, SlpTree};
 pub use solver::{Engine, QueryResult, Solver, SolverError};
 pub use tabled::{TabledEngine, TabledStats};

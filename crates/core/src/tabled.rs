@@ -22,10 +22,28 @@
 //! completeness, Theorems 5.4/6.2, are exercised by `tests/` property
 //! tests against the bottom-up oracle); `Undefined` is the effective
 //! stand-in for "ideal global SLS-resolution is indeterminate".
+//!
+//! ## Parallel SCC evaluation
+//!
+//! SCCs with no dependency path between them are semantically
+//! independent, so the condensation is a wavefront: [`TabledEngine::
+//! truth_parallel`] hands ready SCCs (in-degree zero over untabled
+//! dependencies) to a [`gsls_par::TaskDag`] running on work-stealing
+//! deques. Each worker owns an [`SccSolver`] — a [`gsls_wfs::
+//! Propagator`] clone plus bitset scratch over the shared immutable CSR
+//! program — and publishes verdicts through a lock-free atomic verdict
+//! table; completing an SCC decrements its dependents' in-degrees and
+//! enqueues the newly ready ones. Because every SCC still sees exactly
+//! the verdicts of its lower SCCs, the parallel result is **identical**
+//! to the sequential one at every thread count (pinned by
+//! `tests/parallel_diff.rs`).
 
-use gsls_ground::{depgraph, ClauseRef, GroundAtomId, GroundProgram};
+use crate::scc::SccSolver;
+use gsls_ground::{depgraph, GroundAtomId, GroundProgram};
 use gsls_lang::FxHashMap;
-use gsls_wfs::{BitSet, Propagator, Truth};
+use gsls_par::TaskDag;
+use gsls_wfs::Truth;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Statistics for one query evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -38,30 +56,44 @@ pub struct TabledStats {
     pub max_scc: usize,
 }
 
+/// Atomic verdict encoding for the parallel wavefront: `0` = untabled.
+const V_NONE: u8 = 0;
+
+#[inline]
+fn encode(t: Truth) -> u8 {
+    match t {
+        Truth::True => 1,
+        Truth::False => 2,
+        Truth::Undefined => 3,
+    }
+}
+
+#[inline]
+fn decode(v: u8) -> Option<Truth> {
+    match v {
+        1 => Some(Truth::True),
+        2 => Some(Truth::False),
+        3 => Some(Truth::Undefined),
+        _ => None,
+    }
+}
+
 /// The memoized engine over a ground program.
 ///
-/// SCC-local alternating fixpoints all run through one shared
-/// [`Propagator`] restricted to the SCC's clause range
-/// ([`Propagator::lfp_restricted`]), with engine-owned bitset scratch
-/// cleared sparsely per SCC — after warm-up, solving an SCC performs no
-/// heap allocation.
+/// SCC-local alternating fixpoints all run through one engine-owned
+/// [`SccSolver`] (a [`gsls_wfs::Propagator`] restricted to the SCC's
+/// clause range, with bitset scratch cleared sparsely per SCC) — after
+/// warm-up, solving an SCC performs no heap allocation. The parallel
+/// path ([`TabledEngine::truth_parallel`]) instead builds one solver
+/// per worker; see the module docs.
 #[derive(Debug, Clone)]
 pub struct TabledEngine {
     gp: GroundProgram,
     /// Memo table: verdicts for already-evaluated atoms.
     table: Vec<Option<Truth>>,
     stats_total: TabledStats,
-    /// Shared propagation scratch for every SCC-local fixpoint.
-    prop: Propagator,
-    /// Clause indices of the SCC currently being solved.
-    scc_clauses: Vec<u32>,
-    /// Membership mask of the SCC currently being solved.
-    in_scc: BitSet,
-    /// Alternating-fixpoint buffers (global-sized, sparsely cleared).
-    t: BitSet,
-    u: BitSet,
-    t_next: BitSet,
-    u_next: BitSet,
+    /// Solver state for the sequential path.
+    solver: SccSolver,
 }
 
 impl TabledEngine {
@@ -69,18 +101,12 @@ impl TabledEngine {
     pub fn new(mut gp: GroundProgram) -> Self {
         gp.finalize();
         let n = gp.atom_count();
-        let prop = Propagator::new(&gp);
+        let solver = SccSolver::for_worker(&gp);
         TabledEngine {
             gp,
             table: vec![None; n],
             stats_total: TabledStats::default(),
-            prop,
-            scc_clauses: Vec::new(),
-            in_scc: BitSet::new(n),
-            t: BitSet::new(n),
-            u: BitSet::new(n),
-            t_next: BitSet::new(n),
-            u_next: BitSet::new(n),
+            solver,
         }
     }
 
@@ -102,10 +128,19 @@ impl TabledEngine {
     /// The truth of `atom` in the well-founded model, evaluating (and
     /// memoizing) the relevant subprogram on demand.
     pub fn truth(&mut self, atom: GroundAtomId) -> Truth {
+        self.truth_parallel(atom, 1)
+    }
+
+    /// [`TabledEngine::truth`] with the SCC wavefront solved on
+    /// `threads` workers. `threads <= 1` is the sequential path,
+    /// bit-identical to [`TabledEngine::truth`]; any other count
+    /// produces the same verdicts by the determinism contract (see the
+    /// module docs). Pick a count with [`gsls_par::threads`].
+    pub fn truth_parallel(&mut self, atom: GroundAtomId, threads: usize) -> Truth {
         if let Some(t) = self.table[atom.index()] {
             return t;
         }
-        self.evaluate_from(atom);
+        self.evaluate_from(atom, threads);
         self.table[atom.index()].expect("evaluation must decide the root atom")
     }
 
@@ -115,7 +150,7 @@ impl TabledEngine {
     }
 
     /// Evaluates all atoms reachable from `root` that are not yet tabled.
-    fn evaluate_from(&mut self, root: GroundAtomId) {
+    fn evaluate_from(&mut self, root: GroundAtomId, threads: usize) {
         // 1. Reachable, untabled atoms (DFS over body edges).
         let mut reach: Vec<GroundAtomId> = Vec::new();
         let mut seen = vec![false; self.gp.atom_count()];
@@ -160,153 +195,100 @@ impl TabledEngine {
         let comps = depgraph::sccs(&adj); // reverse topological: deps first
         self.stats_total.sccs += comps.len();
         self.stats_total.evaluated_atoms += reach.len();
-        // 3. Solve each SCC bottom-up.
-        for comp in comps {
+        for comp in &comps {
             self.stats_total.max_scc = self.stats_total.max_scc.max(comp.len());
-            let atoms: Vec<GroundAtomId> = comp.iter().map(|&l| reach[l as usize]).collect();
-            self.solve_scc(&atoms);
+        }
+        // 3. Solve the SCCs bottom-up (sequential) or as a wavefront
+        // over the condensation (parallel).
+        if threads <= 1 || comps.len() <= 1 {
+            for comp in comps {
+                let atoms: Vec<GroundAtomId> = comp.iter().map(|&l| reach[l as usize]).collect();
+                self.solve_scc(&atoms);
+            }
+        } else {
+            self.solve_sccs_parallel(&reach, &adj, &comps, threads);
         }
     }
 
-    /// Solves one SCC by a local alternating fixpoint, reading external
-    /// atoms from the memo table (they are guaranteed decided).
-    ///
-    /// Each reduct evaluation is [`Propagator::lfp_restricted`] over the
-    /// SCC's clause indices with global atom ids: internal positive
-    /// literals are tracked by the propagation, external ones resolve
-    /// against the memo table at classification time, and internal
-    /// negative literals delete clauses per the Gelfond–Lifschitz reduct
-    /// w.r.t. the opposite approximation. Fixpoint detection uses
-    /// derivation counts (`T` grows, `U` shrinks along the iteration).
-    ///
-    /// **Singleton fast path:** most SCCs of real dependency graphs are
-    /// single atoms without a self-loop, where every body literal is
-    /// external and already tabled. The three-valued verdict is then two
-    /// classification passes over the atom's clauses — no bitset
-    /// bookkeeping, no restricted fixpoints, no alternating rounds.
+    /// Solves one SCC on the engine-owned [`SccSolver`], reading
+    /// external atoms from the memo table (they are guaranteed decided)
+    /// and publishing verdicts back into it.
     fn solve_scc(&mut self, atoms: &[GroundAtomId]) {
         let Self {
-            gp,
-            table,
-            prop,
-            scc_clauses,
-            in_scc,
-            t,
-            u,
-            t_next,
-            u_next,
-            ..
+            gp, table, solver, ..
         } = self;
-        if let [a] = *atoms {
-            let self_dep = gp.clauses_for(a).iter().any(|&ci| {
-                let c = gp.clause(ci);
-                c.pos.contains(&a) || c.neg.contains(&a)
-            });
-            if !self_dep {
-                let external = |b: GroundAtomId| table[b.index()].expect("external atom tabled");
-                let mut verdict = Truth::False;
-                for &ci in gp.clauses_for(a) {
-                    let c = gp.clause(ci);
-                    // Definite reading: every literal decided its way.
-                    if c.pos.iter().all(|&b| external(b) == Truth::True)
-                        && c.neg.iter().all(|&b| external(b) == Truth::False)
-                    {
-                        verdict = Truth::True;
-                        break;
-                    }
-                    // Possible reading: no literal decided against.
-                    if c.pos.iter().all(|&b| external(b) != Truth::False)
-                        && c.neg.iter().all(|&b| external(b) != Truth::True)
-                    {
-                        verdict = Truth::Undefined;
-                    }
-                }
-                table[a.index()] = Some(verdict);
-                return;
+        solver.solve(gp, atoms, |b| {
+            table[b.index()].expect("external atom tabled")
+        });
+        for (&a, &v) in atoms.iter().zip(solver.verdicts()) {
+            table[a.index()] = Some(v);
+        }
+    }
+
+    /// The wavefront: schedules the SCC condensation on `threads`
+    /// workers, each owning an [`SccSolver`] over the shared CSR
+    /// program and publishing through a lock-free atomic verdict table.
+    ///
+    /// `comps` are Tarjan components of the `reach`-local graph `adj`
+    /// in reverse topological order; edges go from an SCC to the SCCs
+    /// it depends on, so the DAG dependency of component `c` on the
+    /// component of each successor atom is exactly "solve deps first".
+    fn solve_sccs_parallel(
+        &mut self,
+        reach: &[GroundAtomId],
+        adj: &[Vec<u32>],
+        comps: &[Vec<u32>],
+        threads: usize,
+    ) {
+        let n = comps.len();
+        let mut comp_of = vec![0u32; reach.len()];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &l in comp {
+                comp_of[l as usize] = ci as u32;
             }
         }
-        for &a in atoms {
-            in_scc.insert(a.index());
-            t.remove(a.index());
-            u.remove(a.index());
-            t_next.remove(a.index());
-            u_next.remove(a.index());
-        }
-        scc_clauses.clear();
-        for &a in atoms {
-            scc_clauses.extend_from_slice(gp.clauses_for(a));
-        }
-        let scc_mask = &*in_scc;
-        let table_ro = &*table;
-        // `classify(c, s, under)`: `None` = clause deleted for this pass;
-        // `Some(k)` = number of internal positive literals the
-        // propagation must derive. `under` selects the definite (T) or
-        // possible (U) reading of external undefined literals.
-        let classify = |c: ClauseRef<'_>, s: &BitSet, under: bool| -> Option<u32> {
-            let mut missing = 0u32;
-            for &b in c.pos {
-                if scc_mask.contains(b.index()) {
-                    missing += 1;
-                } else {
-                    match table_ro[b.index()].expect("external atom tabled") {
-                        Truth::True => {}
-                        Truth::Undefined if under => return None,
-                        Truth::Undefined => {}
-                        Truth::False => return None,
+        let mut dag = TaskDag::new(n);
+        // Dedup edges per component with a stamp so a dependent's
+        // in-degree counts each lower SCC once.
+        let mut stamp = vec![u32::MAX; n];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &l in comp {
+                for &m in &adj[l as usize] {
+                    let d = comp_of[m as usize];
+                    if d != ci as u32 && stamp[d as usize] != ci as u32 {
+                        stamp[d as usize] = ci as u32;
+                        dag.add_dep(ci as u32, d);
                     }
                 }
             }
-            for &b in c.neg {
-                if scc_mask.contains(b.index()) {
-                    if s.contains(b.index()) {
-                        return None;
-                    }
-                } else {
-                    match table_ro[b.index()].expect("external atom tabled") {
-                        Truth::False => {}
-                        Truth::Undefined if under => return None,
-                        Truth::Undefined => {}
-                        Truth::True => return None,
-                    }
+        }
+        let Self { gp, table, .. } = self;
+        // Read snapshot of already-published verdicts: atoms tabled by
+        // earlier queries are external to every SCC here.
+        let verdicts: Vec<AtomicU8> = table
+            .iter()
+            .map(|t| AtomicU8::new(t.map_or(V_NONE, encode)))
+            .collect();
+        let verdicts = &verdicts[..];
+        dag.run(
+            threads,
+            |_worker| (SccSolver::for_worker(gp), Vec::<GroundAtomId>::new()),
+            |(solver, atom_buf), c| {
+                atom_buf.clear();
+                atom_buf.extend(comps[c as usize].iter().map(|&l| reach[l as usize]));
+                solver.solve(gp, atom_buf, |b| {
+                    decode(verdicts[b.index()].load(Ordering::Acquire))
+                        .expect("external atom tabled")
+                });
+                for (&a, &v) in atom_buf.iter().zip(solver.verdicts()) {
+                    verdicts[a.index()].store(encode(v), Ordering::Release);
                 }
-            }
-            Some(missing)
-        };
-        // T₀ = ∅; U₀ = A_over(T₀); then alternate until the counts of
-        // both approximations stop moving.
-        let mut t_count = 0usize;
-        let mut u_count = prop.lfp_restricted(gp, scc_clauses, |c| classify(c, t, false), u);
-        loop {
-            let tc = prop.lfp_restricted(gp, scc_clauses, |c| classify(c, u, true), t_next);
-            let uc = prop.lfp_restricted(gp, scc_clauses, |c| classify(c, t_next, false), u_next);
-            let stable = tc == t_count && uc == u_count;
-            std::mem::swap(t, t_next);
-            std::mem::swap(u, u_next);
-            t_count = tc;
-            u_count = uc;
-            if stable {
-                break;
-            }
-            // The swapped-out buffers hold the previous round; clear the
-            // SCC's bits before they serve as outputs again.
-            for &a in atoms {
-                t_next.remove(a.index());
-                u_next.remove(a.index());
-            }
-        }
-        for &a in atoms {
-            let verdict = if t.contains(a.index()) {
-                Truth::True
-            } else if !u.contains(a.index()) {
-                Truth::False
-            } else {
-                Truth::Undefined
-            };
-            table[a.index()] = Some(verdict);
-        }
-        // The membership mask must not leak into the next SCC.
-        for &a in atoms {
-            in_scc.remove(a.index());
+            },
+        );
+        for &a in reach {
+            let v = decode(verdicts[a.index()].load(Ordering::Acquire));
+            debug_assert!(v.is_some(), "wavefront left an atom undecided");
+            table[a.index()] = v;
         }
     }
 }
@@ -413,6 +395,40 @@ mod tests {
         assert_eq!(e.truth(id(&s, &gp, "win(n3)")), Truth::True);
         assert_eq!(e.truth(id(&s, &gp, "win(n2)")), Truth::False);
         assert_eq!(e.truth(id(&s, &gp, "win(n1)")), Truth::True);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_whole_programs() {
+        for src in [
+            "q. p :- ~q. r :- ~p.",
+            "p :- ~q. q :- ~p. r :- ~s. s.",
+            "p :- q, ~r. q :- r, ~p. r :- p, ~q. s :- ~p, ~q, ~r.",
+            "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+            "e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        ] {
+            for threads in [2, 4, 8] {
+                let (_, mut e) = engine(src);
+                let gp = e.ground_program().clone();
+                let wfm = well_founded_model(&gp);
+                for a in gp.atom_ids() {
+                    assert_eq!(
+                        e.truth_parallel(a, threads),
+                        wfm.truth(a),
+                        "atom {a:?} in {src} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_memoizes_like_sequential() {
+        let (s, mut e) = engine("q. p :- ~q. r :- ~p.");
+        let gp = e.ground_program().clone();
+        let _ = e.truth_parallel(id(&s, &gp, "r"), 4);
+        let before = e.stats().evaluated_atoms;
+        let _ = e.truth(id(&s, &gp, "p"));
+        assert_eq!(e.stats().evaluated_atoms, before, "second query free");
     }
 
     #[test]

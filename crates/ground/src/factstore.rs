@@ -171,10 +171,103 @@ impl IdTable {
         self.slots = bigger;
     }
 
+    /// Inserts an id whose key is **known absent** (no equality probes,
+    /// no duplicate check) — the bulk-load path for the parallel seed
+    /// round, whose shard-local dedup already guaranteed uniqueness.
+    /// `rehash` is only consulted if the insert triggers a grow.
+    pub fn insert_unique(&mut self, hash: u64, id: u32, rehash: impl FnMut(u32) -> u64) {
+        if (self.len + 1) * 8 >= self.slots.len() * 7 {
+            self.grow(rehash);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        while self.slots[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = pack(id, hash);
+        self.len += 1;
+    }
+
     /// Number of stored ids.
     #[cfg(test)]
     pub fn len(&self) -> usize {
         self.len
+    }
+}
+
+/// Number of lock-stripeable shards in a [`ShardedIdTable`]. A fixed
+/// power of two: enough that 8 workers rarely contend and each shard's
+/// grow-rehash touches 1/16th of the entries, small enough that tiny
+/// programs don't pay for empty tables.
+pub(crate) const SHARDS: usize = 16;
+
+/// The shard a key hashes into. Uses high hash bits: the probe index
+/// comes from the low bits and the tag from bits 32..64, so shard
+/// selection only narrows the tag by log₂([`SHARDS`]) bits.
+#[inline]
+pub(crate) fn shard_of(hash: u64) -> usize {
+    ((hash >> 59) as usize) & (SHARDS - 1)
+}
+
+/// An [`IdTable`] split into [`SHARDS`] hash-disjoint shards.
+///
+/// Two jobs: (1) the grounder's parallel seed round deduplicates each
+/// shard on a separate worker — keys of different shards can never be
+/// equal, so per-shard dedup is exact; (2) even sequentially, a grow
+/// rehashes one shard at a time instead of the whole table, which is
+/// what turned the 10^6-atom interning profile from rehash storms into
+/// amortized noise (the tables also get pre-sized from the seed round's
+/// cardinality — see the grounder).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardedIdTable {
+    shards: Vec<IdTable>,
+}
+
+impl Default for ShardedIdTable {
+    fn default() -> Self {
+        ShardedIdTable {
+            shards: (0..SHARDS).map(|_| IdTable::default()).collect(),
+        }
+    }
+}
+
+impl ShardedIdTable {
+    /// [`IdTable::find`] on the key's shard.
+    pub fn find(&self, hash: u64, eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        self.shards[shard_of(hash)].find(hash, eq)
+    }
+
+    /// [`IdTable::find_or_insert`] on the key's shard.
+    pub fn find_or_insert(
+        &mut self,
+        hash: u64,
+        candidate: u32,
+        eq: impl FnMut(u32) -> bool,
+        rehash: impl FnMut(u32) -> u64,
+    ) -> Option<u32> {
+        self.shards[shard_of(hash)].find_or_insert(hash, candidate, eq, rehash)
+    }
+
+    /// [`IdTable::insert_unique`] on the key's shard.
+    pub fn insert_unique(&mut self, hash: u64, id: u32, rehash: impl FnMut(u32) -> u64) {
+        self.shards[shard_of(hash)].insert_unique(hash, id, rehash);
+    }
+
+    /// Pre-sizes every shard for a **total** of about `n` entries,
+    /// assuming the uniform key distribution a good hash gives (a small
+    /// per-shard slack absorbs the variance; an unlucky shard just
+    /// grows once).
+    pub fn reserve(&mut self, n: usize, mut rehash: impl FnMut(u32) -> u64) {
+        let per = n / SHARDS + n / (SHARDS * 4) + 8;
+        for shard in &mut self.shards {
+            shard.reserve(per, &mut rehash);
+        }
+    }
+
+    /// Total number of stored ids.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(IdTable::len).sum()
     }
 }
 
@@ -468,6 +561,46 @@ mod tests {
         let h2 = fs.register_index(pred, &[0, 1]);
         let d = gp.atom(ids[3]).args[1];
         assert_eq!(fs.posting(h2, &[a, d]), &[3]);
+    }
+
+    #[test]
+    fn sharded_table_matches_flat_semantics() {
+        let keys: Vec<u64> = (0..2000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
+        let mut flat = IdTable::default();
+        let mut sharded = ShardedIdTable::default();
+        sharded.reserve(keys.len(), |id| keys[id as usize]);
+        for (i, &k) in keys.iter().enumerate() {
+            let eq = |id: u32| keys[id as usize] == k;
+            let rh = |id: u32| keys[id as usize];
+            assert_eq!(flat.find_or_insert(k, i as u32, eq, rh), None);
+            assert_eq!(sharded.find_or_insert(k, i as u32, eq, rh), None);
+        }
+        assert_eq!(sharded.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(
+                sharded.find(k, |id| keys[id as usize] == k),
+                Some(i as u32),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_unique_bulk_load_then_find() {
+        let keys: Vec<u64> = (0..800u64)
+            .map(|i| i.wrapping_mul(0xd1b54a32d192ed03))
+            .collect();
+        let mut t = ShardedIdTable::default();
+        // Deliberately no reserve: growth paths must stay correct.
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert_unique(k, i as u32, |id| keys[id as usize]);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(t.find(k, |id| keys[id as usize] == k), Some(i as u32));
+        }
+        assert_eq!(t.len(), keys.len());
     }
 
     #[test]

@@ -38,7 +38,9 @@
 //! set, and the microbench smoke target plus the workspace property
 //! tests pin that.
 
-use crate::factstore::{atom_hash, clause_hash, FactStore, IdTable, Role};
+use crate::factstore::{
+    atom_hash, clause_hash, shard_of, FactStore, IdTable, Role, ShardedIdTable, SHARDS,
+};
 use crate::herbrand::{herbrand_universe, HerbrandOpts};
 use crate::plan::{
     build_plans, build_templates, residual_vars, ArgSpec, JoinPlan, RuleTemplate, NO_INDEX, UNBOUND,
@@ -187,7 +189,9 @@ pub struct GroundProgram {
     atoms: Vec<Atom>,
     /// Open-addressing interning table over `atoms` (identity = `(pred,
     /// args)`; probes hash borrowed parts, so lookups allocate nothing).
-    atom_table: IdTable,
+    /// Sharded by high hash bits so growth rehashes one shard at a time
+    /// and the parallel seed round can dedup shards on separate workers.
+    atom_table: ShardedIdTable,
     /// Clause heads, one per clause.
     heads: Vec<GroundAtomId>,
     /// Flat body store: clause `c`'s positive atoms then negative atoms.
@@ -205,7 +209,7 @@ impl Default for GroundProgram {
     fn default() -> Self {
         GroundProgram {
             atoms: Vec::new(),
-            atom_table: IdTable::default(),
+            atom_table: ShardedIdTable::default(),
             heads: Vec::new(),
             body: Vec::new(),
             body_start: vec![0],
@@ -271,6 +275,32 @@ impl GroundProgram {
                 self.index = None;
                 id
             }
+        }
+    }
+
+    /// Appends an atom **without** touching the interning table. Only
+    /// the parallel seed merge may use this: it deduplicated the atoms
+    /// per shard already and bulk-loads the table afterwards
+    /// ([`GroundProgram::bulk_intern_unique`]).
+    fn push_atom_raw(&mut self, atom: Atom) -> GroundAtomId {
+        let id = GroundAtomId(u32::try_from(self.atoms.len()).expect("ground atom overflow"));
+        self.atoms.push(atom);
+        self.index = None;
+        id
+    }
+
+    /// Bulk-loads interning entries `(hash, id)` whose atoms were
+    /// appended by [`GroundProgram::push_atom_raw`]. Keys must be
+    /// distinct from each other and from every stored entry.
+    fn bulk_intern_unique(&mut self, entries: impl Iterator<Item = (u64, u32)>) {
+        let Self {
+            atoms, atom_table, ..
+        } = self;
+        for (h, id) in entries {
+            atom_table.insert_unique(h, id, |i| {
+                let a = &atoms[i as usize];
+                atom_hash(a.pred, &a.args)
+            });
         }
     }
 
@@ -548,6 +578,13 @@ pub struct GrounderOpts {
     pub mode: GroundingMode,
     /// Join evaluation strategy for [`GroundingMode::Relevant`].
     pub strategy: JoinStrategy,
+    /// Worker threads for the seed round. `1` (the default) is the
+    /// sequential path, bit-identical to every previous release; larger
+    /// counts shard the ground facts across workers (`gsls-par`) and
+    /// merge with deterministic first-occurrence ordering, so the
+    /// emitted **clause set** is identical at every count (pinned by
+    /// `tests/parallel_diff.rs`). Pick a count with [`gsls_par::threads`].
+    pub threads: usize,
 }
 
 impl Default for GrounderOpts {
@@ -557,6 +594,7 @@ impl Default for GrounderOpts {
             max_clauses: 2_000_000,
             mode: GroundingMode::Relevant,
             strategy: JoinStrategy::Planned,
+            threads: 1,
         }
     }
 }
@@ -771,17 +809,23 @@ impl<'a> Grounder<'a> {
         // clause (further growth is the usual amortized doubling).
         self.gp.reserve(program.len(), program.len());
         let mut new_atoms: Vec<GroundAtomId> = Vec::new();
+        let par_seed = self.opts.threads > 1 && templates.iter().any(Option::is_none);
+        if par_seed {
+            // Ground facts go through the sharded parallel round; the
+            // (rare) seed rules with residual variables follow
+            // sequentially, exactly as below.
+            self.seed_facts_parallel(program, &templates, &mut new_atoms)?;
+        }
         for (ci, clause) in program.clauses().iter().enumerate() {
             match &templates[ci] {
-                None => {
-                    if !self.exceeds_depth(&clause.head.args) {
-                        let head_id = self
-                            .gp
-                            .intern_atom_parts(clause.head.pred, &clause.head.args);
-                        self.neg_buf.clear();
-                        self.push_unique(head_id, 0, false, &mut new_atoms)?;
-                    }
+                None if !par_seed && !self.exceeds_depth(&clause.head.args) => {
+                    let head_id = self
+                        .gp
+                        .intern_atom_parts(clause.head.pred, &clause.head.args);
+                    self.neg_buf.clear();
+                    self.push_unique(head_id, 0, false, &mut new_atoms)?;
                 }
+                None => {}
                 Some(tmpl) if clause.pos_body().next().is_none() => {
                     self.enumerate_residual(tmpl, 0, &mut new_atoms)?;
                 }
@@ -806,6 +850,17 @@ impl<'a> Grounder<'a> {
         self.stats.indexes = facts.index_count() as u32;
         self.stats.plan_ns = t.elapsed().as_nanos() as u64;
 
+        // Interning micro-fix: pre-size for the join rounds from the
+        // seed round's observed cardinality. On relational workloads
+        // derived heads track the delta rows — about one new atom and
+        // clause per seed fact — so doubling the seeded counts removes
+        // the grow-and-rehash cascade that dominated the 10^6-atom
+        // profiles (each sharded grow rehashes 1/16th of the store, and
+        // after this reserve the join rounds trigger none at all).
+        let seeded_atoms = self.gp.atom_count();
+        let seeded_clauses = self.gp.clause_count();
+        self.gp.reserve(seeded_atoms * 2, seeded_clauses * 2);
+
         // Semi-naive rounds: only plans whose delta predicate grew are
         // re-joined (relevance index).
         let t = Instant::now();
@@ -824,6 +879,140 @@ impl<'a> Grounder<'a> {
             new_atoms.clear();
         }
         self.stats.join_ns = t.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// The sharded parallel seed round (`opts.threads > 1`).
+    ///
+    /// Ground facts dominate real programs, and seeding them is pure
+    /// interning — the superlinear 10^6-atom cost the ROADMAP tracked.
+    /// Three phases, each deterministic:
+    ///
+    /// 1. **Route** (parallel over fact chunks): hash every fact head
+    ///    and route `(hash, stream index)` into its interning shard —
+    ///    keys of different shards can never collide, so shards are
+    ///    independent dedup problems.
+    /// 2. **Dedup** (parallel over shards): each shard replays its
+    ///    entries in stream order against a private [`IdTable`],
+    ///    recording the distinct atoms with their first-occurrence
+    ///    index.
+    /// 3. **Merge** (sequential, no hashing): walk the fact stream
+    ///    once, assigning global ids at each first occurrence — the
+    ///    same first-occurrence order the sequential seed round interns
+    ///    in — emitting the fact clauses, then bulk-load the sharded
+    ///    table with the now-final ids (no probes: entries are unique
+    ///    by construction).
+    ///
+    /// The emitted clause set is therefore identical at every thread
+    /// count, and identical to the sequential path whenever ground
+    /// facts precede the residual seed rules (it differs only in
+    /// emission order otherwise — `tests/parallel_diff.rs` pins the
+    /// set identity).
+    fn seed_facts_parallel(
+        &mut self,
+        program: &Program,
+        templates: &[Option<RuleTemplate>],
+        new_atoms: &mut Vec<GroundAtomId>,
+    ) -> Result<(), GroundingError> {
+        let facts: Vec<&Atom> = program
+            .clauses()
+            .iter()
+            .zip(templates)
+            .filter_map(|(c, t)| t.is_none().then_some(&c.head))
+            .collect();
+        let n_threads = self.opts.threads;
+        let store: &TermStore = self.store;
+        let max_depth = self.max_depth;
+        // Phase 1: hash and route, chunks in stream order.
+        let routed: Vec<Vec<Vec<(u64, u32)>>> =
+            gsls_par::par_chunks(n_threads, &facts, n_threads * 4, |offset, chunk| {
+                let mut buckets: Vec<Vec<(u64, u32)>> = vec![Vec::new(); SHARDS];
+                for (i, head) in chunk.iter().enumerate() {
+                    if max_depth != u32::MAX
+                        && head.args.iter().any(|&a| store.depth(a) > max_depth)
+                    {
+                        continue;
+                    }
+                    let h = atom_hash(head.pred, &head.args);
+                    buckets[shard_of(h)].push((h, (offset + i) as u32));
+                }
+                buckets
+            });
+        // Phase 2: per-shard dedup against a private table.
+        struct ShardOut {
+            /// `(first-occurrence fact index, hash)` per distinct atom.
+            uniq: Vec<(u32, u64)>,
+            /// `(fact index, uniq index)` per routed entry.
+            assign: Vec<(u32, u32)>,
+        }
+        let shard_outs: Vec<ShardOut> = gsls_par::par_map(n_threads, SHARDS, |s| {
+            let total: usize = routed.iter().map(|b| b[s].len()).sum();
+            let mut table = IdTable::default();
+            table.reserve(total, |_| unreachable!("rehash of an empty table"));
+            let mut uniq: Vec<(u32, u64)> = Vec::new();
+            let mut assign: Vec<(u32, u32)> = Vec::with_capacity(total);
+            for buckets in &routed {
+                for &(h, fi) in &buckets[s] {
+                    let head = facts[fi as usize];
+                    let cand = uniq.len() as u32;
+                    let found = table.find_or_insert(
+                        h,
+                        cand,
+                        |u| {
+                            let first = facts[uniq[u as usize].0 as usize];
+                            first.pred == head.pred && first.args == head.args
+                        },
+                        |u| uniq[u as usize].1,
+                    );
+                    match found {
+                        Some(u) => assign.push((fi, u)),
+                        None => {
+                            uniq.push((fi, h));
+                            assign.push((fi, cand));
+                        }
+                    }
+                }
+            }
+            ShardOut { uniq, assign }
+        });
+        // Phase 3: deterministic merge. `SHARDS` in the shard byte
+        // marks depth-pruned facts, which emit nothing.
+        let mut of_fact: Vec<(u8, u32)> = vec![(SHARDS as u8, 0); facts.len()];
+        for (s, out) in shard_outs.iter().enumerate() {
+            for &(fi, u) in &out.assign {
+                of_fact[fi as usize] = (s as u8, u);
+            }
+        }
+        let total_uniq: usize = shard_outs.iter().map(|o| o.uniq.len()).sum();
+        self.gp
+            .reserve(self.gp.atom_count() + total_uniq, total_uniq);
+        let mut global: Vec<Vec<u32>> = shard_outs
+            .iter()
+            .map(|o| vec![u32::MAX; o.uniq.len()])
+            .collect();
+        for (fi, &(s, u)) in of_fact.iter().enumerate() {
+            if s as usize == SHARDS {
+                continue;
+            }
+            let slot = &mut global[s as usize][u as usize];
+            if *slot != u32::MAX {
+                self.stats.dedup_hits += 1;
+                continue;
+            }
+            // (On a budget error the half-built program is discarded,
+            // so the atom pushed ahead of emit_fact's check is fine.)
+            let id = self.gp.push_atom_raw(facts[fi].clone());
+            *slot = id.0;
+            self.emit_fact(id, new_atoms)?;
+        }
+        for (s, out) in shard_outs.iter().enumerate() {
+            self.gp.bulk_intern_unique(
+                out.uniq
+                    .iter()
+                    .enumerate()
+                    .map(|(u, &(_fi, h))| (h, global[s][u])),
+            );
+        }
         Ok(())
     }
 
@@ -1108,12 +1297,7 @@ impl<'a> Grounder<'a> {
                 self.stats.dedup_hits += 1;
                 return Ok(());
             }
-            if self.gp.clause_count() >= self.opts.max_clauses {
-                return Err(GroundingError::ClauseBudget(self.opts.max_clauses));
-            }
-            self.fact_seen[head_id.index()] = true;
-            self.gp.push_clause_parts(head_id, &[], &[]);
-            return self.queue_derivable(head_id, new_atoms);
+            return self.emit_fact(head_id, new_atoms);
         }
         if use_table {
             let pos = &self.matched_buf[..n_pos];
@@ -1146,6 +1330,26 @@ impl<'a> Grounder<'a> {
         }
         let (gp, matched) = (&mut self.gp, &self.matched_buf);
         gp.push_clause_parts(head_id, &matched[..n_pos], &self.neg_buf);
+        self.queue_derivable(head_id, new_atoms)
+    }
+
+    /// Emits the fact clause for a head already known novel: budget
+    /// check, `fact_seen` mark, clause push, delta queue. The single
+    /// emission step shared by [`Grounder::push_unique`]'s fact branch
+    /// and the parallel seed merge — keep the invariants in one place.
+    fn emit_fact(
+        &mut self,
+        head_id: GroundAtomId,
+        new_atoms: &mut Vec<GroundAtomId>,
+    ) -> Result<(), GroundingError> {
+        if self.gp.clause_count() >= self.opts.max_clauses {
+            return Err(GroundingError::ClauseBudget(self.opts.max_clauses));
+        }
+        if self.fact_seen.len() <= head_id.index() {
+            self.fact_seen.resize(head_id.index() + 1, false);
+        }
+        self.fact_seen[head_id.index()] = true;
+        self.gp.push_clause_parts(head_id, &[], &[]);
         self.queue_derivable(head_id, new_atoms)
     }
 
@@ -1605,6 +1809,83 @@ mod tests {
                 "strategy divergence on {src}"
             );
         }
+    }
+
+    #[test]
+    fn parallel_seed_matches_sequential_bit_for_bit() {
+        // Facts-first programs: the parallel merge assigns ids in the
+        // same first-occurrence order as sequential interning, so even
+        // the id assignment (not just the clause set) must agree.
+        let mut src = String::new();
+        for i in 0..300 {
+            src.push_str(&format!("e(v{}, v{}).\n", i % 40, (i * 7 + 3) % 40));
+        }
+        src.push_str("t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).\n");
+        let mut s1 = TermStore::new();
+        let p1 = parse_program(&mut s1, &src).unwrap();
+        let seq = Grounder::ground(&mut s1, &p1).unwrap();
+        for threads in [2, 8] {
+            let mut s2 = TermStore::new();
+            let p2 = parse_program(&mut s2, &src).unwrap();
+            let par = Grounder::ground_with(
+                &mut s2,
+                &p2,
+                GrounderOpts {
+                    threads,
+                    ..GrounderOpts::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.atom_count(), seq.atom_count(), "{threads} threads");
+            assert_eq!(par.clause_count(), seq.clause_count());
+            for (a, b) in seq.clauses().zip(par.clauses()) {
+                assert_eq!(a, b, "clause divergence at {threads} threads");
+            }
+            // The interning table must resolve every atom to its id.
+            for id in par.atom_ids() {
+                assert_eq!(par.lookup_atom(par.atom(id)), Some(id));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_seed_dedups_and_respects_budget() {
+        let src = "p(a). p(a). p(b). q(X) :- p(X).";
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, src).unwrap();
+        let gp = Grounder::ground_with(
+            &mut s,
+            &p,
+            GrounderOpts {
+                threads: 4,
+                ..GrounderOpts::default()
+            },
+        )
+        .unwrap();
+        // Two distinct p facts (one duplicate dropped) + two q rules.
+        assert_eq!(gp.clause_count(), 4);
+        let mut s2 = TermStore::new();
+        let p2 = parse_program(&mut s2, "d(a). d(b). d(c). d(d).").unwrap();
+        let err = Grounder::ground_with(
+            &mut s2,
+            &p2,
+            GrounderOpts {
+                threads: 4,
+                max_clauses: 3,
+                ..GrounderOpts::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, GroundingError::ClauseBudget(3));
+    }
+
+    #[test]
+    fn ground_program_is_shareable_across_workers() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<GroundProgram>();
+        assert_sync::<GroundProgram>();
+        assert_sync::<TermStore>();
     }
 
     #[test]

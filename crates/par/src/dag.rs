@@ -1,0 +1,277 @@
+//! The dependency-graph (wavefront) scheduler.
+//!
+//! A [`TaskDag`] holds `n` tasks, each task's in-degree, and the
+//! reverse edges (`dependents`). [`TaskDag::run`] executes every task
+//! exactly once, never before all of its dependencies: zero-in-degree
+//! tasks seed the worker deques round-robin, and when a task completes
+//! its worker decrements each dependent's in-degree with an `AcqRel`
+//! read-modify-write, pushing those that reach zero onto its **own**
+//! deque (they are the cache-hot continuation of the work just done;
+//! idle workers steal them if the owner is saturated).
+//!
+//! ## Memory ordering
+//!
+//! A task's writes happen-before every dependent task: the completing
+//! worker's `fetch_sub(AcqRel)` on the dependent's counter joins the
+//! counter's release sequence, the final decrementer therefore observes
+//! all earlier decrementers' writes, and the deque `Mutex` orders the
+//! push against the pop that hands the dependent to its executor. So a
+//! task body may read anything its dependencies wrote through plain
+//! (or, for belt-and-braces, `Acquire`) loads.
+//!
+//! ## Contract
+//!
+//! The graph must be acyclic: a cycle's tasks never reach in-degree
+//! zero and `run` would park forever waiting for completions that
+//! cannot come (debug builds assert the run completed). Clients
+//! schedule *condensations* — SCC DAGs — which are acyclic by
+//! construction.
+
+use crate::pool::StealQueues;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A directed acyclic graph of `u32` tasks plus the scheduling state
+/// needed to run it ([`TaskDag::run`]).
+#[derive(Debug, Clone, Default)]
+pub struct TaskDag {
+    /// `dependents[d]` = tasks that must wait for `d`.
+    dependents: Vec<Vec<u32>>,
+    /// Number of dependencies per task.
+    in_deg: Vec<u32>,
+}
+
+impl TaskDag {
+    /// Creates a DAG of `n` tasks and no edges.
+    pub fn new(n: usize) -> Self {
+        TaskDag {
+            dependents: vec![Vec::new(); n],
+            in_deg: vec![0; n],
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.in_deg.len()
+    }
+
+    /// Whether the DAG has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.in_deg.is_empty()
+    }
+
+    /// Declares that `task` must not start before `dep` completes.
+    /// Duplicate edges are the caller's to avoid (each one counts).
+    pub fn add_dep(&mut self, task: u32, dep: u32) {
+        debug_assert_ne!(task, dep, "self-dependency would deadlock");
+        self.in_deg[task as usize] += 1;
+        self.dependents[dep as usize].push(task);
+    }
+
+    /// Runs every task once, respecting dependencies. `init(worker)`
+    /// builds each worker's private state on its own thread (it need
+    /// not be `Send`); `step(state, task)` executes one task.
+    ///
+    /// `n_threads <= 1` runs inline on the calling thread in a
+    /// deterministic Kahn order with no spawns and no atomics.
+    pub fn run<S>(
+        &self,
+        n_threads: usize,
+        init: impl Fn(usize) -> S + Sync,
+        step: impl Fn(&mut S, u32) + Sync,
+    ) {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        if n_threads <= 1 {
+            let mut state = init(0);
+            let mut in_deg = self.in_deg.clone();
+            let mut ready: Vec<u32> = (0..n as u32).filter(|&t| in_deg[t as usize] == 0).collect();
+            let mut done = 0usize;
+            while let Some(t) = ready.pop() {
+                step(&mut state, t);
+                done += 1;
+                for &d in &self.dependents[t as usize] {
+                    in_deg[d as usize] -= 1;
+                    if in_deg[d as usize] == 0 {
+                        ready.push(d);
+                    }
+                }
+            }
+            debug_assert_eq!(done, n, "cycle in TaskDag");
+            return;
+        }
+        let workers = n_threads.min(n);
+        let queues = StealQueues::new(workers, n);
+        let in_deg: Vec<AtomicU32> = self.in_deg.iter().map(|&d| AtomicU32::new(d)).collect();
+        let mut seeded = 0usize;
+        for t in 0..n as u32 {
+            if self.in_deg[t as usize] == 0 {
+                queues.push(seeded % workers, t);
+                seeded += 1;
+            }
+        }
+        debug_assert!(seeded > 0, "cycle in TaskDag: no roots");
+        // A task panic must propagate, not deadlock: the dying worker's
+        // guard aborts the queues so its siblings stop drawing tasks and
+        // the scope join re-raises the panic.
+        struct AbortOnPanic<'a>(&'a StealQueues);
+        impl Drop for AbortOnPanic<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.abort();
+                }
+            }
+        }
+        let work = |w: usize| {
+            let _guard = AbortOnPanic(&queues);
+            let mut state = init(w);
+            while let Some(t) = queues.next_task(w) {
+                step(&mut state, t);
+                for &d in &self.dependents[t as usize] {
+                    if in_deg[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        queues.push(w, d);
+                    }
+                }
+                queues.complete_one();
+            }
+        };
+        std::thread::scope(|s| {
+            for w in 1..workers {
+                let work = &work;
+                s.spawn(move || work(w));
+            }
+            work(0);
+        });
+        assert!(
+            queues.is_done() && !queues.is_aborted(),
+            "TaskDag run did not complete"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    /// Runs `dag` and checks every task executes exactly once, after
+    /// all of its dependencies.
+    fn check_run(dag: &TaskDag, threads: usize) {
+        let log: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        dag.run(threads, |_| (), |_, t| log.lock().unwrap().push(t));
+        let order = log.into_inner().unwrap();
+        assert_eq!(order.len(), dag.len(), "every task ran once");
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut pos = vec![usize::MAX; dag.len()];
+        for (i, &t) in order.iter().enumerate() {
+            assert!(seen.insert(t), "task {t} ran twice");
+            pos[t as usize] = i;
+        }
+        for (dep, tasks) in dag.dependents.iter().enumerate() {
+            for &t in tasks {
+                assert!(
+                    pos[dep] < pos[t as usize],
+                    "task {t} ran before its dependency {dep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_respects_order() {
+        // 0 -> {1, 2} -> 3
+        let mut dag = TaskDag::new(4);
+        dag.add_dep(1, 0);
+        dag.add_dep(2, 0);
+        dag.add_dep(3, 1);
+        dag.add_dep(3, 2);
+        for threads in [1, 2, 4] {
+            check_run(&dag, threads);
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        TaskDag::new(0).run(4, |_| (), |_, _| panic!("no tasks"));
+        check_run(&TaskDag::new(37), 4);
+    }
+
+    #[test]
+    fn layered_random_dag() {
+        // Pseudorandom layered DAG: edges only point to earlier layers,
+        // so it is acyclic by construction.
+        let layers = 8usize;
+        let width = 25usize;
+        let n = layers * width;
+        let mut dag = TaskDag::new(n);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for l in 1..layers {
+            for i in 0..width {
+                let t = (l * width + i) as u32;
+                for _ in 0..(rng() % 4) {
+                    let dl = (rng() as usize) % l;
+                    let di = (rng() as usize) % width;
+                    dag.add_dep(t, (dl * width + di) as u32);
+                }
+            }
+        }
+        for threads in [1, 2, 4, 8] {
+            check_run(&dag, threads);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_instead_of_deadlocking() {
+        // A panicking task used to strand the sibling workers in the
+        // park-timeout loop (the run could never reach `total`); the
+        // abort guard must surface the panic through the scope join.
+        let mut dag = TaskDag::new(16);
+        for t in 1..16u32 {
+            dag.add_dep(t, t - 1);
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dag.run(
+                4,
+                |_| (),
+                |_, t| {
+                    if t == 7 {
+                        panic!("task 7 exploded");
+                    }
+                },
+            );
+        }));
+        assert!(result.is_err(), "panic must propagate out of run");
+    }
+
+    #[test]
+    fn worker_state_is_private() {
+        // Each worker's state counts its own tasks; totals must add up.
+        let mut dag = TaskDag::new(200);
+        for t in 1..200u32 {
+            dag.add_dep(t, t - 1);
+        }
+        let totals: Mutex<usize> = Mutex::new(0);
+        dag.run(3, |_| 0usize, |count, _| *count += 1);
+        // A chain is fully sequential; just make sure it terminates and
+        // the parallel run above did not deadlock. Now check totals via
+        // a fan-out DAG.
+        let wide = TaskDag::new(64);
+        wide.run(
+            4,
+            |_| 0usize,
+            |count, _| {
+                *count += 1;
+                *totals.lock().unwrap() += 1;
+            },
+        );
+        assert_eq!(*totals.lock().unwrap(), 64);
+    }
+}

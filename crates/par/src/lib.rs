@@ -1,0 +1,93 @@
+//! # gsls-par — a dependency-free work-stealing parallel runtime
+//!
+//! The workspace's two heaviest stages — SCC-by-SCC evaluation of the
+//! well-founded model and the grounder's seed round — are both
+//! embarrassingly parallel once their data dependencies are made
+//! explicit: independent SCCs of the atom dependency graph's
+//! condensation are semantically independent, and seed facts intern
+//! into hash-disjoint shards. This crate provides the scheduling
+//! substrate both clients run on, using **only `std::thread` and
+//! `std::sync`** (matching the workspace's offline-shim policy: no
+//! rayon, no crossbeam).
+//!
+//! * [`pool`] — per-worker deques with stealing ([`StealQueues`]) and
+//!   the flat data-parallel helpers [`par_map`] / [`par_chunks`];
+//! * [`dag`] — [`TaskDag`]: a dependency-graph scheduler that runs a
+//!   DAG of tasks on the deques, decrementing dependents' in-degrees as
+//!   tasks complete and enqueueing newly-ready ones (the wavefront
+//!   pattern used by subsumption-style layered controllers, where
+//!   independent layers run concurrently under a fixed arbitration
+//!   order).
+//!
+//! ## Thread-count policy
+//!
+//! Callers pass an explicit thread count; `1` always means "run inline
+//! on the calling thread, no spawns, bit-identical to the sequential
+//! code". The conventional way to pick a count is [`threads`], which
+//! honours the `GSLS_THREADS` environment override and falls back to
+//! [`std::thread::available_parallelism`].
+//!
+//! ## Determinism contract
+//!
+//! The runtime never makes results depend on scheduling: [`TaskDag`]
+//! guarantees a task runs only after all of its dependencies, so a task
+//! whose output is a pure function of its dependencies' outputs
+//! produces the same value at every thread count, and [`par_map`] /
+//! [`par_chunks`] return results in task order regardless of which
+//! worker computed them. The `parallel_diff` suite pins this end to end
+//! for the tabled engine and the grounder.
+
+pub mod dag;
+pub mod pool;
+
+pub use dag::TaskDag;
+pub use pool::{par_chunks, par_map, StealQueues};
+
+/// Hard cap on accepted thread counts; a `GSLS_THREADS` typo should not
+/// try to spawn a million workers.
+const MAX_THREADS: usize = 256;
+
+/// The worker count to use: the `GSLS_THREADS` environment variable if
+/// it parses to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if unavailable).
+pub fn threads() -> usize {
+    threads_from(std::env::var("GSLS_THREADS").ok().as_deref())
+}
+
+/// [`threads`] with the environment read factored out, so the override
+/// parsing is unit-testable without mutating process state.
+pub fn threads_from(raw: Option<&str>) -> usize {
+    if let Some(s) = raw {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_parses() {
+        assert_eq!(threads_from(Some("4")), 4);
+        assert_eq!(threads_from(Some(" 2 ")), 2);
+        assert_eq!(threads_from(Some("1")), 1);
+        assert_eq!(threads_from(Some("100000")), MAX_THREADS);
+    }
+
+    #[test]
+    fn bad_override_falls_back_to_hardware() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for raw in [None, Some(""), Some("0"), Some("-3"), Some("lots")] {
+            assert_eq!(threads_from(raw), hw, "raw={raw:?}");
+        }
+    }
+}

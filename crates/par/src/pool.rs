@@ -1,0 +1,290 @@
+//! Work-stealing deques and flat data-parallel helpers.
+//!
+//! [`StealQueues`] is the scheduling core: one `Mutex<VecDeque<u32>>`
+//! per worker. A worker pops its own deque LIFO (newly-unlocked tasks
+//! are cache-hot — for the SCC client they read verdicts the worker
+//! just published) and steals FIFO from the other end of victim deques,
+//! so thieves take the oldest, least-contended work. Mutex-per-deque is
+//! deliberately simple: tasks here are SCC fixpoints or fact-chunk
+//! scans, microseconds at minimum, so a ~20ns uncontended lock per
+//! push/pop is noise and the std-only policy rules out a lock-free
+//! Chase–Lev deque's `unsafe`.
+//!
+//! **Parking.** An idle worker that finds every deque empty parks on a
+//! condvar with a short timeout. Producers notify only when the sleeper
+//! counter is non-zero, so the hot path (everyone busy) never touches
+//! the parking lock. The timeout makes the protocol robust against the
+//! benign push-vs-park race: a task pushed in the window between a
+//! failed scan and the park is picked up at most one timeout later
+//! rather than deadlocking.
+//!
+//! [`par_map`] / [`par_chunks`] are the flat counterpart for
+//! dependency-free fan-out (the grounder's shard phases): an atomic
+//! cursor hands out indices, results come back in task order, and
+//! `n_threads <= 1` runs inline with zero spawns.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long an idle worker sleeps before re-scanning the deques; bounds
+/// the staleness window of the lock-free sleeper check.
+const PARK: Duration = Duration::from_micros(200);
+
+/// Per-worker task deques with stealing and a completion-counting
+/// termination protocol, shared by reference across scoped workers.
+///
+/// The queue holds `u32` task ids; what a task *means* is the caller's
+/// business ([`crate::TaskDag`] maps them to DAG nodes). `total` is the
+/// number of tasks that will ever complete: workers exit when the
+/// completion counter reaches it, so every pushed task must eventually
+/// be popped and [`StealQueues::complete_one`]d exactly once.
+#[derive(Debug)]
+pub struct StealQueues {
+    local: Vec<Mutex<VecDeque<u32>>>,
+    finished: AtomicUsize,
+    total: usize,
+    /// Set when a worker dies mid-run (task panic): the run can never
+    /// reach `total`, so siblings must stop instead of parking forever.
+    aborted: AtomicBool,
+    sleepers: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+impl StealQueues {
+    /// Creates deques for `workers` workers and a run of `total` tasks.
+    pub fn new(workers: usize, total: usize) -> Self {
+        assert!(workers >= 1, "at least one worker");
+        StealQueues {
+            local: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            finished: AtomicUsize::new(0),
+            total,
+            aborted: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Enqueues `task` on `worker`'s deque and wakes sleepers if any.
+    pub fn push(&self, worker: usize, task: u32) {
+        self.local[worker]
+            .lock()
+            .expect("queue lock poisoned")
+            .push_back(task);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            // Taking the lock orders this notify against a concurrent
+            // parker that incremented `sleepers` but has not begun
+            // waiting yet (it must acquire the same lock first).
+            let _g = self.sleep.lock().expect("sleep lock poisoned");
+            self.wake.notify_all();
+        }
+    }
+
+    /// Records one task completion; wakes everyone when it is the last
+    /// so parked workers observe termination promptly.
+    pub fn complete_one(&self) {
+        if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            let _g = self.sleep.lock().expect("sleep lock poisoned");
+            self.wake.notify_all();
+        }
+    }
+
+    /// Whether every task has completed.
+    pub fn is_done(&self) -> bool {
+        self.finished.load(Ordering::Acquire) >= self.total
+    }
+
+    /// Marks the run dead and wakes everyone: no further tasks will be
+    /// handed out. Called when a worker's task panicked, so the panic
+    /// propagates out of the scope join instead of the siblings parking
+    /// forever waiting for completions that cannot come.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        let _g = self.sleep.lock().expect("sleep lock poisoned");
+        self.wake.notify_all();
+    }
+
+    /// Whether [`StealQueues::abort`] was called.
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::SeqCst)
+    }
+
+    /// The next task for `worker`: own deque (LIFO), then a steal sweep
+    /// over the other deques (FIFO), parking between failed sweeps.
+    /// Returns `None` once all `total` tasks have completed (or the run
+    /// was aborted).
+    pub fn next_task(&self, worker: usize) -> Option<u32> {
+        loop {
+            if self.is_aborted() {
+                return None;
+            }
+            if let Some(t) = self.local[worker]
+                .lock()
+                .expect("queue lock poisoned")
+                .pop_back()
+            {
+                return Some(t);
+            }
+            let n = self.local.len();
+            for k in 1..n {
+                let victim = (worker + k) % n;
+                if let Some(t) = self.local[victim]
+                    .lock()
+                    .expect("queue lock poisoned")
+                    .pop_front()
+                {
+                    return Some(t);
+                }
+            }
+            if self.is_done() {
+                return None;
+            }
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            {
+                let g = self.sleep.lock().expect("sleep lock poisoned");
+                // Re-check under the lock: a producer that saw our
+                // sleeper increment notifies while holding it.
+                if !self.is_done() {
+                    let _ = self
+                        .wake
+                        .wait_timeout(g, PARK)
+                        .expect("sleep lock poisoned");
+                }
+            }
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Runs `f(i)` for every `i < n_tasks` across `n_threads` workers and
+/// returns the results **in index order**. `n_threads <= 1` (or a
+/// single task) runs inline on the calling thread with no spawns.
+///
+/// Tasks are handed out through an atomic cursor, so imbalanced tasks
+/// load-balance naturally; there is no stealing because there are no
+/// dependencies to unlock mid-run.
+pub fn par_map<R: Send>(n_threads: usize, n_tasks: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if n_threads <= 1 || n_tasks <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let workers = n_threads.min(n_tasks);
+    let run = |_w: usize| {
+        let mut out: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_tasks {
+                return out;
+            }
+            out.push((i, f(i)));
+        }
+    };
+    let mut pairs: Vec<(usize, R)> = Vec::with_capacity(n_tasks);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers).map(|w| s.spawn(move || run(w))).collect();
+        pairs.extend(run(0));
+        for h in handles {
+            pairs.extend(h.join().expect("par_map worker panicked"));
+        }
+    });
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), n_tasks);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `items` into roughly `chunks` contiguous runs and maps each
+/// through `f(offset, slice)` in parallel, returning results in chunk
+/// order. `offset` is the index of `slice[0]` within `items`, so chunk
+/// results can reference absolute item positions deterministically.
+pub fn par_chunks<T: Sync, R: Send>(
+    n_threads: usize,
+    items: &[T],
+    chunks: usize,
+    f: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let chunks = chunks.clamp(1, n.max(1));
+    let per = n.div_ceil(chunks);
+    let bounds: Vec<(usize, usize)> = (0..chunks)
+        .map(|c| (c * per, ((c + 1) * per).min(n)))
+        .filter(|&(lo, hi)| lo < hi || n == 0)
+        .collect();
+    par_map(n_threads, bounds.len(), |c| {
+        let (lo, hi) = bounds[c];
+        f(lo, &items[lo..hi])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn par_map_covers_every_index_once_in_order() {
+        for threads in [1, 2, 4, 7] {
+            let hits: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+            let out = par_map(threads, 100, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                i * i
+            });
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert!(par_map(4, 0, |i| i).is_empty());
+        assert_eq!(par_map(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_chunks_partitions_exactly() {
+        let items: Vec<u32> = (0..997).collect();
+        for threads in [1, 3, 8] {
+            let sums = par_chunks(threads, &items, threads * 4, |off, chunk| {
+                assert_eq!(chunk[0], items[off]);
+                chunk.iter().map(|&x| u64::from(x)).sum::<u64>()
+            });
+            assert_eq!(
+                sums.iter().sum::<u64>(),
+                items.iter().map(|&x| u64::from(x)).sum::<u64>()
+            );
+        }
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_chunks(4, &empty, 4, |_, c| c.len()), vec![0]);
+    }
+
+    #[test]
+    fn steal_queues_drain_across_workers() {
+        let total = 64usize;
+        let q = StealQueues::new(3, total);
+        // Load everything onto worker 0: the others must steal it all.
+        for t in 0..total as u32 {
+            q.push(0, t);
+        }
+        let seen: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let (q, seen) = (&q, &seen);
+                s.spawn(move || {
+                    while let Some(t) = q.next_task(w) {
+                        seen[t as usize].fetch_add(1, Ordering::Relaxed);
+                        q.complete_one();
+                    }
+                });
+            }
+        });
+        assert!(seen.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(q.is_done());
+    }
+}

@@ -378,6 +378,14 @@ mod tests {
         (s, gp)
     }
 
+    #[test]
+    fn incremental_state_is_send() {
+        // `Clone` is the clone-for-worker constructor: a worker owning
+        // an `IncrementalLfp` clone shares only the immutable program.
+        fn assert_send<T: Send>() {}
+        assert_send::<IncrementalLfp>();
+    }
+
     /// Oracle: from-scratch propagator fixpoint for the same context.
     fn scratch(gp: &GroundProgram, s: &BitSet, mode: NegMode) -> BitSet {
         let mut prop = Propagator::new(gp);

@@ -47,6 +47,15 @@
 //! nearby contexts — the alternating fixpoint, the `V_P` stages — use
 //! the substrate's difference-driven mode instead:
 //! [`crate::incremental::IncrementalLfp`].
+//!
+//! ## Parallel workers
+//!
+//! A `Propagator` holds no interior mutability and no references into
+//! the program, so it is `Send` (pinned by a compile-time test): the
+//! parallel tabled engine's contract is one **clone per worker** over
+//! the shared immutable `GroundProgram` (`Sync`), with `Clone` as the
+//! clone-for-worker constructor — cloned scratch is warm-sized, never
+//! aliased.
 
 use crate::bitset::BitSet;
 use crate::interp::Interp;
@@ -455,6 +464,18 @@ mod tests {
         let mut out = BitSet::new(gp.atom_count());
         prop.lfp_into(&gp, |_| false, &mut out);
         assert!(out.contains(id(&s, &gp, "p").index()));
+    }
+
+    #[test]
+    fn worker_contract_types_are_send() {
+        // The shared-CSR + per-worker-state contract: workers receive a
+        // Propagator clone by value and share the program by reference.
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Propagator>();
+        assert_send::<BitSet>();
+        assert_sync::<GroundProgram>();
+        assert_sync::<Propagator>();
     }
 
     #[test]

@@ -22,4 +22,7 @@ cargo test -q
 echo "==> ground_smoke (join-plan vs naive-join differential)"
 cargo run --release -p gsls-bench --bin ground_smoke
 
+echo "==> parallel diff suite at 2 threads (gsls-par determinism gate)"
+GSLS_THREADS=2 cargo test --release -q --test parallel_diff
+
 echo "check.sh: all gates passed"

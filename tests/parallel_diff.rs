@@ -1,0 +1,211 @@
+//! Determinism gate for the `gsls-par` runtime (PR 4).
+//!
+//! The parallel subsystems must be **invisible** semantically:
+//!
+//! * the parallel tabled engine's verdicts ≡ the sequential tabled
+//!   engine's ≡ the bottom-up `well_founded_model`, at 1, 2 and 8
+//!   worker threads (plus whatever [`gsls_par::threads`] resolves to —
+//!   `scripts/check.sh` re-runs this suite with `GSLS_THREADS=2`), on
+//!   the named workloads and on random propositional/relational
+//!   programs;
+//! * the sharded parallel seed round emits exactly the clause set of
+//!   the sequential planned path (which `grounding_diff.rs` already
+//!   pins against the naive oracle), at every thread count.
+//!
+//! Everything here runs on a 1-CPU container just as meaningfully as on
+//! a 64-core box: the scheduler's determinism contract is that thread
+//! count never changes results, so oversubscription (8 workers on one
+//! core) is itself a useful schedule-perturbation test.
+
+use gsls_core::TabledEngine;
+use gsls_ground::testutil::sorted_clauses;
+use gsls_ground::{GroundProgram, Grounder, GrounderOpts, HerbrandOpts, JoinStrategy};
+use gsls_lang::{Program, TermStore};
+use gsls_wfs::well_founded_model;
+use gsls_workloads::{
+    negated_reachability, odd_even_chain, random_program, random_relational_program,
+    van_gelder_program, win_chain, win_cycle, win_grid, win_random, RandomProgramOpts,
+    RandomRelationalOpts,
+};
+use proptest::prelude::*;
+
+/// The thread counts every diff runs at: sequential, a modest pool, an
+/// oversubscribed pool, and the environment-resolved count (the
+/// `GSLS_THREADS` override or hardware parallelism).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 8, gsls_par::threads()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn ground(mk: impl Fn(&mut TermStore) -> Program) -> (TermStore, GroundProgram) {
+    let mut store = TermStore::new();
+    let program = mk(&mut store);
+    let gp = Grounder::ground(&mut store, &program).expect("workload grounds");
+    (store, gp)
+}
+
+/// Parallel tabled ≡ sequential tabled ≡ well-founded model, over every
+/// atom of the ground program, at every thread count.
+fn assert_tabled_parallel_agrees(gp: &GroundProgram, what: &str) {
+    let wfm = well_founded_model(gp);
+    let mut seq = TabledEngine::new(gp.clone());
+    for a in gp.atom_ids() {
+        assert_eq!(
+            seq.truth(a),
+            wfm.truth(a),
+            "sequential vs wfm: {a:?} in {what}"
+        );
+    }
+    for &threads in &thread_counts()[1..] {
+        let mut par = TabledEngine::new(gp.clone());
+        for a in gp.atom_ids() {
+            assert_eq!(
+                par.truth_parallel(a, threads),
+                wfm.truth(a),
+                "parallel ({threads} threads) vs wfm: {a:?} in {what}"
+            );
+        }
+        assert_eq!(
+            par.tabled_count(),
+            seq.tabled_count(),
+            "memo coverage diverged at {threads} threads in {what}"
+        );
+    }
+}
+
+/// A named workload generator for the tabled diff table.
+type Workload = (&'static str, fn(&mut TermStore) -> Program);
+
+#[test]
+fn tabled_parallel_matches_on_named_workloads() {
+    let cases: Vec<Workload> = vec![
+        ("win_chain 40", |s| win_chain(s, 40)),
+        ("win_cycle 9", |s| win_cycle(s, 9)),
+        ("win_grid 8x9", |s| win_grid(s, 8, 9)),
+        ("win_random 120", |s| win_random(s, 120, 3, 11)),
+        ("negated_reachability 7", |s| negated_reachability(s, 7)),
+        ("odd_even_chain 24", |s| odd_even_chain(s, 24)),
+    ];
+    for (what, mk) in cases {
+        let (_, gp) = ground(mk);
+        assert_tabled_parallel_agrees(&gp, what);
+    }
+}
+
+#[test]
+fn tabled_parallel_matches_on_van_gelder() {
+    let mut store = TermStore::new();
+    let program = van_gelder_program(&mut store);
+    let gp = Grounder::ground_with(
+        &mut store,
+        &program,
+        GrounderOpts {
+            universe: HerbrandOpts {
+                max_depth: 8,
+                max_terms: 10_000,
+            },
+            ..GrounderOpts::default()
+        },
+    )
+    .expect("van_gelder grounds");
+    assert_tabled_parallel_agrees(&gp, "van_gelder depth 8");
+}
+
+proptest! {
+    #[test]
+    fn tabled_parallel_matches_on_random_programs(seed in 0u64..48) {
+        let mut store = TermStore::new();
+        let program = random_program(
+            &mut store,
+            RandomProgramOpts { atoms: 14, clauses: 26, ..RandomProgramOpts::default() },
+            seed,
+        );
+        let gp = Grounder::ground(&mut store, &program).expect("random program grounds");
+        assert_tabled_parallel_agrees(&gp, &format!("random_program seed {seed}"));
+    }
+
+    #[test]
+    fn tabled_parallel_matches_on_random_relational_programs(seed in 0u64..24) {
+        let mut store = TermStore::new();
+        let program = random_relational_program(
+            &mut store,
+            RandomRelationalOpts { facts: 14, rules: 6, ..RandomRelationalOpts::default() },
+            seed,
+        );
+        let gp = Grounder::ground(&mut store, &program).expect("relational program grounds");
+        assert_tabled_parallel_agrees(&gp, &format!("random_relational seed {seed}"));
+    }
+}
+
+/// The sharded seed round must emit the sequential clause set exactly.
+fn assert_grounding_threads_agree(mk: impl Fn(&mut TermStore) -> Program, what: &str) {
+    let (seq_store, seq) = ground(&mk);
+    let seq_lines = sorted_clauses(&seq_store, &seq);
+    for &threads in &thread_counts()[1..] {
+        let mut store = TermStore::new();
+        let program = mk(&mut store);
+        let par = Grounder::ground_with(
+            &mut store,
+            &program,
+            GrounderOpts {
+                threads,
+                ..GrounderOpts::default()
+            },
+        )
+        .expect("parallel grounding succeeds");
+        assert_eq!(
+            sorted_clauses(&store, &par),
+            seq_lines,
+            "sharded seed diverged at {threads} threads on {what}"
+        );
+        // And the naive oracle still holds through the parallel path.
+        let mut store_n = TermStore::new();
+        let program_n = mk(&mut store_n);
+        let naive = Grounder::ground_with(
+            &mut store_n,
+            &program_n,
+            GrounderOpts {
+                strategy: JoinStrategy::Naive,
+                ..GrounderOpts::default()
+            },
+        )
+        .expect("naive grounding succeeds");
+        assert_eq!(
+            sorted_clauses(&store, &par),
+            sorted_clauses(&store_n, &naive),
+            "parallel vs naive divergence on {what}"
+        );
+    }
+}
+
+#[test]
+fn sharded_grounding_matches_on_workloads() {
+    assert_grounding_threads_agree(|s| win_grid(s, 12, 12), "win_grid 12x12");
+    assert_grounding_threads_agree(|s| negated_reachability(s, 8), "negated_reachability 8");
+    assert_grounding_threads_agree(|s| win_random(s, 200, 3, 7), "win_random 200");
+}
+
+proptest! {
+    #[test]
+    fn sharded_grounding_matches_on_random_relational(seed in 0u64..16) {
+        let opts = RandomRelationalOpts { facts: 30, rules: 6, ..RandomRelationalOpts::default() };
+        assert_grounding_threads_agree(
+            |s| random_relational_program(s, opts, seed),
+            &format!("random_relational seed {seed}"),
+        );
+    }
+}
+
+/// The env override plumbing the check.sh gate relies on.
+#[test]
+fn thread_count_override_parses() {
+    assert_eq!(gsls_par::threads_from(Some("2")), 2);
+    assert_eq!(gsls_par::threads_from(Some("8")), 8);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    assert_eq!(gsls_par::threads_from(None), hw);
+    assert!(thread_counts().contains(&gsls_par::threads()));
+}
