@@ -1,8 +1,23 @@
-//! Emits `BENCH_4.json`: the perf trajectory record for PR 4 (the
-//! `gsls-par` work-stealing runtime).
+//! Emits `BENCH_5.json`: the perf trajectory record for PR 5 (the
+//! incremental, snapshot-isolated `Session` API).
 //!
-//! Measures, for the van_gelder and engine_scaling sweeps plus the
-//! grid boards:
+//! New in PR 5:
+//!
+//! * **`update_latency`** — the headline acceptance metric: p50/p99 of
+//!   a *single-fact update + re-query* on the live win_grid 200×200
+//!   session, in two flavours — `insert` (a brand-new fact is
+//!   delta-grounded through `IncrementalGrounder::extend` and the model
+//!   repaired on warm chains) and `reassert` (retract/assert toggles of
+//!   an existing fact, pure clause switching) — against the
+//!   `full_rebuild` baseline (`Solver::new` + query from scratch). The
+//!   acceptance assertion demands ≥ 10× on the insert path.
+//! * **`snapshot_read`** — point-query throughput against one immutable
+//!   `Session::snapshot()` from 1/2/4 `gsls-par` worker threads
+//!   (readers share an `Arc`'d state; the session could keep
+//!   committing meanwhile).
+//!
+//! Carried forward from earlier PRs, for the trajectory: the
+//! van_gelder and engine_scaling sweeps plus the grid boards measure
 //!
 //! * ground program size (atoms, clauses), alternating-fixpoint
 //!   `reduct_calls`, and the incremental path's total clause re-checks;
@@ -31,9 +46,9 @@
 //! (kept off the default run so it stays fast). Earlier trajectory
 //! records stay in `BENCH_<n>.json`.
 
-use gsls_core::TabledEngine;
+use gsls_core::{Engine, Session, Solver, TabledEngine};
 use gsls_ground::{GroundStats, Grounder, GrounderOpts, HerbrandOpts};
-use gsls_lang::{Atom, TermStore};
+use gsls_lang::{parse_goal, Atom, TermStore};
 use gsls_wfs::{
     well_founded_model_rebuild, well_founded_model_scratch, well_founded_model_with_stats, BitSet,
     IncrementalLfp, NegMode, Propagator,
@@ -443,6 +458,181 @@ fn par_sweep(stress: bool) -> Vec<ParPoint> {
     out
 }
 
+/// The PR 5 update-latency record: per-commit latency percentiles on a
+/// live session vs. the from-scratch rebuild baseline.
+struct UpdateLatency {
+    /// p50/p99 of fresh-fact assert + re-query (delta grounding path).
+    insert_p50_ns: u64,
+    insert_p99_ns: u64,
+    /// p50/p99 of retract/assert toggles of an existing fact (clause
+    /// switching path; the assert half is a re-enable).
+    reassert_p50_ns: u64,
+    reassert_p99_ns: u64,
+    /// Median of `Solver::new` + query from scratch.
+    rebuild_ns: u64,
+    /// One-time session construction (ground + prime) cost.
+    session_build_ns: u64,
+}
+
+impl UpdateLatency {
+    fn insert_speedup(&self) -> f64 {
+        self.rebuild_ns as f64 / self.insert_p50_ns.max(1) as f64
+    }
+
+    fn reassert_speedup(&self) -> f64 {
+        self.rebuild_ns as f64 / self.reassert_p50_ns.max(1) as f64
+    }
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    sorted[(sorted.len() * p / 100).min(sorted.len() - 1)]
+}
+
+/// Measures single-fact update → re-query latency on win_grid 200×200.
+fn update_latency_sweep() -> UpdateLatency {
+    let (w, h) = (200usize, 200usize);
+    let mut store = TermStore::new();
+    let program = win_grid(&mut store, w, h);
+    let t = Instant::now();
+    let mut session = Session::from_parts(store, program).expect("grid is function-free");
+    let session_build_ns = t.elapsed().as_nanos() as u64;
+    let mut q = session.prepare("?- win(n0).").expect("query compiles");
+
+    // Toggle an existing edge: each iteration is one commit (retract or
+    // re-assert — both clause switches) plus the re-query.
+    let edge = "move(n0, n1).";
+    let mut reassert: Vec<u64> = (0..60)
+        .map(|i| {
+            let t = Instant::now();
+            if i % 2 == 0 {
+                session.retract_facts(edge).expect("retract");
+            } else {
+                session.assert_facts(edge).expect("assert");
+            }
+            let r = q.execute(&mut session).expect("query").collect_result();
+            std::hint::black_box(r.truth);
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    reassert.sort_unstable();
+
+    // Fresh inserts: each commit delta-grounds one genuinely new fact
+    // (new atom, new clause, new win-rule instance) and repairs the
+    // model before the re-query.
+    let mut insert: Vec<u64> = (0..60)
+        .map(|i| {
+            let fact = format!("move(u{i}, n0).");
+            let t = Instant::now();
+            session.assert_facts(&fact).expect("assert");
+            let r = q.execute(&mut session).expect("query").collect_result();
+            std::hint::black_box(r.truth);
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    insert.sort_unstable();
+
+    // Baseline: the batch path from scratch, per query.
+    let mut rebuild: Vec<u64> = (0..5)
+        .map(|_| {
+            let mut store = TermStore::new();
+            let program = win_grid(&mut store, w, h);
+            let t = Instant::now();
+            let mut solver = Solver::new(program);
+            let goal = parse_goal(&mut store, "?- win(n0).").expect("goal parses");
+            let r = solver
+                .query(&mut store, &goal, Engine::Tabled)
+                .expect("rebuild query");
+            std::hint::black_box(r.truth);
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    rebuild.sort_unstable();
+
+    let out = UpdateLatency {
+        insert_p50_ns: percentile(&insert, 50),
+        insert_p99_ns: percentile(&insert, 99),
+        reassert_p50_ns: percentile(&reassert, 50),
+        reassert_p99_ns: percentile(&reassert, 99),
+        rebuild_ns: rebuild[rebuild.len() / 2],
+        session_build_ns,
+    };
+    println!(
+        "update_latency win_grid_200x200: insert p50={:.2}ms p99={:.2}ms | \
+         reassert p50={:.2}ms p99={:.2}ms | rebuild={:.1}ms | \
+         speedup {:.1}x (insert) / {:.1}x (reassert) | session build {:.1}ms",
+        out.insert_p50_ns as f64 / 1e6,
+        out.insert_p99_ns as f64 / 1e6,
+        out.reassert_p50_ns as f64 / 1e6,
+        out.reassert_p99_ns as f64 / 1e6,
+        out.rebuild_ns as f64 / 1e6,
+        out.insert_speedup(),
+        out.reassert_speedup(),
+        out.session_build_ns as f64 / 1e6,
+    );
+    out
+}
+
+/// One snapshot-read throughput point: `queries` point lookups spread
+/// over `threads` workers against one shared snapshot.
+struct SnapPoint {
+    threads: usize,
+    queries: usize,
+    wall_ns: u64,
+}
+
+impl SnapPoint {
+    fn qps(&self) -> f64 {
+        self.queries as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// Measures multi-threaded snapshot-read throughput on win_grid
+/// 200×200. All workers share one `Snapshot` (an `Arc`'d immutable
+/// state); the atoms are pre-parsed so the loop measures pure reads.
+fn snapshot_read_sweep() -> Vec<SnapPoint> {
+    let (w, h) = (200usize, 200usize);
+    let mut store = TermStore::new();
+    let program = win_grid(&mut store, w, h);
+    let mut session = Session::from_parts(store, program).expect("grid is function-free");
+    let snapshot = session.snapshot();
+    let queries = 200_000usize;
+    let atoms: Vec<Atom> = {
+        let mut s = snapshot.store().clone();
+        let win = s.intern_symbol("win");
+        (0..w * h)
+            .map(|i| {
+                let node = s.constant(&format!("n{i}"));
+                Atom::new(win, vec![node])
+            })
+            .collect()
+    };
+    [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let t = Instant::now();
+            let verdicts = gsls_par::par_map(threads, queries, |i| {
+                snapshot.truth_of_atom(&atoms[i % atoms.len()])
+            });
+            let wall_ns = t.elapsed().as_nanos() as u64;
+            std::hint::black_box(verdicts.len());
+            let p = SnapPoint {
+                threads,
+                queries,
+                wall_ns,
+            };
+            println!(
+                "snapshot_read win_grid_200x200: {} queries at {} thread(s) in {:.1}ms \
+                 ({:.2}M q/s)",
+                p.queries,
+                p.threads,
+                p.wall_ns as f64 / 1e6,
+                p.qps() / 1e6,
+            );
+            p
+        })
+        .collect()
+}
+
 /// Counts heap allocations across warm calls of both substrate modes.
 /// The contract for each is exactly zero.
 fn zero_alloc_check() -> (u64, u64, u64) {
@@ -492,11 +682,13 @@ fn zero_alloc_check() -> (u64, u64, u64) {
 
 fn main() {
     let stress = std::env::args().any(|a| a == "--stress");
-    println!("# perf_report — gsls-par work-stealing runtime (PR 4)");
+    println!("# perf_report — incremental snapshot-isolated Session (PR 5)");
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host: available_parallelism={cpus}");
+    let update = update_latency_sweep();
+    let snap = snapshot_read_sweep();
     let van_gelder = van_gelder_sweep();
     let engine = engine_scaling_sweep();
     let grid = grid_sweep();
@@ -508,15 +700,48 @@ fn main() {
          allocations across {calls} warm calls each"
     );
 
-    let mut json = String::from("{\n  \"pr\": 4,\n");
+    let mut json = String::from("{\n  \"pr\": 5,\n");
     let _ = writeln!(
         json,
-        "  \"description\": \"gsls-par work-stealing runtime: wavefront-parallel \
-         tabled SCC evaluation and sharded parallel seed grounding over the \
-         join-plan grounder\","
+        "  \"description\": \"incremental snapshot-isolated Session: delta \
+         grounding through the persistent join-plan grounder, model maintenance \
+         on warm IncrementalLfp chains, prepared streaming queries, and \
+         Send+Sync snapshot reads\","
     );
     let _ = writeln!(json, "  \"available_parallelism\": {cpus},");
-    json.push_str("  \"van_gelder\": [\n");
+    let _ = writeln!(
+        json,
+        "  \"update_latency\": {{\"workload\": \"win_grid_200x200\", \
+         \"insert_p50_ns\": {}, \"insert_p99_ns\": {}, \
+         \"reassert_p50_ns\": {}, \"reassert_p99_ns\": {}, \
+         \"full_rebuild_ns\": {}, \"session_build_ns\": {}, \
+         \"insert_speedup_vs_rebuild\": {:.2}, \
+         \"reassert_speedup_vs_rebuild\": {:.2}}},",
+        update.insert_p50_ns,
+        update.insert_p99_ns,
+        update.reassert_p50_ns,
+        update.reassert_p99_ns,
+        update.rebuild_ns,
+        update.session_build_ns,
+        update.insert_speedup(),
+        update.reassert_speedup(),
+    );
+    json.push_str("  \"snapshot_read\": [\n");
+    let sp: Vec<String> = snap
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"workload\": \"win_grid_200x200\", \"threads\": {}, \
+                 \"queries\": {}, \"wall_ns\": {}, \"queries_per_sec\": {:.0}}}",
+                p.threads,
+                p.queries,
+                p.wall_ns,
+                p.qps()
+            )
+        })
+        .collect();
+    json.push_str(&sp.join(",\n"));
+    json.push_str("\n  ],\n  \"van_gelder\": [\n");
     let vg: Vec<String> = van_gelder.iter().map(|p| p.json("depth")).collect();
     json.push_str(&vg.join(",\n"));
     json.push_str("\n  ],\n  \"engine_scaling\": [\n");
@@ -548,8 +773,36 @@ fn main() {
          \"propagator_allocations\": {prop_allocs}, \
          \"incremental_allocations\": {inc_allocs}}}\n}}\n"
     );
-    std::fs::write("BENCH_4.json", &json).expect("write BENCH_4.json");
-    println!("wrote BENCH_4.json");
+    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+    println!("wrote BENCH_5.json");
+
+    // PR 5 acceptance: single-fact assert + re-query ≥ 10× faster than
+    // Solver::new + query from scratch, on the honest (fresh-insert)
+    // path; the clause-switch path must clear the same bar.
+    assert!(
+        update.insert_speedup() >= 10.0,
+        "insert update latency {:.2}ms is only {:.1}x vs the {:.1}ms rebuild \
+         (acceptance: >= 10x)",
+        update.insert_p50_ns as f64 / 1e6,
+        update.insert_speedup(),
+        update.rebuild_ns as f64 / 1e6
+    );
+    assert!(
+        update.reassert_speedup() >= 10.0,
+        "reassert update latency {:.2}ms is only {:.1}x vs the {:.1}ms rebuild \
+         (acceptance: >= 10x)",
+        update.reassert_p50_ns as f64 / 1e6,
+        update.reassert_speedup(),
+        update.rebuild_ns as f64 / 1e6
+    );
+    println!(
+        "acceptance: single-fact assert + re-query {:.2}ms p50 = {:.1}x vs {:.1}ms \
+         rebuild (>= 10x); reassert toggle {:.1}x",
+        update.insert_p50_ns as f64 / 1e6,
+        update.insert_speedup(),
+        update.rebuild_ns as f64 / 1e6,
+        update.reassert_speedup(),
+    );
 
     let n1024 = van_gelder.last().expect("sweep nonempty");
     assert_eq!(prop_allocs, 0, "propagator calls must not allocate warm");

@@ -42,6 +42,7 @@ pub mod ground_tree;
 pub mod ordinal;
 pub mod rule;
 pub mod scc;
+pub mod session;
 pub mod slp;
 pub mod solver;
 pub mod tabled;
@@ -55,6 +56,7 @@ pub use ground_tree::{GroundStatus, GroundTreeAnalysis};
 pub use ordinal::Ordinal;
 pub use rule::{RuleKind, Selection};
 pub use scc::SccSolver;
+pub use session::{Answer, Answers, CommitStats, PreparedQuery, Session, SessionError, Snapshot};
 pub use slp::{SlpNode, SlpNodeKind, SlpOpts, SlpTree};
 pub use solver::{Engine, QueryResult, Solver, SolverError};
 pub use tabled::{TabledEngine, TabledStats};

@@ -1,0 +1,1624 @@
+//! The incremental, snapshot-isolated [`Session`] — the primary entry
+//! point of the crate.
+//!
+//! A [`Session`] owns the [`TermStore`], the source [`Program`], the
+//! ground program and the engine state, and keeps the **well-founded
+//! model continuously materialized** across updates:
+//!
+//! * **Transactional updates** — [`Session::assert_facts`],
+//!   [`Session::retract_facts`] and [`Session::add_rules`] buffer into
+//!   an open transaction ([`Session::begin`] / [`Session::commit`] /
+//!   [`Session::rollback`]) or auto-commit when none is open. A commit
+//!   routes fact deltas through the persistent grounder's
+//!   [`IncrementalGrounder::extend`] (re-joining only the plans whose
+//!   predicates grew, via the relevance index) and maintains the model
+//!   on two warm [`gsls_wfs::IncrementalLfp`] chains
+//!   ([`gsls_wfs::well_founded_refresh`]) instead of re-solving from
+//!   scratch. Retraction is a model-level clause switch: the ground
+//!   program is append-only, a retracted fact's clause is disabled on
+//!   the chains and re-enabled by a later re-assert.
+//! * **Prepared queries** — [`Session::prepare`] compiles a goal once
+//!   into a [`PreparedQuery`] (pattern specs, slot layout, engine
+//!   choice, reusable scratch); [`PreparedQuery::execute`] streams
+//!   bindings through the [`Answers`] iterator instead of materializing
+//!   vectors.
+//! * **Snapshot reads** — [`Session::snapshot`] returns an immutable,
+//!   [`Send`]`+`[`Sync`] [`Snapshot`] of the committed state, cheap to
+//!   take (the first snapshot after a commit clones the state into an
+//!   [`Arc`]; later ones just bump the refcount) and queryable from any
+//!   number of threads while the session keeps committing.
+//!
+//! The session engine requires **function-free** programs (the class
+//! for which the paper's memoized procedure is effective); programs
+//! with function symbols keep working through
+//! [`crate::Solver`]'s global-tree engine.
+//!
+//! ## Semantics of updates
+//!
+//! The committed model always equals `well_founded_model` of a
+//! from-scratch grounding of the *merged* program (rules plus every
+//! currently-asserted fact) — the workspace property tests pin this
+//! across random update walks. Within one commit, updates apply in the
+//! order: added rules, asserted facts, retracted facts. Only **source
+//! facts** — ground facts of the initial program and facts issued
+//! through [`Session::assert_facts`] — are retractable; ground facts
+//! arriving in an [`Session::add_rules`] batch, like rule-derived
+//! fact instances, are permanent program text, and retracting a source
+//! fact never falsifies an atom such a permanent clause (or any rule)
+//! still derives. Rules whose variables are not bound by a positive
+//! body literal are enumerated over the **active domain** (every
+//! constant ever seen); retracting a fact does not shrink that domain.
+
+use crate::global::{GlobalOpts, GlobalTree, Status};
+use crate::solver::{Engine, QueryResult};
+use gsls_ground::{GroundAtomId, GroundProgram, GrounderOpts, GroundingError, IncrementalGrounder};
+use gsls_lang::{
+    parse_goal, parse_program, Atom, Clause, FxHashMap, Goal, ParseError, Pred, Program, Subst,
+    Symbol, Term, TermId, TermStore, Var,
+};
+use gsls_wfs::{well_founded_refresh, BitSet, IncrementalLfp, Interp, NegMode, Truth};
+use std::fmt;
+use std::sync::Arc;
+
+/// Sentinel for an unbound query binding slot.
+const UNBOUND: TermId = TermId(u32::MAX);
+
+/// Hard cap on residual (universe-enumerated) query instances.
+const MAX_QUERY_INSTANCES: usize = 100_000;
+
+/// Session errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// A source string failed to parse.
+    Parse(ParseError),
+    /// Grounding failed (clause budget).
+    Grounding(String),
+    /// The session engine requires function-free programs.
+    NotFunctionFree,
+    /// `assert_facts` / `retract_facts` was given a non-fact clause or
+    /// a non-ground fact.
+    NotAFact(String),
+    /// Query shape not supported by the selected engine.
+    Unsupported(String),
+    /// `begin` while a transaction is already open.
+    NestedTransaction,
+    /// A previous commit failed midway; the session only serves reads
+    /// of the last consistent model.
+    Poisoned,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "parse error: {e}"),
+            SessionError::Grounding(e) => write!(f, "grounding failed: {e}"),
+            SessionError::NotFunctionFree => {
+                write!(f, "the session engine requires a function-free program")
+            }
+            SessionError::NotAFact(e) => write!(f, "not a ground fact: {e}"),
+            SessionError::Unsupported(e) => write!(f, "unsupported query: {e}"),
+            SessionError::NestedTransaction => write!(f, "a transaction is already open"),
+            SessionError::Poisoned => {
+                write!(f, "session poisoned by a failed commit; reads only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+
+impl From<GroundingError> for SessionError {
+    fn from(e: GroundingError) -> Self {
+        SessionError::Grounding(e.to_string())
+    }
+}
+
+/// What one [`Session::commit`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Rules (and rule-batch facts) appended to the program.
+    pub rules_added: usize,
+    /// Genuinely new facts grounded in.
+    pub facts_asserted: usize,
+    /// Previously-retracted facts switched back on.
+    pub facts_reenabled: usize,
+    /// Fact clauses switched off.
+    pub facts_retracted: usize,
+    /// Ground atoms added by this commit.
+    pub new_atoms: usize,
+    /// Ground clauses added by this commit.
+    pub new_clauses: usize,
+}
+
+/// A buffered, not-yet-committed update batch.
+#[derive(Debug, Default)]
+struct Pending {
+    rules: Vec<Clause>,
+    asserts: Vec<Atom>,
+    retracts: Vec<Atom>,
+}
+
+impl Pending {
+    fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.asserts.is_empty() && self.retracts.is_empty()
+    }
+}
+
+/// The incremental, snapshot-isolated entry point. See the module docs.
+pub struct Session {
+    store: TermStore,
+    program: Program,
+    grounder: IncrementalGrounder,
+    t_chain: IncrementalLfp,
+    u_chain: IncrementalLfp,
+    model: Interp,
+    /// Reusable empty context for the alternating refresh.
+    empty: BitSet,
+    /// Clause indices of currently-retracted facts.
+    disabled: gsls_lang::FxHashSet<u32>,
+    /// Open transaction, if any ([`Session::begin`]).
+    txn: Option<Pending>,
+    /// Monotone commit counter; snapshots carry the epoch they saw.
+    epoch: u64,
+    snapshot_cache: Option<Snapshot>,
+    global_opts: GlobalOpts,
+    poisoned: bool,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// An empty session: no rules, no facts. Grow it with
+    /// [`Session::add_rules`] and [`Session::assert_facts`].
+    pub fn new() -> Session {
+        Session::from_parts(TermStore::new(), Program::new())
+            .expect("the empty program grounds trivially")
+    }
+
+    /// Parses `src` as the initial program.
+    pub fn from_source(src: &str) -> Result<Session, SessionError> {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, src)?;
+        Session::from_parts(store, program)
+    }
+
+    /// Builds a session over an already-parsed program and its store.
+    pub fn from_parts(store: TermStore, program: Program) -> Result<Session, SessionError> {
+        Session::with_opts(store, program, GrounderOpts::default())
+    }
+
+    /// [`Session::from_parts`] with explicit grounding options. Only
+    /// the clause budget and seed-round thread count apply: the session
+    /// engine always grounds on the planned relevant path (the
+    /// `mode`/`strategy` fields are for the batch [`crate::Solver`]).
+    pub fn with_opts(
+        mut store: TermStore,
+        program: Program,
+        opts: GrounderOpts,
+    ) -> Result<Session, SessionError> {
+        if !program.is_function_free(&store) {
+            return Err(SessionError::NotFunctionFree);
+        }
+        let grounder = IncrementalGrounder::new(&mut store, &program, opts)?;
+        let gp = grounder.ground_program();
+        let mut t_chain = IncrementalLfp::new(gp, NegMode::SatisfiedOutside);
+        let mut u_chain = IncrementalLfp::new(gp, NegMode::SatisfiedOutside);
+        let empty = BitSet::new(gp.atom_count());
+        let model = well_founded_refresh(gp, &mut t_chain, &mut u_chain, &empty);
+        Ok(Session {
+            store,
+            program,
+            grounder,
+            t_chain,
+            u_chain,
+            model,
+            empty,
+            disabled: gsls_lang::FxHashSet::default(),
+            txn: None,
+            epoch: 0,
+            snapshot_cache: None,
+            global_opts: GlobalOpts::default(),
+            poisoned: false,
+        })
+    }
+
+    /// Overrides the global-tree budgets used by
+    /// [`Engine::GlobalTree`]-prepared queries.
+    pub fn with_global_opts(mut self, opts: GlobalOpts) -> Self {
+        self.global_opts = opts;
+        self
+    }
+
+    /// The term store (parsing interns into it through the session's
+    /// `&mut self` methods).
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// The source program: initial clauses, added rules, and every
+    /// asserted fact (retracted facts stay listed; retraction is a
+    /// model-level switch).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The (finalized) ground program.
+    pub fn ground_program(&self) -> &GroundProgram {
+        self.grounder.ground_program()
+    }
+
+    /// The committed well-founded model.
+    pub fn model(&self) -> &Interp {
+        &self.model
+    }
+
+    /// Number of commits applied so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Whether a failed commit has poisoned the session (reads still
+    /// serve the last consistent model).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    // ---- transactional updates -------------------------------------
+
+    /// Opens a transaction: subsequent updates buffer until
+    /// [`Session::commit`] (or vanish on [`Session::rollback`]).
+    pub fn begin(&mut self) -> Result<(), SessionError> {
+        if self.poisoned {
+            return Err(SessionError::Poisoned);
+        }
+        if self.txn.is_some() {
+            return Err(SessionError::NestedTransaction);
+        }
+        self.txn = Some(Pending::default());
+        Ok(())
+    }
+
+    /// Discards the open transaction (no-op when none is open). Terms
+    /// parsed for the discarded batch stay interned; nothing else
+    /// changes.
+    pub fn rollback(&mut self) {
+        self.txn = None;
+    }
+
+    /// Asserts ground facts, parsed from `src` (e.g. `"e(a, b). e(b,
+    /// c)."`). Returns how many were queued. Auto-commits unless a
+    /// transaction is open.
+    pub fn assert_facts(&mut self, src: &str) -> Result<usize, SessionError> {
+        let atoms = self.parse_facts(src)?;
+        self.assert_fact_atoms(atoms)
+    }
+
+    /// Asserts already-built ground fact atoms.
+    pub fn assert_fact_atoms(&mut self, atoms: Vec<Atom>) -> Result<usize, SessionError> {
+        self.check_writable()?;
+        for atom in &atoms {
+            self.check_fact(atom)?;
+        }
+        let n = atoms.len();
+        self.buffer(|p| p.asserts.extend(atoms))?;
+        Ok(n)
+    }
+
+    /// Retracts ground facts, parsed from `src`. Facts never asserted
+    /// (or already retracted) are silently skipped at commit. Returns
+    /// how many were queued.
+    pub fn retract_facts(&mut self, src: &str) -> Result<usize, SessionError> {
+        let atoms = self.parse_facts(src)?;
+        self.retract_fact_atoms(atoms)
+    }
+
+    /// Retracts already-built ground fact atoms.
+    pub fn retract_fact_atoms(&mut self, atoms: Vec<Atom>) -> Result<usize, SessionError> {
+        self.check_writable()?;
+        for atom in &atoms {
+            self.check_fact(atom)?;
+        }
+        let n = atoms.len();
+        self.buffer(|p| p.retracts.extend(atoms))?;
+        Ok(n)
+    }
+
+    /// Adds rules (any clauses, including facts), parsed from `src`.
+    /// Returns how many were queued. Auto-commits unless a transaction
+    /// is open.
+    pub fn add_rules(&mut self, src: &str) -> Result<usize, SessionError> {
+        if self.poisoned {
+            return Err(SessionError::Poisoned);
+        }
+        let batch = parse_program(&mut self.store, src)?;
+        self.add_rule_clauses(batch.clauses().to_vec())
+    }
+
+    /// Adds already-built rule clauses.
+    pub fn add_rule_clauses(&mut self, clauses: Vec<Clause>) -> Result<usize, SessionError> {
+        self.check_writable()?;
+        for c in &clauses {
+            if !clause_function_free(&self.store, c) {
+                return Err(SessionError::NotFunctionFree);
+            }
+        }
+        let n = clauses.len();
+        self.buffer(|p| p.rules.extend(clauses))?;
+        Ok(n)
+    }
+
+    /// Applies the open transaction: delta-grounds the update through
+    /// the persistent grounder and refreshes the model on the warm
+    /// chains. Within the batch, rules apply before asserts, asserts
+    /// before retracts. Without an open transaction this is a no-op
+    /// (single updates auto-commit as they are issued).
+    pub fn commit(&mut self) -> Result<CommitStats, SessionError> {
+        if self.poisoned {
+            return Err(SessionError::Poisoned);
+        }
+        match self.txn.take() {
+            Some(pending) => self.apply(pending),
+            None => Ok(CommitStats::default()),
+        }
+    }
+
+    fn check_writable(&self) -> Result<(), SessionError> {
+        if self.poisoned {
+            return Err(SessionError::Poisoned);
+        }
+        Ok(())
+    }
+
+    /// Buffers an update into the open transaction, or applies it
+    /// immediately (auto-commit) when none is open.
+    fn buffer(&mut self, add: impl FnOnce(&mut Pending)) -> Result<(), SessionError> {
+        match &mut self.txn {
+            Some(p) => {
+                add(p);
+                Ok(())
+            }
+            None => {
+                let mut p = Pending::default();
+                add(&mut p);
+                self.apply(p).map(|_| ())
+            }
+        }
+    }
+
+    fn parse_facts(&mut self, src: &str) -> Result<Vec<Atom>, SessionError> {
+        if self.poisoned {
+            return Err(SessionError::Poisoned);
+        }
+        let batch = parse_program(&mut self.store, src)?;
+        let mut atoms = Vec::with_capacity(batch.len());
+        for c in batch.clauses() {
+            if !c.is_fact() {
+                return Err(SessionError::NotAFact(c.display(&self.store)));
+            }
+            atoms.push(c.head.clone());
+        }
+        Ok(atoms)
+    }
+
+    fn check_fact(&self, atom: &Atom) -> Result<(), SessionError> {
+        if !atom.is_ground(&self.store) {
+            return Err(SessionError::NotAFact(atom.display(&self.store)));
+        }
+        for &arg in atom.args.iter() {
+            if matches!(self.store.term(arg), Term::App(_, args) if !args.is_empty()) {
+                return Err(SessionError::NotFunctionFree);
+            }
+        }
+        Ok(())
+    }
+
+    /// The commit pipeline. Any grounding error poisons the session:
+    /// the ground program may hold half a batch, so further writes are
+    /// refused while the last committed model keeps serving reads.
+    fn apply(&mut self, pending: Pending) -> Result<CommitStats, SessionError> {
+        if pending.is_empty() {
+            return Ok(CommitStats::default());
+        }
+        let mut stats = CommitStats::default();
+        let atoms_before = self.ground_program().atom_count();
+        let clauses_before = self.ground_program().clause_count();
+
+        // 1. Rules (they may reference facts asserted in the same batch
+        //    only through the later semi-naive rounds, which is fine:
+        //    asserts run next and cascade through the new plans).
+        if !pending.rules.is_empty() {
+            let first_new = self.program.len();
+            for c in pending.rules {
+                self.program.push(c);
+                stats.rules_added += 1;
+            }
+            if let Err(e) = self
+                .grounder
+                .add_rules(&mut self.store, &self.program, first_new)
+            {
+                self.poisoned = true;
+                return Err(e.into());
+            }
+        }
+
+        // 2. Asserts: re-enable retracted facts, ground the new ones.
+        let mut enable: Vec<u32> = Vec::new();
+        let mut new_facts: Vec<Atom> = Vec::new();
+        for atom in pending.asserts {
+            let existing = self
+                .ground_program()
+                .lookup_atom(&atom)
+                .and_then(|id| self.grounder.fact_clause_of(id));
+            match existing {
+                Some(ci) => {
+                    if self.disabled.remove(&ci) {
+                        enable.push(ci);
+                        stats.facts_reenabled += 1;
+                    }
+                }
+                None => new_facts.push(atom),
+            }
+        }
+        if !new_facts.is_empty() {
+            for atom in &new_facts {
+                self.program.push(Clause::fact(atom.clone()));
+            }
+            stats.facts_asserted = new_facts.len();
+            if let Err(e) = self.grounder.extend(&mut self.store, &new_facts) {
+                self.poisoned = true;
+                return Err(e.into());
+            }
+        }
+
+        // 3. Retracts: switch fact clauses off. A retract that lands on
+        //    a clause this same commit queued for re-enabling cancels
+        //    the pending enable instead (retracts apply last): the
+        //    chains never saw the enable, so pushing a disable too
+        //    would desync them from `self.disabled`.
+        let mut disable: Vec<u32> = Vec::new();
+        for atom in pending.retracts {
+            let Some(ci) = self
+                .ground_program()
+                .lookup_atom(&atom)
+                .and_then(|id| self.grounder.fact_clause_of(id))
+            else {
+                continue; // never asserted — nothing to retract
+            };
+            if self.disabled.insert(ci) {
+                if let Some(pos) = enable.iter().position(|&e| e == ci) {
+                    enable.swap_remove(pos);
+                } else {
+                    disable.push(ci);
+                }
+                stats.facts_retracted += 1;
+            }
+        }
+
+        // 4. Model maintenance: grow the chains over the appended
+        //    atoms/clauses, flip the switched clauses, re-run the
+        //    alternating refresh from the warm state.
+        let gp = self.grounder.ground_program();
+        self.t_chain.grow(gp);
+        self.u_chain.grow(gp);
+        self.empty.grow(gp.atom_count());
+        if !disable.is_empty() || !enable.is_empty() {
+            self.t_chain.set_clauses_enabled(gp, &disable, &enable);
+            self.u_chain.set_clauses_enabled(gp, &disable, &enable);
+        }
+        self.model = well_founded_refresh(gp, &mut self.t_chain, &mut self.u_chain, &self.empty);
+
+        stats.new_atoms = gp.atom_count() - atoms_before;
+        stats.new_clauses = gp.clause_count() - clauses_before;
+        self.epoch += 1;
+        self.snapshot_cache = None;
+        Ok(stats)
+    }
+
+    // ---- queries -----------------------------------------------------
+
+    /// Compiles a query (e.g. `"?- win(X)."`) into a reusable
+    /// [`PreparedQuery`] on the default (model-backed) engine.
+    pub fn prepare(&mut self, src: &str) -> Result<PreparedQuery, SessionError> {
+        let goal = parse_goal(&mut self.store, src)?;
+        self.prepare_goal(goal, Engine::Tabled)
+    }
+
+    /// Compiles an already-parsed goal for `engine`.
+    pub fn prepare_goal(
+        &mut self,
+        goal: Goal,
+        engine: Engine,
+    ) -> Result<PreparedQuery, SessionError> {
+        let plan = match engine {
+            Engine::Tabled => Some(QueryPlan::compile(&self.store, &goal)?),
+            Engine::GlobalTree => None,
+        };
+        Ok(PreparedQuery {
+            goal,
+            engine,
+            plan,
+            scratch: QueryScratch::default(),
+        })
+    }
+
+    /// One-shot convenience: parse, prepare, execute, materialize.
+    pub fn query(&mut self, src: &str) -> Result<QueryResult, SessionError> {
+        let mut q = self.prepare(src)?;
+        Ok(q.execute(self)?.collect_result())
+    }
+
+    /// Truth of a single (ground) query — shorthand over
+    /// [`Session::query`].
+    pub fn truth(&mut self, src: &str) -> Result<Truth, SessionError> {
+        Ok(self.query(src)?.truth)
+    }
+
+    /// The committed truth of a ground atom (atoms the grounder never
+    /// saw are false).
+    pub fn truth_of_atom(&self, atom: &Atom) -> Truth {
+        match self.ground_program().lookup_atom(atom) {
+            Some(id) => self.model.truth(id),
+            None => Truth::False,
+        }
+    }
+
+    /// The session's read view (shared with [`Snapshot`]s).
+    fn view(&self) -> ModelView<'_> {
+        ModelView {
+            store: &self.store,
+            gp: self.grounder.ground_program(),
+            model: &self.model,
+            domain: self.grounder.universe(),
+        }
+    }
+
+    // ---- snapshots ---------------------------------------------------
+
+    /// An immutable, `Send + Sync` snapshot of the committed state.
+    ///
+    /// The first snapshot after a commit clones the store, ground
+    /// program and model into an [`Arc`]; repeated calls between
+    /// commits return the cached `Arc` (refcount bump only). Readers
+    /// on other threads never block the session's writers — they
+    /// simply keep seeing their epoch.
+    pub fn snapshot(&mut self) -> Snapshot {
+        if let Some(s) = &self.snapshot_cache {
+            return s.clone();
+        }
+        let snap = Snapshot {
+            inner: Arc::new(SnapshotInner {
+                store: self.store.clone(),
+                gp: self.grounder.ground_program().clone(),
+                model: self.model.clone(),
+                domain: self.grounder.universe().to_vec(),
+                epoch: self.epoch,
+            }),
+        };
+        self.snapshot_cache = Some(snap.clone());
+        snap
+    }
+}
+
+/// Whether a clause mentions no proper function symbol.
+fn clause_function_free(store: &TermStore, clause: &Clause) -> bool {
+    fn term_ok(store: &TermStore, t: TermId) -> bool {
+        match store.term(t) {
+            Term::Var(_) => true,
+            Term::App(_, args) => args.is_empty(),
+        }
+    }
+    clause.head.args.iter().all(|&t| term_ok(store, t))
+        && clause
+            .body
+            .iter()
+            .all(|l| l.atom.args.iter().all(|&t| term_ok(store, t)))
+}
+
+// ---- snapshots ------------------------------------------------------
+
+#[derive(Debug)]
+struct SnapshotInner {
+    store: TermStore,
+    gp: GroundProgram,
+    model: Interp,
+    domain: Vec<TermId>,
+    epoch: u64,
+}
+
+/// An immutable view of a committed session state. Cloning is an
+/// [`Arc`] refcount bump; the snapshot is `Send + Sync`, so any number
+/// of threads can run [`PreparedQuery::execute_on`] against it while
+/// the originating session keeps committing.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+impl Snapshot {
+    /// The commit epoch this snapshot captured.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// The captured term store.
+    pub fn store(&self) -> &TermStore {
+        &self.inner.store
+    }
+
+    /// The captured ground program.
+    pub fn ground_program(&self) -> &GroundProgram {
+        &self.inner.gp
+    }
+
+    /// The captured well-founded model.
+    pub fn model(&self) -> &Interp {
+        &self.inner.model
+    }
+
+    /// The truth of a ground atom in the captured model.
+    pub fn truth_of_atom(&self, atom: &Atom) -> Truth {
+        match self.inner.gp.lookup_atom(atom) {
+            Some(id) => self.inner.model.truth(id),
+            None => Truth::False,
+        }
+    }
+
+    fn view(&self) -> ModelView<'_> {
+        ModelView {
+            store: &self.inner.store,
+            gp: &self.inner.gp,
+            model: &self.inner.model,
+            domain: &self.inner.domain,
+        }
+    }
+}
+
+// ---- the model-backed query engine ----------------------------------
+
+/// A read view the query evaluator runs against: the session's live
+/// state, a snapshot's captured state, or the [`crate::Solver`] shim's
+/// batch state.
+#[derive(Clone, Copy)]
+pub(crate) struct ModelView<'a> {
+    pub store: &'a TermStore,
+    pub gp: &'a GroundProgram,
+    pub model: &'a Interp,
+    /// Constants for residual (all-negative) enumeration.
+    pub domain: &'a [TermId],
+}
+
+impl ModelView<'_> {
+    #[inline]
+    fn truth(&self, id: GroundAtomId) -> Truth {
+        self.model.truth(id)
+    }
+}
+
+/// One literal argument, compiled store-free: evaluation decomposes
+/// candidate terms but never constructs any, so it runs read-only
+/// against a shared snapshot.
+#[derive(Debug, Clone)]
+enum PatArg {
+    /// A term ground at compile time (hash-consing makes id equality
+    /// structural equality).
+    Const(TermId),
+    /// A goal variable's binding slot.
+    Slot(u32),
+    /// A non-ground compound pattern (function symbols only).
+    App(Symbol, Box<[PatArg]>),
+}
+
+#[derive(Debug, Clone)]
+struct CompiledLit {
+    pred: Pred,
+    args: Box<[PatArg]>,
+}
+
+/// A goal compiled for the model-backed engine: positive literals (goal
+/// order) drive candidate enumeration over the interned atom table,
+/// residual slots enumerate the domain, negative literals check last.
+#[derive(Debug, Clone)]
+pub(crate) struct QueryPlan {
+    pos: Vec<CompiledLit>,
+    neg: Vec<CompiledLit>,
+    /// Goal variables in first-occurrence order; slot `i` belongs to
+    /// `vars[i]`.
+    vars: Vec<Var>,
+    /// Slots no positive literal binds, in slot order.
+    residual: Vec<u32>,
+}
+
+impl QueryPlan {
+    pub(crate) fn compile(store: &TermStore, goal: &Goal) -> Result<QueryPlan, SessionError> {
+        let vars = goal.vars(store);
+        let slot_of: FxHashMap<Var, u32> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        fn compile_arg(store: &TermStore, slot_of: &FxHashMap<Var, u32>, t: TermId) -> PatArg {
+            if store.is_ground(t) {
+                return PatArg::Const(t);
+            }
+            match store.term(t) {
+                Term::Var(v) => PatArg::Slot(slot_of[v]),
+                Term::App(f, args) => PatArg::App(
+                    *f,
+                    args.iter()
+                        .map(|&a| compile_arg(store, slot_of, a))
+                        .collect(),
+                ),
+            }
+        }
+        let compile_lit = |atom: &Atom| CompiledLit {
+            pred: atom.pred_id(),
+            args: atom
+                .args
+                .iter()
+                .map(|&t| compile_arg(store, &slot_of, t))
+                .collect(),
+        };
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for lit in goal.literals() {
+            if lit.is_pos() {
+                pos.push(compile_lit(&lit.atom));
+            } else {
+                let c = compile_lit(&lit.atom);
+                if c.args.iter().any(|a| matches!(a, PatArg::App(..))) {
+                    return Err(SessionError::Unsupported(
+                        "negative literal with a non-ground compound argument \
+                         (use the global-tree engine)"
+                            .to_owned(),
+                    ));
+                }
+                neg.push(c);
+            }
+        }
+        // Slots some positive literal binds (matching against ground
+        // facts binds every variable of the pattern).
+        let mut bound = vec![false; vars.len()];
+        fn mark(bound: &mut [bool], a: &PatArg) {
+            match a {
+                PatArg::Const(_) => {}
+                PatArg::Slot(s) => bound[*s as usize] = true,
+                PatArg::App(_, args) => args.iter().for_each(|a| mark(bound, a)),
+            }
+        }
+        for lit in &pos {
+            lit.args.iter().for_each(|a| mark(&mut bound, a));
+        }
+        let residual = (0..vars.len() as u32)
+            .filter(|&s| !bound[s as usize])
+            .collect();
+        Ok(QueryPlan {
+            pos,
+            neg,
+            vars,
+            residual,
+        })
+    }
+}
+
+/// Per-depth iteration state of one [`Answers`] run.
+#[derive(Debug, Clone)]
+struct DepthState {
+    /// Candidate atoms (positive depths only).
+    candidates: Vec<GroundAtomId>,
+    cursor: usize,
+    /// Trail length on entry — advance/backtrack undoes to here.
+    mark: usize,
+    /// Truth of the matched candidate (positive depths).
+    truth: Truth,
+}
+
+impl Default for DepthState {
+    fn default() -> Self {
+        DepthState {
+            candidates: Vec::new(),
+            cursor: 0,
+            mark: 0,
+            truth: Truth::True,
+        }
+    }
+}
+
+/// Reusable evaluation scratch, cached inside a [`PreparedQuery`]
+/// across executions (snapshot runs allocate their own).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct QueryScratch {
+    bindings: Vec<TermId>,
+    depths: Vec<DepthState>,
+    trail: Vec<u32>,
+    key_buf: Vec<TermId>,
+}
+
+enum ScratchSlot<'a> {
+    Borrowed(&'a mut QueryScratch),
+    Owned(Box<QueryScratch>),
+}
+
+impl std::ops::Deref for ScratchSlot<'_> {
+    type Target = QueryScratch;
+    fn deref(&self) -> &QueryScratch {
+        match self {
+            ScratchSlot::Borrowed(s) => s,
+            ScratchSlot::Owned(s) => s,
+        }
+    }
+}
+
+impl std::ops::DerefMut for ScratchSlot<'_> {
+    fn deref_mut(&mut self) -> &mut QueryScratch {
+        match self {
+            ScratchSlot::Borrowed(s) => s,
+            ScratchSlot::Owned(s) => s,
+        }
+    }
+}
+
+/// One streamed answer: a substitution for the goal variables and the
+/// truth of that instance (`True` or `Undefined`; false instances are
+/// never yielded).
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// Bindings for the goal's variables.
+    pub subst: Subst,
+    /// `True` or `Undefined`.
+    pub truth: Truth,
+}
+
+/// A streaming iterator over the true and undefined instances of a
+/// prepared query — answers are produced on demand; nothing is
+/// materialized unless the caller collects.
+pub struct Answers<'a> {
+    plan: &'a QueryPlan,
+    view: ModelView<'a>,
+    scratch: ScratchSlot<'a>,
+    depth: usize,
+    started: bool,
+    done: bool,
+    /// Global-tree engine only: pre-materialized answers + verdict.
+    materialized: Option<std::vec::IntoIter<Answer>>,
+    overall: Option<(Truth, bool)>,
+}
+
+impl<'a> Answers<'a> {
+    /// Starts a run of `plan` against `view`. Fails fast if a residual
+    /// enumeration would exceed the instance budget.
+    fn start(
+        plan: &'a QueryPlan,
+        view: ModelView<'a>,
+        mut scratch: ScratchSlot<'a>,
+    ) -> Result<Answers<'a>, SessionError> {
+        if !plan.residual.is_empty() {
+            let total = view.domain.len().checked_pow(plan.residual.len() as u32);
+            if total.is_none_or(|t| t > MAX_QUERY_INSTANCES) {
+                return Err(SessionError::Unsupported(format!(
+                    "all-negative enumeration over {} variables × {} constants \
+                     exceeds the instance budget",
+                    plan.residual.len(),
+                    view.domain.len()
+                )));
+            }
+        }
+        let total = plan.pos.len() + plan.residual.len();
+        scratch.bindings.clear();
+        scratch.bindings.resize(plan.vars.len(), UNBOUND);
+        scratch.trail.clear();
+        if scratch.depths.len() < total {
+            scratch.depths.resize(total, DepthState::default());
+        }
+        Ok(Answers {
+            plan,
+            view,
+            scratch,
+            depth: 0,
+            started: false,
+            done: false,
+            materialized: None,
+            overall: None,
+        })
+    }
+
+    /// The term store answers resolve against — lets callers render
+    /// streamed substitutions while the iterator still borrows the
+    /// session.
+    pub fn store(&self) -> &TermStore {
+        self.view.store
+    }
+
+    fn total_depth(&self) -> usize {
+        self.plan.pos.len() + self.plan.residual.len()
+    }
+
+    /// Prepares depth `d`'s iteration: candidate list for positive
+    /// depths (with a point-lookup fast path when the pattern is fully
+    /// bound), cursor reset for residual depths.
+    fn enter(&mut self, d: usize) {
+        let mark = self.scratch.trail.len();
+        if d < self.plan.pos.len() {
+            let lit = &self.plan.pos[d];
+            // Fast path: every argument already resolvable — one hash
+            // lookup instead of a predicate scan.
+            let mut resolved = true;
+            {
+                let s = &mut *self.scratch;
+                s.key_buf.clear();
+                for a in lit.args.iter() {
+                    match a {
+                        PatArg::Const(t) => s.key_buf.push(*t),
+                        PatArg::Slot(slot) => {
+                            let b = s.bindings[*slot as usize];
+                            if b == UNBOUND {
+                                resolved = false;
+                                break;
+                            }
+                            s.key_buf.push(b);
+                        }
+                        PatArg::App(..) => {
+                            resolved = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            let key = std::mem::take(&mut self.scratch.key_buf);
+            let st = &mut self.scratch.depths[d];
+            st.candidates.clear();
+            if resolved {
+                if let Some(id) = self.view.gp.lookup_atom_parts(lit.pred.sym, &key) {
+                    st.candidates.push(id);
+                }
+            } else {
+                st.candidates.extend(self.view.gp.atoms_with_pred(lit.pred));
+            }
+            self.scratch.key_buf = key;
+        }
+        let st = &mut self.scratch.depths[d];
+        st.cursor = 0;
+        st.mark = mark;
+    }
+
+    /// Undoes depth `d`'s bindings and binds its next candidate (or
+    /// next domain constant). Returns `false` when exhausted.
+    fn advance(&mut self, d: usize) -> bool {
+        let mark = self.scratch.depths[d].mark;
+        while self.scratch.trail.len() > mark {
+            let s = self.scratch.trail.pop().expect("trail mark within bounds");
+            self.scratch.bindings[s as usize] = UNBOUND;
+        }
+        if d < self.plan.pos.len() {
+            let lit = &self.plan.pos[d];
+            loop {
+                let st = &self.scratch.depths[d];
+                let Some(&id) = st.candidates.get(st.cursor) else {
+                    return false;
+                };
+                self.scratch.depths[d].cursor += 1;
+                let t = self.view.truth(id);
+                if t == Truth::False {
+                    continue;
+                }
+                let atom = self.view.gp.atom(id);
+                let s = &mut *self.scratch;
+                let ok = lit
+                    .args
+                    .iter()
+                    .zip(atom.args.iter())
+                    .all(|(p, &tgt)| match_pat(self.view.store, p, tgt, s));
+                if ok {
+                    self.scratch.depths[d].truth = t;
+                    return true;
+                }
+                let s = &mut *self.scratch;
+                while s.trail.len() > mark {
+                    let sl = s.trail.pop().expect("trail mark within bounds");
+                    s.bindings[sl as usize] = UNBOUND;
+                }
+            }
+        } else {
+            let slot = self.plan.residual[d - self.plan.pos.len()];
+            let st = &self.scratch.depths[d];
+            let Some(&c) = self.view.domain.get(st.cursor) else {
+                return false;
+            };
+            self.scratch.depths[d].cursor += 1;
+            let s = &mut *self.scratch;
+            s.bindings[slot as usize] = c;
+            s.trail.push(slot);
+            true
+        }
+    }
+
+    /// Evaluates the leaf under the current (total) binding: checks the
+    /// negative literals, folds the three-valued conjunction, and
+    /// builds the answer. `None` = this instance is false.
+    fn leaf(&mut self) -> Option<Answer> {
+        let mut truth = Truth::True;
+        for d in 0..self.plan.pos.len() {
+            truth = min_truth(truth, self.scratch.depths[d].truth);
+        }
+        for lit in &self.plan.neg {
+            let s = &mut *self.scratch;
+            s.key_buf.clear();
+            for a in lit.args.iter() {
+                match a {
+                    PatArg::Const(t) => s.key_buf.push(*t),
+                    PatArg::Slot(slot) => {
+                        let b = s.bindings[*slot as usize];
+                        debug_assert_ne!(b, UNBOUND, "leaf with unbound slot");
+                        s.key_buf.push(b);
+                    }
+                    PatArg::App(..) => unreachable!("rejected at compile"),
+                }
+            }
+            let t = self
+                .view
+                .gp
+                .lookup_atom_parts(lit.pred.sym, &s.key_buf)
+                .map_or(Truth::False, |id| self.view.truth(id));
+            let neg_t = match t {
+                Truth::True => Truth::False,
+                Truth::False => Truth::True,
+                Truth::Undefined => Truth::Undefined,
+            };
+            if neg_t == Truth::False {
+                return None;
+            }
+            truth = min_truth(truth, neg_t);
+        }
+        let mut subst = Subst::new();
+        for (i, &v) in self.plan.vars.iter().enumerate() {
+            let b = self.scratch.bindings[i];
+            debug_assert_ne!(b, UNBOUND, "leaf with unbound goal variable");
+            subst.bind(v, b);
+        }
+        Some(Answer { subst, truth })
+    }
+
+    /// Drains the iterator into a compatibility [`QueryResult`].
+    pub fn collect_result(self) -> QueryResult {
+        let overall = self.overall;
+        let mut answers = Vec::new();
+        let mut undefined = Vec::new();
+        for a in self {
+            match a.truth {
+                Truth::True => answers.push(a.subst),
+                Truth::Undefined => undefined.push(a.subst),
+                Truth::False => unreachable!("false instances are never yielded"),
+            }
+        }
+        let (truth, floundered) = match overall {
+            Some((t, f)) => (t, f),
+            None => {
+                let t = if !answers.is_empty() {
+                    Truth::True
+                } else if !undefined.is_empty() {
+                    Truth::Undefined
+                } else {
+                    Truth::False
+                };
+                (t, false)
+            }
+        };
+        QueryResult {
+            truth,
+            answers,
+            undefined,
+            floundered,
+        }
+    }
+}
+
+impl Iterator for Answers<'_> {
+    type Item = Answer;
+
+    fn next(&mut self) -> Option<Answer> {
+        if let Some(m) = &mut self.materialized {
+            return m.next();
+        }
+        if self.done {
+            return None;
+        }
+        let total = self.total_depth();
+        if !self.started {
+            self.started = true;
+            if total == 0 {
+                self.done = true;
+                return self.leaf();
+            }
+            self.enter(0);
+            self.depth = 0;
+        } else {
+            self.depth = total - 1;
+        }
+        loop {
+            if self.advance(self.depth) {
+                if self.depth + 1 == total {
+                    if let Some(a) = self.leaf() {
+                        return Some(a);
+                    }
+                } else {
+                    self.depth += 1;
+                    self.enter(self.depth);
+                }
+            } else if self.depth == 0 {
+                self.done = true;
+                return None;
+            } else {
+                self.depth -= 1;
+            }
+        }
+    }
+}
+
+/// Structurally matches one compiled pattern argument against a ground
+/// target term, binding slots on the trail. Read-only on the store.
+fn match_pat(store: &TermStore, pat: &PatArg, tgt: TermId, s: &mut QueryScratch) -> bool {
+    match pat {
+        PatArg::Const(t) => *t == tgt,
+        PatArg::Slot(slot) => {
+            let cur = s.bindings[*slot as usize];
+            if cur == UNBOUND {
+                s.bindings[*slot as usize] = tgt;
+                s.trail.push(*slot);
+                true
+            } else {
+                cur == tgt
+            }
+        }
+        PatArg::App(f, args) => match store.term(tgt) {
+            Term::App(g, targs) if g == f && targs.len() == args.len() => {
+                let targs = targs.clone();
+                args.iter()
+                    .zip(targs.iter())
+                    .all(|(p, &t)| match_pat(store, p, t, s))
+            }
+            _ => false,
+        },
+    }
+}
+
+pub(crate) fn min_truth(a: Truth, b: Truth) -> Truth {
+    fn rank(t: Truth) -> u8 {
+        match t {
+            Truth::False => 0,
+            Truth::Undefined => 1,
+            Truth::True => 2,
+        }
+    }
+    if rank(a) <= rank(b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// A query compiled once and executable many times: goal compilation,
+/// engine choice and evaluation scratch are cached across calls.
+/// Execute against the live session ([`PreparedQuery::execute`]) or
+/// against a [`Snapshot`] from any thread
+/// ([`PreparedQuery::execute_on`]).
+#[derive(Debug)]
+pub struct PreparedQuery {
+    goal: Goal,
+    engine: Engine,
+    plan: Option<QueryPlan>,
+    scratch: QueryScratch,
+}
+
+impl PreparedQuery {
+    /// The compiled goal.
+    pub fn goal(&self) -> &Goal {
+        &self.goal
+    }
+
+    /// The engine this query runs on.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Runs against the live session's committed model, reusing the
+    /// cached scratch buffers (zero steady-state allocation for
+    /// point queries).
+    pub fn execute<'a>(
+        &'a mut self,
+        session: &'a mut Session,
+    ) -> Result<Answers<'a>, SessionError> {
+        match self.engine {
+            Engine::Tabled => {
+                let plan = self.plan.as_ref().expect("model engine has a plan");
+                Answers::start(
+                    plan,
+                    session.view(),
+                    ScratchSlot::Borrowed(&mut self.scratch),
+                )
+            }
+            Engine::GlobalTree => {
+                let tree = GlobalTree::build(
+                    &mut session.store,
+                    &session.program,
+                    &self.goal,
+                    session.global_opts,
+                );
+                let answers: Vec<Answer> = tree
+                    .answers(&mut session.store)
+                    .into_iter()
+                    .map(|a| Answer {
+                        subst: a.subst,
+                        truth: Truth::True,
+                    })
+                    .collect();
+                let (truth, floundered) = match tree.status() {
+                    Status::Successful => (Truth::True, tree.root().flags.floundered),
+                    Status::Failed => (Truth::False, false),
+                    Status::Floundered => (Truth::Undefined, true),
+                    Status::Indeterminate => (Truth::Undefined, false),
+                };
+                let plan = self.plan.get_or_insert_with(QueryPlan::empty);
+                let mut out = Answers::start(
+                    plan,
+                    session.view(),
+                    ScratchSlot::Borrowed(&mut self.scratch),
+                )?;
+                out.done = true;
+                out.materialized = Some(answers.into_iter());
+                out.overall = Some((truth, floundered));
+                Ok(out)
+            }
+        }
+    }
+
+    /// Runs against a snapshot — `&self`, so one prepared query can be
+    /// shared by many reader threads (each run allocates its own
+    /// scratch).
+    pub fn execute_on<'a>(&'a self, snapshot: &'a Snapshot) -> Result<Answers<'a>, SessionError> {
+        match self.engine {
+            Engine::Tabled => {
+                let plan = self.plan.as_ref().expect("model engine has a plan");
+                Answers::start(plan, snapshot.view(), ScratchSlot::Owned(Box::default()))
+            }
+            Engine::GlobalTree => Err(SessionError::Unsupported(
+                "the global-tree engine needs the live session (it builds terms); \
+                 snapshots serve the model-backed engine"
+                    .to_owned(),
+            )),
+        }
+    }
+}
+
+impl QueryPlan {
+    /// The empty plan (used as a placeholder by the global-tree path).
+    fn empty() -> QueryPlan {
+        QueryPlan {
+            pos: Vec::new(),
+            neg: Vec::new(),
+            vars: Vec::new(),
+            residual: Vec::new(),
+        }
+    }
+
+    /// Runs this plan against a view with caller-owned scratch — the
+    /// [`crate::Solver`] shim's entry into the shared evaluator.
+    pub(crate) fn run<'a>(
+        &'a self,
+        view: ModelView<'a>,
+        scratch: &'a mut QueryScratch,
+    ) -> Result<Answers<'a>, SessionError> {
+        Answers::start(self, view, ScratchSlot::Borrowed(scratch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Snapshot>();
+    }
+
+    #[test]
+    fn quickstart_flow() {
+        let mut sess = Session::from_source(
+            "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+        )
+        .unwrap();
+        assert_eq!(sess.truth("?- win(b).").unwrap(), Truth::True);
+        assert_eq!(sess.truth("?- win(a).").unwrap(), Truth::False);
+        assert_eq!(sess.truth("?- win(c).").unwrap(), Truth::False);
+        let r = sess.query("?- win(X).").unwrap();
+        assert_eq!(r.truth, Truth::True);
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.answers[0].display(sess.store()), "{X = b}");
+    }
+
+    #[test]
+    fn assert_retract_roundtrip() {
+        let mut sess = Session::from_source("move(a, b). win(X) :- move(X, Y), ~win(Y).").unwrap();
+        assert_eq!(sess.truth("?- win(a).").unwrap(), Truth::True);
+        // Give b an escape: a↔b draw loop.
+        sess.assert_facts("move(b, a).").unwrap();
+        assert_eq!(sess.truth("?- win(a).").unwrap(), Truth::Undefined);
+        assert_eq!(sess.epoch(), 1);
+        // Retract it again.
+        sess.retract_facts("move(b, a).").unwrap();
+        assert_eq!(sess.truth("?- win(a).").unwrap(), Truth::True);
+        assert_eq!(sess.truth("?- move(b, a).").unwrap(), Truth::False);
+        // Re-assert: re-enable, no new clauses.
+        let before = sess.ground_program().clause_count();
+        sess.assert_facts("move(b, a).").unwrap();
+        assert_eq!(sess.ground_program().clause_count(), before);
+        assert_eq!(sess.truth("?- move(b, a).").unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn transaction_batches_and_rollback() {
+        let mut sess = Session::from_source("p :- e, ~q.").unwrap();
+        sess.begin().unwrap();
+        sess.assert_facts("e.").unwrap();
+        // Not yet visible.
+        assert_eq!(sess.truth("?- p.").unwrap(), Truth::False);
+        assert!(sess.in_transaction());
+        assert!(matches!(sess.begin(), Err(SessionError::NestedTransaction)));
+        let stats = sess.commit().unwrap();
+        assert_eq!(stats.facts_asserted, 1);
+        assert_eq!(sess.truth("?- p.").unwrap(), Truth::True);
+        // Rollback drops the batch.
+        sess.begin().unwrap();
+        sess.retract_facts("e.").unwrap();
+        sess.rollback();
+        sess.commit().unwrap();
+        assert_eq!(sess.truth("?- p.").unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn add_rules_against_live_facts() {
+        let mut sess = Session::from_source("e(a, b). e(b, c).").unwrap();
+        sess.add_rules("t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).")
+            .unwrap();
+        assert_eq!(sess.truth("?- t(a, c).").unwrap(), Truth::True);
+        // New facts flow through rules added earlier.
+        sess.assert_facts("e(c, d).").unwrap();
+        assert_eq!(sess.truth("?- t(a, d).").unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn prepared_query_reuse_across_commits() {
+        let mut sess = Session::from_source("d(a). good(X) :- d(X), ~bad(X).").unwrap();
+        let mut q = sess.prepare("?- good(X).").unwrap();
+        assert_eq!(q.execute(&mut sess).unwrap().count(), 1);
+        sess.assert_facts("d(b). d(c). bad(b).").unwrap();
+        let answers: Vec<Answer> = q.execute(&mut sess).unwrap().collect();
+        assert_eq!(answers.len(), 2, "a and c");
+        for a in &answers {
+            assert_eq!(a.truth, Truth::True);
+        }
+    }
+
+    #[test]
+    fn answers_stream_lazily() {
+        let mut sess = Session::from_source("d(a). d(b). d(c). d(e).").unwrap();
+        let mut q = sess.prepare("?- d(X).").unwrap();
+        let mut it = q.execute(&mut sess).unwrap();
+        assert!(it.next().is_some());
+        assert!(it.next().is_some());
+        drop(it); // abandoning mid-stream is fine
+        assert_eq!(q.execute(&mut sess).unwrap().count(), 4);
+    }
+
+    #[test]
+    fn snapshot_isolation_under_writes() {
+        let mut sess = Session::from_source("q(a). d(a). d(b).").unwrap();
+        let q = sess.prepare("?- ~q(X).").unwrap();
+        let snap = sess.snapshot();
+        let snap2 = sess.snapshot();
+        assert_eq!(snap.epoch(), snap2.epoch());
+        // Writer moves on.
+        sess.assert_facts("q(b).").unwrap();
+        let live = sess.query("?- ~q(X).").unwrap();
+        assert_eq!(live.answers.len(), 0);
+        // The snapshot still sees epoch 0: ~q(b) holds there.
+        let frozen: Vec<Answer> = q.execute_on(&snap).unwrap().collect();
+        assert_eq!(frozen.len(), 1);
+        assert_eq!(frozen[0].subst.display(snap.store()), "{X = b}");
+        // Threads: query the same snapshot concurrently.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let snap = snap.clone();
+                std::thread::spawn(move || {
+                    let q = PreparedQuery {
+                        goal: Goal::empty(),
+                        engine: Engine::Tabled,
+                        plan: Some(QueryPlan::compile(snap.store(), &Goal::empty()).unwrap()),
+                        scratch: QueryScratch::default(),
+                    };
+                    q.execute_on(&snap).unwrap().count()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1, "empty goal: one vacuous answer");
+        }
+    }
+
+    #[test]
+    fn empty_session_grows_from_nothing() {
+        let mut sess = Session::new();
+        assert_eq!(sess.truth("?- p.").unwrap(), Truth::False);
+        sess.add_rules("p :- ~q.").unwrap();
+        assert_eq!(sess.truth("?- p.").unwrap(), Truth::True);
+        sess.assert_facts("q.").unwrap();
+        assert_eq!(sess.truth("?- p.").unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn function_symbols_rejected() {
+        assert!(matches!(
+            Session::from_source("nat(0). nat(s(X)) :- nat(X)."),
+            Err(SessionError::NotFunctionFree)
+        ));
+        let mut sess = Session::new();
+        assert!(matches!(
+            sess.add_rules("p(f(X)) :- q(X)."),
+            Err(SessionError::NotFunctionFree)
+        ));
+        assert!(matches!(
+            sess.assert_facts("p(f(a))."),
+            Err(SessionError::NotFunctionFree)
+        ));
+        assert!(matches!(
+            sess.assert_facts("p(X)."),
+            Err(SessionError::NotAFact(_))
+        ));
+        assert!(matches!(
+            sess.assert_facts("p :- q."),
+            Err(SessionError::NotAFact(_))
+        ));
+    }
+
+    #[test]
+    fn assert_then_retract_same_fact_in_one_commit_nets_retracted() {
+        // Regression: retracts apply last, even against a re-enable
+        // queued by the same commit, and the disabled-set stays in sync
+        // with the chains so later retracts still work.
+        let mut sess = Session::from_source("f.").unwrap();
+        sess.retract_facts("f.").unwrap();
+        sess.begin().unwrap();
+        sess.assert_facts("f.").unwrap();
+        sess.retract_facts("f.").unwrap();
+        sess.commit().unwrap();
+        assert_eq!(sess.truth("?- f.").unwrap(), Truth::False);
+        // The inverse order nets asserted? No — retracts always apply
+        // last within a batch: still false.
+        sess.begin().unwrap();
+        sess.retract_facts("f.").unwrap();
+        sess.assert_facts("f.").unwrap();
+        sess.commit().unwrap();
+        assert_eq!(sess.truth("?- f.").unwrap(), Truth::False);
+        // And the bookkeeping is intact: a plain assert re-enables, a
+        // plain retract disables.
+        sess.assert_facts("f.").unwrap();
+        assert_eq!(sess.truth("?- f.").unwrap(), Truth::True);
+        sess.retract_facts("f.").unwrap();
+        assert_eq!(sess.truth("?- f.").unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn rule_instances_are_not_retractable() {
+        // Regression: p(X). derives p(a)/p(b) as permanent rule
+        // instances; retract_facts must not be able to switch them off.
+        let mut sess = Session::from_source("d(a). d(b).").unwrap();
+        sess.add_rules("p(X).").unwrap();
+        assert_eq!(sess.truth("?- p(a).").unwrap(), Truth::True);
+        sess.retract_facts("p(a).").unwrap();
+        assert_eq!(sess.truth("?- p(a).").unwrap(), Truth::True);
+        // An asserted fact shadowed by a rule instance survives its own
+        // retraction through the rule, matching a scratch rebuild.
+        sess.assert_facts("p(c).").unwrap();
+        sess.retract_facts("p(c).").unwrap();
+        assert_eq!(
+            sess.truth("?- p(c).").unwrap(),
+            Truth::True,
+            "p(X). still derives p(c) for the active-domain constant c"
+        );
+    }
+
+    #[test]
+    fn rule_batch_facts_are_permanent() {
+        // Regression: a fact added via add_rules is program text — it
+        // must stay true even if an identical source fact was retracted
+        // before (or is retracted after).
+        let mut sess = Session::from_source("g.").unwrap();
+        sess.retract_facts("g.").unwrap();
+        assert_eq!(sess.truth("?- g.").unwrap(), Truth::False);
+        sess.add_rules("g.").unwrap();
+        assert_eq!(sess.truth("?- g.").unwrap(), Truth::True);
+        sess.retract_facts("g.").unwrap();
+        assert_eq!(
+            sess.truth("?- g.").unwrap(),
+            Truth::True,
+            "the rule-batch clause is not retractable"
+        );
+        // Re-asserting and retracting the source fact keeps working.
+        sess.assert_facts("g.").unwrap();
+        sess.retract_facts("g.").unwrap();
+        assert_eq!(sess.truth("?- g.").unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn session_matches_scratch_rebuild() {
+        // A miniature of the workspace property test: after a mixed
+        // walk, the session model equals a from-scratch solve of the
+        // merged program.
+        let mut sess =
+            Session::from_source("e(a, b). e(b, c). r(X) :- e(X, Y), ~dead(X). dead(c).").unwrap();
+        sess.assert_facts("e(c, a).").unwrap();
+        sess.add_rules("t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).")
+            .unwrap();
+        sess.retract_facts("e(b, c).").unwrap();
+        sess.assert_facts("dead(a).").unwrap();
+        sess.retract_facts("dead(c).").unwrap();
+        sess.assert_facts("e(b, c).").unwrap(); // re-enable
+                                                // Rebuild: rules + currently-active facts.
+        let mut s2 = TermStore::new();
+        let p2 = parse_program(
+            &mut s2,
+            "e(a, b). e(b, c). r(X) :- e(X, Y), ~dead(X). \
+             t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z). e(c, a). dead(a).",
+        )
+        .unwrap();
+        let gp2 = gsls_ground::Grounder::ground(&mut s2, &p2).unwrap();
+        let m2 = gsls_wfs::well_founded_model(&gp2);
+        // Compare truths over the rebuilt program's atoms...
+        for id2 in gp2.atom_ids() {
+            let atom2 = gp2.atom(id2);
+            let name = atom2.display(&s2);
+            let goal = format!("?- {name}.");
+            assert_eq!(
+                sess.truth(&goal).unwrap(),
+                m2.truth(id2),
+                "atom {name} diverges"
+            );
+        }
+        // ...and session atoms absent from the rebuild must be false.
+        let session_atoms: Vec<String> = sess
+            .ground_program()
+            .atom_ids()
+            .map(|id| sess.ground_program().display_atom(sess.store(), id))
+            .collect();
+        for name in session_atoms {
+            let mut s3 = s2.clone();
+            let g = parse_goal(&mut s3, &format!("?- {name}.")).unwrap();
+            let known = g.literals()[0]
+                .atom
+                .is_ground(&s3)
+                .then(|| gp2.lookup_atom(&g.literals()[0].atom))
+                .flatten();
+            if known.is_none() {
+                assert_eq!(
+                    sess.truth(&format!("?- {name}.")).unwrap(),
+                    Truth::False,
+                    "session-only atom {name} must be false"
+                );
+            }
+        }
+    }
+}

@@ -1,10 +1,18 @@
-//! The solver facade: one entry point over all engines.
+//! The batch-compatibility facade: one-shot programs, caller-owned
+//! [`TermStore`]s.
 //!
-//! A [`Solver`] owns the program and chooses the engine:
+//! [`Solver`] predates [`crate::Session`] and survives as a **thin
+//! shim over the session machinery**: the `Tabled` engine grounds the
+//! program once, materializes the well-founded model, and evaluates
+//! queries through the same compiled-plan streaming evaluator
+//! (`QueryPlan` / `Answers`) a session's prepared queries use — only
+//! the incremental layers (delta grounding, warm-chain maintenance,
+//! snapshots) are absent, because a `Solver`'s program never changes.
+//! New code should use [`crate::Session`]; see the crate-root
+//! migration notes.
 //!
-//! * [`Engine::Tabled`] — the effective memoized engine (Sec. 7), exact
-//!   for function-free programs; ground queries and nonground
-//!   single-literal queries;
+//! * [`Engine::Tabled`] — the memoized/model-backed engine, exact for
+//!   function-free programs; any query shape over the finite domain;
 //! * [`Engine::GlobalTree`] — explicit global-tree construction: needed
 //!   when you want the tree itself (traces, levels, floundering
 //!   diagnosis) or when the program has function symbols (budgeted);
@@ -12,16 +20,18 @@
 //!   compared in the experiment harness, not proxied here.
 
 use crate::global::{GlobalOpts, GlobalTree, Status};
-use crate::tabled::TabledEngine;
-use gsls_ground::{Grounder, GrounderOpts};
-use gsls_lang::{match_term, Atom, Goal, Literal, Program, Subst, TermStore};
-use gsls_wfs::Truth;
+use crate::session::{ModelView, QueryPlan, QueryScratch, SessionError};
+use gsls_ground::{herbrand, GroundProgram, Grounder, GrounderOpts};
+use gsls_lang::{Goal, Literal, Program, Subst, TermStore};
+use gsls_wfs::{well_founded_model, Interp, Truth};
 use std::fmt;
 
 /// Engine selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Memoized effective engine (function-free programs).
+    /// Memoized effective engine (function-free programs): the
+    /// materialized well-founded model behind the streaming query
+    /// evaluator.
     #[default]
     Tabled,
     /// Explicit (budgeted) global-tree construction.
@@ -69,10 +79,32 @@ impl fmt::Display for SolverError {
 
 impl std::error::Error for SolverError {}
 
-/// The solver facade.
+impl From<SessionError> for SolverError {
+    fn from(e: SessionError) -> Self {
+        match e {
+            SessionError::NotFunctionFree => SolverError::NotFunctionFree,
+            SessionError::Grounding(g) => SolverError::Grounding(g),
+            other => SolverError::Unsupported(other.to_string()),
+        }
+    }
+}
+
+/// The ground-and-solve state behind the `Tabled` engine, built on the
+/// first tabled query.
+struct ModelState {
+    gp: GroundProgram,
+    model: Interp,
+    /// Constants (with the invented default if the program has none)
+    /// for all-negative enumeration — the finite-domain counterpart of
+    /// the constructive-negation escape hatch the paper's Section 6
+    /// points to [4, 20].
+    domain: Vec<gsls_lang::TermId>,
+}
+
+/// The compatibility facade.
 pub struct Solver {
     program: Program,
-    tabled: Option<TabledEngine>,
+    ready: Option<ModelState>,
     global_opts: GlobalOpts,
     grounder_opts: GrounderOpts,
 }
@@ -82,7 +114,7 @@ impl Solver {
     pub fn new(program: Program) -> Self {
         Solver {
             program,
-            tabled: None,
+            ready: None,
             global_opts: GlobalOpts::default(),
             grounder_opts: GrounderOpts::default(),
         }
@@ -105,16 +137,21 @@ impl Solver {
         &self.program
     }
 
-    fn ensure_tabled(&mut self, store: &mut TermStore) -> Result<&mut TabledEngine, SolverError> {
+    fn ensure_ready(&mut self, store: &mut TermStore) -> Result<&ModelState, SolverError> {
         if !self.program.is_function_free(store) {
             return Err(SolverError::NotFunctionFree);
         }
-        if self.tabled.is_none() {
+        if self.ready.is_none() {
             let gp = Grounder::ground_with(store, &self.program, self.grounder_opts)
                 .map_err(|e| SolverError::Grounding(e.to_string()))?;
-            self.tabled = Some(TabledEngine::new(gp));
+            let model = well_founded_model(&gp);
+            let domain = herbrand::constants_with_default(store, &self.program)
+                .into_iter()
+                .map(|c| store.app(c, &[]))
+                .collect();
+            self.ready = Some(ModelState { gp, model, domain });
         }
-        Ok(self.tabled.as_mut().expect("just initialised"))
+        Ok(self.ready.as_ref().expect("just initialised"))
     }
 
     /// Truth of a single ground literal under the selected engine.
@@ -131,9 +168,11 @@ impl Solver {
 
     /// Evaluates a query.
     ///
-    /// Supported shapes: any ground query; nonground queries whose
-    /// positive literals can enumerate bindings (tabled engine: via the
-    /// interned atom table; global-tree engine: via SLP search).
+    /// Supported shapes under the tabled engine: any conjunction of
+    /// literals over the finite domain — positive literals enumerate
+    /// candidates from the interned atom table, variables bound by no
+    /// positive literal are enumerated over the constant domain
+    /// (budgeted).
     pub fn query(
         &mut self,
         store: &mut TermStore,
@@ -151,161 +190,18 @@ impl Solver {
         store: &mut TermStore,
         goal: &Goal,
     ) -> Result<QueryResult, SolverError> {
-        if goal.is_ground(store) {
-            let eng = self.ensure_tabled(store)?;
-            let mut truth = Truth::True;
-            for lit in goal.literals() {
-                let atom_truth = match eng.ground_program().lookup_atom(&lit.atom) {
-                    Some(id) => eng.truth(id),
-                    None => Truth::False, // never derivable
-                };
-                let lit_truth = match (lit.is_pos(), atom_truth) {
-                    (true, t) => t,
-                    (false, Truth::True) => Truth::False,
-                    (false, Truth::False) => Truth::True,
-                    (false, Truth::Undefined) => Truth::Undefined,
-                };
-                truth = min_truth(truth, lit_truth);
-            }
-            let (answers, undefined) = match truth {
-                Truth::True => (vec![Subst::new()], Vec::new()),
-                Truth::Undefined => (Vec::new(), vec![Subst::new()]),
-                Truth::False => (Vec::new(), Vec::new()),
-            };
-            return Ok(QueryResult {
-                truth,
-                answers,
-                undefined,
-                floundered: false,
-            });
-        }
-        // Nonground: enumerate instances of the first positive literal
-        // from the interned atom table, recurse on each instance.
-        let Some(pos_idx) = goal.literals().iter().position(Literal::is_pos) else {
-            // All-negative nonground query: the tree procedure flounders
-            // here, but over a function-free program the Herbrand
-            // universe is the finite constant set, so the query can be
-            // answered by domain enumeration — the finite-domain
-            // counterpart of the constructive-negation escape hatch the
-            // paper's Section 6 points to [4, 20].
-            return self.query_all_negative(store, goal);
+        self.ensure_ready(store)?;
+        let plan = QueryPlan::compile(store, goal)?;
+        let st = self.ready.as_ref().expect("ensure_ready succeeded");
+        let view = ModelView {
+            store,
+            gp: &st.gp,
+            model: &st.model,
+            domain: &st.domain,
         };
-        let pattern = goal.literals()[pos_idx].atom.clone();
-        let goal_vars = goal.vars(store);
-        let candidates: Vec<Atom> = {
-            let eng = self.ensure_tabled(store)?;
-            let gp = eng.ground_program();
-            // The per-predicate index from `finalize` replaces a scan
-            // (and clone) of the entire atom table.
-            gp.atoms_with_pred(pattern.pred_id())
-                .map(|a| gp.atom(a).clone())
-                .collect()
-        };
-        let mut answers = Vec::new();
-        let mut undefined = Vec::new();
-        let mut any_undef_overall = false;
-        for cand in candidates {
-            let mut sub = Subst::new();
-            let matches = pattern
-                .args
-                .iter()
-                .zip(cand.args.iter())
-                .all(|(&p, &t)| match_term(store, &mut sub, p, t));
-            if !matches {
-                continue;
-            }
-            let inst = sub.resolve_goal(store, goal);
-            let r = self.query_tabled(store, &inst)?;
-            let binding = sub.restricted_to(store, &goal_vars);
-            match r.truth {
-                Truth::True => answers.push(binding),
-                Truth::Undefined => {
-                    undefined.push(binding);
-                    any_undef_overall = true;
-                }
-                Truth::False => {}
-            }
-        }
-        let truth = if !answers.is_empty() {
-            Truth::True
-        } else if any_undef_overall {
-            Truth::Undefined
-        } else {
-            Truth::False
-        };
-        Ok(QueryResult {
-            truth,
-            answers,
-            undefined,
-            floundered: false,
-        })
-    }
-
-    /// Answers a nonground all-negative query by enumerating the finite
-    /// Herbrand universe (constants) for its variables.
-    fn query_all_negative(
-        &mut self,
-        store: &mut TermStore,
-        goal: &Goal,
-    ) -> Result<QueryResult, SolverError> {
-        const MAX_INSTANCES: usize = 100_000;
-        let universe: Vec<gsls_lang::TermId> =
-            gsls_ground::herbrand::constants_with_default(store, &self.program)
-                .into_iter()
-                .map(|c| store.app(c, &[]))
-                .collect();
-        let vars = goal.vars(store);
-        let total = universe.len().checked_pow(vars.len() as u32);
-        if total.is_none_or(|t| t > MAX_INSTANCES) {
-            return Err(SolverError::Unsupported(format!(
-                "all-negative query over {} variables × {} constants exceeds the \
-                 enumeration budget",
-                vars.len(),
-                universe.len()
-            )));
-        }
-        let mut answers = Vec::new();
-        let mut undefined = Vec::new();
-        let mut indices = vec![0usize; vars.len()];
-        loop {
-            let mut sub = Subst::new();
-            for (v, &i) in vars.iter().zip(&indices) {
-                sub.bind(*v, universe[i]);
-            }
-            let inst = sub.resolve_goal(store, goal);
-            let r = self.query_tabled(store, &inst)?;
-            let binding = sub.restricted_to(store, &vars);
-            match r.truth {
-                Truth::True => answers.push(binding),
-                Truth::Undefined => undefined.push(binding),
-                Truth::False => {}
-            }
-            // Odometer increment.
-            let mut k = 0;
-            loop {
-                if k == indices.len() {
-                    let truth = if !answers.is_empty() {
-                        Truth::True
-                    } else if !undefined.is_empty() {
-                        Truth::Undefined
-                    } else {
-                        Truth::False
-                    };
-                    return Ok(QueryResult {
-                        truth,
-                        answers,
-                        undefined,
-                        floundered: false,
-                    });
-                }
-                indices[k] += 1;
-                if indices[k] < universe.len() {
-                    break;
-                }
-                indices[k] = 0;
-                k += 1;
-            }
-        }
+        let mut scratch = QueryScratch::default();
+        let answers = plan.run(view, &mut scratch)?;
+        Ok(answers.collect_result())
     }
 
     fn query_global(&self, store: &mut TermStore, goal: &Goal) -> QueryResult {
@@ -333,21 +229,6 @@ impl Solver {
     /// level inspection.
     pub fn global_tree(&self, store: &mut TermStore, goal: &Goal) -> GlobalTree {
         GlobalTree::build(store, &self.program, goal, self.global_opts)
-    }
-}
-
-fn min_truth(a: Truth, b: Truth) -> Truth {
-    fn rank(t: Truth) -> u8 {
-        match t {
-            Truth::False => 0,
-            Truth::Undefined => 1,
-            Truth::True => 2,
-        }
-    }
-    if rank(a) <= rank(b) {
-        a
-    } else {
-        b
     }
 }
 

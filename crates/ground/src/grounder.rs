@@ -43,11 +43,12 @@ use crate::factstore::{
 };
 use crate::herbrand::{herbrand_universe, HerbrandOpts};
 use crate::plan::{
-    build_plans, build_templates, residual_vars, ArgSpec, JoinPlan, RuleTemplate, NO_INDEX, UNBOUND,
+    append_plans, build_plans, build_templates, residual_vars, template_of, ArgSpec, JoinPlan,
+    Planner, RuleTemplate, NO_INDEX, UNBOUND,
 };
 use gsls_lang::{
-    match_term_recording, Atom, Clause, FxHashMap, Pred, Program, Subst, Symbol, Term, TermId,
-    TermStore, Var,
+    match_term_recording, Atom, Clause, FxHashMap, FxHashSet, Pred, Program, Subst, Symbol, Term,
+    TermId, TermStore, Var,
 };
 use std::fmt;
 use std::time::Instant;
@@ -158,6 +159,98 @@ impl Csr {
         &self.items[self.off[key] as usize..self.off[key + 1] as usize]
     }
 
+    /// O(delta) in-place growth for the common append case: when every
+    /// delta pair's key is a **new** key (≥ the current key count), the
+    /// new rows land entirely after the existing items, so the arrays
+    /// extend without any re-layout. Returns `false` (leaving `self`
+    /// untouched) when some delta key is an existing one — the caller
+    /// falls back to the full [`Csr::extend`] merge.
+    ///
+    /// This is what makes a session commit's re-index cheap: a fresh
+    /// fact's head and positive watches index under fresh atom ids;
+    /// typically only the negative-watch index (whose delta can point
+    /// at old atoms) pays the merge.
+    fn try_append_tail(
+        &mut self,
+        n_keys: usize,
+        each_new: &impl Fn(&mut dyn FnMut(u32, u32)),
+    ) -> bool {
+        let old_keys = self.len();
+        debug_assert!(n_keys >= old_keys);
+        let mut ok = true;
+        each_new(&mut |k, _| ok &= k as usize >= old_keys);
+        if !ok {
+            return false;
+        }
+        let mut counts = vec![0u32; n_keys - old_keys];
+        each_new(&mut |k, _| counts[k as usize - old_keys] += 1);
+        let total = self.items.len() as u32;
+        // Per-new-key start cursors, then the off tail (end offsets).
+        let mut cursor = counts;
+        let mut run = total;
+        for c in cursor.iter_mut() {
+            let len = *c;
+            *c = run;
+            run += len;
+            self.off.push(run);
+        }
+        self.items.resize(run as usize, 0);
+        let items = &mut self.items;
+        each_new(&mut |k, v| {
+            let c = &mut cursor[k as usize - old_keys];
+            items[*c as usize] = v;
+            *c += 1;
+        });
+        true
+    }
+
+    /// Builds the CSR holding every `(key, item)` pair of `self` plus
+    /// the pairs `each_new` produces, over a possibly larger key space —
+    /// the merge step behind the incremental `finalize`: old rows are
+    /// block-copied, only the delta re-runs the counting pass. `spare`
+    /// (the generation-before-last's arrays) is recycled so steady-state
+    /// session commits allocate nothing here.
+    fn extend(
+        &self,
+        n_keys: usize,
+        each_new: impl Fn(&mut dyn FnMut(u32, u32)),
+        spare: Option<Csr>,
+    ) -> Csr {
+        debug_assert!(n_keys >= self.len());
+        let (mut counts, mut spare_items) = match spare {
+            Some(c) => (c.off, Some(c.items)),
+            None => (Vec::new(), None),
+        };
+        counts.clear();
+        counts.resize(n_keys + 1, 0);
+        each_new(&mut |k, _| counts[k as usize + 1] += 1);
+        for k in 0..self.len() {
+            counts[k + 1] += self.off[k + 1] - self.off[k];
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let total = *counts.last().unwrap_or(&0) as usize;
+        let mut items = spare_items.take().unwrap_or_default();
+        // Every slot is written below (old-row copy + delta fill cover
+        // the whole count), so stale spare contents are harmless.
+        items.clear();
+        items.resize(total, 0);
+        let mut cursor = counts.clone();
+        for (k, c) in cursor.iter_mut().enumerate().take(self.len()) {
+            let row = &self.items[self.off[k] as usize..self.off[k + 1] as usize];
+            let start = *c as usize;
+            items[start..start + row.len()].copy_from_slice(row);
+            *c += row.len() as u32;
+        }
+        each_new(&mut |k, v| {
+            let c = &mut cursor[k as usize];
+            items[*c as usize] = v;
+            *c += 1;
+        });
+        Csr { off: counts, items }
+    }
+
     /// Number of keys.
     pub fn len(&self) -> usize {
         self.off.len().saturating_sub(1)
@@ -179,12 +272,16 @@ struct Indexes {
     watch_pos: Csr,
     /// atom → clauses whose *negative* body contains it.
     watch_neg: Csr,
-    /// predicate → interned atom ids (query-enumeration index).
-    by_pred: FxHashMap<Pred, Vec<u32>>,
+    /// The atom/clause counts these indexes cover. A mismatch with the
+    /// live store means the indexes are stale — accessors panic, and
+    /// `finalize` **extends** them over the appended suffix instead of
+    /// rebuilding (sessions commit small deltas against big programs).
+    n_atoms: usize,
+    n_clauses: usize,
 }
 
 /// A program compiled to ground form (CSR clause storage).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GroundProgram {
     atoms: Vec<Atom>,
     /// Open-addressing interning table over `atoms` (identity = `(pred,
@@ -200,9 +297,19 @@ pub struct GroundProgram {
     body_start: Vec<u32>,
     /// Within that range, negatives start at `neg_start[c]`.
     neg_start: Vec<u32>,
+    /// predicate → interned atom ids (query-enumeration index).
+    /// Maintained incrementally at interning time — unlike the CSR
+    /// reverse indexes it never needs a rebuild, so sessions that
+    /// append atoms per commit pay one hash-push per *new* atom instead
+    /// of a full re-scan in `finalize`.
+    by_pred: FxHashMap<Pred, Vec<u32>>,
     /// Reverse indexes; `None` until [`GroundProgram::finalize`] runs (or
     /// after any mutation, which invalidates them).
     index: Option<Indexes>,
+    /// The previous generation's index arrays, recycled by the next
+    /// incremental `finalize` (double buffering: steady-state session
+    /// commits re-index without allocating). Never cloned.
+    index_spare: Option<Indexes>,
 }
 
 impl Default for GroundProgram {
@@ -214,7 +321,27 @@ impl Default for GroundProgram {
             body: Vec::new(),
             body_start: vec![0],
             neg_start: Vec::new(),
+            by_pred: FxHashMap::default(),
             index: None,
+            index_spare: None,
+        }
+    }
+}
+
+impl Clone for GroundProgram {
+    fn clone(&self) -> Self {
+        GroundProgram {
+            atoms: self.atoms.clone(),
+            atom_table: self.atom_table.clone(),
+            heads: self.heads.clone(),
+            body: self.body.clone(),
+            body_start: self.body_start.clone(),
+            neg_start: self.neg_start.clone(),
+            by_pred: self.by_pred.clone(),
+            index: self.index.clone(),
+            // The recycling buffer is an allocation cache, not state —
+            // snapshots must not pay for (or carry) it.
+            index_spare: None,
         }
     }
 }
@@ -254,10 +381,11 @@ impl GroundProgram {
             Some(id) => id,
             None => {
                 let id = GroundAtomId(self.atoms.len() as u32);
-                self.atoms.push(atom);
+                self.by_pred.entry(atom.pred_id()).or_default().push(id.0);
                 // A fresh atom widens the id space the reverse indexes
-                // cover; they must be rebuilt before the next fixpoint.
-                self.index = None;
+                // cover; they go stale (count mismatch) until the next
+                // `finalize`, which extends them over the new suffix.
+                self.atoms.push(atom);
                 id
             }
         }
@@ -271,8 +399,11 @@ impl GroundProgram {
             Some(id) => id,
             None => {
                 let id = GroundAtomId(self.atoms.len() as u32);
+                self.by_pred
+                    .entry(Pred::new(pred, args.len() as u32))
+                    .or_default()
+                    .push(id.0);
                 self.atoms.push(Atom::new(pred, args.to_vec()));
-                self.index = None;
                 id
             }
         }
@@ -284,8 +415,8 @@ impl GroundProgram {
     /// ([`GroundProgram::bulk_intern_unique`]).
     fn push_atom_raw(&mut self, atom: Atom) -> GroundAtomId {
         let id = GroundAtomId(u32::try_from(self.atoms.len()).expect("ground atom overflow"));
+        self.by_pred.entry(atom.pred_id()).or_default().push(id.0);
         self.atoms.push(atom);
-        self.index = None;
         id
     }
 
@@ -318,6 +449,19 @@ impl GroundProgram {
             .reserve(n_clauses.saturating_sub(self.heads.len()));
         self.body_start.reserve(n_clauses);
         self.neg_start.reserve(n_clauses);
+    }
+
+    /// Looks up a ground atom from borrowed parts without interning (and
+    /// without building an owned [`Atom`]) — the query engines' hot
+    /// point-lookup path.
+    pub fn lookup_atom_parts(&self, pred: Symbol, args: &[TermId]) -> Option<GroundAtomId> {
+        let atoms = &self.atoms;
+        self.atom_table
+            .find(atom_hash(pred, args), |id| {
+                let a = &atoms[id as usize];
+                a.pred == pred && a.args[..] == *args
+            })
+            .map(GroundAtomId)
     }
 
     /// Looks up a ground atom without interning.
@@ -365,7 +509,6 @@ impl GroundProgram {
         self.body.extend_from_slice(neg);
         self.body_start
             .push(u32::try_from(self.body.len()).expect("ground body overflow"));
-        self.index = None;
     }
 
     /// Iterates over all clauses as borrowed views.
@@ -416,56 +559,112 @@ impl GroundProgram {
     /// maps). Idempotent; must be re-run after any `push_clause` /
     /// fresh-atom `intern_atom`. [`Grounder::ground`] returns programs
     /// already finalized.
+    ///
+    /// **Incremental:** when stale indexes exist and the store only
+    /// grew (the append-only session path), the new indexes are built
+    /// by block-copying the old rows and counting only the appended
+    /// clause suffix — a commit's finalize cost tracks the delta's
+    /// watch entries plus one pass over the key space, not the whole
+    /// body store.
     pub fn finalize(&mut self) {
-        if self.index.is_some() {
-            return;
-        }
         let n = self.atom_count();
-        let by_head = Csr::build(n, |sink| {
-            for (ci, &h) in self.heads.iter().enumerate() {
+        let nc = self.heads.len();
+        let from = match &self.index {
+            Some(idx) if idx.n_atoms == n && idx.n_clauses == nc => return,
+            Some(idx) if idx.n_atoms <= n && idx.n_clauses <= nc => idx.n_clauses,
+            _ => 0,
+        };
+        let (heads, body, body_start, neg_start) =
+            (&self.heads, &self.body, &self.body_start, &self.neg_start);
+        let new_by_head = |sink: &mut dyn FnMut(u32, u32)| {
+            for (ci, &h) in heads.iter().enumerate().skip(from) {
                 sink(h.0, ci as u32);
             }
-        });
-        let watch_pos = Csr::build(n, |sink| {
-            for ci in 0..self.heads.len() {
-                let (start, mid) = (self.body_start[ci] as usize, self.neg_start[ci] as usize);
-                for a in &self.body[start..mid] {
+        };
+        let new_watch_pos = |sink: &mut dyn FnMut(u32, u32)| {
+            for ci in from..nc {
+                let (start, mid) = (body_start[ci] as usize, neg_start[ci] as usize);
+                for a in &body[start..mid] {
                     sink(a.0, ci as u32);
                 }
             }
-        });
-        let watch_neg = Csr::build(n, |sink| {
-            for ci in 0..self.heads.len() {
-                let (mid, end) = (
-                    self.neg_start[ci] as usize,
-                    self.body_start[ci + 1] as usize,
+        };
+        let new_watch_neg = |sink: &mut dyn FnMut(u32, u32)| {
+            for ci in from..nc {
+                let (mid, end) = (neg_start[ci] as usize, body_start[ci + 1] as usize);
+                for a in &body[mid..end] {
+                    sink(a.0, ci as u32);
+                }
+            }
+        };
+        if from > 0 {
+            // Incremental: tail-append per index when the delta only
+            // touches new keys; full merge (through the recycled spare
+            // buffers — the replaced generation becomes the next spare)
+            // otherwise.
+            let mut idx = self.index.take().expect("from > 0 implies an index");
+            let mut spare = self.index_spare.take().unwrap_or(Indexes {
+                by_head: Csr::default(),
+                watch_pos: Csr::default(),
+                watch_neg: Csr::default(),
+                n_atoms: 0,
+                n_clauses: 0,
+            });
+            if !idx.by_head.try_append_tail(n, &new_by_head) {
+                let merged =
+                    idx.by_head
+                        .extend(n, new_by_head, Some(std::mem::take(&mut spare.by_head)));
+                spare.by_head = std::mem::replace(&mut idx.by_head, merged);
+            }
+            if !idx.watch_pos.try_append_tail(n, &new_watch_pos) {
+                let merged = idx.watch_pos.extend(
+                    n,
+                    new_watch_pos,
+                    Some(std::mem::take(&mut spare.watch_pos)),
                 );
-                for a in &self.body[mid..end] {
-                    sink(a.0, ci as u32);
-                }
+                spare.watch_pos = std::mem::replace(&mut idx.watch_pos, merged);
             }
-        });
-        let mut by_pred: FxHashMap<Pred, Vec<u32>> = FxHashMap::default();
-        for (i, atom) in self.atoms.iter().enumerate() {
-            by_pred.entry(atom.pred_id()).or_default().push(i as u32);
+            if !idx.watch_neg.try_append_tail(n, &new_watch_neg) {
+                let merged = idx.watch_neg.extend(
+                    n,
+                    new_watch_neg,
+                    Some(std::mem::take(&mut spare.watch_neg)),
+                );
+                spare.watch_neg = std::mem::replace(&mut idx.watch_neg, merged);
+            }
+            idx.n_atoms = n;
+            idx.n_clauses = nc;
+            self.index_spare = Some(spare);
+            self.index = Some(idx);
+            return;
         }
-        self.index = Some(Indexes {
-            by_head,
-            watch_pos,
-            watch_neg,
-            by_pred,
-        });
+        let built = Indexes {
+            by_head: Csr::build(n, new_by_head),
+            watch_pos: Csr::build(n, new_watch_pos),
+            watch_neg: Csr::build(n, new_watch_neg),
+            n_atoms: n,
+            n_clauses: nc,
+        };
+        self.index_spare = self.index.replace(built);
     }
 
     /// Whether the reverse indexes are current.
     pub fn is_finalized(&self) -> bool {
-        self.index.is_some()
+        self.index
+            .as_ref()
+            .is_some_and(|i| i.n_atoms == self.atoms.len() && i.n_clauses == self.heads.len())
     }
 
     fn index(&self) -> &Indexes {
-        self.index
+        let idx = self
+            .index
             .as_ref()
-            .expect("GroundProgram::finalize must be called after mutation")
+            .expect("GroundProgram::finalize must be called after mutation");
+        assert!(
+            idx.n_atoms == self.atoms.len() && idx.n_clauses == self.heads.len(),
+            "GroundProgram::finalize must be called after mutation"
+        );
+        idx
     }
 
     /// Indices of clauses with head `id`.
@@ -489,12 +688,13 @@ impl GroundProgram {
         self.index().watch_neg.row(id.index())
     }
 
-    /// Interned atoms of predicate `pred` (same panics as
-    /// [`GroundProgram::clauses_for`]). Lets query engines enumerate
-    /// candidate instances without scanning the whole atom table.
+    /// Interned atoms of predicate `pred`, in interning (id) order. Lets
+    /// query engines enumerate candidate instances without scanning the
+    /// whole atom table. Maintained at interning time, so — unlike the
+    /// clause-side accessors — it is valid even before
+    /// [`GroundProgram::finalize`].
     pub fn atoms_with_pred(&self, pred: Pred) -> impl Iterator<Item = GroundAtomId> + '_ {
-        self.index()
-            .by_pred
+        self.by_pred
             .get(&pred)
             .map_or(&[][..], |v| v.as_slice())
             .iter()
@@ -681,6 +881,31 @@ pub struct Grounder<'a> {
     head_buf: Vec<TermId>,
     body_buf: Vec<TermId>,
     neg_buf: Vec<GroundAtomId>,
+    /// Session mode ([`IncrementalGrounder`]): fact-clause indices are
+    /// tracked, every bodied rule consults the clause-dedup table (new
+    /// rules added later could collide with any existing signature),
+    /// and the fact store is never frozen (a later rule may join a
+    /// predicate no current plan touches).
+    persistent: bool,
+    /// When set, [`Grounder::exec`] ranges every literal over the full
+    /// fact store instead of its semi-naive role — the one-shot
+    /// catch-up join for rules added to a live session.
+    force_full: bool,
+    /// Persistent mode: the current emission is a **source fact** — a
+    /// ground fact the session can later retract (initial program facts
+    /// and `assert`ed facts). Everything else fact-shaped (residual
+    /// rule instances, facts arriving in an `add_rules` batch) is
+    /// *permanent*: it dedups separately and is never switchable, so
+    /// retracting a source fact can never falsify a rule-derived or
+    /// rule-batch duplicate.
+    source_fact: bool,
+    /// head atom id → clause index of its **source** fact clause
+    /// (persistent mode only) — the retraction hook a session flips
+    /// clauses with.
+    fact_clause: FxHashMap<u32, u32>,
+    /// `free_fact_seen[atom id]`: a *permanent* (untracked) fact clause
+    /// with this head exists (persistent mode's second dedup space).
+    free_fact_seen: Vec<bool>,
 }
 
 impl<'a> Grounder<'a> {
@@ -737,6 +962,11 @@ impl<'a> Grounder<'a> {
             head_buf: Vec::new(),
             body_buf: Vec::new(),
             neg_buf: Vec::new(),
+            persistent: false,
+            force_full: false,
+            source_fact: false,
+            fact_clause: FxHashMap::default(),
+            free_fact_seen: Vec::new(),
         };
         g.run(program)?;
         let t = Instant::now();
@@ -782,6 +1012,16 @@ impl<'a> Grounder<'a> {
     /// compilation, then relevance-driven semi-naive rounds over the
     /// compiled plans using dense binding slots.
     fn run_planned(&mut self, program: &Program) -> Result<(), GroundingError> {
+        self.run_planned_core(program).map(|_| ())
+    }
+
+    /// [`Grounder::run_planned`], returning the compiled templates,
+    /// planner and fact store so a persistent session
+    /// ([`IncrementalGrounder`]) can keep joining deltas against them.
+    fn run_planned_core(
+        &mut self,
+        program: &Program,
+    ) -> Result<(Vec<Option<RuleTemplate>>, Planner, FactStore), GroundingError> {
         // Seed round: rules without positive body — their instances don't
         // depend on the closure and are emitted exactly once. Ground
         // facts (template `None`) bypass enumeration entirely.
@@ -823,7 +1063,12 @@ impl<'a> Grounder<'a> {
                         .gp
                         .intern_atom_parts(clause.head.pred, &clause.head.args);
                     self.neg_buf.clear();
-                    self.push_unique(head_id, 0, false, &mut new_atoms)?;
+                    // Initial-program ground facts are source facts: a
+                    // session may retract them.
+                    self.source_fact = true;
+                    let r = self.push_unique(head_id, 0, false, &mut new_atoms);
+                    self.source_fact = false;
+                    r?;
                 }
                 None => {}
                 Some(tmpl) if clause.pos_body().next().is_none() => {
@@ -844,8 +1089,12 @@ impl<'a> Grounder<'a> {
         new_atoms.clear();
         let planner = build_plans(self.store, program, &templates, &mut facts);
         // Every joinable predicate now has a slot; anything else is
-        // dead weight and gets dropped by subsequent advances.
-        facts.freeze();
+        // dead weight and gets dropped by subsequent advances. A
+        // persistent session must keep everything: a rule added later
+        // may join a predicate no current plan touches.
+        if !self.persistent {
+            facts.freeze();
+        }
         self.stats.plans = planner.plans.len() as u32;
         self.stats.indexes = facts.index_count() as u32;
         self.stats.plan_ns = t.elapsed().as_nanos() as u64;
@@ -864,21 +1113,37 @@ impl<'a> Grounder<'a> {
         // Semi-naive rounds: only plans whose delta predicate grew are
         // re-joined (relevance index).
         let t = Instant::now();
+        self.drain_rounds(&templates, &planner, &mut facts, &mut new_atoms, &mut grown)?;
+        self.stats.join_ns += t.elapsed().as_nanos() as u64;
+        Ok((templates, planner, facts))
+    }
+
+    /// Runs relevance-driven semi-naive rounds to quiescence: while some
+    /// predicate grew, re-join exactly the plans whose delta predicate
+    /// it is, then advance the fact store. `grown` carries the slots of
+    /// the most recent advance in; both buffers come back empty.
+    fn drain_rounds(
+        &mut self,
+        templates: &[Option<RuleTemplate>],
+        planner: &Planner,
+        facts: &mut FactStore,
+        new_atoms: &mut Vec<GroundAtomId>,
+        grown: &mut Vec<u32>,
+    ) -> Result<(), GroundingError> {
         while !grown.is_empty() {
             self.stats.rounds += 1;
-            for &slot in &grown {
+            for &slot in grown.iter() {
                 for &pid in planner.dependents_of(slot) {
                     let plan = &planner.plans[pid as usize];
                     let tmpl = templates[plan.rule as usize]
                         .as_ref()
                         .expect("planned rules have templates");
-                    self.exec(plan, tmpl, 0, &facts, &mut new_atoms)?;
+                    self.exec(plan, tmpl, 0, facts, new_atoms)?;
                 }
             }
-            facts.advance(&self.gp, &new_atoms, &mut grown);
+            facts.advance(&self.gp, new_atoms, grown);
             new_atoms.clear();
         }
-        self.stats.join_ns = t.elapsed().as_nanos() as u64;
         Ok(())
     }
 
@@ -1003,7 +1268,10 @@ impl<'a> Grounder<'a> {
             // so the atom pushed ahead of emit_fact's check is fine.)
             let id = self.gp.push_atom_raw(facts[fi].clone());
             *slot = id.0;
-            self.emit_fact(id, new_atoms)?;
+            self.source_fact = true;
+            let r = self.emit_fact(id, new_atoms);
+            self.source_fact = false;
+            r?;
         }
         for (s, out) in shard_outs.iter().enumerate() {
             self.gp.bulk_intern_unique(
@@ -1071,10 +1339,14 @@ impl<'a> Grounder<'a> {
         let Some(lit) = plan.literals.get(li) else {
             return self.enumerate_residual(tmpl, 0, new_atoms);
         };
-        let role = match lit.orig.cmp(&plan.delta_pos) {
-            std::cmp::Ordering::Less => Role::Full,
-            std::cmp::Ordering::Equal => Role::Delta,
-            std::cmp::Ordering::Greater => Role::Old,
+        let role = if self.force_full {
+            Role::Full
+        } else {
+            match lit.orig.cmp(&plan.delta_pos) {
+                std::cmp::Ordering::Less => Role::Full,
+                std::cmp::Ordering::Equal => Role::Delta,
+                std::cmp::Ordering::Greater => Role::Old,
+            }
         };
         let (lo, hi) = facts.range(lit.pred_slot, role);
         if lo >= hi {
@@ -1293,13 +1565,34 @@ impl<'a> Grounder<'a> {
             if self.fact_seen.len() <= head_id.index() {
                 self.fact_seen.resize(head_id.index() + 1, false);
             }
-            if self.fact_seen[head_id.index()] {
+            if !self.persistent {
+                if self.fact_seen[head_id.index()] {
+                    self.stats.dedup_hits += 1;
+                    return Ok(());
+                }
+                return self.emit_fact(head_id, new_atoms);
+            }
+            // Persistent mode dedups source and permanent fact clauses
+            // separately: a session may switch a source clause off, so
+            // a permanent duplicate (rule instance / rule-batch fact)
+            // must get its own always-on clause, and vice versa — a
+            // later `assert` over a permanent clause still needs a
+            // switchable one to retract.
+            let duplicate = if self.source_fact {
+                self.fact_clause.contains_key(&head_id.0)
+            } else {
+                if self.free_fact_seen.len() <= head_id.index() {
+                    self.free_fact_seen.resize(head_id.index() + 1, false);
+                }
+                self.free_fact_seen[head_id.index()]
+            };
+            if duplicate {
                 self.stats.dedup_hits += 1;
                 return Ok(());
             }
             return self.emit_fact(head_id, new_atoms);
         }
-        if use_table {
+        if use_table || self.persistent {
             let pos = &self.matched_buf[..n_pos];
             let neg = &self.neg_buf;
             let hash = clause_hash(head_id.0, pos, neg);
@@ -1349,6 +1642,17 @@ impl<'a> Grounder<'a> {
             self.fact_seen.resize(head_id.index() + 1, false);
         }
         self.fact_seen[head_id.index()] = true;
+        if self.persistent {
+            if self.source_fact {
+                let ci = u32::try_from(self.gp.clause_count()).expect("ground clause overflow");
+                self.fact_clause.insert(head_id.0, ci);
+            } else {
+                if self.free_fact_seen.len() <= head_id.index() {
+                    self.free_fact_seen.resize(head_id.index() + 1, false);
+                }
+                self.free_fact_seen[head_id.index()] = true;
+            }
+        }
         self.gp.push_clause_parts(head_id, &[], &[]);
         self.queue_derivable(head_id, new_atoms)
     }
@@ -1492,6 +1796,89 @@ impl<'a> Grounder<'a> {
     fn exceeds_depth(&self, args: &[TermId]) -> bool {
         self.max_depth != u32::MAX && args.iter().any(|&t| self.store.depth(t) > self.max_depth)
     }
+
+    /// Builds a transient grounder over a session kernel's state: every
+    /// owned field moves out of the kernel (cheap pointer moves) and
+    /// [`Grounder::detach`] moves them back. Persistent mode is implied.
+    fn attach<'s>(store: &'s mut TermStore, k: &mut IncrementalGrounder) -> Grounder<'s> {
+        Grounder {
+            store,
+            universe: std::mem::take(&mut k.universe),
+            opts: k.opts,
+            max_depth: k.max_depth,
+            gp: std::mem::take(&mut k.gp),
+            derivable: std::mem::take(&mut k.derivable),
+            fact_seen: std::mem::take(&mut k.fact_seen),
+            clause_table: std::mem::take(&mut k.clause_table),
+            trail: std::mem::take(&mut k.trail),
+            bindings: std::mem::take(&mut k.bindings),
+            slot_trail: std::mem::take(&mut k.slot_trail),
+            matched_buf: std::mem::take(&mut k.matched_buf),
+            stats: k.stats,
+            key_buf: std::mem::take(&mut k.key_buf),
+            head_buf: std::mem::take(&mut k.head_buf),
+            body_buf: std::mem::take(&mut k.body_buf),
+            neg_buf: std::mem::take(&mut k.neg_buf),
+            persistent: true,
+            force_full: false,
+            source_fact: false,
+            fact_clause: std::mem::take(&mut k.fact_clause),
+            free_fact_seen: std::mem::take(&mut k.free_fact_seen),
+        }
+    }
+
+    /// Moves the state of an [`Grounder::attach`]ed run back into its
+    /// kernel.
+    fn detach(self, k: &mut IncrementalGrounder) {
+        k.universe = self.universe;
+        k.gp = self.gp;
+        k.derivable = self.derivable;
+        k.fact_seen = self.fact_seen;
+        k.clause_table = self.clause_table;
+        k.trail = self.trail;
+        k.bindings = self.bindings;
+        k.slot_trail = self.slot_trail;
+        k.matched_buf = self.matched_buf;
+        k.stats = self.stats;
+        k.key_buf = self.key_buf;
+        k.head_buf = self.head_buf;
+        k.body_buf = self.body_buf;
+        k.neg_buf = self.neg_buf;
+        k.fact_clause = self.fact_clause;
+        k.free_fact_seen = self.free_fact_seen;
+    }
+
+    /// Re-joins every residual-slot rule in full — the catch-up pass
+    /// after the active domain (universe) grows. The dedup table and
+    /// `fact_seen` absorb the instances that already exist; only the
+    /// combinations touching new constants survive to emission.
+    fn rerun_rules_full(
+        &mut self,
+        parts: &mut KernelParts<'_>,
+        new_atoms: &mut Vec<GroundAtomId>,
+    ) -> Result<(), GroundingError> {
+        for &ri in parts.residual_rules {
+            let tmpl = parts.templates[ri as usize]
+                .as_ref()
+                .expect("residual rules have templates");
+            let r = if tmpl.n_pos == 0 {
+                self.enumerate_residual(tmpl, 0, new_atoms)
+            } else {
+                self.force_full = true;
+                let plan = parts
+                    .planner
+                    .plans
+                    .iter()
+                    .find(|p| p.rule == ri && p.delta_pos == 0)
+                    .expect("bodied rules compile at least one plan");
+                let r = self.exec(plan, tmpl, 0, parts.facts, new_atoms);
+                self.force_full = false;
+                r
+            };
+            r?;
+        }
+        Ok(())
+    }
 }
 
 /// Structurally matches a non-ground compound pattern (e.g. `s(X)`)
@@ -1537,6 +1924,409 @@ fn match_compound(
             _ => false,
         },
     }
+}
+
+/// The **persistent** grounder backing `global_sls::Session` — the
+/// `Grounder::extend` path: the same join machinery as
+/// [`Grounder::ground`], but all run state (fact store, compiled
+/// templates and plans, dedup tables, derivability closure, scratch
+/// buffers) survives between calls, so committing a fact delta re-joins
+/// only the plans whose predicates actually grew instead of re-grounding
+/// from scratch.
+///
+/// Contract differences from the batch path:
+///
+/// * **Function-free only** ([`IncrementalGrounder::new`] rejects
+///   programs with proper function symbols): the Herbrand universe is
+///   then exactly the constant set, which the session can maintain as
+///   facts and rules arrive.
+/// * **Append-only output**: [`GroundProgram`] atoms and clauses are
+///   only ever added (retraction is a model-level clause switch — see
+///   [`IncrementalGrounder::fact_clause_of`] and
+///   `gsls_wfs::IncrementalLfp::set_clauses_enabled`). Grounding stays
+///   monotone over everything *ever* asserted, so a retracted fact's
+///   rule instances remain stored (harmlessly: their bodies are
+///   underivable once the fact clause is switched off) and re-asserting
+///   is a pure re-enable.
+/// * **Active-domain enumeration**: rules whose variables no positive
+///   body literal binds are enumerated over the constants seen so far;
+///   when a commit introduces new constants, every such rule is
+///   re-joined in full (the dedup table absorbs the overlap), so the
+///   emitted instance set always equals a from-scratch grounding of the
+///   merged program. (Corner case: if the *initial* program had no
+///   constants at all, the batch grounder's invented constant persists
+///   in the session universe.)
+/// * The returned program is re-[`finalized`](GroundProgram::finalize)
+///   after every operation.
+pub struct IncrementalGrounder {
+    opts: GrounderOpts,
+    max_depth: u32,
+    universe: Vec<TermId>,
+    /// Membership view of `universe` (constants, function-free).
+    uni_set: FxHashSet<TermId>,
+    gp: GroundProgram,
+    derivable: Vec<bool>,
+    fact_seen: Vec<bool>,
+    clause_table: IdTable,
+    trail: Vec<Var>,
+    bindings: Vec<TermId>,
+    slot_trail: Vec<u32>,
+    matched_buf: Vec<GroundAtomId>,
+    stats: GroundStats,
+    key_buf: Vec<TermId>,
+    head_buf: Vec<TermId>,
+    body_buf: Vec<TermId>,
+    neg_buf: Vec<GroundAtomId>,
+    fact_clause: FxHashMap<u32, u32>,
+    free_fact_seen: Vec<bool>,
+    /// Per-rule compilation, indexed like the session program's clauses.
+    templates: Vec<Option<RuleTemplate>>,
+    planner: Planner,
+    facts: FactStore,
+    /// Rule indices with residual (universe-enumerated) slots — the
+    /// rules that must re-join in full when the universe grows.
+    residual_rules: Vec<u32>,
+}
+
+impl IncrementalGrounder {
+    /// Grounds `program` and keeps every piece of run state for later
+    /// [`IncrementalGrounder::extend`] / [`IncrementalGrounder::
+    /// add_rules`] calls. The program must be function-free.
+    pub fn new(
+        store: &mut TermStore,
+        program: &Program,
+        opts: GrounderOpts,
+    ) -> Result<Self, GroundingError> {
+        assert!(
+            program.is_function_free(store),
+            "IncrementalGrounder requires a function-free program"
+        );
+        // Active-domain universe: the constant set, computed eagerly so
+        // later deltas only need to diff against it. (`ensure_universe`
+        // skips its sweep when this is non-empty; when the program has
+        // no constants at all it may still invent the batch grounder's
+        // default one — see the corner case in the type docs.)
+        let consts = program.constants(store);
+        let universe: Vec<TermId> = consts.into_iter().map(|c| store.app(c, &[])).collect();
+        let mut k = IncrementalGrounder {
+            opts,
+            max_depth: u32::MAX,
+            universe,
+            uni_set: FxHashSet::default(),
+            gp: GroundProgram::new(),
+            derivable: Vec::new(),
+            fact_seen: Vec::new(),
+            clause_table: IdTable::default(),
+            trail: Vec::new(),
+            bindings: Vec::new(),
+            slot_trail: Vec::new(),
+            matched_buf: Vec::new(),
+            stats: GroundStats::default(),
+            key_buf: Vec::new(),
+            head_buf: Vec::new(),
+            body_buf: Vec::new(),
+            neg_buf: Vec::new(),
+            fact_clause: FxHashMap::default(),
+            free_fact_seen: Vec::new(),
+            templates: Vec::new(),
+            planner: Planner::default(),
+            facts: FactStore::default(),
+            residual_rules: Vec::new(),
+        };
+        let mut g = Grounder::attach(store, &mut k);
+        let r = g.run_planned_core(program);
+        g.detach(&mut k);
+        let (templates, planner, facts) = r?;
+        k.residual_rules = residual_rules_of(&templates);
+        k.templates = templates;
+        k.planner = planner;
+        k.facts = facts;
+        k.uni_set = k.universe.iter().copied().collect();
+        let t = Instant::now();
+        k.gp.finalize();
+        k.stats.finalize_ns += t.elapsed().as_nanos() as u64;
+        Ok(k)
+    }
+
+    /// The (finalized) ground program.
+    pub fn ground_program(&self) -> &GroundProgram {
+        &self.gp
+    }
+
+    /// The active domain: every constant seen so far, as interned
+    /// terms. Query engines enumerate unbound all-negative variables
+    /// over exactly this set.
+    pub fn universe(&self) -> &[TermId] {
+        &self.universe
+    }
+
+    /// Cumulative grounding statistics across all operations so far.
+    pub fn stats(&self) -> GroundStats {
+        self.stats
+    }
+
+    /// Number of program clauses (rules and source facts) compiled so
+    /// far — the index the next [`IncrementalGrounder::add_rules`] call
+    /// must pass as `first_new`.
+    pub fn rules_compiled(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The clause index of the **source** fact clause for `id`, if one
+    /// was ever emitted (initial-program facts and `extend`ed facts) —
+    /// the handle retraction switches off (and re-assertion back on) at
+    /// the model layer. Fact-shaped *rule instances* and facts arriving
+    /// through [`IncrementalGrounder::add_rules`] are permanent program
+    /// text and have no entry here.
+    pub fn fact_clause_of(&self, id: GroundAtomId) -> Option<u32> {
+        self.fact_clause.get(&id.0).copied()
+    }
+
+    /// Grounds a batch of **new ground facts** into the live program:
+    /// interns the heads, emits their fact clauses, then runs
+    /// relevance-driven semi-naive rounds so every rule instance the new
+    /// facts enable is emitted. Facts whose atoms already have a fact
+    /// clause are skipped (re-assertion after retraction is a clause
+    /// re-enable, not a grounding change). Atoms and clauses are only
+    /// appended; the program is re-finalized on return.
+    ///
+    /// The caller is expected to append the same facts (in order) to
+    /// the session's source [`Program`]; the kernel keeps its per-clause
+    /// compilation aligned with those indices.
+    pub fn extend(
+        &mut self,
+        store: &mut TermStore,
+        new_facts: &[Atom],
+    ) -> Result<(), GroundingError> {
+        // Keep templates index-aligned with the session program, which
+        // records each asserted fact as a ground fact clause.
+        self.templates
+            .extend(std::iter::repeat_with(|| None).take(new_facts.len()));
+        // New constants grow the active domain: every rule with
+        // universe-enumerated slots must then re-join in full.
+        let mut universe_grew = false;
+        for atom in new_facts {
+            for &arg in atom.args.iter() {
+                debug_assert!(store.is_ground(arg), "asserted facts must be ground");
+                if self.uni_set.insert(arg) {
+                    self.universe.push(arg);
+                    universe_grew = true;
+                }
+            }
+        }
+        let rerun = universe_grew && !self.residual_rules.is_empty();
+        self.with_grounder(store, |g, parts| {
+            let t = Instant::now();
+            let mut new_atoms: Vec<GroundAtomId> = Vec::new();
+            for atom in new_facts {
+                let id = g.gp.intern_atom_parts(atom.pred, &atom.args);
+                g.neg_buf.clear();
+                // `assert`ed facts are source facts (retractable).
+                g.source_fact = true;
+                let r = g.push_unique(id, 0, false, &mut new_atoms);
+                g.source_fact = false;
+                r?;
+            }
+            if rerun {
+                g.rerun_rules_full(parts, &mut new_atoms)?;
+            }
+            g.stats.seed_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            let mut grown = Vec::new();
+            parts.facts.advance(&g.gp, &new_atoms, &mut grown);
+            new_atoms.clear();
+            g.drain_rounds(
+                parts.templates,
+                parts.planner,
+                parts.facts,
+                &mut new_atoms,
+                &mut grown,
+            )?;
+            g.stats.join_ns += t.elapsed().as_nanos() as u64;
+            Ok(())
+        })
+    }
+
+    /// Compiles and grounds clauses appended to the session program:
+    /// `program` is the full updated program whose clauses from
+    /// `first_new` on are new (rules or facts). New rules are compiled
+    /// to templates and plans, joined once **in full** against the live
+    /// fact store, and then participate in semi-naive rounds like any
+    /// other rule. Constants the new clauses introduce grow the active
+    /// domain exactly as in [`IncrementalGrounder::extend`].
+    pub fn add_rules(
+        &mut self,
+        store: &mut TermStore,
+        program: &Program,
+        first_new: usize,
+    ) -> Result<(), GroundingError> {
+        assert_eq!(
+            first_new,
+            self.templates.len(),
+            "add_rules must receive exactly the clauses after the last compiled one"
+        );
+        assert!(
+            program.is_function_free(store),
+            "IncrementalGrounder requires a function-free program"
+        );
+        let new_clauses = &program.clauses()[first_new..];
+        // Absorb new constants (every ground argument of a function-free
+        // clause is one).
+        let mut universe_grew = false;
+        for clause in new_clauses {
+            let mut absorb = |args: &[TermId]| {
+                for &arg in args {
+                    if store.is_ground(arg) && self.uni_set.insert(arg) {
+                        self.universe.push(arg);
+                        universe_grew = true;
+                    }
+                }
+            };
+            absorb(&clause.head.args);
+            for lit in &clause.body {
+                absorb(&lit.atom.args);
+            }
+        }
+        // Compile the new clauses (the session forces the dedup table at
+        // emission time, so the per-template flag is moot).
+        let t = Instant::now();
+        for clause in new_clauses {
+            let tmpl = template_of(store, clause, |_| true);
+            if let Some(t) = &tmpl {
+                if !t.residual.is_empty() {
+                    self.residual_rules.push(self.templates.len() as u32);
+                }
+            }
+            self.templates.push(tmpl);
+        }
+        append_plans(
+            store,
+            program,
+            &self.templates,
+            &mut self.facts,
+            first_new,
+            &mut self.planner,
+        );
+        // Re-size the dense binding scratch for the widest rule.
+        let max_slots = self.templates.iter().flatten().map(|t| t.n_slots).max();
+        let max_pos = self.templates.iter().flatten().map(|t| t.n_pos).max();
+        if self.bindings.len() < max_slots.unwrap_or(0) as usize {
+            self.bindings
+                .resize(max_slots.unwrap_or(0) as usize, UNBOUND);
+        }
+        if self.matched_buf.len() < max_pos.unwrap_or(0) as usize {
+            self.matched_buf
+                .resize(max_pos.unwrap_or(0) as usize, GroundAtomId(0));
+        }
+        self.stats.plans = self.planner.plans.len() as u32;
+        self.stats.indexes = self.facts.index_count() as u32;
+        self.stats.plan_ns += t.elapsed().as_nanos() as u64;
+        let rerun_all = universe_grew && !self.residual_rules.is_empty();
+        self.with_grounder(store, |g, parts| {
+            let t = Instant::now();
+            let mut new_atoms: Vec<GroundAtomId> = Vec::new();
+            // One catch-up pass per new clause: facts emit directly,
+            // seed rules enumerate their residual slots, bodied rules
+            // join once with every literal at full range.
+            for (ci, clause) in new_clauses.iter().enumerate() {
+                match &parts.templates[first_new + ci] {
+                    None => {
+                        let id = g.gp.intern_atom_parts(clause.head.pred, &clause.head.args);
+                        g.neg_buf.clear();
+                        g.push_unique(id, 0, false, &mut new_atoms)?;
+                    }
+                    Some(tmpl) if tmpl.n_pos == 0 => {
+                        g.enumerate_residual(tmpl, 0, &mut new_atoms)?;
+                    }
+                    Some(tmpl) => {
+                        g.force_full = true;
+                        let plan = parts
+                            .planner
+                            .plans
+                            .iter()
+                            .find(|p| p.rule as usize == first_new + ci && p.delta_pos == 0)
+                            .expect("bodied rules compile at least one plan");
+                        let r = g.exec(plan, tmpl, 0, parts.facts, &mut new_atoms);
+                        g.force_full = false;
+                        r?;
+                    }
+                }
+            }
+            if rerun_all {
+                g.rerun_rules_full(parts, &mut new_atoms)?;
+            }
+            g.stats.seed_ns += t.elapsed().as_nanos() as u64;
+            let t = Instant::now();
+            let mut grown = Vec::new();
+            parts.facts.advance(&g.gp, &new_atoms, &mut grown);
+            new_atoms.clear();
+            g.drain_rounds(
+                parts.templates,
+                parts.planner,
+                parts.facts,
+                &mut new_atoms,
+                &mut grown,
+            )?;
+            g.stats.join_ns += t.elapsed().as_nanos() as u64;
+            Ok(())
+        })
+    }
+
+    /// Runs `op` on a transient [`Grounder`] attached to this kernel's
+    /// state, handing it the compiled parts, then re-absorbs the state
+    /// and re-finalizes the program (even on error, so a failed commit
+    /// leaves a structurally consistent — if semantically partial —
+    /// program behind for the session to poison).
+    fn with_grounder(
+        &mut self,
+        store: &mut TermStore,
+        op: impl FnOnce(&mut Grounder<'_>, &mut KernelParts<'_>) -> Result<(), GroundingError>,
+    ) -> Result<(), GroundingError> {
+        let templates = std::mem::take(&mut self.templates);
+        let planner = std::mem::take(&mut self.planner);
+        let mut facts = std::mem::take(&mut self.facts);
+        let residual_rules = std::mem::take(&mut self.residual_rules);
+        let mut g = Grounder::attach(store, self);
+        let mut parts = KernelParts {
+            templates: &templates,
+            planner: &planner,
+            facts: &mut facts,
+            residual_rules: &residual_rules,
+        };
+        let r = op(&mut g, &mut parts);
+        g.detach(self);
+        self.templates = templates;
+        self.planner = planner;
+        self.facts = facts;
+        self.residual_rules = residual_rules;
+        let t = Instant::now();
+        self.gp.finalize();
+        self.stats.finalize_ns += t.elapsed().as_nanos() as u64;
+        r
+    }
+}
+
+/// The compiled parts a kernel operation joins against, borrowed out of
+/// the kernel for the duration of one attached-[`Grounder`] run.
+struct KernelParts<'p> {
+    templates: &'p [Option<RuleTemplate>],
+    planner: &'p Planner,
+    facts: &'p mut FactStore,
+    residual_rules: &'p [u32],
+}
+
+/// Rule indices whose templates have residual (universe-enumerated)
+/// slots.
+fn residual_rules_of(templates: &[Option<RuleTemplate>]) -> Vec<u32> {
+    templates
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            t.as_ref()
+                .is_some_and(|t| !t.residual.is_empty())
+                .then_some(i as u32)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1744,6 +2534,54 @@ mod tests {
     }
 
     #[test]
+    fn incremental_finalize_matches_full_rebuild() {
+        // Finalize, append clauses that watch both old and brand-new
+        // atoms (tail-append AND merge paths), finalize again — every
+        // reverse index must equal a single from-scratch finalize of
+        // the same store. Repeated rounds exercise spare recycling.
+        let mut s = TermStore::new();
+        let p =
+            parse_program(&mut s, "e(a). e(b). p(X) :- e(X), ~q(X). q(a). r :- ~p(a).").unwrap();
+        let mut gp = Grounder::ground(&mut s, &p).unwrap();
+        let mut oracle = GroundProgram::new();
+        for a in gp.atom_ids() {
+            oracle.intern_atom(gp.atom(a).clone());
+        }
+        for c in gp.clauses() {
+            oracle.push_clause_parts(c.head, c.pos, c.neg);
+        }
+        for round in 0..4 {
+            // New head atom + body mixing an old atom and a new atom.
+            let sym = s.intern_symbol(&format!("n{round}"));
+            let dep = s.intern_symbol(&format!("m{round}"));
+            let h = gp.intern_atom(Atom::new(sym, Vec::new()));
+            let d = gp.intern_atom(Atom::new(dep, Vec::new()));
+            let old = GroundAtomId(round as u32 % 3);
+            gp.push_clause_parts(h, &[old, d], &[GroundAtomId(0)]);
+            gp.push_clause_parts(d, &[], &[]);
+            gp.finalize();
+            let h2 = oracle.intern_atom(Atom::new(sym, Vec::new()));
+            let d2 = oracle.intern_atom(Atom::new(dep, Vec::new()));
+            assert_eq!((h, d), (h2, d2), "interning order preserved");
+            oracle.push_clause_parts(h2, &[old, d2], &[GroundAtomId(0)]);
+            oracle.push_clause_parts(d2, &[], &[]);
+            let mut fresh = GroundProgram::new();
+            for a in oracle.atom_ids() {
+                fresh.intern_atom(oracle.atom(a).clone());
+            }
+            for c in oracle.clauses() {
+                fresh.push_clause_parts(c.head, c.pos, c.neg);
+            }
+            fresh.finalize();
+            for a in gp.atom_ids() {
+                assert_eq!(gp.clauses_for(a), fresh.clauses_for(a), "by_head {a:?}");
+                assert_eq!(gp.watch_pos(a), fresh.watch_pos(a), "watch_pos {a:?}");
+                assert_eq!(gp.watch_neg(a), fresh.watch_neg(a), "watch_neg {a:?}");
+            }
+        }
+    }
+
+    #[test]
     fn mutation_invalidates_indexes() {
         let (_, mut gp) = ground("p :- ~q.");
         assert!(gp.is_finalized());
@@ -1903,6 +2741,106 @@ mod tests {
         assert!(stats.index_probes > 0);
         assert!(stats.join_candidates > 0);
         assert!(stats.rounds >= 2, "chain needs several rounds");
+    }
+
+    /// Oracle: the incremental clause set must equal a batch grounding
+    /// of the merged program (modulo interning order).
+    fn assert_matches_batch(store: &TermStore, k: &IncrementalGrounder, merged_src: &str) {
+        let mut s2 = TermStore::new();
+        let p2 = parse_program(&mut s2, merged_src).unwrap();
+        let batch = Grounder::ground(&mut s2, &p2).unwrap();
+        assert_eq!(
+            sorted_clauses(store, k.ground_program()),
+            sorted_clauses(&s2, &batch),
+            "incremental vs batch divergence on: {merged_src}"
+        );
+    }
+
+    #[test]
+    fn incremental_extend_matches_batch_grounding() {
+        let mut s = TermStore::new();
+        let base = "e(a, b). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).";
+        let p = parse_program(&mut s, base).unwrap();
+        let mut k = IncrementalGrounder::new(&mut s, &p, GrounderOpts::default()).unwrap();
+        assert!(k.ground_program().is_finalized());
+        // Extend with a chain extension: new constants, recursive cascade.
+        let facts = parse_program(&mut s, "e(b, c). e(c, d).").unwrap();
+        let atoms: Vec<Atom> = facts.clauses().iter().map(|c| c.head.clone()).collect();
+        k.extend(&mut s, &atoms).unwrap();
+        assert!(k.ground_program().is_finalized());
+        assert_matches_batch(
+            &s,
+            &k,
+            "e(a, b). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z). e(b, c). e(c, d).",
+        );
+        // Duplicate extension is a no-op.
+        let before = k.ground_program().clause_count();
+        k.extend(&mut s, &atoms).unwrap();
+        assert_eq!(k.ground_program().clause_count(), before);
+        // Fact clauses are tracked for retraction.
+        let eab = k
+            .ground_program()
+            .lookup_atom(&facts.clauses()[0].head)
+            .unwrap();
+        let ci = k.fact_clause_of(eab).unwrap();
+        assert!(k.ground_program().clause(ci).is_fact());
+    }
+
+    #[test]
+    fn incremental_add_rules_matches_batch_grounding() {
+        let mut s = TermStore::new();
+        let base = "e(a, b). e(b, c). r(a).";
+        let p0 = parse_program(&mut s, base).unwrap();
+        let mut k = IncrementalGrounder::new(&mut s, &p0, GrounderOpts::default()).unwrap();
+        // Add a recursive rule after the fact base exists: the catch-up
+        // full join must pick up all existing rows.
+        let mut p = p0.clone();
+        let add = parse_program(&mut s, "r(Y) :- r(X), e(X, Y). w(X) :- e(X, Y), ~w(Y).").unwrap();
+        let first_new = p.len();
+        for c in add.clauses() {
+            p.push(c.clone());
+        }
+        k.add_rules(&mut s, &p, first_new).unwrap();
+        assert_matches_batch(
+            &s,
+            &k,
+            "e(a, b). e(b, c). r(a). r(Y) :- r(X), e(X, Y). w(X) :- e(X, Y), ~w(Y).",
+        );
+        // And a later fact extension still cascades through the rules
+        // added above.
+        let fx = parse_program(&mut s, "e(c, d).").unwrap();
+        let atoms: Vec<Atom> = fx.clauses().iter().map(|c| c.head.clone()).collect();
+        k.extend(&mut s, &atoms).unwrap();
+        assert_matches_batch(
+            &s,
+            &k,
+            "e(a, b). e(b, c). r(a). r(Y) :- r(X), e(X, Y). w(X) :- e(X, Y), ~w(Y). e(c, d).",
+        );
+    }
+
+    #[test]
+    fn incremental_universe_growth_reruns_residual_rules() {
+        // p(X) :- ~q(X) enumerates X over the active domain; asserting a
+        // fact with a brand-new constant must retroactively add the new
+        // instance, matching a from-scratch grounding.
+        let mut s = TermStore::new();
+        let p0 = parse_program(&mut s, "q(a). d(a). p(X) :- ~q(X).").unwrap();
+        let mut k = IncrementalGrounder::new(&mut s, &p0, GrounderOpts::default()).unwrap();
+        let fx = parse_program(&mut s, "d(b).").unwrap();
+        let atoms: Vec<Atom> = fx.clauses().iter().map(|c| c.head.clone()).collect();
+        k.extend(&mut s, &atoms).unwrap();
+        assert_matches_batch(&s, &k, "q(a). d(a). p(X) :- ~q(X). d(b).");
+        // Growth via add_rules constants, too.
+        let mut p = p0.clone();
+        let add = parse_program(&mut s, "d(c).").unwrap();
+        let first_new = p.len();
+        for c in fx.clauses().iter().chain(add.clauses()) {
+            p.push(c.clone());
+        }
+        // (fx was applied via extend; add_rules also accepts fact
+        // clauses, so route the new constant c through it.)
+        k.add_rules(&mut s, &p, first_new + 1).unwrap();
+        assert_matches_batch(&s, &k, "q(a). d(a). p(X) :- ~q(X). d(b). d(c).");
     }
 
     #[test]

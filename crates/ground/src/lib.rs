@@ -52,6 +52,6 @@ pub mod testutil;
 pub use depgraph::{AtomDepGraph, DepGraph, ProgramClass};
 pub use grounder::{
     ClauseRef, Csr, GroundAtomId, GroundClause, GroundProgram, GroundStats, Grounder, GrounderOpts,
-    GroundingError, GroundingMode, JoinStrategy,
+    GroundingError, GroundingMode, IncrementalGrounder, JoinStrategy,
 };
 pub use herbrand::{augment_program, herbrand_universe, term_transform, HerbrandOpts};

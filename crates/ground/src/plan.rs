@@ -230,34 +230,44 @@ pub(crate) fn build_templates(store: &TermStore, program: &Program) -> Vec<Optio
     program
         .clauses()
         .iter()
-        .map(|clause| {
-            if clause.body.is_empty() && clause.head.is_ground(store) {
-                return None;
-            }
-            let vars = clause.vars(store);
-            let var_slots: FxHashMap<Var, u32> = vars
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, i as u32))
-                .collect();
-            let residual: Vec<u32> = residual_vars(store, clause)
-                .into_iter()
-                .map(|v| var_slots[&v])
-                .collect();
-            Some(RuleTemplate {
-                n_slots: vars.len() as u32,
-                head: AtomTemplate::compile(store, &clause.head, &var_slots),
-                n_pos: clause.pos_body().count() as u32,
-                neg: clause
-                    .neg_body()
-                    .map(|l| AtomTemplate::compile(store, &l.atom, &var_slots))
-                    .collect(),
-                residual: residual.into(),
-                var_slots,
-                table_dedup: sig_counts[&sig_of(clause)] > 1,
-            })
-        })
+        .map(|clause| template_of(store, clause, |c| sig_counts[&sig_of(c)] > 1))
         .collect()
+}
+
+/// Compiles one clause to its template (or `None` for a ground fact).
+/// `table_dedup` decides the dedup-table flag for rules — the batch
+/// grounder passes the signature-collision test, the session grounder
+/// forces the table at emission time and passes a constant.
+pub(crate) fn template_of(
+    store: &TermStore,
+    clause: &gsls_lang::Clause,
+    table_dedup: impl Fn(&gsls_lang::Clause) -> bool,
+) -> Option<RuleTemplate> {
+    if clause.body.is_empty() && clause.head.is_ground(store) {
+        return None;
+    }
+    let vars = clause.vars(store);
+    let var_slots: FxHashMap<Var, u32> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let residual: Vec<u32> = residual_vars(store, clause)
+        .into_iter()
+        .map(|v| var_slots[&v])
+        .collect();
+    Some(RuleTemplate {
+        n_slots: vars.len() as u32,
+        head: AtomTemplate::compile(store, &clause.head, &var_slots),
+        n_pos: clause.pos_body().count() as u32,
+        neg: clause
+            .neg_body()
+            .map(|l| AtomTemplate::compile(store, &l.atom, &var_slots))
+            .collect(),
+        residual: residual.into(),
+        var_slots,
+        table_dedup: table_dedup(clause),
+    })
 }
 
 /// Argument positions of `pattern` that are ground given `bound_vars`:
@@ -288,8 +298,24 @@ pub(crate) fn build_plans(
     facts: &mut FactStore,
 ) -> Planner {
     let mut planner = Planner::default();
+    append_plans(store, program, templates, facts, 0, &mut planner);
+    planner
+}
+
+/// Appends the plans of `program`'s clauses from `first_rule` on into
+/// an existing `planner`, registering their composite indexes
+/// (backfilled over facts already stored) and extending the relevance
+/// index — the session path for rules added to a live program.
+pub(crate) fn append_plans(
+    store: &TermStore,
+    program: &Program,
+    templates: &[Option<RuleTemplate>],
+    facts: &mut FactStore,
+    first_rule: usize,
+    planner: &mut Planner,
+) {
     let mut triggers: Vec<(u32, u32)> = Vec::new();
-    for (ci, clause) in program.clauses().iter().enumerate() {
+    for (ci, clause) in program.clauses().iter().enumerate().skip(first_rule) {
         let pats: Vec<&Atom> = clause.pos_body().map(|l| &l.atom).collect();
         if pats.is_empty() {
             continue;
@@ -343,11 +369,12 @@ pub(crate) fn build_plans(
             });
         }
     }
-    planner.dependents = vec![Vec::new(); facts.pred_count()];
+    if planner.dependents.len() < facts.pred_count() {
+        planner.dependents.resize(facts.pred_count(), Vec::new());
+    }
     for (slot, plan) in triggers {
         planner.dependents[slot as usize].push(plan);
     }
-    planner
 }
 
 #[cfg(test)]

@@ -95,6 +95,54 @@ pub fn well_founded_model_with_stats(gp: &GroundProgram) -> (Interp, Alternating
     (Interp::from_parts(t, false_set), stats)
 }
 
+/// Recomputes the well-founded model of `gp` on **warm** chains — the
+/// session maintenance path. The same alternating iteration as
+/// [`well_founded_model`] runs from `T₀ = ∅`, but the two
+/// [`IncrementalLfp`] chains carry their state across calls (and across
+/// program growth via [`IncrementalLfp::grow`] and clause switching via
+/// [`IncrementalLfp::set_clauses_enabled`]), so no priming scan is ever
+/// repeated: every reduct evaluation diffs against the chain's stored
+/// context and pays for the change cone, not for program size.
+///
+/// `empty` must be an empty bitset of `gp.atom_count()` capacity (the
+/// caller keeps it around and [`BitSet::grow`]s it with the program so
+/// the refresh itself allocates nothing).
+///
+/// Correctness note: warm starts do not perturb the iteration — each
+/// `evaluate` is exact for the presented context, and the presented
+/// contexts are the alternating sequence from `∅`, whose `T`-results
+/// grow and `U`-results shrink monotonically; equal consecutive
+/// cardinalities therefore still imply the fixpoint.
+pub fn well_founded_refresh(
+    gp: &GroundProgram,
+    t_chain: &mut IncrementalLfp,
+    u_chain: &mut IncrementalLfp,
+    empty: &BitSet,
+) -> Interp {
+    debug_assert_eq!(empty.capacity(), gp.atom_count());
+    debug_assert!(empty.is_empty());
+    let mut t_count = 0usize;
+    let mut u_count = u_chain.evaluate(gp, empty);
+    loop {
+        let tc = t_chain.evaluate(gp, u_chain.out());
+        let uc = u_chain.evaluate(gp, t_chain.out());
+        let stable = tc == t_count && uc == u_count;
+        t_count = tc;
+        u_count = uc;
+        if stable {
+            break;
+        }
+    }
+    let t = t_chain.out().clone();
+    let mut false_set = u_chain.out().clone();
+    debug_assert!(
+        t.is_subset(&false_set),
+        "alternating fixpoint order violated"
+    );
+    false_set.complement_in_place();
+    Interp::from_parts(t, false_set)
+}
+
 /// The full-recompute alternating fixpoint of PR 1: every `A(·)` runs
 /// through one shared [`Propagator`] from scratch (template-copied
 /// counters, full negative-clause rescan). Zero allocation per reduct
@@ -273,6 +321,50 @@ mod tests {
             stats.clause_checks,
             scratch_checks
         );
+    }
+
+    #[test]
+    fn refresh_tracks_growth_and_switching() {
+        use crate::bitset::BitSet;
+        use crate::incremental::{IncrementalLfp, NegMode};
+        let mut s = TermStore::new();
+        let p = parse_program(
+            &mut s,
+            "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
+        )
+        .unwrap();
+        let mut gp = Grounder::ground(&mut s, &p).unwrap();
+        let mut t_chain = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        let mut u_chain = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        let mut empty = BitSet::new(gp.atom_count());
+        let m0 = well_founded_refresh(&gp, &mut t_chain, &mut u_chain, &empty);
+        assert_eq!(m0, well_founded_model(&gp));
+        // Grow: give c an escape move back to a, plus its win rule
+        // instance — flips the board's values.
+        let mv = s.intern_symbol("move");
+        let win = s.intern_symbol("win");
+        let (a, c) = (s.constant("a"), s.constant("c"));
+        let mca = gp.intern_atom(gsls_lang::Atom::new(mv, vec![c, a]));
+        let wc = gp.intern_atom(gsls_lang::Atom::new(win, vec![c]));
+        let wa = gp.lookup_atom(&gsls_lang::Atom::new(win, vec![a])).unwrap();
+        gp.push_clause_parts(mca, &[], &[]);
+        gp.push_clause_parts(wc, &[mca], &[wa]);
+        gp.finalize();
+        t_chain.grow(&gp);
+        u_chain.grow(&gp);
+        empty.grow(gp.atom_count());
+        let m1 = well_founded_refresh(&gp, &mut t_chain, &mut u_chain, &empty);
+        assert_eq!(m1, well_founded_model(&gp), "after growth");
+        // Switch the new move fact off again on both chains: the model
+        // must return to the original board's verdicts on old atoms.
+        let fact_ci = (gp.clause_count() - 2) as u32;
+        t_chain.set_clauses_enabled(&gp, &[fact_ci], &[]);
+        u_chain.set_clauses_enabled(&gp, &[fact_ci], &[]);
+        let m2 = well_founded_refresh(&gp, &mut t_chain, &mut u_chain, &empty);
+        for atom in [("win(a)"), ("win(b)"), ("win(c)")] {
+            let old = gsls_ground::testutil::atom_id(&s, &gp, atom);
+            assert_eq!(m2.truth(old), m0.truth(old), "{atom} after switch-off");
+        }
     }
 
     #[test]

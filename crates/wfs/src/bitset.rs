@@ -165,6 +165,19 @@ impl BitSet {
         &self.words
     }
 
+    /// Grows the capacity to `new_len`, preserving the current members.
+    /// No-op when `new_len` is not larger than the current capacity —
+    /// a bitset never shrinks, so ids handed out earlier stay valid.
+    /// This is the resize hook the session engines use when a commit
+    /// appends ground atoms.
+    pub fn grow(&mut self, new_len: usize) {
+        if new_len <= self.len {
+            return;
+        }
+        self.words.resize(new_len.div_ceil(64), 0);
+        self.len = new_len;
+    }
+
     /// Builds a set with explicit capacity `cap` from an iterator of
     /// member indices.
     ///

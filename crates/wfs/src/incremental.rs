@@ -100,6 +100,12 @@ pub struct IncrementalLfp {
     /// revival counters are computed, so counts never see pending
     /// queue entries).
     revived_heads: Vec<u32>,
+    /// Session-level clause switch: a disabled clause is treated as
+    /// absent regardless of the context (fact retraction). Distinct
+    /// from the `DEAD` counter sentinel, which also encodes
+    /// "context-blocked" — a context change must never revive a clause
+    /// the session has switched off.
+    disabled: Vec<bool>,
     primed: bool,
     stats: IncStats,
     n_atoms: usize,
@@ -125,6 +131,7 @@ impl IncrementalLfp {
             now_blocking: Vec::new(),
             now_unblocked: Vec::new(),
             revived_heads: Vec::new(),
+            disabled: vec![false; gp.clause_count()],
             primed: false,
             stats: IncStats::default(),
             n_atoms: n,
@@ -185,7 +192,7 @@ impl IncrementalLfp {
         self.queue.clear();
         self.stats.clause_checks += gp.clause_count() as u64;
         for (ci, c) in gp.clauses().enumerate() {
-            if c.neg.iter().all(|&q| Self::sat(&self.s, self.mode, q)) {
+            if !self.disabled[ci] && c.neg.iter().all(|&q| Self::sat(&self.s, self.mode, q)) {
                 self.missing[ci] = c.pos.len() as u32;
                 if c.pos.is_empty() {
                     self.insert(c.head);
@@ -233,7 +240,6 @@ impl IncrementalLfp {
         // positive cycles alive).
         self.retracted.clear();
         let heads = gp.heads();
-        let watch_pos = gp.watch_pos_index();
         for i in 0..self.now_blocking.len() {
             let q = self.now_blocking[i];
             for &ci in gp.watch_neg(GroundAtomId(q)) {
@@ -248,22 +254,7 @@ impl IncrementalLfp {
                 }
             }
         }
-        let mut cursor = 0;
-        while cursor < self.retracted.len() {
-            let a = self.retracted[cursor];
-            cursor += 1;
-            for &ci in watch_pos.row(a as usize) {
-                let m = &mut self.missing[ci as usize];
-                if *m == DEAD {
-                    continue;
-                }
-                let was_satisfied = *m == 0;
-                *m += 1;
-                if was_satisfied {
-                    self.retract(heads[ci as usize]);
-                }
-            }
-        }
+        self.cascade_retractions(gp);
 
         // Phase 3a: revive clauses that lost their last blocker,
         // recomputing counters against the (post-retraction) derived
@@ -274,7 +265,7 @@ impl IncrementalLfp {
         for i in 0..self.now_unblocked.len() {
             let q = self.now_unblocked[i];
             for &ci in gp.watch_neg(GroundAtomId(q)) {
-                if self.missing[ci as usize] != DEAD {
+                if self.missing[ci as usize] != DEAD || self.disabled[ci as usize] {
                     continue;
                 }
                 self.stats.clause_checks += 1;
@@ -299,9 +290,40 @@ impl IncrementalLfp {
             self.insert(GroundAtomId(h));
         }
 
-        // Phase 4: re-derive retracted atoms with surviving support —
-        // an alive clause whose counter is zero derives its head
-        // outright; the rest (re)complete during propagation, if at all.
+        self.rederive_retracted(gp);
+
+        // Phase 5: drain the derivation queue.
+        self.propagate(gp);
+    }
+
+    /// Overdeletes the dependent cone of everything on `self.retracted`
+    /// (cursor-driven, so retractions enqueued mid-walk are processed
+    /// too) — the delete half of delete-and-rederive.
+    fn cascade_retractions(&mut self, gp: &GroundProgram) {
+        let heads = gp.heads();
+        let watch_pos = gp.watch_pos_index();
+        let mut cursor = 0;
+        while cursor < self.retracted.len() {
+            let a = self.retracted[cursor];
+            cursor += 1;
+            for &ci in watch_pos.row(a as usize) {
+                let m = &mut self.missing[ci as usize];
+                if *m == DEAD {
+                    continue;
+                }
+                let was_satisfied = *m == 0;
+                *m += 1;
+                if was_satisfied {
+                    self.retract(heads[ci as usize]);
+                }
+            }
+        }
+    }
+
+    /// Re-derives overdeleted atoms with surviving support — an alive
+    /// clause whose counter is zero derives its head outright; the rest
+    /// (re)complete during propagation, if at all.
+    fn rederive_retracted(&mut self, gp: &GroundProgram) {
         for i in 0..self.retracted.len() {
             let a = self.retracted[i];
             if self.out.contains(a as usize) {
@@ -315,8 +337,123 @@ impl IncrementalLfp {
                 self.insert(GroundAtomId(a));
             }
         }
+    }
 
-        // Phase 5: drain the derivation queue.
+    /// Absorbs program growth: `gp` may have appended atoms and clauses
+    /// since the last call (earlier ids and clause indices must be
+    /// unchanged — the grounder's append-only contract). New clauses
+    /// come up enabled; their liveness is evaluated against the stored
+    /// context and the fixpoint is re-closed, so the state invariant
+    /// ("`out` is the reduct lfp of `gp` w.r.t. the stored context")
+    /// holds again on return. Callers must still present contexts of
+    /// the *new* atom capacity to subsequent [`Self::evaluate`] calls.
+    pub fn grow(&mut self, gp: &GroundProgram) {
+        assert!(
+            gp.is_finalized(),
+            "IncrementalLfp::grow requires a finalized GroundProgram"
+        );
+        let n = gp.atom_count();
+        let nc = gp.clause_count();
+        assert!(
+            n >= self.n_atoms && nc >= self.missing.len(),
+            "GroundProgram shrank under an IncrementalLfp"
+        );
+        let old_nc = self.missing.len();
+        self.s.grow(n);
+        self.out.grow(n);
+        self.n_atoms = n;
+        self.missing.resize(nc, 0);
+        self.disabled.resize(nc, false);
+        if !self.primed || old_nc == nc {
+            return;
+        }
+        // Two-phase like revival: compute every new counter against the
+        // pre-insertion `out`, then insert complete heads, then
+        // propagate — counters must never see pending queue entries.
+        self.revived_heads.clear();
+        for ci in old_nc as u32..nc as u32 {
+            self.stats.clause_checks += 1;
+            let c = gp.clause(ci);
+            if c.neg.iter().all(|&q| Self::sat(&self.s, self.mode, q)) {
+                let m = c
+                    .pos
+                    .iter()
+                    .filter(|&&p| !self.out.contains(p.index()))
+                    .count() as u32;
+                self.missing[ci as usize] = m;
+                if m == 0 {
+                    self.revived_heads.push(c.head.0);
+                }
+            } else {
+                self.missing[ci as usize] = DEAD;
+            }
+        }
+        for i in 0..self.revived_heads.len() {
+            let h = self.revived_heads[i];
+            self.insert(GroundAtomId(h));
+        }
+        self.propagate(gp);
+    }
+
+    /// Switches clauses off (`disable`) and back on (`enable`) — the
+    /// session's fact-retraction hook, though any clause index works.
+    /// Disabling an alive satisfied clause retracts its head's
+    /// derivation through the same delete-and-rederive cascade a
+    /// context change uses; enabling re-evaluates the clause against
+    /// the stored context. Indices may repeat; a disable and enable of
+    /// the same clause in one call resolves to its `enable` membership.
+    pub fn set_clauses_enabled(&mut self, gp: &GroundProgram, disable: &[u32], enable: &[u32]) {
+        for &ci in disable {
+            self.disabled[ci as usize] = true;
+        }
+        for &ci in enable {
+            self.disabled[ci as usize] = false;
+        }
+        if !self.primed {
+            return; // prime() reads `disabled` directly
+        }
+        self.retracted.clear();
+        let heads = gp.heads();
+        for &ci in disable {
+            if !self.disabled[ci as usize] {
+                continue; // re-enabled later in the same batch
+            }
+            let m = self.missing[ci as usize];
+            if m == DEAD {
+                continue; // already context-blocked (or doubly listed)
+            }
+            self.stats.clause_checks += 1;
+            self.missing[ci as usize] = DEAD;
+            if m == 0 {
+                self.retract(heads[ci as usize]);
+            }
+        }
+        self.cascade_retractions(gp);
+        self.revived_heads.clear();
+        for &ci in enable {
+            if self.disabled[ci as usize] || self.missing[ci as usize] != DEAD {
+                continue; // still off, or already alive
+            }
+            self.stats.clause_checks += 1;
+            let c = gp.clause(ci);
+            if !c.neg.iter().all(|&b| Self::sat(&self.s, self.mode, b)) {
+                continue; // blocked by the context, not the switch
+            }
+            let m = c
+                .pos
+                .iter()
+                .filter(|&&p| !self.out.contains(p.index()))
+                .count() as u32;
+            self.missing[ci as usize] = m;
+            if m == 0 {
+                self.revived_heads.push(c.head.0);
+            }
+        }
+        for i in 0..self.revived_heads.len() {
+            let h = self.revived_heads[i];
+            self.insert(GroundAtomId(h));
+        }
+        self.rederive_retracted(gp);
         self.propagate(gp);
     }
 
@@ -580,6 +717,125 @@ mod tests {
             inc.stats().clause_checks,
             checks_after_prime,
             "no clause may be re-checked for an identical context"
+        );
+    }
+
+    #[test]
+    fn grow_absorbs_appended_clauses_and_atoms() {
+        // Start from a small program, prime, then append clauses (and a
+        // fresh atom) the way the session grounder does, grow, and
+        // compare against a scratch solve of the grown program at every
+        // context — including contexts touching the new atoms.
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p :- ~q. r :- p.").unwrap();
+        let mut gp = Grounder::ground(&mut s, &p).unwrap();
+        let n0 = gp.atom_count();
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        let ctx = BitSet::new(n0);
+        inc.evaluate(&gp, &ctx);
+        // Append: new fact t., new rule u :- r, ~w. (w is a new atom).
+        let t = gp.intern_atom(gsls_lang::Atom::new(s.intern_symbol("t"), Vec::new()));
+        let u = gp.intern_atom(gsls_lang::Atom::new(s.intern_symbol("u"), Vec::new()));
+        let w = gp.intern_atom(gsls_lang::Atom::new(s.intern_symbol("w"), Vec::new()));
+        let r = atom_id(&s, &gp, "r");
+        gp.push_clause_parts(t, &[], &[]);
+        gp.push_clause_parts(u, &[r], &[w]);
+        gp.finalize();
+        inc.grow(&gp);
+        let n = gp.atom_count();
+        assert!(n > n0);
+        // The grown state must already be the fixpoint for the grown
+        // program under the (grown) stored context.
+        assert_eq!(
+            &scratch(&gp, &BitSet::new(n), NegMode::SatisfiedOutside),
+            inc.out()
+        );
+        assert!(inc.out().contains(t.index()));
+        assert!(inc.out().contains(u.index()));
+        // And later evaluations — including ones flipping new atoms —
+        // keep matching scratch.
+        let mut ctx = BitSet::new(n);
+        ctx.insert(w.index());
+        inc.evaluate(&gp, &ctx);
+        assert!(!inc.out().contains(u.index()));
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedOutside), inc.out());
+        ctx.insert(atom_id(&s, &gp, "q").index());
+        ctx.remove(w.index());
+        inc.evaluate(&gp, &ctx);
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedOutside), inc.out());
+    }
+
+    /// Scratch oracle over a program with some clauses disabled: solve a
+    /// copy with the disabled clauses omitted, mapped back by identical
+    /// atom ids.
+    fn scratch_disabled(gp: &GroundProgram, s: &BitSet, mode: NegMode, disabled: &[u32]) -> BitSet {
+        let mut copy = GroundProgram::new();
+        for a in gp.atom_ids() {
+            copy.intern_atom(gp.atom(a).clone());
+        }
+        for (ci, c) in gp.clauses().enumerate() {
+            if !disabled.contains(&(ci as u32)) {
+                copy.push_clause_parts(c.head, c.pos, c.neg);
+            }
+        }
+        copy.finalize();
+        scratch(&copy, s, mode)
+    }
+
+    #[test]
+    fn disable_and_enable_clauses_track_scratch() {
+        let (s, gp) =
+            ground("f. p :- f, ~a. q :- p, ~b. r :- q. c :- c2. c2 :- c. c :- p. a :- ~d.");
+        let n = gp.atom_count();
+        // Clause 0 is the fact f. — the retraction target.
+        assert!(gp.clause(0).is_fact());
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        let mut ctx = BitSet::new(n);
+        inc.evaluate(&gp, &ctx);
+        assert!(inc.out().contains(atom_id(&s, &gp, "r").index()));
+        assert!(inc.out().contains(atom_id(&s, &gp, "c2").index()));
+        // Retract f: the whole p→q→r cone and the c/c2 positive cycle
+        // fed by p must die (the reference-counting trap).
+        inc.set_clauses_enabled(&gp, &[0], &[]);
+        assert_eq!(
+            &scratch_disabled(&gp, &ctx, NegMode::SatisfiedOutside, &[0]),
+            inc.out()
+        );
+        assert!(!inc.out().contains(atom_id(&s, &gp, "c2").index()));
+        // Context changes while the clause is off must not revive it.
+        ctx.insert(atom_id(&s, &gp, "a").index());
+        inc.evaluate(&gp, &ctx);
+        assert_eq!(
+            &scratch_disabled(&gp, &ctx, NegMode::SatisfiedOutside, &[0]),
+            inc.out()
+        );
+        ctx.clear();
+        inc.evaluate(&gp, &ctx);
+        assert_eq!(
+            &scratch_disabled(&gp, &ctx, NegMode::SatisfiedOutside, &[0]),
+            inc.out()
+        );
+        assert!(!inc.out().contains(atom_id(&s, &gp, "f").index()));
+        // Re-assert f: everything comes back.
+        inc.set_clauses_enabled(&gp, &[], &[0]);
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedOutside), inc.out());
+        assert!(inc.out().contains(atom_id(&s, &gp, "r").index()));
+        // Disable+enable in one call resolves to enabled.
+        inc.set_clauses_enabled(&gp, &[0], &[0]);
+        assert_eq!(&scratch(&gp, &ctx, NegMode::SatisfiedOutside), inc.out());
+    }
+
+    #[test]
+    fn disable_before_priming_respected() {
+        let (s, gp) = ground("f. p :- f.");
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        inc.set_clauses_enabled(&gp, &[0], &[]);
+        let ctx = BitSet::new(gp.atom_count());
+        inc.evaluate(&gp, &ctx);
+        assert!(!inc.out().contains(atom_id(&s, &gp, "p").index()));
+        assert_eq!(
+            &scratch_disabled(&gp, &ctx, NegMode::SatisfiedOutside, &[0]),
+            inc.out()
         );
     }
 

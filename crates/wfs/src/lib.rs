@@ -56,7 +56,7 @@ pub mod wp;
 
 pub use alternating::{
     well_founded_model, well_founded_model_rebuild, well_founded_model_scratch,
-    well_founded_model_with_stats, AlternatingStats,
+    well_founded_model_with_stats, well_founded_refresh, AlternatingStats,
 };
 pub use bitset::BitSet;
 pub use fitting::{fitting_model, phi};

@@ -4,9 +4,10 @@
 //! cargo run --example computation_rules
 //! ```
 
+use global_sls::internals::{deviant_evaluate, DeviantOpts, RuleKind};
 use global_sls::prelude::*;
 
-fn main() {
+fn main() -> Result<(), SessionError> {
     let mut store = TermStore::new();
 
     // ---- Example 3.2: positivistic selection is required. -------------
@@ -42,11 +43,13 @@ fn main() {
          \x20 the failing ¬s; expanding both in parallel fails q immediately."
     );
 
-    // Cross-check with the bottom-up model.
-    let gp = Grounder::ground(&mut store, &program).unwrap();
-    let wfm = well_founded_model(&gp);
+    // Cross-check with the session's maintained bottom-up model.
+    let mut session = Session::from_source(ex33)?;
     println!(
-        "\nBottom-up WFM of Example 3.3: {}",
-        wfm.display(&store, &gp)
+        "\nSession reads on Example 3.3: p={}, q={}, s={}",
+        session.truth("?- p.")?,
+        session.truth("?- q.")?,
+        session.truth("?- s.")?,
     );
+    Ok(())
 }

@@ -1,14 +1,15 @@
-//! Domain example: a stratified deductive database with negation.
+//! Domain example: a live deductive database over a dependency graph.
 //!
 //! Transitive closure plus negated reachability — the workload the
 //! deductive-database community motivated well-founded negation with —
-//! answered by SLS-resolution (the stratified baseline), the memoized
-//! global-SLS engine, and the bottom-up model, all agreeing.
+//! served by a [`Session`]: queries stream from the maintained model,
+//! and schema/data changes are incremental commits, not rebuilds.
 //!
 //! ```sh
 //! cargo run --example deductive_db
 //! ```
 
+use global_sls::internals::DepGraph;
 use global_sls::prelude::*;
 
 const DB: &str = "
@@ -32,51 +33,72 @@ const DB: &str = "
     eq_app(app).
 ";
 
-fn main() {
-    let mut store = TermStore::new();
-    let program = parse_program(&mut store, DB).unwrap();
-    println!("Deductive database:\n{}", program.display(&store));
-    assert!(DepGraph::from_program(&program).is_stratified());
+fn show(label: &str, session: &mut Session, q: &mut PreparedQuery) -> Result<(), SessionError> {
+    let mut it = q.execute(session)?;
+    let mut names = Vec::new();
+    while let Some(a) = it.next() {
+        names.push(a.subst.display(it.store()));
+    }
+    println!("{label}: {names:?}");
+    Ok(())
+}
 
-    // 1. SLS-resolution (stratified baseline).
-    let goal = parse_goal(&mut store, "?- leaf(X).").unwrap();
-    let sls = sls_solve(&mut store, &program, &goal, SlsOpts::default()).unwrap();
+fn main() -> Result<(), SessionError> {
+    let mut session = Session::from_source(DB)?;
     println!(
-        "SLS-resolution, ?- leaf(X): {:?}",
-        sls.answers
-            .iter()
-            .map(|a| a.display(&store))
-            .collect::<Vec<_>>()
+        "Deductive database:\n{}",
+        session.program().display(session.store())
     );
+    assert!(DepGraph::from_program(session.program()).is_stratified());
 
-    // 2. The memoized global-SLS engine.
-    let mut solver = Solver::new(program.clone());
-    let r = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
+    // Prepared queries over the maintained model.
+    let mut leaves = session.prepare("?- leaf(X).")?;
+    let mut independent = session.prepare("?- independent(X).")?;
+    show("?- leaf(X)", &mut session, &mut leaves)?;
+    show("?- independent(X)", &mut session, &mut independent)?;
+
+    // The SLS-resolution baseline agrees (stratified program).
+    {
+        let mut store = session.store().clone();
+        let goal = parse_goal(&mut store, "?- leaf(X).")?;
+        let sls = sls_solve(&mut store, session.program(), &goal, SlsOpts::default()).unwrap();
+        println!(
+            "SLS-resolution, ?- leaf(X): {:?}",
+            sls.answers
+                .iter()
+                .map(|a| a.display(&store))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    // Live updates: a new module lands, depending on alloc…
+    println!("\n-- commit: add module(newmod), dep(newmod, alloc) --");
+    session.begin()?;
+    session.assert_facts("module(newmod). dep(newmod, alloc).")?;
+    let stats = session.commit()?;
     println!(
-        "Tabled global SLS, ?- leaf(X): {:?}",
-        r.answers
-            .iter()
-            .map(|a| a.display(&store))
-            .collect::<Vec<_>>()
+        "   ({} new ground atoms, {} new ground clauses)",
+        stats.new_atoms, stats.new_clauses
     );
+    show("?- independent(X)", &mut session, &mut independent)?;
 
-    // 3. Negated reachability.
-    let goal = parse_goal(&mut store, "?- independent(X).").unwrap();
-    let r = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
-    println!(
-        "?- independent(X): {:?}",
-        r.answers
-            .iter()
-            .map(|a| a.display(&store))
-            .collect::<Vec<_>>()
-    );
+    // …then app drops its UI dependency: libui's whole cone detaches.
+    println!("\n-- commit: retract dep(app, libui) --");
+    session.retract_facts("dep(app, libui).")?;
+    show("?- independent(X)", &mut session, &mut independent)?;
 
-    // 4. Bottom-up: the whole perfect model (= well-founded model).
-    let (gp, pm) = perfect_model(&mut store, &program).unwrap();
+    // Bottom-up baseline: the perfect model (= well-founded model) of
+    // the original database, computed from scratch.
+    let (gp, pm) = {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, DB)?;
+        perfect_model(&mut store, &program).unwrap()
+    };
     println!(
         "\nPerfect model is total: {} ({} atoms, {} true).",
         pm.is_total(),
         gp.atom_count(),
         pm.count_true()
     );
+    Ok(())
 }

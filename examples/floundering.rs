@@ -1,10 +1,15 @@
 //! Section 6: floundering, the `term/1` transform, and the universal
 //! query problem (Example 6.1 / the augmented program of Def. 6.1).
 //!
+//! Programs with function symbols are exactly the ones the session
+//! engine refuses (`SessionError::NotFunctionFree`) — they stay on the
+//! [`Solver`]'s explicit global-tree engine, shown here.
+//!
 //! ```sh
 //! cargo run --example floundering
 //! ```
 
+use global_sls::internals::render_global;
 use global_sls::prelude::*;
 
 fn main() {
@@ -14,6 +19,16 @@ fn main() {
     let src = "p(X) :- ~q(f(X)). q(a).";
     let program = parse_program(&mut store, src).unwrap();
     println!("Program:\n{}", program.display(&store));
+
+    // The session boundary: function symbols are not servable.
+    match Session::from_source(src) {
+        Err(SessionError::NotFunctionFree) => {
+            println!("Session::from_source ⇒ NotFunctionFree — using the global-tree engine.\n")
+        }
+        Err(e) => panic!("expected NotFunctionFree, got {e}"),
+        Ok(_) => panic!("expected NotFunctionFree, got a session"),
+    }
+
     let goal = parse_goal(&mut store, "?- p(X).").unwrap();
     let solver = Solver::new(program.clone());
     let tree = solver.global_tree(&mut store, &goal);
@@ -27,12 +42,12 @@ fn main() {
     }
 
     // ---- The term/1 transform removes floundering. ---------------------
-    let transformed = term_transform(&mut store, &program);
+    let transformed = global_sls::internals::term_transform(&mut store, &program);
     println!(
         "\nterm/1-transformed program:\n{}",
         transformed.display(&store)
     );
-    let guarded = gsls_ground::herbrand::guard_goal(&mut store, &goal);
+    let guarded = global_sls::ground::herbrand::guard_goal(&mut store, &goal);
     let solver_t = Solver::new(transformed);
     let tree = solver_t.global_tree(&mut store, &guarded);
     println!("guarded ?- p(X), term(X).  ⇒  {:?}", tree.status());
@@ -54,7 +69,7 @@ fn main() {
             .map(|a| a.display(&store))
             .collect::<Vec<_>>()
     );
-    let augmented = augment_program(&mut store, &p61);
+    let augmented = global_sls::internals::augment_program(&mut store, &p61);
     println!(
         "Augmented P' adds {} — its Herbrand universe has infinitely many\n\
          terms not mentioned in P, so ∀x p(x) is correctly refutable:",

@@ -1,17 +1,19 @@
-//! Parallel evaluation: sharded grounding + wavefront SCC solving.
+//! Parallel evaluation: sharded grounding, wavefront SCC solving, and
+//! multi-threaded snapshot reads.
 //!
 //! ```sh
 //! GSLS_THREADS=4 cargo run --release --example parallel_eval
 //! ```
 //!
 //! Grounds a win/move grid board with the sharded parallel seed round,
-//! then solves it with the tabled engine's SCC wavefront, at 1 thread
-//! and at the `gsls_par::threads()`-resolved count, checking the
-//! verdicts agree — the determinism contract of `gsls-par`.
+//! solves it with the tabled engine's SCC wavefront at 1 thread and at
+//! the `gsls_par::threads()`-resolved count (checking the verdicts
+//! agree — the determinism contract of `gsls-par`), then serves the
+//! same board from a [`Session`] snapshot on every worker at once:
+//! readers share one immutable `Arc`'d state and never block.
 
-use global_sls::core::TabledEngine;
-use global_sls::ground::{Grounder, GrounderOpts};
-use global_sls::lang::{Atom, TermStore};
+use global_sls::internals::TabledEngine;
+use global_sls::prelude::*;
 use global_sls::workloads::win_grid;
 use std::time::Instant;
 
@@ -71,4 +73,32 @@ fn main() {
     );
     assert_eq!(v_seq, v_par, "thread count must not change verdicts");
     println!("verdicts agree — determinism contract holds");
+
+    // ---- Snapshot reads: one immutable state, many reader threads. ----
+    let mut store = TermStore::new();
+    let program = win_grid(&mut store, w, h);
+    let mut session = Session::from_parts(store, program).expect("board is function-free");
+    let snapshot = session.snapshot();
+    let queries = 2_000usize;
+    let atoms: Vec<Atom> = {
+        let mut s = snapshot.store().clone();
+        (0..queries)
+            .map(|i| {
+                let win = s.intern_symbol("win");
+                let node = s.constant(&format!("n{}", i % (w * h)));
+                Atom::new(win, vec![node])
+            })
+            .collect()
+    };
+    let t = Instant::now();
+    let verdicts = gsls_par::par_map(threads, queries, |i| snapshot.truth_of_atom(&atoms[i]));
+    let secs = t.elapsed().as_secs_f64();
+    let won = verdicts.iter().filter(|&&v| v == Truth::True).count();
+    println!(
+        "  snapshot reads: {queries} point queries on {threads} thread(s) in {:.1}ms \
+         ({:.0} q/s; {won} won)",
+        secs * 1e3,
+        queries as f64 / secs,
+    );
+    assert_eq!(verdicts[0], v_seq, "snapshot agrees with the engines");
 }

@@ -1,4 +1,5 @@
-//! Quickstart: load a program, ask queries, inspect three-valued answers.
+//! Quickstart: a session-backed deductive database — load a program,
+//! stream query answers, update incrementally, read from snapshots.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -6,43 +7,63 @@
 
 use global_sls::prelude::*;
 
-fn main() {
-    let mut store = TermStore::new();
+fn main() -> Result<(), SessionError> {
     // The win/move game: a position is won iff some move reaches a lost
     // position. a↔b is a potential draw loop, but b can escape to c.
-    let program = parse_program(
-        &mut store,
+    let mut session = Session::from_source(
         "
         move(a, b). move(b, a). move(b, c).
         win(X) :- move(X, Y), ~win(Y).
         ",
-    )
-    .expect("program parses");
-
-    println!("Program:\n{}", program.display(&store));
-    let mut solver = Solver::new(program);
+    )?;
+    println!("Program:\n{}", session.program().display(session.store()));
 
     for q in ["?- win(a).", "?- win(b).", "?- win(c)."] {
-        let goal = parse_goal(&mut store, q).unwrap();
-        let r = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
-        println!("{q}  ⇒  {}", r.truth);
+        println!("{q}  ⇒  {}", session.truth(q)?);
     }
 
-    // Nonground query: enumerate the winning positions.
-    let goal = parse_goal(&mut store, "?- win(X).").unwrap();
-    let r = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
+    // Prepared query: compiled once, streamed per execution.
+    let mut winners = session.prepare("?- win(X).")?;
     println!("\n?- win(X).");
-    for ans in &r.answers {
-        println!("  true for {}", ans.display(&store));
+    let mut it = winners.execute(&mut session)?;
+    while let Some(ans) = it.next() {
+        println!("  {} for {}", ans.truth, ans.subst.display(it.store()));
     }
-    for u in &r.undefined {
-        println!("  undefined for {}", u.display(&store));
-    }
+    drop(it);
 
-    // The same query through the explicit global tree, with the tree.
-    let tree = solver.global_tree(&mut store, &goal);
+    // Incremental update: give c an escape move back to a. Every
+    // position now sits on a cycle — the whole board becomes a draw.
+    // The commit delta-grounds the new fact and repairs the model on
+    // warm fixpoint chains; nothing is rebuilt.
+    session.assert_facts("move(c, a).")?;
+    println!("\nafter assert move(c, a):");
+    let mut it = winners.execute(&mut session)?;
+    while let Some(ans) = it.next() {
+        println!("  {} for {}", ans.truth, ans.subst.display(it.store()));
+    }
+    drop(it);
+    println!("  win(b)  ⇒  {}", session.truth("?- win(b).")?);
+
+    // Snapshot: an immutable, Send + Sync view of the committed state.
+    let snapshot = session.snapshot();
+
+    // Retract the escape move again — the original verdicts return…
+    session.retract_facts("move(c, a).")?;
+    println!("\nafter retract move(c, a):");
+    println!("  live:     win(b)  ⇒  {}", session.truth("?- win(b).")?);
+    // …while the snapshot still serves its epoch, from any thread.
+    let frozen = session.prepare("?- win(b).")?;
+    let handle = {
+        let snapshot = snapshot.clone();
+        std::thread::spawn(move || {
+            let q = frozen;
+            q.execute_on(&snapshot).map(|a| a.collect_result().truth)
+        })
+    };
     println!(
-        "\nGlobal tree for ?- win(X).\n{}",
-        render_global(&store, &tree)
+        "  snapshot: win(b)  ⇒  {} (epoch {})",
+        handle.join().expect("reader thread")?,
+        snapshot.epoch()
     );
+    Ok(())
 }

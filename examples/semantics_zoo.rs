@@ -1,16 +1,19 @@
 //! The semantics landscape of Section 1 on classic programs:
-//! Fitting (Kripke–Kleene) vs well-founded vs stable models.
+//! Fitting (Kripke–Kleene) vs well-founded vs stable models — with the
+//! session serving the well-founded column live.
 //!
 //! ```sh
 //! cargo run --example semantics_zoo
 //! ```
 
+use global_sls::internals::GroundAtomId;
 use global_sls::prelude::*;
-use gsls_ground::GroundingMode;
 
 fn analyse(title: &str, src: &str) {
     let mut store = TermStore::new();
     let program = parse_program(&mut store, src).unwrap();
+    // Full instantiation so even underivable atoms show up in the
+    // side-by-side model displays.
     let gp = Grounder::ground_with(
         &mut store,
         &program,
@@ -32,11 +35,23 @@ fn analyse(title: &str, src: &str) {
         for (i, m) in stable.iter().enumerate() {
             let atoms: Vec<String> = m
                 .iter()
-                .map(|x| gp.display_atom(&store, gsls_ground::GroundAtomId(x as u32)))
+                .map(|x| gp.display_atom(&store, GroundAtomId(x as u32)))
                 .collect();
             println!("  Stable model {}: {{{}}}", i + 1, atoms.join(", "));
         }
     }
+    // The served view: a session answers every atom from its maintained
+    // model — atoms the relevant grounding never interned are false.
+    let mut session = Session::from_source(src).expect("zoo programs are function-free");
+    let served: Vec<String> = gp
+        .atom_ids()
+        .map(|a| {
+            let name = gp.display_atom(&store, a);
+            let t = session.truth(&format!("?- {name}.")).expect("ground query");
+            format!("{name}={t}")
+        })
+        .collect();
+    println!("  Session reads: {}", served.join(", "));
     println!();
 }
 

@@ -7,8 +7,13 @@
 //! cargo run --example van_gelder
 //! ```
 
+// The ordinal-level machinery (SLP/global trees, symbolic levels) is
+// diagnostic surface, re-exported from `internals`; the program has
+// function symbols, so it stays off the session engine by design.
+use global_sls::internals::{
+    render_global, render_slp, GlobalOpts, GlobalTree, HerbrandOpts, Ordinal, SlpOpts, SlpTree,
+};
 use global_sls::prelude::*;
-use gsls_core::GlobalOpts;
 use gsls_workloads::van_gelder_program;
 
 fn numeral(n: usize) -> String {

@@ -19,10 +19,16 @@ cargo build --release --examples
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --doc (the Session quickstart doctest is the API contract)"
+cargo test -q --doc
+
 echo "==> ground_smoke (join-plan vs naive-join differential)"
 cargo run --release -p gsls-bench --bin ground_smoke
 
 echo "==> parallel diff suite at 2 threads (gsls-par determinism gate)"
 GSLS_THREADS=2 cargo test --release -q --test parallel_diff
+
+echo "==> session maintenance property at 2 threads (session ≡ rebuild)"
+GSLS_THREADS=2 cargo test --release -q --test incremental session_
 
 echo "check.sh: all gates passed"

@@ -5,56 +5,101 @@
 //! global trees, SLP-trees, ordinal levels, computation rules, the
 //! effective memoized engine for function-free programs, the bottom-up
 //! well-founded-model baselines, and the SLD/SLDNF/SLS comparison
-//! procedures.
+//! procedures — grown into an **incremental deductive-database engine**
+//! served through the [`prelude::Session`] API.
 //!
 //! ## Quickstart
+//!
+//! A [`prelude::Session`] owns the term store, the program, and a
+//! continuously maintained well-founded model. Updates are
+//! transactional and delta-grounded; queries are prepared once and
+//! stream their answers; snapshots give lock-free concurrent reads.
 //!
 //! ```
 //! use global_sls::prelude::*;
 //!
-//! let mut store = TermStore::new();
-//! let program = parse_program(
-//!     &mut store,
+//! let mut session = Session::from_source(
 //!     "move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).",
-//! ).unwrap();
+//! )?;
 //!
-//! let mut solver = Solver::new(program);
-//! let goal = parse_goal(&mut store, "?- win(X).").unwrap();
-//! let result = solver.query(&mut store, &goal, Engine::Tabled).unwrap();
+//! // Prepared queries compile once and stream answers.
+//! let mut winners = session.prepare("?- win(X).")?;
+//! let wins: Vec<Answer> = winners.execute(&mut session)?.collect();
+//! assert_eq!(wins.len(), 1); // win(b): b can move to the lost c
+//! assert_eq!(wins[0].truth, Truth::True);
 //!
-//! assert_eq!(result.truth, Truth::True);
-//! assert_eq!(result.answers.len(), 1);          // win(b)
-//! assert_eq!(result.undefined.len(), 0);
+//! // Incremental update: give c an escape move. The commit re-joins
+//! // only the affected plans and repairs the model on warm chains —
+//! // no re-grounding, no from-scratch solve.
+//! session.assert_facts("move(c, a).")?;
+//! assert_eq!(session.truth("?- win(b).")?, Truth::Undefined); // all draws now
+//!
+//! // Retraction is a model-level switch; re-asserting re-enables.
+//! session.retract_facts("move(c, a).")?;
+//! assert_eq!(session.truth("?- win(b).")?, Truth::True);
+//!
+//! // Transactions batch updates atomically.
+//! session.begin()?;
+//! session.assert_facts("move(c, a).")?;
+//! session.retract_facts("move(b, c).")?;
+//! session.rollback(); // never mind
+//!
+//! // Snapshots are cheap, immutable, Send + Sync: readers on other
+//! // threads keep their epoch while the session commits on.
+//! let snapshot = session.snapshot();
+//! let frozen = session.prepare("?- win(X).")?;
+//! session.assert_facts("move(c, a).")?;
+//! assert_eq!(frozen.execute_on(&snapshot)?.count(), 1); // pre-commit view
+//! assert_eq!(session.truth("?- win(b).")?, Truth::Undefined); // live view
+//! # Ok::<(), SessionError>(())
 //! ```
+//!
+//! ## Batch vs. session
+//!
+//! The one-shot [`prelude::Solver`] facade (`parse_program` →
+//! `Solver::new` → `query`) remains as a compatibility shim over the
+//! same query machinery — see the `solver_compat` example. Migration is
+//! mechanical: `Solver::new(program)` → [`prelude::Session::from_parts`],
+//! `solver.query(..)` → [`prelude::Session::query`] (or `prepare` +
+//! `execute` to reuse the compiled goal), and updates that used to mean
+//! "rebuild the solver" become [`prelude::Session::assert_facts`] /
+//! [`prelude::Session::retract_facts`] / [`prelude::Session::add_rules`]
+//! commits. Programs with function symbols stay on the `Solver`'s
+//! global-tree engine.
 //!
 //! ## Crate map
 //!
 //! | crate | contents |
 //! |-------|----------|
 //! | [`lang`] | terms, atoms, clauses, unification, parser |
-//! | [`ground`] | Herbrand machinery, grounding, stratification |
-//! | [`wfs`] | bottom-up well-founded semantics, Fitting, stable models |
+//! | [`ground`] | grounding: join-plan compiler, fact store, incremental (session) grounder |
+//! | [`wfs`] | bottom-up well-founded semantics; difference-driven fixpoint chains |
 //! | [`resolution`] | SLD / SLDNF / SLS baselines |
-//! | [`core`] | global SLS-resolution (trees, levels, tabled engine) |
+//! | [`core`] | the `Session` engine, the `Solver` shim, global SLS-resolution trees |
+//! | [`par`] | work-stealing runtime (parallel SCC evaluation, sharded grounding) |
 //! | [`workloads`] | experiment program generators |
+//!
+//! The [`prelude`] re-exports the user-facing surface; diagnostic and
+//! paper-machinery types (global trees, deviant computation rules,
+//! Herbrand transforms, the raw tabled engine) live in [`internals`].
 
 pub use gsls_core as core;
 pub use gsls_ground as ground;
 pub use gsls_lang as lang;
+pub use gsls_par as par;
 pub use gsls_resolution as resolution;
 pub use gsls_wfs as wfs;
 pub use gsls_workloads as workloads;
 
-/// Everything a typical user needs.
+/// Everything a typical user needs: the session API, the compatibility
+/// solver, the object language, and the bottom-up semantics.
 pub mod prelude {
     pub use gsls_core::{
-        deviant_evaluate, render_global, render_slp, DeviantOpts, Engine, GlobalOpts, GlobalTree,
-        Ordinal, QueryResult, RuleKind, SlpOpts, SlpTree, Solver, SolverError, Status,
-        TabledEngine, Verdict,
+        Answer, Answers, CommitStats, Engine, PreparedQuery, QueryResult, Session, SessionError,
+        Snapshot, Solver, SolverError, Status,
     };
     pub use gsls_ground::{
-        augment_program, herbrand_universe, term_transform, AtomDepGraph, DepGraph, GroundProgram,
-        Grounder, GrounderOpts, GroundingMode, HerbrandOpts,
+        GroundProgram, Grounder, GrounderOpts, GroundingMode, IncrementalGrounder,
     };
     pub use gsls_lang::{
         parse_goal, parse_program, parse_query, parse_term, Atom, Clause, Goal, Literal, Program,
@@ -65,5 +110,29 @@ pub mod prelude {
     };
     pub use gsls_wfs::{
         fitting_model, stable_models, vp_iteration, well_founded_model, Interp, Truth,
+    };
+}
+
+/// The power-user / diagnostic surface: the paper's explicit tree
+/// machinery, deviant computation rules, Herbrand transforms, program
+/// analyses, and the raw memoized engine. Stable enough to use, but
+/// not part of the typical serving path — which is why it is no longer
+/// in the [`prelude`].
+pub mod internals {
+    pub use gsls_core::{
+        deviant_evaluate, render_global, render_slp, DeviantOpts, GlobalAnswer, GlobalOpts,
+        GlobalTree, GroundStatus, GroundTreeAnalysis, NegChild, NegNode, Ordinal, RuleKind,
+        SccSolver, Selection, SlpNode, SlpNodeKind, SlpOpts, SlpTree, StatusFlags, TabledEngine,
+        TabledStats, TreeNode, Verdict,
+    };
+    pub use gsls_ground::{
+        augment_program, herbrand_universe, term_transform, AtomDepGraph, ClauseRef, Csr, DepGraph,
+        GroundAtomId, GroundClause, GroundStats, GroundingError, HerbrandOpts, JoinStrategy,
+        ProgramClass,
+    };
+    pub use gsls_wfs::{
+        greatest_unfounded, is_stable_model, well_founded_model_rebuild,
+        well_founded_model_scratch, well_founded_model_with_stats, well_founded_refresh,
+        AlternatingStats, BitSet, IncrementalLfp, NegMode, Propagator,
     };
 }

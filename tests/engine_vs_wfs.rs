@@ -3,6 +3,7 @@
 //! agree with the bottom-up well-founded model on every atom of every
 //! program, across thousands of random programs.
 
+use global_sls::internals::*;
 use global_sls::prelude::*;
 use gsls_core::GlobalOpts;
 use gsls_workloads::{random_program, win_random, RandomProgramOpts};

@@ -4,6 +4,13 @@
 //! and the rebuild-everything baseline (`well_founded_model_rebuild`)
 //! on random programs, and must do strictly less re-enqueue work than
 //! from-scratch restarts on delta-friendly workloads.
+//!
+//! PR 5 adds the **session maintenance property**: a random walk of
+//! assert / retract / add-rule commits on a `global_sls::Session` must
+//! leave a model identical to a from-scratch `well_founded_model`
+//! rebuild of the merged program after every commit — checked both on
+//! the live session and through a `Snapshot` read from
+//! `gsls_par::threads()` worker threads (`GSLS_THREADS=2` in check.sh).
 
 use gsls_ground::{Grounder, GrounderOpts, HerbrandOpts};
 use gsls_lang::TermStore;
@@ -68,6 +75,275 @@ proptest! {
                 prop_assert!(!m.contains(a.index()), "WFM-false in no stable model");
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session maintenance: incremental commits ≡ from-scratch rebuilds.
+// ---------------------------------------------------------------------
+
+/// Minimal deterministic PRNG (the workloads crate keeps its own
+/// private; tests shouldn't depend on its internals).
+struct Walk(u64);
+
+impl Walk {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 > 1.0 - p
+    }
+}
+
+/// The rule pool the walk can add, one by one. Includes recursion
+/// through the added rules, negation, a rule feeding a base predicate,
+/// and a residual (universe-enumerated) rule.
+const WALK_RULES: &[&str] = &[
+    "q(X) :- t(X, X).",
+    "s(X) :- f(X), ~w(X).",
+    "g(X) :- h(X, X).",
+    "r2(X, Y) :- e(X, Y), ~e(Y, X).",
+    "u(X) :- ~f(X).",
+    "v(X) :- t(X, Y), f(Y), ~q(Y).",
+];
+
+const WALK_BASE: &str = "
+    t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).
+    w(X) :- e(X, Y), ~w(Y).
+    p(X) :- f(X), ~g(X).
+";
+
+/// Constants mentioned in a walk fact source (`c<i>` tokens).
+fn consts_in(src: &str) -> Vec<usize> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'c' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+            let mut j = i + 1;
+            let mut n = 0usize;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                n = n * 10 + (bytes[j] - b'0') as usize;
+                j += 1;
+            }
+            out.push(n);
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn walk_fact(rng: &mut Walk, n_consts: usize) -> String {
+    let c = |rng: &mut Walk| format!("c{}", rng.below(n_consts));
+    match rng.below(4) {
+        0 => format!("e({}, {}).", c(rng), c(rng)),
+        1 => format!("f({}).", c(rng)),
+        2 => format!("g({}).", c(rng)),
+        _ => format!("h({}, {}).", c(rng), c(rng)),
+    }
+}
+
+/// One random session walk: mixed commits (some batched in explicit
+/// transactions), model checked against a merged-program rebuild after
+/// every commit, plus a threaded snapshot read.
+fn session_walk(seed: u64, commits: usize) {
+    use global_sls::prelude::*;
+
+    let mut rng = Walk(seed);
+    let mut session = Session::from_source(WALK_BASE).expect("base program grounds");
+    // Seed one fact through the session so both sides always own at
+    // least one constant (base facts are retractable like any other).
+    session.assert_facts("f(c0).").expect("seed fact");
+    // Ever-seen constants anchor the rebuild's universe to the
+    // session's active domain (the session never shrinks it).
+    let mut sources: Vec<String> = vec![WALK_BASE.to_owned()];
+    let mut active: Vec<String> = vec!["f(c0).".to_owned()]; // active fact sources
+    let mut rules_left: Vec<&str> = WALK_RULES.to_vec();
+    // Constants the *session* has seen (its active domain never
+    // shrinks); the rebuild oracle is anchored to exactly this set.
+    let mut seen: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    seen.insert(0); // c0 from the base program
+    let threads = gsls_par::threads();
+
+    for step in 0..commits {
+        // Grow the constant pool over time so commits introduce
+        // genuinely new constants (universe growth + residual rules).
+        let n_consts = 3 + step.min(3);
+        // Within one commit, asserts apply before retracts whatever the
+        // issue order (the session's documented batch semantics) — the
+        // bookkeeping below mirrors that.
+        let batched = rng.chance(0.4);
+        if batched {
+            session.begin().expect("begin");
+        }
+        let mut asserts: Vec<String> = Vec::new();
+        let mut retracts: Vec<String> = Vec::new();
+        for _ in 0..1 + rng.below(3) {
+            match rng.below(5) {
+                // Assert 1–2 facts (fresh, duplicate, or re-assert).
+                0 | 1 | 3 => {
+                    for _ in 0..1 + rng.below(2) {
+                        let f = walk_fact(&mut rng, n_consts);
+                        session.assert_facts(&f).expect("assert");
+                        seen.extend(consts_in(&f));
+                        asserts.push(f);
+                    }
+                }
+                // Retract an active (or sometimes never-asserted) fact.
+                2 => {
+                    let f = if !active.is_empty() && rng.chance(0.8) {
+                        active[rng.below(active.len())].clone()
+                    } else {
+                        walk_fact(&mut rng, n_consts)
+                    };
+                    session.retract_facts(&f).expect("retract");
+                    retracts.push(f);
+                }
+                // Add a rule from the pool.
+                _ => {
+                    if !rules_left.is_empty() {
+                        let r = rules_left.remove(rng.below(rules_left.len()));
+                        session.add_rules(r).expect("add_rules");
+                        sources.push(r.to_owned());
+                    }
+                }
+            }
+            if !batched {
+                // Auto-committed: fold into the active set immediately.
+                for f in asserts.drain(..) {
+                    if !active.contains(&f) {
+                        active.push(f);
+                    }
+                }
+                for f in retracts.drain(..) {
+                    active.retain(|g| g != &f);
+                }
+            }
+        }
+        if batched {
+            session.commit().expect("commit");
+            for f in asserts.drain(..) {
+                if !active.contains(&f) {
+                    active.push(f);
+                }
+            }
+            for f in retracts.drain(..) {
+                active.retain(|g| g != &f);
+            }
+        }
+
+        // Oracle: ground + solve the merged program from scratch. The
+        // `seen(c)` facts pin the rebuild's Herbrand universe to the
+        // session's active domain (constants are never forgotten).
+        let mut merged = sources.join("\n");
+        for f in &active {
+            merged.push('\n');
+            merged.push_str(f);
+        }
+        for c in &seen {
+            merged.push_str(&format!("\nseen(c{c})."));
+        }
+        let mut store2 = TermStore::new();
+        let p2 = parse_program(&mut store2, &merged).expect("merged parses");
+        let gp2 = Grounder::ground(&mut store2, &p2).expect("merged grounds");
+        let m2 = well_founded_model(&gp2);
+
+        // Every rebuild atom must agree with the session…
+        let mut atoms = Vec::new();
+        for id2 in gp2.atom_ids() {
+            let name = gp2.display_atom(&store2, id2);
+            if name.starts_with("seen(") {
+                continue;
+            }
+            let got = session.truth(&format!("?- {name}.")).expect("ground query");
+            assert_eq!(
+                got,
+                m2.truth(id2),
+                "seed {seed} step {step}: {name} diverges (session {got})"
+            );
+            atoms.push((name, m2.truth(id2)));
+        }
+        // …and session atoms the rebuild never interned must be false.
+        let sess_names: Vec<String> = session
+            .ground_program()
+            .atom_ids()
+            .map(|id| {
+                (
+                    session.ground_program().display_atom(session.store(), id),
+                    session.model().truth(id),
+                )
+            })
+            .filter(|(name, _)| {
+                let g = parse_goal(&mut store2, &format!("?- {name}.")).expect("atom parses");
+                gp2.lookup_atom(&g.literals()[0].atom).is_none()
+            })
+            .map(|(name, truth)| {
+                assert_eq!(
+                    truth,
+                    Truth::False,
+                    "seed {seed} step {step}: session-only atom {name} must be false"
+                );
+                name
+            })
+            .collect();
+        let _ = sess_names;
+
+        // Snapshot read from `threads` workers: same verdicts.
+        let parsed: Vec<Atom> = {
+            let mut s = session.store().clone();
+            atoms
+                .iter()
+                .map(|(name, _)| {
+                    parse_goal(&mut s, &format!("?- {name}."))
+                        .expect("atom parses")
+                        .literals()[0]
+                        .atom
+                        .clone()
+                })
+                .collect()
+        };
+        let snapshot = session.snapshot();
+        let verdicts = gsls_par::par_map(threads, parsed.len(), |i| {
+            snapshot.truth_of_atom(&parsed[i])
+        });
+        for (i, (name, want)) in atoms.iter().enumerate() {
+            assert_eq!(
+                verdicts[i], *want,
+                "seed {seed} step {step}: snapshot read of {name} diverges at {threads} threads"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The PR 5 acceptance property: session maintenance ≡ rebuild
+    /// after every commit of a random update walk.
+    #[test]
+    fn session_random_walk_matches_rebuild(seed in any::<u64>()) {
+        session_walk(seed, 8);
+    }
+}
+
+/// A fixed-seed long walk that stays in the suite even when the
+/// property harness samples few cases (and the `GSLS_THREADS=2` gate in
+/// check.sh reruns exactly this under two worker threads).
+#[test]
+fn session_walk_fixed_seeds() {
+    for seed in [3, 7, 0xdeadbeef] {
+        session_walk(seed, 12);
     }
 }
 

@@ -2,6 +2,7 @@
 //! goal in the global tree equals the stage of the corresponding literal
 //! in the `V_P` iteration of the well-founded model.
 
+use global_sls::internals::*;
 use global_sls::prelude::*;
 use gsls_core::GlobalOpts;
 use gsls_workloads::{odd_even_chain, random_program, win_chain, RandomProgramOpts};

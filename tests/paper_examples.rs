@@ -7,6 +7,7 @@
 //!   augmented program);
 //! * E5 — the Section 6 floundering example and the `term/1` transform.
 
+use global_sls::internals::*;
 use global_sls::prelude::*;
 use gsls_core::GlobalOpts;
 

@@ -3,6 +3,7 @@
 //! programs, but *incomplete*: it cannot treat infinite branches as
 //! failed. The global SLS engines decide goals SLDNF only times out on.
 
+use global_sls::internals::*;
 use global_sls::prelude::*;
 use gsls_workloads::{random_program, RandomProgramOpts};
 

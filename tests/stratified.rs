@@ -3,6 +3,7 @@
 //! (and the model is total); on ground-acyclic programs, the plain
 //! (budgeted, non-memoized) tree search already terminates.
 
+use global_sls::internals::*;
 use global_sls::prelude::*;
 use gsls_core::GlobalOpts;
 use gsls_workloads::{negated_reachability, odd_even_chain};
