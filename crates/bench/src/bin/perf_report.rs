@@ -1,7 +1,17 @@
-//! Emits `BENCH_5.json`: the perf trajectory record for PR 5 (the
-//! incremental, snapshot-isolated `Session` API).
+//! Emits `BENCH_6.json`: the perf trajectory record for PR 6 (durable
+//! sessions: write-ahead log, checkpoint/restore, crash recovery).
 //!
-//! New in PR 5:
+//! New in PR 6:
+//!
+//! * **`durability`** — the cost of crash safety on win_grid 200×200:
+//!   p50/p99 of a single-fact durable commit (WAL append + fsync before
+//!   the in-memory apply) against the same commit on an in-memory
+//!   session; explicit `Session::checkpoint()` wall time (atomic
+//!   temp-file + rename snapshot of the full ground state); and
+//!   `Session::open` recovery time — checkpoint restore plus WAL-tail
+//!   replay — against the `Session::from_parts` full rebuild baseline.
+//!
+//! Carried forward from PR 5:
 //!
 //! * **`update_latency`** — the headline acceptance metric: p50/p99 of
 //!   a *single-fact update + re-query* on the live win_grid 200×200
@@ -16,7 +26,7 @@
 //!   (readers share an `Arc`'d state; the session could keep
 //!   committing meanwhile).
 //!
-//! Carried forward from earlier PRs, for the trajectory: the
+//! And from earlier PRs, for the trajectory: the
 //! van_gelder and engine_scaling sweeps plus the grid boards measure
 //!
 //! * ground program size (atoms, clauses), alternating-fixpoint
@@ -47,6 +57,7 @@
 //! records stay in `BENCH_<n>.json`.
 
 use gsls_core::{Engine, Session, Solver, TabledEngine};
+use gsls_durable::DurableOpts;
 use gsls_ground::{GroundStats, Grounder, GrounderOpts, HerbrandOpts};
 use gsls_lang::{parse_goal, Atom, TermStore};
 use gsls_wfs::{
@@ -633,6 +644,143 @@ fn snapshot_read_sweep() -> Vec<SnapPoint> {
         .collect()
 }
 
+/// The PR 6 durability record: what crash safety costs on the live
+/// win_grid 200×200 session.
+struct DurabilityPoint {
+    /// p50/p99 of one fresh-fact durable commit: validate + WAL append
+    /// + fsync + delta-ground + model repair.
+    commit_durable_p50_ns: u64,
+    commit_durable_p99_ns: u64,
+    /// p50 of the identical commit on an in-memory session (no WAL).
+    commit_memory_p50_ns: u64,
+    /// Explicit `Session::checkpoint()`: full-state snapshot written
+    /// atomically (temp file + rename) plus WAL rotation.
+    checkpoint_ns: u64,
+    /// `Session::open` on a directory holding the initial checkpoint
+    /// plus `replayed_records` WAL records: restore + tail replay.
+    reopen_replay_ns: u64,
+    /// `Session::open` right after a checkpoint (empty WAL): pure
+    /// checkpoint restore.
+    reopen_checkpoint_ns: u64,
+    /// `Session::from_parts` on the same final program: ground + solve
+    /// from scratch, the non-durable baseline recovery would replace.
+    full_rebuild_ns: u64,
+    replayed_records: usize,
+}
+
+impl DurabilityPoint {
+    fn fsync_overhead_ns(&self) -> i64 {
+        self.commit_durable_p50_ns as i64 - self.commit_memory_p50_ns as i64
+    }
+
+    fn replay_speedup(&self) -> f64 {
+        self.full_rebuild_ns as f64 / self.reopen_replay_ns.max(1) as f64
+    }
+}
+
+/// Measures durable-commit latency, checkpoint cost, and recovery time
+/// on win_grid 200×200 rooted in a scratch directory under the OS temp
+/// dir.
+fn durability_sweep() -> DurabilityPoint {
+    let (w, h) = (200usize, 200usize);
+    let commits = 40usize;
+    let dir = std::env::temp_dir().join(format!("gsls_bench_durable_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Thresholds pushed out of reach so auto-checkpointing never
+    // interleaves with the measurements.
+    let dopts = DurableOpts {
+        checkpoint_records: usize::MAX,
+        checkpoint_bytes: u64::MAX,
+        ..DurableOpts::default()
+    };
+
+    let mut store = TermStore::new();
+    let program = win_grid(&mut store, w, h);
+    let mut session =
+        Session::open_with_parts(&dir, store, program, GrounderOpts::default(), dopts)
+            .expect("durable session opens");
+
+    // Fresh-fact durable commits: each one is validated, journaled
+    // (append + fsync) and then delta-grounded — the same insert path
+    // update_latency_sweep measures, plus the WAL.
+    let mut durable: Vec<u64> = (0..commits)
+        .map(|i| {
+            let fact = format!("move(d{i}, n0).");
+            let t = Instant::now();
+            session.assert_facts(&fact).expect("durable assert");
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    durable.sort_unstable();
+    let live_truth = session.truth("?- win(n0).").expect("live query");
+    drop(session);
+
+    // Recovery: reopen restores the initial checkpoint and replays all
+    // `commits` WAL records through the normal commit path.
+    let reopen_replay_ns = median_ns(3, || Session::open(&dir).expect("reopen with WAL tail"));
+    let mut reopened = Session::open(&dir).expect("reopen");
+    assert_eq!(
+        reopened.truth("?- win(n0).").expect("recovered query"),
+        live_truth,
+        "recovered session disagrees with the live one"
+    );
+
+    let t = Instant::now();
+    reopened.checkpoint().expect("explicit checkpoint");
+    let checkpoint_ns = t.elapsed().as_nanos() as u64;
+    drop(reopened);
+    let reopen_checkpoint_ns =
+        median_ns(3, || Session::open(&dir).expect("reopen from checkpoint"));
+
+    // Baselines on an in-memory session over the same program.
+    let full_rebuild_ns = median_ns(3, || {
+        let mut store = TermStore::new();
+        let program = win_grid(&mut store, w, h);
+        Session::from_parts(store, program).expect("grid is function-free")
+    });
+    let mut store = TermStore::new();
+    let program = win_grid(&mut store, w, h);
+    let mut mem = Session::from_parts(store, program).expect("grid is function-free");
+    let mut memory: Vec<u64> = (0..commits)
+        .map(|i| {
+            let fact = format!("move(d{i}, n0).");
+            let t = Instant::now();
+            mem.assert_facts(&fact).expect("in-memory assert");
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    memory.sort_unstable();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let out = DurabilityPoint {
+        commit_durable_p50_ns: percentile(&durable, 50),
+        commit_durable_p99_ns: percentile(&durable, 99),
+        commit_memory_p50_ns: percentile(&memory, 50),
+        checkpoint_ns,
+        reopen_replay_ns,
+        reopen_checkpoint_ns,
+        full_rebuild_ns,
+        replayed_records: commits,
+    };
+    println!(
+        "durability win_grid_200x200: durable commit p50={:.2}ms p99={:.2}ms | \
+         in-memory p50={:.2}ms (fsync overhead {:+.2}ms) | checkpoint={:.1}ms | \
+         reopen: replay({} records)={:.1}ms, checkpoint-only={:.1}ms | \
+         rebuild={:.1}ms ({:.1}x vs replay)",
+        out.commit_durable_p50_ns as f64 / 1e6,
+        out.commit_durable_p99_ns as f64 / 1e6,
+        out.commit_memory_p50_ns as f64 / 1e6,
+        out.fsync_overhead_ns() as f64 / 1e6,
+        out.checkpoint_ns as f64 / 1e6,
+        out.replayed_records,
+        out.reopen_replay_ns as f64 / 1e6,
+        out.reopen_checkpoint_ns as f64 / 1e6,
+        out.full_rebuild_ns as f64 / 1e6,
+        out.replay_speedup(),
+    );
+    out
+}
+
 /// Counts heap allocations across warm calls of both substrate modes.
 /// The contract for each is exactly zero.
 fn zero_alloc_check() -> (u64, u64, u64) {
@@ -682,11 +830,12 @@ fn zero_alloc_check() -> (u64, u64, u64) {
 
 fn main() {
     let stress = std::env::args().any(|a| a == "--stress");
-    println!("# perf_report — incremental snapshot-isolated Session (PR 5)");
+    println!("# perf_report — durable sessions: WAL, checkpoint/restore (PR 6)");
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host: available_parallelism={cpus}");
+    let durability = durability_sweep();
     let update = update_latency_sweep();
     let snap = snapshot_read_sweep();
     let van_gelder = van_gelder_sweep();
@@ -700,15 +849,34 @@ fn main() {
          allocations across {calls} warm calls each"
     );
 
-    let mut json = String::from("{\n  \"pr\": 5,\n");
+    let mut json = String::from("{\n  \"pr\": 6,\n");
     let _ = writeln!(
         json,
-        "  \"description\": \"incremental snapshot-isolated Session: delta \
-         grounding through the persistent join-plan grounder, model maintenance \
-         on warm IncrementalLfp chains, prepared streaming queries, and \
-         Send+Sync snapshot reads\","
+        "  \"description\": \"durable sessions: checksummed write-ahead log \
+         fsync'd before every in-memory apply, threshold-driven atomic \
+         checkpoints with WAL rotation, checkpoint+replay recovery on open, \
+         and typed up-front commit validation\","
     );
     let _ = writeln!(json, "  \"available_parallelism\": {cpus},");
+    let _ = writeln!(
+        json,
+        "  \"durability\": {{\"workload\": \"win_grid_200x200\", \
+         \"commit_durable_p50_ns\": {}, \"commit_durable_p99_ns\": {}, \
+         \"commit_memory_p50_ns\": {}, \"fsync_overhead_ns\": {}, \
+         \"checkpoint_ns\": {}, \"reopen_replay_ns\": {}, \
+         \"reopen_checkpoint_ns\": {}, \"full_rebuild_ns\": {}, \
+         \"replayed_records\": {}, \"replay_speedup_vs_rebuild\": {:.2}}},",
+        durability.commit_durable_p50_ns,
+        durability.commit_durable_p99_ns,
+        durability.commit_memory_p50_ns,
+        durability.fsync_overhead_ns(),
+        durability.checkpoint_ns,
+        durability.reopen_replay_ns,
+        durability.reopen_checkpoint_ns,
+        durability.full_rebuild_ns,
+        durability.replayed_records,
+        durability.replay_speedup(),
+    );
     let _ = writeln!(
         json,
         "  \"update_latency\": {{\"workload\": \"win_grid_200x200\", \
@@ -773,8 +941,8 @@ fn main() {
          \"propagator_allocations\": {prop_allocs}, \
          \"incremental_allocations\": {inc_allocs}}}\n}}\n"
     );
-    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
-    println!("wrote BENCH_5.json");
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    println!("wrote BENCH_6.json");
 
     // PR 5 acceptance: single-fact assert + re-query ≥ 10× faster than
     // Solver::new + query from scratch, on the honest (fresh-insert)

@@ -56,7 +56,9 @@ pub use ground_tree::{GroundStatus, GroundTreeAnalysis};
 pub use ordinal::Ordinal;
 pub use rule::{RuleKind, Selection};
 pub use scc::SccSolver;
-pub use session::{Answer, Answers, CommitStats, PreparedQuery, Session, SessionError, Snapshot};
+pub use session::{
+    Answer, Answers, CommitError, CommitStats, PreparedQuery, Session, SessionError, Snapshot,
+};
 pub use slp::{SlpNode, SlpNodeKind, SlpOpts, SlpTree};
 pub use solver::{Engine, QueryResult, Solver, SolverError};
 pub use tabled::{TabledEngine, TabledStats};

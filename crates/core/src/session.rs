@@ -51,6 +51,10 @@
 
 use crate::global::{GlobalOpts, GlobalTree, Status};
 use crate::solver::{Engine, QueryResult};
+use gsls_durable::{
+    decode_batch, decode_checkpoint, encode_batch, encode_checkpoint, Batch, CheckpointImage,
+    DurableError, DurableLog, DurableOpts,
+};
 use gsls_ground::{GroundAtomId, GroundProgram, GrounderOpts, GroundingError, IncrementalGrounder};
 use gsls_lang::{
     parse_goal, parse_program, Atom, Clause, FxHashMap, Goal, ParseError, Pred, Program, Subst,
@@ -58,6 +62,7 @@ use gsls_lang::{
 };
 use gsls_wfs::{well_founded_refresh, BitSet, IncrementalLfp, Interp, NegMode, Truth};
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Sentinel for an unbound query binding slot.
@@ -65,6 +70,59 @@ const UNBOUND: TermId = TermId(u32::MAX);
 
 /// Hard cap on residual (universe-enumerated) query instances.
 const MAX_QUERY_INSTANCES: usize = 100_000;
+
+/// Why a commit batch was rejected *before* anything was journaled or
+/// applied. A rejected batch leaves the session exactly as it was —
+/// consistent, unpoisoned, writable.
+///
+/// Validation is deliberately permissive about *new* predicates: the
+/// first assert (or rule) mentioning a symbol defines its arity, so
+/// facts may be asserted before any rule over them exists and retracts
+/// of never-asserted facts stay silent no-ops. What it rejects is
+/// state that could never replay cleanly: a predicate used at two
+/// arities, a non-ground "fact", or a function symbol slipping into
+/// the function-free session engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitError {
+    /// A predicate is used at an arity different from the one it
+    /// already has (committed or earlier in the same batch).
+    ArityMismatch {
+        /// Predicate name.
+        pred: String,
+        /// The arity the predicate is already known at.
+        expected: usize,
+        /// The arity this batch used.
+        found: usize,
+    },
+    /// An asserted or retracted fact contains variables.
+    NotGround(String),
+    /// A clause or fact mentions a proper function symbol.
+    FunctionSymbol(String),
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::ArityMismatch {
+                pred,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate {pred} used at arity {found} but is declared at arity {expected}"
+            ),
+            CommitError::NotGround(a) => write!(f, "fact is not ground: {a}"),
+            CommitError::FunctionSymbol(a) => {
+                write!(
+                    f,
+                    "function symbols are not allowed in the session engine: {a}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
 
 /// Session errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,8 +140,15 @@ pub enum SessionError {
     Unsupported(String),
     /// `begin` while a transaction is already open.
     NestedTransaction,
-    /// A previous commit failed midway; the session only serves reads
-    /// of the last consistent model.
+    /// The commit batch failed up-front validation; nothing was
+    /// journaled or applied ([`CommitError`]).
+    Rejected(CommitError),
+    /// The durability layer failed (WAL append, checkpoint write,
+    /// corrupt stored state on open).
+    Durable(String),
+    /// A failed commit could not be rolled back in memory *and* the
+    /// automatic rebuild failed too; the session serves reads of the
+    /// last consistent model until [`Session::recover`] succeeds.
     Poisoned,
 }
 
@@ -98,6 +163,8 @@ impl fmt::Display for SessionError {
             SessionError::NotAFact(e) => write!(f, "not a ground fact: {e}"),
             SessionError::Unsupported(e) => write!(f, "unsupported query: {e}"),
             SessionError::NestedTransaction => write!(f, "a transaction is already open"),
+            SessionError::Rejected(e) => write!(f, "commit rejected: {e}"),
+            SessionError::Durable(e) => write!(f, "durability error: {e}"),
             SessionError::Poisoned => {
                 write!(f, "session poisoned by a failed commit; reads only")
             }
@@ -116,6 +183,18 @@ impl From<ParseError> for SessionError {
 impl From<GroundingError> for SessionError {
     fn from(e: GroundingError) -> Self {
         SessionError::Grounding(e.to_string())
+    }
+}
+
+impl From<DurableError> for SessionError {
+    fn from(e: DurableError) -> Self {
+        SessionError::Durable(e.to_string())
+    }
+}
+
+impl From<CommitError> for SessionError {
+    fn from(e: CommitError) -> Self {
+        SessionError::Rejected(e)
     }
 }
 
@@ -160,14 +239,23 @@ pub struct Session {
     model: Interp,
     /// Reusable empty context for the alternating refresh.
     empty: BitSet,
-    /// Clause indices of currently-retracted facts.
-    disabled: gsls_lang::FxHashSet<u32>,
+    /// Currently-retracted facts: ground-clause index → source atom.
+    /// The atom is kept so the set survives a full re-ground (clause
+    /// indices renumber) and can be checkpointed.
+    disabled: FxHashMap<u32, Atom>,
     /// Open transaction, if any ([`Session::begin`]).
     txn: Option<Pending>,
     /// Monotone commit counter; snapshots carry the epoch they saw.
     epoch: u64,
     snapshot_cache: Option<Snapshot>,
     global_opts: GlobalOpts,
+    /// Grounding options, kept for state rebuilds after a failed commit.
+    opts: GrounderOpts,
+    /// Known predicate arities (committed state), for up-front batch
+    /// validation.
+    arities: FxHashMap<Symbol, usize>,
+    /// Write-ahead log + checkpoints, when opened durably.
+    durable: Option<DurableLog>,
     poisoned: bool,
 }
 
@@ -215,6 +303,7 @@ impl Session {
         let mut u_chain = IncrementalLfp::new(gp, NegMode::SatisfiedOutside);
         let empty = BitSet::new(gp.atom_count());
         let model = well_founded_refresh(gp, &mut t_chain, &mut u_chain, &empty);
+        let arities = arities_of(&program);
         Ok(Session {
             store,
             program,
@@ -223,13 +312,145 @@ impl Session {
             u_chain,
             model,
             empty,
-            disabled: gsls_lang::FxHashSet::default(),
+            disabled: FxHashMap::default(),
             txn: None,
             epoch: 0,
             snapshot_cache: None,
             global_opts: GlobalOpts::default(),
+            opts,
+            arities,
+            durable: None,
             poisoned: false,
         })
+    }
+
+    // ---- durable sessions --------------------------------------------
+
+    /// Opens (creating if needed) a **durable** session rooted at
+    /// `dir`: loads the newest valid checkpoint, replays the
+    /// write-ahead log tail through the normal commit path, and keeps
+    /// journaling every commit from here on. See the crate-level
+    /// "Durability & recovery" docs.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Session, SessionError> {
+        Session::open_with(dir, GrounderOpts::default(), DurableOpts::default())
+    }
+
+    /// [`Session::open`] with explicit grounding and durability options.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        opts: GrounderOpts,
+        dopts: DurableOpts,
+    ) -> Result<Session, SessionError> {
+        Session::open_with_parts(dir, TermStore::new(), Program::new(), opts, dopts)
+    }
+
+    /// [`Session::open_with`] seeded with an initial program. The
+    /// initial parts are used **only when the directory is fresh** (no
+    /// checkpoint, no WAL records) — they become the epoch-0 state and
+    /// are immediately checkpointed so they are durable. When the
+    /// directory already holds state, that state wins and the parts
+    /// are ignored.
+    pub fn open_with_parts(
+        dir: impl AsRef<Path>,
+        store: TermStore,
+        program: Program,
+        opts: GrounderOpts,
+        dopts: DurableOpts,
+    ) -> Result<Session, SessionError> {
+        let (log, recovered) = DurableLog::open(dir.as_ref(), dopts)?;
+        let fresh = recovered.checkpoint.is_none() && recovered.records.is_empty();
+        let mut session = match recovered.checkpoint {
+            Some(payload) => {
+                let mut store = TermStore::new();
+                let image = decode_checkpoint(&mut store, &payload)?;
+                let program = Program::from_clauses(image.clauses);
+                let mut s = Session::with_opts(store, program, opts)?;
+                s.epoch = image.epoch;
+                s.disable_retracted(&image.retracted);
+                s
+            }
+            None if fresh => Session::with_opts(store, program, opts)?,
+            None => Session::with_opts(TermStore::new(), Program::new(), opts)?,
+        };
+        // Replay the WAL tail through the normal commit path. Records
+        // at or below the checkpoint epoch are skipped — that makes
+        // replay idempotent when a crash during checkpointing forces
+        // the fallback generation to re-cover an older WAL.
+        for payload in &recovered.records {
+            let batch = decode_batch(&mut session.store, payload)?;
+            if batch.epoch <= session.epoch {
+                continue;
+            }
+            session.epoch = batch.epoch - 1;
+            let pending = Pending {
+                rules: batch.rules,
+                asserts: batch.asserts,
+                retracts: batch.retracts,
+            };
+            session.apply_inner(pending)?;
+        }
+        session.durable = Some(log);
+        if fresh {
+            // Make the seed program durable before the first commit.
+            session.checkpoint()?;
+        }
+        Ok(session)
+    }
+
+    /// Whether this session journals its commits to a durable log.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durable directory, when the session was opened with one.
+    pub fn durable_dir(&self) -> Option<&Path> {
+        self.durable.as_ref().map(DurableLog::dir)
+    }
+
+    /// Takes an explicit checkpoint: atomically writes a snapshot of
+    /// the committed state as the next checkpoint generation and
+    /// rotates the write-ahead log. Errors for non-durable sessions.
+    /// (Checkpoints are also taken automatically once the active WAL
+    /// passes the thresholds in [`DurableOpts`]; those failures are
+    /// swallowed and retried at the next commit — this explicit call
+    /// is the one that reports them.)
+    pub fn checkpoint(&mut self) -> Result<(), SessionError> {
+        if self.poisoned {
+            return Err(SessionError::Poisoned);
+        }
+        if self.durable.is_none() {
+            return Err(SessionError::Durable(
+                "session has no durable directory (use Session::open)".into(),
+            ));
+        }
+        let mut retracted: Vec<(u32, Atom)> = self
+            .disabled
+            .iter()
+            .map(|(ci, a)| (*ci, a.clone()))
+            .collect();
+        retracted.sort_by_key(|(ci, _)| *ci);
+        let image = CheckpointImage {
+            epoch: self.epoch,
+            clauses: self.program.clauses().to_vec(),
+            retracted: retracted.into_iter().map(|(_, a)| a).collect(),
+        };
+        let payload = encode_checkpoint(&self.store, &image);
+        let log = self.durable.as_mut().expect("checked above");
+        log.install_checkpoint(&payload)?;
+        Ok(())
+    }
+
+    /// Restores a poisoned session to its last committed state by
+    /// rebuilding the engine from the source program (and discards any
+    /// open transaction). A no-op on healthy sessions. After a
+    /// successful recover the session is writable again.
+    pub fn recover(&mut self) -> Result<(), SessionError> {
+        self.txn = None;
+        if self.poisoned {
+            self.rebuild_state()?;
+            self.poisoned = false;
+        }
+        Ok(())
     }
 
     /// Overrides the global-tree budgets used by
@@ -295,9 +516,13 @@ impl Session {
 
     /// Discards the open transaction (no-op when none is open). Terms
     /// parsed for the discarded batch stay interned; nothing else
-    /// changes.
+    /// changes. If a previous commit left the session poisoned, this
+    /// also attempts the in-memory rebuild that restores the last
+    /// committed state, so a rollback leaves the session writable
+    /// whenever the state is recoverable (use [`Session::recover`] to
+    /// observe a rebuild failure).
     pub fn rollback(&mut self) {
-        self.txn = None;
+        let _ = self.recover();
     }
 
     /// Asserts ground facts, parsed from `src` (e.g. `"e(a, b). e(b,
@@ -427,16 +652,77 @@ impl Session {
         Ok(())
     }
 
-    /// The commit pipeline. Any grounding error poisons the session:
-    /// the ground program may hold half a batch, so further writes are
-    /// refused while the last committed model keeps serving reads.
+    /// The commit pipeline: **validate → journal → apply**.
+    ///
+    /// 1. The batch is validated up front ([`CommitError`]); a
+    ///    rejection mutates nothing — no WAL record, no program edit.
+    /// 2. For durable sessions the batch is encoded as one WAL record
+    ///    and fsync'd *before* any in-memory state changes (the
+    ///    write-ahead contract).
+    /// 3. The in-memory apply runs. If it fails (clause budget), the
+    ///    just-written record is truncated off the WAL so it can never
+    ///    replay, and the in-memory state is restored to the last
+    ///    committed epoch by a rebuild — the failed commit degrades to
+    ///    a rolled-back transaction. Only a rebuild failure poisons.
     fn apply(&mut self, pending: Pending) -> Result<CommitStats, SessionError> {
+        if pending.is_empty() {
+            return Ok(CommitStats::default());
+        }
+        self.validate(&pending)?;
+        let mut mark = None;
+        if let Some(log) = &mut self.durable {
+            let batch = Batch {
+                epoch: self.epoch + 1,
+                rules: pending.rules.clone(),
+                asserts: pending.asserts.clone(),
+                retracts: pending.retracts.clone(),
+            };
+            let payload = encode_batch(&self.store, &batch);
+            let m = log.wal_len();
+            // Failure here (out of disk, injected crash) leaves memory
+            // untouched: the commit degrades to a rolled-back batch.
+            log.append(&payload)?;
+            mark = Some(m);
+        }
+        match self.apply_inner(pending) {
+            Ok(stats) => {
+                self.maybe_checkpoint();
+                Ok(stats)
+            }
+            Err(e) => {
+                if let Some(m) = mark {
+                    if let Some(log) = &mut self.durable {
+                        let _ = log.truncate_to(m);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The in-memory apply (also the WAL replay path — it must stay
+    /// deterministic given the same batch over the same state).
+    fn apply_inner(&mut self, pending: Pending) -> Result<CommitStats, SessionError> {
         if pending.is_empty() {
             return Ok(CommitStats::default());
         }
         let mut stats = CommitStats::default();
         let atoms_before = self.ground_program().atom_count();
         let clauses_before = self.ground_program().clause_count();
+        let program_len_before = self.program.len();
+
+        // Predicate arities this batch introduces (recorded only after
+        // the fallible grounding steps succeed).
+        let mut new_arities: Vec<(Symbol, usize)> = Vec::new();
+        for c in &pending.rules {
+            new_arities.push((c.head.pred, c.head.args.len()));
+            for l in &c.body {
+                new_arities.push((l.atom.pred, l.atom.args.len()));
+            }
+        }
+        for a in &pending.asserts {
+            new_arities.push((a.pred, a.args.len()));
+        }
 
         // 1. Rules (they may reference facts asserted in the same batch
         //    only through the later semi-naive rounds, which is fine:
@@ -451,12 +737,13 @@ impl Session {
                 .grounder
                 .add_rules(&mut self.store, &self.program, first_new)
             {
-                self.poisoned = true;
-                return Err(e.into());
+                return Err(self.restore_after_failed_commit(program_len_before, e.into()));
             }
         }
 
-        // 2. Asserts: re-enable retracted facts, ground the new ones.
+        // 2. Asserts: queue re-enables of retracted facts, ground the
+        //    new ones. `self.disabled` is not touched until grounding
+        //    has succeeded, so a failed commit can restore from it.
         let mut enable: Vec<u32> = Vec::new();
         let mut new_facts: Vec<Atom> = Vec::new();
         for atom in pending.asserts {
@@ -466,7 +753,7 @@ impl Session {
                 .and_then(|id| self.grounder.fact_clause_of(id));
             match existing {
                 Some(ci) => {
-                    if self.disabled.remove(&ci) {
+                    if self.disabled.contains_key(&ci) && !enable.contains(&ci) {
                         enable.push(ci);
                         stats.facts_reenabled += 1;
                     }
@@ -480,9 +767,12 @@ impl Session {
             }
             stats.facts_asserted = new_facts.len();
             if let Err(e) = self.grounder.extend(&mut self.store, &new_facts) {
-                self.poisoned = true;
-                return Err(e.into());
+                return Err(self.restore_after_failed_commit(program_len_before, e.into()));
             }
+        }
+        // Past the last fallible step: commit the queued re-enables.
+        for &ci in &enable {
+            self.disabled.remove(&ci);
         }
 
         // 3. Retracts: switch fact clauses off. A retract that lands on
@@ -499,7 +789,8 @@ impl Session {
             else {
                 continue; // never asserted — nothing to retract
             };
-            if self.disabled.insert(ci) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.disabled.entry(ci) {
+                slot.insert(atom);
                 if let Some(pos) = enable.iter().position(|&e| e == ci) {
                     enable.swap_remove(pos);
                 } else {
@@ -524,9 +815,180 @@ impl Session {
 
         stats.new_atoms = gp.atom_count() - atoms_before;
         stats.new_clauses = gp.clause_count() - clauses_before;
+        for (sym, arity) in new_arities {
+            self.arities.entry(sym).or_insert(arity);
+        }
         self.epoch += 1;
         self.snapshot_cache = None;
         Ok(stats)
+    }
+
+    /// Up-front batch validation (see [`CommitError`] for the policy).
+    /// Runs before the WAL append and before any in-memory mutation.
+    fn validate(&self, pending: &Pending) -> Result<(), CommitError> {
+        // Arities introduced earlier in this same batch (a rule may
+        // define a predicate an assert then uses).
+        let mut batch: FxHashMap<Symbol, usize> = FxHashMap::default();
+        for c in &pending.rules {
+            if !clause_function_free(&self.store, c) {
+                return Err(CommitError::FunctionSymbol(c.display(&self.store)));
+            }
+            self.check_arity(&mut batch, &c.head, true)?;
+            for l in &c.body {
+                self.check_arity(&mut batch, &l.atom, true)?;
+            }
+        }
+        for atom in &pending.asserts {
+            self.check_ground_fact(atom)?;
+            self.check_arity(&mut batch, atom, true)?;
+        }
+        for atom in &pending.retracts {
+            self.check_ground_fact(atom)?;
+            // A retract of an unknown predicate is a silent no-op and
+            // does not pin the predicate's arity.
+            self.check_arity(&mut batch, atom, false)?;
+        }
+        Ok(())
+    }
+
+    /// Checks one atom's arity against the committed and in-batch
+    /// arity maps; when `define` is set, an unknown predicate is
+    /// recorded at this atom's arity.
+    fn check_arity(
+        &self,
+        batch: &mut FxHashMap<Symbol, usize>,
+        atom: &Atom,
+        define: bool,
+    ) -> Result<(), CommitError> {
+        let found = atom.args.len();
+        let known = self
+            .arities
+            .get(&atom.pred)
+            .or_else(|| batch.get(&atom.pred))
+            .copied();
+        match known {
+            Some(expected) if expected != found => Err(CommitError::ArityMismatch {
+                pred: self.store.symbol_name(atom.pred).to_string(),
+                expected,
+                found,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                if define {
+                    batch.insert(atom.pred, found);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Groundness/function-freedom half of the validation.
+    fn check_ground_fact(&self, atom: &Atom) -> Result<(), CommitError> {
+        if !atom.is_ground(&self.store) {
+            return Err(CommitError::NotGround(atom.display(&self.store)));
+        }
+        for &arg in atom.args.iter() {
+            if matches!(self.store.term(arg), Term::App(_, args) if !args.is_empty()) {
+                return Err(CommitError::FunctionSymbol(atom.display(&self.store)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Unwinds a commit whose grounding failed mid-apply: truncates the
+    /// program back to its pre-commit length and rebuilds the engine
+    /// state from source. On success the session is back at the last
+    /// committed epoch, consistent and writable; only a failure of the
+    /// rebuild itself poisons the session.
+    fn restore_after_failed_commit(
+        &mut self,
+        program_len: usize,
+        err: SessionError,
+    ) -> SessionError {
+        self.program.truncate(program_len);
+        if self.rebuild_state().is_err() {
+            self.poisoned = true;
+        }
+        err
+    }
+
+    /// Rebuilds grounder, chains and model from the source program,
+    /// re-disabling the retracted facts. The committed *state* is
+    /// preserved exactly; internal clause/atom numbering may change.
+    fn rebuild_state(&mut self) -> Result<(), SessionError> {
+        let retracted: Vec<Atom> = self.disabled.values().cloned().collect();
+        let grounder = IncrementalGrounder::new(&mut self.store, &self.program, self.opts)?;
+        let (t_chain, u_chain, empty, model, disabled) = {
+            let gp = grounder.ground_program();
+            let mut t_chain = IncrementalLfp::new(gp, NegMode::SatisfiedOutside);
+            let mut u_chain = IncrementalLfp::new(gp, NegMode::SatisfiedOutside);
+            let empty = BitSet::new(gp.atom_count());
+            let mut disabled: FxHashMap<u32, Atom> = FxHashMap::default();
+            let mut disable: Vec<u32> = Vec::new();
+            for atom in retracted {
+                let Some(ci) = gp
+                    .lookup_atom(&atom)
+                    .and_then(|id| grounder.fact_clause_of(id))
+                else {
+                    continue;
+                };
+                if let std::collections::hash_map::Entry::Vacant(slot) = disabled.entry(ci) {
+                    disable.push(ci);
+                    slot.insert(atom);
+                }
+            }
+            if !disable.is_empty() {
+                t_chain.set_clauses_enabled(gp, &disable, &[]);
+                u_chain.set_clauses_enabled(gp, &disable, &[]);
+            }
+            let model = well_founded_refresh(gp, &mut t_chain, &mut u_chain, &empty);
+            (t_chain, u_chain, empty, model, disabled)
+        };
+        self.grounder = grounder;
+        self.t_chain = t_chain;
+        self.u_chain = u_chain;
+        self.empty = empty;
+        self.model = model;
+        self.disabled = disabled;
+        self.arities = arities_of(&self.program);
+        self.snapshot_cache = None;
+        Ok(())
+    }
+
+    /// Re-disables a checkpointed retracted-fact set after a restore.
+    fn disable_retracted(&mut self, atoms: &[Atom]) {
+        let mut disable: Vec<u32> = Vec::new();
+        for atom in atoms {
+            let Some(ci) = self
+                .grounder
+                .ground_program()
+                .lookup_atom(atom)
+                .and_then(|id| self.grounder.fact_clause_of(id))
+            else {
+                continue;
+            };
+            if let std::collections::hash_map::Entry::Vacant(slot) = self.disabled.entry(ci) {
+                disable.push(ci);
+                slot.insert(atom.clone());
+            }
+        }
+        if !disable.is_empty() {
+            let gp = self.grounder.ground_program();
+            self.t_chain.set_clauses_enabled(gp, &disable, &[]);
+            self.u_chain.set_clauses_enabled(gp, &disable, &[]);
+            self.model =
+                well_founded_refresh(gp, &mut self.t_chain, &mut self.u_chain, &self.empty);
+        }
+    }
+
+    /// Auto-checkpoint after a commit once the WAL passes the
+    /// configured thresholds. Failures are swallowed: the commit
+    /// itself is already durable in the WAL, and the checkpoint will
+    /// be retried after the next commit.
+    fn maybe_checkpoint(&mut self) {
+        if self.durable.as_ref().is_some_and(|l| l.should_checkpoint()) {
+            let _ = self.checkpoint();
+        }
     }
 
     // ---- queries -----------------------------------------------------
@@ -612,6 +1074,19 @@ impl Session {
         self.snapshot_cache = Some(snap.clone());
         snap
     }
+}
+
+/// Predicate arities of a program (heads and bodies; first occurrence
+/// wins, matching the commit-time validation policy).
+fn arities_of(program: &Program) -> FxHashMap<Symbol, usize> {
+    let mut arities = FxHashMap::default();
+    for c in program.clauses() {
+        arities.entry(c.head.pred).or_insert(c.head.args.len());
+        for l in &c.body {
+            arities.entry(l.atom.pred).or_insert(l.atom.args.len());
+        }
+    }
+    arities
 }
 
 /// Whether a clause mentions no proper function symbol.

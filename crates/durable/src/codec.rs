@@ -1,0 +1,267 @@
+//! Payload codecs for the durability layer: CRC-32 checksums, the WAL
+//! commit-batch record, and the checkpoint image.
+//!
+//! Everything here is **payload** bytes — framing (length prefixes,
+//! torn-tail detection) lives in [`crate::wal`] and [`crate::checkpoint`].
+//! Terms, atoms and clauses serialize through the stable structural
+//! codec in [`gsls_lang::wire`], so payloads survive process restarts
+//! and decode into any fresh [`TermStore`].
+
+use crate::DurableError;
+use gsls_lang::wire::{
+    decode_atom, decode_clause, encode_atom, encode_clause, read_uv, write_uv, WireReader,
+};
+use gsls_lang::{Atom, Clause, TermStore};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the
+/// checksum guarding WAL records and checkpoint images. Table-driven,
+/// std-only.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ u32::from(b)) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// One durable commit batch: the exact update set one `Session::commit`
+/// applies, in the session's documented order (rules → asserts →
+/// retracts), stamped with the epoch the commit produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Batch {
+    /// The commit epoch this batch produced (monotone from 1).
+    pub epoch: u64,
+    /// Rule clauses added by the batch.
+    pub rules: Vec<Clause>,
+    /// Ground facts asserted by the batch.
+    pub asserts: Vec<Atom>,
+    /// Ground facts retracted by the batch.
+    pub retracts: Vec<Atom>,
+}
+
+/// Encodes a commit batch into WAL-record payload bytes.
+pub fn encode_batch(store: &TermStore, batch: &Batch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    write_uv(&mut out, batch.epoch);
+    write_uv(&mut out, batch.rules.len() as u64);
+    for c in &batch.rules {
+        encode_clause(store, c, &mut out);
+    }
+    write_uv(&mut out, batch.asserts.len() as u64);
+    for a in &batch.asserts {
+        encode_atom(store, a, &mut out);
+    }
+    write_uv(&mut out, batch.retracts.len() as u64);
+    for a in &batch.retracts {
+        encode_atom(store, a, &mut out);
+    }
+    out
+}
+
+/// Decodes a commit batch, interning into `store`.
+pub fn decode_batch(store: &mut TermStore, payload: &[u8]) -> Result<Batch, DurableError> {
+    let mut r = WireReader::new(payload);
+    let epoch = read_uv(&mut r)?;
+    let n_rules = checked_count(read_uv(&mut r)?, &r)?;
+    let mut rules = Vec::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        rules.push(decode_clause(store, &mut r)?);
+    }
+    let n_asserts = checked_count(read_uv(&mut r)?, &r)?;
+    let mut asserts = Vec::with_capacity(n_asserts);
+    for _ in 0..n_asserts {
+        asserts.push(decode_atom(store, &mut r)?);
+    }
+    let n_retracts = checked_count(read_uv(&mut r)?, &r)?;
+    let mut retracts = Vec::with_capacity(n_retracts);
+    for _ in 0..n_retracts {
+        retracts.push(decode_atom(store, &mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(DurableError::Corrupt("trailing bytes after batch".into()));
+    }
+    Ok(Batch {
+        epoch,
+        rules,
+        asserts,
+        retracts,
+    })
+}
+
+/// A checkpoint image: everything needed to rebuild a session's source
+/// state — the full program text (rules plus every asserted fact, in
+/// commit order) and the currently-retracted fact set — plus the epoch
+/// at which it was taken.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointImage {
+    /// The commit epoch captured by the image.
+    pub epoch: u64,
+    /// The complete source program (rules and fact clauses, in order).
+    pub clauses: Vec<Clause>,
+    /// Source facts currently switched off by retraction.
+    pub retracted: Vec<Atom>,
+}
+
+/// Encodes a checkpoint image into checkpoint-file payload bytes.
+pub fn encode_checkpoint(store: &TermStore, image: &CheckpointImage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    write_uv(&mut out, image.epoch);
+    write_uv(&mut out, image.clauses.len() as u64);
+    for c in &image.clauses {
+        encode_clause(store, c, &mut out);
+    }
+    write_uv(&mut out, image.retracted.len() as u64);
+    for a in &image.retracted {
+        encode_atom(store, a, &mut out);
+    }
+    out
+}
+
+/// Decodes a checkpoint image, interning into `store`.
+pub fn decode_checkpoint(
+    store: &mut TermStore,
+    payload: &[u8],
+) -> Result<CheckpointImage, DurableError> {
+    let mut r = WireReader::new(payload);
+    let epoch = read_uv(&mut r)?;
+    let n_clauses = checked_count(read_uv(&mut r)?, &r)?;
+    let mut clauses = Vec::with_capacity(n_clauses);
+    for _ in 0..n_clauses {
+        clauses.push(decode_clause(store, &mut r)?);
+    }
+    let n_retracted = checked_count(read_uv(&mut r)?, &r)?;
+    let mut retracted = Vec::with_capacity(n_retracted);
+    for _ in 0..n_retracted {
+        retracted.push(decode_atom(store, &mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(DurableError::Corrupt(
+            "trailing bytes after checkpoint".into(),
+        ));
+    }
+    Ok(CheckpointImage {
+        epoch,
+        clauses,
+        retracted,
+    })
+}
+
+/// Bounds a decoded element count by the remaining input (each element
+/// costs at least one byte), so corrupt counts cannot OOM the decoder.
+fn checked_count(n: u64, r: &WireReader<'_>) -> Result<usize, DurableError> {
+    if n > r.remaining() as u64 {
+        return Err(DurableError::Corrupt(format!(
+            "element count {n} exceeds remaining payload"
+        )));
+    }
+    Ok(n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsls_lang::parse_program;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    fn sample_batch(store: &mut TermStore) -> Batch {
+        let program = parse_program(store, "win(X) :- move(X, Y), ~win(Y).").unwrap();
+        let facts = parse_program(store, "move(a, b). move(b, c).").unwrap();
+        Batch {
+            epoch: 7,
+            rules: program.clauses().to_vec(),
+            asserts: facts.clauses().iter().map(|c| c.head.clone()).collect(),
+            retracts: vec![facts.clauses()[0].head.clone()],
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let mut store = TermStore::new();
+        let batch = sample_batch(&mut store);
+        let bytes = encode_batch(&store, &batch);
+        let mut store2 = TermStore::new();
+        let got = decode_batch(&mut store2, &bytes).unwrap();
+        assert_eq!(got.epoch, 7);
+        assert_eq!(got.rules.len(), 1);
+        assert_eq!(
+            got.rules[0].display(&store2),
+            batch.rules[0].display(&store)
+        );
+        assert_eq!(got.asserts.len(), 2);
+        assert_eq!(got.asserts[1].display(&store2), "move(b, c)");
+        assert_eq!(got.retracts[0].display(&store2), "move(a, b)");
+    }
+
+    #[test]
+    fn batch_truncation_errors() {
+        let mut store = TermStore::new();
+        let batch = sample_batch(&mut store);
+        let bytes = encode_batch(&store, &batch);
+        for cut in 0..bytes.len() {
+            let mut s = TermStore::new();
+            assert!(
+                decode_batch(&mut s, &bytes[..cut]).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let mut s = TermStore::new();
+        assert!(decode_batch(&mut s, &extended).is_err(), "trailing byte");
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut store = TermStore::new();
+        let program =
+            parse_program(&mut store, "e(a, b). t(X, Y) :- e(X, Y). u(X) :- ~f(X).").unwrap();
+        let image = CheckpointImage {
+            epoch: 42,
+            clauses: program.clauses().to_vec(),
+            retracted: vec![program.clauses()[0].head.clone()],
+        };
+        let bytes = encode_checkpoint(&store, &image);
+        let mut store2 = TermStore::new();
+        let got = decode_checkpoint(&mut store2, &bytes).unwrap();
+        assert_eq!(got.epoch, 42);
+        assert_eq!(got.clauses.len(), 3);
+        assert_eq!(got.clauses[1].display(&store2), "t(X, Y) :- e(X, Y).");
+        assert_eq!(got.retracted[0].display(&store2), "e(a, b)");
+    }
+
+    #[test]
+    fn absurd_counts_rejected() {
+        // epoch 0, then a clause count far beyond the payload.
+        let mut bytes = Vec::new();
+        write_uv(&mut bytes, 0);
+        write_uv(&mut bytes, u64::MAX / 2);
+        let mut s = TermStore::new();
+        assert!(decode_checkpoint(&mut s, &bytes).is_err());
+        assert!(decode_batch(&mut s, &bytes).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! The durable log: one directory holding checkpoint generations and
+//! their write-ahead logs, presented as a single append/recover
+//! surface for the session layer.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <dir>/ckpt-0000000004.gsls   checkpoint taken at generation 4
+//! <dir>/wal-0000000004.log     commits since that checkpoint
+//! <dir>/ckpt-0000000003.gsls   previous generation (fallback)
+//! <dir>/wal-0000000003.log     commits between ckpt 3 and ckpt 4
+//! ```
+//!
+//! Generation `g`'s WAL holds exactly the commits between checkpoint
+//! `g` and checkpoint `g+1`, so state = newest valid checkpoint +
+//! every WAL from that generation forward, replayed in order. If the
+//! newest checkpoint fails its checksum, recovery falls back to the
+//! previous generation and replays through *both* WALs — epoch stamps
+//! on each record make the longer replay idempotent. Two generations
+//! are retained; older ones are deleted when a checkpoint completes.
+
+use crate::checkpoint::{ckpt_path, read_checkpoint, scan_dir, wal_path, write_checkpoint};
+use crate::fault::{FaultPlan, FaultyFile};
+use crate::wal::{FileStorage, Wal, WalStorage};
+use crate::DurableError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How the WAL reaches disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Real files, real fsync.
+    #[default]
+    File,
+    /// Fault-injecting storage for crash tests ([`FaultyFile`]); the
+    /// plan applies to the *active* WAL file of each generation.
+    Faulty(FaultPlan),
+}
+
+/// Durability tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableOpts {
+    /// Take a checkpoint once the active WAL holds this many records.
+    pub checkpoint_records: usize,
+    /// ... or once it holds this many bytes, whichever comes first.
+    pub checkpoint_bytes: u64,
+    /// Fsync every appended record (the durability guarantee; turning
+    /// this off trades crash safety for latency).
+    pub fsync: bool,
+    /// Storage backend for the WAL.
+    pub storage: StorageKind,
+}
+
+impl Default for DurableOpts {
+    fn default() -> DurableOpts {
+        DurableOpts {
+            checkpoint_records: 1024,
+            checkpoint_bytes: 4 << 20,
+            fsync: true,
+            storage: StorageKind::File,
+        }
+    }
+}
+
+/// What [`DurableLog::open`] recovered from the directory.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Payload of the newest checkpoint that passed its checksum.
+    pub checkpoint: Option<Vec<u8>>,
+    /// WAL record payloads to replay on top, oldest first.
+    pub records: Vec<Vec<u8>>,
+    /// True when the newest checkpoint was corrupt and recovery fell
+    /// back to the previous generation.
+    pub fell_back: bool,
+    /// Torn/corrupt WAL bytes truncated during recovery.
+    pub torn_bytes: u64,
+}
+
+/// An open durable log positioned for appending.
+pub struct DurableLog {
+    dir: PathBuf,
+    opts: DurableOpts,
+    /// Active generation: appends go to `wal-<gen>.log`.
+    gen: u64,
+    wal: Wal,
+    /// Records appended to the active WAL (including recovered ones).
+    records: usize,
+}
+
+impl std::fmt::Debug for DurableLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLog")
+            .field("dir", &self.dir)
+            .field("gen", &self.gen)
+            .field("records", &self.records)
+            .finish()
+    }
+}
+
+impl DurableLog {
+    /// Opens (creating if needed) the durable log in `dir` and
+    /// recovers its state: newest valid checkpoint plus the WAL tail.
+    pub fn open(dir: &Path, opts: DurableOpts) -> Result<(DurableLog, Recovered), DurableError> {
+        fs::create_dir_all(dir)?;
+        let gens = scan_dir(dir)?;
+
+        // Pick the newest checkpoint that verifies; fall back once.
+        let mut checkpoint = None;
+        let mut base_gen = 0u64;
+        let mut fell_back = false;
+        for &g in gens.checkpoints.iter().rev() {
+            match read_checkpoint(&ckpt_path(dir, g)) {
+                Ok(payload) => {
+                    checkpoint = Some(payload);
+                    base_gen = g;
+                    break;
+                }
+                Err(_) => fell_back = true,
+            }
+        }
+        if checkpoint.is_none() {
+            fell_back = !gens.checkpoints.is_empty();
+        }
+
+        // Replay every WAL from the base generation forward. Earlier
+        // generations' logs are closed: scan them read-only (still
+        // truncating torn tails) and keep only the newest open for
+        // appending.
+        let active_gen = gens
+            .wals
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(base_gen)
+            .max(base_gen);
+        let mut records = Vec::new();
+        let mut torn_bytes = 0u64;
+        for g in base_gen..active_gen {
+            let path = wal_path(dir, g);
+            if !path.exists() {
+                continue;
+            }
+            let storage = Box::new(FileStorage::open(&path)?);
+            let (_, scan) = Wal::open(storage)?;
+            torn_bytes += scan.torn_bytes;
+            records.extend(scan.records);
+        }
+        let storage = open_storage(&opts.storage, &wal_path(dir, active_gen))?;
+        let (wal, scan) = Wal::open(storage)?;
+        torn_bytes += scan.torn_bytes;
+        let active_records = scan.records.len();
+        records.extend(scan.records);
+
+        Ok((
+            DurableLog {
+                dir: dir.to_path_buf(),
+                opts,
+                gen: active_gen,
+                wal,
+                records: active_records,
+            },
+            Recovered {
+                checkpoint,
+                records,
+                fell_back,
+                torn_bytes,
+            },
+        ))
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Active WAL length in bytes — the undo mark for [`Self::truncate_to`].
+    pub fn wal_len(&self) -> u64 {
+        self.wal.len()
+    }
+
+    /// Appends one commit-batch record, fsync'ing per the options.
+    /// On success the record is durable *before* the caller mutates
+    /// in-memory state.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), DurableError> {
+        self.wal.append(payload, self.opts.fsync)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Rolls the active WAL back to a mark taken with [`Self::wal_len`]
+    /// — used when the in-memory apply of an already-journaled batch
+    /// fails, so the record is never replayed.
+    pub fn truncate_to(&mut self, mark: u64) -> Result<(), DurableError> {
+        if mark < self.wal.len() {
+            self.records = self.records.saturating_sub(1);
+        }
+        self.wal.truncate_to(mark)
+    }
+
+    /// Whether the active WAL has grown past the checkpoint thresholds.
+    pub fn should_checkpoint(&self) -> bool {
+        self.records >= self.opts.checkpoint_records || self.wal.len() >= self.opts.checkpoint_bytes
+    }
+
+    /// Installs a new checkpoint: writes it atomically as the next
+    /// generation, rotates to a fresh WAL, and deletes generations
+    /// older than the retained two. Crash-safe at every step — a
+    /// crash before the rename keeps the old generation; after it,
+    /// recovery uses the new checkpoint and the (possibly empty) new
+    /// WAL; retention deletes are pure garbage collection.
+    pub fn install_checkpoint(&mut self, payload: &[u8]) -> Result<(), DurableError> {
+        let new_gen = self.gen + 1;
+        write_checkpoint(&self.dir, new_gen, payload)?;
+        let storage = open_storage(&self.opts.storage, &wal_path(&self.dir, new_gen))?;
+        let (wal, _) = Wal::open(storage)?;
+        self.wal = wal;
+        self.gen = new_gen;
+        self.records = 0;
+        // Retain this generation and the previous one; GC the rest.
+        if new_gen >= 2 {
+            let gens = scan_dir(&self.dir)?;
+            for g in gens.checkpoints.into_iter().chain(gens.wals) {
+                if g + 2 <= new_gen {
+                    let _ = fs::remove_file(ckpt_path(&self.dir, g));
+                    let _ = fs::remove_file(wal_path(&self.dir, g));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn open_storage(kind: &StorageKind, path: &Path) -> Result<Box<dyn WalStorage>, DurableError> {
+    Ok(match kind {
+        StorageKind::File => Box::new(FileStorage::open(path)?),
+        StorageKind::Faulty(plan) => Box::new(FaultyFile::open(path, plan.clone())?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gsls_log_test_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn opts(records: usize) -> DurableOpts {
+        DurableOpts {
+            checkpoint_records: records,
+            ..DurableOpts::default()
+        }
+    }
+
+    #[test]
+    fn fresh_dir_then_append_then_recover() {
+        let dir = temp_dir("fresh");
+        let (mut log, rec) = DurableLog::open(&dir, opts(100)).unwrap();
+        assert!(rec.checkpoint.is_none());
+        assert!(rec.records.is_empty());
+        log.append(b"one").unwrap();
+        log.append(b"two").unwrap();
+        drop(log);
+        let (_, rec) = DurableLog::open(&dir, opts(100)).unwrap();
+        assert_eq!(rec.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(!rec.fell_back);
+    }
+
+    #[test]
+    fn checkpoint_rotates_wal_and_retains_two_generations() {
+        let dir = temp_dir("rotate");
+        let (mut log, _) = DurableLog::open(&dir, opts(2)).unwrap();
+        log.append(b"a").unwrap();
+        log.append(b"b").unwrap();
+        assert!(log.should_checkpoint());
+        log.install_checkpoint(b"ckpt-1 state").unwrap();
+        assert!(!log.should_checkpoint());
+        log.append(b"c").unwrap();
+        log.append(b"d").unwrap();
+        log.install_checkpoint(b"ckpt-2 state").unwrap();
+        log.append(b"e").unwrap();
+        drop(log);
+
+        let gens = scan_dir(&dir).unwrap();
+        assert_eq!(gens.checkpoints, vec![1, 2], "only two generations kept");
+        let (_, rec) = DurableLog::open(&dir, opts(2)).unwrap();
+        assert_eq!(rec.checkpoint.as_deref(), Some(&b"ckpt-2 state"[..]));
+        assert_eq!(rec.records, vec![b"e".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_and_replays_both_wals() {
+        let dir = temp_dir("fallback");
+        let (mut log, _) = DurableLog::open(&dir, opts(100)).unwrap();
+        log.append(b"pre-1").unwrap();
+        log.install_checkpoint(b"first checkpoint").unwrap();
+        log.append(b"mid-1").unwrap();
+        log.append(b"mid-2").unwrap();
+        log.install_checkpoint(b"second checkpoint").unwrap();
+        log.append(b"post-1").unwrap();
+        drop(log);
+
+        // Corrupt the newest checkpoint's payload.
+        let newest = ckpt_path(&dir, 2);
+        let mut bytes = fs::read(&newest).unwrap();
+        *bytes.last_mut().unwrap() ^= 1;
+        fs::write(&newest, &bytes).unwrap();
+
+        let (_, rec) = DurableLog::open(&dir, opts(100)).unwrap();
+        assert!(rec.fell_back);
+        assert_eq!(rec.checkpoint.as_deref(), Some(&b"first checkpoint"[..]));
+        // Replays generation-1 WAL then generation-2 WAL.
+        assert_eq!(
+            rec.records,
+            vec![b"mid-1".to_vec(), b"mid-2".to_vec(), b"post-1".to_vec()]
+        );
+    }
+
+    #[test]
+    fn truncate_to_unwinds_a_journaled_record() {
+        let dir = temp_dir("unwind");
+        let (mut log, _) = DurableLog::open(&dir, opts(100)).unwrap();
+        log.append(b"keep").unwrap();
+        let mark = log.wal_len();
+        log.append(b"doomed").unwrap();
+        log.truncate_to(mark).unwrap();
+        drop(log);
+        let (_, rec) = DurableLog::open(&dir, opts(100)).unwrap();
+        assert_eq!(rec.records, vec![b"keep".to_vec()]);
+    }
+
+    #[test]
+    fn byte_threshold_triggers_checkpoint() {
+        let dir = temp_dir("bytes");
+        let o = DurableOpts {
+            checkpoint_records: usize::MAX,
+            checkpoint_bytes: 32,
+            ..DurableOpts::default()
+        };
+        let (mut log, _) = DurableLog::open(&dir, o).unwrap();
+        assert!(!log.should_checkpoint());
+        log.append(&[0u8; 40]).unwrap();
+        assert!(log.should_checkpoint());
+    }
+}

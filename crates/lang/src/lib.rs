@@ -47,6 +47,7 @@ pub mod subst;
 pub mod symbol;
 pub mod term;
 pub mod unify;
+pub mod wire;
 
 pub use atom::{Atom, Literal, Pred, Sign};
 pub use clause::Clause;
@@ -59,3 +60,7 @@ pub use subst::Subst;
 pub use symbol::{Symbol, SymbolTable};
 pub use term::{Term, TermId, TermStore, Var};
 pub use unify::{match_term, match_term_recording, unify, unify_atoms, UnifyOpts};
+pub use wire::{
+    decode_atom, decode_clause, decode_term, encode_atom, encode_clause, encode_term, read_str,
+    read_uv, write_str, write_uv, VarScope, WireError, WireReader,
+};

@@ -43,6 +43,21 @@ impl Program {
         &self.clauses
     }
 
+    /// Drops every clause at index `len` or beyond, restoring the
+    /// program to an earlier length (transaction-undo helper).
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.clauses.len() {
+            return;
+        }
+        for c in &self.clauses[len..] {
+            if let Some(v) = self.by_pred.get_mut(&c.head.pred_id()) {
+                v.retain(|&i| i < len);
+            }
+        }
+        self.by_pred.retain(|_, v| !v.is_empty());
+        self.clauses.truncate(len);
+    }
+
     /// Number of clauses.
     pub fn len(&self) -> usize {
         self.clauses.len()
@@ -270,6 +285,25 @@ mod tests {
         assert_eq!(p.clauses_for(mv), &[1, 2]);
         let nothere = Pred::new(s.intern_symbol("zzz"), 3);
         assert!(p.clauses_for(nothere).is_empty());
+    }
+
+    #[test]
+    fn truncate_restores_index() {
+        let mut s = TermStore::new();
+        let mut p = sample(&mut s);
+        let c = s.constant("c");
+        let mv = s.intern_symbol("move");
+        let zz = s.intern_symbol("zz");
+        p.push(Clause::fact(Atom::new(mv, vec![c, c])));
+        p.push(Clause::fact(Atom::new(zz, vec![c])));
+        assert_eq!(p.len(), 5);
+        p.truncate(3);
+        assert_eq!(p.len(), 3);
+        let mv_pred = Pred::new(mv, 2);
+        assert_eq!(p.clauses_for(mv_pred), &[1, 2]);
+        assert!(p.clauses_for(Pred::new(zz, 1)).is_empty());
+        p.truncate(5); // beyond the end: no-op
+        assert_eq!(p.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Stable binary encoding of terms, atoms, literals and clauses.
+//!
+//! The durability layer (`gsls-durable`) persists commit batches and
+//! checkpoints across process restarts, so the encoding must not depend
+//! on anything process-local: [`crate::TermId`]s and [`crate::Symbol`]s
+//! are arena indices that differ between runs. This codec therefore
+//! writes terms **structurally** — symbols by name, applications by
+//! recursion — and decoding re-interns into whatever [`TermStore`] the
+//! reader supplies. Round-tripping preserves structure (and therefore
+//! hash-consed identity *within* the destination store), not raw ids.
+//!
+//! Variables are clause-scoped: [`encode_clause`] writes each variable
+//! as its first-occurrence ordinal plus display name, and
+//! [`decode_clause`] allocates fresh store variables per clause, so two
+//! decoded clauses never alias variables — exactly the invariant the
+//! parser establishes for textual programs.
+//!
+//! The format is byte-oriented and self-delimiting:
+//!
+//! * integers are LEB128 varints ([`write_uv`] / [`read_uv`]);
+//! * strings are a varint length followed by UTF-8 bytes;
+//! * terms are a tag byte (`0` variable, `1` application) followed by
+//!   the payload.
+//!
+//! Framing, checksums and versioning live one layer up, in the
+//! durability crate — this module only defines payload bytes.
+
+use crate::atom::{Atom, Literal, Sign};
+use crate::clause::Clause;
+use crate::fxhash::FxHashMap;
+use crate::term::{Term, TermId, TermStore};
+use std::fmt;
+
+/// Decoding failure: the byte stream is truncated or malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended inside a value.
+    Truncated,
+    /// An unknown tag byte was read.
+    BadTag(u8),
+    /// A string payload was not valid UTF-8.
+    BadUtf8,
+    /// A varint exceeded 64 bits or a length exceeded the input.
+    BadLength,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            WireError::BadLength => write!(f, "length prefix out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over an encoded byte slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads one byte.
+    pub fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+/// Appends `v` as a LEB128 varint.
+pub fn write_uv(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+pub fn read_uv(r: &mut WireReader<'_>) -> Result<u64, WireError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = r.byte()?;
+        if shift == 63 && byte > 1 {
+            return Err(WireError::BadLength);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(WireError::BadLength);
+        }
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_uv(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn read_str<'a>(r: &mut WireReader<'a>) -> Result<&'a str, WireError> {
+    let len = read_uv(r)?;
+    let len = usize::try_from(len).map_err(|_| WireError::BadLength)?;
+    if len > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    std::str::from_utf8(r.bytes(len)?).map_err(|_| WireError::BadUtf8)
+}
+
+const TAG_VAR: u8 = 0;
+const TAG_APP: u8 = 1;
+
+/// Per-scope decoding state: maps encoded variable ordinals to fresh
+/// variables of the destination store. One scope per clause (or goal);
+/// see the module docs.
+#[derive(Debug, Default)]
+pub struct VarScope {
+    map: FxHashMap<u64, TermId>,
+}
+
+impl VarScope {
+    /// An empty scope.
+    pub fn new() -> Self {
+        VarScope::default()
+    }
+}
+
+/// Encoding state mirroring [`VarScope`]: assigns scope-local ordinals
+/// to variables in first-encounter order, so the byte stream never
+/// leaks store-global variable indices.
+#[derive(Debug, Default)]
+struct VarIds {
+    map: FxHashMap<crate::term::Var, u64>,
+}
+
+fn encode_term_in(store: &TermStore, t: TermId, ids: &mut VarIds, out: &mut Vec<u8>) {
+    match store.term(t) {
+        Term::Var(v) => {
+            let next = ids.map.len() as u64;
+            let ord = *ids.map.entry(*v).or_insert(next);
+            out.push(TAG_VAR);
+            write_uv(out, ord);
+            if ord == next {
+                // First occurrence carries the display name.
+                write_str(out, &store.var_name(*v));
+            }
+        }
+        Term::App(sym, args) => {
+            out.push(TAG_APP);
+            write_str(out, store.symbol_name(*sym));
+            write_uv(out, args.len() as u64);
+            let args: Vec<TermId> = args.to_vec();
+            for a in args {
+                encode_term_in(store, a, ids, out);
+            }
+        }
+    }
+}
+
+fn decode_term_in(
+    store: &mut TermStore,
+    r: &mut WireReader<'_>,
+    scope: &mut VarScope,
+) -> Result<TermId, WireError> {
+    match r.byte()? {
+        TAG_VAR => {
+            let ord = read_uv(r)?;
+            if let Some(&t) = scope.map.get(&ord) {
+                return Ok(t);
+            }
+            if ord != scope.map.len() as u64 {
+                // Ordinals are dense and first-occurrence ordered; a
+                // gap means the stream is corrupt.
+                return Err(WireError::BadLength);
+            }
+            let name = read_str(r)?.to_owned();
+            let t = store.fresh_var(Some(&name));
+            scope.map.insert(ord, t);
+            Ok(t)
+        }
+        TAG_APP => {
+            let name = read_str(r)?.to_owned();
+            let arity = read_uv(r)?;
+            if arity > r.remaining() as u64 {
+                // Each argument costs at least one byte.
+                return Err(WireError::BadLength);
+            }
+            let mut args = Vec::with_capacity(arity as usize);
+            for _ in 0..arity {
+                args.push(decode_term_in(store, r, scope)?);
+            }
+            let sym = store.intern_symbol(&name);
+            Ok(store.app(sym, &args))
+        }
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+/// Encodes one term in its own variable scope.
+pub fn encode_term(store: &TermStore, t: TermId, out: &mut Vec<u8>) {
+    encode_term_in(store, t, &mut VarIds::default(), out);
+}
+
+/// Decodes one term, interning into `store`; variables resolve through
+/// the caller's `scope`.
+pub fn decode_term(
+    store: &mut TermStore,
+    r: &mut WireReader<'_>,
+    scope: &mut VarScope,
+) -> Result<TermId, WireError> {
+    decode_term_in(store, r, scope)
+}
+
+fn encode_atom_in(store: &TermStore, atom: &Atom, ids: &mut VarIds, out: &mut Vec<u8>) {
+    write_str(out, store.symbol_name(atom.pred));
+    write_uv(out, atom.args.len() as u64);
+    for &a in atom.args.iter() {
+        encode_term_in(store, a, ids, out);
+    }
+}
+
+fn decode_atom_in(
+    store: &mut TermStore,
+    r: &mut WireReader<'_>,
+    scope: &mut VarScope,
+) -> Result<Atom, WireError> {
+    let name = read_str(r)?.to_owned();
+    let arity = read_uv(r)?;
+    if arity > r.remaining() as u64 {
+        return Err(WireError::BadLength);
+    }
+    let mut args = Vec::with_capacity(arity as usize);
+    for _ in 0..arity {
+        args.push(decode_term_in(store, r, scope)?);
+    }
+    let sym = store.intern_symbol(&name);
+    Ok(Atom::new(sym, args))
+}
+
+/// Encodes one atom in its own variable scope (ground atoms — the
+/// common WAL case — have no scope to share anyway).
+pub fn encode_atom(store: &TermStore, atom: &Atom, out: &mut Vec<u8>) {
+    encode_atom_in(store, atom, &mut VarIds::default(), out);
+}
+
+/// Decodes one atom encoded by [`encode_atom`].
+pub fn decode_atom(store: &mut TermStore, r: &mut WireReader<'_>) -> Result<Atom, WireError> {
+    decode_atom_in(store, r, &mut VarScope::new())
+}
+
+/// Encodes a clause: head, body length, then each literal as a sign
+/// byte plus atom, all sharing one variable scope.
+pub fn encode_clause(store: &TermStore, clause: &Clause, out: &mut Vec<u8>) {
+    let mut ids = VarIds::default();
+    encode_atom_in(store, &clause.head, &mut ids, out);
+    write_uv(out, clause.body.len() as u64);
+    for lit in &clause.body {
+        out.push(match lit.sign {
+            Sign::Pos => 0,
+            Sign::Neg => 1,
+        });
+        encode_atom_in(store, &lit.atom, &mut ids, out);
+    }
+}
+
+/// Decodes a clause encoded by [`encode_clause`], allocating fresh
+/// variables in `store` for the clause's scope.
+pub fn decode_clause(store: &mut TermStore, r: &mut WireReader<'_>) -> Result<Clause, WireError> {
+    let mut scope = VarScope::new();
+    let head = decode_atom_in(store, r, &mut scope)?;
+    let body_len = read_uv(r)?;
+    if body_len > r.remaining() as u64 {
+        return Err(WireError::BadLength);
+    }
+    let mut body = Vec::with_capacity(body_len as usize);
+    for _ in 0..body_len {
+        let atom_of = |sign, atom| Literal { sign, atom };
+        let sign = match r.byte()? {
+            0 => Sign::Pos,
+            1 => Sign::Neg,
+            t => return Err(WireError::BadTag(t)),
+        };
+        let atom = decode_atom_in(store, r, &mut scope)?;
+        body.push(atom_of(sign, atom));
+    }
+    Ok(Clause::new(head, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip_program(src: &str) {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, src).expect("source parses");
+        let mut buf = Vec::new();
+        for c in program.clauses() {
+            encode_clause(&store, c, &mut buf);
+        }
+        // Decode into a *fresh* store: ids must not be assumed stable.
+        let mut store2 = TermStore::new();
+        let mut r = WireReader::new(&buf);
+        let mut rendered = Vec::new();
+        while !r.is_empty() {
+            let c = decode_clause(&mut store2, &mut r).expect("clause decodes");
+            rendered.push(c.display(&store2));
+        }
+        let want: Vec<String> = program
+            .clauses()
+            .iter()
+            .map(|c| c.display(&store))
+            .collect();
+        assert_eq!(rendered, want, "structural round-trip via display");
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let samples = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &samples {
+            buf.clear();
+            write_uv(&mut buf, v);
+            let mut r = WireReader::new(&buf);
+            assert_eq!(read_uv(&mut r).unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_overlong_rejected() {
+        // 11 continuation bytes can encode more than 64 bits.
+        let buf = [0xffu8; 11];
+        let mut r = WireReader::new(&buf);
+        assert!(read_uv(&mut r).is_err());
+    }
+
+    #[test]
+    fn string_roundtrip_and_truncation() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "win_grid");
+        let mut r = WireReader::new(&buf);
+        assert_eq!(read_str(&mut r).unwrap(), "win_grid");
+        let mut r = WireReader::new(&buf[..4]);
+        assert_eq!(read_str(&mut r), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn clause_roundtrips() {
+        roundtrip_program("win(X) :- move(X, Y), ~win(Y). move(a, b). p.");
+        roundtrip_program("t(X, Z) :- e(X, Y), t(Y, Z). u(X) :- ~f(X).");
+        roundtrip_program("nat(0). nat(s(X)) :- nat(X).");
+    }
+
+    #[test]
+    fn repeated_variables_share_one_binding() {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, "q(X) :- t(X, X).").unwrap();
+        let mut buf = Vec::new();
+        encode_clause(&store, &program.clauses()[0], &mut buf);
+        let mut store2 = TermStore::new();
+        let c = decode_clause(&mut store2, &mut WireReader::new(&buf)).unwrap();
+        let head_x = c.head.args[0];
+        let body = &c.body[0].atom;
+        assert_eq!(body.args[0], head_x);
+        assert_eq!(body.args[1], head_x);
+    }
+
+    #[test]
+    fn clauses_get_fresh_scopes() {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, "p(X). q(X).").unwrap();
+        let mut buf = Vec::new();
+        for c in program.clauses() {
+            encode_clause(&store, c, &mut buf);
+        }
+        let mut store2 = TermStore::new();
+        let mut r = WireReader::new(&buf);
+        let c1 = decode_clause(&mut store2, &mut r).unwrap();
+        let c2 = decode_clause(&mut store2, &mut r).unwrap();
+        assert_ne!(
+            c1.head.args[0], c2.head.args[0],
+            "distinct clauses must not alias variables"
+        );
+    }
+
+    #[test]
+    fn ground_atom_roundtrip() {
+        let mut store = TermStore::new();
+        let a = store.constant("a");
+        let b = store.constant("b");
+        let e = store.intern_symbol("e");
+        let atom = Atom::new(e, vec![a, b]);
+        let mut buf = Vec::new();
+        encode_atom(&store, &atom, &mut buf);
+        let mut store2 = TermStore::new();
+        let got = decode_atom(&mut store2, &mut WireReader::new(&buf)).unwrap();
+        assert_eq!(got.display(&store2), "e(a, b)");
+    }
+
+    #[test]
+    fn corrupt_bytes_error_not_panic() {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, "win(X) :- move(X, Y), ~win(Y).").unwrap();
+        let mut buf = Vec::new();
+        encode_clause(&store, &program.clauses()[0], &mut buf);
+        // Every truncation errors cleanly.
+        for cut in 0..buf.len() {
+            let mut s = TermStore::new();
+            assert!(decode_clause(&mut s, &mut WireReader::new(&buf[..cut])).is_err());
+        }
+        // Flipping each byte either still decodes (to something) or
+        // errors — never panics.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0xff;
+            let mut s = TermStore::new();
+            let _ = decode_clause(&mut s, &mut WireReader::new(&bad));
+        }
+    }
+}

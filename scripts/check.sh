@@ -31,4 +31,12 @@ GSLS_THREADS=2 cargo test --release -q --test parallel_diff
 echo "==> session maintenance property at 2 threads (session ≡ rebuild)"
 GSLS_THREADS=2 cargo test --release -q --test incremental session_
 
+echo "==> durability recovery gate (crash-injection seed sweep)"
+cargo test --release -q --test durability
+for seed in 3 17 101; do
+  echo "    GSLS_FAULT_SEED=$seed"
+  GSLS_FAULT_SEED=$seed cargo test --release -q --test durability \
+    fault_injected_crash_recovers_a_commit_prefix
+done
+
 echo "check.sh: all gates passed"

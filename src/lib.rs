@@ -54,6 +54,50 @@
 //! # Ok::<(), SessionError>(())
 //! ```
 //!
+//! ## Durability & recovery
+//!
+//! [`prelude::Session::open`] roots a session in a directory and makes
+//! every commit **durable**: the batch is validated up front (typed
+//! [`prelude::CommitError`] rejections mutate nothing), serialized as a
+//! checksummed write-ahead-log record, and fsync'd *before* the
+//! in-memory apply — so an acknowledged commit survives a crash at any
+//! instant. Reopening the directory loads the newest valid checkpoint
+//! (falling back one generation if the newest fails its checksum) and
+//! replays the WAL tail through the normal commit path; a torn or
+//! corrupt tail left by a crash mid-append is detected by checksum and
+//! truncated, never replayed. Checkpoints are taken automatically once
+//! the WAL passes the [`prelude::DurableOpts`] thresholds, or on demand
+//! with [`prelude::Session::checkpoint`]; they are written atomically
+//! (temp file + rename) and rotate the WAL.
+//!
+//! ```
+//! use global_sls::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join(format!("gsls_doc_{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! {
+//!     let mut session = Session::open(&dir)?;
+//!     session.add_rules("win(X) :- move(X, Y), ~win(Y).")?;
+//!     session.assert_facts("move(a, b).")?;
+//! } // dropped without ceremony — the commits are already on disk
+//! let mut session = Session::open(&dir)?;
+//! assert_eq!(session.truth("?- win(a).")?, Truth::True);
+//! session.checkpoint()?; // explicit snapshot + WAL rotation
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), SessionError>(())
+//! ```
+//!
+//! Failure is non-fatal by design: a commit that fails mid-apply
+//! (e.g. the grounding clause budget) is unwound — its WAL record is
+//! truncated off and the engine state is rebuilt at the previous epoch
+//! — so it degrades to a rolled-back transaction and the session stays
+//! writable. Only a failure of that rebuild itself poisons the
+//! session, and [`prelude::Session::recover`] retries the rebuild. The
+//! crash-injection harness behind this lives in
+//! [`durable`](gsls_durable): a [`internals::FaultPlan`]-driven storage
+//! double that drops fsyncs, tears final records and kills writes at a
+//! chosen byte, driving the reopen-equals-rebuild property tests.
+//!
 //! ## Batch vs. session
 //!
 //! The one-shot [`prelude::Solver`] facade (`parse_program` →
@@ -77,6 +121,7 @@
 //! | [`resolution`] | SLD / SLDNF / SLS baselines |
 //! | [`core`] | the `Session` engine, the `Solver` shim, global SLS-resolution trees |
 //! | [`par`] | work-stealing runtime (parallel SCC evaluation, sharded grounding) |
+//! | [`durable`] | write-ahead log, checkpoint/restore, crash-injection harness |
 //! | [`workloads`] | experiment program generators |
 //!
 //! The [`prelude`] re-exports the user-facing surface; diagnostic and
@@ -84,6 +129,7 @@
 //! Herbrand transforms, the raw tabled engine) live in [`internals`].
 
 pub use gsls_core as core;
+pub use gsls_durable as durable;
 pub use gsls_ground as ground;
 pub use gsls_lang as lang;
 pub use gsls_par as par;
@@ -95,9 +141,10 @@ pub use gsls_workloads as workloads;
 /// solver, the object language, and the bottom-up semantics.
 pub mod prelude {
     pub use gsls_core::{
-        Answer, Answers, CommitStats, Engine, PreparedQuery, QueryResult, Session, SessionError,
-        Snapshot, Solver, SolverError, Status,
+        Answer, Answers, CommitError, CommitStats, Engine, PreparedQuery, QueryResult, Session,
+        SessionError, Snapshot, Solver, SolverError, Status,
     };
+    pub use gsls_durable::{DurableOpts, StorageKind};
     pub use gsls_ground::{
         GroundProgram, Grounder, GrounderOpts, GroundingMode, IncrementalGrounder,
     };
@@ -124,6 +171,10 @@ pub mod internals {
         GlobalTree, GroundStatus, GroundTreeAnalysis, NegChild, NegNode, Ordinal, RuleKind,
         SccSolver, Selection, SlpNode, SlpNodeKind, SlpOpts, SlpTree, StatusFlags, TabledEngine,
         TabledStats, TreeNode, Verdict,
+    };
+    pub use gsls_durable::{
+        DurableError, DurableLog, FaultPlan, FaultyFile, FileStorage, Recovered, Wal, WalScan,
+        WalStorage,
     };
     pub use gsls_ground::{
         augment_program, herbrand_universe, term_transform, AtomDepGraph, ClauseRef, Csr, DepGraph,
