@@ -1,0 +1,477 @@
+//! Diagnostics, lint identities, severities and the lint configuration.
+
+use gsls_lang::{FxHashMap, Span};
+use std::fmt;
+
+/// How serious a reported diagnostic is. Ordered ascending so
+/// `Ord::max` picks the worst and reports can rank by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: worth knowing, never blocks a commit.
+    Warning,
+    /// A violation; under a deny-level config it rejects the program.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// What to do about a lint: reject the program, report and continue,
+/// or stay silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintLevel {
+    /// Report as [`Severity::Error`]; session commits are rejected.
+    Deny,
+    /// Report as [`Severity::Warning`]; never rejects.
+    Warn,
+    /// Do not report (the pass is skipped when every lint it feeds is
+    /// allowed).
+    Allow,
+}
+
+impl LintLevel {
+    /// The severity a diagnostic reported at this level carries
+    /// (allowed lints produce no diagnostic at all).
+    pub fn severity(self) -> Option<Severity> {
+        match self {
+            LintLevel::Deny => Some(Severity::Error),
+            LintLevel::Warn => Some(Severity::Warning),
+            LintLevel::Allow => None,
+        }
+    }
+}
+
+/// The individual lints of the analyzer, grouped by pass.
+///
+/// **Safety / range-restriction** (deny by default — these programs
+/// misbehave or flounder): [`Lint::UnboundHeadVar`],
+/// [`Lint::NegativeOnlyVar`], [`Lint::NonGroundFact`],
+/// [`Lint::ArityConflict`].
+///
+/// **Stratification** (allow by default — the engine's purpose is
+/// well-founded negation on unstratified programs):
+/// [`Lint::Unstratified`].
+///
+/// **Reachability / dead code** (warn by default):
+/// [`Lint::UnreachablePredicate`], [`Lint::NeverFiringRule`],
+/// [`Lint::SingletonVar`].
+///
+/// **Cost** (warn by default): [`Lint::CartesianProduct`],
+/// [`Lint::InstantiationBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// A rule head variable bound by no positive body literal: the rule
+    /// is not range-restricted ("allowed", Lloyd 87) and is enumerated
+    /// over the active domain instead of its joins.
+    UnboundHeadVar,
+    /// A variable occurring under negation but in no positive body
+    /// literal — the floundering hazard: no computation rule can ever
+    /// ground the negative literal by selecting earlier literals.
+    NegativeOnlyVar,
+    /// A fact (empty body) containing variables.
+    NonGroundFact,
+    /// A predicate used at two different arities (across the analyzed
+    /// clauses or against the session's known predicates).
+    ArityConflict,
+    /// The program has a predicate-level cycle through negation; the
+    /// diagnostic names a witness cycle (`p → not q → p`) and the
+    /// offending rules, and distinguishes locally-stratified programs
+    /// when a ground program is available.
+    Unstratified,
+    /// A predicate with no derivation path: no fact support and no
+    /// rule whose positive prerequisites are derivable.
+    UnreachablePredicate,
+    /// A rule with a positive body literal whose predicate can never
+    /// hold — the rule can never fire.
+    NeverFiringRule,
+    /// A named variable occurring exactly once in its clause (use `_`
+    /// for deliberate don't-cares).
+    SingletonVar,
+    /// A rule body whose positive literals split into variable-disjoint
+    /// groups: the join degenerates to a cartesian product.
+    CartesianProduct,
+    /// The estimated ground instantiation of a rule exceeds the
+    /// configured budget ([`LintConfig::budget`]).
+    InstantiationBudget,
+}
+
+impl Lint {
+    /// Every lint, in reporting order.
+    pub const ALL: [Lint; 10] = [
+        Lint::UnboundHeadVar,
+        Lint::NegativeOnlyVar,
+        Lint::NonGroundFact,
+        Lint::ArityConflict,
+        Lint::Unstratified,
+        Lint::UnreachablePredicate,
+        Lint::NeverFiringRule,
+        Lint::SingletonVar,
+        Lint::CartesianProduct,
+        Lint::InstantiationBudget,
+    ];
+
+    /// The lint's stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnboundHeadVar => "unbound-head-var",
+            Lint::NegativeOnlyVar => "negative-only-var",
+            Lint::NonGroundFact => "non-ground-fact",
+            Lint::ArityConflict => "arity-conflict",
+            Lint::Unstratified => "unstratified",
+            Lint::UnreachablePredicate => "unreachable-predicate",
+            Lint::NeverFiringRule => "never-firing-rule",
+            Lint::SingletonVar => "singleton-var",
+            Lint::CartesianProduct => "cartesian-product",
+            Lint::InstantiationBudget => "instantiation-budget",
+        }
+    }
+
+    /// Parses a lint name (the inverse of [`Lint::name`]).
+    pub fn from_name(name: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.name() == name)
+    }
+
+    /// Whether this is a safety/range-restriction lint (deny by
+    /// default: see [`LintConfig::default`]).
+    pub fn is_safety(self) -> bool {
+        matches!(
+            self,
+            Lint::UnboundHeadVar
+                | Lint::NegativeOnlyVar
+                | Lint::NonGroundFact
+                | Lint::ArityConflict
+        )
+    }
+
+    /// The default level: deny safety, allow stratification (the
+    /// engine exists to run unstratified programs), warn on the rest.
+    pub fn default_level(self) -> LintLevel {
+        if self.is_safety() {
+            LintLevel::Deny
+        } else if self == Lint::Unstratified {
+            LintLevel::Allow
+        } else {
+            LintLevel::Warn
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-lint levels plus the cost budget: what the analyzer reports and
+/// what a [`Severity::Error`] it carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    levels: FxHashMap<Lint, LintLevel>,
+    /// Estimated-ground-instance threshold for
+    /// [`Lint::InstantiationBudget`].
+    pub budget: u64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            levels: FxHashMap::default(),
+            budget: 1_000_000,
+        }
+    }
+}
+
+impl LintConfig {
+    /// The default configuration (per-lint [`Lint::default_level`]).
+    pub fn new() -> Self {
+        LintConfig::default()
+    }
+
+    /// Everything allowed: analysis reports nothing and every pass is
+    /// skipped. The opt-out for deliberately non-allowed programs
+    /// (active-domain enumeration, floundering demos).
+    pub fn permissive() -> Self {
+        let mut c = LintConfig::default();
+        for l in Lint::ALL {
+            c.levels.insert(l, LintLevel::Allow);
+        }
+        c
+    }
+
+    /// Everything enabled: safety lints deny, every other lint warns
+    /// (including stratification).
+    pub fn strict() -> Self {
+        let mut c = LintConfig::default();
+        for l in Lint::ALL {
+            c.levels.insert(
+                l,
+                if l.is_safety() {
+                    LintLevel::Deny
+                } else {
+                    LintLevel::Warn
+                },
+            );
+        }
+        c
+    }
+
+    /// The effective level of `lint`.
+    pub fn level(&self, lint: Lint) -> LintLevel {
+        self.levels
+            .get(&lint)
+            .copied()
+            .unwrap_or_else(|| lint.default_level())
+    }
+
+    /// Sets the level of one lint (builder-style).
+    pub fn set(mut self, lint: Lint, level: LintLevel) -> Self {
+        self.levels.insert(lint, level);
+        self
+    }
+
+    /// Sets the cost budget (builder-style).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Whether every listed lint is allowed (the owning pass can be
+    /// skipped entirely).
+    pub fn all_allowed(&self, lints: &[Lint]) -> bool {
+        lints.iter().all(|&l| self.level(l) == LintLevel::Allow)
+    }
+}
+
+/// One analyzer finding: which lint fired, how severe it is under the
+/// active config, a rendered message, and the evidence — clause index,
+/// source span (when the clause was parsed from text), predicate and a
+/// witness (the cycle, variable or estimate that triggered it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The lint that fired.
+    pub lint: Lint,
+    /// Severity under the config the analyzer ran with.
+    pub severity: Severity,
+    /// Human-readable description (already rendered against the store).
+    pub message: String,
+    /// Index of the offending clause in the analyzed program, if the
+    /// finding is clause-specific.
+    pub clause: Option<usize>,
+    /// Source position of the offending clause, when known.
+    pub span: Option<Span>,
+    /// The predicate at fault, rendered.
+    pub pred: Option<String>,
+    /// The witness: a cycle `p → not q → p`, a variable name, an
+    /// estimate — whatever evidence triggered the lint.
+    pub witness: Option<String>,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic as a single human-readable line:
+    /// `error[negative-only-var]: 3:1: …`.
+    pub fn render(&self) -> String {
+        let mut s = format!("{}[{}]: ", self.severity, self.lint);
+        if let Some(span) = self.span {
+            s.push_str(&format!("{span}: "));
+        }
+        s.push_str(&self.message);
+        s
+    }
+
+    /// Renders the diagnostic as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"lint\":\"{}\"", self.lint));
+        s.push_str(&format!(",\"severity\":\"{}\"", self.severity));
+        s.push_str(&format!(",\"message\":\"{}\"", json_escape(&self.message)));
+        if let Some(c) = self.clause {
+            s.push_str(&format!(",\"clause\":{c}"));
+        }
+        if let Some(span) = self.span {
+            s.push_str(&format!(",\"line\":{},\"col\":{}", span.line, span.col));
+        }
+        if let Some(p) = &self.pred {
+            s.push_str(&format!(",\"pred\":\"{}\"", json_escape(p)));
+        }
+        if let Some(w) = &self.witness {
+            s.push_str(&format!(",\"witness\":\"{}\"", json_escape(w)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The outcome of one analysis run: diagnostics ranked most severe
+/// first (ties keep clause order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// The findings, severity-ranked.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Ranks and wraps raw findings.
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.clause.cmp(&b.clause)));
+        LintReport { diagnostics }
+    }
+
+    /// No findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The deny-level findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// The warn-level findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Renders every diagnostic, one line each.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            s.push_str(&d.render());
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Renders the report as a JSON array of diagnostic objects.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&d.to_json());
+        }
+        s.push(']');
+        s
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ranked() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn lint_names_roundtrip() {
+        for l in Lint::ALL {
+            assert_eq!(Lint::from_name(l.name()), Some(l));
+        }
+        assert_eq!(Lint::from_name("no-such-lint"), None);
+    }
+
+    #[test]
+    fn default_levels() {
+        let c = LintConfig::default();
+        assert_eq!(c.level(Lint::UnboundHeadVar), LintLevel::Deny);
+        assert_eq!(c.level(Lint::NegativeOnlyVar), LintLevel::Deny);
+        assert_eq!(c.level(Lint::Unstratified), LintLevel::Allow);
+        assert_eq!(c.level(Lint::CartesianProduct), LintLevel::Warn);
+        assert!(LintConfig::permissive().all_allowed(&Lint::ALL));
+        assert_eq!(
+            LintConfig::strict().level(Lint::Unstratified),
+            LintLevel::Warn
+        );
+    }
+
+    #[test]
+    fn report_ranks_errors_first() {
+        let warn = Diagnostic {
+            lint: Lint::SingletonVar,
+            severity: Severity::Warning,
+            message: "w".into(),
+            clause: Some(0),
+            span: None,
+            pred: None,
+            witness: None,
+        };
+        let err = Diagnostic {
+            lint: Lint::UnboundHeadVar,
+            severity: Severity::Error,
+            message: "e".into(),
+            clause: Some(3),
+            span: None,
+            pred: None,
+            witness: None,
+        };
+        let r = LintReport::new(vec![warn.clone(), err.clone()]);
+        assert_eq!(r.diagnostics[0], err);
+        assert_eq!(r.errors().count(), 1);
+        assert_eq!(r.warnings().count(), 1);
+        assert!(!r.is_clean());
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn json_rendering_escapes() {
+        let d = Diagnostic {
+            lint: Lint::NonGroundFact,
+            severity: Severity::Error,
+            message: "fact \"p(X)\" has vars".into(),
+            clause: Some(1),
+            span: Some(Span { line: 2, col: 1 }),
+            pred: Some("p".into()),
+            witness: Some("X".into()),
+        };
+        let j = d.to_json();
+        assert!(j.contains("\\\"p(X)\\\""), "{j}");
+        assert!(j.contains("\"line\":2"), "{j}");
+        assert!(d.render().starts_with("error[non-ground-fact]: 2:1:"));
+    }
+}

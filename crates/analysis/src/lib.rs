@@ -1,0 +1,54 @@
+//! # gsls-analyze — static program analysis and lints
+//!
+//! A multi-pass static analyzer over [`gsls_lang::Program`]s producing
+//! structured, severity-ranked [`Diagnostic`]s with source spans and
+//! machine-readable (JSON) rendering. It is the gatekeeper in front of
+//! the engines: programs that flounder, misbehave under grounding, or
+//! blow up the instantiation are caught *before* they reach a session's
+//! write-ahead log.
+//!
+//! ## Passes and lints
+//!
+//! 1. **Safety / range-restriction** — [`Lint::UnboundHeadVar`],
+//!    [`Lint::NegativeOnlyVar`] (the floundering hazard),
+//!    [`Lint::NonGroundFact`], [`Lint::ArityConflict`]. Deny by default.
+//! 2. **Stratification** — [`Lint::Unstratified`] lifts the dependency
+//!    analysis of `gsls_ground::depgraph` into a user-facing diagnostic
+//!    naming a witness cycle (`p → not q → p`) and the offending rules,
+//!    distinguishing stratified / locally stratified / fully general
+//!    programs. Allow by default: well-founded negation on unstratified
+//!    programs is the engine's purpose.
+//! 3. **Reachability & dead code** — [`Lint::UnreachablePredicate`],
+//!    [`Lint::NeverFiringRule`], [`Lint::SingletonVar`]. Warn by default.
+//! 4. **Cost** — [`Lint::CartesianProduct`],
+//!    [`Lint::InstantiationBudget`]. Warn by default.
+//!
+//! ## Example
+//!
+//! ```
+//! use gsls_analyze::{analyze, AnalyzerOpts, Lint, LintConfig, Severity};
+//! use gsls_lang::{parse_program, TermStore};
+//!
+//! let mut store = TermStore::new();
+//! // X occurs only under negation: no computation rule can ever
+//! // ground ~q(X), so resolution flounders.
+//! let prog = parse_program(&mut store, "p(X) :- ~q(X). q(a).").unwrap();
+//! let report = analyze(&store, &prog, &AnalyzerOpts::default());
+//! assert!(report.has_errors());
+//! let d = &report.diagnostics[0];
+//! assert_eq!(d.lint, Lint::NegativeOnlyVar);
+//! assert_eq!(d.severity, Severity::Error);
+//! assert_eq!(d.span.unwrap().line, 1);
+//!
+//! // The same program is accepted under a permissive configuration.
+//! let opts = AnalyzerOpts::with_config(LintConfig::permissive());
+//! assert!(analyze(&store, &prog, &opts).is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod analyzer;
+pub mod diag;
+
+pub use analyzer::{analyze, analyze_batch, analyze_with_ground, render_cycle, AnalyzerOpts};
+pub use diag::{Diagnostic, Lint, LintConfig, LintLevel, LintReport, Severity};

@@ -1,7 +1,14 @@
-//! Emits `BENCH_6.json`: the perf trajectory record for PR 6 (durable
-//! sessions: write-ahead log, checkpoint/restore, crash recovery).
+//! Emits `BENCH_7.json`: the perf trajectory record for PR 7 (the
+//! `gsls-analyze` static analyzer gating every commit).
 //!
-//! New in PR 6:
+//! New in PR 7:
+//!
+//! * **`analysis`** — full-program static analysis (safety,
+//!   stratification witness, reachability, cost lints) of the win_grid
+//!   200×200 rule set, with the < 5ms acceptance assertion: the gate
+//!   must stay invisible next to the ~4ms commit it fronts.
+//!
+//! Carried from PR 6:
 //!
 //! * **`durability`** — the cost of crash safety on win_grid 200×200:
 //!   p50/p99 of a single-fact durable commit (WAL append + fsync before
@@ -56,6 +63,7 @@
 //! (kept off the default run so it stays fast). Earlier trajectory
 //! records stay in `BENCH_<n>.json`.
 
+use gsls_analyze::{analyze, AnalyzerOpts};
 use gsls_core::{Engine, Session, Solver, TabledEngine};
 use gsls_durable::DurableOpts;
 use gsls_ground::{GroundStats, Grounder, GrounderOpts, HerbrandOpts};
@@ -781,6 +789,34 @@ fn durability_sweep() -> DurabilityPoint {
     out
 }
 
+/// The PR 7 analysis record: full multi-pass static analysis of the
+/// win_grid 200×200 program (80k facts + the win rule).
+struct AnalysisPoint {
+    clauses: usize,
+    analyze_ns: u64,
+    diagnostics: usize,
+}
+
+fn analysis_sweep() -> AnalysisPoint {
+    let mut store = TermStore::new();
+    let program = win_grid(&mut store, 200, 200);
+    let opts = AnalyzerOpts::default();
+    let report = analyze(&store, &program, &opts);
+    let analyze_ns = median_ns(9, || analyze(&store, &program, &opts));
+    let out = AnalysisPoint {
+        clauses: program.len(),
+        analyze_ns,
+        diagnostics: report.diagnostics.len(),
+    };
+    println!(
+        "analysis win_grid_200x200: {} clauses analyzed in {:.3}ms, {} diagnostics",
+        out.clauses,
+        out.analyze_ns as f64 / 1e6,
+        out.diagnostics,
+    );
+    out
+}
+
 /// Counts heap allocations across warm calls of both substrate modes.
 /// The contract for each is exactly zero.
 fn zero_alloc_check() -> (u64, u64, u64) {
@@ -830,11 +866,12 @@ fn zero_alloc_check() -> (u64, u64, u64) {
 
 fn main() {
     let stress = std::env::args().any(|a| a == "--stress");
-    println!("# perf_report — durable sessions: WAL, checkpoint/restore (PR 6)");
+    println!("# perf_report — static analysis gate + durable sessions (PR 7)");
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host: available_parallelism={cpus}");
+    let analysis = analysis_sweep();
     let durability = durability_sweep();
     let update = update_latency_sweep();
     let snap = snapshot_read_sweep();
@@ -849,15 +886,21 @@ fn main() {
          allocations across {calls} warm calls each"
     );
 
-    let mut json = String::from("{\n  \"pr\": 6,\n");
+    let mut json = String::from("{\n  \"pr\": 7,\n");
     let _ = writeln!(
         json,
-        "  \"description\": \"durable sessions: checksummed write-ahead log \
-         fsync'd before every in-memory apply, threshold-driven atomic \
-         checkpoints with WAL rotation, checkpoint+replay recovery on open, \
-         and typed up-front commit validation\","
+        "  \"description\": \"gsls-analyze: multi-pass static analyzer \
+         (safety/range-restriction, stratification witness cycles, \
+         reachability/dead code, cost lints) gating every Session commit \
+         before WAL journaling, with a gsls-lint CLI + check.sh gate\","
     );
     let _ = writeln!(json, "  \"available_parallelism\": {cpus},");
+    let _ = writeln!(
+        json,
+        "  \"analysis\": {{\"workload\": \"win_grid_200x200\", \
+         \"clauses\": {}, \"analyze_ns\": {}, \"diagnostics\": {}}},",
+        analysis.clauses, analysis.analyze_ns, analysis.diagnostics,
+    );
     let _ = writeln!(
         json,
         "  \"durability\": {{\"workload\": \"win_grid_200x200\", \
@@ -941,8 +984,25 @@ fn main() {
          \"propagator_allocations\": {prop_allocs}, \
          \"incremental_allocations\": {inc_allocs}}}\n}}\n"
     );
-    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
-    println!("wrote BENCH_6.json");
+    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
+    println!("wrote BENCH_7.json");
+
+    // PR 7 acceptance: the full multi-pass analysis of the 200×200 rule
+    // set must stay under 5ms — the gate fronts a ~4ms commit and must
+    // not dominate it.
+    assert!(
+        analysis.analyze_ns < 5_000_000,
+        "win_grid 200x200 analysis {:.3}ms breaches the 5ms acceptance bar",
+        analysis.analyze_ns as f64 / 1e6
+    );
+    assert_eq!(
+        analysis.diagnostics, 0,
+        "win_grid 200x200 must be diagnostic-free"
+    );
+    println!(
+        "acceptance: win_grid 200x200 full analysis {:.3}ms (< 5ms), clean",
+        analysis.analyze_ns as f64 / 1e6
+    );
 
     // PR 5 acceptance: single-fact assert + re-query ≥ 10× faster than
     // Solver::new + query from scratch, on the honest (fresh-insert)

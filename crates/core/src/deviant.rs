@@ -284,6 +284,22 @@ mod tests {
     }
 
     #[test]
+    fn leftmost_rule_surfaces_floundering() {
+        // Regression: the leftmost rule used to skip the nonground
+        // ~q(X) and solve q(X) first, hiding the floundering the goal
+        // order implies. It must surface as a Floundered verdict now.
+        assert_eq!(
+            run("q(a). q(b).", "?- ~q(X), q(X).", RuleKind::LeftmostLiteral),
+            Verdict::Floundered
+        );
+        // The preferential rule still solves the reordered conjunction.
+        assert_eq!(
+            run("q(a). q(b).", "?- q(X), ~q(X).", RuleKind::Preferential),
+            Verdict::Failed
+        );
+    }
+
+    #[test]
     fn positive_loop_failed() {
         assert_eq!(
             run("p :- p.", "?- p.", RuleKind::Preferential),

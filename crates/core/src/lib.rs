@@ -57,7 +57,8 @@ pub use ordinal::Ordinal;
 pub use rule::{RuleKind, Selection};
 pub use scc::SccSolver;
 pub use session::{
-    Answer, Answers, CommitError, CommitStats, PreparedQuery, Session, SessionError, Snapshot,
+    Answer, Answers, CommitError, CommitRejection, CommitStats, PreparedQuery, Session,
+    SessionError, Snapshot,
 };
 pub use slp::{SlpNode, SlpNodeKind, SlpOpts, SlpTree};
 pub use solver::{Engine, QueryResult, Solver, SolverError};

@@ -35,8 +35,10 @@ pub enum RuleKind {
     /// *leftmost* ground negative literal of an all-negative query.
     SequentialNegative,
     /// Deviant rule of Example 3.2: plain leftmost-literal selection,
-    /// negative literals included (not positivistic; still safe — it
-    /// skips nonground negative literals).
+    /// negative literals included (not positivistic). A nonground
+    /// negative literal in leftmost position **flounders** the goal —
+    /// silently skipping it would select from a different goal than the
+    /// one given, masking programs the safety lints exist to catch.
     LeftmostLiteral,
 }
 
@@ -89,19 +91,17 @@ impl RuleKind {
                 }
             }
             RuleKind::LeftmostLiteral => {
-                // Leftmost selectable literal: positive, or ground
-                // negative; ahead of everything to its right.
-                for (i, l) in goal.literals().iter().enumerate() {
-                    if l.is_pos() {
-                        return Selection::Positive(i);
-                    }
-                    if l.is_ground(store) {
-                        return Selection::Negatives(vec![i]);
-                    }
-                    // A nonground negative literal is skipped (safety),
-                    // letting later literals bind it first.
+                // Strictly leftmost: a nonground negative literal in
+                // front position flounders the goal rather than being
+                // silently skipped in favour of literals to its right.
+                let l = &goal.literals()[0];
+                if l.is_pos() {
+                    Selection::Positive(0)
+                } else if l.is_ground(store) {
+                    Selection::Negatives(vec![0])
+                } else {
+                    Selection::Flounder
                 }
-                Selection::Flounder
             }
         }
     }
@@ -171,11 +171,20 @@ mod tests {
     }
 
     #[test]
-    fn leftmost_skips_nonground_negatives() {
+    fn leftmost_flounders_on_leading_nonground_negative() {
+        // Regression: the old rule silently skipped ~p(X) and selected
+        // q(X) — evaluating a different goal than the one given. The
+        // floundering must surface.
         let (s, g) = goal("~p(X), q(X)");
         assert_eq!(
             RuleKind::LeftmostLiteral.select(&s, &g),
-            Selection::Positive(1)
+            Selection::Flounder
+        );
+        // With the binding literal first the same conjunction is fine.
+        let (s, g) = goal("q(X), ~p(X)");
+        assert_eq!(
+            RuleKind::LeftmostLiteral.select(&s, &g),
+            Selection::Positive(0)
         );
     }
 

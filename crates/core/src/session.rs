@@ -51,14 +51,18 @@
 
 use crate::global::{GlobalOpts, GlobalTree, Status};
 use crate::solver::{Engine, QueryResult};
+use gsls_analyze::{
+    analyze_batch, analyze_with_ground, AnalyzerOpts, Diagnostic, Lint, LintConfig, LintLevel,
+    LintReport,
+};
 use gsls_durable::{
     decode_batch, decode_checkpoint, encode_batch, encode_checkpoint, Batch, CheckpointImage,
     DurableError, DurableLog, DurableOpts,
 };
 use gsls_ground::{GroundAtomId, GroundProgram, GrounderOpts, GroundingError, IncrementalGrounder};
 use gsls_lang::{
-    parse_goal, parse_program, Atom, Clause, FxHashMap, Goal, ParseError, Pred, Program, Subst,
-    Symbol, Term, TermId, TermStore, Var,
+    parse_goal, parse_program, Atom, Clause, FxHashMap, Goal, ParseError, Pred, Program, Span,
+    Subst, Symbol, Term, TermId, TermStore, Var,
 };
 use gsls_wfs::{well_founded_refresh, BitSet, IncrementalLfp, Interp, NegMode, Truth};
 use std::fmt;
@@ -98,6 +102,11 @@ pub enum CommitError {
     NotGround(String),
     /// A clause or fact mentions a proper function symbol.
     FunctionSymbol(String),
+    /// The static analyzer flagged a rule at deny level under the
+    /// session's [`LintConfig`] (floundering hazards, non-range-
+    /// restricted rules, …). The diagnostic carries the lint, span and
+    /// witness.
+    Unsafe(Diagnostic),
 }
 
 impl fmt::Display for CommitError {
@@ -118,11 +127,49 @@ impl fmt::Display for CommitError {
                     "function symbols are not allowed in the session engine: {a}"
                 )
             }
+            CommitError::Unsafe(d) => write!(f, "unsafe program: {}", d.render()),
         }
     }
 }
 
 impl std::error::Error for CommitError {}
+
+/// Everything wrong with one rejected commit batch: *all* violations
+/// are collected, not just the first, so a client gets the complete
+/// report in one round trip. Nothing was journaled or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRejection {
+    /// The violations, in batch order (analyzer findings last).
+    pub errors: Vec<CommitError>,
+}
+
+impl CommitRejection {
+    /// The first violation (every rejection has at least one).
+    pub fn first(&self) -> &CommitError {
+        &self.errors[0]
+    }
+}
+
+impl fmt::Display for CommitRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.errors.len() == 1 {
+            return write!(f, "{}", self.errors[0]);
+        }
+        write!(f, "{} violations:", self.errors.len())?;
+        for e in &self.errors {
+            write!(f, "\n  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CommitRejection {}
+
+impl From<CommitError> for CommitRejection {
+    fn from(e: CommitError) -> Self {
+        CommitRejection { errors: vec![e] }
+    }
+}
 
 /// Session errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,8 +188,9 @@ pub enum SessionError {
     /// `begin` while a transaction is already open.
     NestedTransaction,
     /// The commit batch failed up-front validation; nothing was
-    /// journaled or applied ([`CommitError`]).
-    Rejected(CommitError),
+    /// journaled or applied. Every violation of the batch is collected
+    /// ([`CommitRejection`]).
+    Rejected(CommitRejection),
     /// The durability layer failed (WAL append, checkpoint write,
     /// corrupt stored state on open).
     Durable(String),
@@ -194,6 +242,12 @@ impl From<DurableError> for SessionError {
 
 impl From<CommitError> for SessionError {
     fn from(e: CommitError) -> Self {
+        SessionError::Rejected(e.into())
+    }
+}
+
+impl From<CommitRejection> for SessionError {
+    fn from(e: CommitRejection) -> Self {
         SessionError::Rejected(e)
     }
 }
@@ -219,6 +273,10 @@ pub struct CommitStats {
 #[derive(Debug, Default)]
 struct Pending {
     rules: Vec<Clause>,
+    /// Source positions of `rules`, aligned by index (parsed batches
+    /// carry them; programmatic clauses don't). Feeds analyzer
+    /// diagnostics only — never journaled.
+    rule_spans: Vec<Option<Span>>,
     asserts: Vec<Atom>,
     retracts: Vec<Atom>,
 }
@@ -254,6 +312,12 @@ pub struct Session {
     /// Known predicate arities (committed state), for up-front batch
     /// validation.
     arities: FxHashMap<Symbol, usize>,
+    /// Per-lint levels for the static analysis gating every rule batch
+    /// (and the seed program).
+    lint_config: LintConfig,
+    /// Warn-level findings of the most recent analyzer run (seed
+    /// program or committed rule batch).
+    last_report: LintReport,
     /// Write-ahead log + checkpoints, when opened durably.
     durable: Option<DurableLog>,
     poisoned: bool,
@@ -289,7 +353,55 @@ impl Session {
     /// the clause budget and seed-round thread count apply: the session
     /// engine always grounds on the planned relevant path (the
     /// `mode`/`strategy` fields are for the batch [`crate::Solver`]).
+    ///
+    /// The seed program is gated by the static analyzer under the
+    /// default [`LintConfig`] — see [`Session::with_opts_lints`] to
+    /// open deliberately non-allowed programs (active-domain
+    /// enumeration, floundering demos) under a permissive one.
     pub fn with_opts(
+        store: TermStore,
+        program: Program,
+        opts: GrounderOpts,
+    ) -> Result<Session, SessionError> {
+        Session::with_opts_lints(store, program, opts, LintConfig::default())
+    }
+
+    /// [`Session::with_opts`] with an explicit lint configuration: the
+    /// seed program (and every later rule batch) is analyzed under it,
+    /// deny-level findings rejecting construction with
+    /// [`SessionError::Rejected`] before any state exists.
+    pub fn with_opts_lints(
+        store: TermStore,
+        program: Program,
+        opts: GrounderOpts,
+        lints: LintConfig,
+    ) -> Result<Session, SessionError> {
+        if !program.is_function_free(&store) {
+            return Err(SessionError::NotFunctionFree);
+        }
+        let report = analyze_batch(
+            &store,
+            &program,
+            0,
+            &AnalyzerOpts::with_config(lints.clone()),
+        );
+        let errors: Vec<CommitError> = report
+            .errors()
+            .map(|d| CommitError::Unsafe(d.clone()))
+            .collect();
+        if !errors.is_empty() {
+            return Err(SessionError::Rejected(CommitRejection { errors }));
+        }
+        let mut s = Session::with_opts_unchecked(store, program, opts)?;
+        s.lint_config = lints;
+        s.last_report = report;
+        Ok(s)
+    }
+
+    /// The construction path that bypasses the analyzer: checkpoint
+    /// restore (the program was gated when it was committed) and the
+    /// lint-validated paths above.
+    fn with_opts_unchecked(
         mut store: TermStore,
         program: Program,
         opts: GrounderOpts,
@@ -319,6 +431,8 @@ impl Session {
             global_opts: GlobalOpts::default(),
             opts,
             arities,
+            lint_config: LintConfig::default(),
+            last_report: LintReport::default(),
             durable: None,
             poisoned: false,
         })
@@ -364,7 +478,9 @@ impl Session {
                 let mut store = TermStore::new();
                 let image = decode_checkpoint(&mut store, &payload)?;
                 let program = Program::from_clauses(image.clauses);
-                let mut s = Session::with_opts(store, program, opts)?;
+                // Restored state was gated when it was committed; the
+                // analyzer must not be able to veto recovery.
+                let mut s = Session::with_opts_unchecked(store, program, opts)?;
                 s.epoch = image.epoch;
                 s.disable_retracted(&image.retracted);
                 s
@@ -383,6 +499,7 @@ impl Session {
             }
             session.epoch = batch.epoch - 1;
             let pending = Pending {
+                rule_spans: vec![None; batch.rules.len()],
                 rules: batch.rules,
                 asserts: batch.asserts,
                 retracts: batch.retracts,
@@ -458,6 +575,50 @@ impl Session {
     pub fn with_global_opts(mut self, opts: GlobalOpts) -> Self {
         self.global_opts = opts;
         self
+    }
+
+    // ---- static analysis ---------------------------------------------
+
+    /// Replaces the lint configuration gating every subsequent rule
+    /// batch (builder form; see [`Session::set_lint_config`]).
+    pub fn with_lint_config(mut self, lints: LintConfig) -> Self {
+        self.lint_config = lints;
+        self
+    }
+
+    /// Replaces the lint configuration gating every subsequent rule
+    /// batch. Already-committed state is unaffected.
+    pub fn set_lint_config(&mut self, lints: LintConfig) {
+        self.lint_config = lints;
+    }
+
+    /// The active lint configuration.
+    pub fn lint_config(&self) -> &LintConfig {
+        &self.lint_config
+    }
+
+    /// The report of the most recent analyzer run — the warn-level
+    /// findings of the last committed rule batch (or of the seed
+    /// program, before any commit). Deny-level findings never land
+    /// here: they reject the batch as [`SessionError::Rejected`].
+    pub fn last_lint_report(&self) -> &LintReport {
+        &self.last_report
+    }
+
+    /// Analyzes the full committed program — all passes, including the
+    /// stratification and reachability diagnostics that single-batch
+    /// commit validation skips — under the session's [`LintConfig`],
+    /// feeding the grounder's fact cardinalities and active domain
+    /// into the cost lints.
+    pub fn analyze(&self) -> LintReport {
+        let gp = self.grounder.ground_program();
+        let aopts = AnalyzerOpts {
+            config: self.lint_config.clone(),
+            known_arities: FxHashMap::default(),
+            cardinalities: gp.pred_cardinalities(),
+            domain_hint: self.grounder.universe().len(),
+        };
+        analyze_with_ground(&self.store, &self.program, Some(gp), &aopts)
     }
 
     /// The term store (parsing interns into it through the session's
@@ -571,11 +732,21 @@ impl Session {
             return Err(SessionError::Poisoned);
         }
         let batch = parse_program(&mut self.store, src)?;
-        self.add_rule_clauses(batch.clauses().to_vec())
+        let spans = batch.spans().to_vec();
+        self.add_rule_clauses_spanned(batch.clauses().to_vec(), spans)
     }
 
     /// Adds already-built rule clauses.
     pub fn add_rule_clauses(&mut self, clauses: Vec<Clause>) -> Result<usize, SessionError> {
+        let spans = vec![None; clauses.len()];
+        self.add_rule_clauses_spanned(clauses, spans)
+    }
+
+    fn add_rule_clauses_spanned(
+        &mut self,
+        clauses: Vec<Clause>,
+        spans: Vec<Option<Span>>,
+    ) -> Result<usize, SessionError> {
         self.check_writable()?;
         for c in &clauses {
             if !clause_function_free(&self.store, c) {
@@ -583,7 +754,10 @@ impl Session {
             }
         }
         let n = clauses.len();
-        self.buffer(|p| p.rules.extend(clauses))?;
+        self.buffer(|p| {
+            p.rules.extend(clauses);
+            p.rule_spans.extend(spans);
+        })?;
         Ok(n)
     }
 
@@ -668,7 +842,10 @@ impl Session {
         if pending.is_empty() {
             return Ok(CommitStats::default());
         }
-        self.validate(&pending)?;
+        // Validation (including static analysis of the rule batch) runs
+        // BEFORE anything touches the WAL: a rejected batch leaves no
+        // record that could ever replay.
+        self.last_report = self.validate(&pending)?;
         let mut mark = None;
         if let Some(log) = &mut self.durable {
             let batch = Batch {
@@ -824,42 +1001,82 @@ impl Session {
     }
 
     /// Up-front batch validation (see [`CommitError`] for the policy).
-    /// Runs before the WAL append and before any in-memory mutation.
-    fn validate(&self, pending: &Pending) -> Result<(), CommitError> {
+    /// Runs before the WAL append and before any in-memory mutation,
+    /// and collects **every** violation of the batch — the structural
+    /// checks and the static analyzer's deny-level findings — into one
+    /// [`CommitRejection`]. On success, returns the analyzer's
+    /// warn-level report.
+    fn validate(&self, pending: &Pending) -> Result<LintReport, CommitRejection> {
+        let mut errors: Vec<CommitError> = Vec::new();
         // Arities introduced earlier in this same batch (a rule may
         // define a predicate an assert then uses).
         let mut batch: FxHashMap<Symbol, usize> = FxHashMap::default();
         for c in &pending.rules {
             if !clause_function_free(&self.store, c) {
-                return Err(CommitError::FunctionSymbol(c.display(&self.store)));
+                errors.push(CommitError::FunctionSymbol(c.display(&self.store)));
             }
-            self.check_arity(&mut batch, &c.head, true)?;
+            self.check_arity(&mut batch, &c.head, true, &mut errors);
             for l in &c.body {
-                self.check_arity(&mut batch, &l.atom, true)?;
+                self.check_arity(&mut batch, &l.atom, true, &mut errors);
             }
         }
         for atom in &pending.asserts {
-            self.check_ground_fact(atom)?;
-            self.check_arity(&mut batch, atom, true)?;
+            if let Err(e) = self.check_ground_fact(atom) {
+                errors.push(e);
+            }
+            self.check_arity(&mut batch, atom, true, &mut errors);
         }
         for atom in &pending.retracts {
-            self.check_ground_fact(atom)?;
+            if let Err(e) = self.check_ground_fact(atom) {
+                errors.push(e);
+            }
             // A retract of an unknown predicate is a silent no-op and
             // does not pin the predicate's arity.
-            self.check_arity(&mut batch, atom, false)?;
+            self.check_arity(&mut batch, atom, false, &mut errors);
         }
-        Ok(())
+
+        // Static analysis of the rule batch. Fact-only batches skip it
+        // entirely (the bulk-load path stays one cheap loop), and the
+        // arity lint is muted: the structural ArityMismatch above
+        // already reports conflicts with typed expected/found fields.
+        let mut report = LintReport::default();
+        if !pending.rules.is_empty() && !self.lint_config.all_allowed(&Lint::ALL) {
+            let mut rules = Program::new();
+            for (i, c) in pending.rules.iter().enumerate() {
+                rules.push_spanned(c.clone(), pending.rule_spans.get(i).copied().flatten());
+            }
+            let gp = self.grounder.ground_program();
+            let aopts = AnalyzerOpts {
+                config: self
+                    .lint_config
+                    .clone()
+                    .set(Lint::ArityConflict, LintLevel::Allow),
+                known_arities: self.arities.clone(),
+                cardinalities: gp.pred_cardinalities(),
+                domain_hint: self.grounder.universe().len(),
+            };
+            report = analyze_batch(&self.store, &rules, 0, &aopts);
+            errors.extend(report.errors().map(|d| CommitError::Unsafe(d.clone())));
+        }
+
+        if errors.is_empty() {
+            Ok(report)
+        } else {
+            Err(CommitRejection { errors })
+        }
     }
 
     /// Checks one atom's arity against the committed and in-batch
-    /// arity maps; when `define` is set, an unknown predicate is
-    /// recorded at this atom's arity.
+    /// arity maps, appending a violation to `errors` on mismatch; when
+    /// `define` is set, an unknown predicate is recorded at this atom's
+    /// arity.
     fn check_arity(
         &self,
         batch: &mut FxHashMap<Symbol, usize>,
         atom: &Atom,
         define: bool,
-    ) -> Result<(), CommitError> {
+        errors: &mut Vec<CommitError>,
+    ) {
         let found = atom.args.len();
         let known = self
             .arities
@@ -867,17 +1084,16 @@ impl Session {
             .or_else(|| batch.get(&atom.pred))
             .copied();
         match known {
-            Some(expected) if expected != found => Err(CommitError::ArityMismatch {
+            Some(expected) if expected != found => errors.push(CommitError::ArityMismatch {
                 pred: self.store.symbol_name(atom.pred).to_string(),
                 expected,
                 found,
             }),
-            Some(_) => Ok(()),
+            Some(_) => {}
             None => {
                 if define {
                     batch.insert(atom.pred, found);
                 }
-                Ok(())
             }
         }
     }
@@ -2000,7 +2216,11 @@ mod tests {
     fn rule_instances_are_not_retractable() {
         // Regression: p(X). derives p(a)/p(b) as permanent rule
         // instances; retract_facts must not be able to switch them off.
-        let mut sess = Session::from_source("d(a). d(b).").unwrap();
+        // (The analyzer denies such facts by default; this test is
+        // exactly about the active-domain enumeration they trigger.)
+        let mut sess = Session::from_source("d(a). d(b).")
+            .unwrap()
+            .with_lint_config(LintConfig::default().set(Lint::NonGroundFact, LintLevel::Allow));
         sess.add_rules("p(X).").unwrap();
         assert_eq!(sess.truth("?- p(a).").unwrap(), Truth::True);
         sess.retract_facts("p(a).").unwrap();
@@ -2013,6 +2233,120 @@ mod tests {
             sess.truth("?- p(c).").unwrap(),
             Truth::True,
             "p(X). still derives p(c) for the active-domain constant c"
+        );
+    }
+
+    #[test]
+    fn unsafe_rule_batch_rejected_with_all_violations() {
+        // A floundering rule AND an arity conflict in one batch: the
+        // rejection lists both (collect-all, not first-error).
+        let mut sess = Session::from_source("q(a).").unwrap();
+        sess.begin().unwrap();
+        sess.add_rules("p(X) :- ~w(X).").unwrap();
+        sess.assert_facts("q(a, b).").unwrap();
+        let err = sess.commit().unwrap_err();
+        let SessionError::Rejected(rej) = &err else {
+            panic!("expected rejection, got {err:?}");
+        };
+        assert_eq!(rej.errors.len(), 2, "{rej}");
+        assert!(rej.errors.iter().any(|e| matches!(
+            e,
+            CommitError::ArityMismatch {
+                expected: 1,
+                found: 2,
+                ..
+            }
+        )));
+        assert!(rej.errors.iter().any(|e| matches!(
+            e,
+            CommitError::Unsafe(d) if d.lint == Lint::NegativeOnlyVar
+        )));
+        assert!(!sess.is_poisoned());
+        assert_eq!(sess.epoch(), 0, "nothing applied");
+        // Still writable.
+        sess.assert_facts("q(b).").unwrap();
+        assert_eq!(sess.truth("?- q(b).").unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn permissive_lints_admit_floundering_rules() {
+        let mut sess = Session::from_source("f(a).")
+            .unwrap()
+            .with_lint_config(LintConfig::permissive());
+        // Denied by default, admitted here: u ranges over the active
+        // domain minus f.
+        sess.add_rules("u(X) :- ~f(X).").unwrap();
+        sess.assert_facts("f(b). g(c).").unwrap();
+        assert_eq!(sess.truth("?- u(c).").unwrap(), Truth::True);
+        assert_eq!(sess.truth("?- u(a).").unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn seed_program_is_gated_too() {
+        let err = match Session::from_source("p(X) :- ~q(X). q(a).") {
+            Err(e) => e,
+            Ok(_) => panic!("floundering seed program must be rejected"),
+        };
+        assert!(
+            matches!(&err, SessionError::Rejected(r)
+                if matches!(r.first(), CommitError::Unsafe(d) if d.lint == Lint::NegativeOnlyVar)),
+            "got {err:?}"
+        );
+        // The permissive escape hatch admits the same program.
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, "p(X) :- ~q(X). q(a).").unwrap();
+        let sess = Session::with_opts_lints(
+            store,
+            program,
+            GrounderOpts::default(),
+            LintConfig::permissive(),
+        )
+        .unwrap();
+        assert_eq!(sess.epoch(), 0);
+    }
+
+    #[test]
+    fn warnings_surface_in_last_lint_report() {
+        let mut sess = Session::from_source("e(a, b).").unwrap();
+        // Singleton Y: warn-level — the commit succeeds and the report
+        // is retrievable.
+        sess.add_rules("p(X) :- e(X, Y).").unwrap();
+        let report = sess.last_lint_report();
+        assert!(!report.has_errors());
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.lint == Lint::SingletonVar && d.witness.as_deref() == Some("Y")),
+            "{}",
+            report.render()
+        );
+        assert_eq!(sess.truth("?- p(a).").unwrap(), Truth::True);
+        // A fact-only commit skips analysis and leaves a clean report.
+        sess.assert_facts("e(b, c).").unwrap();
+        assert!(sess.last_lint_report().is_clean());
+    }
+
+    #[test]
+    fn analyze_reports_on_the_full_program() {
+        let mut sess =
+            Session::from_source("move(a, b). move(b, a). win(X) :- move(X, Y), ~win(Y).").unwrap();
+        // Default config allows unstratified programs — that's the
+        // engine's job — so the full-program report is clean.
+        assert!(sess.analyze().is_clean(), "{}", sess.analyze().render());
+        // Under strict lints the cycle is named with its witness.
+        sess.set_lint_config(LintConfig::strict());
+        let report = sess.analyze();
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.lint == Lint::Unstratified)
+            .expect("win-game is unstratified");
+        assert_eq!(d.witness.as_deref(), Some("win → not win"));
+        assert!(
+            d.message.contains("locally stratified"),
+            "ground program is available, the class must be named: {}",
+            d.message
         );
     }
 

@@ -701,6 +701,14 @@ impl GroundProgram {
             .map(|&i| GroundAtomId(i))
     }
 
+    /// Ground-atom counts per predicate — FactStore-style cardinality
+    /// hints for cost estimation (the `gsls-analyze` instantiation
+    /// lints). Like [`GroundProgram::atoms_with_pred`], valid before
+    /// finalization.
+    pub fn pred_cardinalities(&self) -> gsls_lang::FxHashMap<Pred, usize> {
+        self.by_pred.iter().map(|(&p, v)| (p, v.len())).collect()
+    }
+
     /// Renders an atom.
     pub fn display_atom(&self, store: &TermStore, id: GroundAtomId) -> String {
         self.atom(id).display(store)

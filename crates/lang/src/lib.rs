@@ -54,7 +54,7 @@ pub use clause::Clause;
 pub use error::ParseError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use parser::{parse_goal, parse_program, parse_query, parse_term};
-pub use program::{Goal, Program};
+pub use program::{Goal, Program, Span};
 pub use rename::Renamer;
 pub use subst::Subst;
 pub use symbol::{Symbol, SymbolTable};

@@ -22,7 +22,7 @@ use crate::clause::Clause;
 use crate::error::ParseError;
 use crate::fxhash::FxHashMap;
 use crate::lexer::{tokenize, Spanned, Token};
-use crate::program::{Goal, Program};
+use crate::program::{Goal, Program, Span};
 use crate::term::{TermId, TermStore};
 
 struct Parser<'a> {
@@ -162,7 +162,9 @@ impl<'a> Parser<'a> {
     fn program(&mut self) -> Result<Program, ParseError> {
         let mut prog = Program::new();
         while *self.peek() != Token::Eof {
-            prog.push(self.clause()?);
+            let (line, col) = self.here();
+            let clause = self.clause()?;
+            prog.push_spanned(clause, Some(Span { line, col }));
         }
         Ok(prog)
     }
@@ -332,6 +334,15 @@ mod tests {
         let p = parse_program(&mut s, src).unwrap();
         assert_eq!(p.len(), 6);
         assert!(!p.is_function_free(&s));
+    }
+
+    #[test]
+    fn clause_spans_recorded() {
+        let mut s = TermStore::new();
+        let p = parse_program(&mut s, "p(a).\n  q(b) :- p(a).").unwrap();
+        assert_eq!(p.span(0), Some(Span { line: 1, col: 1 }));
+        assert_eq!(p.span(1), Some(Span { line: 2, col: 3 }));
+        assert_eq!(p.span(2), None, "out of range is None, not a panic");
     }
 
     #[test]

@@ -6,11 +6,35 @@ use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::symbol::Symbol;
 use crate::term::{Term, TermId, TermStore, Var};
 
+/// A source position (1-based line and column), attached to clauses by
+/// the parser so later passes (the `gsls-analyze` lints in particular)
+/// can point diagnostics back at the offending source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line of the clause's first token.
+    pub line: u32,
+    /// 1-based column of the clause's first token.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A normal logic program: a finite set of clauses with a predicate index.
+///
+/// Clauses built programmatically carry no [`Span`]; parsed clauses are
+/// tagged with the position of their first token (a side-table aligned
+/// with the clause list, so [`Clause`] itself — and everything hashed,
+/// compared or serialized through it — is unaffected).
 #[derive(Debug, Default, Clone)]
 pub struct Program {
     clauses: Vec<Clause>,
     by_pred: FxHashMap<Pred, Vec<usize>>,
+    /// `spans[i]` is the source position of `clauses[i]`, when known.
+    spans: Vec<Option<Span>>,
 }
 
 impl Program {
@@ -28,14 +52,30 @@ impl Program {
         p
     }
 
-    /// Adds a clause.
+    /// Adds a clause (no source position).
     pub fn push(&mut self, clause: Clause) {
+        self.push_spanned(clause, None);
+    }
+
+    /// Adds a clause together with its source position.
+    pub fn push_spanned(&mut self, clause: Clause, span: Option<Span>) {
         let idx = self.clauses.len();
         self.by_pred
             .entry(clause.head.pred_id())
             .or_default()
             .push(idx);
         self.clauses.push(clause);
+        self.spans.push(span);
+    }
+
+    /// The source position of the clause at `idx`, when known.
+    pub fn span(&self, idx: usize) -> Option<Span> {
+        self.spans.get(idx).copied().flatten()
+    }
+
+    /// The span side-table, aligned with [`Program::clauses`].
+    pub fn spans(&self) -> &[Option<Span>] {
+        &self.spans
     }
 
     /// All clauses, in insertion order.
@@ -56,6 +96,7 @@ impl Program {
         }
         self.by_pred.retain(|_, v| !v.is_empty());
         self.clauses.truncate(len);
+        self.spans.truncate(len);
     }
 
     /// Number of clauses.
@@ -304,6 +345,24 @@ mod tests {
         assert!(p.clauses_for(Pred::new(zz, 1)).is_empty());
         p.truncate(5); // beyond the end: no-op
         assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn spans_follow_push_and_truncate() {
+        let mut s = TermStore::new();
+        let mut p = sample(&mut s);
+        assert_eq!(p.span(0), None, "programmatic clauses carry no span");
+        let c = s.constant("c");
+        let zz = s.intern_symbol("zz");
+        p.push_spanned(
+            Clause::fact(Atom::new(zz, vec![c])),
+            Some(Span { line: 7, col: 2 }),
+        );
+        assert_eq!(p.span(3), Some(Span { line: 7, col: 2 }));
+        assert_eq!(p.spans().len(), p.len());
+        p.truncate(3);
+        assert_eq!(p.span(3), None);
+        assert_eq!(p.spans().len(), p.len(), "side-table stays aligned");
     }
 
     #[test]

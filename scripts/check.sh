@@ -25,6 +25,16 @@ cargo test -q --doc
 echo "==> ground_smoke (join-plan vs naive-join differential)"
 cargo run --release -p gsls-bench --bin ground_smoke
 
+echo "==> gsls-lint gate (examples + workload generators deny-clean)"
+cargo run --release -p gsls-bench --bin gsls-lint -- \
+  examples/lp/win_game.lp examples/lp/reach.lp --workloads
+
+echo "==> gsls-lint defect corpus (must be rejected, exit 1)"
+if cargo run --release -p gsls-bench --bin gsls-lint -- examples/lp/defects.lp; then
+  echo "gsls-lint failed to reject examples/lp/defects.lp" >&2
+  exit 1
+fi
+
 echo "==> parallel diff suite at 2 threads (gsls-par determinism gate)"
 GSLS_THREADS=2 cargo test --release -q --test parallel_diff
 

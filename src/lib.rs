@@ -98,6 +98,52 @@
 //! double that drops fsyncs, tears final records and kills writes at a
 //! chosen byte, driving the reopen-equals-rebuild property tests.
 //!
+//! ## Diagnostics & linting
+//!
+//! Every commit is gated by the static analyzer in
+//! [`analysis`](gsls_analyze): safety/range-restriction (unbound head
+//! variables, floundering negative-only variables, non-ground facts,
+//! arity conflicts), stratification diagnostics with a named witness
+//! cycle, dead-code analysis, and cost lints (cartesian products,
+//! instantiation estimates). Safety violations are deny-by-default —
+//! the batch is rejected with a [`prelude::CommitRejection`] carrying
+//! *every* violation, **before** anything reaches the write-ahead log —
+//! while the rest warn into [`prelude::Session::last_lint_report`].
+//! Levels are per-lint via [`prelude::LintConfig`]; unstratified
+//! programs are *allowed* by default (serving them is this engine's
+//! purpose), and `LintConfig::permissive()` switches the gate off.
+//!
+//! ```
+//! use global_sls::prelude::*;
+//!
+//! let mut session = Session::from_source("q(a).")?;
+//! // `X` occurs only under negation: no computation rule can ground
+//! // it, so the rule flounders — denied before it is journaled.
+//! let err = session.add_rules("p(X) :- ~q(X).").unwrap_err();
+//! match err {
+//!     SessionError::Rejected(rejection) => {
+//!         let diag = match rejection.first() {
+//!             CommitError::Unsafe(d) => d,
+//!             other => panic!("expected a lint rejection: {other}"),
+//!         };
+//!         assert_eq!(diag.lint, Lint::NegativeOnlyVar);
+//!         assert_eq!(diag.severity, Severity::Error);
+//!         assert!(diag.render().starts_with("error[negative-only-var]"));
+//!     }
+//!     other => panic!("expected a rejection: {other}"),
+//! }
+//! // Opting out admits the rule (it grounds over the active domain).
+//! session.set_lint_config(LintConfig::permissive());
+//! session.add_rules("p(X) :- ~q(X).")?;
+//! assert_eq!(session.truth("?- p(a).")?, Truth::False);
+//! # Ok::<(), SessionError>(())
+//! ```
+//!
+//! The same passes run standalone — [`analysis`](gsls_analyze)'s
+//! `analyze` over any [`prelude::Program`], or the `gsls-lint` binary
+//! over `.lp` files and the workload generators (`check.sh` gates on
+//! it).
+//!
 //! ## Batch vs. session
 //!
 //! The one-shot [`prelude::Solver`] facade (`parse_program` →
@@ -116,6 +162,7 @@
 //! | crate | contents |
 //! |-------|----------|
 //! | [`lang`] | terms, atoms, clauses, unification, parser |
+//! | [`analysis`] | static analyzer: safety, stratification, dead-code and cost lints |
 //! | [`ground`] | grounding: join-plan compiler, fact store, incremental (session) grounder |
 //! | [`wfs`] | bottom-up well-founded semantics; difference-driven fixpoint chains |
 //! | [`resolution`] | SLD / SLDNF / SLS baselines |
@@ -128,6 +175,7 @@
 //! paper-machinery types (global trees, deviant computation rules,
 //! Herbrand transforms, the raw tabled engine) live in [`internals`].
 
+pub use gsls_analyze as analysis;
 pub use gsls_core as core;
 pub use gsls_durable as durable;
 pub use gsls_ground as ground;
@@ -140,9 +188,10 @@ pub use gsls_workloads as workloads;
 /// Everything a typical user needs: the session API, the compatibility
 /// solver, the object language, and the bottom-up semantics.
 pub mod prelude {
+    pub use gsls_analyze::{Diagnostic, Lint, LintConfig, LintLevel, LintReport, Severity};
     pub use gsls_core::{
-        Answer, Answers, CommitError, CommitStats, Engine, PreparedQuery, QueryResult, Session,
-        SessionError, Snapshot, Solver, SolverError, Status,
+        Answer, Answers, CommitError, CommitRejection, CommitStats, Engine, PreparedQuery,
+        QueryResult, Session, SessionError, Snapshot, Solver, SolverError, Status,
     };
     pub use gsls_durable::{DurableOpts, StorageKind};
     pub use gsls_ground::{

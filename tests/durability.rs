@@ -148,6 +148,10 @@ fn apply_batch(session: &mut Session, ops: &[Op]) -> Result<CommitStats, Session
 /// The in-memory oracle: a fresh session with the first `n` batches.
 fn oracle_with_prefix(batches: &[Vec<Op>], n: usize) -> Session {
     let mut s = Session::from_source(WALK_BASE).expect("base grounds");
+    // The walk deliberately commits lint-deniable rules (u/1 flounders
+    // without active-domain enumeration); durability is about journaling,
+    // not the gate, so the oracle matches the walk's permissive config.
+    s.set_lint_config(LintConfig::permissive());
     for ops in &batches[..n] {
         apply_batch(&mut s, ops).expect("oracle batch commits");
     }
@@ -240,8 +244,11 @@ fn no_auto_checkpoint() -> DurableOpts {
 fn open_base(dir: &Path, dopts: DurableOpts) -> Session {
     let mut store = TermStore::new();
     let program = parse_program(&mut store, WALK_BASE).expect("base parses");
-    Session::open_with_parts(dir, store, program, GrounderOpts::default(), dopts)
-        .expect("durable open")
+    let mut s = Session::open_with_parts(dir, store, program, GrounderOpts::default(), dopts)
+        .expect("durable open");
+    // Walk batches include rules the default lint gate denies.
+    s.set_lint_config(LintConfig::permissive());
+    s
 }
 
 /// Copies the (flat) durable directory.
@@ -596,11 +603,10 @@ fn rejected_batch_leaves_session_writable() {
     assert!(
         matches!(
             &err,
-            SessionError::Rejected(CommitError::ArityMismatch {
-                expected: 2,
-                found: 1,
-                ..
-            })
+            SessionError::Rejected(r) if matches!(
+                r.first(),
+                CommitError::ArityMismatch { expected: 2, found: 1, .. }
+            )
         ),
         "got {err:?}"
     );
@@ -632,6 +638,62 @@ fn rejected_batch_leaves_session_writable() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A batch denied by the static analyzer (safety lint) is rejected
+/// with `CommitError::Unsafe` *before* any WAL record is written: the
+/// acceptance criterion that unsafe programs are never persisted.
+#[test]
+fn lint_denied_batch_never_reaches_the_wal() {
+    let dir = temp_dir("lint_denied");
+    let mut store = TermStore::new();
+    let program = parse_program(&mut store, WALK_BASE).expect("base parses");
+    // Default (deny-by-default) lint config — NOT the walk's permissive one.
+    let mut s = Session::open_with_parts(
+        &dir,
+        store,
+        program,
+        GrounderOpts::default(),
+        no_auto_checkpoint(),
+    )
+    .expect("durable open");
+    s.assert_facts("e(c0, c1).").unwrap();
+    let wal_len = |dir: &Path| {
+        let gens = scan_dir(dir).unwrap();
+        std::fs::metadata(wal_path(dir, *gens.wals.iter().max().unwrap()))
+            .unwrap()
+            .len()
+    };
+    let wal_before = wal_len(&dir);
+    let epoch_before = s.epoch();
+
+    // Floundering rule: `X` occurs only under negation.
+    let err = s.add_rules("bad(X) :- ~f(X).").unwrap_err();
+    match &err {
+        SessionError::Rejected(r) => match r.first() {
+            CommitError::Unsafe(d) => {
+                assert_eq!(d.lint, Lint::NegativeOnlyVar, "got {d:?}");
+                assert_eq!(d.severity, Severity::Error);
+            }
+            other => panic!("expected a lint rejection, got {other}"),
+        },
+        other => panic!("expected rejection, got {other}"),
+    }
+    assert!(!s.is_poisoned(), "lint denial must not poison");
+    assert_eq!(s.epoch(), epoch_before, "nothing applied");
+    assert_eq!(
+        wal_len(&dir),
+        wal_before,
+        "denied batch must be rejected before journaling"
+    );
+
+    // Still writable durably, and a reopen never sees the denied rule.
+    s.assert_facts("f(c1).").unwrap();
+    drop(s);
+    let mut reopened = Session::open(&dir).unwrap();
+    assert_eq!(reopened.truth("?- f(c1).").unwrap(), Truth::True);
+    assert_eq!(reopened.truth("?- p(c1).").unwrap(), Truth::True);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Non-ground facts, function symbols, and arity misuse in rule
 /// batches are all rejected up front without touching state.
 #[test]
@@ -654,11 +716,10 @@ fn validation_rejects_nonground_and_function_symbols() {
     assert!(
         matches!(
             &err,
-            SessionError::Rejected(CommitError::ArityMismatch {
-                expected: 2,
-                found: 1,
-                ..
-            })
+            SessionError::Rejected(r) if matches!(
+                r.first(),
+                CommitError::ArityMismatch { expected: 2, found: 1, .. }
+            )
         ),
         "got {err:?}"
     );

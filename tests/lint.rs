@@ -1,0 +1,206 @@
+//! Static-analysis gate properties (PR 7).
+//!
+//! * the workload corpus is lint-clean at default levels (the one
+//!   intended cartesian product in `negated_reachability` warns, and
+//!   only that);
+//! * the analyzer's safety verdict is *meaningful*: an analyzer-clean
+//!   random relational program grounds and solves without floundering
+//!   fallbacks or budget surprises, and the default Session gate admits
+//!   it;
+//! * the commit gate and the standalone analyzer agree.
+
+use global_sls::analysis::{analyze, AnalyzerOpts};
+use global_sls::prelude::*;
+use gsls_ground::{Grounder, GrounderOpts};
+use gsls_workloads::{
+    negated_reachability, odd_even_chain, random_relational_program, win_chain, win_cycle,
+    win_grid, win_random, win_tree, RandomRelationalOpts,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Snapshot: the existing corpus is clean.
+// ---------------------------------------------------------------------
+
+/// Every function-free workload generator is diagnostic-free at the
+/// default lint levels (win games are unstratified by design, and
+/// `unstratified` is allow-by-default for exactly that reason).
+#[test]
+fn workload_corpus_is_lint_clean() {
+    type Generator = fn(&mut TermStore) -> Program;
+    let generators: &[(&str, Generator)] = &[
+        ("win_chain", |s| win_chain(s, 32)),
+        ("win_cycle", |s| win_cycle(s, 9)),
+        ("win_tree", |s| win_tree(s, 4)),
+        ("win_grid", |s| win_grid(s, 8, 8)),
+        ("win_random", |s| win_random(s, 24, 3, 7)),
+        ("odd_even_chain", |s| odd_even_chain(s, 16)),
+    ];
+    for (name, mk) in generators {
+        let mut store = TermStore::new();
+        let program = mk(&mut store);
+        let report = analyze(&store, &program, &AnalyzerOpts::default());
+        assert!(
+            report.is_clean(),
+            "{name} must be diagnostic-free:\n{}",
+            report.render()
+        );
+    }
+}
+
+/// `negated_reachability` contains one *intended* cartesian product
+/// (`unreach(X,Y) :- n(X), n(Y), ~t(X,Y)` — the n² complement guard):
+/// the cost lint names exactly that rule and nothing else fires.
+#[test]
+fn negated_reachability_warns_on_its_intended_product() {
+    let mut store = TermStore::new();
+    let program = negated_reachability(&mut store, 8);
+    let report = analyze(&store, &program, &AnalyzerOpts::default());
+    assert!(!report.has_errors(), "only a warning:\n{}", report.render());
+    let warns: Vec<_> = report.warnings().collect();
+    assert_eq!(warns.len(), 1, "exactly one warning:\n{}", report.render());
+    assert_eq!(warns[0].lint, Lint::CartesianProduct);
+    assert_eq!(warns[0].pred.as_deref(), Some("unreach/2"));
+}
+
+/// The `.lp` corpus gating check.sh: the two clean files really are
+/// clean, and every safety lint fires on the defect corpus with its
+/// documented severity.
+#[test]
+fn lp_corpus_matches_its_advertised_verdicts() {
+    let read = |name: &str| {
+        std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("examples/lp")
+                .join(name),
+        )
+        .expect("corpus file")
+    };
+    for clean in ["win_game.lp", "reach.lp"] {
+        let mut store = TermStore::new();
+        let program = parse_program(&mut store, &read(clean)).expect("parses");
+        let report = analyze(&store, &program, &AnalyzerOpts::default());
+        assert!(report.is_clean(), "{clean}:\n{}", report.render());
+    }
+    let mut store = TermStore::new();
+    let program = parse_program(&mut store, &read("defects.lp")).expect("parses");
+    let report = analyze(&store, &program, &AnalyzerOpts::default());
+    let fired: std::collections::BTreeSet<&str> =
+        report.diagnostics.iter().map(|d| d.lint.name()).collect();
+    for expect in [
+        "unbound-head-var",
+        "negative-only-var",
+        "non-ground-fact",
+        "arity-conflict",
+        "cartesian-product",
+        "unreachable-predicate",
+        "never-firing-rule",
+        "singleton-var",
+    ] {
+        assert!(fired.contains(expect), "defects.lp must trip {expect}");
+    }
+    assert!(report.has_errors(), "safety defects are deny-level");
+}
+
+// ---------------------------------------------------------------------
+// The verdict is meaningful: clean ⇒ grounds, solves, commits.
+// ---------------------------------------------------------------------
+
+/// Grounds and solves a program, requiring success within tight
+/// budgets.
+fn grounds_and_solves(store: &mut TermStore, program: &Program) -> bool {
+    let opts = GrounderOpts {
+        max_clauses: 200_000,
+        ..GrounderOpts::default()
+    };
+    match Grounder::ground_with(store, program, opts) {
+        Ok(gp) => {
+            let m = well_founded_model(&gp);
+            let _ = m.is_total();
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn clean_program_property(seed: u64) {
+    let mut store = TermStore::new();
+    let program = random_relational_program(&mut store, RandomRelationalOpts::default(), seed);
+    let report = analyze(&store, &program, &AnalyzerOpts::default());
+    if report.has_errors() {
+        // Not analyzer-clean: nothing to assert (the generator emits
+        // unsafe rules on purpose — they exercise the deny path below).
+        let mut s2 = TermStore::new();
+        let p2 = random_relational_program(&mut s2, RandomRelationalOpts::default(), seed);
+        match Session::from_parts(s2, p2) {
+            Err(SessionError::Rejected(_)) => {}
+            Err(e) => panic!("seed {seed}: unsafe program rejected oddly: {e}"),
+            Ok(_) => {
+                panic!("seed {seed}: the default Session gate must deny what analyze() denies")
+            }
+        }
+        return;
+    }
+    // Analyzer-clean ⇒ the grounder and the bottom-up solver succeed…
+    assert!(
+        grounds_and_solves(&mut store, &program),
+        "seed {seed}: analyzer-clean program failed to ground/solve"
+    );
+    // …and the default (deny-by-default) Session gate admits it.
+    let mut s2 = TermStore::new();
+    let p2 = random_relational_program(&mut s2, RandomRelationalOpts::default(), seed);
+    match Session::from_parts(s2, p2) {
+        Ok(_) => {}
+        Err(e) => panic!("seed {seed}: clean program denied at session open: {e}"),
+    }
+}
+
+#[test]
+fn clean_random_programs_ground_solve_and_commit_fixed_seeds() {
+    for seed in 0..64 {
+        clean_program_property(seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The acceptance property: "analyzer-clean ⇒ no grounding/solve
+    /// surprises", swept over random relational programs.
+    #[test]
+    fn clean_random_programs_ground_solve_and_commit(seed in any::<u64>()) {
+        clean_program_property(seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gate ergonomics: one round trip reports everything.
+// ---------------------------------------------------------------------
+
+/// A rejected batch reports *all* violations at once, machine-readably.
+#[test]
+fn rejection_carries_the_full_report() {
+    let mut s = Session::from_source("q(a).").unwrap();
+    s.begin().unwrap();
+    s.add_rules("p(X, Y) :- q(X). r(X) :- ~q(X).").unwrap();
+    let err = s.commit().unwrap_err();
+    // The rendered rejection enumerates the violations for clients.
+    let msg = format!("{err}");
+    assert!(msg.contains("2 violations"), "{msg}");
+    match err {
+        SessionError::Rejected(r) => {
+            assert_eq!(r.errors.len(), 2, "both violations in one rejection: {r}");
+            let lints: Vec<&str> = r
+                .errors
+                .iter()
+                .map(|e| match e {
+                    CommitError::Unsafe(d) => d.lint.name(),
+                    other => panic!("expected lint rejections, got {other}"),
+                })
+                .collect();
+            assert!(lints.contains(&"unbound-head-var"), "{lints:?}");
+            assert!(lints.contains(&"negative-only-var"), "{lints:?}");
+        }
+        other => panic!("expected rejection, got {other}"),
+    }
+}
