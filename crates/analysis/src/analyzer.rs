@@ -429,6 +429,61 @@ fn fact_counts_of(store: &TermStore, program: &Program) -> FxHashMap<Pred, usize
     counts
 }
 
+/// Predicted ground-instance count of an update batch — the session's
+/// admission-control predictor. Sums the per-clause instantiation
+/// estimates (the same arithmetic behind [`Lint::InstantiationBudget`])
+/// over `program`'s clauses from `first_new` on: ground facts count 1,
+/// rules multiply their positive-body cardinalities (from
+/// `opts.cardinalities`, falling back to in-batch fact counts) times
+/// `domain_hint` per positively-unbound variable. A clause whose
+/// estimate is unknowable contributes 0 — a positive body literal over
+/// a predicate with no facts, rules, or supplied cardinality grounds to
+/// nothing. Saturating; never walks the ground program.
+pub fn estimate_batch_instances(
+    store: &TermStore,
+    program: &Program,
+    first_new: usize,
+    opts: &AnalyzerOpts,
+) -> u128 {
+    let fact_counts = fact_counts_of(store, program);
+    let domain = if opts.domain_hint > 0 {
+        opts.domain_hint as u64
+    } else {
+        program.constants(store).len().max(1) as u64
+    };
+    let mut total: u128 = 0;
+    for c in program.clauses().iter().skip(first_new) {
+        if c.is_fact() {
+            total = total.saturating_add(1);
+            continue;
+        }
+        // Residual = variables not bound by any positive body literal
+        // (they enumerate the active domain when grounded).
+        let mut pos_vars = gsls_lang::FxHashSet::default();
+        let mut collect = Vec::new();
+        for l in c.pos_body() {
+            l.collect_vars(store, &mut collect);
+        }
+        pos_vars.extend(collect.iter().copied());
+        let mut all_vars = Vec::new();
+        for &t in c.head.args.iter() {
+            walk_vars(store, t, &mut |v| all_vars.push(v));
+        }
+        for l in &c.body {
+            for &t in l.atom.args.iter() {
+                walk_vars(store, t, &mut |v| all_vars.push(v));
+            }
+        }
+        all_vars.sort_unstable();
+        all_vars.dedup();
+        let residual = all_vars.iter().filter(|v| !pos_vars.contains(v)).count() as u32;
+        if let Some(est) = estimate_instances(program, c, &fact_counts, opts, domain, residual) {
+            total = total.saturating_add(est);
+        }
+    }
+    total
+}
+
 /// Estimates the number of ground instances of `c`: the product of the
 /// cardinalities of its positive body predicates, times `domain` per
 /// residual (positively unbound) variable. Returns `None` when any

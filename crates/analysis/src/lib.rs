@@ -50,5 +50,8 @@
 pub mod analyzer;
 pub mod diag;
 
-pub use analyzer::{analyze, analyze_batch, analyze_with_ground, render_cycle, AnalyzerOpts};
+pub use analyzer::{
+    analyze, analyze_batch, analyze_with_ground, estimate_batch_instances, render_cycle,
+    AnalyzerOpts,
+};
 pub use diag::{Diagnostic, Lint, LintConfig, LintLevel, LintReport, Severity};

@@ -1,0 +1,145 @@
+//! Engine-wide resource governance: deadlines, cancellation, and
+//! admission control for the [`crate::Session`] API.
+//!
+//! The mechanism lives in [`gsls_par::govern`] (re-exported here): a
+//! `Send + Sync` [`Guard`] bundling a cancel flag, an optional
+//! deadline, an approximate memory budget, and a deterministic fuel
+//! counter, checked every [`TICK_INTERVAL`] work units by every hot
+//! loop in the engine — the grounder's join/seed rounds, the
+//! incremental fixpoint chains behind the well-founded refresh, the
+//! streaming query iterator, and the parallel SCC wavefront.
+//!
+//! This module adds the session-facing policy types:
+//!
+//! * [`CommitOpts`] — per-commit limits for
+//!   [`crate::Session::commit_with`]: wall-clock deadline, clause cap,
+//!   and memory budget (admission-controlled *before* WAL journaling,
+//!   enforced again during grounding).
+//! * [`QueryOpts`] — per-query limits for
+//!   [`crate::PreparedQuery::execute_governed`].
+//! * [`InterruptPhase`] — where an interruption surfaced, carried by
+//!   `SessionError::Interrupted` together with the [`InterruptCause`].
+//!
+//! An interrupted commit unwinds exactly like a failed one: the WAL
+//! record is truncated off, the program is restored, and the engine is
+//! rebuilt at the previous epoch — a timeout is a rolled-back
+//! transaction, never a poisoned session. An interrupted query stops
+//! yielding and reports the cause through
+//! [`crate::session::Answers::interrupted`] — the answers already
+//! streamed remain valid (a partial-answers outcome).
+
+pub use gsls_par::govern::{Guard, GuardBuilder, InterruptCause, InterruptHandle, TICK_INTERVAL};
+use std::time::Instant;
+
+/// Which engine phase an interruption (or admission rejection)
+/// surfaced in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptPhase {
+    /// Pre-commit admission control: the batch was *predicted* to
+    /// exceed a [`CommitOpts`] limit and rejected before anything was
+    /// journaled or applied.
+    Admission,
+    /// Delta-grounding (join/seed rounds, memory polling per round).
+    Grounding,
+    /// The alternating well-founded refresh on the warm chains.
+    ModelRefresh,
+    /// A streamed query evaluation.
+    Query,
+}
+
+impl std::fmt::Display for InterruptPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InterruptPhase::Admission => "admission",
+            InterruptPhase::Grounding => "grounding",
+            InterruptPhase::ModelRefresh => "model refresh",
+            InterruptPhase::Query => "query",
+        })
+    }
+}
+
+/// Per-commit resource limits for [`crate::Session::commit_with`].
+///
+/// All limits are optional; the default is fully ungoverned (identical
+/// to [`crate::Session::commit`], one dead branch per tick). The
+/// clause cap and memory budget are enforced twice: *predictively* at
+/// admission (the analyzer's instantiation estimates, before the WAL
+/// sees a record) and *actually* during grounding (per-round byte
+/// accounting over the term store, ground CSR, and fact indexes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitOpts {
+    /// Wall-clock deadline; tripping yields `DeadlineExceeded`.
+    pub deadline: Option<Instant>,
+    /// Cap on total ground clauses after the commit (admission-checked
+    /// against the analyzer's instantiation estimate).
+    pub max_clauses: Option<usize>,
+    /// Approximate memory budget in bytes over the term store + ground
+    /// program + fact indexes; tripping yields `MemoryBudget`.
+    pub max_memory_bytes: Option<usize>,
+    /// Deterministic work budget: the commit is interrupted (as
+    /// `Cancelled`) after this many guard checks. The fault-injection
+    /// hook behind the interrupt-at-every-phase sweeps; `None` (the
+    /// default) means unlimited.
+    pub fuel: Option<u64>,
+    /// Panic instead of returning when the fuel runs out — the
+    /// crash-injection hook (see `gsls_par::govern::FUEL_PANIC`).
+    pub panic_on_fuel: bool,
+}
+
+impl CommitOpts {
+    /// No limits (equivalent to `CommitOpts::default()`).
+    pub fn none() -> CommitOpts {
+        CommitOpts::default()
+    }
+
+    /// Sets a wall-clock deadline `timeout` from now.
+    pub fn with_timeout(mut self, timeout: std::time::Duration) -> CommitOpts {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+}
+
+/// Per-query resource limits for
+/// [`crate::PreparedQuery::execute_governed`] and
+/// [`crate::Session::query_governed`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOpts {
+    /// Wall-clock deadline; tripping yields `DeadlineExceeded`.
+    pub deadline: Option<Instant>,
+    /// Deterministic work budget (trips as `Cancelled`); the
+    /// fault-injection hook, `None` = unlimited.
+    pub fuel: Option<u64>,
+}
+
+impl QueryOpts {
+    /// Sets a wall-clock deadline `timeout` from now.
+    pub fn with_timeout(mut self, timeout: std::time::Duration) -> QueryOpts {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+}
+
+/// Builds the guard for one governed operation from a session's
+/// persistent cancel flag plus per-operation limits.
+pub(crate) fn guard_for(
+    cancel: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    deadline: Option<Instant>,
+    max_memory_bytes: Option<usize>,
+    fuel: Option<u64>,
+    panic_on_fuel: bool,
+) -> Guard {
+    let mut b = Guard::builder().cancel_flag(cancel);
+    if let Some(d) = deadline {
+        b = b.deadline(d);
+    }
+    if let Some(m) = max_memory_bytes {
+        b = b.memory_budget(m);
+    }
+    if let Some(f) = fuel {
+        b = b.fuel(f);
+    }
+    if panic_on_fuel {
+        b = b.panic_on_trip();
+    }
+    b.build()
+}

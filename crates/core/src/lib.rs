@@ -38,6 +38,7 @@
 
 pub mod deviant;
 pub mod global;
+pub mod govern;
 pub mod ground_tree;
 pub mod ordinal;
 pub mod rule;
@@ -51,6 +52,10 @@ pub mod trace;
 pub use deviant::{evaluate as deviant_evaluate, DeviantOpts, Verdict};
 pub use global::{
     GlobalAnswer, GlobalOpts, GlobalTree, NegChild, NegNode, Status, StatusFlags, TreeNode,
+};
+pub use govern::{
+    CommitOpts, Guard, GuardBuilder, InterruptCause, InterruptHandle, InterruptPhase, QueryOpts,
+    TICK_INTERVAL,
 };
 pub use ground_tree::{GroundStatus, GroundTreeAnalysis};
 pub use ordinal::Ordinal;

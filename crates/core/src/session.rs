@@ -50,10 +50,13 @@
 //! constant ever seen); retracting a fact does not shrink that domain.
 
 use crate::global::{GlobalOpts, GlobalTree, Status};
+use crate::govern::{
+    guard_for, CommitOpts, Guard, InterruptCause, InterruptHandle, InterruptPhase, QueryOpts,
+};
 use crate::solver::{Engine, QueryResult};
 use gsls_analyze::{
-    analyze_batch, analyze_with_ground, AnalyzerOpts, Diagnostic, Lint, LintConfig, LintLevel,
-    LintReport,
+    analyze_batch, analyze_with_ground, estimate_batch_instances, AnalyzerOpts, Diagnostic, Lint,
+    LintConfig, LintLevel, LintReport,
 };
 use gsls_durable::{
     decode_batch, decode_checkpoint, encode_batch, encode_checkpoint, Batch, CheckpointImage,
@@ -64,9 +67,13 @@ use gsls_lang::{
     parse_goal, parse_program, Atom, Clause, FxHashMap, Goal, ParseError, Pred, Program, Span,
     Subst, Symbol, Term, TermId, TermStore, Var,
 };
-use gsls_wfs::{well_founded_refresh, BitSet, IncrementalLfp, Interp, NegMode, Truth};
+use gsls_wfs::{
+    well_founded_refresh, well_founded_refresh_governed, BitSet, IncrementalLfp, Interp, NegMode,
+    Truth,
+};
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Sentinel for an unbound query binding slot.
@@ -198,6 +205,19 @@ pub enum SessionError {
     /// automatic rebuild failed too; the session serves reads of the
     /// last consistent model until [`Session::recover`] succeeds.
     Poisoned,
+    /// A governed operation was interrupted — cancelled through an
+    /// [`InterruptHandle`], past its deadline, or over its resource
+    /// budget. An interrupted *commit* has been fully rolled back
+    /// (WAL record truncated, engine restored at the previous epoch):
+    /// it is equivalent to a rolled-back transaction, and the session
+    /// stays writable. An `Admission` phase means the batch was
+    /// rejected before anything was journaled.
+    Interrupted {
+        /// Where the interruption surfaced.
+        phase: InterruptPhase,
+        /// What tripped the guard.
+        cause: InterruptCause,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -216,6 +236,9 @@ impl fmt::Display for SessionError {
             SessionError::Poisoned => {
                 write!(f, "session poisoned by a failed commit; reads only")
             }
+            SessionError::Interrupted { phase, cause } => {
+                write!(f, "interrupted during {phase}: {cause}")
+            }
         }
     }
 }
@@ -230,7 +253,13 @@ impl From<ParseError> for SessionError {
 
 impl From<GroundingError> for SessionError {
     fn from(e: GroundingError) -> Self {
-        SessionError::Grounding(e.to_string())
+        match e {
+            GroundingError::Interrupted(cause) => SessionError::Interrupted {
+                phase: InterruptPhase::Grounding,
+                cause,
+            },
+            other => SessionError::Grounding(other.to_string()),
+        }
     }
 }
 
@@ -321,6 +350,25 @@ pub struct Session {
     /// Write-ahead log + checkpoints, when opened durably.
     durable: Option<DurableLog>,
     poisoned: bool,
+    /// Persistent cancellation flag shared with every
+    /// [`Session::interrupt_handle`]; cleared at the start of each
+    /// governed operation.
+    cancel: Arc<AtomicBool>,
+    /// Rollback bookkeeping for the commit currently applying, so
+    /// [`Session::recover`] can unwind even after a panic escaped
+    /// mid-apply (WAL truncated to the mark, program truncated,
+    /// engine rebuilt). `None` whenever no commit is in flight.
+    inflight: Option<InflightCommit>,
+}
+
+/// See [`Session::recover`]: what to undo if the in-flight commit
+/// never reports back (panic/abort mid-apply).
+#[derive(Debug, Clone, Copy)]
+struct InflightCommit {
+    /// `program.len()` before the commit started appending.
+    program_len: usize,
+    /// WAL length before this commit's record, when durable.
+    wal_mark: Option<u64>,
 }
 
 impl Default for Session {
@@ -435,6 +483,8 @@ impl Session {
             last_report: LintReport::default(),
             durable: None,
             poisoned: false,
+            cancel: Arc::new(AtomicBool::new(false)),
+            inflight: None,
         })
     }
 
@@ -504,7 +554,9 @@ impl Session {
                 asserts: batch.asserts,
                 retracts: batch.retracts,
             };
-            session.apply_inner(pending)?;
+            // Replay is never governed: recovery must be deterministic
+            // and always reach the journaled epoch.
+            session.apply_inner(pending, &Guard::none())?;
         }
         session.durable = Some(log);
         if fresh {
@@ -532,7 +584,7 @@ impl Session {
     /// swallowed and retried at the next commit — this explicit call
     /// is the one that reports them.)
     pub fn checkpoint(&mut self) -> Result<(), SessionError> {
-        if self.poisoned {
+        if self.is_poisoned() {
             return Err(SessionError::Poisoned);
         }
         if self.durable.is_none() {
@@ -563,6 +615,17 @@ impl Session {
     /// successful recover the session is writable again.
     pub fn recover(&mut self) -> Result<(), SessionError> {
         self.txn = None;
+        // A commit that never reported back (a panic escaped mid-apply)
+        // left its in-flight record behind: unwind it exactly like a
+        // failed commit — truncate the WAL record so it can never
+        // replay, truncate the program, rebuild.
+        if let Some(inf) = self.inflight.take() {
+            if let (Some(m), Some(log)) = (inf.wal_mark, self.durable.as_mut()) {
+                let _ = log.truncate_to(m);
+            }
+            self.program.truncate(inf.program_len);
+            self.poisoned = true;
+        }
         if self.poisoned {
             self.rebuild_state()?;
             self.poisoned = false;
@@ -655,9 +718,11 @@ impl Session {
     }
 
     /// Whether a failed commit has poisoned the session (reads still
-    /// serve the last consistent model).
+    /// serve the last consistent model), or a panic escaped mid-commit
+    /// and left an in-flight record behind (reads may be torn until
+    /// [`Session::recover`] unwinds it).
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned
+        self.poisoned || self.inflight.is_some()
     }
 
     // ---- transactional updates -------------------------------------
@@ -665,7 +730,7 @@ impl Session {
     /// Opens a transaction: subsequent updates buffer until
     /// [`Session::commit`] (or vanish on [`Session::rollback`]).
     pub fn begin(&mut self) -> Result<(), SessionError> {
-        if self.poisoned {
+        if self.is_poisoned() {
             return Err(SessionError::Poisoned);
         }
         if self.txn.is_some() {
@@ -728,7 +793,7 @@ impl Session {
     /// Returns how many were queued. Auto-commits unless a transaction
     /// is open.
     pub fn add_rules(&mut self, src: &str) -> Result<usize, SessionError> {
-        if self.poisoned {
+        if self.is_poisoned() {
             return Err(SessionError::Poisoned);
         }
         let batch = parse_program(&mut self.store, src)?;
@@ -767,7 +832,7 @@ impl Session {
     /// before retracts. Without an open transaction this is a no-op
     /// (single updates auto-commit as they are issued).
     pub fn commit(&mut self) -> Result<CommitStats, SessionError> {
-        if self.poisoned {
+        if self.is_poisoned() {
             return Err(SessionError::Poisoned);
         }
         match self.txn.take() {
@@ -776,8 +841,50 @@ impl Session {
         }
     }
 
+    /// [`Session::commit`] under resource governance: the commit is
+    /// admission-checked against `opts` *before* the WAL sees a
+    /// record, and the grounding and model-refresh loops check the
+    /// deadline, the cancel flag and the memory budget every
+    /// [`crate::govern::TICK_INTERVAL`] work units. An interrupted
+    /// commit returns [`SessionError::Interrupted`] after unwinding
+    /// completely — WAL record truncated, engine rebuilt at the
+    /// previous epoch — so a timeout behaves exactly like a
+    /// rolled-back transaction. The session's cancel flag is cleared
+    /// when the commit starts; a [`Session::interrupt_handle`]
+    /// cancellation therefore targets the *running* operation, and a
+    /// subsequent commit starts fresh.
+    pub fn commit_with(&mut self, opts: &CommitOpts) -> Result<CommitStats, SessionError> {
+        if self.is_poisoned() {
+            return Err(SessionError::Poisoned);
+        }
+        match self.txn.take() {
+            Some(pending) => {
+                self.cancel.store(false, Ordering::SeqCst);
+                let guard = guard_for(
+                    self.cancel.clone(),
+                    opts.deadline,
+                    opts.max_memory_bytes,
+                    opts.fuel,
+                    opts.panic_on_fuel,
+                );
+                self.apply_with_guard(pending, &guard, Some(opts))
+            }
+            None => Ok(CommitStats::default()),
+        }
+    }
+
+    /// A `Send + Sync` handle that cancels the session's *currently
+    /// running* governed operation ([`Session::commit_with`],
+    /// [`Session::query_governed`], …) from another thread. Each
+    /// governed operation clears the flag on entry, so a cancellation
+    /// is consumed by the operation it lands on (or by the next one to
+    /// start) and never lingers.
+    pub fn interrupt_handle(&self) -> InterruptHandle {
+        InterruptHandle::from_flag(self.cancel.clone())
+    }
+
     fn check_writable(&self) -> Result<(), SessionError> {
-        if self.poisoned {
+        if self.is_poisoned() {
             return Err(SessionError::Poisoned);
         }
         Ok(())
@@ -800,7 +907,7 @@ impl Session {
     }
 
     fn parse_facts(&mut self, src: &str) -> Result<Vec<Atom>, SessionError> {
-        if self.poisoned {
+        if self.is_poisoned() {
             return Err(SessionError::Poisoned);
         }
         let batch = parse_program(&mut self.store, src)?;
@@ -839,13 +946,28 @@ impl Session {
     ///    committed epoch by a rebuild — the failed commit degrades to
     ///    a rolled-back transaction. Only a rebuild failure poisons.
     fn apply(&mut self, pending: Pending) -> Result<CommitStats, SessionError> {
+        self.apply_with_guard(pending, &Guard::none(), None)
+    }
+
+    /// The pipeline behind [`Session::commit`] (ungoverned guard, no
+    /// opts) and [`Session::commit_with`] (governed guard, admission
+    /// control against `opts`).
+    fn apply_with_guard(
+        &mut self,
+        pending: Pending,
+        guard: &Guard,
+        opts: Option<&CommitOpts>,
+    ) -> Result<CommitStats, SessionError> {
         if pending.is_empty() {
             return Ok(CommitStats::default());
         }
-        // Validation (including static analysis of the rule batch) runs
-        // BEFORE anything touches the WAL: a rejected batch leaves no
-        // record that could ever replay.
+        // Validation (including static analysis of the rule batch) and
+        // admission control run BEFORE anything touches the WAL: a
+        // rejected batch leaves no record that could ever replay.
         self.last_report = self.validate(&pending)?;
+        if let Some(opts) = opts {
+            self.admit(&pending, opts)?;
+        }
         let mut mark = None;
         if let Some(log) = &mut self.durable {
             let batch = Batch {
@@ -861,7 +983,15 @@ impl Session {
             log.append(&payload)?;
             mark = Some(m);
         }
-        match self.apply_inner(pending) {
+        // From here until apply_inner reports back, a panic escaping
+        // mid-apply leaves this record for Session::recover to unwind.
+        self.inflight = Some(InflightCommit {
+            program_len: self.program.len(),
+            wal_mark: mark,
+        });
+        let r = self.apply_inner(pending, guard);
+        self.inflight = None;
+        match r {
             Ok(stats) => {
                 self.maybe_checkpoint();
                 Ok(stats)
@@ -877,16 +1007,83 @@ impl Session {
         }
     }
 
+    /// Pre-commit admission control: predicts the batch's ground
+    /// growth from the analyzer's instantiation estimates (rules) plus
+    /// the literal fact count (asserts) and rejects — before WAL
+    /// journaling, before any mutation — when the prediction exceeds a
+    /// [`CommitOpts`] cap. The rejection surfaces as
+    /// [`SessionError::Interrupted`] in the `Admission` phase; the
+    /// budgets are enforced again (on actual usage) during grounding.
+    fn admit(&self, pending: &Pending, opts: &CommitOpts) -> Result<(), SessionError> {
+        if opts.max_clauses.is_none() && opts.max_memory_bytes.is_none() {
+            return Ok(());
+        }
+        let predicted = {
+            let mut rules = Program::new();
+            for c in &pending.rules {
+                rules.push(c.clone());
+            }
+            let gp = self.grounder.ground_program();
+            let aopts = AnalyzerOpts {
+                config: self.lint_config.clone(),
+                known_arities: self.arities.clone(),
+                cardinalities: gp.pred_cardinalities(),
+                domain_hint: self.grounder.universe().len(),
+            };
+            let est = estimate_batch_instances(&self.store, &rules, 0, &aopts);
+            usize::try_from(est)
+                .unwrap_or(usize::MAX)
+                .saturating_add(pending.asserts.len())
+        };
+        if let Some(max) = opts.max_clauses {
+            let total = self
+                .ground_program()
+                .clause_count()
+                .saturating_add(predicted);
+            if total > max {
+                return Err(SessionError::Interrupted {
+                    phase: InterruptPhase::Admission,
+                    cause: InterruptCause::MemoryBudget,
+                });
+            }
+        }
+        if let Some(max) = opts.max_memory_bytes {
+            let used = self.store.approx_bytes() + self.grounder.approx_bytes();
+            // ≈ bytes per predicted ground clause: one CSR row (head +
+            // bounds) plus a few body ids plus fact-index postings.
+            const BYTES_PER_CLAUSE: usize = 48;
+            let total = used.saturating_add(predicted.saturating_mul(BYTES_PER_CLAUSE));
+            if total > max {
+                return Err(SessionError::Interrupted {
+                    phase: InterruptPhase::Admission,
+                    cause: InterruptCause::MemoryBudget,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The in-memory apply (also the WAL replay path — it must stay
     /// deterministic given the same batch over the same state).
-    fn apply_inner(&mut self, pending: Pending) -> Result<CommitStats, SessionError> {
+    fn apply_inner(
+        &mut self,
+        pending: Pending,
+        guard: &Guard,
+    ) -> Result<CommitStats, SessionError> {
         if pending.is_empty() {
             return Ok(CommitStats::default());
         }
+        // The grounder holds the guard for the duration of its fallible
+        // steps (1 and 2); it is cleared before model maintenance so a
+        // later ungoverned commit never inherits a stale deadline.
+        self.grounder.set_guard(guard.clone());
         let mut stats = CommitStats::default();
         let atoms_before = self.ground_program().atom_count();
         let clauses_before = self.ground_program().clause_count();
         let program_len_before = self.program.len();
+        // Steps 2–3 mutate the retract map before the (fallible) model
+        // refresh; rollback rebuilds from it, so keep the original.
+        let disabled_before = self.disabled.clone();
 
         // Predicate arities this batch introduces (recorded only after
         // the fallible grounding steps succeed).
@@ -980,6 +1177,7 @@ impl Session {
         // 4. Model maintenance: grow the chains over the appended
         //    atoms/clauses, flip the switched clauses, re-run the
         //    alternating refresh from the warm state.
+        self.grounder.set_guard(Guard::none());
         let gp = self.grounder.ground_program();
         self.t_chain.grow(gp);
         self.u_chain.grow(gp);
@@ -988,7 +1186,28 @@ impl Session {
             self.t_chain.set_clauses_enabled(gp, &disable, &enable);
             self.u_chain.set_clauses_enabled(gp, &disable, &enable);
         }
-        self.model = well_founded_refresh(gp, &mut self.t_chain, &mut self.u_chain, &self.empty);
+        match well_founded_refresh_governed(
+            gp,
+            &mut self.t_chain,
+            &mut self.u_chain,
+            &self.empty,
+            guard,
+        ) {
+            Ok(model) => self.model = model,
+            Err(cause) => {
+                // The interrupted chains re-prime on next use, but the
+                // enable/disable bookkeeping above is already half
+                // applied — unwind through the full rollback path.
+                self.disabled = disabled_before;
+                return Err(self.restore_after_failed_commit(
+                    program_len_before,
+                    SessionError::Interrupted {
+                        phase: InterruptPhase::ModelRefresh,
+                        cause,
+                    },
+                ));
+            }
+        }
 
         stats.new_atoms = gp.atom_count() - atoms_before;
         stats.new_clauses = gp.clause_count() - clauses_before;
@@ -1238,6 +1457,20 @@ impl Session {
     pub fn query(&mut self, src: &str) -> Result<QueryResult, SessionError> {
         let mut q = self.prepare(src)?;
         Ok(q.execute(self)?.collect_result())
+    }
+
+    /// Governed one-shot query: like [`Session::query`] but the
+    /// enumeration respects `opts` plus this session's
+    /// [`Session::interrupt_handle`]. A tripped limit yields a
+    /// *partial* result — the answers found so far, with
+    /// [`QueryResult::interrupted`] set to the cause — never an error.
+    pub fn query_governed(
+        &mut self,
+        src: &str,
+        opts: &QueryOpts,
+    ) -> Result<QueryResult, SessionError> {
+        let mut q = self.prepare(src)?;
+        Ok(q.execute_governed(self, opts)?.collect_result())
     }
 
     /// Truth of a single (ground) query — shorthand over
@@ -1587,6 +1820,10 @@ pub struct Answers<'a> {
     /// Global-tree engine only: pre-materialized answers + verdict.
     materialized: Option<std::vec::IntoIter<Answer>>,
     overall: Option<(Truth, bool)>,
+    /// Resource governance: checked once per backtracking step.
+    guard: Guard,
+    tick: u32,
+    interrupted: Option<InterruptCause>,
 }
 
 impl<'a> Answers<'a> {
@@ -1624,7 +1861,18 @@ impl<'a> Answers<'a> {
             done: false,
             materialized: None,
             overall: None,
+            guard: Guard::none(),
+            tick: 0,
+            interrupted: None,
         })
+    }
+
+    /// Why the stream stopped early, if it did. `Some` means the
+    /// iterator hit its deadline/cancellation and went quiet — the
+    /// answers already yielded remain valid (a *partial* enumeration),
+    /// analogous to a resolution engine returning a budget outcome.
+    pub fn interrupted(&self) -> Option<InterruptCause> {
+        self.interrupted
     }
 
     /// The term store answers resolve against — lets callers render
@@ -1784,11 +2032,11 @@ impl<'a> Answers<'a> {
     }
 
     /// Drains the iterator into a compatibility [`QueryResult`].
-    pub fn collect_result(self) -> QueryResult {
+    pub fn collect_result(mut self) -> QueryResult {
         let overall = self.overall;
         let mut answers = Vec::new();
         let mut undefined = Vec::new();
-        for a in self {
+        for a in self.by_ref() {
             match a.truth {
                 Truth::True => answers.push(a.subst),
                 Truth::Undefined => undefined.push(a.subst),
@@ -1813,6 +2061,7 @@ impl<'a> Answers<'a> {
             answers,
             undefined,
             floundered,
+            interrupted: self.interrupted,
         }
     }
 }
@@ -1840,6 +2089,11 @@ impl Iterator for Answers<'_> {
             self.depth = total - 1;
         }
         loop {
+            if let Err(cause) = self.guard.tick(&mut self.tick) {
+                self.interrupted = Some(cause);
+                self.done = true;
+                return None;
+            }
             if self.advance(self.depth) {
                 if self.depth + 1 == total {
                     if let Some(a) = self.leaf() {
@@ -1976,6 +2230,48 @@ impl PreparedQuery {
         }
     }
 
+    /// Governed variant of [`PreparedQuery::execute`]: the returned
+    /// stream checks `opts` (deadline, fuel) plus the session's
+    /// [`Session::interrupt_handle`] every [`TICK_INTERVAL`]
+    /// backtracking steps. When a limit trips, the stream simply ends —
+    /// answers already yielded stay valid — and
+    /// [`Answers::interrupted`] reports the cause.
+    ///
+    /// Only the model-backed [`Engine::Tabled`] streams incrementally;
+    /// the global-tree engine materializes up front and is rejected
+    /// here as [`SessionError::Unsupported`].
+    pub fn execute_governed<'a>(
+        &'a mut self,
+        session: &'a mut Session,
+        opts: &QueryOpts,
+    ) -> Result<Answers<'a>, SessionError> {
+        match self.engine {
+            Engine::Tabled => {
+                session.cancel.store(false, Ordering::SeqCst);
+                let guard = guard_for(
+                    session.cancel.clone(),
+                    opts.deadline,
+                    None,
+                    opts.fuel,
+                    false,
+                );
+                let plan = self.plan.as_ref().expect("model engine has a plan");
+                let mut out = Answers::start(
+                    plan,
+                    session.view(),
+                    ScratchSlot::Borrowed(&mut self.scratch),
+                )?;
+                out.guard = guard;
+                Ok(out)
+            }
+            Engine::GlobalTree => Err(SessionError::Unsupported(
+                "the global-tree engine materializes its answers up front; \
+                 governed streaming serves the model-backed engine"
+                    .to_owned(),
+            )),
+        }
+    }
+
     /// Runs against a snapshot — `&self`, so one prepared query can be
     /// shared by many reader threads (each run allocates its own
     /// scratch).
@@ -1991,6 +2287,20 @@ impl PreparedQuery {
                     .to_owned(),
             )),
         }
+    }
+
+    /// Governed variant of [`PreparedQuery::execute_on`]: the caller
+    /// supplies the [`Guard`] (snapshots have no session cancel flag;
+    /// build one with [`Guard::builder`] and share its
+    /// [`InterruptHandle`] across reader threads).
+    pub fn execute_on_governed<'a>(
+        &'a self,
+        snapshot: &'a Snapshot,
+        guard: &Guard,
+    ) -> Result<Answers<'a>, SessionError> {
+        let mut out = self.execute_on(snapshot)?;
+        out.guard = guard.clone();
+        Ok(out)
     }
 }
 

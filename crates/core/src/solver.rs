@@ -52,6 +52,11 @@ pub struct QueryResult {
     pub undefined: Vec<Subst>,
     /// Whether the evaluation floundered (global-tree engine only).
     pub floundered: bool,
+    /// `Some(cause)` when a governed enumeration stopped early
+    /// (deadline, cancellation, fuel): the answers above are a valid
+    /// *partial* set and `truth` reflects only what was enumerated.
+    /// Always `None` for ungoverned runs.
+    pub interrupted: Option<crate::govern::InterruptCause>,
 }
 
 /// Solver errors.
@@ -222,6 +227,7 @@ impl Solver {
             answers,
             undefined: Vec::new(),
             floundered,
+            interrupted: None,
         }
     }
 

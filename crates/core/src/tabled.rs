@@ -41,6 +41,7 @@
 use crate::scc::SccSolver;
 use gsls_ground::{depgraph, GroundAtomId, GroundProgram};
 use gsls_lang::FxHashMap;
+use gsls_par::govern::{Guard, InterruptCause};
 use gsls_par::TaskDag;
 use gsls_wfs::Truth;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -137,11 +138,28 @@ impl TabledEngine {
     /// produces the same verdicts by the determinism contract (see the
     /// module docs). Pick a count with [`gsls_par::threads`].
     pub fn truth_parallel(&mut self, atom: GroundAtomId, threads: usize) -> Truth {
+        self.truth_parallel_governed(atom, threads, &Guard::none())
+            .expect("an ungoverned evaluation cannot be interrupted")
+    }
+
+    /// [`TabledEngine::truth_parallel`] under a [`Guard`]: the
+    /// sequential path checks the guard once per SCC; the parallel path
+    /// threads it into the wavefront, where the first trip aborts the
+    /// work-stealing queues and unparks every worker. On interruption,
+    /// verdicts of SCCs that *completed* stay memoized — memoization is
+    /// monotone, so a partial table is simply a smaller table and the
+    /// next call resumes from it.
+    pub fn truth_parallel_governed(
+        &mut self,
+        atom: GroundAtomId,
+        threads: usize,
+        guard: &Guard,
+    ) -> Result<Truth, InterruptCause> {
         if let Some(t) = self.table[atom.index()] {
-            return t;
+            return Ok(t);
         }
-        self.evaluate_from(atom, threads);
-        self.table[atom.index()].expect("evaluation must decide the root atom")
+        self.evaluate_from(atom, threads, guard)?;
+        Ok(self.table[atom.index()].expect("evaluation must decide the root atom"))
     }
 
     /// The truth of `atom` if already tabled.
@@ -150,7 +168,12 @@ impl TabledEngine {
     }
 
     /// Evaluates all atoms reachable from `root` that are not yet tabled.
-    fn evaluate_from(&mut self, root: GroundAtomId, threads: usize) {
+    fn evaluate_from(
+        &mut self,
+        root: GroundAtomId,
+        threads: usize,
+        guard: &Guard,
+    ) -> Result<(), InterruptCause> {
         // 1. Reachable, untabled atoms (DFS over body edges).
         let mut reach: Vec<GroundAtomId> = Vec::new();
         let mut seen = vec![false; self.gp.atom_count()];
@@ -202,11 +225,13 @@ impl TabledEngine {
         // over the condensation (parallel).
         if threads <= 1 || comps.len() <= 1 {
             for comp in comps {
+                guard.check()?;
                 let atoms: Vec<GroundAtomId> = comp.iter().map(|&l| reach[l as usize]).collect();
                 self.solve_scc(&atoms);
             }
+            Ok(())
         } else {
-            self.solve_sccs_parallel(&reach, &adj, &comps, threads);
+            self.solve_sccs_parallel(&reach, &adj, &comps, threads, guard)
         }
     }
 
@@ -239,7 +264,8 @@ impl TabledEngine {
         adj: &[Vec<u32>],
         comps: &[Vec<u32>],
         threads: usize,
-    ) {
+        guard: &Guard,
+    ) -> Result<(), InterruptCause> {
         let n = comps.len();
         let mut comp_of = vec![0u32; reach.len()];
         for (ci, comp) in comps.iter().enumerate() {
@@ -270,8 +296,9 @@ impl TabledEngine {
             .map(|t| AtomicU8::new(t.map_or(V_NONE, encode)))
             .collect();
         let verdicts = &verdicts[..];
-        dag.run(
+        let run = dag.run_governed(
             threads,
+            guard,
             |_worker| (SccSolver::for_worker(gp), Vec::<GroundAtomId>::new()),
             |(solver, atom_buf), c| {
                 atom_buf.clear();
@@ -285,11 +312,19 @@ impl TabledEngine {
                 }
             },
         );
+        // Completed SCCs published final verdicts even if the wavefront
+        // was interrupted mid-flight: memoization is monotone, so keep
+        // them (an uninterrupted run decides every reachable atom).
         for &a in reach {
-            let v = decode(verdicts[a.index()].load(Ordering::Acquire));
-            debug_assert!(v.is_some(), "wavefront left an atom undecided");
-            table[a.index()] = v;
+            if let Some(v) = decode(verdicts[a.index()].load(Ordering::Acquire)) {
+                table[a.index()] = Some(v);
+            }
         }
+        debug_assert!(
+            run.is_err() || reach.iter().all(|a| table[a.index()].is_some()),
+            "uninterrupted wavefront left an atom undecided"
+        );
+        run
     }
 }
 
@@ -429,6 +464,29 @@ mod tests {
         let before = e.stats().evaluated_atoms;
         let _ = e.truth(id(&s, &gp, "p"));
         assert_eq!(e.stats().evaluated_atoms, before, "second query free");
+    }
+
+    #[test]
+    fn governed_evaluation_interrupts_and_resumes() {
+        let src = "e(a, b). e(b, c). e(c, d). t(X, Y) :- e(X, Y). \
+                   t(X, Z) :- e(X, Y), t(Y, Z). w(X) :- e(X, Y), ~w(Y).";
+        for threads in [1, 4] {
+            let (s, mut e) = engine(src);
+            let gp = e.ground_program().clone();
+            let root = id(&s, &gp, "t(a, d)");
+            // Zero fuel: the very first guard check trips, sequential
+            // and wavefront paths alike.
+            let starved = Guard::builder().fuel(0).build();
+            let err = e.truth_parallel_governed(root, threads, &starved);
+            assert_eq!(err, Err(InterruptCause::Cancelled), "{threads} threads");
+            // The partial memo table is monotone: an ungoverned retry
+            // finishes and agrees with the model.
+            let wfm = well_founded_model(&gp);
+            assert_eq!(e.truth_parallel(root, threads), wfm.truth(root));
+            for a in gp.atom_ids() {
+                assert_eq!(e.truth_parallel(a, threads), wfm.truth(a));
+            }
+        }
     }
 
     #[test]

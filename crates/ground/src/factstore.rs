@@ -366,6 +366,26 @@ impl FactStore {
         self.indexes.len()
     }
 
+    /// Approximate heap footprint in bytes: column stores, row-id
+    /// arrays, and composite indexes. O(predicates + indexes) — posting
+    /// lists are estimated as one entry per indexed row and key maps by
+    /// their entry count, never walked — so governance can poll it
+    /// every grounding round.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.slots.capacity() * (size_of::<Pred>() + 12);
+        for p in &self.preds {
+            bytes += p.cols.capacity() * size_of::<TermId>()
+                + p.ids.capacity() * size_of::<GroundAtomId>();
+            // Each covering index posts every row of this predicate.
+            bytes += p.handles.len() * p.rows as usize * 4;
+        }
+        for ix in &self.indexes {
+            bytes += ix.map.len() * (ix.argpos.len() * size_of::<TermId>() + 72);
+        }
+        bytes
+    }
+
     /// Number of fact rows of the predicate in `slot`.
     pub fn rows(&self, slot: u32) -> u32 {
         self.preds[slot as usize].rows

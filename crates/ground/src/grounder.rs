@@ -50,6 +50,7 @@ use gsls_lang::{
     match_term_recording, Atom, Clause, FxHashMap, FxHashSet, Pred, Program, Subst, Symbol, Term,
     TermId, TermStore, Var,
 };
+use gsls_par::govern::{Guard, InterruptCause};
 use std::fmt;
 use std::time::Instant;
 
@@ -490,6 +491,28 @@ impl GroundProgram {
         (0..self.atoms.len() as u32).map(GroundAtomId)
     }
 
+    /// Approximate heap footprint of the CSR store, interning table,
+    /// and reverse indexes, in bytes. O(number of predicates), computed
+    /// from capacities and counts (never by walking atoms or clauses),
+    /// so governance can poll it every grounding round. Per-atom and
+    /// per-entry constants stand in for boxed argument lists and
+    /// hash-table overhead; budgets are approximate by contract.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let atoms = self.atoms.capacity() * size_of::<Atom>() + self.atoms.len() * 16;
+        let table = self.atoms.len() * 16; // sharded interning entries
+        let csr = (self.heads.capacity() + self.body.capacity()) * 4
+            + (self.body_start.capacity() + self.neg_start.capacity()) * 4;
+        let by_pred: usize = self.by_pred.values().map(|v| v.capacity() * 4 + 48).sum();
+        // Reverse indexes: by_head + watch_pos + watch_neg each hold one
+        // offset per atom and one item per watch occurrence (≈ body len).
+        let index = match &self.index {
+            Some(_) => 3 * (self.atoms.len() + 1) * 4 + (self.body.len() + self.heads.len()) * 12,
+            None => 0,
+        };
+        atoms + table + csr + by_pred + index
+    }
+
     /// Adds a clause (deduplication is the grounder's responsibility).
     pub fn push_clause(&mut self, clause: GroundClause) {
         self.push_clause_parts(clause.head, &clause.pos, &clause.neg);
@@ -812,6 +835,9 @@ impl Default for GrounderOpts {
 pub enum GroundingError {
     /// The `max_clauses` budget was exceeded.
     ClauseBudget(usize),
+    /// A governance [`Guard`] tripped mid-run (cancel, deadline, or
+    /// memory budget); the half-built delta is the caller's to unwind.
+    Interrupted(InterruptCause),
 }
 
 impl fmt::Display for GroundingError {
@@ -819,6 +845,9 @@ impl fmt::Display for GroundingError {
         match self {
             GroundingError::ClauseBudget(n) => {
                 write!(f, "grounding exceeded the clause budget of {n}")
+            }
+            GroundingError::Interrupted(cause) => {
+                write!(f, "grounding interrupted: {cause}")
             }
         }
     }
@@ -914,6 +943,13 @@ pub struct Grounder<'a> {
     /// `free_fact_seen[atom id]`: a *permanent* (untracked) fact clause
     /// with this head exists (persistent mode's second dedup space).
     free_fact_seen: Vec<bool>,
+    /// Governance: polled every [`gsls_par::TICK_INTERVAL`] join
+    /// candidates / emissions and once per semi-naive round (where the
+    /// memory budget is also enforced). [`Guard::none`] costs one
+    /// branch per tick site.
+    guard: Guard,
+    /// Local tick counter for `guard` (caller-owned cadence).
+    tick: u32,
 }
 
 impl<'a> Grounder<'a> {
@@ -975,6 +1011,8 @@ impl<'a> Grounder<'a> {
             source_fact: false,
             fact_clause: FxHashMap::default(),
             free_fact_seen: Vec::new(),
+            guard: Guard::none(),
+            tick: 0,
         };
         g.run(program)?;
         let t = Instant::now();
@@ -1140,6 +1178,7 @@ impl<'a> Grounder<'a> {
     ) -> Result<(), GroundingError> {
         while !grown.is_empty() {
             self.stats.rounds += 1;
+            self.check_guard_memory(facts)?;
             for &slot in grown.iter() {
                 for &pid in planner.dependents_of(slot) {
                     let plan = &planner.plans[pid as usize];
@@ -1403,6 +1442,7 @@ impl<'a> Grounder<'a> {
     ) -> Result<(), GroundingError> {
         let lit = &plan.literals[li];
         self.stats.join_candidates += 1;
+        self.tick_guard()?;
         let targs = facts.row_args(lit.pred_slot, row);
         let mark = self.slot_trail.len();
         let mut ok = true;
@@ -1467,6 +1507,7 @@ impl<'a> Grounder<'a> {
             return self.emit_template(tmpl, new_atoms);
         };
         for u in 0..self.universe.len() {
+            self.tick_guard()?;
             self.bindings[slot as usize] = self.universe[u];
             self.enumerate_residual(tmpl, j + 1, new_atoms)?;
         }
@@ -1569,6 +1610,7 @@ impl<'a> Grounder<'a> {
         use_table: bool,
         new_atoms: &mut Vec<GroundAtomId>,
     ) -> Result<(), GroundingError> {
+        self.tick_guard()?;
         if n_pos == 0 && self.neg_buf.is_empty() {
             if self.fact_seen.len() <= head_id.index() {
                 self.fact_seen.resize(head_id.index() + 1, false);
@@ -1805,6 +1847,30 @@ impl<'a> Grounder<'a> {
         self.max_depth != u32::MAX && args.iter().any(|&t| self.store.depth(t) > self.max_depth)
     }
 
+    /// One governance tick (amortized check) charged to this run.
+    #[inline]
+    fn tick_guard(&mut self) -> Result<(), GroundingError> {
+        self.guard
+            .tick(&mut self.tick)
+            .map_err(GroundingError::Interrupted)
+    }
+
+    /// A real governance check plus memory accounting over the term
+    /// store, the CSR program, and the fact-store indexes — the
+    /// per-round boundary check.
+    fn check_guard_memory(&mut self, facts: &FactStore) -> Result<(), GroundingError> {
+        if !self.guard.is_governed() {
+            return Ok(());
+        }
+        let r = if self.guard.memory_budget().is_some() {
+            let used = self.store.approx_bytes() + self.gp.approx_bytes() + facts.approx_bytes();
+            self.guard.check_memory(used)
+        } else {
+            self.guard.check()
+        };
+        r.map_err(GroundingError::Interrupted)
+    }
+
     /// Builds a transient grounder over a session kernel's state: every
     /// owned field moves out of the kernel (cheap pointer moves) and
     /// [`Grounder::detach`] moves them back. Persistent mode is implied.
@@ -1832,6 +1898,8 @@ impl<'a> Grounder<'a> {
             source_fact: false,
             fact_clause: std::mem::take(&mut k.fact_clause),
             free_fact_seen: std::mem::take(&mut k.free_fact_seen),
+            guard: k.guard.clone(),
+            tick: 0,
         }
     }
 
@@ -1994,6 +2062,9 @@ pub struct IncrementalGrounder {
     /// Rule indices with residual (universe-enumerated) slots — the
     /// rules that must re-join in full when the universe grows.
     residual_rules: Vec<u32>,
+    /// Governance guard the next attached run polls; [`Guard::none`]
+    /// unless a session installed one for the current commit.
+    guard: Guard,
 }
 
 impl IncrementalGrounder {
@@ -2040,6 +2111,7 @@ impl IncrementalGrounder {
             planner: Planner::default(),
             facts: FactStore::default(),
             residual_rules: Vec::new(),
+            guard: Guard::none(),
         };
         let mut g = Grounder::attach(store, &mut k);
         let r = g.run_planned_core(program);
@@ -2071,6 +2143,21 @@ impl IncrementalGrounder {
     /// Cumulative grounding statistics across all operations so far.
     pub fn stats(&self) -> GroundStats {
         self.stats
+    }
+
+    /// Installs the governance guard that subsequent
+    /// [`IncrementalGrounder::extend`] / [`IncrementalGrounder::
+    /// add_rules`] runs poll. A session sets a per-commit guard before
+    /// applying a batch and resets to [`Guard::none`] afterwards.
+    pub fn set_guard(&mut self, guard: Guard) {
+        self.guard = guard;
+    }
+
+    /// Approximate heap footprint of the persistent ground state — CSR
+    /// program plus fact store and composite indexes — in bytes. The
+    /// session adds the term store's own accounting on top.
+    pub fn approx_bytes(&self) -> usize {
+        self.gp.approx_bytes() + self.facts.approx_bytes()
     }
 
     /// Number of program clauses (rules and source facts) compiled so

@@ -52,6 +52,14 @@ impl SymbolTable {
         self.map.get(name).copied()
     }
 
+    /// Approximate heap footprint in bytes (O(1), estimate — assumes
+    /// short names; see `TermStore::approx_bytes`).
+    pub fn approx_bytes(&self) -> usize {
+        self.names.capacity() * std::mem::size_of::<Box<str>>()
+            + self.map.capacity() * (std::mem::size_of::<Box<str>>() + 8)
+            + self.names.len() * 2 * 16
+    }
+
     /// The textual name of `sym`.
     ///
     /// # Panics

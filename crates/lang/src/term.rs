@@ -112,6 +112,23 @@ impl TermStore {
         self.var_names.len()
     }
 
+    /// Approximate heap footprint of the arena in bytes: capacities of
+    /// the term and interning tables plus a flat per-entry estimate of
+    /// the boxed argument lists and names. O(1) — computed from counts,
+    /// never by walking entries — so resource governance can poll it on
+    /// every accounting check.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // Each App's boxed args are ~2 ids on average in this workload;
+        // per-entry constants absorb allocator headers and hash-map
+        // control bytes. Deliberately coarse: budgets are advisory.
+        let terms = self.terms.capacity() * size_of::<TermInfo>() + self.terms.len() * 24;
+        let cons = self.cons.capacity() * (size_of::<Term>() + size_of::<TermId>() + 16);
+        let syms = self.symbols.approx_bytes();
+        let vars = self.var_names.capacity() * size_of::<Option<Box<str>>>();
+        terms + cons + syms + vars
+    }
+
     fn intern(&mut self, data: Term, ground: bool, depth: u32, size: u32) -> TermId {
         if let Some(&id) = self.cons.get(&data) {
             return id;

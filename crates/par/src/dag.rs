@@ -27,8 +27,10 @@
 //! schedule *condensations* — SCC DAGs — which are acyclic by
 //! construction.
 
+use crate::govern::{Guard, InterruptCause};
 use crate::pool::StealQueues;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// A directed acyclic graph of `u32` tasks plus the scheduling state
 /// needed to run it ([`TaskDag::run`]).
@@ -79,9 +81,26 @@ impl TaskDag {
         init: impl Fn(usize) -> S + Sync,
         step: impl Fn(&mut S, u32) + Sync,
     ) {
+        self.run_governed(n_threads, &Guard::none(), init, step)
+            .expect("an ungoverned run cannot be interrupted");
+    }
+
+    /// [`TaskDag::run`] under a [`Guard`]: each worker polls the guard
+    /// before every task, and the first trip aborts the queues — which
+    /// wakes every parked sibling immediately — so all workers drain
+    /// and return. On interruption some tasks have run and some have
+    /// not; the caller owns whatever partial state `step` built and is
+    /// expected to discard or rebuild it.
+    pub fn run_governed<S>(
+        &self,
+        n_threads: usize,
+        guard: &Guard,
+        init: impl Fn(usize) -> S + Sync,
+        step: impl Fn(&mut S, u32) + Sync,
+    ) -> Result<(), InterruptCause> {
         let n = self.len();
         if n == 0 {
-            return;
+            return Ok(());
         }
         if n_threads <= 1 {
             let mut state = init(0);
@@ -89,6 +108,7 @@ impl TaskDag {
             let mut ready: Vec<u32> = (0..n as u32).filter(|&t| in_deg[t as usize] == 0).collect();
             let mut done = 0usize;
             while let Some(t) = ready.pop() {
+                guard.check()?;
                 step(&mut state, t);
                 done += 1;
                 for &d in &self.dependents[t as usize] {
@@ -99,7 +119,7 @@ impl TaskDag {
                 }
             }
             debug_assert_eq!(done, n, "cycle in TaskDag");
-            return;
+            return Ok(());
         }
         let workers = n_threads.min(n);
         let queues = StealQueues::new(workers, n);
@@ -112,6 +132,9 @@ impl TaskDag {
             }
         }
         debug_assert!(seeded > 0, "cycle in TaskDag: no roots");
+        // First interruption cause wins; later trips see the queues
+        // already aborted.
+        let tripped: Mutex<Option<InterruptCause>> = Mutex::new(None);
         // A task panic must propagate, not deadlock: the dying worker's
         // guard aborts the queues so its siblings stop drawing tasks and
         // the scope join re-raises the panic.
@@ -124,9 +147,17 @@ impl TaskDag {
             }
         }
         let work = |w: usize| {
-            let _guard = AbortOnPanic(&queues);
+            let _panic_guard = AbortOnPanic(&queues);
             let mut state = init(w);
             while let Some(t) = queues.next_task(w) {
+                if let Err(cause) = guard.check() {
+                    tripped
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .get_or_insert(cause);
+                    queues.abort();
+                    return;
+                }
                 step(&mut state, t);
                 for &d in &self.dependents[t as usize] {
                     if in_deg[d as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -143,10 +174,14 @@ impl TaskDag {
             }
             work(0);
         });
+        if let Some(cause) = tripped.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(cause);
+        }
         assert!(
             queues.is_done() && !queues.is_aborted(),
             "TaskDag run did not complete"
         );
+        Ok(())
     }
 }
 
@@ -249,6 +284,26 @@ mod tests {
             );
         }));
         assert!(result.is_err(), "panic must propagate out of run");
+    }
+
+    #[test]
+    fn governed_run_cancels_and_drains() {
+        let mut dag = TaskDag::new(64);
+        for t in 1..64u32 {
+            dag.add_dep(t, t - 1);
+        }
+        for threads in [1, 3] {
+            // Fuel of 5 guard checks: the run trips partway through the
+            // chain and every worker returns cleanly.
+            let guard = Guard::builder().fuel(5).build();
+            let ran = Mutex::new(0usize);
+            let r = dag.run_governed(threads, &guard, |_| (), |_, _| *ran.lock().unwrap() += 1);
+            assert_eq!(r, Err(InterruptCause::Cancelled));
+            assert!(*ran.lock().unwrap() < 64, "trip must stop the run");
+        }
+        // An untripped governed run completes normally.
+        let guard = Guard::builder().build();
+        dag.run_governed(2, &guard, |_| (), |_, _| ()).unwrap();
     }
 
     #[test]

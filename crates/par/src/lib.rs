@@ -17,7 +17,10 @@
 //!   tasks complete and enqueueing newly-ready ones (the wavefront
 //!   pattern used by subsumption-style layered controllers, where
 //!   independent layers run concurrently under a fixed arbitration
-//!   order).
+//!   order);
+//! * [`govern`] — [`Guard`]: the engine-wide cancellation / deadline /
+//!   memory-budget token every hot loop polls, wired into the deques'
+//!   abort protocol by [`TaskDag::run_governed`].
 //!
 //! ## Thread-count policy
 //!
@@ -38,9 +41,11 @@
 //! for the tabled engine and the grounder.
 
 pub mod dag;
+pub mod govern;
 pub mod pool;
 
 pub use dag::TaskDag;
+pub use govern::{Guard, GuardBuilder, InterruptCause, InterruptHandle, TICK_INTERVAL};
 pub use pool::{par_chunks, par_map, StealQueues};
 
 /// Hard cap on accepted thread counts; a `GSLS_THREADS` typo should not

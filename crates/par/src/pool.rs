@@ -25,12 +25,22 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, LockResult, Mutex};
 use std::time::Duration;
 
 /// How long an idle worker sleeps before re-scanning the deques; bounds
 /// the staleness window of the lock-free sleeper check.
 const PARK: Duration = Duration::from_micros(200);
+
+/// Recovers a poisoned lock/wait result. Every mutex in this module
+/// guards data that stays structurally valid across a panic (the deques
+/// hold plain `u32`s and no critical section runs user code), so when a
+/// panicking worker poisons one, the siblings take the inner guard and
+/// carry on: the panic itself still propagates through the scope join /
+/// abort flag, but it no longer cascades into every stealer.
+fn relock<T>(r: LockResult<T>) -> T {
+    r.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Per-worker task deques with stealing and a completion-counting
 /// termination protocol, shared by reference across scoped workers.
@@ -75,15 +85,12 @@ impl StealQueues {
 
     /// Enqueues `task` on `worker`'s deque and wakes sleepers if any.
     pub fn push(&self, worker: usize, task: u32) {
-        self.local[worker]
-            .lock()
-            .expect("queue lock poisoned")
-            .push_back(task);
+        relock(self.local[worker].lock()).push_back(task);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             // Taking the lock orders this notify against a concurrent
             // parker that incremented `sleepers` but has not begun
             // waiting yet (it must acquire the same lock first).
-            let _g = self.sleep.lock().expect("sleep lock poisoned");
+            let _g = relock(self.sleep.lock());
             self.wake.notify_all();
         }
     }
@@ -92,7 +99,7 @@ impl StealQueues {
     /// so parked workers observe termination promptly.
     pub fn complete_one(&self) {
         if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
-            let _g = self.sleep.lock().expect("sleep lock poisoned");
+            let _g = relock(self.sleep.lock());
             self.wake.notify_all();
         }
     }
@@ -102,13 +109,18 @@ impl StealQueues {
         self.finished.load(Ordering::Acquire) >= self.total
     }
 
-    /// Marks the run dead and wakes everyone: no further tasks will be
-    /// handed out. Called when a worker's task panicked, so the panic
+    /// Marks the run dead and wakes everyone **immediately**: no
+    /// further tasks will be handed out, and parked workers do not wait
+    /// out the `PARK` timeout (the notify pairs with the aborted
+    /// re-check `next_task` performs under this lock before sleeping,
+    /// which bounds cancellation latency by a lock handoff rather than
+    /// 200µs). Called when a worker's task panicked — so the panic
     /// propagates out of the scope join instead of the siblings parking
-    /// forever waiting for completions that cannot come.
+    /// forever — and by cooperative cancellation
+    /// ([`crate::TaskDag::run_governed`]).
     pub fn abort(&self) {
         self.aborted.store(true, Ordering::SeqCst);
-        let _g = self.sleep.lock().expect("sleep lock poisoned");
+        let _g = relock(self.sleep.lock());
         self.wake.notify_all();
     }
 
@@ -126,21 +138,13 @@ impl StealQueues {
             if self.is_aborted() {
                 return None;
             }
-            if let Some(t) = self.local[worker]
-                .lock()
-                .expect("queue lock poisoned")
-                .pop_back()
-            {
+            if let Some(t) = relock(self.local[worker].lock()).pop_back() {
                 return Some(t);
             }
             let n = self.local.len();
             for k in 1..n {
                 let victim = (worker + k) % n;
-                if let Some(t) = self.local[victim]
-                    .lock()
-                    .expect("queue lock poisoned")
-                    .pop_front()
-                {
+                if let Some(t) = relock(self.local[victim].lock()).pop_front() {
                     return Some(t);
                 }
             }
@@ -149,14 +153,15 @@ impl StealQueues {
             }
             self.sleepers.fetch_add(1, Ordering::SeqCst);
             {
-                let g = self.sleep.lock().expect("sleep lock poisoned");
+                let g = relock(self.sleep.lock());
                 // Re-check under the lock: a producer that saw our
-                // sleeper increment notifies while holding it.
-                if !self.is_done() {
-                    let _ = self
-                        .wake
-                        .wait_timeout(g, PARK)
-                        .expect("sleep lock poisoned");
+                // sleeper increment notifies while holding it, and
+                // `abort` does the same — checking the flag here (not
+                // just at loop top) means a cancel racing the park is
+                // seen before we sleep, so cancellation latency is a
+                // lock handoff, never a full `PARK` timeout.
+                if !self.is_done() && !self.is_aborted() {
+                    let _ = relock(self.wake.wait_timeout(g, PARK));
                 }
             }
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -192,7 +197,10 @@ pub fn par_map<R: Send>(n_threads: usize, n_tasks: usize, f: impl Fn(usize) -> R
         let handles: Vec<_> = (1..workers).map(|w| s.spawn(move || run(w))).collect();
         pairs.extend(run(0));
         for h in handles {
-            pairs.extend(h.join().expect("par_map worker panicked"));
+            // Re-raise a worker panic on the caller rather than a
+            // generic expect: the payload (e.g. the injected-fault
+            // marker) survives for catch_unwind-based recovery.
+            pairs.extend(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
         }
     });
     pairs.sort_unstable_by_key(|&(i, _)| i);
@@ -262,6 +270,26 @@ mod tests {
         }
         let empty: Vec<u32> = Vec::new();
         assert_eq!(par_chunks(4, &empty, 4, |_, c| c.len()), vec![0]);
+    }
+
+    #[test]
+    fn abort_returns_parked_workers() {
+        // Workers parked on an un-completable run must come back as
+        // soon as `abort` runs, not only via timeout expiry.
+        let q = StealQueues::new(2, 1); // one task that never arrives
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for w in 0..2 {
+                let q = &q;
+                s.spawn(move || assert_eq!(q.next_task(w), None));
+            }
+            std::thread::sleep(Duration::from_millis(2)); // let them park
+            q.abort();
+        });
+        // Generous bound: CI-safe, still far under an accumulation of
+        // PARK timeouts if the wakeup were lost.
+        assert!(t0.elapsed() < Duration::from_millis(500));
+        assert!(q.is_aborted());
     }
 
     #[test]

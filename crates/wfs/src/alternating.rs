@@ -21,6 +21,7 @@ use crate::interp::Interp;
 use crate::propagator::Propagator;
 use crate::tp::lfp_with_rebuild;
 use gsls_ground::GroundProgram;
+use gsls_par::govern::{Guard, InterruptCause};
 
 /// Statistics from an alternating-fixpoint run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,13 +120,33 @@ pub fn well_founded_refresh(
     u_chain: &mut IncrementalLfp,
     empty: &BitSet,
 ) -> Interp {
+    well_founded_refresh_governed(gp, t_chain, u_chain, empty, &Guard::none())
+        .expect("an ungoverned refresh cannot be interrupted")
+}
+
+/// [`well_founded_refresh`] under a governance [`Guard`]: every reduct
+/// evaluation runs governed ([`IncrementalLfp::evaluate_governed`]) and
+/// the outer alternation checks the guard once per round, so a
+/// cancellation, deadline, or fuel trip surfaces within one tick
+/// interval of work. On interruption the chains are left unprimed (they
+/// re-prime on next use — see `evaluate_governed`) and the error
+/// carries the trip cause; callers that must restore exact warm-chain
+/// state rebuild the chains, as the session rollback path does.
+pub fn well_founded_refresh_governed(
+    gp: &GroundProgram,
+    t_chain: &mut IncrementalLfp,
+    u_chain: &mut IncrementalLfp,
+    empty: &BitSet,
+    guard: &Guard,
+) -> Result<Interp, InterruptCause> {
     debug_assert_eq!(empty.capacity(), gp.atom_count());
     debug_assert!(empty.is_empty());
     let mut t_count = 0usize;
-    let mut u_count = u_chain.evaluate(gp, empty);
+    let mut u_count = u_chain.evaluate_governed(gp, empty, guard)?;
     loop {
-        let tc = t_chain.evaluate(gp, u_chain.out());
-        let uc = u_chain.evaluate(gp, t_chain.out());
+        guard.check()?;
+        let tc = t_chain.evaluate_governed(gp, u_chain.out(), guard)?;
+        let uc = u_chain.evaluate_governed(gp, t_chain.out(), guard)?;
         let stable = tc == t_count && uc == u_count;
         t_count = tc;
         u_count = uc;
@@ -140,7 +161,7 @@ pub fn well_founded_refresh(
         "alternating fixpoint order violated"
     );
     false_set.complement_in_place();
-    Interp::from_parts(t, false_set)
+    Ok(Interp::from_parts(t, false_set))
 }
 
 /// The full-recompute alternating fixpoint of PR 1: every `A(·)` runs

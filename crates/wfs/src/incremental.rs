@@ -38,6 +38,7 @@
 
 use crate::bitset::BitSet;
 use gsls_ground::{GroundAtomId, GroundProgram};
+use gsls_par::govern::{Guard, InterruptCause};
 
 /// Sentinel marking a clause deleted under the current context.
 const DEAD: u32 = u32::MAX;
@@ -109,6 +110,11 @@ pub struct IncrementalLfp {
     primed: bool,
     stats: IncStats,
     n_atoms: usize,
+    /// Governance guard for the current evaluation (ungoverned outside
+    /// [`Self::evaluate_governed`]).
+    guard: Guard,
+    /// Work-tick counter feeding [`Guard::tick`].
+    tick: u32,
 }
 
 impl IncrementalLfp {
@@ -135,6 +141,8 @@ impl IncrementalLfp {
             primed: false,
             stats: IncStats::default(),
             n_atoms: n,
+            guard: Guard::none(),
+            tick: 0,
         }
     }
 
@@ -170,28 +178,60 @@ impl IncrementalLfp {
     /// every later call re-enqueues only clauses reachable from the
     /// context delta through `watch_neg`.
     pub fn evaluate(&mut self, gp: &GroundProgram, context: &BitSet) -> usize {
+        self.guard = Guard::none();
+        self.evaluate_inner(gp, context)
+            .expect("an ungoverned evaluation cannot be interrupted")
+    }
+
+    /// [`Self::evaluate`] under a governance [`Guard`]: the fixpoint
+    /// loops check the guard every [`gsls_par::govern::TICK_INTERVAL`]
+    /// work units and bail out with the trip cause. An interrupted
+    /// engine is left **unprimed** — its partial counters are
+    /// inconsistent, so the next evaluation re-primes from scratch; the
+    /// engine is never poisoned.
+    pub fn evaluate_governed(
+        &mut self,
+        gp: &GroundProgram,
+        context: &BitSet,
+        guard: &Guard,
+    ) -> Result<usize, InterruptCause> {
+        self.guard = guard.clone();
+        let r = self.evaluate_inner(gp, context);
+        self.guard = Guard::none();
+        if r.is_err() {
+            self.primed = false;
+        }
+        r
+    }
+
+    fn evaluate_inner(
+        &mut self,
+        gp: &GroundProgram,
+        context: &BitSet,
+    ) -> Result<usize, InterruptCause> {
         debug_assert_eq!(self.missing.len(), gp.clause_count(), "program changed");
         debug_assert_eq!(self.n_atoms, gp.atom_count(), "program changed");
         debug_assert_eq!(context.capacity(), self.n_atoms);
         self.stats.evaluations += 1;
         if !self.primed {
-            self.prime(gp, context);
+            self.prime(gp, context)?;
         } else {
-            self.update(gp, context);
+            self.update(gp, context)?;
         }
-        self.out_count
+        Ok(self.out_count)
     }
 
     /// The from-scratch first call: identical structure to
     /// `Propagator::lfp_into`, but leaves counters/out/context alive for
     /// the incremental calls that follow.
-    fn prime(&mut self, gp: &GroundProgram, context: &BitSet) {
+    fn prime(&mut self, gp: &GroundProgram, context: &BitSet) -> Result<(), InterruptCause> {
         self.s.copy_from(context);
         self.out.clear();
         self.out_count = 0;
         self.queue.clear();
         self.stats.clause_checks += gp.clause_count() as u64;
         for (ci, c) in gp.clauses().enumerate() {
+            self.guard.tick(&mut self.tick)?;
             if !self.disabled[ci] && c.neg.iter().all(|&q| Self::sat(&self.s, self.mode, q)) {
                 self.missing[ci] = c.pos.len() as u32;
                 if c.pos.is_empty() {
@@ -201,14 +241,15 @@ impl IncrementalLfp {
                 self.missing[ci] = DEAD;
             }
         }
-        self.propagate(gp);
+        self.propagate(gp)?;
         self.primed = true;
+        Ok(())
     }
 
     /// One delta step: diff the stored context against `context`, flip
     /// clause liveness through `watch_neg`, retract the cone of broken
     /// derivations, revive and re-derive, then drain the queue.
-    fn update(&mut self, gp: &GroundProgram, context: &BitSet) {
+    fn update(&mut self, gp: &GroundProgram, context: &BitSet) -> Result<(), InterruptCause> {
         // Phase 1: word-wise diff into "now blocks its watchers" /
         // "no longer blocks its watchers" atom lists.
         self.now_blocking.clear();
@@ -230,7 +271,7 @@ impl IncrementalLfp {
         }
         self.s.copy_from(context);
         if self.now_blocking.is_empty() && self.now_unblocked.is_empty() {
-            return;
+            return Ok(());
         }
 
         // Phase 2: re-delete clauses that gained a blocker. A deleted
@@ -242,6 +283,7 @@ impl IncrementalLfp {
         let heads = gp.heads();
         for i in 0..self.now_blocking.len() {
             let q = self.now_blocking[i];
+            self.guard.tick(&mut self.tick)?;
             for &ci in gp.watch_neg(GroundAtomId(q)) {
                 let m = self.missing[ci as usize];
                 if m == DEAD {
@@ -254,7 +296,7 @@ impl IncrementalLfp {
                 }
             }
         }
-        self.cascade_retractions(gp);
+        self.cascade_retractions(gp)?;
 
         // Phase 3a: revive clauses that lost their last blocker,
         // recomputing counters against the (post-retraction) derived
@@ -264,6 +306,7 @@ impl IncrementalLfp {
         self.revived_heads.clear();
         for i in 0..self.now_unblocked.len() {
             let q = self.now_unblocked[i];
+            self.guard.tick(&mut self.tick)?;
             for &ci in gp.watch_neg(GroundAtomId(q)) {
                 if self.missing[ci as usize] != DEAD || self.disabled[ci as usize] {
                     continue;
@@ -290,22 +333,23 @@ impl IncrementalLfp {
             self.insert(GroundAtomId(h));
         }
 
-        self.rederive_retracted(gp);
+        self.rederive_retracted(gp)?;
 
         // Phase 5: drain the derivation queue.
-        self.propagate(gp);
+        self.propagate(gp)
     }
 
     /// Overdeletes the dependent cone of everything on `self.retracted`
     /// (cursor-driven, so retractions enqueued mid-walk are processed
     /// too) — the delete half of delete-and-rederive.
-    fn cascade_retractions(&mut self, gp: &GroundProgram) {
+    fn cascade_retractions(&mut self, gp: &GroundProgram) -> Result<(), InterruptCause> {
         let heads = gp.heads();
         let watch_pos = gp.watch_pos_index();
         let mut cursor = 0;
         while cursor < self.retracted.len() {
             let a = self.retracted[cursor];
             cursor += 1;
+            self.guard.tick(&mut self.tick)?;
             for &ci in watch_pos.row(a as usize) {
                 let m = &mut self.missing[ci as usize];
                 if *m == DEAD {
@@ -318,14 +362,16 @@ impl IncrementalLfp {
                 }
             }
         }
+        Ok(())
     }
 
     /// Re-derives overdeleted atoms with surviving support — an alive
     /// clause whose counter is zero derives its head outright; the rest
     /// (re)complete during propagation, if at all.
-    fn rederive_retracted(&mut self, gp: &GroundProgram) {
+    fn rederive_retracted(&mut self, gp: &GroundProgram) -> Result<(), InterruptCause> {
         for i in 0..self.retracted.len() {
             let a = self.retracted[i];
+            self.guard.tick(&mut self.tick)?;
             if self.out.contains(a as usize) {
                 continue;
             }
@@ -337,6 +383,7 @@ impl IncrementalLfp {
                 self.insert(GroundAtomId(a));
             }
         }
+        Ok(())
     }
 
     /// Absorbs program growth: `gp` may have appended atoms and clauses
@@ -392,7 +439,10 @@ impl IncrementalLfp {
             let h = self.revived_heads[i];
             self.insert(GroundAtomId(h));
         }
-        self.propagate(gp);
+        // `grow` runs between evaluations, where the guard is always
+        // unset (both `evaluate_governed` paths reset it).
+        self.propagate(gp)
+            .expect("an ungoverned propagation cannot be interrupted");
     }
 
     /// Switches clauses off (`disable`) and back on (`enable`) — the
@@ -428,7 +478,10 @@ impl IncrementalLfp {
                 self.retract(heads[ci as usize]);
             }
         }
-        self.cascade_retractions(gp);
+        // Like `grow`, clause switching runs between evaluations with
+        // the guard unset, so the fallible internals cannot trip.
+        self.cascade_retractions(gp)
+            .expect("an ungoverned cascade cannot be interrupted");
         self.revived_heads.clear();
         for &ci in enable {
             if self.disabled[ci as usize] || self.missing[ci as usize] != DEAD {
@@ -453,8 +506,10 @@ impl IncrementalLfp {
             let h = self.revived_heads[i];
             self.insert(GroundAtomId(h));
         }
-        self.rederive_retracted(gp);
-        self.propagate(gp);
+        self.rederive_retracted(gp)
+            .expect("an ungoverned re-derivation cannot be interrupted");
+        self.propagate(gp)
+            .expect("an ungoverned propagation cannot be interrupted");
     }
 
     #[inline]
@@ -476,10 +531,11 @@ impl IncrementalLfp {
     }
 
     /// Standard counter-decrement drain over `watch_pos`.
-    fn propagate(&mut self, gp: &GroundProgram) {
+    fn propagate(&mut self, gp: &GroundProgram) -> Result<(), InterruptCause> {
         let watch = gp.watch_pos_index();
         let heads = gp.heads();
         while let Some(a) = self.queue.pop() {
+            self.guard.tick(&mut self.tick)?;
             for &ci in watch.row(a as usize) {
                 let m = &mut self.missing[ci as usize];
                 if *m == DEAD {
@@ -497,6 +553,7 @@ impl IncrementalLfp {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -718,6 +775,37 @@ mod tests {
             checks_after_prime,
             "no clause may be re-checked for an identical context"
         );
+    }
+
+    #[test]
+    fn interrupted_evaluation_reprimes_cleanly() {
+        use gsls_par::govern::{Guard, InterruptCause};
+        // Enough clauses that the priming scan crosses a tick interval
+        // and performs a real guard check.
+        let mut src = String::new();
+        for i in 0..1500 {
+            src.push_str(&format!("f{i}.\n"));
+        }
+        src.push_str("p :- ~q, f0. r :- p.");
+        let (s, gp) = ground(&src);
+        let ctx = BitSet::new(gp.atom_count());
+        let mut inc = IncrementalLfp::new(&gp, NegMode::SatisfiedOutside);
+        let tripping = Guard::builder().fuel(0).build();
+        assert_eq!(
+            inc.evaluate_governed(&gp, &ctx, &tripping),
+            Err(InterruptCause::Cancelled)
+        );
+        // The engine re-primes on the next call instead of trusting the
+        // torn counters — both governed (with ample fuel) and plain
+        // evaluations must match the scratch oracle.
+        let roomy = Guard::builder().fuel(u64::MAX - 1).build();
+        let count = inc.evaluate_governed(&gp, &ctx, &roomy).unwrap();
+        let oracle = scratch(&gp, &ctx, NegMode::SatisfiedOutside);
+        assert_eq!(inc.out(), &oracle);
+        assert_eq!(count, oracle.count());
+        assert!(inc.out().contains(atom_id(&s, &gp, "r").index()));
+        let count2 = inc.evaluate(&gp, &ctx);
+        assert_eq!(count2, count);
     }
 
     #[test]

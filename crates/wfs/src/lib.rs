@@ -56,7 +56,8 @@ pub mod wp;
 
 pub use alternating::{
     well_founded_model, well_founded_model_rebuild, well_founded_model_scratch,
-    well_founded_model_with_stats, well_founded_refresh, AlternatingStats,
+    well_founded_model_with_stats, well_founded_refresh, well_founded_refresh_governed,
+    AlternatingStats,
 };
 pub use bitset::BitSet;
 pub use fitting::{fitting_model, phi};

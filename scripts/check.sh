@@ -49,4 +49,13 @@ for seed in 3 17 101; do
     fault_injected_crash_recovers_a_commit_prefix
 done
 
+echo "==> governance gate (interrupt-at-every-phase, panic-at-every-stage,"
+echo "    cross-thread cancel) at 2 threads"
+GSLS_THREADS=2 cargo test --release -q --test governance
+for seed in 7 43 191; do
+  echo "    GSLS_GOVERN_SEED=$seed"
+  GSLS_GOVERN_SEED=$seed GSLS_THREADS=2 cargo test --release -q --test governance \
+    cancel_interleaved_walk_matches_rebuild
+done
+
 echo "check.sh: all gates passed"

@@ -98,6 +98,104 @@
 //! double that drops fsyncs, tears final records and kills writes at a
 //! chosen byte, driving the reopen-equals-rebuild property tests.
 //!
+//! ## Failure model & resource governance
+//!
+//! Every failure an application can see is typed, and none of them is
+//! terminal. The taxonomy, from earliest to latest in a commit:
+//!
+//! | error | when | state after |
+//! |-------|------|-------------|
+//! | [`prelude::SessionError::Rejected`] | up-front validation / lint gate | untouched — nothing journaled |
+//! | `Interrupted { phase: Admission, .. }` | predicted cost exceeds a [`prelude::CommitOpts`] cap | untouched — rejected before the WAL |
+//! | `Interrupted { phase: Grounding \| ModelRefresh, .. }` | deadline, cancel, or budget trips mid-apply | rolled back — WAL record truncated, engine rebuilt at the previous epoch |
+//! | [`prelude::SessionError::Grounding`] | the grounder's own clause budget | rolled back, same path |
+//! | [`prelude::SessionError::Durable`] | storage failure on the WAL append | untouched in memory; the commit never happened |
+//! | [`prelude::SessionError::Poisoned`] | the *rollback rebuild* failed, or a panic escaped mid-commit | reads serve the last consistent model; [`prelude::Session::recover`] unwinds and retries |
+//!
+//! The [`prelude::InterruptCause`] inside `Interrupted` says *why*
+//! (`Cancelled`, `DeadlineExceeded`, `MemoryBudget`); the
+//! [`prelude::InterruptPhase`] says *where*. The invariant: **a
+//! timeout is a rolled-back transaction, never a poisoned session** —
+//! the interrupt-at-every-phase and panic-injection sweeps in
+//! `tests/governance.rs` hold this at every guard check a commit
+//! performs.
+//!
+//! Governance is opt-in per operation. [`prelude::Session::commit_with`]
+//! takes [`prelude::CommitOpts`] (wall-clock deadline, clause cap,
+//! approximate memory budget over the term store + ground program +
+//! indexes); [`prelude::Session::query_governed`] and
+//! [`prelude::PreparedQuery::execute_governed`] take
+//! [`prelude::QueryOpts`]. [`prelude::Session::interrupt_handle`]
+//! returns a `Send + Sync` [`prelude::InterruptHandle`] any thread can
+//! use to cancel the operation in flight; every hot loop in the engine
+//! — grounding join rounds, fixpoint propagation, the parallel SCC
+//! wavefront, query backtracking — polls the shared guard every ~1024
+//! work units. An interrupted *query* is even gentler than a commit:
+//! the stream just ends, the answers already yielded stay valid, and
+//! [`prelude::QueryResult::interrupted`] reports the cause.
+//!
+//! ```
+//! use global_sls::prelude::*;
+//! use std::time::{Duration, Instant};
+//!
+//! let mut session = Session::from_source(
+//!     "e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+//! )?;
+//!
+//! // A deadline that already passed: the commit is interrupted and
+//! // rolls back — same epoch, not poisoned, still writable.
+//! session.begin()?;
+//! session.assert_facts("e(c, d). e(d, a).")?;
+//! let opts = CommitOpts {
+//!     deadline: Some(Instant::now() - Duration::from_millis(1)),
+//!     ..CommitOpts::default()
+//! };
+//! let err = session.commit_with(&opts).unwrap_err();
+//! assert!(matches!(err, SessionError::Interrupted { .. }));
+//! assert!(!session.is_poisoned());
+//! assert_eq!(session.epoch(), 0);
+//! assert_eq!(session.truth("?- e(c, d).")?, Truth::False);
+//!
+//! // Admission control: a batch *predicted* to exceed the clause cap
+//! // is rejected before the write-ahead log would see it.
+//! session.begin()?;
+//! session.assert_facts("e(c, d). e(d, a).")?;
+//! let err = session.commit_with(&CommitOpts { max_clauses: Some(1), ..CommitOpts::default() })
+//!     .unwrap_err();
+//! assert!(matches!(
+//!     err,
+//!     SessionError::Interrupted { phase: InterruptPhase::Admission, .. }
+//! ));
+//!
+//! // Unlimited opts behave exactly like a plain commit …
+//! session.begin()?;
+//! session.assert_facts("e(c, d). e(d, a).")?;
+//! session.commit_with(&CommitOpts::none())?;
+//! assert_eq!(session.truth("?- t(a, a).")?, Truth::True);
+//!
+//! // … and any thread holding the handle can cancel the operation
+//! // *in flight*. Each governed operation clears the flag when it
+//! // starts, so a stale cancel never kills the next commit — and a
+//! // consumed one doesn't either (see tests/governance.rs for the
+//! // cross-thread version). The deterministic stand-in for "the guard
+//! // tripped mid-commit" is the fuel knob:
+//! let handle = session.interrupt_handle();
+//! assert!(!handle.is_cancelled());
+//! session.begin()?;
+//! session.assert_facts("e(a, e0).")?;
+//! let err = session
+//!     .commit_with(&CommitOpts { fuel: Some(0), ..CommitOpts::default() })
+//!     .unwrap_err();
+//! assert!(matches!(
+//!     err,
+//!     SessionError::Interrupted { cause: InterruptCause::Cancelled, .. }
+//! ));
+//! assert!(!session.is_poisoned()); // rolled back; carry on
+//! session.assert_facts("e(a, e0).")?; // the same batch, ungoverned
+//! assert_eq!(session.truth("?- e(a, e0).")?, Truth::True);
+//! # Ok::<(), SessionError>(())
+//! ```
+//!
 //! ## Diagnostics & linting
 //!
 //! Every commit is gated by the static analyzer in
@@ -190,8 +288,9 @@ pub use gsls_workloads as workloads;
 pub mod prelude {
     pub use gsls_analyze::{Diagnostic, Lint, LintConfig, LintLevel, LintReport, Severity};
     pub use gsls_core::{
-        Answer, Answers, CommitError, CommitRejection, CommitStats, Engine, PreparedQuery,
-        QueryResult, Session, SessionError, Snapshot, Solver, SolverError, Status,
+        Answer, Answers, CommitError, CommitOpts, CommitRejection, CommitStats, Engine,
+        InterruptCause, InterruptHandle, InterruptPhase, PreparedQuery, QueryOpts, QueryResult,
+        Session, SessionError, Snapshot, Solver, SolverError, Status,
     };
     pub use gsls_durable::{DurableOpts, StorageKind};
     pub use gsls_ground::{
@@ -217,9 +316,9 @@ pub mod prelude {
 pub mod internals {
     pub use gsls_core::{
         deviant_evaluate, render_global, render_slp, DeviantOpts, GlobalAnswer, GlobalOpts,
-        GlobalTree, GroundStatus, GroundTreeAnalysis, NegChild, NegNode, Ordinal, RuleKind,
-        SccSolver, Selection, SlpNode, SlpNodeKind, SlpOpts, SlpTree, StatusFlags, TabledEngine,
-        TabledStats, TreeNode, Verdict,
+        GlobalTree, GroundStatus, GroundTreeAnalysis, Guard, GuardBuilder, NegChild, NegNode,
+        Ordinal, RuleKind, SccSolver, Selection, SlpNode, SlpNodeKind, SlpOpts, SlpTree,
+        StatusFlags, TabledEngine, TabledStats, TreeNode, Verdict, TICK_INTERVAL,
     };
     pub use gsls_durable::{
         DurableError, DurableLog, FaultPlan, FaultyFile, FileStorage, Recovered, Wal, WalScan,
