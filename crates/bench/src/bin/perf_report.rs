@@ -1,7 +1,19 @@
-//! Emits `BENCH_8.json`: the perf trajectory record for PR 8
-//! (engine-wide deadlines, cancellation, and resource governance).
+//! Emits `BENCH_9.json`: the perf trajectory record for PR 9
+//! (gsls-obs: the unified tracing, metrics and profiling layer).
 //!
-//! New in PR 8:
+//! New in PR 9:
+//!
+//! * **`observability`** — the per-phase commit breakdown of the warm
+//!   win_grid 200×200 single-fact commit, read **from the session's
+//!   metrics registry** (`commit.validate` … `commit.index` latency
+//!   histograms — no bench-side stopwatches), plus the cost of the
+//!   always-on instrumentation itself: p50 of the identical warm
+//!   commit with the bundle enabled vs. `Obs::set_enabled(false)`,
+//!   alternated on the same session so drift lands on both sample
+//!   sets alike, asserted ≤ 3% at p50. `--obs-gate` runs only this
+//!   sweep (the fast CI mode `check.sh` uses).
+//!
+//! Carried from PR 8:
 //!
 //! * **`governance`** — what governing a commit costs and how fast a
 //!   cancel lands: p50/p99 of the warm win_grid 200×200 single-fact
@@ -71,8 +83,9 @@
 //!
 //! Run from the workspace root: `cargo run --release -p gsls-bench --bin
 //! perf_report`. Pass `--stress` to add the 10^6-atom 600×600 board
-//! (kept off the default run so it stays fast). Earlier trajectory
-//! records stay in `BENCH_<n>.json`.
+//! (kept off the default run so it stays fast), or `--obs-gate` for
+//! the observability-only fast mode. Earlier trajectory records stay
+//! in `BENCH_<n>.json`.
 
 use gsls_analyze::{analyze, AnalyzerOpts};
 use gsls_core::{CommitOpts, Engine, Session, SessionError, Solver, TabledEngine};
@@ -967,6 +980,195 @@ fn analysis_sweep() -> AnalysisPoint {
     out
 }
 
+/// The PR 9 observability record: the commit pipeline's per-phase
+/// latency split as the metrics registry saw it, and what the
+/// always-on instrumentation costs on the hot commit path.
+struct ObsPoint {
+    /// `(phase name, histogram)` for every phase that recorded,
+    /// straight out of `Session::metrics()` — the bench keeps no
+    /// stopwatch of its own for these.
+    phases: Vec<(&'static str, gsls_obs::HistogramSnapshot)>,
+    /// p50/p99 of the warm single-fact `commit_with` with the obs
+    /// bundle enabled (the default state).
+    enabled_p50_ns: u64,
+    enabled_p99_ns: u64,
+    /// … and with `Obs::set_enabled(false)`: every probe degrades to
+    /// one relaxed load + branch. The in-process overhead baseline.
+    disabled_p50_ns: u64,
+    disabled_p99_ns: u64,
+}
+
+impl ObsPoint {
+    fn overhead_pct(&self) -> f64 {
+        (self.enabled_p50_ns as f64 / self.disabled_p50_ns.max(1) as f64 - 1.0) * 100.0
+    }
+}
+
+/// Measures the per-phase commit breakdown and the enabled-vs-disabled
+/// overhead of the observability layer on win_grid 200×200.
+fn observability_sweep() -> ObsPoint {
+    let (w, h) = (200usize, 200usize);
+    let mut store = TermStore::new();
+    let program = win_grid(&mut store, w, h);
+    let mut session = Session::from_parts(store, program).expect("grid is function-free");
+    let obs = session.obs();
+
+    // Warm the single-fact commit path, then drop the warmup from the
+    // registry's view of the phase split by snapshotting after it.
+    for i in 0..8 {
+        session.begin().expect("begin");
+        session
+            .assert_facts(&format!("move(warm{i}, n0)."))
+            .expect("stage fact");
+        session.commit_with(&CommitOpts::none()).expect("commit");
+    }
+    let before = session.metrics();
+
+    // Phase breakdown: 40 governed warm commits; the registry's phase
+    // histograms are the only timer (migrated off bench stopwatches).
+    for i in 0..40 {
+        session.begin().expect("begin");
+        session
+            .assert_facts(&format!("move(obs{i}, n0)."))
+            .expect("stage fact");
+        session.commit_with(&CommitOpts::none()).expect("commit");
+    }
+    let after = session.metrics();
+    const PHASES: [&str; 7] = [
+        "commit.total",
+        "commit.validate",
+        "commit.admission",
+        "commit.journal",
+        "commit.ground",
+        "commit.refresh",
+        "commit.index",
+    ];
+    let phases: Vec<(&'static str, gsls_obs::HistogramSnapshot)> = PHASES
+        .iter()
+        .filter_map(|name| {
+            let h = *after.histogram(name)?;
+            let h0 = before.histogram(name).copied().unwrap_or_default();
+            (h.count > h0.count).then_some((*name, h))
+        })
+        .collect();
+
+    // Instrumentation overhead: the identical warm commit, alternating
+    // the enable flag so drift from the growing program lands on both
+    // sample sets alike. The registry cannot time its own absence, so
+    // this one comparison keeps a bench-side stopwatch.
+    let mut enabled: Vec<u64> = Vec::with_capacity(80);
+    let mut disabled: Vec<u64> = Vec::with_capacity(80);
+    for i in 0..160 {
+        let on = i % 2 == 0;
+        obs.set_enabled(on);
+        let fact = format!("move(ov{i}, n0).");
+        let t = Instant::now();
+        session.begin().expect("begin");
+        session.assert_facts(&fact).expect("stage fact");
+        session.commit_with(&CommitOpts::none()).expect("commit");
+        let ns = t.elapsed().as_nanos() as u64;
+        if on {
+            enabled.push(ns);
+        } else {
+            disabled.push(ns);
+        }
+    }
+    obs.set_enabled(true);
+    enabled.sort_unstable();
+    disabled.sort_unstable();
+
+    let out = ObsPoint {
+        phases,
+        enabled_p50_ns: percentile(&enabled, 50),
+        enabled_p99_ns: percentile(&enabled, 99),
+        disabled_p50_ns: percentile(&disabled, 50),
+        disabled_p99_ns: percentile(&disabled, 99),
+    };
+    println!(
+        "observability win_grid_200x200: instrumented commit p50={:.2}ms p99={:.2}ms | \
+         disabled p50={:.2}ms p99={:.2}ms (overhead {:+.1}%)",
+        out.enabled_p50_ns as f64 / 1e6,
+        out.enabled_p99_ns as f64 / 1e6,
+        out.disabled_p50_ns as f64 / 1e6,
+        out.disabled_p99_ns as f64 / 1e6,
+        out.overhead_pct(),
+    );
+    for (name, h) in &out.phases {
+        println!(
+            "  {name}: count={} p50={:.3}ms p99={:.3}ms mean={:.3}ms",
+            h.count,
+            h.p50 as f64 / 1e6,
+            h.p99 as f64 / 1e6,
+            h.mean() as f64 / 1e6,
+        );
+    }
+    out
+}
+
+/// Renders the `observability` JSON section.
+fn obs_json(obs: &ObsPoint) -> String {
+    let mut json =
+        String::from("  \"observability\": {\"workload\": \"win_grid_200x200\", \"phases\": {");
+    let ph: Vec<String> = obs
+        .phases
+        .iter()
+        .map(|(name, h)| {
+            format!(
+                "\"{name}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"mean_ns\": {}}}",
+                h.count,
+                h.p50,
+                h.p99,
+                h.mean()
+            )
+        })
+        .collect();
+    json.push_str(&ph.join(", "));
+    let _ = write!(
+        json,
+        "}}, \"instrumented_commit_p50_ns\": {}, \"instrumented_commit_p99_ns\": {}, \
+         \"disabled_commit_p50_ns\": {}, \"disabled_commit_p99_ns\": {}, \
+         \"overhead_pct_p50\": {:.2}}},",
+        obs.enabled_p50_ns,
+        obs.enabled_p99_ns,
+        obs.disabled_p50_ns,
+        obs.disabled_p99_ns,
+        obs.overhead_pct(),
+    );
+    json
+}
+
+/// The PR 9 acceptance assertion, shared by the full run and
+/// `--obs-gate`.
+fn obs_acceptance(obs: &ObsPoint) {
+    assert!(
+        obs.enabled_p50_ns <= obs.disabled_p50_ns.max(1) * 103 / 100,
+        "instrumented commit p50 {:.2}ms is {:+.1}% vs the {:.2}ms disabled p50 \
+         (acceptance: <= 3%)",
+        obs.enabled_p50_ns as f64 / 1e6,
+        obs.overhead_pct(),
+        obs.disabled_p50_ns as f64 / 1e6,
+    );
+    for must in [
+        "commit.validate",
+        "commit.admission",
+        "commit.ground",
+        "commit.refresh",
+        "commit.index",
+    ] {
+        assert!(
+            obs.phases.iter().any(|(name, _)| *name == must),
+            "phase histogram {must} missing from the registry"
+        );
+    }
+    println!(
+        "acceptance: instrumented commit p50 {:.2}ms = {:+.1}% vs disabled (<= 3%); \
+         all pipeline phase histograms present",
+        obs.enabled_p50_ns as f64 / 1e6,
+        obs.overhead_pct(),
+    );
+}
+
 /// Counts heap allocations across warm calls of both substrate modes.
 /// The contract for each is exactly zero.
 fn zero_alloc_check() -> (u64, u64, u64) {
@@ -1016,11 +1218,19 @@ fn zero_alloc_check() -> (u64, u64, u64) {
 
 fn main() {
     let stress = std::env::args().any(|a| a == "--stress");
-    println!("# perf_report — deadlines, cancellation & resource governance (PR 8)");
+    let obs_gate = std::env::args().any(|a| a == "--obs-gate");
+    println!("# perf_report — unified tracing, metrics & profiling (PR 9)");
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host: available_parallelism={cpus}");
+    let obs = observability_sweep();
+    if obs_gate {
+        // Fast CI mode: only the PR 9 sweep and its acceptance
+        // assertion; no JSON write.
+        obs_acceptance(&obs);
+        return;
+    }
     let governance = governance_sweep();
     let analysis = analysis_sweep();
     let durability = durability_sweep();
@@ -1037,17 +1247,19 @@ fn main() {
          allocations across {calls} warm calls each"
     );
 
-    let mut json = String::from("{\n  \"pr\": 8,\n");
+    let mut json = String::from("{\n  \"pr\": 9,\n");
     let _ = writeln!(
         json,
-        "  \"description\": \"engine-wide deadlines, cancellation and \
-         resource governance: a Guard (cancel flag + deadline + memory \
-         budget + fuel, checked every ~1024 work units) threaded through \
-         grounding, fixpoint refresh, streaming queries and the parallel \
-         wavefront, surfaced as commit_with/query_governed/\
-         interrupt_handle with pre-WAL admission control\","
+        "  \"description\": \"gsls-obs, the unified observability layer: \
+         a lock-cheap metrics registry (atomic counters, gauges and \
+         log-linear latency histograms) plus a bounded span-tracing \
+         event ring, fed by the grounder, the incremental fixpoint, \
+         every commit pipeline phase, WAL I/O, query execution, guard \
+         trips and the worker pool, surfaced as Session::metrics / \
+         recent_events and the gsls-obs CLI\","
     );
     let _ = writeln!(json, "  \"available_parallelism\": {cpus},");
+    let _ = writeln!(json, "{}", obs_json(&obs));
     let _ = writeln!(
         json,
         "  \"governance\": {{\"workload\": \"win_grid_200x200\", \
@@ -1153,8 +1365,12 @@ fn main() {
          \"propagator_allocations\": {prop_allocs}, \
          \"incremental_allocations\": {inc_allocs}}}\n}}\n"
     );
-    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
-    println!("wrote BENCH_8.json");
+    std::fs::write("BENCH_9.json", &json).expect("write BENCH_9.json");
+    println!("wrote BENCH_9.json");
+
+    // PR 9 acceptance: always-on instrumentation within 3% of the
+    // disabled-bundle p50, all pipeline phase histograms present.
+    obs_acceptance(&obs);
 
     // PR 8 acceptance: the armed guard (deadline + memory budget, one
     // check every TICK_INTERVAL work units) must stay invisible on the

@@ -58,6 +58,62 @@ impl std::fmt::Display for InterruptPhase {
     }
 }
 
+/// Resource readings captured at the moment a guard tripped, carried
+/// by `SessionError::Interrupted` so timeout forensics don't require a
+/// rerun. Every field is optional: only the limits the guard actually
+/// enforced (and, for memory, the phases where a byte count is
+/// available) produce readings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TripInfo {
+    /// Fuel remaining when the trip surfaced (fuel-metered guards).
+    pub fuel_remaining: Option<u64>,
+    /// How far past the deadline the trip surfaced, in nanoseconds
+    /// (deadline-bearing guards; 0 when the trip beat the deadline,
+    /// e.g. a cancel).
+    pub deadline_over_ns: Option<u64>,
+    /// Approximate engine bytes in use (term store + ground program)
+    /// at trip time.
+    pub memory_used_bytes: Option<usize>,
+    /// The memory budget the guard enforced, if any.
+    pub memory_budget_bytes: Option<usize>,
+}
+
+impl TripInfo {
+    /// Readings derivable from the guard alone (fuel + deadline);
+    /// callers that can produce a byte count fill the memory fields.
+    pub fn from_guard(guard: &Guard) -> TripInfo {
+        TripInfo {
+            fuel_remaining: guard.fuel_remaining(),
+            deadline_over_ns: guard.deadline().map(|d| {
+                Instant::now()
+                    .checked_duration_since(d)
+                    .map_or(0, |over| over.as_nanos() as u64)
+            }),
+            memory_used_bytes: None,
+            memory_budget_bytes: guard.memory_budget(),
+        }
+    }
+
+    /// Renders the non-empty readings as `key=value` pairs for error
+    /// messages and trace events; empty string when nothing was read.
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(f) = self.fuel_remaining {
+            parts.push(format!("fuel_remaining={f}"));
+        }
+        if let Some(ns) = self.deadline_over_ns {
+            parts.push(format!("deadline_over_ns={ns}"));
+        }
+        if let Some(b) = self.memory_used_bytes {
+            parts.push(format!("memory_used_bytes={b}"));
+        }
+        if let Some(b) = self.memory_budget_bytes {
+            parts.push(format!("memory_budget_bytes={b}"));
+        }
+        parts.join(" ")
+    }
+}
+
 /// Per-commit resource limits for [`crate::Session::commit_with`].
 ///
 /// All limits are optional; the default is fully ungoverned (identical

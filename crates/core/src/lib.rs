@@ -55,7 +55,7 @@ pub use global::{
 };
 pub use govern::{
     CommitOpts, Guard, GuardBuilder, InterruptCause, InterruptHandle, InterruptPhase, QueryOpts,
-    TICK_INTERVAL,
+    TripInfo, TICK_INTERVAL,
 };
 pub use ground_tree::{GroundStatus, GroundTreeAnalysis};
 pub use ordinal::Ordinal;

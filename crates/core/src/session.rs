@@ -52,6 +52,7 @@
 use crate::global::{GlobalOpts, GlobalTree, Status};
 use crate::govern::{
     guard_for, CommitOpts, Guard, InterruptCause, InterruptHandle, InterruptPhase, QueryOpts,
+    TripInfo,
 };
 use crate::solver::{Engine, QueryResult};
 use gsls_analyze::{
@@ -60,21 +61,26 @@ use gsls_analyze::{
 };
 use gsls_durable::{
     decode_batch, decode_checkpoint, encode_batch, encode_checkpoint, Batch, CheckpointImage,
-    DurableError, DurableLog, DurableOpts,
+    DurableError, DurableLog, DurableOpts, WalObs,
 };
-use gsls_ground::{GroundAtomId, GroundProgram, GrounderOpts, GroundingError, IncrementalGrounder};
+use gsls_ground::{
+    GroundAtomId, GroundProgram, GroundStats, GrounderOpts, GroundingError, IncrementalGrounder,
+};
 use gsls_lang::{
     parse_goal, parse_program, Atom, Clause, FxHashMap, Goal, ParseError, Pred, Program, Span,
     Subst, Symbol, Term, TermId, TermStore, Var,
 };
+use gsls_obs::{Counter, Histogram, MetricsSnapshot, Obs, TraceEvent};
+use gsls_par::{pool_totals, PoolTotals};
 use gsls_wfs::{
-    well_founded_refresh, well_founded_refresh_governed, BitSet, IncrementalLfp, Interp, NegMode,
-    Truth,
+    well_founded_refresh, well_founded_refresh_governed, BitSet, IncStats, IncrementalLfp, Interp,
+    NegMode, Truth,
 };
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Sentinel for an unbound query binding slot.
 const UNBOUND: TermId = TermId(u32::MAX);
@@ -217,6 +223,10 @@ pub enum SessionError {
         phase: InterruptPhase,
         /// What tripped the guard.
         cause: InterruptCause,
+        /// Resource readings (fuel / deadline overshoot / memory)
+        /// captured at trip time, before rollback — so forensics
+        /// don't require a rerun.
+        trip: TripInfo,
     },
 }
 
@@ -236,8 +246,13 @@ impl fmt::Display for SessionError {
             SessionError::Poisoned => {
                 write!(f, "session poisoned by a failed commit; reads only")
             }
-            SessionError::Interrupted { phase, cause } => {
-                write!(f, "interrupted during {phase}: {cause}")
+            SessionError::Interrupted { phase, cause, trip } => {
+                write!(f, "interrupted during {phase}: {cause}")?;
+                let readings = trip.render();
+                if !readings.is_empty() {
+                    write!(f, " ({readings})")?;
+                }
+                Ok(())
             }
         }
     }
@@ -257,6 +272,7 @@ impl From<GroundingError> for SessionError {
             GroundingError::Interrupted(cause) => SessionError::Interrupted {
                 phase: InterruptPhase::Grounding,
                 cause,
+                trip: TripInfo::default(),
             },
             other => SessionError::Grounding(other.to_string()),
         }
@@ -359,6 +375,19 @@ pub struct Session {
     /// mid-apply (WAL truncated to the mark, program truncated,
     /// engine rebuilt). `None` whenever no commit is in flight.
     inflight: Option<InflightCommit>,
+    /// Observability bundle: metrics registry + bounded trace ring.
+    /// Cloned handles ([`Session::obs`]) share the same storage, so a
+    /// monitoring thread can snapshot mid-commit.
+    obs: Obs,
+    /// Metric handles pre-resolved at construction so the commit and
+    /// query hot paths never take the registry lock (or allocate).
+    sobs: SessionObs,
+    /// Per-commit delta baselines over the subsystems' lifetime stat
+    /// counters (flushed into the registry at the end of each commit).
+    base_gstats: GroundStats,
+    base_t: IncStats,
+    base_u: IncStats,
+    base_par: PoolTotals,
 }
 
 /// See [`Session::recover`]: what to undo if the in-flight commit
@@ -369,6 +398,153 @@ struct InflightCommit {
     program_len: usize,
     /// WAL length before this commit's record, when durable.
     wal_mark: Option<u64>,
+}
+
+/// Metric handles pre-resolved against the session's registry at
+/// construction — one lock acquisition per *name* per session lifetime,
+/// zero on the commit path. Every handle is a clone of the registered
+/// cell, so increments land in [`Session::metrics`] snapshots.
+#[derive(Clone)]
+struct SessionObs {
+    commits: Counter,
+    rules_added: Counter,
+    facts_asserted: Counter,
+    facts_reenabled: Counter,
+    facts_retracted: Counter,
+    new_atoms: Counter,
+    new_clauses: Counter,
+    commit_total: Histogram,
+    phase_validate: Histogram,
+    phase_admission: Histogram,
+    phase_journal: Histogram,
+    phase_ground: Histogram,
+    phase_refresh: Histogram,
+    phase_index: Histogram,
+    ground_rounds: Counter,
+    ground_join_candidates: Counter,
+    ground_index_probes: Counter,
+    ground_dedup_hits: Counter,
+    lfp_evaluations: Counter,
+    lfp_clause_checks: Counter,
+    lfp_enqueues: Counter,
+    lfp_revives: Counter,
+    /// Values are retraction-cone sizes in *atoms*, not nanoseconds.
+    lfp_cone: Histogram,
+    wal_recovered_records: Counter,
+    wal_fallbacks: Counter,
+    wal_torn_bytes: Counter,
+    par_steals: Counter,
+    par_parks: Counter,
+    par_aborts: Counter,
+    query: QueryObs,
+}
+
+impl SessionObs {
+    fn new(obs: &Obs) -> SessionObs {
+        let reg = obs.registry();
+        SessionObs {
+            commits: reg.counter("commit.count"),
+            rules_added: reg.counter("commit.rules_added"),
+            facts_asserted: reg.counter("commit.facts_asserted"),
+            facts_reenabled: reg.counter("commit.facts_reenabled"),
+            facts_retracted: reg.counter("commit.facts_retracted"),
+            new_atoms: reg.counter("commit.new_atoms"),
+            new_clauses: reg.counter("commit.new_clauses"),
+            commit_total: reg.histogram("commit.total"),
+            phase_validate: reg.histogram("commit.validate"),
+            phase_admission: reg.histogram("commit.admission"),
+            phase_journal: reg.histogram("commit.journal"),
+            phase_ground: reg.histogram("commit.ground"),
+            phase_refresh: reg.histogram("commit.refresh"),
+            phase_index: reg.histogram("commit.index"),
+            ground_rounds: reg.counter("ground.rounds"),
+            ground_join_candidates: reg.counter("ground.join_candidates"),
+            ground_index_probes: reg.counter("ground.index_probes"),
+            ground_dedup_hits: reg.counter("ground.dedup_hits"),
+            lfp_evaluations: reg.counter("lfp.evaluations"),
+            lfp_clause_checks: reg.counter("lfp.clause_checks"),
+            lfp_enqueues: reg.counter("lfp.enqueues"),
+            lfp_revives: reg.counter("lfp.revives"),
+            lfp_cone: reg.histogram("lfp.retraction_cone"),
+            wal_recovered_records: reg.counter("wal.recovered_records"),
+            wal_fallbacks: reg.counter("wal.fallbacks"),
+            wal_torn_bytes: reg.counter("wal.torn_bytes"),
+            par_steals: reg.counter("par.steals"),
+            par_parks: reg.counter("par.parks"),
+            par_aborts: reg.counter("par.aborts"),
+            query: QueryObs {
+                executions: reg.counter("query.executions"),
+                answers: reg.counter("query.answers"),
+                point_lookups: reg.counter("query.point_lookups"),
+                scans: reg.counter("query.scans"),
+                interrupts: reg.counter("query.interrupts"),
+                obs: Some(obs.clone()),
+            },
+        }
+    }
+}
+
+/// Query-path metric handles, carried by [`Answers`] (and snapshots, so
+/// reader threads keep counting). [`Answers`] accumulates plain `u64`s
+/// during enumeration and flushes on drop — zero atomics per answer.
+#[derive(Clone, Default)]
+pub(crate) struct QueryObs {
+    executions: Counter,
+    answers: Counter,
+    point_lookups: Counter,
+    scans: Counter,
+    interrupts: Counter,
+    /// For cold-path trip recording (dynamic counter + ring event);
+    /// `None` on the detached [`crate::Solver`] shim path.
+    obs: Option<Obs>,
+}
+
+impl std::fmt::Debug for QueryObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("QueryObs { .. }")
+    }
+}
+
+/// The `guard.trips.<phase>.<cause>` name segment for a phase.
+fn trip_phase_slug(phase: InterruptPhase) -> &'static str {
+    match phase {
+        InterruptPhase::Admission => "admission",
+        InterruptPhase::Grounding => "grounding",
+        InterruptPhase::ModelRefresh => "model_refresh",
+        InterruptPhase::Query => "query",
+    }
+}
+
+/// The `guard.trips.<phase>.<cause>` name segment for a cause.
+fn trip_cause_slug(cause: InterruptCause) -> &'static str {
+    match cause {
+        InterruptCause::Cancelled => "cancelled",
+        InterruptCause::DeadlineExceeded => "deadline_exceeded",
+        InterruptCause::MemoryBudget => "memory_budget",
+    }
+}
+
+/// Records a guard trip: bumps the dynamic `guard.trips.<phase>.<cause>`
+/// counter and pushes a `guard.trip` ring event carrying the resource
+/// readings. Cold path by construction (a trip aborts the operation),
+/// so the registry lock and the `format!`s are fine here.
+fn record_trip_in(obs: &Obs, phase: InterruptPhase, cause: InterruptCause, trip: &TripInfo) {
+    if !obs.is_enabled() {
+        return;
+    }
+    let name = format!(
+        "guard.trips.{}.{}",
+        trip_phase_slug(phase),
+        trip_cause_slug(cause)
+    );
+    obs.registry().counter(&name).add(1);
+    let mut detail = format!("phase={phase} cause={cause}");
+    let readings = trip.render();
+    if !readings.is_empty() {
+        detail.push(' ');
+        detail.push_str(&readings);
+    }
+    obs.tracer().event("guard.trip", Some(detail));
 }
 
 impl Default for Session {
@@ -464,6 +640,14 @@ impl Session {
         let empty = BitSet::new(gp.atom_count());
         let model = well_founded_refresh(gp, &mut t_chain, &mut u_chain, &empty);
         let arities = arities_of(&program);
+        let obs = Obs::new();
+        let sobs = SessionObs::new(&obs);
+        // Baselines are taken *after* seed grounding/refresh, so the
+        // registry counts per-commit work only (the seed cost is
+        // construction, not a commit).
+        let base_gstats = grounder.stats();
+        let base_t = t_chain.stats();
+        let base_u = u_chain.stats();
         Ok(Session {
             store,
             program,
@@ -485,6 +669,12 @@ impl Session {
             poisoned: false,
             cancel: Arc::new(AtomicBool::new(false)),
             inflight: None,
+            obs,
+            sobs,
+            base_gstats,
+            base_t,
+            base_u,
+            base_par: pool_totals(),
         })
     }
 
@@ -521,7 +711,7 @@ impl Session {
         opts: GrounderOpts,
         dopts: DurableOpts,
     ) -> Result<Session, SessionError> {
-        let (log, recovered) = DurableLog::open(dir.as_ref(), dopts)?;
+        let (mut log, recovered) = DurableLog::open(dir.as_ref(), dopts)?;
         let fresh = recovered.checkpoint.is_none() && recovered.records.is_empty();
         let mut session = match recovered.checkpoint {
             Some(payload) => {
@@ -557,6 +747,28 @@ impl Session {
             // Replay is never governed: recovery must be deterministic
             // and always reach the journaled epoch.
             session.apply_inner(pending, &Guard::none())?;
+        }
+        // From here on the log reports its I/O into this session's
+        // registry; what recovery itself found is recorded once.
+        log.set_obs(WalObs::register(session.obs.registry()));
+        session
+            .sobs
+            .wal_recovered_records
+            .add(recovered.records.len() as u64);
+        if recovered.fell_back {
+            session.sobs.wal_fallbacks.add(1);
+        }
+        session.sobs.wal_torn_bytes.add(recovered.torn_bytes);
+        if recovered.fell_back || recovered.torn_bytes > 0 {
+            session.obs.tracer().event(
+                "wal.recovery",
+                Some(format!(
+                    "records={} fell_back={} torn_bytes={}",
+                    recovered.records.len(),
+                    recovered.fell_back,
+                    recovered.torn_bytes
+                )),
+            );
         }
         session.durable = Some(log);
         if fresh {
@@ -961,15 +1173,27 @@ impl Session {
         if pending.is_empty() {
             return Ok(CommitStats::default());
         }
+        let t_total = Instant::now();
         // Validation (including static analysis of the rule batch) and
         // admission control run BEFORE anything touches the WAL: a
         // rejected batch leaves no record that could ever replay.
-        self.last_report = self.validate(&pending)?;
+        self.last_report = {
+            let _s = self
+                .obs
+                .span("commit.validate", Some(&self.sobs.phase_validate));
+            self.validate(&pending)?
+        };
         if let Some(opts) = opts {
-            self.admit(&pending, opts)?;
+            let _s = self
+                .obs
+                .span("commit.admission", Some(&self.sobs.phase_admission));
+            self.admit(&pending, opts, guard)?;
         }
         let mut mark = None;
-        if let Some(log) = &mut self.durable {
+        if self.durable.is_some() {
+            let _s = self
+                .obs
+                .span("commit.journal", Some(&self.sobs.phase_journal));
             let batch = Batch {
                 epoch: self.epoch + 1,
                 rules: pending.rules.clone(),
@@ -977,11 +1201,14 @@ impl Session {
                 retracts: pending.retracts.clone(),
             };
             let payload = encode_batch(&self.store, &batch);
-            let m = log.wal_len();
-            // Failure here (out of disk, injected crash) leaves memory
-            // untouched: the commit degrades to a rolled-back batch.
-            log.append(&payload)?;
-            mark = Some(m);
+            if let Some(log) = &mut self.durable {
+                let m = log.wal_len();
+                // Failure here (out of disk, injected crash) leaves
+                // memory untouched: the commit degrades to a
+                // rolled-back batch.
+                log.append(&payload)?;
+                mark = Some(m);
+            }
         }
         // From here until apply_inner reports back, a panic escaping
         // mid-apply leaves this record for Session::recover to unwind.
@@ -993,6 +1220,11 @@ impl Session {
         self.inflight = None;
         match r {
             Ok(stats) => {
+                // Total recorded before the (amortized, swallowed)
+                // auto-checkpoint so the phase histograms sum to it.
+                let dur = t_total.elapsed().as_nanos() as u64;
+                self.sobs.commit_total.record(dur);
+                self.obs.tracer().span_event("commit.total", t_total, dur);
                 self.maybe_checkpoint();
                 Ok(stats)
             }
@@ -1014,7 +1246,12 @@ impl Session {
     /// [`CommitOpts`] cap. The rejection surfaces as
     /// [`SessionError::Interrupted`] in the `Admission` phase; the
     /// budgets are enforced again (on actual usage) during grounding.
-    fn admit(&self, pending: &Pending, opts: &CommitOpts) -> Result<(), SessionError> {
+    fn admit(
+        &self,
+        pending: &Pending,
+        opts: &CommitOpts,
+        guard: &Guard,
+    ) -> Result<(), SessionError> {
         if opts.max_clauses.is_none() && opts.max_memory_bytes.is_none() {
             return Ok(());
         }
@@ -1041,10 +1278,11 @@ impl Session {
                 .clause_count()
                 .saturating_add(predicted);
             if total > max {
-                return Err(SessionError::Interrupted {
-                    phase: InterruptPhase::Admission,
-                    cause: InterruptCause::MemoryBudget,
-                });
+                return Err(self.interrupted(
+                    InterruptPhase::Admission,
+                    InterruptCause::MemoryBudget,
+                    guard,
+                ));
             }
         }
         if let Some(max) = opts.max_memory_bytes {
@@ -1054,13 +1292,41 @@ impl Session {
             const BYTES_PER_CLAUSE: usize = 48;
             let total = used.saturating_add(predicted.saturating_mul(BYTES_PER_CLAUSE));
             if total > max {
-                return Err(SessionError::Interrupted {
-                    phase: InterruptPhase::Admission,
-                    cause: InterruptCause::MemoryBudget,
-                });
+                return Err(self.interrupted(
+                    InterruptPhase::Admission,
+                    InterruptCause::MemoryBudget,
+                    guard,
+                ));
             }
         }
         Ok(())
+    }
+
+    /// Builds an enriched [`SessionError::Interrupted`]: captures the
+    /// guard's fuel/deadline readings plus the engine's byte count at
+    /// trip time (*before* rollback shrinks it), and records the trip
+    /// as a dynamic counter + ring event.
+    fn interrupted(
+        &self,
+        phase: InterruptPhase,
+        cause: InterruptCause,
+        guard: &Guard,
+    ) -> SessionError {
+        let mut trip = TripInfo::from_guard(guard);
+        trip.memory_used_bytes = Some(self.store.approx_bytes() + self.grounder.approx_bytes());
+        record_trip_in(&self.obs, phase, cause, &trip);
+        SessionError::Interrupted { phase, cause, trip }
+    }
+
+    /// Maps a grounding failure out of steps 1–2 of the apply,
+    /// enriching guard trips with [`TripInfo`] forensics.
+    fn grounding_error(&self, e: GroundingError, guard: &Guard) -> SessionError {
+        match e {
+            GroundingError::Interrupted(cause) => {
+                self.interrupted(InterruptPhase::Grounding, cause, guard)
+            }
+            other => other.into(),
+        }
     }
 
     /// The in-memory apply (also the WAL replay path — it must stay
@@ -1078,6 +1344,11 @@ impl Session {
         // later ungoverned commit never inherits a stale deadline.
         self.grounder.set_guard(guard.clone());
         let mut stats = CommitStats::default();
+        // Grounding vs. index-finalize attribution: steps 1–3 are timed
+        // as one wall interval; the grounder's own finalize_ns delta is
+        // then split out as the `commit.index` phase.
+        let gstats_before = self.grounder.stats();
+        let t_ground = Instant::now();
         let atoms_before = self.ground_program().atom_count();
         let clauses_before = self.ground_program().clause_count();
         let program_len_before = self.program.len();
@@ -1111,7 +1382,8 @@ impl Session {
                 .grounder
                 .add_rules(&mut self.store, &self.program, first_new)
             {
-                return Err(self.restore_after_failed_commit(program_len_before, e.into()));
+                let err = self.grounding_error(e, guard);
+                return Err(self.restore_after_failed_commit(program_len_before, err));
             }
         }
 
@@ -1141,7 +1413,8 @@ impl Session {
             }
             stats.facts_asserted = new_facts.len();
             if let Err(e) = self.grounder.extend(&mut self.store, &new_facts) {
-                return Err(self.restore_after_failed_commit(program_len_before, e.into()));
+                let err = self.grounding_error(e, guard);
+                return Err(self.restore_after_failed_commit(program_len_before, err));
             }
         }
         // Past the last fallible step: commit the queued re-enables.
@@ -1174,10 +1447,33 @@ impl Session {
             }
         }
 
+        // Phases `commit.ground` / `commit.index` are complete (only
+        // completed phases are recorded — an interrupted commit shows
+        // up as a `guard.trip` event, not a skewed histogram).
+        let ground_wall = t_ground.elapsed().as_nanos() as u64;
+        let fin_delta = self
+            .grounder
+            .stats()
+            .finalize_ns
+            .saturating_sub(gstats_before.finalize_ns);
+        self.sobs
+            .phase_ground
+            .record(ground_wall.saturating_sub(fin_delta));
+        self.sobs.phase_index.record(fin_delta);
+        self.obs.tracer().span_event(
+            "commit.ground",
+            t_ground,
+            ground_wall.saturating_sub(fin_delta),
+        );
+        self.obs
+            .tracer()
+            .span_event("commit.index", t_ground, fin_delta);
+
         // 4. Model maintenance: grow the chains over the appended
         //    atoms/clauses, flip the switched clauses, re-run the
         //    alternating refresh from the warm state.
         self.grounder.set_guard(Guard::none());
+        let t_refresh = Instant::now();
         let gp = self.grounder.ground_program();
         self.t_chain.grow(gp);
         self.u_chain.grow(gp);
@@ -1199,15 +1495,15 @@ impl Session {
                 // enable/disable bookkeeping above is already half
                 // applied — unwind through the full rollback path.
                 self.disabled = disabled_before;
-                return Err(self.restore_after_failed_commit(
-                    program_len_before,
-                    SessionError::Interrupted {
-                        phase: InterruptPhase::ModelRefresh,
-                        cause,
-                    },
-                ));
+                let err = self.interrupted(InterruptPhase::ModelRefresh, cause, guard);
+                return Err(self.restore_after_failed_commit(program_len_before, err));
             }
         }
+        let refresh_ns = t_refresh.elapsed().as_nanos() as u64;
+        self.sobs.phase_refresh.record(refresh_ns);
+        self.obs
+            .tracer()
+            .span_event("commit.refresh", t_refresh, refresh_ns);
 
         stats.new_atoms = gp.atom_count() - atoms_before;
         stats.new_clauses = gp.clause_count() - clauses_before;
@@ -1216,7 +1512,61 @@ impl Session {
         }
         self.epoch += 1;
         self.snapshot_cache = None;
+        self.sobs.commits.add(1);
+        self.sobs.rules_added.add(stats.rules_added as u64);
+        self.sobs.facts_asserted.add(stats.facts_asserted as u64);
+        self.sobs.facts_reenabled.add(stats.facts_reenabled as u64);
+        self.sobs.facts_retracted.add(stats.facts_retracted as u64);
+        self.sobs.new_atoms.add(stats.new_atoms as u64);
+        self.sobs.new_clauses.add(stats.new_clauses as u64);
+        self.flush_subsystem_stats();
         Ok(stats)
+    }
+
+    /// Flushes this commit's deltas of the subsystems' lifetime stat
+    /// counters (grounder, fixpoint chains, scheduler) into the
+    /// registry, and advances the baselines.
+    fn flush_subsystem_stats(&mut self) {
+        let g = self.grounder.stats();
+        let dg = g.delta_since(&self.base_gstats);
+        self.base_gstats = g;
+        self.sobs.ground_rounds.add(u64::from(dg.rounds));
+        self.sobs.ground_join_candidates.add(dg.join_candidates);
+        self.sobs.ground_index_probes.add(dg.index_probes);
+        self.sobs.ground_dedup_hits.add(dg.dedup_hits);
+
+        let t = self.t_chain.stats();
+        let u = self.u_chain.stats();
+        let dt = t.delta_since(&self.base_t);
+        let du = u.delta_since(&self.base_u);
+        self.base_t = t;
+        self.base_u = u;
+        self.sobs
+            .lfp_evaluations
+            .add(dt.evaluations + du.evaluations);
+        self.sobs
+            .lfp_clause_checks
+            .add(dt.clause_checks + du.clause_checks);
+        self.sobs.lfp_enqueues.add(dt.enqueues + du.enqueues);
+        self.sobs.lfp_revives.add(dt.revives + du.revives);
+        let cone = dt.retraction_cone + du.retraction_cone;
+        if cone > 0 {
+            self.sobs.lfp_cone.record(cone);
+        }
+
+        // The worker pool is process-wide, so only the delta since this
+        // session's last flush is attributable here.
+        let p = pool_totals();
+        self.sobs
+            .par_steals
+            .add(p.steals.saturating_sub(self.base_par.steals));
+        self.sobs
+            .par_parks
+            .add(p.parks.saturating_sub(self.base_par.parks));
+        self.sobs
+            .par_aborts
+            .add(p.aborts.saturating_sub(self.base_par.aborts));
+        self.base_par = p;
     }
 
     /// Up-front batch validation (see [`CommitError`] for the policy).
@@ -1387,6 +1737,12 @@ impl Session {
         self.disabled = disabled;
         self.arities = arities_of(&self.program);
         self.snapshot_cache = None;
+        // Fresh engine objects restart their lifetime stats at zero;
+        // re-anchor the delta baselines so the rebuild's own work (a
+        // rollback, not a commit) is never flushed to the registry.
+        self.base_gstats = self.grounder.stats();
+        self.base_t = self.t_chain.stats();
+        self.base_u = self.u_chain.stats();
         Ok(())
     }
 
@@ -1456,7 +1812,8 @@ impl Session {
     /// One-shot convenience: parse, prepare, execute, materialize.
     pub fn query(&mut self, src: &str) -> Result<QueryResult, SessionError> {
         let mut q = self.prepare(src)?;
-        Ok(q.execute(self)?.collect_result())
+        let r = q.execute(self)?.collect_result();
+        Ok(r)
     }
 
     /// Governed one-shot query: like [`Session::query`] but the
@@ -1470,7 +1827,8 @@ impl Session {
         opts: &QueryOpts,
     ) -> Result<QueryResult, SessionError> {
         let mut q = self.prepare(src)?;
-        Ok(q.execute_governed(self, opts)?.collect_result())
+        let r = q.execute_governed(self, opts)?.collect_result();
+        Ok(r)
     }
 
     /// Truth of a single (ground) query — shorthand over
@@ -1498,6 +1856,35 @@ impl Session {
         }
     }
 
+    // ---- observability -----------------------------------------------
+
+    /// A consistent snapshot of every engine metric this session has
+    /// recorded: commit counters, per-phase commit latency histograms
+    /// (`commit.validate` … `commit.index`, plus `commit.total`),
+    /// grounder/fixpoint work counters, WAL I/O, query counters, and
+    /// `guard.trips.<phase>.<cause>`. Cheap enough to call per request.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
+    /// Drains the bounded trace-event ring: the most recent spans
+    /// (commit phases), guard trips, and recovery events, in order.
+    /// The ring holds [`gsls_obs::DEFAULT_RING_CAPACITY`] events;
+    /// older ones are evicted, so a slow commit is reconstructable
+    /// after the fact without unbounded memory.
+    pub fn recent_events(&self) -> Vec<TraceEvent> {
+        self.obs.tracer().drain()
+    }
+
+    /// A clone of the session's observability bundle. Clones share
+    /// storage with the session, so another thread can poll
+    /// [`Obs::snapshot`] mid-commit, or [`Obs::set_enabled`] can turn
+    /// all recording off (every probe degrades to one relaxed atomic
+    /// load and a branch).
+    pub fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+
     // ---- snapshots ---------------------------------------------------
 
     /// An immutable, `Send + Sync` snapshot of the committed state.
@@ -1518,6 +1905,7 @@ impl Session {
                 model: self.model.clone(),
                 domain: self.grounder.universe().to_vec(),
                 epoch: self.epoch,
+                qobs: self.sobs.query.clone(),
             }),
         };
         self.snapshot_cache = Some(snap.clone());
@@ -1562,6 +1950,9 @@ struct SnapshotInner {
     model: Interp,
     domain: Vec<TermId>,
     epoch: u64,
+    /// Query counters shared with the originating session, so reads
+    /// off snapshots on other threads keep counting.
+    qobs: QueryObs,
 }
 
 /// An immutable view of a committed session state. Cloning is an
@@ -1824,6 +2215,12 @@ pub struct Answers<'a> {
     guard: Guard,
     tick: u32,
     interrupted: Option<InterruptCause>,
+    /// Query metric handles plus locally-accumulated counts, flushed
+    /// once on drop (zero shared-memory traffic per answer).
+    qobs: QueryObs,
+    n_answers: u64,
+    n_point: u64,
+    n_scan: u64,
 }
 
 impl<'a> Answers<'a> {
@@ -1833,6 +2230,7 @@ impl<'a> Answers<'a> {
         plan: &'a QueryPlan,
         view: ModelView<'a>,
         mut scratch: ScratchSlot<'a>,
+        qobs: QueryObs,
     ) -> Result<Answers<'a>, SessionError> {
         if !plan.residual.is_empty() {
             let total = view.domain.len().checked_pow(plan.residual.len() as u32);
@@ -1864,6 +2262,10 @@ impl<'a> Answers<'a> {
             guard: Guard::none(),
             tick: 0,
             interrupted: None,
+            qobs,
+            n_answers: 0,
+            n_point: 0,
+            n_scan: 0,
         })
     }
 
@@ -1921,10 +2323,12 @@ impl<'a> Answers<'a> {
             let st = &mut self.scratch.depths[d];
             st.candidates.clear();
             if resolved {
+                self.n_point += 1;
                 if let Some(id) = self.view.gp.lookup_atom_parts(lit.pred.sym, &key) {
                     st.candidates.push(id);
                 }
             } else {
+                self.n_scan += 1;
                 st.candidates.extend(self.view.gp.atoms_with_pred(lit.pred));
             }
             self.scratch.key_buf = key;
@@ -2071,7 +2475,11 @@ impl Iterator for Answers<'_> {
 
     fn next(&mut self) -> Option<Answer> {
         if let Some(m) = &mut self.materialized {
-            return m.next();
+            let a = m.next();
+            if a.is_some() {
+                self.n_answers += 1;
+            }
+            return a;
         }
         if self.done {
             return None;
@@ -2081,7 +2489,11 @@ impl Iterator for Answers<'_> {
             self.started = true;
             if total == 0 {
                 self.done = true;
-                return self.leaf();
+                let a = self.leaf();
+                if a.is_some() {
+                    self.n_answers += 1;
+                }
+                return a;
             }
             self.enter(0);
             self.depth = 0;
@@ -2092,11 +2504,21 @@ impl Iterator for Answers<'_> {
             if let Err(cause) = self.guard.tick(&mut self.tick) {
                 self.interrupted = Some(cause);
                 self.done = true;
+                self.qobs.interrupts.add(1);
+                if let Some(obs) = &self.qobs.obs {
+                    record_trip_in(
+                        obs,
+                        InterruptPhase::Query,
+                        cause,
+                        &TripInfo::from_guard(&self.guard),
+                    );
+                }
                 return None;
             }
             if self.advance(self.depth) {
                 if self.depth + 1 == total {
                     if let Some(a) = self.leaf() {
+                        self.n_answers += 1;
                         return Some(a);
                     }
                 } else {
@@ -2109,6 +2531,20 @@ impl Iterator for Answers<'_> {
             } else {
                 self.depth -= 1;
             }
+        }
+    }
+}
+
+impl Drop for Answers<'_> {
+    fn drop(&mut self) {
+        if self.n_answers > 0 {
+            self.qobs.answers.add(self.n_answers);
+        }
+        if self.n_point > 0 {
+            self.qobs.point_lookups.add(self.n_point);
+        }
+        if self.n_scan > 0 {
+            self.qobs.scans.add(self.n_scan);
         }
     }
 }
@@ -2188,11 +2624,13 @@ impl PreparedQuery {
     ) -> Result<Answers<'a>, SessionError> {
         match self.engine {
             Engine::Tabled => {
+                session.sobs.query.executions.add(1);
                 let plan = self.plan.as_ref().expect("model engine has a plan");
                 Answers::start(
                     plan,
                     session.view(),
                     ScratchSlot::Borrowed(&mut self.scratch),
+                    session.sobs.query.clone(),
                 )
             }
             Engine::GlobalTree => {
@@ -2216,11 +2654,13 @@ impl PreparedQuery {
                     Status::Floundered => (Truth::Undefined, true),
                     Status::Indeterminate => (Truth::Undefined, false),
                 };
+                session.sobs.query.executions.add(1);
                 let plan = self.plan.get_or_insert_with(QueryPlan::empty);
                 let mut out = Answers::start(
                     plan,
                     session.view(),
                     ScratchSlot::Borrowed(&mut self.scratch),
+                    session.sobs.query.clone(),
                 )?;
                 out.done = true;
                 out.materialized = Some(answers.into_iter());
@@ -2255,11 +2695,13 @@ impl PreparedQuery {
                     opts.fuel,
                     false,
                 );
+                session.sobs.query.executions.add(1);
                 let plan = self.plan.as_ref().expect("model engine has a plan");
                 let mut out = Answers::start(
                     plan,
                     session.view(),
                     ScratchSlot::Borrowed(&mut self.scratch),
+                    session.sobs.query.clone(),
                 )?;
                 out.guard = guard;
                 Ok(out)
@@ -2278,8 +2720,14 @@ impl PreparedQuery {
     pub fn execute_on<'a>(&'a self, snapshot: &'a Snapshot) -> Result<Answers<'a>, SessionError> {
         match self.engine {
             Engine::Tabled => {
+                snapshot.inner.qobs.executions.add(1);
                 let plan = self.plan.as_ref().expect("model engine has a plan");
-                Answers::start(plan, snapshot.view(), ScratchSlot::Owned(Box::default()))
+                Answers::start(
+                    plan,
+                    snapshot.view(),
+                    ScratchSlot::Owned(Box::default()),
+                    snapshot.inner.qobs.clone(),
+                )
             }
             Engine::GlobalTree => Err(SessionError::Unsupported(
                 "the global-tree engine needs the live session (it builds terms); \
@@ -2322,7 +2770,12 @@ impl QueryPlan {
         view: ModelView<'a>,
         scratch: &'a mut QueryScratch,
     ) -> Result<Answers<'a>, SessionError> {
-        Answers::start(self, view, ScratchSlot::Borrowed(scratch))
+        Answers::start(
+            self,
+            view,
+            ScratchSlot::Borrowed(scratch),
+            QueryObs::default(),
+        )
     }
 }
 

@@ -35,7 +35,7 @@ pub use codec::{
     crc32, decode_batch, decode_checkpoint, encode_batch, encode_checkpoint, Batch, CheckpointImage,
 };
 pub use fault::{FaultPlan, FaultyFile, INJECTED_CRASH};
-pub use log::{DurableLog, DurableOpts, Recovered, StorageKind};
+pub use log::{DurableLog, DurableOpts, Recovered, StorageKind, WalObs};
 pub use wal::{FileStorage, Wal, WalScan, WalStorage};
 
 use gsls_lang::WireError;

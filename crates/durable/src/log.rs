@@ -21,10 +21,45 @@
 
 use crate::checkpoint::{ckpt_path, read_checkpoint, scan_dir, wal_path, write_checkpoint};
 use crate::fault::{FaultPlan, FaultyFile};
-use crate::wal::{FileStorage, Wal, WalStorage};
+use crate::wal::{FileStorage, Wal, WalStorage, RECORD_HEADER};
 use crate::DurableError;
+use gsls_obs::{Counter, Registry};
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// WAL/checkpoint I/O counters, resolved once from a session's metrics
+/// registry and recorded from inside the log's I/O paths. Defaults to
+/// detached handles (recording nothing) until
+/// [`DurableLog::set_obs`] attaches real ones.
+#[derive(Clone, Default)]
+pub struct WalObs {
+    /// Records appended to the active WAL.
+    pub appends: Counter,
+    /// Bytes appended (payload + record header).
+    pub appended_bytes: Counter,
+    /// Fsyncs issued by appends.
+    pub fsyncs: Counter,
+    /// WAL rotations (one per installed checkpoint).
+    pub rotations: Counter,
+    /// Checkpoint payload bytes written.
+    pub checkpoint_bytes: Counter,
+    /// Journaled records unwound by a failed in-memory apply.
+    pub truncates: Counter,
+}
+
+impl WalObs {
+    /// Resolves the `wal.*` counters from `reg`.
+    pub fn register(reg: &Registry) -> WalObs {
+        WalObs {
+            appends: reg.counter("wal.appends"),
+            appended_bytes: reg.counter("wal.appended_bytes"),
+            fsyncs: reg.counter("wal.fsyncs"),
+            rotations: reg.counter("wal.rotations"),
+            checkpoint_bytes: reg.counter("wal.checkpoint_bytes"),
+            truncates: reg.counter("wal.truncates"),
+        }
+    }
+}
 
 /// How the WAL reaches disk.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -85,6 +120,8 @@ pub struct DurableLog {
     wal: Wal,
     /// Records appended to the active WAL (including recovered ones).
     records: usize,
+    /// I/O counters (detached until [`Self::set_obs`]).
+    obs: WalObs,
 }
 
 impl std::fmt::Debug for DurableLog {
@@ -158,6 +195,7 @@ impl DurableLog {
                 gen: active_gen,
                 wal,
                 records: active_records,
+                obs: WalObs::default(),
             },
             Recovered {
                 checkpoint,
@@ -173,6 +211,12 @@ impl DurableLog {
         &self.dir
     }
 
+    /// Attaches I/O counters; subsequent appends, rotations, and
+    /// truncates record into them.
+    pub fn set_obs(&mut self, obs: WalObs) {
+        self.obs = obs;
+    }
+
     /// Active WAL length in bytes — the undo mark for [`Self::truncate_to`].
     pub fn wal_len(&self) -> u64 {
         self.wal.len()
@@ -184,6 +228,13 @@ impl DurableLog {
     pub fn append(&mut self, payload: &[u8]) -> Result<(), DurableError> {
         self.wal.append(payload, self.opts.fsync)?;
         self.records += 1;
+        self.obs.appends.add(1);
+        self.obs
+            .appended_bytes
+            .add(RECORD_HEADER + payload.len() as u64);
+        if self.opts.fsync {
+            self.obs.fsyncs.add(1);
+        }
         Ok(())
     }
 
@@ -193,6 +244,7 @@ impl DurableLog {
     pub fn truncate_to(&mut self, mark: u64) -> Result<(), DurableError> {
         if mark < self.wal.len() {
             self.records = self.records.saturating_sub(1);
+            self.obs.truncates.add(1);
         }
         self.wal.truncate_to(mark)
     }
@@ -216,6 +268,8 @@ impl DurableLog {
         self.wal = wal;
         self.gen = new_gen;
         self.records = 0;
+        self.obs.rotations.add(1);
+        self.obs.checkpoint_bytes.add(payload.len() as u64);
         // Retain this generation and the previous one; GC the rest.
         if new_gen >= 2 {
             let gens = scan_dir(&self.dir)?;

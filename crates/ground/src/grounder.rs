@@ -882,6 +882,28 @@ pub struct GroundStats {
     pub finalize_ns: u64,
 }
 
+impl GroundStats {
+    /// Field-wise `self - earlier`, saturating. The incremental
+    /// grounder accumulates for its lifetime; callers that want
+    /// per-commit readings diff against a baseline captured before the
+    /// commit (`plans`/`indexes` are running totals, not deltas, and
+    /// are reported as-is).
+    pub fn delta_since(&self, earlier: &GroundStats) -> GroundStats {
+        GroundStats {
+            rounds: self.rounds.saturating_sub(earlier.rounds),
+            plans: self.plans,
+            indexes: self.indexes,
+            join_candidates: self.join_candidates.saturating_sub(earlier.join_candidates),
+            index_probes: self.index_probes.saturating_sub(earlier.index_probes),
+            dedup_hits: self.dedup_hits.saturating_sub(earlier.dedup_hits),
+            seed_ns: self.seed_ns.saturating_sub(earlier.seed_ns),
+            plan_ns: self.plan_ns.saturating_sub(earlier.plan_ns),
+            join_ns: self.join_ns.saturating_sub(earlier.join_ns),
+            finalize_ns: self.finalize_ns.saturating_sub(earlier.finalize_ns),
+        }
+    }
+}
+
 /// The Herbrand instantiation engine.
 pub struct Grounder<'a> {
     store: &'a mut TermStore,

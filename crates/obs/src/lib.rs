@@ -1,0 +1,323 @@
+//! `gsls-obs` — unified tracing, metrics, and profiling for the engine.
+//!
+//! Every other crate's telemetry funnels through two primitives defined
+//! here:
+//!
+//! * a [`Registry`] of named [`Counter`]s, [`Gauge`]s, and log-linear
+//!   latency [`Histogram`]s (p50/p90/p99 extraction), recorded into by
+//!   lock-free atomic handles that are cheap enough to leave on in
+//!   production builds; and
+//! * a [`Tracer`] whose RAII spans ([`SpanGuard`], usually via the
+//!   [`span!`] macro) land in a bounded per-session ring of
+//!   [`TraceEvent`]s with monotonic timestamps, so a slow or
+//!   interrupted commit can be reconstructed post-hoc without a rerun.
+//!
+//! [`Obs`] bundles the two behind one shared enable flag: recording
+//! handles stay valid across [`Obs::set_enabled`], which lets the bench
+//! harness measure the instrumented-vs-dark delta in-process on the
+//! exact same session (the BENCH overhead assertion).
+//!
+//! The crate is a dependency leaf — std only, no engine types — so any
+//! layer (grounder, WFS chains, WAL, scheduler, session) can register
+//! into the same registry without dependency cycles. JSON rendering
+//! follows the `gsls-analyze` diagnostic conventions: hand-rolled
+//! objects, sorted keys, `json_escape`-compatible string escaping.
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HISTOGRAM_MAX_NS,
+};
+pub use trace::{SpanGuard, TraceEvent, Tracer};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Default capacity of the per-session trace-event ring.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+/// One session's observability bundle: a metrics [`Registry`] and a
+/// [`Tracer`] sharing a single enable flag. Cloning is cheap (two `Arc`
+/// bumps) and every clone sees the same data, so a snapshot can be
+/// taken from another thread mid-commit.
+#[derive(Clone)]
+pub struct Obs {
+    on: Arc<AtomicBool>,
+    registry: Registry,
+    tracer: Tracer,
+}
+
+impl Obs {
+    /// An enabled bundle with the [`DEFAULT_RING_CAPACITY`] event ring.
+    pub fn new() -> Self {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled bundle with an event ring bounded at `cap` entries.
+    pub fn with_ring_capacity(cap: usize) -> Self {
+        let on = Arc::new(AtomicBool::new(true));
+        Obs {
+            registry: Registry::with_flag(on.clone()),
+            tracer: Tracer::with_flag(on.clone(), cap),
+            on,
+        }
+    }
+
+    /// A dark bundle: handles exist but every record is a single
+    /// relaxed load-and-branch. This is the overhead baseline.
+    pub fn disabled() -> Self {
+        let obs = Self::new();
+        obs.set_enabled(false);
+        obs
+    }
+
+    /// Flips recording at runtime. Existing handles observe the change
+    /// immediately; data already recorded is kept.
+    pub fn set_enabled(&self, on: bool) {
+        self.on.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently on.
+    pub fn is_enabled(&self) -> bool {
+        self.on.load(Ordering::Relaxed)
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trace-event ring.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Consistent view of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Starts an RAII span: on drop it pushes a [`TraceEvent`] and, when
+    /// `hist` is given, records the duration into that histogram too.
+    pub fn span<'a>(&'a self, label: &'static str, hist: Option<&'a Histogram>) -> SpanGuard<'a> {
+        self.tracer.span(label, hist)
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Starts an RAII timing span on an [`Obs`] bundle.
+///
+/// `span!(obs, "commit.ground")` records only a trace event;
+/// `span!(obs, "commit.ground", hist)` also records the duration into
+/// the histogram handle `hist`.
+#[macro_export]
+macro_rules! span {
+    ($obs:expr, $label:expr) => {
+        $obs.span($label, None)
+    };
+    ($obs:expr, $label:expr, $hist:expr) => {
+        $obs.span($label, Some($hist))
+    };
+}
+
+/// Escapes `s` for embedding in a JSON string literal, following the
+/// `gsls-analyze` diagnostic-output conventions.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn counters_record_and_snapshot() {
+        let obs = Obs::new();
+        let c = obs.registry().counter("test.hits");
+        c.add(3);
+        c.add(4);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("test.hits"), Some(7));
+        assert_eq!(snap.counter("test.misses"), None);
+    }
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let obs = Obs::disabled();
+        let c = obs.registry().counter("dark.hits");
+        let h = obs.registry().histogram("dark.lat");
+        c.add(10);
+        h.record(1_000);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("dark.hits"), Some(0));
+        assert_eq!(snap.histogram("dark.lat").unwrap().count, 0);
+        // Re-enabling makes the same handles live.
+        obs.set_enabled(true);
+        c.add(10);
+        assert_eq!(obs.snapshot().counter("dark.hits"), Some(10));
+    }
+
+    #[test]
+    fn gauge_tracks_set_and_add() {
+        let obs = Obs::new();
+        let g = obs.registry().gauge("test.depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(obs.snapshot().gauge("test.depth"), Some(3));
+    }
+
+    #[test]
+    fn histogram_percentiles_are_order_of_magnitude_right() {
+        let obs = Obs::new();
+        let h = obs.registry().histogram("test.lat");
+        for v in 1..=1000u64 {
+            h.record(v * 1_000); // 1µs .. 1ms
+        }
+        let snap = obs.snapshot();
+        let hs = snap.histogram("test.lat").unwrap();
+        assert_eq!(hs.count, 1000);
+        assert_eq!(hs.sum, (1..=1000u64).map(|v| v * 1_000).sum::<u64>());
+        // Log-linear buckets with 8 sub-buckets per octave: ≤ 12.5%
+        // quantization plus the bucket-upper-bound convention.
+        let p50 = hs.p50 as f64;
+        assert!((400_000.0..=650_000.0).contains(&p50), "p50={p50}");
+        let p99 = hs.p99 as f64;
+        assert!((900_000.0..=1_200_000.0).contains(&p99), "p99={p99}");
+        assert!(hs.max >= 1_000_000 && hs.max <= HISTOGRAM_MAX_NS);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let obs = Obs::new();
+        let h = obs.registry().histogram("test.ext");
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = obs.snapshot();
+        let hs = snap.histogram("test.ext").unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.max, u64::MAX);
+        assert!(hs.p99 <= HISTOGRAM_MAX_NS);
+    }
+
+    #[test]
+    fn span_records_event_and_histogram() {
+        let obs = Obs::new();
+        let h = obs.registry().histogram("test.span");
+        {
+            let _s = span!(obs, "test.span", &h);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let hs = obs.snapshot();
+        let hist = hs.histogram("test.span").unwrap();
+        assert_eq!(hist.count, 1);
+        assert!(hist.sum >= 500_000, "span recorded {}ns", hist.sum);
+        let events = obs.tracer().drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, "test.span");
+        assert!(events[0].dur_ns >= 500_000);
+        // Drain empties the ring.
+        assert!(obs.tracer().drain().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let obs = Obs::with_ring_capacity(16);
+        for _ in 0..100 {
+            let _s = span!(obs, "tick");
+        }
+        let events = obs.tracer().drain();
+        assert_eq!(events.len(), 16);
+        // Oldest entries were evicted; seq and timestamps are monotone.
+        for w in events.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+            assert!(w[1].at_ns >= w[0].at_ns);
+        }
+        assert_eq!(events.last().unwrap().seq, 99);
+    }
+
+    #[test]
+    fn registry_is_get_or_register() {
+        let obs = Obs::new();
+        let a = obs.registry().counter("same.name");
+        let b = obs.registry().counter("same.name");
+        a.add(1);
+        b.add(1);
+        assert_eq!(obs.snapshot().counter("same.name"), Some(2));
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_ish() {
+        let obs = Obs::new();
+        obs.registry().counter("a.hits").add(2);
+        obs.registry().gauge("b.depth").set(-1);
+        obs.registry().histogram("c.lat").record(42);
+        let json = obs.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.hits\": 2"));
+        assert!(json.contains("\"b.depth\": -1"));
+        assert!(json.contains("\"c.lat\""));
+        assert!(json.contains("\"p99_ns\""));
+    }
+
+    #[test]
+    fn trip_event_carries_detail() {
+        let obs = Obs::new();
+        obs.tracer()
+            .event("guard.trip", Some("phase=ground cause=deadline".into()));
+        let events = obs.tracer().drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].dur_ns, 0);
+        assert_eq!(
+            events[0].detail.as_deref(),
+            Some("phase=ground cause=deadline")
+        );
+        assert!(events[0].to_json().contains("phase=ground"));
+    }
+
+    #[test]
+    fn json_escape_matches_analyzer_conventions() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn cross_thread_snapshot_sees_monotone_counters() {
+        let obs = Obs::new();
+        let c = obs.registry().counter("mt.hits");
+        let reader = {
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..1000 {
+                    let v = obs.snapshot().counter("mt.hits").unwrap();
+                    assert!(v >= last, "counter went backwards: {v} < {last}");
+                    last = v;
+                }
+            })
+        };
+        for _ in 0..10_000 {
+            c.add(1);
+        }
+        reader.join().unwrap();
+        assert_eq!(obs.snapshot().counter("mt.hits"), Some(10_000));
+    }
+}

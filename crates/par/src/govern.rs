@@ -170,6 +170,20 @@ impl Guard {
     pub fn memory_budget(&self) -> Option<usize> {
         self.inner.as_ref().and_then(|g| g.max_memory_bytes)
     }
+
+    /// Fuel remaining, if this guard meters fuel. Read at trip time it
+    /// answers "how close was the budget" without a rerun.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .map(|g| g.fuel.load(Ordering::Relaxed))
+            .filter(|&f| f != u64::MAX)
+    }
+
+    /// The wall-clock deadline this guard enforces, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|g| g.deadline)
+    }
 }
 
 impl GuardInner {

@@ -46,7 +46,7 @@ pub mod pool;
 
 pub use dag::TaskDag;
 pub use govern::{Guard, GuardBuilder, InterruptCause, InterruptHandle, TICK_INTERVAL};
-pub use pool::{par_chunks, par_map, StealQueues};
+pub use pool::{par_chunks, par_map, pool_totals, PoolTotals, StealQueues};
 
 /// Hard cap on accepted thread counts; a `GSLS_THREADS` typo should not
 /// try to spawn a million workers.

@@ -24,9 +24,45 @@
 //! `n_threads <= 1` runs inline with zero spawns.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, LockResult, Mutex};
 use std::time::Duration;
+
+/// Process-wide scheduler totals, accumulated as runs finish (each
+/// [`StealQueues`] flushes its per-worker counters on drop; aborts
+/// count immediately). The pool is shared by every session in the
+/// process, so these are global by construction — sessions export
+/// deltas into their own metrics registries.
+static TOTAL_STEALS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_PARKS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ABORTS: AtomicU64 = AtomicU64::new(0);
+
+/// A reading of the process-wide scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolTotals {
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+    /// Times an idle worker parked on the condvar.
+    pub parks: u64,
+    /// Runs killed via [`StealQueues::abort`] (panic or cancellation).
+    pub aborts: u64,
+}
+
+/// Current process-wide scheduler totals (monotone).
+pub fn pool_totals() -> PoolTotals {
+    PoolTotals {
+        steals: TOTAL_STEALS.load(Ordering::Relaxed),
+        parks: TOTAL_PARKS.load(Ordering::Relaxed),
+        aborts: TOTAL_ABORTS.load(Ordering::Relaxed),
+    }
+}
+
+/// Per-worker scheduling counters for one run.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
 
 /// How long an idle worker sleeps before re-scanning the deques; bounds
 /// the staleness window of the lock-free sleeper check.
@@ -61,6 +97,7 @@ pub struct StealQueues {
     sleepers: AtomicUsize,
     sleep: Mutex<()>,
     wake: Condvar,
+    counters: Vec<WorkerCounters>,
 }
 
 impl StealQueues {
@@ -75,7 +112,21 @@ impl StealQueues {
             sleepers: AtomicUsize::new(0),
             sleep: Mutex::new(()),
             wake: Condvar::new(),
+            counters: (0..workers).map(|_| WorkerCounters::default()).collect(),
         }
+    }
+
+    /// Per-worker `(steals, parks)` counts for this run so far.
+    pub fn worker_counts(&self) -> Vec<(u64, u64)> {
+        self.counters
+            .iter()
+            .map(|c| {
+                (
+                    c.steals.load(Ordering::Relaxed),
+                    c.parks.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     /// Number of worker deques.
@@ -119,7 +170,9 @@ impl StealQueues {
     /// forever — and by cooperative cancellation
     /// ([`crate::TaskDag::run_governed`]).
     pub fn abort(&self) {
-        self.aborted.store(true, Ordering::SeqCst);
+        if !self.aborted.swap(true, Ordering::SeqCst) {
+            TOTAL_ABORTS.fetch_add(1, Ordering::Relaxed);
+        }
         let _g = relock(self.sleep.lock());
         self.wake.notify_all();
     }
@@ -145,12 +198,14 @@ impl StealQueues {
             for k in 1..n {
                 let victim = (worker + k) % n;
                 if let Some(t) = relock(self.local[victim].lock()).pop_front() {
+                    self.counters[worker].steals.fetch_add(1, Ordering::Relaxed);
                     return Some(t);
                 }
             }
             if self.is_done() {
                 return None;
             }
+            self.counters[worker].parks.fetch_add(1, Ordering::Relaxed);
             self.sleepers.fetch_add(1, Ordering::SeqCst);
             {
                 let g = relock(self.sleep.lock());
@@ -165,6 +220,22 @@ impl StealQueues {
                 }
             }
             self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for StealQueues {
+    fn drop(&mut self) {
+        let (mut steals, mut parks) = (0u64, 0u64);
+        for c in &self.counters {
+            steals += c.steals.load(Ordering::Relaxed);
+            parks += c.parks.load(Ordering::Relaxed);
+        }
+        if steals > 0 {
+            TOTAL_STEALS.fetch_add(steals, Ordering::Relaxed);
+        }
+        if parks > 0 {
+            TOTAL_PARKS.fetch_add(parks, Ordering::Relaxed);
         }
     }
 }
@@ -290,6 +361,49 @@ mod tests {
         // PARK timeouts if the wakeup were lost.
         assert!(t0.elapsed() < Duration::from_millis(500));
         assert!(q.is_aborted());
+    }
+
+    #[test]
+    fn scheduler_counters_observe_steals_and_flush_to_totals() {
+        let before = pool_totals();
+        {
+            let total = 64usize;
+            let q = StealQueues::new(3, total);
+            for t in 0..total as u32 {
+                q.push(0, t);
+            }
+            std::thread::scope(|s| {
+                for w in 0..3 {
+                    let q = &q;
+                    s.spawn(move || {
+                        while let Some(_t) = q.next_task(w) {
+                            q.complete_one();
+                        }
+                    });
+                }
+            });
+            let counts = q.worker_counts();
+            assert_eq!(counts.len(), 3);
+            // Workers 1 and 2 can only obtain tasks by stealing; worker 0
+            // never needs to. At least the two non-owners' first tasks
+            // were steals (they may also park, which is fine).
+            assert_eq!(counts[0].0, 0);
+        } // drop flushes into the process totals
+          // Totals are process-global and other tests run concurrently,
+          // so assert monotonicity only.
+        let after = pool_totals();
+        assert!(after.steals >= before.steals);
+        assert!(after.parks >= before.parks);
+    }
+
+    #[test]
+    fn abort_counts_once_in_totals() {
+        let before = pool_totals().aborts;
+        let q = StealQueues::new(1, 1);
+        q.abort();
+        q.abort();
+        let after = pool_totals().aborts;
+        assert!(after > before, "double abort must count exactly once");
     }
 
     #[test]

@@ -68,6 +68,25 @@ pub struct IncStats {
     pub clause_checks: u64,
     /// Atoms pushed onto a work queue (derivation or retraction).
     pub enqueues: u64,
+    /// Clauses revived from `DEAD` (context change or re-enable).
+    pub revives: u64,
+    /// Atoms overdeleted by delete-and-rederive cascades — the summed
+    /// retraction cone size.
+    pub retraction_cone: u64,
+}
+
+impl IncStats {
+    /// Field-wise `self - earlier`, saturating — the per-call (or
+    /// per-commit) work when `earlier` was captured before it.
+    pub fn delta_since(&self, earlier: &IncStats) -> IncStats {
+        IncStats {
+            evaluations: self.evaluations.saturating_sub(earlier.evaluations),
+            clause_checks: self.clause_checks.saturating_sub(earlier.clause_checks),
+            enqueues: self.enqueues.saturating_sub(earlier.enqueues),
+            revives: self.revives.saturating_sub(earlier.revives),
+            retraction_cone: self.retraction_cone.saturating_sub(earlier.retraction_cone),
+        }
+    }
 }
 
 /// A reduct least fixpoint maintained incrementally across a chain of
@@ -322,6 +341,7 @@ impl IncrementalLfp {
                     .filter(|&&p| !self.out.contains(p.index()))
                     .count() as u32;
                 self.missing[ci as usize] = m;
+                self.stats.revives += 1;
                 if m == 0 {
                     self.revived_heads.push(c.head.0);
                 }
@@ -498,6 +518,7 @@ impl IncrementalLfp {
                 .filter(|&&p| !self.out.contains(p.index()))
                 .count() as u32;
             self.missing[ci as usize] = m;
+            self.stats.revives += 1;
             if m == 0 {
                 self.revived_heads.push(c.head.0);
             }
@@ -526,6 +547,7 @@ impl IncrementalLfp {
         if self.out.remove(a.index()) {
             self.out_count -= 1;
             self.stats.enqueues += 1;
+            self.stats.retraction_cone += 1;
             self.retracted.push(a.0);
         }
     }

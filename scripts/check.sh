@@ -58,4 +58,17 @@ for seed in 7 43 191; do
     cancel_interleaved_walk_matches_rebuild
 done
 
+echo "==> observability gate (counters, phase histograms, bounded ring,"
+echo "    trip forensics) at default and 2 threads"
+cargo test --release -q --test observability
+GSLS_THREADS=2 cargo test --release -q --test observability
+
+echo "==> gsls-obs CLI smoke (commit + query must land in the registry)"
+cargo run --release -p gsls-bench --bin gsls-obs -- \
+  examples/lp/win_game.lp --assert "move(obs1, obs2)." --query "?- win(X)." --json \
+  | grep -q '"commit.refresh"'
+
+echo "==> observability overhead gate (instrumented commit <= 3% vs disabled)"
+cargo run --release -p gsls-bench --bin perf_report -- --obs-gate
+
 echo "check.sh: all gates passed"

@@ -196,6 +196,47 @@
 //! # Ok::<(), SessionError>(())
 //! ```
 //!
+//! ## Observability
+//!
+//! Every session carries an always-on [`obs`](gsls_obs) bundle: a
+//! lock-cheap metrics registry (atomic counters + log-linear latency
+//! histograms) and a bounded trace-event ring. The commit pipeline
+//! records one histogram per phase (`commit.validate`,
+//! `commit.admission`, `commit.journal`, `commit.ground`,
+//! `commit.refresh`, `commit.index`, plus `commit.total`); the
+//! grounder, fixpoint chains, WAL, scheduler, and query evaluator feed
+//! counters (`ground.*`, `lfp.*`, `wal.*`, `par.*`, `query.*`); guard
+//! trips surface both as `guard.trips.<phase>.<cause>` counters and as
+//! ring events carrying the [`prelude::TripInfo`] resource readings.
+//! [`prelude::Session::metrics`] snapshots everything consistently —
+//! cheap enough to call per request — and
+//! [`prelude::Session::recent_events`] drains the ring for post-hoc
+//! reconstruction of a slow commit. The same numbers are inspectable
+//! offline with the `gsls-obs` binary, and `BENCH_9.json` pins the
+//! always-on overhead at ≤ 3% on a warm single-fact commit.
+//!
+//! ```
+//! use global_sls::prelude::*;
+//!
+//! let mut session = Session::from_source("move(a, b). move(b, a).")?;
+//! session.assert_facts("move(b, c).")?;
+//! let q = session.query("?- move(a, X).")?;
+//! assert_eq!(q.answers.len(), 1);
+//!
+//! let m = session.metrics();
+//! assert_eq!(m.counter("commit.count"), Some(1));
+//! assert_eq!(m.counter("query.executions"), Some(1));
+//! assert!(m.counter("query.answers") >= Some(1));
+//! // Per-phase latency histograms cover the whole commit pipeline.
+//! let ground = m.histogram("commit.ground").unwrap();
+//! assert_eq!(ground.count, 1);
+//! assert!(ground.p99 >= ground.p50);
+//! // The event ring holds the recent spans, oldest first.
+//! let events = session.recent_events();
+//! assert!(events.iter().any(|e| e.label == "commit.total"));
+//! # Ok::<(), SessionError>(())
+//! ```
+//!
 //! ## Diagnostics & linting
 //!
 //! Every commit is gated by the static analyzer in
@@ -267,6 +308,7 @@
 //! | [`core`] | the `Session` engine, the `Solver` shim, global SLS-resolution trees |
 //! | [`par`] | work-stealing runtime (parallel SCC evaluation, sharded grounding) |
 //! | [`durable`] | write-ahead log, checkpoint/restore, crash-injection harness |
+//! | [`obs`] | metrics registry, latency histograms, span tracing (std-only, dependency leaf) |
 //! | [`workloads`] | experiment program generators |
 //!
 //! The [`prelude`] re-exports the user-facing surface; diagnostic and
@@ -278,6 +320,7 @@ pub use gsls_core as core;
 pub use gsls_durable as durable;
 pub use gsls_ground as ground;
 pub use gsls_lang as lang;
+pub use gsls_obs as obs;
 pub use gsls_par as par;
 pub use gsls_resolution as resolution;
 pub use gsls_wfs as wfs;
@@ -290,7 +333,7 @@ pub mod prelude {
     pub use gsls_core::{
         Answer, Answers, CommitError, CommitOpts, CommitRejection, CommitStats, Engine,
         InterruptCause, InterruptHandle, InterruptPhase, PreparedQuery, QueryOpts, QueryResult,
-        Session, SessionError, Snapshot, Solver, SolverError, Status,
+        Session, SessionError, Snapshot, Solver, SolverError, Status, TripInfo,
     };
     pub use gsls_durable::{DurableOpts, StorageKind};
     pub use gsls_ground::{
@@ -300,6 +343,7 @@ pub mod prelude {
         parse_goal, parse_program, parse_query, parse_term, Atom, Clause, Goal, Literal, Program,
         Sign, Subst, TermStore,
     };
+    pub use gsls_obs::{HistogramSnapshot, MetricsSnapshot, Obs, TraceEvent};
     pub use gsls_resolution::{
         perfect_model, sld_solve, sldnf_solve, sls_solve, SldOpts, SldnfOpts, SldnfOutcome, SlsOpts,
     };

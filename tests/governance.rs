@@ -167,6 +167,7 @@ fn admission_rejects_before_wal() {
             SessionError::Interrupted {
                 phase: InterruptPhase::Admission,
                 cause: InterruptCause::MemoryBudget,
+                ..
             }
         ),
         "got {err:?}"
@@ -229,7 +230,7 @@ fn expired_deadline_rolls_back_and_session_continues() {
     };
     let err = governed_commit(&mut s, &clique_batch(10), &opts).unwrap_err();
     match err {
-        SessionError::Interrupted { phase, cause } => {
+        SessionError::Interrupted { phase, cause, .. } => {
             assert_eq!(cause, InterruptCause::DeadlineExceeded);
             assert!(
                 matches!(
@@ -693,6 +694,7 @@ fn cancel_stops_a_streaming_query() {
         "the stream must report why it went quiet"
     );
     assert!(yielded >= 10, "cancellation cannot retract answers");
+    drop(stream);
 
     // A snapshot stream takes a caller-built guard instead.
     let snap = s.snapshot();

@@ -1,0 +1,288 @@
+//! End-to-end tests of the unified observability layer (`gsls-obs`
+//! threaded through the session): counter monotonicity, per-phase
+//! commit histograms summing to the total, snapshot consistency from a
+//! second thread mid-commit, the bounded event ring, and guard-trip
+//! forensics.
+
+use global_sls::prelude::*;
+use std::time::{Duration, Instant};
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "gsls-obs-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Engine counters only ever grow, and the commit counters track the
+/// committed work exactly across a mixed walk of commits.
+#[test]
+fn counters_are_monotone_across_commits() {
+    let mut s = Session::from_source("t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).").unwrap();
+    let mut last = s.metrics();
+    for i in 0..20u32 {
+        s.assert_facts(&format!("e(n{i}, n{}).", i + 1)).unwrap();
+        let m = s.metrics();
+        for (name, v) in &m.counters {
+            let before = last.counter(name).unwrap_or(0);
+            assert!(
+                *v >= before,
+                "counter {name} went backwards: {before} -> {v}"
+            );
+        }
+        assert_eq!(m.counter("commit.count"), Some(u64::from(i) + 1));
+        last = m;
+    }
+    assert_eq!(last.counter("commit.facts_asserted"), Some(20));
+    assert!(last.counter("ground.join_candidates").unwrap_or(0) > 0);
+    assert!(last.counter("lfp.evaluations").unwrap_or(0) > 0);
+    // Retraction feeds the delete-and-rederive cone histogram.
+    s.retract_facts("e(n0, n1).").unwrap();
+    let m = s.metrics();
+    assert_eq!(m.counter("commit.facts_retracted"), Some(1));
+    let cone = m.histogram("lfp.retraction_cone").expect("cone recorded");
+    assert!(cone.count >= 1, "retraction must record a cone size");
+}
+
+/// On a durable governed commit all six pipeline phases record exactly
+/// once, and their durations sum to ≈ the measured commit wall time.
+#[test]
+fn phase_histograms_cover_the_commit() {
+    let dir = unique_dir("phases");
+    let dopts = DurableOpts {
+        // Never auto-checkpoint mid-walk: keeps `commit.total` equal to
+        // the six phases plus loop glue.
+        checkpoint_records: usize::MAX,
+        checkpoint_bytes: u64::MAX,
+        ..DurableOpts::default()
+    };
+    let mut s = Session::open_with(&dir, Default::default(), dopts).unwrap();
+    s.add_rules("t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).")
+        .unwrap();
+    let before = s.metrics();
+
+    const PHASES: [&str; 6] = [
+        "commit.validate",
+        "commit.admission",
+        "commit.journal",
+        "commit.ground",
+        "commit.refresh",
+        "commit.index",
+    ];
+    const N: u64 = 8;
+    for i in 0..N {
+        s.begin().unwrap();
+        s.assert_facts(&format!("e(p{i}, p{}).", i + 1)).unwrap();
+        // `commit_with` (even unrestricted) runs the admission phase.
+        s.commit_with(&CommitOpts::none()).unwrap();
+    }
+
+    let after = s.metrics();
+    let mut phase_sum = 0u64;
+    for name in PHASES {
+        let h0 = before.histogram(name).copied().unwrap_or_default();
+        let h1 = after.histogram(name).copied().unwrap_or_default();
+        assert_eq!(
+            h1.count - h0.count,
+            N,
+            "phase {name} must record once per commit"
+        );
+        phase_sum += h1.sum - h0.sum;
+    }
+    let t0 = before
+        .histogram("commit.total")
+        .copied()
+        .unwrap_or_default();
+    let t1 = after.histogram("commit.total").copied().unwrap_or_default();
+    assert_eq!(t1.count - t0.count, N);
+    let total = t1.sum - t0.sum;
+    assert!(
+        phase_sum <= total,
+        "phases ({phase_sum}ns) cannot exceed the total ({total}ns)"
+    );
+    assert!(
+        phase_sum * 2 >= total,
+        "phases ({phase_sum}ns) must account for most of the total ({total}ns)"
+    );
+    // WAL I/O counters moved with the journaled commits.
+    let appends =
+        after.counter("wal.appends").unwrap_or(0) - before.counter("wal.appends").unwrap_or(0);
+    assert_eq!(appends, N, "one WAL append per durable commit");
+    assert!(after.counter("wal.appended_bytes").unwrap_or(0) > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A second thread holding a cloned [`Obs`] can snapshot mid-commit:
+/// every snapshot is internally consistent and the counters it sees
+/// never move backwards.
+#[test]
+fn snapshots_from_a_second_thread_are_monotone() {
+    let mut s = Session::from_source("w(X) :- e(X, Y), ~w(Y).").unwrap();
+    let obs = s.obs();
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let done2 = done.clone();
+    let watcher = std::thread::spawn(move || {
+        let mut last_commits = 0u64;
+        let mut last_ground_sum = 0u64;
+        let mut polls = 0u32;
+        while !done2.load(std::sync::atomic::Ordering::Relaxed) {
+            let m = obs.snapshot();
+            let commits = m.counter("commit.count").unwrap_or(0);
+            assert!(commits >= last_commits, "commit.count went backwards");
+            last_commits = commits;
+            if let Some(h) = m.histogram("commit.ground") {
+                assert!(h.sum >= last_ground_sum, "histogram sum went backwards");
+                assert!(h.max <= h.sum, "one observation cannot exceed the sum");
+                last_ground_sum = h.sum;
+            }
+            polls += 1;
+        }
+        polls
+    });
+    for i in 0..60u32 {
+        s.assert_facts(&format!("e(m{i}, m{}).", i + 1)).unwrap();
+    }
+    done.store(true, std::sync::atomic::Ordering::Relaxed);
+    let polls = watcher.join().expect("watcher must not panic");
+    assert!(polls > 0, "the watcher must have observed something");
+    assert_eq!(s.metrics().counter("commit.count"), Some(60));
+}
+
+/// The trace ring is bounded: a long commit walk never grows it past
+/// its capacity, drains come out in order, and draining empties it.
+#[test]
+fn event_ring_stays_bounded() {
+    let mut s = Session::new();
+    for i in 0..1000u32 {
+        s.assert_facts(&format!("f(k{i}).")).unwrap();
+    }
+    let events = s.recent_events();
+    assert!(
+        events.len() <= global_sls::obs::DEFAULT_RING_CAPACITY,
+        "ring must stay bounded: {} events",
+        events.len()
+    );
+    assert!(!events.is_empty());
+    for w in events.windows(2) {
+        assert!(w[0].seq < w[1].seq, "events must drain oldest-first");
+    }
+    // 1000 commits × several spans each — the ring must have evicted.
+    assert!(events.last().unwrap().seq > events.len() as u64);
+    assert!(s.recent_events().is_empty(), "drain must empty the ring");
+}
+
+/// A tripped guard leaves forensics behind: the error carries the
+/// resource readings, the trip counter increments, and a `guard.trip`
+/// event lands in the ring.
+#[test]
+fn guard_trips_leave_forensics() {
+    let mut s = Session::from_source("t(X, Z) :- e(X, Y), t(Y, Z). t(X, Y) :- e(X, Y).").unwrap();
+    s.begin().unwrap();
+    // A 12-clique: enough join work that the guard polls mid-commit.
+    for i in 0..12u32 {
+        for j in 0..12u32 {
+            if i != j {
+                s.assert_facts(&format!("e(q{i}, q{j}).")).unwrap();
+            }
+        }
+    }
+    let opts = CommitOpts {
+        deadline: Some(Instant::now() - Duration::from_millis(5)),
+        ..CommitOpts::default()
+    };
+    let err = s.commit_with(&opts).unwrap_err();
+    match err {
+        SessionError::Interrupted { cause, trip, .. } => {
+            assert_eq!(cause, InterruptCause::DeadlineExceeded);
+            let over = trip.deadline_over_ns.expect("deadline reading captured");
+            assert!(over > 0, "tripped after the deadline passed");
+            assert!(
+                trip.memory_used_bytes.unwrap_or(0) > 0,
+                "pre-rollback byte count captured"
+            );
+            // The readings render into the error message.
+            assert!(format!(
+                "{}",
+                SessionError::Interrupted {
+                    phase: InterruptPhase::Grounding,
+                    cause,
+                    trip
+                }
+            )
+            .contains("deadline_over_ns"));
+        }
+        other => panic!("expected an interrupt, got {other:?}"),
+    }
+    let m = s.metrics();
+    let trips: u64 = m
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("guard.trips."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(trips >= 1, "the trip must be counted");
+    let events = s.recent_events();
+    let trip_ev = events
+        .iter()
+        .find(|e| e.label == "guard.trip")
+        .expect("a guard.trip event must be recorded");
+    let detail = trip_ev.detail.as_deref().unwrap_or("");
+    assert!(detail.contains("cause=deadline exceeded") || detail.contains("cause="));
+    assert!(detail.contains("deadline_over_ns"));
+}
+
+/// Query-path counters: executions, streamed answers, and the
+/// point-lookup vs. residual-scan split — also from snapshots on
+/// another thread.
+#[test]
+fn query_counters_track_execution_shape() {
+    let mut s = Session::from_source("move(a, b). move(b, a). move(b, c).").unwrap();
+    let q = s.query("?- move(a, X).").unwrap();
+    assert_eq!(q.answers.len(), 1);
+    let m = s.metrics();
+    assert_eq!(m.counter("query.executions"), Some(1));
+    assert!(m.counter("query.answers").unwrap_or(0) >= 1);
+    assert!(
+        m.counter("query.scans").unwrap_or(0) >= 1,
+        "an open variable forces a predicate scan"
+    );
+    // Fully-ground query → point lookup.
+    assert_eq!(s.truth("?- move(b, c).").unwrap(), Truth::True);
+    let m = s.metrics();
+    assert!(m.counter("query.point_lookups").unwrap_or(0) >= 1);
+
+    // Snapshot reads from another thread keep counting into the
+    // session's registry.
+    let snap = s.snapshot();
+    let pq = s.prepare("?- move(X, Y).").unwrap();
+    let before = s.metrics().counter("query.executions").unwrap_or(0);
+    let n = std::thread::spawn(move || pq.execute_on(&snap).unwrap().count())
+        .join()
+        .unwrap();
+    assert_eq!(n, 3);
+    let after = s.metrics().counter("query.executions").unwrap_or(0);
+    assert_eq!(after, before + 1, "snapshot reads count as executions");
+}
+
+/// Disabling the bundle stops recording without disturbing what was
+/// already recorded; re-enabling resumes.
+#[test]
+fn runtime_disable_freezes_recording() {
+    let mut s = Session::from_source("p(a).").unwrap();
+    s.assert_facts("p(b).").unwrap();
+    assert_eq!(s.metrics().counter("commit.count"), Some(1));
+    s.obs().set_enabled(false);
+    s.assert_facts("p(c).").unwrap();
+    let frozen = s.metrics();
+    assert_eq!(
+        frozen.counter("commit.count"),
+        Some(1),
+        "disabled bundle must not record"
+    );
+    s.obs().set_enabled(true);
+    s.assert_facts("p(d).").unwrap();
+    assert_eq!(s.metrics().counter("commit.count"), Some(2));
+}
