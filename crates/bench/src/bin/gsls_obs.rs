@@ -17,7 +17,9 @@
 //! * `--assert "<facts>"`  commit the facts before reporting (repeatable);
 //! * `--query "?- ..."`    run the query before reporting (repeatable);
 //! * `--events N`          cap the event timeline at the newest N;
-//! * `--json`              one JSON object: `{"metrics": ..., "events": [...]}`.
+//! * `--json`              one JSON object: `{"metrics": ..., "events": [...]}`;
+//! * `--prom`              metrics in the Prometheus text exposition format
+//!   (what `gsls-serve`'s scrape endpoint returns).
 //!
 //! Run: `cargo run --release -p gsls-bench --bin gsls-obs -- <args>`.
 
@@ -31,6 +33,7 @@ struct Cli {
     queries: Vec<String>,
     events: Option<usize>,
     json: bool,
+    prom: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -41,11 +44,13 @@ fn parse_args() -> Result<Cli, String> {
         queries: Vec::new(),
         events: None,
         json: false,
+        prom: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => cli.json = true,
+            "--prom" => cli.prom = true,
             "--assert" => cli.asserts.push(args.next().ok_or("--assert needs facts")?),
             "--query" => cli.queries.push(args.next().ok_or("--query needs a goal")?),
             "--events" => {
@@ -55,7 +60,7 @@ fn parse_args() -> Result<Cli, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: gsls-obs <file.lp | session-dir> [--assert \"<facts>\"]... \
-                     [--query \"?- ...\"]... [--events N] [--json]"
+                     [--query \"?- ...\"]... [--events N] [--json] [--prom]"
                         .to_owned(),
                 )
             }
@@ -122,6 +127,11 @@ fn run() -> Result<(), String> {
             line.push_str(&format!("\n    ... {} more", r.answers.len() - 8));
         }
         query_lines.push(line);
+    }
+
+    if cli.prom {
+        print!("{}", gsls_obs::render_prometheus(session.obs().registry()));
+        return Ok(());
     }
 
     let metrics = session.metrics();

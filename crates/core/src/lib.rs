@@ -63,7 +63,7 @@ pub use rule::{RuleKind, Selection};
 pub use scc::SccSolver;
 pub use session::{
     Answer, Answers, CommitError, CommitRejection, CommitStats, PreparedQuery, Session,
-    SessionError, Snapshot,
+    SessionError, Snapshot, SnapshotQuery, UpdateBatch,
 };
 pub use slp::{SlpNode, SlpNodeKind, SlpOpts, SlpTree};
 pub use solver::{Engine, QueryResult, Solver, SolverError};

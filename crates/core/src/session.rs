@@ -85,6 +85,20 @@ use std::time::Instant;
 /// Sentinel for an unbound query binding slot.
 const UNBOUND: TermId = TermId(u32::MAX);
 
+/// Replaying at least this many WAL records on [`Session::open`]
+/// triggers an immediate post-recovery checkpoint, so the tail is paid
+/// for once instead of on every subsequent reopen.
+const REPLAY_CHECKPOINT_THRESHOLD: usize = 8;
+
+/// Sentinel ids for names a [`SnapshotQuery`] mentions that the
+/// snapshot's store has never interned. They compare unequal to every
+/// real id (the arena would overflow its `u32` long before reaching
+/// them), so a pattern holding one simply never matches — which is the
+/// correct semantics: an unknown constant's atom is false, and its
+/// negation true.
+const FOREIGN_TERM: TermId = TermId(u32::MAX - 1);
+const FOREIGN_SYM: Symbol = Symbol(u32::MAX);
+
 /// Hard cap on residual (universe-enumerated) query instances.
 const MAX_QUERY_INSTANCES: usize = 100_000;
 
@@ -330,6 +344,44 @@ impl Pending {
     fn is_empty(&self) -> bool {
         self.rules.is_empty() && self.asserts.is_empty() && self.retracts.is_empty()
     }
+}
+
+/// One already-parsed update batch for the group-commit surface
+/// ([`Session::commit_group`]): the public counterpart of the internal
+/// transaction buffer. Built by a network front end (or any batching
+/// caller) from decoded clauses and atoms; within the batch, rules
+/// apply before asserts, asserts before retracts — exactly the
+/// [`Session::commit`] ordering.
+#[derive(Debug, Default, Clone)]
+pub struct UpdateBatch {
+    /// Rule clauses (including facts committed as permanent rules).
+    pub rules: Vec<Clause>,
+    /// Ground facts to assert.
+    pub asserts: Vec<Atom>,
+    /// Ground facts to retract.
+    pub retracts: Vec<Atom>,
+}
+
+impl UpdateBatch {
+    /// Whether the batch would commit nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.asserts.is_empty() && self.retracts.is_empty()
+    }
+}
+
+/// How a commit's WAL record reaches disk.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum JournalMode {
+    /// Fsync this record before the in-memory apply (the classic
+    /// write-ahead contract of [`Session::commit`]).
+    Immediate,
+    /// Append without fsync; the caller issues one group fsync over
+    /// the whole run of records **before acknowledging any of them**.
+    /// The durability contract weakens from "fsync before apply" to
+    /// "fsync before ack": a crash inside the group can only lose
+    /// commits nobody was told succeeded (recovery truncates the
+    /// unsynced tail).
+    Deferred,
 }
 
 /// The incremental, snapshot-isolated entry point. See the module docs.
@@ -732,11 +784,13 @@ impl Session {
         // at or below the checkpoint epoch are skipped — that makes
         // replay idempotent when a crash during checkpointing forces
         // the fallback generation to re-cover an older WAL.
+        let mut replayed = 0usize;
         for payload in &recovered.records {
             let batch = decode_batch(&mut session.store, payload)?;
             if batch.epoch <= session.epoch {
                 continue;
             }
+            replayed += 1;
             session.epoch = batch.epoch - 1;
             let pending = Pending {
                 rule_spans: vec![None; batch.rules.len()],
@@ -774,6 +828,16 @@ impl Session {
         if fresh {
             // Make the seed program durable before the first commit.
             session.checkpoint()?;
+        } else if replayed >= REPLAY_CHECKPOINT_THRESHOLD {
+            // A long WAL tail was just replayed through the full
+            // commit pipeline. Fold it into a fresh checkpoint now so
+            // the *next* reopen decodes one image instead of
+            // re-grounding the tail again — otherwise every reopen
+            // pays the same replay the last one did. Failure is
+            // swallowed exactly like an auto-checkpoint: the state is
+            // already durable (checkpoint + WAL), only the next
+            // reopen's speed is at stake.
+            let _ = session.checkpoint();
         }
         Ok(session)
     }
@@ -900,6 +964,15 @@ impl Session {
     /// `&mut self` methods).
     pub fn store(&self) -> &TermStore {
         &self.store
+    }
+
+    /// Mutable access to the term store, for callers that intern terms
+    /// out-of-band — e.g. a server decoding wire-format update batches
+    /// directly into the session's arena before [`Session::commit_group`].
+    /// The arena is append-only and hash-consed, so interning extra
+    /// terms can never invalidate existing ids or session state.
+    pub fn store_mut(&mut self) -> &mut TermStore {
+        &mut self.store
     }
 
     /// The source program: initial clauses, added rules, and every
@@ -1085,6 +1158,95 @@ impl Session {
         }
     }
 
+    /// Commits a run of queued batches as one **group**: every batch is
+    /// journaled to the WAL *without* an fsync, applied in memory, and
+    /// the whole run is made durable by a single covering fsync at the
+    /// end — the group-commit write path a serving front end drains its
+    /// commit queue through. Returns one result per batch, in order.
+    ///
+    /// Semantics per batch are identical to [`Session::commit_with`]:
+    /// each batch is validated, admission-checked and governed by its
+    /// own [`CommitOpts`] (so one slow batch times out as a rolled-back
+    /// transaction — its WAL record is truncated off the tail — while
+    /// the rest of the group commits), and each successful batch bumps
+    /// the epoch. The durability contract is **fsync before ack**, not
+    /// fsync before apply: callers must not acknowledge any batch until
+    /// this method returns `Ok`, because a crash before the covering
+    /// fsync tears unsynced records off the recovered WAL. An `Err`
+    /// from the covering fsync therefore invalidates every `Ok` entry
+    /// in the (discarded) result vector.
+    ///
+    /// Fails fast — before touching anything — if the session is
+    /// poisoned or a buffered transaction is open.
+    pub fn commit_group(
+        &mut self,
+        batches: Vec<(UpdateBatch, CommitOpts)>,
+    ) -> Result<Vec<Result<CommitStats, SessionError>>, SessionError> {
+        if self.is_poisoned() {
+            return Err(SessionError::Poisoned);
+        }
+        if self.txn.is_some() {
+            return Err(SessionError::NestedTransaction);
+        }
+        let mut results = Vec::with_capacity(batches.len());
+        let mut journaled = 0u64;
+        for (batch, opts) in batches {
+            if self.is_poisoned() {
+                // An earlier batch failed *and* its rollback rebuild
+                // failed; nothing further can apply.
+                results.push(Err(SessionError::Poisoned));
+                continue;
+            }
+            let empty = batch.is_empty();
+            let r = self.group_one(batch, &opts);
+            if r.is_ok() && !empty && self.durable.is_some() {
+                journaled += 1;
+            }
+            results.push(r);
+        }
+        if journaled > 0 {
+            if let Some(log) = &mut self.durable {
+                log.sync_group(journaled)?;
+            }
+            // Only after the covering fsync may the WAL rotate.
+            self.maybe_checkpoint();
+        }
+        Ok(results)
+    }
+
+    /// One batch of a group: the same up-front shape checks the
+    /// buffered update surface performs, then the deferred-journal
+    /// commit pipeline under the batch's own guard.
+    fn group_one(
+        &mut self,
+        batch: UpdateBatch,
+        opts: &CommitOpts,
+    ) -> Result<CommitStats, SessionError> {
+        for c in &batch.rules {
+            if !clause_function_free(&self.store, c) {
+                return Err(SessionError::NotFunctionFree);
+            }
+        }
+        for atom in batch.asserts.iter().chain(batch.retracts.iter()) {
+            self.check_fact(atom)?;
+        }
+        let pending = Pending {
+            rule_spans: vec![None; batch.rules.len()],
+            rules: batch.rules,
+            asserts: batch.asserts,
+            retracts: batch.retracts,
+        };
+        self.cancel.store(false, Ordering::SeqCst);
+        let guard = guard_for(
+            self.cancel.clone(),
+            opts.deadline,
+            opts.max_memory_bytes,
+            opts.fuel,
+            opts.panic_on_fuel,
+        );
+        self.apply_with_guard_mode(pending, &guard, Some(opts), JournalMode::Deferred)
+    }
+
     /// A `Send + Sync` handle that cancels the session's *currently
     /// running* governed operation ([`Session::commit_with`],
     /// [`Session::query_governed`], …) from another thread. Each
@@ -1170,6 +1332,16 @@ impl Session {
         guard: &Guard,
         opts: Option<&CommitOpts>,
     ) -> Result<CommitStats, SessionError> {
+        self.apply_with_guard_mode(pending, guard, opts, JournalMode::Immediate)
+    }
+
+    fn apply_with_guard_mode(
+        &mut self,
+        pending: Pending,
+        guard: &Guard,
+        opts: Option<&CommitOpts>,
+        mode: JournalMode,
+    ) -> Result<CommitStats, SessionError> {
         if pending.is_empty() {
             return Ok(CommitStats::default());
         }
@@ -1206,7 +1378,10 @@ impl Session {
                 // Failure here (out of disk, injected crash) leaves
                 // memory untouched: the commit degrades to a
                 // rolled-back batch.
-                log.append(&payload)?;
+                match mode {
+                    JournalMode::Immediate => log.append(&payload)?,
+                    JournalMode::Deferred => log.append_unsynced(&payload)?,
+                }
                 mark = Some(m);
             }
         }
@@ -1225,7 +1400,12 @@ impl Session {
                 let dur = t_total.elapsed().as_nanos() as u64;
                 self.sobs.commit_total.record(dur);
                 self.obs.tracer().span_event("commit.total", t_total, dur);
-                self.maybe_checkpoint();
+                // Deferred records are not yet fsync'd; the group
+                // driver checkpoints after its covering sync instead
+                // (a checkpoint rotation must never strand them).
+                if mode == JournalMode::Immediate {
+                    self.maybe_checkpoint();
+                }
                 Ok(stats)
             }
             Err(e) => {
@@ -1993,6 +2173,30 @@ impl Snapshot {
         }
     }
 
+    /// Compiles query text (e.g. `"?- win(X)."`) against this
+    /// snapshot's **immutable** store: the goal parses into a private
+    /// scratch store and every constant translates by read-only
+    /// lookup, so any number of reader threads can prepare and run
+    /// queries concurrently while the owning session keeps committing.
+    /// Names the snapshot has never seen are legal — their atoms are
+    /// simply false (and their negations true), matching the
+    /// committed-state semantics.
+    ///
+    /// The compiled query remains valid on *later* snapshots of the
+    /// same session (ids are stable under the append-only arena), but
+    /// a constant unknown at compile time stays foreign even if a
+    /// later commit introduces it — recompile per snapshot when that
+    /// matters.
+    pub fn prepare(&self, src: &str) -> Result<SnapshotQuery, SessionError> {
+        let mut scratch = TermStore::new();
+        let goal = parse_goal(&mut scratch, src)?;
+        let plan = QueryPlan::compile_foreign(&self.inner.store, &scratch, &goal)?;
+        Ok(SnapshotQuery {
+            plan,
+            names: scratch,
+        })
+    }
+
     fn view(&self) -> ModelView<'_> {
         ModelView {
             store: &self.inner.store,
@@ -2000,6 +2204,70 @@ impl Snapshot {
             model: &self.inner.model,
             domain: &self.inner.domain,
         }
+    }
+}
+
+/// A query compiled by [`Snapshot::prepare`] — fully read-only on the
+/// snapshot it runs against (`&self` everywhere), so one instance can
+/// serve many reader threads.
+#[derive(Debug)]
+pub struct SnapshotQuery {
+    plan: QueryPlan,
+    /// The scratch store that parsed the goal; keeps the goal's
+    /// variable names for rendering answers.
+    names: TermStore,
+}
+
+impl SnapshotQuery {
+    /// Streams the answers over `snapshot` (each run allocates its own
+    /// scratch).
+    pub fn execute<'a>(&'a self, snapshot: &'a Snapshot) -> Result<Answers<'a>, SessionError> {
+        snapshot.inner.qobs.executions.add(1);
+        Answers::start(
+            &self.plan,
+            snapshot.view(),
+            ScratchSlot::Owned(Box::default()),
+            snapshot.inner.qobs.clone(),
+        )
+    }
+
+    /// Governed variant: the stream checks `guard` every
+    /// [`crate::govern::TICK_INTERVAL`] backtracking steps and, when a
+    /// limit trips, ends early with [`Answers::interrupted`] set.
+    pub fn execute_governed<'a>(
+        &'a self,
+        snapshot: &'a Snapshot,
+        guard: &Guard,
+    ) -> Result<Answers<'a>, SessionError> {
+        let mut out = self.execute(snapshot)?;
+        out.guard = guard.clone();
+        Ok(out)
+    }
+
+    /// The goal's variable names, in binding-slot order.
+    pub fn var_names(&self) -> Vec<String> {
+        self.plan
+            .vars
+            .iter()
+            .map(|&v| self.names.var_name(v))
+            .collect()
+    }
+
+    /// Renders one answer's bindings as `"X = a, Y = b"` (empty for a
+    /// ground goal): variable names from the parsed goal, terms from
+    /// the snapshot's store.
+    pub fn render_answer(&self, snapshot: &Snapshot, answer: &Answer) -> String {
+        let mut parts = Vec::with_capacity(self.plan.vars.len());
+        for &v in &self.plan.vars {
+            if let Some(t) = answer.subst.lookup(v) {
+                parts.push(format!(
+                    "{} = {}",
+                    self.names.var_name(v),
+                    snapshot.store().display_term(t)
+                ));
+            }
+        }
+        parts.join(", ")
     }
 }
 
@@ -2127,6 +2395,125 @@ impl QueryPlan {
             vars,
             residual,
         })
+    }
+
+    /// Compiles a goal whose terms live in `scratch` into a plan that
+    /// evaluates against `target` **without interning anything there**
+    /// — the path that lets reader threads prepare queries against a
+    /// shared, immutable [`Snapshot`] store. Ground terms translate by
+    /// read-only structural lookup; names the target has never seen
+    /// become [`FOREIGN_TERM`]/[`FOREIGN_SYM`] sentinels that match no
+    /// candidate (unknown atom ⇒ false, its negation ⇒ true).
+    fn compile_foreign(
+        target: &TermStore,
+        scratch: &TermStore,
+        goal: &Goal,
+    ) -> Result<QueryPlan, SessionError> {
+        let vars = goal.vars(scratch);
+        let slot_of: FxHashMap<Var, u32> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        fn arg(
+            target: &TermStore,
+            scratch: &TermStore,
+            slot_of: &FxHashMap<Var, u32>,
+            t: TermId,
+        ) -> PatArg {
+            if scratch.is_ground(t) {
+                return PatArg::Const(translate_ground(target, scratch, t));
+            }
+            match scratch.term(t) {
+                Term::Var(v) => PatArg::Slot(slot_of[v]),
+                Term::App(f, args) => {
+                    let sym = target
+                        .lookup_symbol(scratch.symbol_name(*f))
+                        .unwrap_or(FOREIGN_SYM);
+                    let args = args.clone();
+                    PatArg::App(
+                        sym,
+                        args.iter()
+                            .map(|&a| arg(target, scratch, slot_of, a))
+                            .collect(),
+                    )
+                }
+            }
+        }
+        let lit_of = |atom: &Atom| CompiledLit {
+            pred: Pred {
+                sym: target
+                    .lookup_symbol(scratch.symbol_name(atom.pred))
+                    .unwrap_or(FOREIGN_SYM),
+                arity: atom.args.len() as u32,
+            },
+            args: atom
+                .args
+                .iter()
+                .map(|&t| arg(target, scratch, &slot_of, t))
+                .collect(),
+        };
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for lit in goal.literals() {
+            let c = lit_of(&lit.atom);
+            if lit.is_pos() {
+                pos.push(c);
+            } else {
+                if c.args.iter().any(|a| matches!(a, PatArg::App(..))) {
+                    return Err(SessionError::Unsupported(
+                        "negative literal with a non-ground compound argument \
+                         (use the global-tree engine)"
+                            .to_owned(),
+                    ));
+                }
+                neg.push(c);
+            }
+        }
+        let mut bound = vec![false; vars.len()];
+        fn mark(bound: &mut [bool], a: &PatArg) {
+            match a {
+                PatArg::Const(_) => {}
+                PatArg::Slot(s) => bound[*s as usize] = true,
+                PatArg::App(_, args) => args.iter().for_each(|a| mark(bound, a)),
+            }
+        }
+        for lit in &pos {
+            lit.args.iter().for_each(|a| mark(&mut bound, a));
+        }
+        let residual = (0..vars.len() as u32)
+            .filter(|&s| !bound[s as usize])
+            .collect();
+        Ok(QueryPlan {
+            pos,
+            neg,
+            vars,
+            residual,
+        })
+    }
+}
+
+/// Translates a ground `scratch` term into `target`'s arena by
+/// read-only structural lookup; [`FOREIGN_TERM`] when any symbol or
+/// subterm is absent there.
+fn translate_ground(target: &TermStore, scratch: &TermStore, t: TermId) -> TermId {
+    match scratch.term(t) {
+        Term::Var(_) => unreachable!("translate_ground on a non-ground term"),
+        Term::App(sym, args) => {
+            let Some(tsym) = target.lookup_symbol(scratch.symbol_name(*sym)) else {
+                return FOREIGN_TERM;
+            };
+            let args = args.clone();
+            let mut targs = Vec::with_capacity(args.len());
+            for &a in args.iter() {
+                let ta = translate_ground(target, scratch, a);
+                if ta == FOREIGN_TERM {
+                    return FOREIGN_TERM;
+                }
+                targs.push(ta);
+            }
+            target.lookup_app(tsym, &targs).unwrap_or(FOREIGN_TERM)
+        }
     }
 }
 

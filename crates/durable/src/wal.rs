@@ -209,6 +209,14 @@ impl Wal {
         Ok(())
     }
 
+    /// Makes every appended byte durable now — the group-commit hook:
+    /// append several records with `sync = false`, then issue one
+    /// explicit sync covering them all.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        self.storage.sync()?;
+        Ok(())
+    }
+
     /// Discards everything past `len` bytes — the undo hook for a
     /// record whose in-memory apply failed after the append.
     pub fn truncate_to(&mut self, len: u64) -> Result<(), DurableError> {

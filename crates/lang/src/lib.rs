@@ -42,6 +42,7 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 pub mod program;
+pub mod proto;
 pub mod rename;
 pub mod subst;
 pub mod symbol;
@@ -55,6 +56,10 @@ pub use error::ParseError;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use parser::{parse_goal, parse_program, parse_query, parse_term};
 pub use program::{Goal, Program, Span};
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, peek_request_kind,
+    CommitNumbers, ErrorKind, GovernOpts, Request, RequestKind, Response, TruthTag, PROTO_VERSION,
+};
 pub use rename::Renamer;
 pub use subst::Subst;
 pub use symbol::{Symbol, SymbolTable};

@@ -92,6 +92,19 @@ impl TermStore {
         self.symbols.intern(name)
     }
 
+    /// Looks a symbol up by name **without interning** — usable on a
+    /// shared (`&self`) store, e.g. a snapshot's.
+    pub fn lookup_symbol(&self, name: &str) -> Option<Symbol> {
+        self.symbols.lookup(name)
+    }
+
+    /// Looks up the application `sym(args…)` **without interning**:
+    /// `Some` iff exactly this term was interned before. Usable on a
+    /// shared (`&self`) store, e.g. a snapshot's.
+    pub fn lookup_app(&self, sym: Symbol, args: &[TermId]) -> Option<TermId> {
+        self.cons.get(&Term::App(sym, args.into())).copied()
+    }
+
     /// The textual name of a symbol.
     pub fn symbol_name(&self, sym: Symbol) -> &str {
         self.symbols.name(sym)

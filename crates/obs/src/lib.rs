@@ -27,7 +27,8 @@ mod metrics;
 mod trace;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, HISTOGRAM_MAX_NS,
+    render_prometheus, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    HISTOGRAM_MAX_NS,
 };
 pub use trace::{SpanGuard, TraceEvent, Tracer};
 

@@ -444,6 +444,52 @@ impl MetricsSnapshot {
     }
 }
 
+/// Renders a registry in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms
+/// as summaries with `quantile` labels plus `_sum`/`_count` series.
+/// Metric names are prefixed `gsls_` and dots become underscores
+/// (`wal.group_syncs` → `gsls_wal_group_syncs`); any other character
+/// outside `[a-zA-Z0-9_:]` is replaced with `_` too, so every emitted
+/// name is valid regardless of what was registered.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let snap = registry.snapshot();
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        out.push_str(&format!(
+            "# TYPE {n} summary\n\
+             {n}{{quantile=\"0.5\"}} {}\n\
+             {n}{{quantile=\"0.9\"}} {}\n\
+             {n}{{quantile=\"0.99\"}} {}\n\
+             {n}_sum {}\n\
+             {n}_count {}\n",
+            h.p50, h.p90, h.p99, h.sum, h.count
+        ));
+    }
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("gsls_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +513,32 @@ mod tests {
             let upper = bucket_upper(bucket_of(v));
             assert!(upper >= v);
             assert!((upper - v) as f64 <= v as f64 * 0.13, "v={v} upper={upper}");
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let reg = Registry::new();
+        reg.counter("wal.group_syncs").add(3);
+        reg.gauge("conns.active").set(-2);
+        let h = reg.histogram("commit.total");
+        h.record(1_000);
+        h.record(2_000);
+        let text = render_prometheus(&reg);
+        assert!(text.contains("# TYPE gsls_wal_group_syncs counter\ngsls_wal_group_syncs 3\n"));
+        assert!(text.contains("# TYPE gsls_conns_active gauge\ngsls_conns_active -2\n"));
+        assert!(text.contains("# TYPE gsls_commit_total summary\n"));
+        assert!(text.contains("gsls_commit_total{quantile=\"0.99\"}"));
+        assert!(text.contains("gsls_commit_total_count 2\n"));
+        // Every emitted name is a valid Prometheus identifier.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad name {name}"
+            );
+            assert!(!name.chars().next().unwrap().is_ascii_digit());
         }
     }
 }

@@ -1,0 +1,114 @@
+//! `gsls-client` — command-line client for gsls-serve.
+//!
+//! ```text
+//! gsls-client [--addr HOST:PORT] [--session NAME] [--deadline-ms N] CMD [ARG]
+//!
+//!   ping
+//!   commit RULES            commit program text (rules and facts)
+//!   assert FACTS            assert ground facts, e.g. 'e(a, b). e(b, c).'
+//!   retract FACTS           retract ground facts
+//!   query GOAL              e.g. '?- win(X).'
+//!   metrics                 Prometheus scrape of the session registry
+//!   events                  drain the trace-event ring (JSON lines)
+//!   checkpoint              force checkpoint + WAL rotation
+//!   shutdown                ask the server to drain and stop
+//! ```
+
+use gsls_lang::GovernOpts;
+use gsls_serve::Client;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gsls-client [--addr HOST:PORT] [--session NAME] [--deadline-ms N] CMD [ARG]\n\
+         \x20 CMD: ping | commit RULES | assert FACTS | retract FACTS | query GOAL |\n\
+         \x20      metrics | events | checkpoint | shutdown"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:4766".to_string();
+    let mut session: Option<String> = None;
+    let mut opts = GovernOpts::default();
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage(),
+            },
+            "--session" => match args.next() {
+                Some(v) => session = Some(v),
+                None => return usage(),
+            },
+            "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.deadline_ms = Some(v),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let Some(cmd) = rest.first().cloned() else {
+        return usage();
+    };
+    let arg = rest.get(1).cloned().unwrap_or_default();
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("gsls-client: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(name) = &session {
+        if let Err(e) = client.open(name) {
+            eprintln!("gsls-client: open {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let outcome = match cmd.as_str() {
+        "ping" => client.ping().map(|()| "pong".to_string()),
+        "commit" => client
+            .commit(&arg, "", "", opts)
+            .map(|r| format!("committed at epoch {} ({:?})", r.epoch, r.stats)),
+        "assert" => client
+            .commit("", &arg, "", opts)
+            .map(|r| format!("committed at epoch {} ({:?})", r.epoch, r.stats)),
+        "retract" => client
+            .commit("", "", &arg, opts)
+            .map(|r| format!("committed at epoch {} ({:?})", r.epoch, r.stats)),
+        "query" => client.query(&arg, opts).map(|r| {
+            let mut out = r.truth.to_string();
+            for a in &r.answers {
+                out.push_str(&format!("\n{{{a}}}"));
+            }
+            for a in &r.undefined {
+                out.push_str(&format!("\nundefined: {{{a}}}"));
+            }
+            if r.interrupted {
+                out.push_str("\n(interrupted)");
+            }
+            out
+        }),
+        "metrics" => client.metrics(),
+        "events" => client.events(),
+        "checkpoint" => client.checkpoint(),
+        "shutdown" => client.shutdown_server().map(|()| "draining".to_string()),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gsls-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! `gsls-serve` — the network server binary.
+//!
+//! ```text
+//! gsls-serve [--addr HOST:PORT] [--data-dir DIR] [--max-conns N]
+//!            [--readers N] [--queue-depth N] [--group-max N]
+//!            [--idle-timeout-ms N]
+//! ```
+//!
+//! Serves until a client sends `Shutdown` (see `gsls-client shutdown`),
+//! then drains gracefully. With no `--data-dir` the sessions are
+//! in-memory (nothing survives a restart).
+
+use gsls_serve::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gsls-serve [--addr HOST:PORT] [--data-dir DIR] [--max-conns N]\n\
+         \x20                 [--readers N] [--queue-depth N] [--group-max N]\n\
+         \x20                 [--idle-timeout-ms N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:4766".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Option<String> {
+            match args.next() {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("{name} needs a value");
+                    None
+                }
+            }
+        };
+        match arg.as_str() {
+            "--addr" => match take("--addr") {
+                Some(v) => cfg.addr = v,
+                None => return usage(),
+            },
+            "--data-dir" => match take("--data-dir") {
+                Some(v) => cfg.data_dir = Some(v.into()),
+                None => return usage(),
+            },
+            "--max-conns" => match take("--max-conns").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_conns = v,
+                None => return usage(),
+            },
+            "--readers" => match take("--readers").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.readers = v,
+                None => return usage(),
+            },
+            "--queue-depth" => match take("--queue-depth").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.queue_depth = v,
+                None => return usage(),
+            },
+            "--group-max" => match take("--group-max").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.group_max = v,
+                None => return usage(),
+            },
+            "--idle-timeout-ms" => match take("--idle-timeout-ms").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.idle_timeout = Duration::from_millis(v),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let mut server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gsls-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("gsls-serve listening on {}", server.addr());
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("gsls-serve draining");
+    server.shutdown();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,73 @@
+//! # gsls-serve — a concurrent multi-session network server
+//!
+//! A std-only TCP front end that multiplexes concurrent clients onto
+//! durable [`gsls_core::Session`]s, with a **group-commit** write path:
+//! contiguous queued commit batches are journaled as one WAL apply with
+//! a single fsync amortized across them, and every waiting client gets
+//! its own typed reply only after that fsync (the "fsync before ack"
+//! contract). Reads run on `Arc`'d snapshots across a reader pool and
+//! never block the writer.
+//!
+//! ## Wire protocol
+//!
+//! Every message is one frame — `[len: u32 LE][crc32: u32 LE][payload]`
+//! ([`frame`]) — whose payload starts with a version byte
+//! ([`gsls_lang::PROTO_VERSION`]) and a tag, then the
+//! LEB128/length-prefixed body defined in `gsls_lang::proto`:
+//!
+//! | Request       | Payload                               | Reply |
+//! |---------------|---------------------------------------|-------|
+//! | `Ping`        | —                                     | `Pong` |
+//! | `Open`        | session name                          | `Opened{session, epoch}` |
+//! | `Commit`      | rules, asserts, retracts, budgets     | `Committed{epoch, stats}` |
+//! | `Query`       | goal text, budgets                    | `Answers{truth, answers, undefined, interrupted}` |
+//! | `Metrics`     | —                                     | `Text` (Prometheus format) |
+//! | `Events`      | —                                     | `Text` (JSON lines) |
+//! | `Checkpoint`  | —                                     | `Text` |
+//! | `Shutdown`    | —                                     | `Text` |
+//!
+//! Any failure is `Error{kind, message}` with a coarse
+//! [`gsls_lang::ErrorKind`] the client can dispatch on. Per-request
+//! `deadline_ms`/`fuel`/`max_memory_bytes`/`max_clauses` budgets map
+//! 1:1 onto the engine's [`gsls_core::CommitOpts`] / query guards;
+//! deadlines are measured from the instant the server received the
+//! request.
+//!
+//! ## Group-commit semantics
+//!
+//! One writer thread exclusively owns each session and drains a
+//! bounded commit queue. Each drain takes the contiguous run of queued
+//! batches and commits it via [`gsls_core::Session::commit_group`]:
+//! every batch is appended to the WAL *unsynced*, validated, governed,
+//! and applied under its own budget; one covering fsync at the end
+//! makes the whole run durable. Replies are sent only after that
+//! fsync. A batch that fails (rejection, deadline, budget) is
+//! truncated off the WAL tail and rolled back — **only that client**
+//! sees `Error{kind: Interrupted}` (or `Rejected`); the rest of the
+//! group commits and the session keeps serving. The amortization is
+//! observable in the scrape as `gsls_wal_group_records` /
+//! `gsls_wal_group_syncs`.
+//!
+//! ## Disconnect failure model
+//!
+//! A client that vanishes mid-request can never poison a session:
+//!
+//! * a half-written frame fails its length/CRC check and is dropped —
+//!   nothing reaches the engine;
+//! * a fully received commit whose client is gone commits normally;
+//!   the reply send fails harmlessly;
+//! * connection threads own nothing but their socket, so their death
+//!   releases only their connection slot.
+//!
+//! Idle connections are closed after [`ServerConfig::idle_timeout`];
+//! over-cap connects get one `Error{kind: Busy}` reply; shutdown
+//! drains: accepted requests finish, writers flush their queues
+//! (covering fsync included) before the server joins them.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{expect_interrupted, Client, ClientError, CommitReceipt, QueryResults};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME};
+pub use server::{Server, ServerConfig, DEFAULT_IDLE_TIMEOUT, MAX_ANSWERS};

@@ -1,0 +1,767 @@
+//! The server: thread-per-connection front end, one writer thread per
+//! session draining a bounded commit queue with **group commit**, and a
+//! shared reader pool running queries on `Arc`'d snapshots.
+//!
+//! ## Threads and ownership
+//!
+//! * The **accept thread** owns the listener (nonblocking, ~10ms poll
+//!   so shutdown is responsive), enforces the connection cap, and
+//!   spawns one thread per accepted connection.
+//! * Each **connection thread** owns its socket. It reads one frame,
+//!   routes on [`peek_request_kind`] *without* decoding the payload,
+//!   and answers reads itself (metrics/events from cloned [`Obs`]
+//!   handles) or forwards work: commits and checkpoints to the
+//!   session's writer, queries to the reader pool. Replies come back
+//!   over a per-request rendezvous channel.
+//! * Each session's **writer thread** exclusively owns its
+//!   [`Session`]. It blocks on the commit queue, then drains whatever
+//!   else is queued (up to `group_max`) and commits the contiguous run
+//!   as one group: every batch journaled unsynced, applied, and one
+//!   covering fsync at the end ([`Session::commit_group`]). Replies are
+//!   sent only **after** that fsync — the group-commit ack contract —
+//!   and each waiting client gets its own typed reply (a batch that
+//!   trips its deadline gets `Error{kind: Interrupted}` while the rest
+//!   of the group commits).
+//! * The **reader pool** (default [`gsls_par::threads`] threads)
+//!   executes queries via [`Snapshot::prepare`] on a clone of the
+//!   session's latest snapshot — compilation and evaluation are fully
+//!   read-only, so readers never block the writer and vice versa.
+//!
+//! ## Failure model
+//!
+//! A client disconnecting mid-request can never poison a session: its
+//! frame either never fully arrived (the connection thread drops it on
+//! the floor) or its job is already queued, in which case the writer
+//! commits it normally and the reply send fails harmlessly. Frame-level
+//! damage (bad CRC, oversized length, torn write) is answered with a
+//! protocol error where a reply is still possible and otherwise just
+//! closes the socket.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use gsls_core::{CommitOpts, Guard, Session, SessionError, Snapshot, UpdateBatch};
+use gsls_lang::{
+    decode_request, encode_response, peek_request_kind, CommitNumbers, ErrorKind, GovernOpts,
+    Request, RequestKind, Response, TermStore, TruthTag,
+};
+use gsls_obs::{render_prometheus, Obs};
+use gsls_wfs::Truth;
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a connection may sit idle (no complete request) before the
+/// server closes it.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Socket poll granularity: how quickly blocked reads notice shutdown
+/// and the idle clock.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Accept-loop poll granularity.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Cap on rendered answers per query response, keeping replies under
+/// the frame size limit; enumeration stops at the cap (use governance
+/// budgets for finer control).
+pub const MAX_ANSWERS: usize = 65_536;
+
+/// Server tuning knobs. `Default` is sized for tests and small
+/// deployments; the bins expose each field as a flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `"127.0.0.1:0"` (port 0 = ephemeral).
+    pub addr: String,
+    /// Root directory for durable sessions (one subdirectory per
+    /// session name). `None` serves in-memory sessions: same engine,
+    /// no WAL, nothing survives a restart.
+    pub data_dir: Option<PathBuf>,
+    /// Maximum concurrent connections; excess accepts are answered
+    /// with `Error{kind: Busy}` and closed.
+    pub max_conns: usize,
+    /// Idle timeout per connection.
+    pub idle_timeout: Duration,
+    /// Reader-pool size; 0 means [`gsls_par::threads`].
+    pub readers: usize,
+    /// Bounded depth of each session's commit queue; senders block
+    /// when it is full (backpressure, not rejection).
+    pub queue_depth: usize,
+    /// Maximum batches committed as one group (one fsync).
+    pub group_max: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: None,
+            max_conns: 64,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            readers: 0,
+            queue_depth: 64,
+            group_max: 32,
+        }
+    }
+}
+
+/// A work item for a session's writer thread.
+enum Job {
+    /// A raw, *undecoded* commit frame: the writer decodes it with
+    /// `&mut` access to the session's term store.
+    Commit {
+        payload: Vec<u8>,
+        received: Instant,
+        reply: mpsc::SyncSender<Response>,
+    },
+    /// Forced checkpoint + WAL rotation.
+    Checkpoint { reply: mpsc::SyncSender<Response> },
+}
+
+/// A query for the reader pool.
+struct QueryJob {
+    svc: Arc<SessionSvc>,
+    goal: String,
+    opts: GovernOpts,
+    received: Instant,
+    reply: mpsc::SyncSender<Response>,
+}
+
+/// Per-session serving state shared between connection threads, the
+/// session's writer, and the reader pool.
+struct SessionSvc {
+    name: String,
+    /// Commit-queue sender; `None` once shutdown has begun.
+    tx: Mutex<Option<mpsc::SyncSender<Job>>>,
+    /// The latest committed snapshot, refreshed by the writer after
+    /// every group. Readers clone it out (an `Arc` bump) and run on
+    /// the clone, so the lock is held only for the clone.
+    snap: Mutex<Snapshot>,
+    /// The session's observability bundle (shared storage).
+    obs: Obs,
+    writer: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    conns: AtomicUsize,
+    sessions: Mutex<HashMap<String, Arc<SessionSvc>>>,
+    /// Reader-pool sender; `None` once shutdown has begun.
+    pool_tx: Mutex<Option<mpsc::Sender<QueryJob>>>,
+}
+
+/// A running server. Dropping it shuts it down (graceful drain).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    readers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving. Returns once the listener is live;
+    /// `addr()` reports the actual bound address (useful with port 0).
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let readers = if cfg.readers == 0 {
+            gsls_par::threads()
+        } else {
+            cfg.readers
+        };
+        let (pool_tx, pool_rx) = mpsc::channel::<QueryJob>();
+        let pool_rx = Arc::new(Mutex::new(pool_rx));
+        let shared = Arc::new(Shared {
+            cfg,
+            shutdown: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            sessions: Mutex::new(HashMap::new()),
+            pool_tx: Mutex::new(Some(pool_tx)),
+        });
+        let mut reader_handles = Vec::with_capacity(readers);
+        for i in 0..readers {
+            let rx = pool_rx.clone();
+            reader_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gsls-reader-{i}"))
+                    .spawn(move || reader_loop(rx))?,
+            );
+        }
+        let accept_shared = shared.clone();
+        let accept = std::thread::Builder::new()
+            .name("gsls-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            readers: reader_handles,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a client has requested shutdown ([`Request::Shutdown`]).
+    /// The owner of the `Server` is expected to poll this and call
+    /// [`Server::shutdown`] — the request only raises the flag.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop accepting, let in-flight requests finish,
+    /// close connections, flush every session's writer (group-commit
+    /// queue fully drained and fsync'd), and join all threads.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connections are gone; drop the reader pool and writers.
+        *self.shared.pool_tx.lock().unwrap() = None;
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+        let svcs: Vec<Arc<SessionSvc>> = self
+            .shared
+            .sessions
+            .lock()
+            .unwrap()
+            .drain()
+            .map(|(_, s)| s)
+            .collect();
+        for svc in svcs {
+            *svc.tx.lock().unwrap() = None;
+            if let Some(h) = svc.writer.lock().unwrap().take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Session names become directory names under `data_dir`; restrict
+/// them so a hostile name cannot traverse.
+fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.')
+}
+
+fn err(kind: ErrorKind, message: impl Into<String>) -> Response {
+    Response::Error {
+        kind,
+        message: message.into(),
+    }
+}
+
+/// Maps a [`SessionError`] onto its wire error class.
+fn session_err(e: &SessionError) -> Response {
+    let kind = match e {
+        SessionError::Parse(_) => ErrorKind::Parse,
+        SessionError::Rejected(_)
+        | SessionError::NotFunctionFree
+        | SessionError::NotAFact(_)
+        | SessionError::Grounding(_)
+        | SessionError::NestedTransaction => ErrorKind::Rejected,
+        SessionError::Interrupted { .. } => ErrorKind::Interrupted,
+        SessionError::Poisoned => ErrorKind::Poisoned,
+        SessionError::Unsupported(_) => ErrorKind::Unsupported,
+        SessionError::Durable(_) => ErrorKind::Internal,
+    };
+    err(kind, e.to_string())
+}
+
+fn commit_opts(o: &GovernOpts, received: Instant) -> CommitOpts {
+    CommitOpts {
+        deadline: o.deadline_ms.map(|ms| received + Duration::from_millis(ms)),
+        max_clauses: o.max_clauses.map(|n| n as usize),
+        max_memory_bytes: o.max_memory_bytes.map(|n| n as usize),
+        fuel: o.fuel,
+        panic_on_fuel: false,
+    }
+}
+
+fn query_guard(o: &GovernOpts, received: Instant) -> Guard {
+    let mut b = Guard::builder();
+    if let Some(ms) = o.deadline_ms {
+        b = b.deadline(received + Duration::from_millis(ms));
+    }
+    if let Some(f) = o.fuel {
+        b = b.fuel(f);
+    }
+    b.build()
+}
+
+// ---------------------------------------------------------------------
+// Accept + connection threads
+// ---------------------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                conns.retain(|h| !h.is_finished());
+                if shared.conns.load(Ordering::SeqCst) >= shared.cfg.max_conns {
+                    let _ = refuse(stream);
+                    continue;
+                }
+                shared.conns.fetch_add(1, Ordering::SeqCst);
+                let s = shared.clone();
+                if let Ok(h) =
+                    std::thread::Builder::new()
+                        .name("gsls-conn".into())
+                        .spawn(move || {
+                            conn_loop(stream, &s);
+                            s.conns.fetch_sub(1, Ordering::SeqCst);
+                        })
+                {
+                    conns.push(h);
+                } else {
+                    shared.conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Over-cap connections get one typed refusal, then the socket closes.
+fn refuse(stream: TcpStream) -> io::Result<()> {
+    let mut w = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    encode_response(&err(ErrorKind::Busy, "connection cap reached"), &mut buf);
+    write_frame(&mut w, &buf)?;
+    w.flush()
+}
+
+fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    // Scratch store for decoding the string-only requests the
+    // connection thread handles itself (commits decode writer-side).
+    let mut scratch = TermStore::new();
+    let mut svc: Option<Arc<SessionSvc>> = None;
+    let mut last_activity = Instant::now();
+    let mut out = Vec::new();
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(p) => p,
+            Err(FrameError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst)
+                    || last_activity.elapsed() >= shared.cfg.idle_timeout
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Truncated) | Err(FrameError::Io(_)) => return,
+            Err(e @ (FrameError::BadCrc | FrameError::TooLarge(_))) => {
+                // The stream is still framed; answer, then hang up
+                // (we cannot trust subsequent bytes from this peer).
+                out.clear();
+                encode_response(&err(ErrorKind::Protocol, e.to_string()), &mut out);
+                let _ = write_frame(&mut writer, &out).and_then(|_| writer.flush());
+                return;
+            }
+        };
+        last_activity = Instant::now();
+        let resp = handle_request(&payload, last_activity, shared, &mut svc, &mut scratch);
+        out.clear();
+        encode_response(&resp, &mut out);
+        if write_frame(&mut writer, &out)
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Routes one framed request and produces its reply. `svc` is the
+/// session this connection is bound to (bound lazily to `"default"`).
+fn handle_request(
+    payload: &[u8],
+    received: Instant,
+    shared: &Arc<Shared>,
+    svc: &mut Option<Arc<SessionSvc>>,
+    scratch: &mut TermStore,
+) -> Response {
+    let kind = match peek_request_kind(payload) {
+        Ok(k) => k,
+        Err(e) => return err(ErrorKind::Protocol, format!("bad request: {e:?}")),
+    };
+    match kind {
+        RequestKind::Ping => Response::Pong,
+        RequestKind::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            Response::Text("draining".into())
+        }
+        RequestKind::Open => match decode_request(scratch, payload) {
+            Ok(Request::Open { session }) => match bind_session(shared, &session) {
+                Ok(s) => {
+                    let epoch = s.snap.lock().unwrap().epoch();
+                    *svc = Some(s);
+                    Response::Opened { session, epoch }
+                }
+                Err(resp) => resp,
+            },
+            Ok(_) => err(ErrorKind::Protocol, "kind/payload mismatch"),
+            Err(e) => err(ErrorKind::Protocol, format!("bad open: {e:?}")),
+        },
+        RequestKind::Commit | RequestKind::Checkpoint => {
+            let s = match ensure_bound(shared, svc) {
+                Ok(s) => s,
+                Err(resp) => return resp,
+            };
+            let (rtx, rrx) = mpsc::sync_channel(1);
+            let job = if kind == RequestKind::Commit {
+                Job::Commit {
+                    payload: payload.to_vec(),
+                    received,
+                    reply: rtx,
+                }
+            } else {
+                Job::Checkpoint { reply: rtx }
+            };
+            let tx = s.tx.lock().unwrap().clone();
+            match tx {
+                Some(tx) => {
+                    if tx.send(job).is_err() {
+                        return err(ErrorKind::Internal, "session writer is gone");
+                    }
+                }
+                None => return err(ErrorKind::Shutdown, "server is draining"),
+            }
+            rrx.recv()
+                .unwrap_or_else(|_| err(ErrorKind::Internal, "session writer is gone"))
+        }
+        RequestKind::Query => {
+            let s = match ensure_bound(shared, svc) {
+                Ok(s) => s,
+                Err(resp) => return resp,
+            };
+            let (goal, opts) = match decode_request(scratch, payload) {
+                Ok(Request::Query { goal, opts }) => (goal, opts),
+                Ok(_) => return err(ErrorKind::Protocol, "kind/payload mismatch"),
+                Err(e) => return err(ErrorKind::Protocol, format!("bad query: {e:?}")),
+            };
+            let (rtx, rrx) = mpsc::sync_channel(1);
+            let job = QueryJob {
+                svc: s,
+                goal,
+                opts,
+                received,
+                reply: rtx,
+            };
+            let tx = shared.pool_tx.lock().unwrap().clone();
+            match tx {
+                Some(tx) => {
+                    if tx.send(job).is_err() {
+                        return err(ErrorKind::Internal, "reader pool is gone");
+                    }
+                }
+                None => return err(ErrorKind::Shutdown, "server is draining"),
+            }
+            rrx.recv()
+                .unwrap_or_else(|_| err(ErrorKind::Internal, "reader pool is gone"))
+        }
+        RequestKind::Metrics => match ensure_bound(shared, svc) {
+            Ok(s) => Response::Text(render_prometheus(s.obs.registry())),
+            Err(resp) => resp,
+        },
+        RequestKind::Events => match ensure_bound(shared, svc) {
+            Ok(s) => {
+                let mut text = String::new();
+                for ev in s.obs.tracer().drain() {
+                    text.push_str(&ev.to_json());
+                    text.push('\n');
+                }
+                Response::Text(text)
+            }
+            Err(resp) => resp,
+        },
+    }
+}
+
+fn ensure_bound(
+    shared: &Arc<Shared>,
+    svc: &mut Option<Arc<SessionSvc>>,
+) -> Result<Arc<SessionSvc>, Response> {
+    if let Some(s) = svc {
+        return Ok(s.clone());
+    }
+    let s = bind_session(shared, "default")?;
+    *svc = Some(s.clone());
+    Ok(s)
+}
+
+/// Gets or creates the named session service: opens (or creates) the
+/// session, takes its first snapshot, and spawns its writer thread.
+fn bind_session(shared: &Arc<Shared>, name: &str) -> Result<Arc<SessionSvc>, Response> {
+    if !valid_session_name(name) {
+        return Err(err(
+            ErrorKind::Rejected,
+            format!("invalid session name {name:?}"),
+        ));
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(err(ErrorKind::Shutdown, "server is draining"));
+    }
+    let mut sessions = shared.sessions.lock().unwrap();
+    if let Some(s) = sessions.get(name) {
+        return Ok(s.clone());
+    }
+    let mut session = match &shared.cfg.data_dir {
+        Some(root) => Session::open(root.join(name)).map_err(|e| session_err(&e))?,
+        None => Session::new(),
+    };
+    let snap = session.snapshot();
+    let obs = session.obs();
+    let (tx, rx) = mpsc::sync_channel::<Job>(shared.cfg.queue_depth);
+    let svc = Arc::new(SessionSvc {
+        name: name.to_string(),
+        tx: Mutex::new(Some(tx)),
+        snap: Mutex::new(snap),
+        obs,
+        writer: Mutex::new(None),
+    });
+    let wsvc = svc.clone();
+    let group_max = shared.cfg.group_max.max(1);
+    let writer = std::thread::Builder::new()
+        .name(format!("gsls-writer-{name}"))
+        .spawn(move || writer_loop(session, rx, wsvc, group_max))
+        .map_err(|e| err(ErrorKind::Internal, format!("spawn failed: {e}")))?;
+    *svc.writer.lock().unwrap() = Some(writer);
+    sessions.insert(name.to_string(), svc.clone());
+    Ok(svc)
+}
+
+// ---------------------------------------------------------------------
+// Writer thread: the group-commit write path
+// ---------------------------------------------------------------------
+
+fn writer_loop(
+    mut session: Session,
+    rx: mpsc::Receiver<Job>,
+    svc: Arc<SessionSvc>,
+    group_max: usize,
+) {
+    // recv() returning Err means every sender is gone (shutdown):
+    // everything already queued has been drained first, so this is the
+    // graceful flush.
+    while let Ok(first) = rx.recv() {
+        let mut jobs = vec![first];
+        while jobs.len() < group_max {
+            match rx.try_recv() {
+                Ok(j) => jobs.push(j),
+                Err(_) => break,
+            }
+        }
+        while !jobs.is_empty() {
+            match jobs[0] {
+                Job::Checkpoint { .. } => {
+                    let Job::Checkpoint { reply } = jobs.remove(0) else {
+                        unreachable!()
+                    };
+                    let resp = match session.checkpoint() {
+                        Ok(()) => Response::Text(format!(
+                            "checkpointed {} at epoch {}",
+                            svc.name,
+                            session.epoch()
+                        )),
+                        Err(e) => session_err(&e),
+                    };
+                    let _ = reply.send(resp);
+                }
+                Job::Commit { .. } => {
+                    // Collect the contiguous run of commits starting
+                    // here and commit them as one group.
+                    let mut run = Vec::new();
+                    while !jobs.is_empty() && matches!(jobs[0], Job::Commit { .. }) {
+                        run.push(jobs.remove(0));
+                    }
+                    commit_run(&mut session, &svc, run);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes and group-commits one contiguous run of commit jobs,
+/// replying to each client individually — after the covering fsync
+/// *and* after the new snapshot is published, so an acked client
+/// immediately reads its own write.
+fn commit_run(session: &mut Session, svc: &SessionSvc, run: Vec<Job>) {
+    let mut batches: Vec<(UpdateBatch, CommitOpts)> = Vec::with_capacity(run.len());
+    let mut waiting: Vec<(mpsc::SyncSender<Response>, bool)> = Vec::with_capacity(run.len());
+    for job in run {
+        let Job::Commit {
+            payload,
+            received,
+            reply,
+        } = job
+        else {
+            unreachable!()
+        };
+        match decode_request(session.store_mut(), &payload) {
+            Ok(Request::Commit {
+                rules,
+                asserts,
+                retracts,
+                opts,
+            }) => {
+                let batch = UpdateBatch {
+                    rules,
+                    asserts,
+                    retracts,
+                };
+                let bumps = !batch.is_empty();
+                batches.push((batch, commit_opts(&opts, received)));
+                waiting.push((reply, bumps));
+            }
+            Ok(_) => {
+                let _ = reply.send(err(ErrorKind::Protocol, "kind/payload mismatch"));
+            }
+            Err(e) => {
+                let _ = reply.send(err(ErrorKind::Protocol, format!("bad commit: {e:?}")));
+            }
+        }
+    }
+    if batches.is_empty() {
+        return;
+    }
+    let mut epoch = session.epoch();
+    let outcome = session.commit_group(batches);
+    // Publish the post-group snapshot BEFORE acking anyone: a client
+    // that sees its Committed reply must find its write in the very
+    // next query it sends.
+    *svc.snap.lock().unwrap() = session.snapshot();
+    match outcome {
+        Ok(results) => {
+            for (r, (reply, bumps)) in results.into_iter().zip(waiting) {
+                let resp = match r {
+                    Ok(stats) => {
+                        if bumps {
+                            epoch += 1;
+                        }
+                        Response::Committed {
+                            epoch,
+                            stats: CommitNumbers {
+                                rules_added: stats.rules_added as u64,
+                                facts_asserted: stats.facts_asserted as u64,
+                                facts_reenabled: stats.facts_reenabled as u64,
+                                facts_retracted: stats.facts_retracted as u64,
+                                new_atoms: stats.new_atoms as u64,
+                                new_clauses: stats.new_clauses as u64,
+                            },
+                        }
+                    }
+                    Err(e) => session_err(&e),
+                };
+                let _ = reply.send(resp);
+            }
+        }
+        Err(e) => {
+            // Group-level failure (poisoned, open txn, covering fsync):
+            // nothing is durable; every waiter gets the error.
+            let resp = session_err(&e);
+            for (reply, _) in waiting {
+                let _ = reply.send(resp.clone());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader pool: queries on snapshots
+// ---------------------------------------------------------------------
+
+fn reader_loop(rx: Arc<Mutex<mpsc::Receiver<QueryJob>>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap();
+            guard.recv()
+        };
+        let Ok(job) = job else { return };
+        let snap = job.svc.snap.lock().unwrap().clone();
+        let resp = run_query(&snap, &job.goal, &job.opts, job.received);
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Compiles and evaluates one query on a snapshot — read-only, never
+/// touches the owning session.
+fn run_query(snap: &Snapshot, goal: &str, opts: &GovernOpts, received: Instant) -> Response {
+    let q = match snap.prepare(goal) {
+        Ok(q) => q,
+        Err(e) => return session_err(&e),
+    };
+    let guard = query_guard(opts, received);
+    let mut answers_true = Vec::new();
+    let mut answers_undef = Vec::new();
+    let mut it = match q.execute_governed(snap, &guard) {
+        Ok(it) => it,
+        Err(e) => return session_err(&e),
+    };
+    let mut truncated = false;
+    for a in it.by_ref() {
+        if answers_true.len() + answers_undef.len() >= MAX_ANSWERS {
+            truncated = true;
+            break;
+        }
+        let rendered = q.render_answer(snap, &a);
+        match a.truth {
+            Truth::True => answers_true.push(rendered),
+            Truth::Undefined => answers_undef.push(rendered),
+            Truth::False => {}
+        }
+    }
+    let interrupted = it.interrupted().is_some() || truncated;
+    let truth = if !answers_true.is_empty() {
+        TruthTag::True
+    } else if !answers_undef.is_empty() {
+        TruthTag::Undefined
+    } else {
+        TruthTag::False
+    };
+    Response::Answers {
+        truth,
+        answers: answers_true,
+        undefined: answers_undef,
+        interrupted,
+    }
+}

@@ -71,4 +71,35 @@ cargo run --release -p gsls-bench --bin gsls-obs -- \
 echo "==> observability overhead gate (instrumented commit <= 3% vs disabled)"
 cargo run --release -p gsls-bench --bin perf_report -- --obs-gate
 
+echo "==> server suite (framing fuzz, group commit, ungraceful clients,"
+echo "    storm vs oracle) at 1 and 2 threads"
+GSLS_THREADS=1 cargo test --release -q --test server
+GSLS_THREADS=2 cargo test --release -q --test server
+
+echo "==> gsls-serve/gsls-client live smoke (commit, query, scrape, shutdown)"
+cargo build --release -p gsls-serve --bins
+serve_dir="$(mktemp -d)"
+serve_log="$serve_dir/server.log"
+target/release/gsls-serve --addr 127.0.0.1:0 --data-dir "$serve_dir/data" \
+  >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$serve_dir"' EXIT
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr="$(sed -n 's/^gsls-serve listening on //p' "$serve_log" | head -n1)"
+  [ -n "$serve_addr" ] && break
+  kill -0 "$serve_pid" 2>/dev/null || { cat "$serve_log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$serve_addr" ] || { echo "gsls-serve never reported its address" >&2; exit 1; }
+client() { target/release/gsls-client --addr "$serve_addr" "$@"; }
+client commit "move(a, b). move(b, a). win(X) :- move(X, Y), ~win(Y)."
+client assert "move(b, c)."
+client query "?- win(X)." | grep -q "true"
+client metrics | grep -q "^gsls_wal_group_syncs"
+client shutdown
+wait "$serve_pid"
+trap - EXIT
+rm -rf "$serve_dir"
+
 echo "check.sh: all gates passed"

@@ -237,6 +237,54 @@
 //! # Ok::<(), SessionError>(())
 //! ```
 //!
+//! ## Serving
+//!
+//! [`serve`](gsls_serve) puts the whole stack on a socket: a std-only
+//! TCP server ([`prelude::Server`]) multiplexing concurrent clients
+//! onto named durable sessions, and a blocking [`prelude::Client`].
+//! Every message is one CRC-framed record — `[len: u32 LE]
+//! [crc32: u32 LE][payload]`, the WAL's own framing reused on the wire
+//! — whose payload starts with a protocol version byte and a tag:
+//!
+//! | request | payload | reply |
+//! |---------|---------|-------|
+//! | `Ping` | — | `Pong` |
+//! | `Open` | session name | `Opened{session, epoch}` |
+//! | `Commit` | rules, asserts, retracts, budgets | `Committed{epoch, stats}` |
+//! | `Query` | goal text, budgets | `Answers{truth, answers, undefined, interrupted}` |
+//! | `Metrics` | — | `Text` (Prometheus exposition format) |
+//! | `Events` | — | `Text` (JSON lines from the trace ring) |
+//! | `Checkpoint` | — | `Text` |
+//! | `Shutdown` | — | `Text` (server drains and stops) |
+//!
+//! Failures come back as `Error{kind, message}` with a coarse kind
+//! (`Parse`, `Rejected`, `Interrupted`, `Busy`, …). Each request's
+//! optional `deadline_ms` / `fuel` / `max_memory_bytes` /
+//! `max_clauses` budgets map 1:1 onto [`prelude::CommitOpts`] and the
+//! query guards, with deadlines measured from server receipt — so
+//! end-to-end governance works exactly like in-process governance.
+//!
+//! **Group commit.** One writer thread exclusively owns each session
+//! and drains a bounded commit queue: each drain takes the contiguous
+//! run of queued batches, journals every batch to the WAL *unsynced*,
+//! validates/governs/applies each under its own budget, then issues a
+//! single covering fsync for the whole run
+//! ([`prelude::Session::commit_group`]). Clients are answered only
+//! after that fsync — fsync before *ack*, not before *apply* — so
+//! under concurrent writers the fsync cost is amortized across the
+//! group (watch `wal.group_records` / `wal.group_syncs` in the
+//! scrape). A batch that fails its own validation or budget is
+//! truncated off the WAL tail and rolled back; **only that client**
+//! sees the error, and the rest of the group commits.
+//!
+//! **Disconnects.** A client vanishing mid-request can never poison a
+//! session: a half-written frame fails its length/CRC check and never
+//! reaches the engine, and a fully queued commit whose client is gone
+//! commits normally (the reply just has nobody to go to). Queries run
+//! on [`prelude::Snapshot`]s in a reader pool and never block the
+//! writer. See `examples/serve_demo.rs` for the whole loop, and the
+//! `gsls-serve` / `gsls-client` binaries for the CLI pair.
+//!
 //! ## Diagnostics & linting
 //!
 //! Every commit is gated by the static analyzer in
@@ -309,6 +357,7 @@
 //! | [`par`] | work-stealing runtime (parallel SCC evaluation, sharded grounding) |
 //! | [`durable`] | write-ahead log, checkpoint/restore, crash-injection harness |
 //! | [`obs`] | metrics registry, latency histograms, span tracing (std-only, dependency leaf) |
+//! | [`serve`] | TCP server + client: wire protocol, group-commit write path, reader pool |
 //! | [`workloads`] | experiment program generators |
 //!
 //! The [`prelude`] re-exports the user-facing surface; diagnostic and
@@ -323,6 +372,7 @@ pub use gsls_lang as lang;
 pub use gsls_obs as obs;
 pub use gsls_par as par;
 pub use gsls_resolution as resolution;
+pub use gsls_serve as serve;
 pub use gsls_wfs as wfs;
 pub use gsls_workloads as workloads;
 
@@ -333,20 +383,22 @@ pub mod prelude {
     pub use gsls_core::{
         Answer, Answers, CommitError, CommitOpts, CommitRejection, CommitStats, Engine,
         InterruptCause, InterruptHandle, InterruptPhase, PreparedQuery, QueryOpts, QueryResult,
-        Session, SessionError, Snapshot, Solver, SolverError, Status, TripInfo,
+        Session, SessionError, Snapshot, SnapshotQuery, Solver, SolverError, Status, TripInfo,
+        UpdateBatch,
     };
     pub use gsls_durable::{DurableOpts, StorageKind};
     pub use gsls_ground::{
         GroundProgram, Grounder, GrounderOpts, GroundingMode, IncrementalGrounder,
     };
     pub use gsls_lang::{
-        parse_goal, parse_program, parse_query, parse_term, Atom, Clause, Goal, Literal, Program,
-        Sign, Subst, TermStore,
+        parse_goal, parse_program, parse_query, parse_term, Atom, Clause, Goal, GovernOpts,
+        Literal, Program, Sign, Subst, TermStore,
     };
     pub use gsls_obs::{HistogramSnapshot, MetricsSnapshot, Obs, TraceEvent};
     pub use gsls_resolution::{
         perfect_model, sld_solve, sldnf_solve, sls_solve, SldOpts, SldnfOpts, SldnfOutcome, SlsOpts,
     };
+    pub use gsls_serve::{Client, ClientError, Server, ServerConfig};
     pub use gsls_wfs::{
         fitting_model, stable_models, vp_iteration, well_founded_model, Interp, Truth,
     };

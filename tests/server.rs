@@ -1,0 +1,662 @@
+//! gsls-serve integration tests (PR 10).
+//!
+//! Covers the serving stack end to end:
+//!
+//! * wire-protocol robustness: fuzzed request/response round trips,
+//!   truncation/bit-flip rejection (typed errors, never a panic), and
+//!   the protocol version byte;
+//! * the group-commit write path: concurrent committers are fsync'd in
+//!   groups, each client acked individually, per-batch governance
+//!   (an expired deadline interrupts exactly that client while the
+//!   session keeps serving);
+//! * ungraceful clients: disconnects mid-frame, half-written frames,
+//!   and raw garbage never poison a session;
+//! * a concurrent reader/writer storm whose final state must equal a
+//!   sequential oracle session fed the same batches (run under
+//!   `GSLS_THREADS=2` in check.sh);
+//! * the `commit_group` / `Snapshot::prepare` core surfaces the server
+//!   is built on.
+
+use global_sls::prelude::*;
+use global_sls::serve::{read_frame, write_frame, Server, ServerConfig};
+use gsls_lang::{
+    decode_request, decode_response, encode_request, encode_response, peek_request_kind, Request,
+    Response, TruthTag, PROTO_VERSION,
+};
+use proptest::prelude::*;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gsls_server_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(data_dir: Option<PathBuf>) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir,
+        idle_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    })
+    .expect("server start")
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol robustness (satellite: fuzz round trips)
+// ---------------------------------------------------------------------
+
+/// A random but well-formed request, built over `store`.
+fn random_request(rng: &mut TestRng, store: &mut TermStore) -> Request {
+    match rng.below(6) {
+        0 => Request::Ping,
+        1 => Request::Open {
+            session: format!("s{}", rng.below(100)),
+        },
+        2 => {
+            let n = rng.below(4) + 1;
+            let src: String = (0..n)
+                .map(|i| match rng.below(3) {
+                    0 => format!("e(a{i}, b{}). ", rng.below(5)),
+                    1 => format!("p{i}(X) :- e(X, Y), ~q{}(Y). ", rng.below(3)),
+                    _ => format!("q{}(c{}). ", rng.below(3), rng.below(5)),
+                })
+                .collect();
+            let prog = parse_program(store, &src).unwrap();
+            let rules = prog.clauses().to_vec();
+            let asserts: Vec<Atom> = rules
+                .iter()
+                .filter(|c| c.body.is_empty())
+                .map(|c| c.head.clone())
+                .collect();
+            Request::Commit {
+                rules,
+                asserts,
+                retracts: Vec::new(),
+                opts: GovernOpts {
+                    deadline_ms: rng.bool().then(|| rng.below(10_000)),
+                    fuel: rng.bool().then(|| rng.next_u64() % 1_000_000),
+                    max_memory_bytes: rng.bool().then(|| rng.next_u64() % (1 << 30)),
+                    max_clauses: rng.bool().then(|| rng.below(100_000)),
+                },
+            }
+        }
+        3 => Request::Query {
+            goal: format!("?- p{}(X).", rng.below(5)),
+            opts: GovernOpts::default(),
+        },
+        4 => Request::Metrics,
+        _ => Request::Checkpoint,
+    }
+}
+
+fn random_response(rng: &mut TestRng) -> Response {
+    match rng.below(5) {
+        0 => Response::Pong,
+        1 => Response::Opened {
+            session: format!("s{}", rng.below(10)),
+            epoch: rng.next_u64(),
+        },
+        2 => Response::Answers {
+            truth: match rng.below(3) {
+                0 => TruthTag::True,
+                1 => TruthTag::False,
+                _ => TruthTag::Undefined,
+            },
+            answers: (0..rng.below(4)).map(|i| format!("X = a{i}")).collect(),
+            undefined: (0..rng.below(2)).map(|i| format!("Y = u{i}")).collect(),
+            interrupted: rng.bool(),
+        },
+        3 => Response::Text("# TYPE gsls_x counter\ngsls_x 1\n".into()),
+        _ => Response::Error {
+            kind: gsls_lang::ErrorKind::Rejected,
+            message: "nope \u{1F989}".into(),
+        },
+    }
+}
+
+#[test]
+fn proto_round_trips_under_fuzz() {
+    let mut rng = TestRng::for_test("proto_round_trips");
+    for _ in 0..200 {
+        let mut store = TermStore::new();
+        let req = random_request(&mut rng, &mut store);
+        let mut bytes = Vec::new();
+        encode_request(&store, &req, &mut bytes);
+        assert_eq!(
+            peek_request_kind(&bytes).unwrap(),
+            match &req {
+                Request::Ping => gsls_lang::RequestKind::Ping,
+                Request::Open { .. } => gsls_lang::RequestKind::Open,
+                Request::Commit { .. } => gsls_lang::RequestKind::Commit,
+                Request::Query { .. } => gsls_lang::RequestKind::Query,
+                Request::Metrics => gsls_lang::RequestKind::Metrics,
+                Request::Events => gsls_lang::RequestKind::Events,
+                Request::Checkpoint => gsls_lang::RequestKind::Checkpoint,
+                Request::Shutdown => gsls_lang::RequestKind::Shutdown,
+            }
+        );
+        // Decoding into a *fresh* store must reproduce the same
+        // structure (display-compare clauses; ids differ by design).
+        let mut store2 = TermStore::new();
+        let decoded = decode_request(&mut store2, &bytes).unwrap();
+        match (&req, &decoded) {
+            (
+                Request::Commit {
+                    rules: r1,
+                    asserts: a1,
+                    opts: o1,
+                    ..
+                },
+                Request::Commit {
+                    rules: r2,
+                    asserts: a2,
+                    opts: o2,
+                    ..
+                },
+            ) => {
+                assert_eq!(o1, o2);
+                assert_eq!(r1.len(), r2.len());
+                assert_eq!(a1.len(), a2.len());
+                for (c1, c2) in r1.iter().zip(r2) {
+                    assert_eq!(c1.display(&store), c2.display(&store2));
+                }
+            }
+            (a, b) => assert_eq!(format!("{a:?}"), format!("{b:?}")),
+        }
+
+        let resp = random_response(&mut rng);
+        let mut rbytes = Vec::new();
+        encode_response(&resp, &mut rbytes);
+        assert_eq!(decode_response(&rbytes).unwrap(), resp);
+    }
+}
+
+#[test]
+fn proto_rejects_damage_without_panicking() {
+    let mut rng = TestRng::for_test("proto_damage");
+    for _ in 0..120 {
+        let mut store = TermStore::new();
+        let req = random_request(&mut rng, &mut store);
+        let mut bytes = Vec::new();
+        encode_request(&store, &req, &mut bytes);
+
+        // Every truncation fails typed (or, for prefixes that happen
+        // to end exactly at a message boundary, is impossible here
+        // because decode rejects trailing loss as Truncated).
+        for cut in 0..bytes.len() {
+            let mut s = TermStore::new();
+            assert!(
+                decode_request(&mut s, &bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // Random single-bit flips either decode to *something* (flips
+        // in string bytes can be harmless) or fail typed — never panic.
+        for _ in 0..16 {
+            let mut dam = bytes.clone();
+            let bit = rng.below(dam.len() as u64 * 8);
+            dam[(bit / 8) as usize] ^= 1 << (bit % 8);
+            let mut s = TermStore::new();
+            let _ = decode_request(&mut s, &dam);
+        }
+        // Version byte: any other version is rejected outright.
+        let mut wrong = bytes.clone();
+        wrong[0] = PROTO_VERSION.wrapping_add(1 + rng.below(200) as u8);
+        let mut s = TermStore::new();
+        assert!(decode_request(&mut s, &wrong).is_err());
+        assert!(peek_request_kind(&wrong).is_err());
+    }
+    // Responses too: truncations of a fuzzed response never panic.
+    for _ in 0..60 {
+        let resp = random_response(&mut rng);
+        let mut bytes = Vec::new();
+        encode_response(&resp, &mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(decode_response(&bytes[..cut]).is_err());
+        }
+    }
+}
+
+#[test]
+fn frames_round_trip_and_reject_damage() {
+    let mut rng = TestRng::for_test("frame_fuzz");
+    for _ in 0..100 {
+        let n = rng.below(2000) as usize;
+        let payload: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(read_frame(&mut &buf[..]).unwrap(), payload);
+        // A flip anywhere in the frame is caught (header: bad length /
+        // crc mismatch / truncation; payload: crc mismatch).
+        let bit = rng.below(buf.len() as u64 * 8);
+        let mut dam = buf.clone();
+        dam[(bit / 8) as usize] ^= 1 << (bit % 8);
+        assert!(read_frame(&mut &dam[..]).is_err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serving: group commit, governance, ungraceful clients
+// ---------------------------------------------------------------------
+
+#[test]
+fn concurrent_commits_group_under_one_fsync() {
+    let dir = temp_dir("group");
+    let mut server = start(Some(dir.clone()));
+    let addr = server.addr();
+
+    let mut seed = Client::connect(addr).unwrap();
+    seed.commit(
+        "win(X) :- move(X, Y), ~win(Y).",
+        "",
+        "",
+        GovernOpts::default(),
+    )
+    .unwrap();
+
+    const WRITERS: usize = 8;
+    const COMMITS: usize = 6;
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for j in 0..COMMITS {
+                    let r = c
+                        .commit(
+                            "",
+                            &format!("move(w{i}, t{i}_{j})."),
+                            "",
+                            GovernOpts::default(),
+                        )
+                        .unwrap();
+                    assert!(r.epoch > 0);
+                    assert_eq!(r.stats.facts_asserted, 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let scrape = seed.metrics().unwrap();
+    let get = |name: &str| -> u64 {
+        scrape
+            .lines()
+            .find(|l| !l.starts_with('#') && l.split_whitespace().next() == Some(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} missing from scrape"))
+    };
+    let records = get("gsls_wal_group_records");
+    let syncs = get("gsls_wal_group_syncs");
+    assert_eq!(records, (WRITERS * COMMITS + 1) as u64);
+    assert!(
+        syncs < records,
+        "no amortization: {records} records took {syncs} fsync groups"
+    );
+
+    // Everything acked is visible.
+    let q = seed
+        .query("?- move(w0, X).", GovernOpts::default())
+        .unwrap();
+    assert_eq!(q.answers.len(), COMMITS);
+    drop(seed);
+    server.shutdown();
+
+    // ... and durable: reopen the session directory directly.
+    let mut session = Session::open(dir.join("default")).unwrap();
+    let r = session.query("?- move(w7, X).").unwrap();
+    assert_eq!(r.answers.len(), COMMITS);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn expired_deadline_interrupts_exactly_that_client() {
+    let mut server = start(None);
+    let addr = server.addr();
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    a.commit(
+        "t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        "e(n0, n1). e(n1, n2).",
+        "",
+        GovernOpts::default(),
+    )
+    .unwrap();
+
+    // An already-expired deadline: this client (and only this client)
+    // gets Interrupted; its batch rolls back.
+    let strict = GovernOpts {
+        deadline_ms: Some(0),
+        ..GovernOpts::default()
+    };
+    let chain: String = (2..40).map(|i| format!("e(n{i}, n{}). ", i + 1)).collect();
+    let err = a.commit("", &chain, "", strict).unwrap_err();
+    assert!(
+        global_sls::serve::client::expect_interrupted(&err),
+        "expected Interrupted, got {err}"
+    );
+
+    // The other client's concurrent work is unaffected, before and after.
+    let r = b
+        .commit("", "e(n1, m1).", "", GovernOpts::default())
+        .unwrap();
+    assert_eq!(r.stats.facts_asserted, 1);
+    let q = b.query("?- t(n0, m1).", GovernOpts::default()).unwrap();
+    assert_eq!(q.truth, "true");
+    // The rolled-back batch is really gone.
+    let q = b.query("?- e(n2, n3).", GovernOpts::default()).unwrap();
+    assert_eq!(q.truth, "false");
+    server.shutdown();
+}
+
+#[test]
+fn ungraceful_clients_never_poison_the_session() {
+    let mut server = start(None);
+    let addr = server.addr();
+    let mut good = Client::connect(addr).unwrap();
+    good.commit("", "f(a).", "", GovernOpts::default()).unwrap();
+
+    // 1. Disconnect with a half-written frame: claim 100 bytes, send 3.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(&0u32.to_le_bytes()).unwrap();
+        s.write_all(&[1, 2, 3]).unwrap();
+    } // dropped mid-frame
+
+    // 2. A valid frame whose payload is garbage.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_frame(&mut s, &[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        let resp = read_frame(&mut s).unwrap();
+        match decode_response(&resp).unwrap() {
+            Response::Error { kind, .. } => assert_eq!(kind, gsls_lang::ErrorKind::Protocol),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    // 3. A frame with a corrupted CRC gets a typed protocol error.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut frame = Vec::new();
+        write_frame(&mut frame, b"not a request").unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xff;
+        s.write_all(&frame).unwrap();
+        let resp = read_frame(&mut s).unwrap();
+        assert!(matches!(
+            decode_response(&resp).unwrap(),
+            Response::Error { .. }
+        ));
+    }
+
+    // 4. Disconnect immediately after queuing a commit: the commit
+    //    still applies (fsync-before-ack, nobody to ack).
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut store = TermStore::new();
+        let prog = parse_program(&mut store, "f(ghost).").unwrap();
+        let req = Request::Commit {
+            rules: Vec::new(),
+            asserts: vec![prog.clauses()[0].head.clone()],
+            retracts: Vec::new(),
+            opts: GovernOpts::default(),
+        };
+        let mut bytes = Vec::new();
+        encode_request(&store, &req, &mut bytes);
+        write_frame(&mut s, &bytes).unwrap();
+        s.flush().unwrap();
+    } // dropped without reading the reply
+
+    // The session is alive and serving; the ghost commit landed.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let q = good.query("?- f(ghost).", GovernOpts::default()).unwrap();
+        if q.truth == "true" {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ghost commit never applied");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let r = good.commit("", "f(b).", "", GovernOpts::default()).unwrap();
+    assert_eq!(r.stats.facts_asserted, 1);
+    server.shutdown();
+}
+
+#[test]
+fn storm_matches_sequential_oracle() {
+    // Disjoint fact batches from concurrent writers commute, so the
+    // final served state must equal one session fed every batch
+    // sequentially — while readers hammer snapshots throughout.
+    let mut server = start(None);
+    let addr = server.addr();
+    let mut seed = Client::connect(addr).unwrap();
+    const RULES: &str = "reach(X, Y) :- e(X, Y). reach(X, Z) :- e(X, Y), reach(Y, Z). \
+                         odd(X) :- e(X, Y), ~odd(Y).";
+    seed.commit(RULES, "", "", GovernOpts::default()).unwrap();
+
+    const WRITERS: usize = 4;
+    const COMMITS: usize = 8;
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut n = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let q = c
+                        .query("?- reach(v0_0, X).", GovernOpts::default())
+                        .unwrap();
+                    // Monotone workload: answers only grow.
+                    assert!(q.truth == "true" || q.truth == "false");
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for j in 0..COMMITS {
+                    c.commit(
+                        "",
+                        &format!("e(v{i}_{j}, v{i}_{}).", j + 1),
+                        "",
+                        GovernOpts::default(),
+                    )
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in readers {
+        assert!(h.join().unwrap() > 0, "reader made no progress");
+    }
+
+    // Sequential oracle: same rules, same batches, one session.
+    let mut oracle = Session::from_source(RULES).unwrap();
+    for i in 0..WRITERS {
+        for j in 0..COMMITS {
+            oracle
+                .assert_facts(&format!("e(v{i}_{j}, v{i}_{}).", j + 1))
+                .unwrap();
+        }
+    }
+    for i in 0..WRITERS {
+        let goal = format!("?- reach(v{i}_0, v{i}_{COMMITS}).");
+        assert_eq!(oracle.truth(&goal).unwrap(), Truth::True);
+        let served = seed.query(&goal, GovernOpts::default()).unwrap();
+        assert_eq!(served.truth, "true", "{goal}");
+        let goal = format!("?- odd(v{i}_0).");
+        let want = match oracle.truth(&goal).unwrap() {
+            Truth::True => "true",
+            Truth::False => "false",
+            Truth::Undefined => "undefined",
+        };
+        let served = seed.query(&goal, GovernOpts::default()).unwrap();
+        assert_eq!(served.truth, want, "{goal}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn open_binds_named_sessions_and_busy_cap_is_typed() {
+    let dir = temp_dir("named");
+    let mut server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: Some(dir.clone()),
+        max_conns: 2,
+        idle_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let mut a = Client::connect(addr).unwrap();
+    assert_eq!(a.open("alpha").unwrap(), 0);
+    a.commit("", "x(1).", "", GovernOpts::default()).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    b.open("beta").unwrap();
+    // beta does not see alpha's fact.
+    let q = b.query("?- x(1).", GovernOpts::default()).unwrap();
+    assert_eq!(q.truth, "false");
+    // Invalid names are rejected, not used as paths.
+    assert!(a.open("../escape").is_err());
+
+    // Third connection is over the cap: one typed Busy reply.
+    let mut c = TcpStream::connect(addr).unwrap();
+    let payload = read_frame(&mut c).unwrap();
+    match decode_response(&payload).unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, gsls_lang::ErrorKind::Busy),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    drop(c);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// The core surfaces the server is built on
+// ---------------------------------------------------------------------
+
+#[test]
+fn commit_group_applies_per_batch_and_recovers() {
+    let dir = temp_dir("commit_group");
+    {
+        let mut sess = Session::open(&dir).unwrap();
+        let fact = |s: &mut Session, text: &str| -> Atom {
+            let p = parse_program(s.store_mut(), text).unwrap();
+            p.clauses()[0].head.clone()
+        };
+        // Parse batch contents straight into the session's own store —
+        // the same thing the server's writer thread does when decoding.
+        let rules: Vec<Clause> = parse_program(
+            sess.store_mut(),
+            "e(a, b). e(b, c). t(X, Y) :- e(X, Y). t(X, Z) :- e(X, Y), t(Y, Z).",
+        )
+        .unwrap()
+        .clauses()
+        .to_vec();
+        let good1 = UpdateBatch {
+            rules,
+            asserts: Vec::new(),
+            retracts: Vec::new(),
+        };
+        let a1 = fact(&mut sess, "e(c, d).");
+        let good2 = UpdateBatch {
+            asserts: vec![a1],
+            ..UpdateBatch::default()
+        };
+        // Middle batch trips an already-expired deadline.
+        let a2 = fact(&mut sess, "e(d, e).");
+        let doomed = UpdateBatch {
+            asserts: vec![a2],
+            ..UpdateBatch::default()
+        };
+        let expired = CommitOpts {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..CommitOpts::default()
+        };
+        let results = sess
+            .commit_group(vec![
+                (good1, CommitOpts::none()),
+                (doomed, expired),
+                (good2, CommitOpts::none()),
+            ])
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(SessionError::Interrupted { .. })));
+        assert!(results[2].is_ok());
+        assert!(!sess.is_poisoned());
+        assert_eq!(sess.epoch(), 2, "two applied batches");
+        assert_eq!(sess.truth("?- t(a, d).").unwrap(), Truth::True);
+        assert_eq!(sess.truth("?- e(d, e).").unwrap(), Truth::False);
+    }
+    // The group's covering fsync made both good batches durable; the
+    // doomed one was truncated off the tail and must not resurrect.
+    let mut sess = Session::open(&dir).unwrap();
+    assert_eq!(sess.epoch(), 2);
+    assert_eq!(sess.truth("?- t(a, d).").unwrap(), Truth::True);
+    assert_eq!(sess.truth("?- e(d, e).").unwrap(), Truth::False);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_prepare_runs_read_only_queries() {
+    let mut sess =
+        Session::from_source("move(a, b). move(b, a). move(b, c). win(X) :- move(X, Y), ~win(Y).")
+            .unwrap();
+    let snap = sess.snapshot();
+    // Store size must not change however many queries compile.
+    let terms_before = snap.store().len();
+    let q = snap.prepare("?- win(X).").unwrap();
+    let answers: Vec<Answer> = q.execute(&snap).unwrap().collect();
+    assert_eq!(answers.len(), 1);
+    assert_eq!(q.render_answer(&snap, &answers[0]), "X = b");
+    // Constants the snapshot has never seen: atom false, negation true.
+    let q2 = snap.prepare("?- win(zebra).").unwrap();
+    assert_eq!(q2.execute(&snap).unwrap().count(), 0);
+    let q3 = snap.prepare("?- ~win(zebra).").unwrap();
+    assert_eq!(q3.execute(&snap).unwrap().count(), 1);
+    assert_eq!(snap.store().len(), terms_before, "prepare interned terms");
+
+    // Many threads, one snapshot, concurrent prepare+execute.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let snap = snap.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let q = snap.prepare("?- move(X, Y), ~win(Y).").unwrap();
+                    // (b, a) and (b, c): both targets lose.
+                    assert_eq!(q.execute(&snap).unwrap().count(), 2);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The plan survives the session moving on (append-only arena)...
+    sess.assert_facts("move(c, a).").unwrap();
+    let snap2 = sess.snapshot();
+    let late: Vec<Answer> = q.execute(&snap2).unwrap().collect();
+    // ...one big cycle now: every position is an undefined draw.
+    assert_eq!(late.len(), 3);
+    assert!(late.iter().all(|a| a.truth == Truth::Undefined));
+}
