@@ -1174,7 +1174,11 @@ impl Session {
     /// this method returns `Ok`, because a crash before the covering
     /// fsync tears unsynced records off the recovered WAL. An `Err`
     /// from the covering fsync therefore invalidates every `Ok` entry
-    /// in the (discarded) result vector.
+    /// in the (discarded) result vector — and, because the batches are
+    /// already applied in memory while their durability is unknown, it
+    /// **poisons the session**: the in-memory state has diverged from
+    /// the WAL, so further writes are refused until
+    /// [`Session::recover`] rebuilds from the durable state.
     ///
     /// Fails fast — before touching anything — if the session is
     /// poisoned or a buffered transaction is open.
@@ -1206,7 +1210,13 @@ impl Session {
         }
         if journaled > 0 {
             if let Some(log) = &mut self.durable {
-                log.sync_group(journaled)?;
+                if let Err(e) = log.sync_group(journaled) {
+                    // The group is applied in memory but not known
+                    // durable: acks must not go out, and the session's
+                    // state no longer matches its WAL. Session-fatal.
+                    self.poisoned = true;
+                    return Err(e.into());
+                }
             }
             // Only after the covering fsync may the WAL rotate.
             self.maybe_checkpoint();
@@ -2108,17 +2118,7 @@ fn arities_of(program: &Program) -> FxHashMap<Symbol, usize> {
 
 /// Whether a clause mentions no proper function symbol.
 fn clause_function_free(store: &TermStore, clause: &Clause) -> bool {
-    fn term_ok(store: &TermStore, t: TermId) -> bool {
-        match store.term(t) {
-            Term::Var(_) => true,
-            Term::App(_, args) => args.is_empty(),
-        }
-    }
-    clause.head.args.iter().all(|&t| term_ok(store, t))
-        && clause
-            .body
-            .iter()
-            .all(|l| l.atom.args.iter().all(|&t| term_ok(store, t)))
+    clause.is_function_free(store)
 }
 
 // ---- snapshots ------------------------------------------------------

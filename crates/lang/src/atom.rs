@@ -1,7 +1,7 @@
 //! Atoms, signed literals, and predicate identities.
 
 use crate::symbol::Symbol;
-use crate::term::{TermId, TermStore, Var};
+use crate::term::{Term, TermId, TermStore, Var};
 use std::fmt;
 
 /// A predicate identity: symbol together with its arity.
@@ -54,6 +54,24 @@ impl Atom {
     /// Whether every argument is ground.
     pub fn is_ground(&self, store: &TermStore) -> bool {
         self.args.iter().all(|&t| store.is_ground(t))
+    }
+
+    /// Whether every argument is a variable or a constant — no proper
+    /// function symbol anywhere (the function-free fragment).
+    pub fn args_function_free(&self, store: &TermStore) -> bool {
+        self.args.iter().all(|&t| match store.term(t) {
+            Term::Var(_) => true,
+            Term::App(_, args) => args.is_empty(),
+        })
+    }
+
+    /// Rebuilds this atom over `dst`, where `map` is the term map
+    /// produced by [`TermStore::translate_into`] on `src` (the store
+    /// this atom's ids live in).
+    pub fn translate(&self, src: &TermStore, dst: &mut TermStore, map: &[TermId]) -> Atom {
+        let pred = dst.intern_symbol(src.symbol_name(self.pred));
+        let args: Vec<TermId> = self.args.iter().map(|t| map[t.index()]).collect();
+        Atom::new(pred, args)
     }
 
     /// Appends the distinct variables of this atom to `out`.
@@ -168,6 +186,14 @@ impl Literal {
     /// Whether the underlying atom is ground.
     pub fn is_ground(&self, store: &TermStore) -> bool {
         self.atom.is_ground(store)
+    }
+
+    /// Rebuilds this literal over `dst`; see [`Atom::translate`].
+    pub fn translate(&self, src: &TermStore, dst: &mut TermStore, map: &[TermId]) -> Literal {
+        Literal {
+            sign: self.sign,
+            atom: self.atom.translate(src, dst, map),
+        }
     }
 
     /// Appends the distinct variables of this literal to `out`.

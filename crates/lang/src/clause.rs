@@ -1,7 +1,7 @@
 //! Normal program clauses (Def. 1.1 of the paper).
 
 use crate::atom::{Atom, Literal};
-use crate::term::{TermStore, Var};
+use crate::term::{TermId, TermStore, Var};
 
 /// A normal program clause `A ← L₁, …, Lₙ`.
 ///
@@ -33,6 +33,26 @@ impl Clause {
     /// Whether the clause is a fact.
     pub fn is_fact(&self) -> bool {
         self.body.is_empty()
+    }
+
+    /// Whether the clause mentions no proper function symbol — every
+    /// argument everywhere is a variable or a constant.
+    pub fn is_function_free(&self, store: &TermStore) -> bool {
+        self.head.args_function_free(store)
+            && self.body.iter().all(|l| l.atom.args_function_free(store))
+    }
+
+    /// Rebuilds this clause over `dst`, where `map` is the term map
+    /// produced by [`TermStore::translate_into`] on `src`.
+    pub fn translate(&self, src: &TermStore, dst: &mut TermStore, map: &[TermId]) -> Clause {
+        Clause {
+            head: self.head.translate(src, dst, map),
+            body: self
+                .body
+                .iter()
+                .map(|l| l.translate(src, dst, map))
+                .collect(),
+        }
     }
 
     /// Whether the clause is definite (no negative body literals).

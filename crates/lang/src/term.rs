@@ -204,6 +204,41 @@ impl TermStore {
         self.app(sym, args)
     }
 
+    /// Copies every term of this store into `dst`, returning a map
+    /// from this store's [`TermId`]s to the corresponding ids in `dst`
+    /// (indexed by [`TermId::index`]). Symbols are re-interned by name
+    /// and shared structure stays shared (`dst` hash-conses); each
+    /// distinct variable here becomes one fresh variable in `dst`,
+    /// keeping its display name.
+    ///
+    /// This is how a server moves decoded request terms out of a
+    /// throwaway scratch store into a long-lived session store only
+    /// once the request is known to be worth keeping — a rejected
+    /// request decoded straight into an append-only session arena
+    /// would grow it forever.
+    pub fn translate_into(&self, dst: &mut TermStore) -> Vec<TermId> {
+        let mut map: Vec<TermId> = Vec::with_capacity(self.terms.len());
+        let mut args_buf = Vec::new();
+        for info in &self.terms {
+            // Arguments always precede their application in the arena,
+            // so `map` already covers every child id.
+            let id = match &info.data {
+                Term::Var(v) => {
+                    let name = self.var_names.get(v.index()).and_then(|n| n.as_deref());
+                    dst.fresh_var(name)
+                }
+                Term::App(sym, args) => {
+                    let dsym = dst.intern_symbol(self.symbol_name(*sym));
+                    args_buf.clear();
+                    args_buf.extend(args.iter().map(|a| map[a.index()]));
+                    dst.app(dsym, &args_buf)
+                }
+            };
+            map.push(id);
+        }
+        map
+    }
+
     /// The shape of `id`.
     #[inline]
     pub fn term(&self, id: TermId) -> &Term {

@@ -16,6 +16,7 @@
 
 use gsls_lang::GovernOpts;
 use gsls_serve::Client;
+use std::io::Write;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -103,7 +104,9 @@ fn main() -> ExitCode {
     };
     match outcome {
         Ok(text) => {
-            println!("{text}");
+            // A downstream `| head`/`| grep -q` may close the pipe before
+            // we finish writing; that is success, not a panic.
+            let _ = writeln!(std::io::stdout(), "{text}");
             ExitCode::SUCCESS
         }
         Err(e) => {

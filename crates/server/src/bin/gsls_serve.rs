@@ -3,12 +3,13 @@
 //! ```text
 //! gsls-serve [--addr HOST:PORT] [--data-dir DIR] [--max-conns N]
 //!            [--readers N] [--queue-depth N] [--group-max N]
-//!            [--idle-timeout-ms N]
+//!            [--idle-timeout-ms N] [--remote-admin]
 //! ```
 //!
 //! Serves until a client sends `Shutdown` (see `gsls-client shutdown`),
 //! then drains gracefully. With no `--data-dir` the sessions are
-//! in-memory (nothing survives a restart).
+//! in-memory (nothing survives a restart). `Shutdown` is honored from
+//! loopback peers only, unless `--remote-admin` opts in.
 
 use gsls_serve::{Server, ServerConfig};
 use std::process::ExitCode;
@@ -18,7 +19,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: gsls-serve [--addr HOST:PORT] [--data-dir DIR] [--max-conns N]\n\
          \x20                 [--readers N] [--queue-depth N] [--group-max N]\n\
-         \x20                 [--idle-timeout-ms N]"
+         \x20                 [--idle-timeout-ms N] [--remote-admin]"
     );
     ExitCode::from(2)
 }
@@ -68,6 +69,7 @@ fn main() -> ExitCode {
                 Some(v) => cfg.idle_timeout = Duration::from_millis(v),
                 None => return usage(),
             },
+            "--remote-admin" => cfg.remote_admin = true,
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;

@@ -65,42 +65,112 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// boundary ([`FrameError::Closed`]) from a tear inside one
 /// ([`FrameError::Truncated`]) so servers can tell a polite disconnect
 /// from an ungraceful one.
+///
+/// A read timeout (`WouldBlock`/`TimedOut`) surfaces as
+/// [`FrameError::Io`] and **abandons** any partial frame — use a
+/// [`FrameReader`] when the socket has a read timeout and the frame
+/// must survive it.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
-    let mut header = [0u8; 8];
-    let mut got = 0;
-    while got < header.len() {
-        match r.read(&mut header[got..]) {
-            Ok(0) => {
-                return Err(if got == 0 {
-                    FrameError::Closed
-                } else {
-                    FrameError::Truncated
-                })
+    let mut fr = FrameReader::new();
+    match fr.poll(r)? {
+        Some(payload) => Ok(payload),
+        None => Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "frame read timed out",
+        ))),
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Incremental frame reader for sockets with a read timeout.
+///
+/// [`read_frame`] restarts from scratch on every call, so a timeout in
+/// the middle of a frame — a >timeout gap between TCP segments of one
+/// large request — would discard the bytes already consumed and desync
+/// the stream. `FrameReader` instead keeps the partial header/payload
+/// across calls: [`FrameReader::poll`] returns `Ok(None)` on a timeout
+/// and resumes exactly where it stopped on the next call, so a slow but
+/// well-behaved peer is never desynced. [`FrameReader::consumed`] lets
+/// callers distinguish a genuinely idle connection (no bytes of any
+/// frame yet) from a slow in-progress transfer.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 8],
+    hgot: usize,
+    /// Allocated once the header is complete; length = payload length.
+    payload: Vec<u8>,
+    pgot: usize,
+    have_header: bool,
+}
+
+impl FrameReader {
+    /// A reader positioned between frames.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Bytes of the in-progress frame consumed so far (0 when the
+    /// reader sits between frames).
+    pub fn consumed(&self) -> usize {
+        self.hgot + self.pgot
+    }
+
+    /// Advances the frame as far as the stream allows. Returns
+    /// `Ok(Some(payload))` once a full frame is available,
+    /// `Ok(None)` when the read timed out (`WouldBlock`/`TimedOut`) —
+    /// partial progress is kept and the next call resumes it — and
+    /// `Err` for everything else ([`FrameError`] semantics as in
+    /// [`read_frame`]).
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+        while self.hgot < self.header.len() {
+            match r.read(&mut self.header[self.hgot..]) {
+                Ok(0) => {
+                    return Err(if self.hgot == 0 {
+                        FrameError::Closed
+                    } else {
+                        FrameError::Truncated
+                    })
+                }
+                Ok(n) => self.hgot += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => return Ok(None),
+                Err(e) => return Err(FrameError::Io(e)),
             }
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(FrameError::Io(e)),
         }
-    }
-    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
-    if len > MAX_FRAME {
-        return Err(FrameError::TooLarge(len));
-    }
-    let mut payload = vec![0u8; len];
-    let mut got = 0;
-    while got < len {
-        match r.read(&mut payload[got..]) {
-            Ok(0) => return Err(FrameError::Truncated),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(FrameError::Io(e)),
+        if !self.have_header {
+            let len = u32::from_le_bytes(self.header[..4].try_into().unwrap()) as usize;
+            if len > MAX_FRAME {
+                return Err(FrameError::TooLarge(len));
+            }
+            self.payload = vec![0u8; len];
+            self.pgot = 0;
+            self.have_header = true;
         }
+        while self.pgot < self.payload.len() {
+            match r.read(&mut self.payload[self.pgot..]) {
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => self.pgot += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_timeout(&e) => return Ok(None),
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        let crc = u32::from_le_bytes(self.header[4..].try_into().unwrap());
+        let payload = std::mem::take(&mut self.payload);
+        self.hgot = 0;
+        self.pgot = 0;
+        self.have_header = false;
+        if crc32(&payload) != crc {
+            return Err(FrameError::BadCrc);
+        }
+        Ok(Some(payload))
     }
-    if crc32(&payload) != crc {
-        return Err(FrameError::BadCrc);
-    }
-    Ok(payload)
 }
 
 #[cfg(test)]
@@ -118,6 +188,80 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap(), b"");
         assert_eq!(read_frame(&mut r).unwrap(), vec![0xffu8; 300]);
         assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    /// Yields the framed bytes in tiny chunks with a simulated read
+    /// timeout between every chunk — the pathological slow peer.
+    struct Trickle<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+        /// Alternates: timeout, then data, then timeout, ...
+        ready: bool,
+    }
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+            }
+            self.ready = false;
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_timeouts() {
+        let payload: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, b"second").unwrap();
+        // One byte per read, a timeout before every byte: the reader
+        // must keep its partial header/payload across every Ok(None).
+        let mut r = Trickle {
+            data: &buf,
+            pos: 0,
+            chunk: 1,
+            ready: false,
+        };
+        let mut fr = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut timeouts = 0usize;
+        let mut last_consumed = 0usize;
+        while frames.len() < 2 {
+            match fr.poll(&mut r).unwrap() {
+                Some(p) => {
+                    assert_eq!(fr.consumed(), 0, "reader must reset between frames");
+                    last_consumed = 0;
+                    frames.push(p);
+                }
+                None => {
+                    timeouts += 1;
+                    // Progress is monotone within a frame and visible to
+                    // the caller (this is what feeds the idle clock).
+                    assert!(fr.consumed() >= last_consumed);
+                    last_consumed = fr.consumed();
+                }
+            }
+        }
+        assert_eq!(frames[0], payload);
+        assert_eq!(frames[1], b"second");
+        assert!(
+            timeouts > buf.len() / 2,
+            "trickle should have timed out often"
+        );
+        // And the plain read_frame wrapper surfaces a timeout as Io.
+        let mut r = Trickle {
+            data: &buf,
+            pos: 0,
+            chunk: 1,
+            ready: false,
+        };
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Io(_))));
     }
 
     #[test]

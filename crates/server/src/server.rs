@@ -35,13 +35,32 @@
 //! commits it normally and the reply send fails harmlessly. Frame-level
 //! damage (bad CRC, oversized length, torn write) is answered with a
 //! protocol error where a reply is still possible and otherwise just
-//! closes the socket.
+//! closes the socket. A merely *slow* peer is neither of those:
+//! [`FrameReader`] keeps partially-read frames across the read-timeout
+//! poll, so a >100ms gap between TCP segments inside one frame resumes
+//! where it stopped (and counts as activity for the idle clock) instead
+//! of desyncing the stream.
+//!
+//! If a group's covering fsync fails, no waiter is acked (every one
+//! gets a typed error), the session is poisoned by
+//! [`Session::commit_group`] — its in-memory state has diverged from
+//! the WAL — and the published snapshot is left at the last acked
+//! state, so readers never observe writes whose owners were told the
+//! commit failed.
+//!
+//! ## Admin surface
+//!
+//! [`Request::Shutdown`] is honored only from loopback peers unless
+//! [`ServerConfig::remote_admin`] opts in: a server bound on a routable
+//! interface must not let any connecting peer put it into drain. The
+//! metrics/events scrape is not gated — do not bind a server holding
+//! sensitive data on an untrusted network.
 
-use crate::frame::{read_frame, write_frame, FrameError};
+use crate::frame::{write_frame, FrameError, FrameReader};
 use gsls_core::{CommitOpts, Guard, Session, SessionError, Snapshot, UpdateBatch};
 use gsls_lang::{
-    decode_request, encode_response, peek_request_kind, CommitNumbers, ErrorKind, GovernOpts,
-    Request, RequestKind, Response, TermStore, TruthTag,
+    decode_request, encode_response, peek_request_kind, Atom, Clause, CommitNumbers, ErrorKind,
+    GovernOpts, Request, RequestKind, Response, TermStore, TruthTag,
 };
 use gsls_obs::{render_prometheus, Obs};
 use gsls_wfs::Truth;
@@ -50,7 +69,7 @@ use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -92,6 +111,11 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Maximum batches committed as one group (one fsync).
     pub group_max: usize,
+    /// Honor admin requests ([`Request::Shutdown`]) from non-loopback
+    /// peers. Off by default: when the server is bound on a routable
+    /// interface, any peer that can connect could otherwise put it
+    /// into drain.
+    pub remote_admin: bool,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +128,7 @@ impl Default for ServerConfig {
             readers: 0,
             queue_depth: 64,
             group_max: 32,
+            remote_admin: false,
         }
     }
 }
@@ -145,11 +170,28 @@ struct SessionSvc {
     writer: Mutex<Option<JoinHandle<()>>>,
 }
 
+/// A sessions-map entry: live, or still opening. Opening a durable
+/// session can mean a full WAL replay (seconds), which must not run
+/// under the map lock — binders of *other* sessions would stall on it.
+/// The first binder claims the name with an [`OpenSlot`], opens with
+/// the map unlocked, and publishes the verdict; concurrent binders of
+/// the *same* name wait on the slot.
+enum SessionEntry {
+    Ready(Arc<SessionSvc>),
+    Opening(Arc<OpenSlot>),
+}
+
+/// Rendezvous for concurrent binders of one still-opening session.
+struct OpenSlot {
+    done: Mutex<Option<Result<Arc<SessionSvc>, Response>>>,
+    cv: Condvar,
+}
+
 struct Shared {
     cfg: ServerConfig,
     shutdown: AtomicBool,
     conns: AtomicUsize,
-    sessions: Mutex<HashMap<String, Arc<SessionSvc>>>,
+    sessions: Mutex<HashMap<String, SessionEntry>>,
     /// Reader-pool sender; `None` once shutdown has begun.
     pool_tx: Mutex<Option<mpsc::Sender<QueryJob>>>,
 }
@@ -235,7 +277,13 @@ impl Server {
             .lock()
             .unwrap()
             .drain()
-            .map(|(_, s)| s)
+            .filter_map(|(_, e)| match e {
+                SessionEntry::Ready(s) => Some(s),
+                // Opens run on connection threads, which were all
+                // joined above — an Opening entry here is unreachable,
+                // but dropping it is always safe (no writer yet).
+                SessionEntry::Opening(_) => None,
+            })
             .collect();
         for svc in svcs {
             *svc.tx.lock().unwrap() = None;
@@ -360,6 +408,13 @@ fn refuse(stream: TcpStream) -> io::Result<()> {
 fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL));
+    // Admin requests (Shutdown) are honored from loopback peers, or
+    // from anyone once `remote_admin` opts in.
+    let admin = shared.cfg.remote_admin
+        || stream
+            .peer_addr()
+            .map(|a| a.ip().is_loopback())
+            .unwrap_or(false);
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -371,12 +426,21 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let mut svc: Option<Arc<SessionSvc>> = None;
     let mut last_activity = Instant::now();
     let mut out = Vec::new();
+    // The frame reader keeps partially-read frames across the POLL
+    // read timeout: a >POLL gap between TCP segments inside one frame
+    // (large commit, network jitter) resumes instead of desyncing.
+    let mut fr = FrameReader::new();
+    let mut progressed = 0usize;
     loop {
-        let payload = match read_frame(&mut reader) {
-            Ok(p) => p,
-            Err(FrameError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
+        let payload = match fr.poll(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                // Idle tick. Partial-frame byte progress counts as
+                // activity so a slow in-flight transfer is not reaped.
+                if fr.consumed() > progressed {
+                    progressed = fr.consumed();
+                    last_activity = Instant::now();
+                }
                 if shared.shutdown.load(Ordering::SeqCst)
                     || last_activity.elapsed() >= shared.cfg.idle_timeout
                 {
@@ -395,8 +459,16 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 return;
             }
         };
+        progressed = 0;
         last_activity = Instant::now();
-        let resp = handle_request(&payload, last_activity, shared, &mut svc, &mut scratch);
+        let resp = handle_request(
+            &payload,
+            last_activity,
+            shared,
+            admin,
+            &mut svc,
+            &mut scratch,
+        );
         out.clear();
         encode_response(&resp, &mut out);
         if write_frame(&mut writer, &out)
@@ -412,11 +484,14 @@ fn conn_loop(stream: TcpStream, shared: &Arc<Shared>) {
 }
 
 /// Routes one framed request and produces its reply. `svc` is the
-/// session this connection is bound to (bound lazily to `"default"`).
+/// session this connection is bound to (bound lazily to `"default"`);
+/// `admin` says whether this peer may issue admin requests (loopback,
+/// or anyone under [`ServerConfig::remote_admin`]).
 fn handle_request(
     payload: &[u8],
     received: Instant,
     shared: &Arc<Shared>,
+    admin: bool,
     svc: &mut Option<Arc<SessionSvc>>,
     scratch: &mut TermStore,
 ) -> Response {
@@ -427,6 +502,12 @@ fn handle_request(
     match kind {
         RequestKind::Ping => Response::Pong,
         RequestKind::Shutdown => {
+            if !admin {
+                return err(
+                    ErrorKind::Rejected,
+                    "shutdown is admin-only: connect from loopback or enable remote_admin",
+                );
+            }
             shared.shutdown.store(true, Ordering::SeqCst);
             Response::Text("draining".into())
         }
@@ -529,8 +610,11 @@ fn ensure_bound(
     Ok(s)
 }
 
-/// Gets or creates the named session service: opens (or creates) the
-/// session, takes its first snapshot, and spawns its writer thread.
+/// Gets or creates the named session service. The expensive part —
+/// [`Session::open`], which can replay a long WAL — runs with the map
+/// **unlocked**: the first binder claims the name with an [`OpenSlot`],
+/// concurrent binders of the same name wait on the slot, and binders
+/// of other sessions are never blocked.
 fn bind_session(shared: &Arc<Shared>, name: &str) -> Result<Arc<SessionSvc>, Response> {
     if !valid_session_name(name) {
         return Err(err(
@@ -541,10 +625,62 @@ fn bind_session(shared: &Arc<Shared>, name: &str) -> Result<Arc<SessionSvc>, Res
     if shared.shutdown.load(Ordering::SeqCst) {
         return Err(err(ErrorKind::Shutdown, "server is draining"));
     }
-    let mut sessions = shared.sessions.lock().unwrap();
-    if let Some(s) = sessions.get(name) {
-        return Ok(s.clone());
+    enum Plan {
+        Ready(Arc<SessionSvc>),
+        Wait(Arc<OpenSlot>),
+        Open(Arc<OpenSlot>),
     }
+    let plan = {
+        let mut sessions = shared.sessions.lock().unwrap();
+        match sessions.get(name) {
+            Some(SessionEntry::Ready(s)) => Plan::Ready(s.clone()),
+            Some(SessionEntry::Opening(slot)) => Plan::Wait(slot.clone()),
+            None => {
+                let slot = Arc::new(OpenSlot {
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                sessions.insert(name.to_string(), SessionEntry::Opening(slot.clone()));
+                Plan::Open(slot)
+            }
+        }
+    };
+    let slot = match plan {
+        Plan::Ready(s) => return Ok(s),
+        Plan::Wait(slot) => {
+            let mut done = slot.done.lock().unwrap();
+            while done.is_none() {
+                done = slot.cv.wait(done).unwrap();
+            }
+            return done.clone().unwrap();
+        }
+        Plan::Open(slot) => slot,
+    };
+    // We claimed the name: open with the map unlocked, then publish
+    // the verdict to the map first, the slot second (waiters that race
+    // in before the verdict land on one or the other, never neither).
+    let result = open_session_svc(shared, name);
+    {
+        let mut sessions = shared.sessions.lock().unwrap();
+        match &result {
+            Ok(svc) => {
+                sessions.insert(name.to_string(), SessionEntry::Ready(svc.clone()));
+            }
+            Err(_) => {
+                // Leave no trace: the next binder retries the open.
+                sessions.remove(name);
+            }
+        }
+    }
+    *slot.done.lock().unwrap() = Some(result.clone());
+    slot.cv.notify_all();
+    result
+}
+
+/// Opens (or creates) the named session, takes its first snapshot, and
+/// spawns its writer thread. Called by [`bind_session`] outside the
+/// sessions-map lock.
+fn open_session_svc(shared: &Arc<Shared>, name: &str) -> Result<Arc<SessionSvc>, Response> {
     let mut session = match &shared.cfg.data_dir {
         Some(root) => Session::open(root.join(name)).map_err(|e| session_err(&e))?,
         None => Session::new(),
@@ -566,7 +702,6 @@ fn bind_session(shared: &Arc<Shared>, name: &str) -> Result<Arc<SessionSvc>, Res
         .spawn(move || writer_loop(session, rx, wsvc, group_max))
         .map_err(|e| err(ErrorKind::Internal, format!("spawn failed: {e}")))?;
     *svc.writer.lock().unwrap() = Some(writer);
-    sessions.insert(name.to_string(), svc.clone());
     Ok(svc)
 }
 
@@ -621,10 +756,46 @@ fn writer_loop(
     }
 }
 
+/// Pre-validation of a decoded commit against its scratch store: the
+/// same shape checks the session would fail the batch on, applied
+/// *before* anything is interned into the session's arena.
+fn validate_commit(
+    store: &TermStore,
+    rules: &[Clause],
+    asserts: &[Atom],
+    retracts: &[Atom],
+) -> Result<(), Response> {
+    for c in rules {
+        if !c.is_function_free(store) {
+            return Err(err(
+                ErrorKind::Rejected,
+                format!("clause is not function-free: {}", c.display(store)),
+            ));
+        }
+    }
+    for a in asserts.iter().chain(retracts.iter()) {
+        if !a.is_ground(store) || !a.args_function_free(store) {
+            return Err(err(
+                ErrorKind::Rejected,
+                format!("not a ground function-free fact: {}", a.display(store)),
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Decodes and group-commits one contiguous run of commit jobs,
 /// replying to each client individually — after the covering fsync
 /// *and* after the new snapshot is published, so an acked client
 /// immediately reads its own write.
+///
+/// Each payload decodes into a **throwaway store**: a commit that
+/// never reaches the engine (malformed, mis-shaped, rejected by
+/// validation, already over its deadline) must not intern anything
+/// into the session's append-only arena, or a client could grow
+/// session memory without bound with commits that never succeed. Only
+/// batches that pass every pre-check are translated into the session
+/// store ([`TermStore::translate_into`]).
 fn commit_run(session: &mut Session, svc: &SessionSvc, run: Vec<Job>) {
     let mut batches: Vec<(UpdateBatch, CommitOpts)> = Vec::with_capacity(run.len());
     let mut waiting: Vec<(mpsc::SyncSender<Response>, bool)> = Vec::with_capacity(run.len());
@@ -637,41 +808,64 @@ fn commit_run(session: &mut Session, svc: &SessionSvc, run: Vec<Job>) {
         else {
             unreachable!()
         };
-        match decode_request(session.store_mut(), &payload) {
+        let mut scratch = TermStore::new();
+        let (rules, asserts, retracts, opts) = match decode_request(&mut scratch, &payload) {
             Ok(Request::Commit {
                 rules,
                 asserts,
                 retracts,
                 opts,
-            }) => {
-                let batch = UpdateBatch {
-                    rules,
-                    asserts,
-                    retracts,
-                };
-                let bumps = !batch.is_empty();
-                batches.push((batch, commit_opts(&opts, received)));
-                waiting.push((reply, bumps));
-            }
+            }) => (rules, asserts, retracts, opts),
             Ok(_) => {
                 let _ = reply.send(err(ErrorKind::Protocol, "kind/payload mismatch"));
+                continue;
             }
             Err(e) => {
                 let _ = reply.send(err(ErrorKind::Protocol, format!("bad commit: {e:?}")));
+                continue;
             }
+        };
+        let copts = commit_opts(&opts, received);
+        if copts.deadline.is_some_and(|d| Instant::now() >= d) {
+            let _ = reply.send(err(
+                ErrorKind::Interrupted,
+                "deadline expired before the commit could start",
+            ));
+            continue;
         }
+        if let Err(resp) = validate_commit(&scratch, &rules, &asserts, &retracts) {
+            let _ = reply.send(resp);
+            continue;
+        }
+        let map = scratch.translate_into(session.store_mut());
+        let batch = UpdateBatch {
+            rules: rules
+                .iter()
+                .map(|c| c.translate(&scratch, session.store_mut(), &map))
+                .collect(),
+            asserts: asserts
+                .iter()
+                .map(|a| a.translate(&scratch, session.store_mut(), &map))
+                .collect(),
+            retracts: retracts
+                .iter()
+                .map(|a| a.translate(&scratch, session.store_mut(), &map))
+                .collect(),
+        };
+        let bumps = !batch.is_empty();
+        batches.push((batch, copts));
+        waiting.push((reply, bumps));
     }
     if batches.is_empty() {
         return;
     }
     let mut epoch = session.epoch();
-    let outcome = session.commit_group(batches);
-    // Publish the post-group snapshot BEFORE acking anyone: a client
-    // that sees its Committed reply must find its write in the very
-    // next query it sends.
-    *svc.snap.lock().unwrap() = session.snapshot();
-    match outcome {
+    match session.commit_group(batches) {
         Ok(results) => {
+            // Publish the post-group snapshot BEFORE acking anyone: a
+            // client that sees its Committed reply must find its write
+            // in the very next query it sends.
+            *svc.snap.lock().unwrap() = session.snapshot();
             for (r, (reply, bumps)) in results.into_iter().zip(waiting) {
                 let resp = match r {
                     Ok(stats) => {
@@ -696,8 +890,11 @@ fn commit_run(session: &mut Session, svc: &SessionSvc, run: Vec<Job>) {
             }
         }
         Err(e) => {
-            // Group-level failure (poisoned, open txn, covering fsync):
-            // nothing is durable; every waiter gets the error.
+            // Group-level failure. A failed covering fsync leaves the
+            // batches applied in memory but not durable; commit_group
+            // poisons the session for exactly that case, and the stale
+            // snapshot stays published so readers keep seeing *acked*
+            // state only — never writes whose owners were told Error.
             let resp = session_err(&e);
             for (reply, _) in waiting {
                 let _ = reply.send(resp.clone());

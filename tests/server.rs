@@ -29,6 +29,13 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+/// Builds one ground fact atom over `store` from program text.
+fn fact_atom(store: &mut TermStore, text: &str) -> Atom {
+    parse_program(store, text).unwrap().clauses()[0]
+        .head
+        .clone()
+}
+
 fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("gsls_server_{}_{name}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -511,6 +518,252 @@ fn storm_matches_sequential_oracle() {
         assert_eq!(served.truth, want, "{goal}");
     }
     server.shutdown();
+}
+
+#[test]
+fn slow_peer_trickling_a_frame_is_never_desynced_or_reaped() {
+    // The server polls its sockets every ~100ms; a peer that pauses
+    // longer than that *inside* a frame must resume exactly where it
+    // stopped (no desync) and must not be idle-reaped while the bytes
+    // are still trickling in.
+    let mut server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: None,
+        idle_timeout: Duration::from_millis(600),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    let mut store = TermStore::new();
+    let req = Request::Commit {
+        rules: Vec::new(),
+        asserts: vec![fact_atom(&mut store, "slowpoke(arrived).")],
+        retracts: Vec::new(),
+        opts: GovernOpts::default(),
+    };
+    let mut payload = Vec::new();
+    encode_request(&store, &req, &mut payload);
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).unwrap();
+
+    // A few bytes every 150ms: every gap straddles the server's poll
+    // timeout, and the whole frame takes several idle-timeouts to land.
+    let start = Instant::now();
+    for chunk in frame.chunks(4) {
+        s.write_all(chunk).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    assert!(
+        start.elapsed() > Duration::from_millis(600),
+        "trickle too fast to exercise the idle clock"
+    );
+    let resp = read_frame(&mut s).unwrap();
+    match decode_response(&resp).unwrap() {
+        Response::Committed { stats, .. } => assert_eq!(stats.facts_asserted, 1),
+        other => panic!("expected Committed, got {other:?}"),
+    }
+    // The stream is still framed: a normal request on the same
+    // connection round-trips.
+    let mut payload = Vec::new();
+    encode_request(&store, &Request::Ping, &mut payload);
+    write_frame(&mut s, &payload).unwrap();
+    s.flush().unwrap();
+    let resp = read_frame(&mut s).unwrap();
+    assert_eq!(decode_response(&resp).unwrap(), Response::Pong);
+    server.shutdown();
+}
+
+#[test]
+fn rejected_commits_answer_typed_and_leave_the_session_serving() {
+    // Shape-invalid commits are bounced off a scratch decode before
+    // anything reaches the session's term arena.
+    let mut server = start(None);
+    let addr = server.addr();
+    let mut good = Client::connect(addr).unwrap();
+    good.commit("", "f(a).", "", GovernOpts::default()).unwrap();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    let mut send = |store: &TermStore, req: &Request| -> Response {
+        let mut payload = Vec::new();
+        encode_request(store, req, &mut payload);
+        write_frame(&mut s, &payload).unwrap();
+        s.flush().unwrap();
+        decode_response(&read_frame(&mut s).unwrap()).unwrap()
+    };
+
+    // A non-ground assert (head of a rule with a variable).
+    let mut store = TermStore::new();
+    let open_atom = parse_program(&mut store, "p(X) :- f(X).")
+        .unwrap()
+        .clauses()[0]
+        .head
+        .clone();
+    let resp = send(
+        &store,
+        &Request::Commit {
+            rules: Vec::new(),
+            asserts: vec![open_atom],
+            retracts: Vec::new(),
+            opts: GovernOpts::default(),
+        },
+    );
+    match resp {
+        Response::Error { kind, .. } => assert_eq!(kind, gsls_lang::ErrorKind::Rejected),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // A fact with a proper function symbol.
+    let mut store = TermStore::new();
+    let nested = fact_atom(&mut store, "g(h(a)).");
+    let resp = send(
+        &store,
+        &Request::Commit {
+            rules: Vec::new(),
+            asserts: vec![nested],
+            retracts: Vec::new(),
+            opts: GovernOpts::default(),
+        },
+    );
+    match resp {
+        Response::Error { kind, .. } => assert_eq!(kind, gsls_lang::ErrorKind::Rejected),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // The session shrugged both off.
+    let r = good.commit("", "f(b).", "", GovernOpts::default()).unwrap();
+    assert_eq!(r.stats.facts_asserted, 1);
+    let q = good.query("?- f(a).", GovernOpts::default()).unwrap();
+    assert_eq!(q.truth, "true");
+    server.shutdown();
+}
+
+#[test]
+fn translate_into_rebuilds_identical_structure() {
+    // The writer-side scratch-store path: decode into a throwaway
+    // store, translate into the long-lived one, and the batch must be
+    // structurally identical (displays match; ids need not).
+    let mut scratch = TermStore::new();
+    let prog = parse_program(
+        &mut scratch,
+        "win(X) :- move(X, Y), ~win(Y). move(a, b). move(b, c). drawn(V) :- cycle(V, V).",
+    )
+    .unwrap();
+    let mut session_store = TermStore::new();
+    session_store.constant("preexisting");
+    let before = session_store.len();
+    let map = scratch.translate_into(&mut session_store);
+    assert_eq!(map.len(), scratch.len());
+    for c in prog.clauses() {
+        let t = c.translate(&scratch, &mut session_store, &map);
+        assert_eq!(c.display(&scratch), t.display(&session_store));
+    }
+    // Translating the same store again is free: everything hash-conses
+    // onto the first copy except variables, which stay scoped per call.
+    let after_once = session_store.len();
+    assert!(after_once > before);
+    let map2 = scratch.translate_into(&mut session_store);
+    let grew = session_store.len() - after_once;
+    assert!(
+        grew <= scratch.var_count(),
+        "second translation grew {grew} terms (only fresh vars expected)"
+    );
+    // Function-free / groundness predicates survive translation.
+    for (c, want) in prog
+        .clauses()
+        .iter()
+        .map(|c| (c, c.is_function_free(&scratch)))
+    {
+        let t = c.translate(&scratch, &mut session_store, &map2);
+        assert_eq!(t.is_function_free(&session_store), want);
+    }
+}
+
+#[test]
+fn covering_fsync_failure_poisons_instead_of_acking() {
+    // Storage that crashes after a byte budget: the first batch of the
+    // group journals fine, the second batch's append blows the budget,
+    // and the covering fsync then fails on the crashed file. The
+    // session must refuse to pretend — Err out of commit_group and
+    // poison itself (its in-memory state is no longer provably the
+    // WAL's), rather than letting un-acked writes linger as committed.
+    let dir = temp_dir("sync_fail");
+    let mut budget = None;
+    for attempt in 0..2 {
+        let plan = gsls_durable::FaultPlan {
+            crash_after_bytes: budget,
+            ..gsls_durable::FaultPlan::default()
+        };
+        let mut sess = Session::open_with(
+            &dir,
+            GrounderOpts::default(),
+            DurableOpts {
+                storage: StorageKind::Faulty(plan),
+                ..DurableOpts::default()
+            },
+        )
+        .unwrap();
+        let small = UpdateBatch {
+            asserts: vec![fact_atom(sess.store_mut(), "tick(t0).")],
+            ..UpdateBatch::default()
+        };
+        let big_src: String = (0..64).map(|i| format!("bulk(b{i}). ")).collect();
+        let big_atoms: Vec<Atom> = parse_program(sess.store_mut(), &big_src)
+            .unwrap()
+            .clauses()
+            .iter()
+            .map(|c| c.head.clone())
+            .collect();
+        let big = UpdateBatch {
+            asserts: big_atoms,
+            ..UpdateBatch::default()
+        };
+        let outcome =
+            sess.commit_group(vec![(small, CommitOpts::none()), (big, CommitOpts::none())]);
+        if attempt == 0 {
+            // Calibration pass on healthy storage: measure how many
+            // bytes one full group appends, then budget the rerun so
+            // the small batch fits and the big one crashes the file.
+            outcome.expect("calibration group must commit");
+            // Sum every WAL generation: the active gen is an
+            // implementation detail we should not guess at.
+            let bytes: u64 = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    name.starts_with("wal-") && name.ends_with(".log")
+                })
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum();
+            assert!(bytes > 0, "calibration wrote nothing");
+            budget = Some(bytes / 2);
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            continue;
+        }
+        let err = outcome.expect_err("group must fail once the WAL crashes");
+        assert!(
+            matches!(err, SessionError::Durable(_)),
+            "expected a durability error, got {err:?}"
+        );
+        assert!(sess.is_poisoned(), "fsync failure must poison the session");
+        // Further writes are refused until recovery...
+        let a = fact_atom(sess.store_mut(), "tick(t1).");
+        let late = UpdateBatch {
+            asserts: vec![a],
+            ..UpdateBatch::default()
+        };
+        assert!(matches!(
+            sess.commit_group(vec![(late, CommitOpts::none())]),
+            Err(SessionError::Poisoned)
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
